@@ -1,0 +1,128 @@
+//! Criterion benches mirroring the paper's figures at laptop-friendly
+//! scale (s = 1). The figure binaries (`fig4`…`fig8`) run the same
+//! queries at configurable scales and print the paper-style series; these
+//! benches give statistically robust per-query numbers for regression
+//! tracking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fdb_bench::queries::flat_input_agg_queries;
+use fdb_bench::{paper_queries, BenchSetup, QueryClass};
+use fdb_relational::engine::PlanMode;
+use fdb_relational::GroupStrategy;
+use fdb_workload::orders::OrdersConfig;
+
+fn env_at(scale: u32) -> fdb_bench::BenchEnv {
+    BenchSetup {
+        config: OrdersConfig {
+            scale,
+            customers: 50,
+            seed: 0xFDB,
+        },
+        materialise_flat: true,
+    }
+    .build()
+}
+
+/// Figures 4/5: AGG queries on the materialised view.
+fn agg_on_view(c: &mut Criterion) {
+    let mut env = env_at(1);
+    let attrs = env.attrs;
+    let queries = paper_queries(&mut env.fdb.catalog, &attrs);
+    env.rdb_sort.catalog = env.fdb.catalog.clone();
+    env.rdb_hash.catalog = env.fdb.catalog.clone();
+    let mut group = c.benchmark_group("fig5_agg_on_view");
+    group.sample_size(10);
+    for q in queries.iter().filter(|q| q.class == QueryClass::Agg) {
+        group.bench_function(format!("{}_fdb_fo", q.name), |b| {
+            b.iter(|| env.run_fdb_fo(&q.task))
+        });
+        group.bench_function(format!("{}_fdb_flat", q.name), |b| {
+            b.iter(|| env.run_fdb_flat(&q.task))
+        });
+        group.bench_function(format!("{}_rdb_sort", q.name), |b| {
+            b.iter(|| env.run_rdb(&q.task, GroupStrategy::Sort, PlanMode::Naive))
+        });
+        group.bench_function(format!("{}_rdb_hash", q.name), |b| {
+            b.iter(|| env.run_rdb(&q.task, GroupStrategy::Hash, PlanMode::Naive))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 6: AGG queries from flat input, naive and eager baselines.
+fn agg_on_flat_input(c: &mut Criterion) {
+    let mut env = env_at(1);
+    let attrs = env.attrs;
+    let queries = flat_input_agg_queries(&mut env.fdb.catalog, &attrs);
+    env.rdb_sort.catalog = env.fdb.catalog.clone();
+    env.rdb_hash.catalog = env.fdb.catalog.clone();
+    let mut group = c.benchmark_group("fig6_agg_flat_input");
+    group.sample_size(10);
+    for q in queries.iter().filter(|q| q.name == "Q2" || q.name == "Q4") {
+        group.bench_function(format!("{}_fdb", q.name), |b| {
+            b.iter(|| env.run_fdb_flat(&q.task))
+        });
+        group.bench_function(format!("{}_rdb_naive", q.name), |b| {
+            b.iter(|| env.run_rdb(&q.task, GroupStrategy::Hash, PlanMode::Naive))
+        });
+        group.bench_function(format!("{}_rdb_man", q.name), |b| {
+            b.iter(|| env.run_rdb(&q.task, GroupStrategy::Hash, PlanMode::Eager))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 7: AGG+ORD queries on the view.
+fn agg_ord_on_view(c: &mut Criterion) {
+    let mut env = env_at(1);
+    let attrs = env.attrs;
+    let queries = paper_queries(&mut env.fdb.catalog, &attrs);
+    env.rdb_sort.catalog = env.fdb.catalog.clone();
+    env.rdb_hash.catalog = env.fdb.catalog.clone();
+    let mut group = c.benchmark_group("fig7_agg_ord");
+    group.sample_size(10);
+    for q in queries.iter().filter(|q| q.class == QueryClass::AggOrd) {
+        group.bench_function(format!("{}_fdb", q.name), |b| {
+            b.iter(|| env.run_fdb_flat(&q.task))
+        });
+        group.bench_function(format!("{}_rdb_hash", q.name), |b| {
+            b.iter(|| env.run_rdb(&q.task, GroupStrategy::Hash, PlanMode::Naive))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 8: ORD queries with and without LIMIT 10.
+fn ord_queries(c: &mut Criterion) {
+    let mut env = env_at(1);
+    let attrs = env.attrs;
+    let queries = paper_queries(&mut env.fdb.catalog, &attrs);
+    env.rdb_sort.catalog = env.fdb.catalog.clone();
+    env.rdb_hash.catalog = env.fdb.catalog.clone();
+    let mut group = c.benchmark_group("fig8_ord");
+    group.sample_size(10);
+    for q in queries.iter().filter(|q| q.class == QueryClass::Ord) {
+        for (suffix, limit) in [("", None), ("_lim10", Some(10usize))] {
+            let mut task = q.task.clone();
+            task.limit = limit;
+            group.bench_function(format!("{}{}_fdb", q.name, suffix), |b| {
+                b.iter(|| env.run_fdb_flat(&task))
+            });
+            let keys = task.order_by.clone();
+            let input = q.input;
+            group.bench_function(format!("{}{}_rdb", q.name, suffix), |b| {
+                b.iter(|| env.run_rdb_ord(input, &keys, limit))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    agg_on_view,
+    agg_on_flat_input,
+    agg_ord_on_view,
+    ord_queries
+);
+criterion_main!(figures);

@@ -1,0 +1,109 @@
+//! Operator micro-benchmarks: the primitives whose linear-time behaviour
+//! the paper's complexity claims rest on.
+//!
+//! * recursive aggregation (`count`/`sum`) over a factorised view — §3.2
+//!   says linear in the factorisation size;
+//! * the swap operator — partial restructuring cost;
+//! * constant-delay enumeration — per-tuple cost independent of data size;
+//! * constant selection with pruning.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fdb_core::enumerate::{EnumSpec, TupleIter};
+use fdb_core::ftree::AggOp;
+use fdb_core::ops;
+use fdb_relational::{CmpOp, Value};
+use fdb_workload::orders::{generate, OrdersConfig};
+use fdb_relational::Catalog;
+
+fn micro(c: &mut Criterion) {
+    let mut catalog = Catalog::new();
+    let ds = generate(
+        &mut catalog,
+        &OrdersConfig {
+            scale: 1,
+            customers: 50,
+            seed: 0xFDB,
+        },
+    );
+    let a = ds.attrs;
+    let rep = ds.factorised_view();
+    let singletons = rep.singleton_count();
+
+    let mut group = c.benchmark_group("micro");
+    group.sample_size(20);
+
+    group.bench_function(format!("count_over_{singletons}_singletons"), |b| {
+        b.iter(|| {
+            let unions: Vec<&fdb_core::Union> = rep.roots().iter().collect();
+            fdb_core::agg::eval_op(rep.ftree(), &unions, &AggOp::Count).unwrap()
+        })
+    });
+
+    group.bench_function(format!("sum_over_{singletons}_singletons"), |b| {
+        b.iter(|| {
+            let unions: Vec<&fdb_core::Union> = rep.roots().iter().collect();
+            fdb_core::agg::eval_op(rep.ftree(), &unions, &AggOp::Sum(a.price)).unwrap()
+        })
+    });
+
+    group.bench_function("swap_package_date", |b| {
+        let root = rep.ftree().roots()[0];
+        let date_node = rep.ftree().node(root).children[0];
+        b.iter_batched(
+            || rep.clone(),
+            |r| ops::swap(r, root, date_node).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("enumerate_all_tuples", |b| {
+        b.iter(|| {
+            let spec = EnumSpec::all_preorder(rep.ftree());
+            let mut it = TupleIter::new(&rep, &spec).unwrap();
+            let mut n = 0usize;
+            while it.next_row().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+
+    group.bench_function("enumerate_first_100", |b| {
+        b.iter(|| {
+            let spec = EnumSpec::all_preorder(rep.ftree());
+            let mut it = TupleIter::new(&rep, &spec).unwrap();
+            let mut n = 0usize;
+            while n < 100 && it.next_row().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+
+    group.bench_function("select_price_le_10", |b| {
+        b.iter_batched(
+            || rep.clone(),
+            |r| ops::select_const(r, a.price, CmpOp::Le, &Value::Int(10)).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("aggregate_items_subtree", |b| {
+        let item_node = rep.ftree().node_of_attr(a.item).unwrap();
+        let mut freshen = catalog.clone();
+        let out = freshen.fresh("bench_sum");
+        b.iter_batched(
+            || rep.clone(),
+            |r| {
+                let target = ops::AggTarget::subtree(r.ftree(), item_node);
+                ops::aggregate(r, &target, vec![AggOp::Sum(a.price)], vec![out]).unwrap()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(micro_benches, micro);
+criterion_main!(micro_benches);

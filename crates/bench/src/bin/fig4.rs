@@ -1,0 +1,52 @@
+//! Figure 4 — the effect of dataset scale on performance (Experiment 1).
+//!
+//! Runs the AGG queries Q2 and Q3 on the materialised view `R1` at scales
+//! 1, 2, 4, … and prints one row per (scale, query, engine):
+//! FDB (factorised view, flat output) vs the sort-based and hash-based
+//! relational baselines (standing in for SQLite and PostgreSQL — see
+//! DESIGN.md §3.4). The performance gap must widen with scale, tracking
+//! the succinctness gap between the representations.
+//!
+//! `cargo run --release -p fdb-bench --bin fig4 -- --max-scale 8`
+
+use fdb_bench::{median_secs, paper_queries, print_row, Args, BenchSetup};
+use fdb_relational::engine::PlanMode;
+use fdb_relational::GroupStrategy;
+use fdb_workload::orders::OrdersConfig;
+
+fn main() {
+    let args = Args::parse(1, 4);
+    println!("# Figure 4: wall-clock time vs database scale for Q2 and Q3");
+    println!("# engines: FDB (factorised view) | RDB sort (SQLite-like) | RDB hash (PSQL-like)");
+    for scale in args.sweep() {
+        let mut env = BenchSetup {
+            config: OrdersConfig {
+                scale,
+                customers: args.customers,
+                seed: 0xFDB,
+            },
+            materialise_flat: true,
+        }
+        .build();
+        println!(
+            "# scale {scale}: flat view {} tuples, factorised view {} singletons",
+            env.flat_tuples, env.view_singletons
+        );
+        let attrs = env.attrs;
+        let queries = paper_queries(&mut env.fdb.catalog, &attrs);
+        env.rdb_sort.catalog = env.fdb.catalog.clone();
+        env.rdb_hash.catalog = env.fdb.catalog.clone();
+        for q in queries.iter().filter(|q| q.name == "Q2" || q.name == "Q3") {
+            let (n, t) = median_secs(args.repeats, || env.run_fdb_flat(&q.task));
+            print_row("4", scale, q.name, "FDB", t, &format!("rows={n}"));
+            let (n, t) = median_secs(args.repeats, || {
+                env.run_rdb(&q.task, GroupStrategy::Sort, PlanMode::Naive)
+            });
+            print_row("4", scale, q.name, "RDB sort", t, &format!("rows={n}"));
+            let (n, t) = median_secs(args.repeats, || {
+                env.run_rdb(&q.task, GroupStrategy::Hash, PlanMode::Naive)
+            });
+            print_row("4", scale, q.name, "RDB hash", t, &format!("rows={n}"));
+        }
+    }
+}

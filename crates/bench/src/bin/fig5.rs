@@ -1,0 +1,51 @@
+//! Figure 5 — all AGG queries on the (factorised) materialised view at a
+//! fixed scale (Experiment 1).
+//!
+//! Q1–Q5 with four engine flavours: `FDB f/o` (factorised output — for Q1
+//! the win over flat output is the enumeration cost of the large result),
+//! `FDB` (flat output, like the relational engines), and the two
+//! relational baselines.
+//!
+//! `cargo run --release -p fdb-bench --bin fig5 -- --scale 8`
+
+use fdb_bench::{median_secs, paper_queries, print_row, Args, BenchSetup, QueryClass};
+use fdb_relational::engine::PlanMode;
+use fdb_relational::GroupStrategy;
+use fdb_workload::orders::OrdersConfig;
+
+fn main() {
+    let args = Args::parse(4, 4);
+    let scale = args.scale;
+    println!("# Figure 5: AGG queries on the materialised view R1 at scale {scale}");
+    let mut env = BenchSetup {
+        config: OrdersConfig {
+            scale,
+            customers: args.customers,
+            seed: 0xFDB,
+        },
+        materialise_flat: true,
+    }
+    .build();
+    println!(
+        "# flat view {} tuples, factorised view {} singletons",
+        env.flat_tuples, env.view_singletons
+    );
+    let attrs = env.attrs;
+    let queries = paper_queries(&mut env.fdb.catalog, &attrs);
+    env.rdb_sort.catalog = env.fdb.catalog.clone();
+    env.rdb_hash.catalog = env.fdb.catalog.clone();
+    for q in queries.iter().filter(|q| q.class == QueryClass::Agg) {
+        let (n, t) = median_secs(args.repeats, || env.run_fdb_fo(&q.task));
+        print_row("5", scale, q.name, "FDB f/o", t, &format!("singletons={n}"));
+        let (n, t) = median_secs(args.repeats, || env.run_fdb_flat(&q.task));
+        print_row("5", scale, q.name, "FDB", t, &format!("rows={n}"));
+        let (n, t) = median_secs(args.repeats, || {
+            env.run_rdb(&q.task, GroupStrategy::Sort, PlanMode::Naive)
+        });
+        print_row("5", scale, q.name, "RDB sort", t, &format!("rows={n}"));
+        let (n, t) = median_secs(args.repeats, || {
+            env.run_rdb(&q.task, GroupStrategy::Hash, PlanMode::Naive)
+        });
+        print_row("5", scale, q.name, "RDB hash", t, &format!("rows={n}"));
+    }
+}

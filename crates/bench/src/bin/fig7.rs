@@ -1,0 +1,45 @@
+//! Figure 7 — AGG+ORD queries on the (factorised) materialised view
+//! (Experiment 3).
+//!
+//! Q6–Q9: ordering should add little to the aggregate's cost for FDB —
+//! Q6's order by customer is already realised by Q2's result structure,
+//! Q7 re-orders by the aggregation result via consolidation plus one swap,
+//! and Q8/Q9 are two different orders over Q3's result.
+//!
+//! `cargo run --release -p fdb-bench --bin fig7 -- --scale 8`
+
+use fdb_bench::{median_secs, paper_queries, print_row, Args, BenchSetup, QueryClass};
+use fdb_relational::engine::PlanMode;
+use fdb_relational::GroupStrategy;
+use fdb_workload::orders::OrdersConfig;
+
+fn main() {
+    let args = Args::parse(4, 4);
+    let scale = args.scale;
+    println!("# Figure 7: AGG+ORD queries on the materialised view R1 at scale {scale}");
+    let mut env = BenchSetup {
+        config: OrdersConfig {
+            scale,
+            customers: args.customers,
+            seed: 0xFDB,
+        },
+        materialise_flat: true,
+    }
+    .build();
+    let attrs = env.attrs;
+    let queries = paper_queries(&mut env.fdb.catalog, &attrs);
+    env.rdb_sort.catalog = env.fdb.catalog.clone();
+    env.rdb_hash.catalog = env.fdb.catalog.clone();
+    for q in queries.iter().filter(|q| q.class == QueryClass::AggOrd) {
+        let (n, t) = median_secs(args.repeats, || env.run_fdb_flat(&q.task));
+        print_row("7", scale, q.name, "FDB", t, &format!("rows={n}"));
+        let (n, t) = median_secs(args.repeats, || {
+            env.run_rdb(&q.task, GroupStrategy::Sort, PlanMode::Naive)
+        });
+        print_row("7", scale, q.name, "RDB sort", t, &format!("rows={n}"));
+        let (n, t) = median_secs(args.repeats, || {
+            env.run_rdb(&q.task, GroupStrategy::Hash, PlanMode::Naive)
+        });
+        print_row("7", scale, q.name, "RDB hash", t, &format!("rows={n}"));
+    }
+}

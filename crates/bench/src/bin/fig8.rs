@@ -1,0 +1,62 @@
+//! Figure 8 — ORD queries with and without LIMIT 10 (Experiment 4:
+//! partial sorting via restructuring of factorisations).
+//!
+//! Q10 asks for the stored order (no work for anyone); Q11 asks for a
+//! different order the f-tree *also* supports (FDB: nothing to do, the
+//! baselines re-sort from scratch); Q12 needs one swap for FDB; Q13
+//! re-sorts the Orders relation, where FDB swaps date and customer and
+//! keeps the package lists sorted. The `lim` variants return the first 10
+//! tuples: constant-delay enumeration makes them nearly free for FDB
+//! after restructuring, while the baselines still pay the full sort.
+//!
+//! `cargo run --release -p fdb-bench --bin fig8 -- --scale 8`
+
+use fdb_bench::{median_secs, paper_queries, print_row, Args, BenchSetup, QueryClass};
+use fdb_workload::orders::OrdersConfig;
+
+fn main() {
+    let args = Args::parse(4, 4);
+    let scale = args.scale;
+    println!("# Figure 8: ORD queries ± LIMIT 10 on materialised views at scale {scale}");
+    let mut env = BenchSetup {
+        config: OrdersConfig {
+            scale,
+            customers: args.customers,
+            seed: 0xFDB,
+        },
+        materialise_flat: true,
+    }
+    .build();
+    let attrs = env.attrs;
+    let queries = paper_queries(&mut env.fdb.catalog, &attrs);
+    env.rdb_sort.catalog = env.fdb.catalog.clone();
+    env.rdb_hash.catalog = env.fdb.catalog.clone();
+    for q in queries.iter().filter(|q| q.class == QueryClass::Ord) {
+        for limit in [None, Some(10usize)] {
+            let mut task = q.task.clone();
+            task.limit = limit;
+            let engine_suffix = if limit.is_some() { " lim" } else { "" };
+            let (n, t) = median_secs(args.repeats, || env.run_fdb_flat(&task));
+            print_row(
+                "8",
+                scale,
+                q.name,
+                &format!("FDB{engine_suffix}"),
+                t,
+                &format!("rows={n}"),
+            );
+            let keys = task.order_by.clone();
+            let input = q.input;
+            let (n, t) =
+                median_secs(args.repeats, || env.run_rdb_ord(input, &keys, limit));
+            print_row(
+                "8",
+                scale,
+                q.name,
+                &format!("RDB{engine_suffix}"),
+                t,
+                &format!("rows={n}"),
+            );
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Timing and output-format helpers shared by the figure binaries.
+
+use std::time::Instant;
+
+/// Wall-clock seconds of one invocation, plus its result.
+pub fn time_secs<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Median wall-clock seconds over `repeats` invocations (the figure
+/// binaries default to 3, like the paper's "time the last repetition"
+/// policy but robust to one-off noise). Returns the last result.
+pub fn median_secs<R>(repeats: usize, mut f: impl FnMut() -> R) -> (R, f64) {
+    assert!(repeats >= 1);
+    let mut times = Vec::with_capacity(repeats);
+    let mut last = None;
+    for _ in 0..repeats {
+        let (r, t) = time_secs(&mut f);
+        times.push(t);
+        last = Some(r);
+    }
+    times.sort_by(f64::total_cmp);
+    (last.expect("at least one repeat"), times[times.len() / 2])
+}
+
+/// One output row, greppable and gnuplot-friendly.
+pub fn print_row(figure: &str, scale: u32, query: &str, engine: &str, seconds: f64, note: &str) {
+    let note = if note.is_empty() {
+        String::new()
+    } else {
+        format!(" {note}")
+    };
+    println!(
+        "figure={figure} scale={scale} query={query} engine=\"{engine}\" seconds={seconds:.6}{note}"
+    );
+}
+
+/// Parses `--scale N`, `--max-scale N`, `--repeats N`, `--customers N`
+/// from argv with defaults; unknown flags abort with usage.
+pub struct Args {
+    pub scale: u32,
+    pub max_scale: u32,
+    pub repeats: usize,
+    pub customers: u32,
+}
+
+impl Args {
+    pub fn parse(default_scale: u32, default_max: u32) -> Args {
+        let mut args = Args {
+            scale: default_scale,
+            max_scale: default_max,
+            repeats: 3,
+            customers: 100,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let need_value = |i: usize| {
+                argv.get(i + 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("missing value for {}", argv[i]);
+                        std::process::exit(2);
+                    })
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| {
+                        eprintln!("bad value for {}", argv[i]);
+                        std::process::exit(2);
+                    })
+            };
+            match argv[i].as_str() {
+                "--scale" => {
+                    args.scale = need_value(i) as u32;
+                    i += 2;
+                }
+                "--max-scale" => {
+                    args.max_scale = need_value(i) as u32;
+                    i += 2;
+                }
+                "--repeats" => {
+                    args.repeats = need_value(i) as usize;
+                    i += 2;
+                }
+                "--customers" => {
+                    args.customers = need_value(i) as u32;
+                    i += 2;
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: [--scale N] [--max-scale N] [--repeats N] [--customers N]"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag `{other}`; see --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+
+    /// The scale sweep 1, 2, 4, … up to `max_scale`.
+    pub fn sweep(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut s = 1;
+        while s <= self.max_scale {
+            out.push(s);
+            s *= 2;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_repeats() {
+        let mut n = 0;
+        let (r, t) = median_secs(3, || {
+            n += 1;
+            n
+        });
+        assert_eq!(r, 3);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn time_secs_returns_result() {
+        let (v, t) = time_secs(|| 40 + 2);
+        assert_eq!(v, 42);
+        assert!(t >= 0.0);
+    }
+}

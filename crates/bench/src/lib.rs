@@ -1,0 +1,24 @@
+//! # fdb-bench — harness regenerating the paper's evaluation (§6)
+//!
+//! Everything the figure binaries and Criterion benches share:
+//!
+//! * [`queries`] — the thirteen queries of Figure 3 (AGG: Q1–Q5, AGG+ORD:
+//!   Q6–Q9, ORD: Q10–Q13) as engine-neutral tasks;
+//! * [`setup`] — paired engine construction over the scalable Orders/
+//!   Packages/Items dataset: the factorised view `R1` for FDB, the
+//!   materialised flat views `R1`/`R2`/`R3` for the relational baselines;
+//! * [`harness`] — timing and the row format shared by every figure
+//!   binary (`figure=<n> scale=<s> query=<q> engine=<e> seconds=<t>`).
+//!
+//! Engine naming follows the paper: `FDB` (flat output), `FDB f/o`
+//! (factorised output), `RDB sort` (SQLite-like sort-based grouping),
+//! `RDB hash` (PostgreSQL-like hash grouping), with `man` marking eager-
+//! aggregation plans (Figure 6).
+
+pub mod harness;
+pub mod queries;
+pub mod setup;
+
+pub use harness::{median_secs, print_row, time_secs, Args};
+pub use queries::{paper_queries, PaperQuery, QueryClass};
+pub use setup::{BenchEnv, BenchSetup};

@@ -1,0 +1,636 @@
+//! Recursive aggregation on factorised data — §3.2 of the paper.
+//!
+//! The evaluators run in time linear in the *factorisation* size, even
+//! though the represented relation can be exponentially larger: a count
+//! over a union is the sum of its entries' counts, over a product the
+//! product of the factors' counts. Aggregate singletons carry their special
+//! semantics (§3.1): `⟨count(X):c⟩` counts as `c`, `⟨sumA(X):s⟩` sums as
+//! `s`; compositions outside Proposition 2 — e.g. a `count` over a `sum`
+//! singleton, whose cardinality is unrecoverable — are reported as
+//! [`FdbError::InvalidComposition`].
+
+use crate::error::{FdbError, Result};
+use crate::frep::Union;
+use crate::ftree::{AggLabel, AggOp, FTree, NodeId, NodeLabel};
+use fdb_relational::{Number, Value};
+
+/// True if the subtree rooted at `node` can feed the aggregation `op`:
+/// it exposes the aggregated attribute atomically, or holds a compatible
+/// partial-aggregate component (e.g. `sum(a)` feeding a later `sum(a)`).
+pub fn subtree_provides(ftree: &FTree, node: NodeId, op: &AggOp) -> bool {
+    match op.attr() {
+        None => true,
+        Some(attr) => ftree.subtree_nodes(node).iter().any(|&n| {
+            match &ftree.node(n).label {
+                NodeLabel::Atomic(attrs) => attrs.contains(&attr),
+                NodeLabel::Agg(l) => l.component_of(op).is_some(),
+            }
+        }),
+    }
+}
+
+/// Tuple multiplicity of one entry: how many tuples of the represented
+/// relation one singleton stands for, *excluding* its children.
+fn entry_multiplicity(label: &NodeLabel, value: &Value) -> Result<i64> {
+    match label {
+        NodeLabel::Atomic(_) => Ok(1),
+        NodeLabel::Agg(l) => match l.count_component() {
+            Some(i) => Ok(component(l, value, i)
+                .as_int()
+                .expect("count component is integral")),
+            None => Err(FdbError::InvalidComposition(format!(
+                "cardinality of an aggregate singleton without a count \
+                 component ({:?}) is unrecoverable",
+                l.funcs
+            ))),
+        },
+    }
+}
+
+/// Reads component `i` of a (possibly composite) aggregate value.
+fn component(label: &AggLabel, value: &Value, i: usize) -> Value {
+    if label.arity() == 1 {
+        value.clone()
+    } else {
+        value.as_tup().expect("composite aggregate holds a Tup")[i].clone()
+    }
+}
+
+/// `count(E)` — cardinality of the relation represented by union `u`.
+pub fn count_union(ftree: &FTree, u: &Union) -> Result<i64> {
+    let label = &ftree.node(u.node).label;
+    let mut total: i64 = 0;
+    for e in &u.entries {
+        let mut prod = entry_multiplicity(label, &e.value)?;
+        for c in &e.children {
+            prod = prod.wrapping_mul(count_union(ftree, c)?);
+        }
+        total = total.wrapping_add(prod);
+    }
+    Ok(total)
+}
+
+/// `sumA(E)` over union `u`, which must provide `A`.
+pub fn sum_union(ftree: &FTree, u: &Union, op: &AggOp) -> Result<Number> {
+    let attr = op.attr().expect("sum has an attribute");
+    let label = &ftree.node(u.node).label;
+    let node_provides = match label {
+        NodeLabel::Atomic(attrs) => attrs.contains(&attr),
+        NodeLabel::Agg(l) => l.component_of(op).is_some(),
+    };
+    let mut total = Number::ZERO;
+    if node_provides {
+        for e in &u.entries {
+            let v = match label {
+                NodeLabel::Atomic(_) => e.value.clone(),
+                NodeLabel::Agg(l) => component(l, &e.value, l.component_of(op).unwrap()),
+            };
+            let n = v.as_number().ok_or_else(|| {
+                FdbError::NonNumeric(format!("sum over non-numeric value {v}"))
+            })?;
+            let mut mult: i64 = 1;
+            for c in &e.children {
+                mult = mult.wrapping_mul(count_union(ftree, c)?);
+            }
+            total = total.add(n.mul(Number::Int(mult)));
+        }
+        return Ok(total);
+    }
+    // Exactly one child subtree provides A (attributes partition the
+    // schema); the others contribute their cardinalities.
+    let children = &ftree.node(u.node).children;
+    let j = children
+        .iter()
+        .position(|&c| subtree_provides(ftree, c, op))
+        .ok_or_else(|| {
+            FdbError::InvalidComposition(format!(
+                "no subtree provides {op:?}; a prior aggregate hid the attribute"
+            ))
+        })?;
+    for e in &u.entries {
+        let mut mult = entry_multiplicity(label, &e.value)?;
+        for (k, c) in e.children.iter().enumerate() {
+            if k != j {
+                mult = mult.wrapping_mul(count_union(ftree, c)?);
+            }
+        }
+        let s = sum_union(ftree, &e.children[j], op)?;
+        total = total.add(s.mul(Number::Int(mult)));
+    }
+    Ok(total)
+}
+
+/// `minA(E)` / `maxA(E)` over union `u`, which must provide `A`.
+pub fn extremum_union(ftree: &FTree, u: &Union, op: &AggOp) -> Result<Value> {
+    let is_min = matches!(op, AggOp::Min(_));
+    let attr = op.attr().expect("min/max has an attribute");
+    let label = &ftree.node(u.node).label;
+    match label {
+        NodeLabel::Atomic(attrs) if attrs.contains(&attr) => {
+            // Entries are sorted ascending: the extremum is at an end.
+            let e = if is_min {
+                u.entries.first()
+            } else {
+                u.entries.last()
+            };
+            e.map(|e| e.value.clone()).ok_or_else(|| {
+                FdbError::InvalidOperator("extremum of an empty union".into())
+            })
+        }
+        NodeLabel::Agg(l) if l.component_of(op).is_some() => {
+            let i = l.component_of(op).unwrap();
+            let mut best: Option<Value> = None;
+            for e in &u.entries {
+                let v = component(l, &e.value, i);
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        if is_min {
+                            v < *b
+                        } else {
+                            v > *b
+                        }
+                    }
+                };
+                if better {
+                    best = Some(v);
+                }
+            }
+            best.ok_or_else(|| FdbError::InvalidOperator("extremum of an empty union".into()))
+        }
+        _ => {
+            let children = &ftree.node(u.node).children;
+            let j = children
+                .iter()
+                .position(|&c| subtree_provides(ftree, c, op))
+                .ok_or_else(|| {
+                    FdbError::InvalidComposition(format!(
+                        "no subtree provides {op:?}; a prior aggregate hid the attribute"
+                    ))
+                })?;
+            let mut best: Option<Value> = None;
+            for e in &u.entries {
+                let v = extremum_union(ftree, &e.children[j], op)?;
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        if is_min {
+                            v < *b
+                        } else {
+                            v > *b
+                        }
+                    }
+                };
+                if better {
+                    best = Some(v);
+                }
+            }
+            best.ok_or_else(|| FdbError::InvalidOperator("extremum of an empty union".into()))
+        }
+    }
+}
+
+/// Evaluates one aggregation function over a *product* of sibling unions
+/// (the expression an aggregation operator replaces, §3.2).
+pub fn eval_op(ftree: &FTree, unions: &[&Union], op: &AggOp) -> Result<Value> {
+    match op {
+        AggOp::Count => {
+            let mut prod: i64 = 1;
+            for u in unions {
+                prod = prod.wrapping_mul(count_union(ftree, u)?);
+            }
+            Ok(Value::Int(prod))
+        }
+        AggOp::Sum(_) => {
+            let j = unions
+                .iter()
+                .position(|u| subtree_provides(ftree, u.node, op))
+                .ok_or_else(|| {
+                    FdbError::InvalidComposition(format!("no factor provides {op:?}"))
+                })?;
+            let mut total = sum_union(ftree, unions[j], op)?;
+            for (k, u) in unions.iter().enumerate() {
+                if k != j {
+                    total = total.mul(Number::Int(count_union(ftree, u)?));
+                }
+            }
+            Ok(total.into_value())
+        }
+        AggOp::Min(_) | AggOp::Max(_) => {
+            let j = unions
+                .iter()
+                .position(|u| subtree_provides(ftree, u.node, op))
+                .ok_or_else(|| {
+                    FdbError::InvalidComposition(format!("no factor provides {op:?}"))
+                })?;
+            extremum_union(ftree, unions[j], op)
+        }
+    }
+}
+
+/// Evaluates a composite function `(F1,…,Fk)` over a product of unions,
+/// returning a scalar when `k = 1` and a `Tup` otherwise (§3.2.4).
+pub fn eval_funcs(ftree: &FTree, unions: &[&Union], funcs: &[AggOp]) -> Result<Value> {
+    let mut vals = Vec::with_capacity(funcs.len());
+    for f in funcs {
+        vals.push(eval_op(ftree, unions, f)?);
+    }
+    Ok(if vals.len() == 1 {
+        vals.pop().unwrap()
+    } else {
+        Value::tup(vals)
+    })
+}
+
+/// Derives the *partial* aggregation functions for `γ` over `targets` when
+/// the query's final functions are `final_funcs` (Prop. 2): `sumA`
+/// decomposes into `sumA` where `A` is available and `count` elsewhere;
+/// `count` into `count`s; `min`/`max` into `min`/`max` where available and
+/// `count` elsewhere (the counts are ignored by the final extremum but keep
+/// the factorisation reducible). Duplicates are evaluated once (§3.2.4).
+pub fn partial_funcs(ftree: &FTree, targets: &[NodeId], final_funcs: &[AggOp]) -> Vec<AggOp> {
+    let mut out: Vec<AggOp> = Vec::new();
+    for f in final_funcs {
+        let partial = match f {
+            AggOp::Count => AggOp::Count,
+            AggOp::Sum(_) | AggOp::Min(_) | AggOp::Max(_) => {
+                if targets.iter().any(|&t| subtree_provides(ftree, t, f)) {
+                    *f
+                } else {
+                    AggOp::Count
+                }
+            }
+        };
+        if !out.contains(&partial) {
+            out.push(partial);
+        }
+    }
+    out
+}
+
+/// Combines the values of several partial-aggregate leaves into the final
+/// aggregate for one group (the enumeration-time combination of §5: "the
+/// value of the final aggregate is the product (or min or max) of these
+/// values").
+pub fn combine_partials(final_op: &AggOp, leaves: &[(&AggLabel, &Value)]) -> Result<Value> {
+    match final_op {
+        AggOp::Count => {
+            let mut prod: i64 = 1;
+            for (l, v) in leaves {
+                let i = l.count_component().ok_or_else(|| {
+                    FdbError::InvalidComposition(
+                        "count combination needs a count component in every leaf".into(),
+                    )
+                })?;
+                prod = prod.wrapping_mul(
+                    component(l, v, i).as_int().expect("integral count"),
+                );
+            }
+            Ok(Value::Int(prod))
+        }
+        AggOp::Sum(_) => {
+            let mut total: Option<Number> = None;
+            let mut mult: i64 = 1;
+            for (l, v) in leaves {
+                if let Some(i) = l.component_of(final_op) {
+                    let n = component(l, v, i)
+                        .as_number()
+                        .ok_or_else(|| FdbError::NonNumeric("sum component".into()))?;
+                    if total.is_some() {
+                        return Err(FdbError::InvalidComposition(
+                            "two leaves carry the same sum component".into(),
+                        ));
+                    }
+                    total = Some(n);
+                } else {
+                    let i = l.count_component().ok_or_else(|| {
+                        FdbError::InvalidComposition(
+                            "sum combination needs counts in the other leaves".into(),
+                        )
+                    })?;
+                    mult = mult
+                        .wrapping_mul(component(l, v, i).as_int().expect("integral count"));
+                }
+            }
+            let total = total.ok_or_else(|| {
+                FdbError::InvalidComposition("no leaf carries the sum component".into())
+            })?;
+            Ok(total.mul(Number::Int(mult)).into_value())
+        }
+        AggOp::Min(_) | AggOp::Max(_) => {
+            for (l, v) in leaves {
+                if let Some(i) = l.component_of(final_op) {
+                    return Ok(component(l, v, i));
+                }
+            }
+            Err(FdbError::InvalidComposition(
+                "no leaf carries the extremum component".into(),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frep::FRep;
+    use fdb_relational::{Catalog, Relation, Schema};
+
+    /// The Items relation of Figure 1 as a path factorisation.
+    fn items_rep() -> (Catalog, FRep) {
+        let mut c = Catalog::new();
+        let item = c.intern("item");
+        let price = c.intern("price");
+        let rel = Relation::from_rows(
+            Schema::new(vec![item, price]),
+            [("base", 6), ("ham", 1), ("mushrooms", 1), ("pineapple", 2)]
+                .into_iter()
+                .map(|(i, p)| vec![Value::str(i), Value::Int(p)]),
+        );
+        let rep = FRep::from_relation(&rel, FTree::path(&[item, price])).unwrap();
+        (c, rep)
+    }
+
+    #[test]
+    fn count_over_trie() {
+        let (_, rep) = items_rep();
+        let n = count_union(rep.ftree(), &rep.roots()[0]).unwrap();
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn sum_over_trie() {
+        let (c, rep) = items_rep();
+        let price = c.lookup("price").unwrap();
+        let s = sum_union(rep.ftree(), &rep.roots()[0], &AggOp::Sum(price)).unwrap();
+        assert_eq!(s.into_value(), Value::Int(10));
+    }
+
+    #[test]
+    fn min_max_over_trie() {
+        let (c, rep) = items_rep();
+        let price = c.lookup("price").unwrap();
+        let mn = extremum_union(rep.ftree(), &rep.roots()[0], &AggOp::Min(price)).unwrap();
+        let mx = extremum_union(rep.ftree(), &rep.roots()[0], &AggOp::Max(price)).unwrap();
+        assert_eq!(mn, Value::Int(1));
+        assert_eq!(mx, Value::Int(6));
+    }
+
+    #[test]
+    fn count_of_product_multiplies() {
+        // (A ∪ A) × (B ∪ B ∪ B): 2 × 3 = 6 (Example 3's factorisation E2).
+        let mut c = Catalog::new();
+        let a = c.intern("A");
+        let b = c.intern("B");
+        let rel = Relation::from_rows(
+            Schema::new(vec![a, b]),
+            (1..=2)
+                .flat_map(|x| (1..=3).map(move |y| vec![Value::Int(x), Value::Int(y)])),
+        );
+        let mut t = FTree::new();
+        t.add_node(NodeLabel::Atomic(vec![a]), None);
+        t.add_node(NodeLabel::Atomic(vec![b]), None);
+        let rep = FRep::from_relation(&rel, t).unwrap();
+        let unions: Vec<&Union> = rep.roots().iter().collect();
+        assert_eq!(
+            eval_op(rep.ftree(), &unions, &AggOp::Count).unwrap(),
+            Value::Int(6)
+        );
+        // Σ B over the product: (1+2+3) × |A| = 12.
+        assert_eq!(
+            eval_op(rep.ftree(), &unions, &AggOp::Sum(b)).unwrap(),
+            Value::Int(12)
+        );
+        // min A ignores the B factor entirely.
+        assert_eq!(
+            eval_op(rep.ftree(), &unions, &AggOp::Min(a)).unwrap(),
+            Value::Int(1)
+        );
+    }
+
+    /// Builds the Example 8 factorisation over T4 by hand:
+    /// customer → pizza → {count(date), sum(price)(item,price)}.
+    fn example8() -> (Catalog, FRep) {
+        use crate::frep::{Entry, Union};
+        let mut c = Catalog::new();
+        let customer = c.intern("customer");
+        let pizza = c.intern("pizza");
+        let date = c.intern("date");
+        let item = c.intern("item");
+        let price = c.intern("price");
+        let cnt_out = c.intern("countdate");
+        let sum_out = c.intern("sumprice");
+        let mut t = FTree::new();
+        let n_cust = t.add_node(NodeLabel::Atomic(vec![customer]), None);
+        let n_pizza = t.add_node(NodeLabel::Atomic(vec![pizza]), Some(n_cust));
+        let n_cnt = t.add_node(
+            NodeLabel::Agg(AggLabel {
+                funcs: vec![AggOp::Count],
+                over: [date].into_iter().collect(),
+                outputs: vec![cnt_out],
+            }),
+            Some(n_pizza),
+        );
+        let n_sum = t.add_node(
+            NodeLabel::Agg(AggLabel {
+                funcs: vec![AggOp::Sum(price)],
+                over: [item, price].into_iter().collect(),
+                outputs: vec![sum_out],
+            }),
+            Some(n_pizza),
+        );
+        let leaf = |node: NodeId, v: i64| Union {
+            node,
+            entries: vec![Entry {
+                value: Value::Int(v),
+                children: vec![],
+            }],
+        };
+        let pizza_entry = |name: &str, cnt: i64, sum: i64| Entry {
+            value: Value::str(name),
+            children: vec![leaf(n_cnt, cnt), leaf(n_sum, sum)],
+        };
+        let cust_entry = |name: &str, pizzas: Vec<Entry>| Entry {
+            value: Value::str(name),
+            children: vec![Union {
+                node: n_pizza,
+                entries: pizzas,
+            }],
+        };
+        let root = Union {
+            node: n_cust,
+            entries: vec![
+                cust_entry("Lucia", vec![pizza_entry("Hawaii", 1, 9)]),
+                cust_entry(
+                    "Mario",
+                    vec![
+                        pizza_entry("Capricciosa", 2, 8),
+                        pizza_entry("Margherita", 1, 6),
+                    ],
+                ),
+                cust_entry("Pietro", vec![pizza_entry("Hawaii", 1, 9)]),
+            ],
+        };
+        let rep = FRep::from_parts(t, vec![root]);
+        rep.check_invariants().unwrap();
+        (c, rep)
+    }
+
+    #[test]
+    fn example8_sum_price_per_customer() {
+        // γ_{sumprice(U)} with U the subtree rooted at pizza: Lucia 9,
+        // Mario 2·8 + 1·6 = 22, Pietro 9 (the paper's Example 8).
+        let (c, rep) = example8();
+        let price = c.lookup("price").unwrap();
+        let op = AggOp::Sum(price);
+        let root = &rep.roots()[0];
+        let per_customer: Vec<(String, Value)> = root
+            .entries
+            .iter()
+            .map(|e| {
+                let unions: Vec<&Union> = e.children.iter().collect();
+                (
+                    e.value.as_str().unwrap().to_string(),
+                    eval_op(rep.ftree(), &unions, &op).unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            per_customer,
+            vec![
+                ("Lucia".to_string(), Value::Int(9)),
+                ("Mario".to_string(), Value::Int(22)),
+                ("Pietro".to_string(), Value::Int(9)),
+            ]
+        );
+    }
+
+    #[test]
+    fn example6_count_reinterprets_aggregate_singletons() {
+        // count over {Margherita×⟨count:1⟩ ∪ Capricciosa×⟨count:3⟩ ∪
+        // Hawaii×⟨count:3⟩} must be 7, not 3 (Example 6).
+        use crate::frep::{Entry, Union};
+        let mut c = Catalog::new();
+        let pizza = c.intern("pizza");
+        let item = c.intern("item");
+        let cnt_out = c.intern("count(item)");
+        let mut t = FTree::new();
+        let n_pizza = t.add_node(NodeLabel::Atomic(vec![pizza]), None);
+        let n_cnt = t.add_node(
+            NodeLabel::Agg(AggLabel {
+                funcs: vec![AggOp::Count],
+                over: [item].into_iter().collect(),
+                outputs: vec![cnt_out],
+            }),
+            Some(n_pizza),
+        );
+        let entry = |name: &str, n: i64| Entry {
+            value: Value::str(name),
+            children: vec![Union {
+                node: n_cnt,
+                entries: vec![Entry {
+                    value: Value::Int(n),
+                    children: vec![],
+                }],
+            }],
+        };
+        let root = Union {
+            node: n_pizza,
+            entries: vec![
+                entry("Capricciosa", 3),
+                entry("Hawaii", 3),
+                entry("Margherita", 1),
+            ],
+        };
+        assert_eq!(count_union(&t, &root).unwrap(), 7);
+    }
+
+    #[test]
+    fn count_over_sum_singleton_is_invalid() {
+        let (c, rep) = example8();
+        // Counting the subtree that contains the sum-only aggregate leaf
+        // is fine here because the count(date) leaf provides multiplicity;
+        // but counting the sum leaf alone must fail.
+        let _ = c;
+        let root = &rep.roots()[0];
+        let sum_leaf = &root.entries[0].children[0].entries[0].children[1];
+        let err = count_union(rep.ftree(), sum_leaf);
+        assert!(matches!(err, Err(FdbError::InvalidComposition(_))));
+    }
+
+    #[test]
+    fn composite_functions_share_evaluation() {
+        let (c, rep) = items_rep();
+        let price = c.lookup("price").unwrap();
+        let unions: Vec<&Union> = rep.roots().iter().collect();
+        let v = eval_funcs(
+            rep.ftree(),
+            &unions,
+            &[AggOp::Sum(price), AggOp::Count],
+        )
+        .unwrap();
+        assert_eq!(v, Value::tup(vec![Value::Int(10), Value::Int(4)]));
+    }
+
+    #[test]
+    fn partial_funcs_follow_prop2() {
+        let (c, rep) = items_rep();
+        let price = c.lookup("price").unwrap();
+        let root = rep.ftree().roots()[0];
+        // Aggregating the item subtree for a final sum(price): the subtree
+        // provides price, so the partial is sum(price).
+        assert_eq!(
+            partial_funcs(rep.ftree(), &[root], &[AggOp::Sum(price)]),
+            vec![AggOp::Sum(price)]
+        );
+        // For a subtree that does not provide the attribute, the partial
+        // degrades to count.
+        let other = AttrIdOutside::attr();
+        assert_eq!(
+            partial_funcs(rep.ftree(), &[root], &[AggOp::Sum(other)]),
+            vec![AggOp::Count]
+        );
+        // avg = (sum, count): count deduplicates.
+        assert_eq!(
+            partial_funcs(rep.ftree(), &[root], &[AggOp::Sum(other), AggOp::Count]),
+            vec![AggOp::Count]
+        );
+    }
+
+    struct AttrIdOutside;
+    impl AttrIdOutside {
+        fn attr() -> fdb_relational::AttrId {
+            fdb_relational::AttrId(999)
+        }
+    }
+
+    #[test]
+    fn combine_partials_products_and_extrema() {
+        let price = fdb_relational::AttrId(1);
+        let sum_label = AggLabel {
+            funcs: vec![AggOp::Sum(price)],
+            over: [price].into_iter().collect(),
+            outputs: vec![fdb_relational::AttrId(10)],
+        };
+        let cnt_label = AggLabel {
+            funcs: vec![AggOp::Count],
+            over: [fdb_relational::AttrId(0)].into_iter().collect(),
+            outputs: vec![fdb_relational::AttrId(11)],
+        };
+        let s = Value::Int(8);
+        let n = Value::Int(2);
+        // sum × count = 16 (revenue for Mario's Capricciosa, Example 1).
+        let combined = combine_partials(
+            &AggOp::Sum(price),
+            &[(&sum_label, &s), (&cnt_label, &n)],
+        )
+        .unwrap();
+        assert_eq!(combined, Value::Int(16));
+        // count over both leaves requires both to carry counts.
+        assert!(combine_partials(&AggOp::Count, &[(&sum_label, &s)]).is_err());
+        assert_eq!(
+            combine_partials(&AggOp::Count, &[(&cnt_label, &n)]).unwrap(),
+            Value::Int(2)
+        );
+    }
+}

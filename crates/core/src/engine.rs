@@ -1,0 +1,1127 @@
+//! The FDB query engine: plans and executes join-aggregate-order tasks on
+//! factorised data.
+//!
+//! The engine owns a catalog, registered **factorised views** (read-
+//! optimised inputs, the paper's main scenario) and **flat relations**
+//! (factorised on the fly as sorted tries). A [`JoinAggTask`] — the same
+//! logical task the relational baselines execute — runs through:
+//!
+//! 1. input assembly: per-relation tries, `product`, natural-join equality
+//!    selections (with attribute shadowing for name collisions);
+//! 2. optimisation: the greedy heuristic (default) or exhaustive Dijkstra
+//!    compiles the task into an f-plan of selections, swaps and partial
+//!    aggregation operators (§5);
+//! 3. execution of the f-plan on the factorisation;
+//! 4. output: either the result factorisation (`FDB f/o` in the
+//!    experiments) or tuple enumeration (`FDB`) — ordered with constant
+//!    delay when Theorems 1/2 apply, with `HAVING` filters and `LIMIT`
+//!    applied during enumeration.
+
+use crate::enumerate::{EnumSpec, GroupCursor, TupleIter};
+use crate::error::{FdbError, Result};
+use crate::frep::FRep;
+use crate::ftree::{AggOp, FTree};
+use crate::optim::{exhaustive, greedy, ExhaustiveConfig, QuerySpec, Stats};
+use fdb_relational::planner::JoinAggTask;
+use fdb_relational::{
+    AggFunc, AttrId, Catalog, Predicate, Relation, Schema, SortKey, Value,
+};
+use std::collections::HashMap;
+
+/// Plan search strategy.
+#[derive(Clone, Copy, Debug)]
+pub enum PlanStrategy {
+    /// §5.2 greedy heuristic (polynomial, the default).
+    Greedy,
+    /// §5.1 Dijkstra over the f-plan space; falls back to greedy when the
+    /// state budget is exhausted.
+    Exhaustive(ExhaustiveConfig),
+}
+
+/// Whether to reduce the aggregate to a single attribute (§5.2 step 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConsolidateMode {
+    /// Consolidate only when HAVING or ORDER BY needs the aggregate as a
+    /// named node (the scenario-3 optimisation otherwise).
+    Auto,
+    Always,
+    Never,
+}
+
+/// Options for [`FdbEngine::run`].
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    pub strategy: PlanStrategy,
+    pub consolidate: ConsolidateMode,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            strategy: PlanStrategy::Greedy,
+            consolidate: ConsolidateMode::Auto,
+        }
+    }
+}
+
+/// How one output column is produced from the enumerated raw columns.
+#[derive(Clone, Debug)]
+enum EmitCol {
+    /// Copy a raw attribute.
+    Raw(AttrId),
+    /// `num / den` as a float — finalises `avg = (sum, count)` (§3.2.4).
+    Div { num: AttrId, den: AttrId },
+}
+
+/// Result shape.
+#[derive(Clone, Debug)]
+enum ResultKind {
+    /// Select-project-join: enumerate and project.
+    Spj,
+    /// Aggregates consolidated into named nodes: enumerate directly.
+    AggConsolidated,
+    /// Aggregates left as partial leaves: walk groups, evaluate on the fly
+    /// (scenario 3 of the introduction).
+    AggGrouped {
+        group_attrs: Vec<AttrId>,
+        final_funcs: Vec<AggOp>,
+        func_outputs: Vec<AttrId>,
+    },
+}
+
+/// A query result: the factorisation plus everything needed to emit flat
+/// tuples (`FDB` mode) or keep it factorised (`FDB f/o` mode).
+#[derive(Clone, Debug)]
+pub struct FdbResult {
+    rep: FRep,
+    kind: ResultKind,
+    /// Final output columns, in declared order.
+    output_attrs: Vec<AttrId>,
+    emit: Vec<(EmitCol, AttrId)>,
+    order_by: Vec<SortKey>,
+    /// True when the factorisation's structure realises the order and the
+    /// enumeration can stream it with constant delay (Thm. 2).
+    order_in_tree: bool,
+    /// HAVING conjuncts evaluated per output row (those not already pushed
+    /// into the factorisation as selections).
+    row_filters: Vec<Predicate>,
+    limit: Option<usize>,
+    /// The executed f-plan (for EXPLAIN-style introspection).
+    plan: crate::plan::FPlan,
+}
+
+impl FdbResult {
+    /// The result factorisation (`FDB f/o`).
+    pub fn rep(&self) -> &FRep {
+        &self.rep
+    }
+
+    /// Size of the factorised result in singletons.
+    pub fn singleton_count(&self) -> usize {
+        self.rep.singleton_count()
+    }
+
+    /// Output schema (declared column order).
+    pub fn output_attrs(&self) -> &[AttrId] {
+        &self.output_attrs
+    }
+
+    /// True when ORDER BY is realised by the factorisation itself (no
+    /// sorting needed at enumeration).
+    pub fn order_supported_in_tree(&self) -> bool {
+        self.order_in_tree
+    }
+
+    /// The f-plan that produced this result.
+    pub fn plan(&self) -> &crate::plan::FPlan {
+        &self.plan
+    }
+
+    /// EXPLAIN-style rendering: the executed f-plan, the result f-tree,
+    /// the output mode, and how ordering/limits are realised.
+    pub fn explain(&self, catalog: &Catalog) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "f-plan ({} operator(s)):", self.plan.len());
+        out.push_str(&self.plan.display(catalog));
+        let _ = writeln!(out, "result f-tree:");
+        out.push_str(&self.rep.ftree().display(catalog));
+        let mode = match &self.kind {
+            ResultKind::Spj => "select-project-join (enumerate + project)".to_string(),
+            ResultKind::AggConsolidated => {
+                "aggregates consolidated into named nodes".to_string()
+            }
+            ResultKind::AggGrouped { final_funcs, .. } => format!(
+                "grouped: {} aggregate(s) evaluated on the fly per group",
+                final_funcs.len()
+            ),
+        };
+        let _ = writeln!(out, "output mode: {mode}");
+        let _ = writeln!(
+            out,
+            "ordering: {}",
+            if self.order_by.is_empty() {
+                "none".to_string()
+            } else if self.order_in_tree {
+                "realised by the factorisation (constant-delay streaming)".to_string()
+            } else {
+                "sorted after materialisation".to_string()
+            }
+        );
+        if let Some(k) = self.limit {
+            let _ = writeln!(out, "limit: {k}");
+        }
+        if !self.row_filters.is_empty() {
+            let _ = writeln!(out, "row filters: {}", self.row_filters.len());
+        }
+        out
+    }
+
+    /// Enumerates the result into a flat relation (`FDB` mode): ordered,
+    /// filtered and truncated per the query.
+    pub fn to_relation(&self) -> Result<Relation> {
+        let out_schema = Schema::new(self.output_attrs.clone());
+        let mut out = Relation::empty(out_schema.clone());
+        // When the tree realises the order, rows stream out sorted and
+        // LIMIT stops enumeration early; otherwise collect-sort-cut.
+        let streaming_limit = if self.order_in_tree { self.limit } else { None };
+        let push_row = |row: &[Value], out: &mut Relation| -> bool {
+            if self
+                .row_filters
+                .iter()
+                .all(|p| p.eval(&out_schema, row))
+            {
+                out.push_row(row);
+            }
+            match streaming_limit {
+                Some(k) => out.len() < k,
+                None => true,
+            }
+        };
+        match &self.kind {
+            ResultKind::Spj | ResultKind::AggConsolidated => {
+                let spec = if self.order_in_tree {
+                    EnumSpec::ordered(self.rep.ftree(), &self.order_by)?
+                } else {
+                    EnumSpec::all_preorder(self.rep.ftree())
+                };
+                let mut it = TupleIter::new(&self.rep, &spec)?;
+                let raw_attrs = self.raw_attrs();
+                let positions = it.positions(&raw_attrs)?;
+                let mut buf: Vec<Value> = Vec::with_capacity(self.emit.len());
+                while let Some(row) = it.next_row() {
+                    buf.clear();
+                    self.emit_row(row, &positions, &raw_attrs, &mut buf);
+                    if !push_row(&buf, &mut out) {
+                        break;
+                    }
+                }
+            }
+            ResultKind::AggGrouped {
+                group_attrs,
+                final_funcs,
+                func_outputs,
+            } => {
+                let spec = if self.order_in_tree {
+                    EnumSpec::group_prefix_ordered(
+                        self.rep.ftree(),
+                        group_attrs,
+                        &self.order_by,
+                    )?
+                } else {
+                    EnumSpec::group_prefix(self.rep.ftree(), group_attrs)?
+                };
+                let mut cur = GroupCursor::new(&self.rep, &spec)?;
+                let cur_schema = cur.schema();
+                // Raw values: group attrs (from cursor) + per-group
+                // aggregate evaluations.
+                let raw_attrs = self.raw_attrs();
+                let mut buf: Vec<Value> = Vec::with_capacity(self.emit.len());
+                while let Some((vals, dangling)) = cur.next_group() {
+                    let mut raw: HashMap<AttrId, Value> = HashMap::new();
+                    for (a, v) in cur_schema.iter().zip(vals) {
+                        raw.insert(*a, v.clone());
+                    }
+                    for (f, o) in final_funcs.iter().zip(func_outputs) {
+                        let v = crate::agg::eval_op(self.rep.ftree(), &dangling, f)?;
+                        raw.insert(*o, v);
+                    }
+                    buf.clear();
+                    for (col, _) in &self.emit {
+                        buf.push(compute_emit(col, &raw)?);
+                    }
+                    let _ = raw_attrs;
+                    if !push_row(&buf, &mut out) {
+                        break;
+                    }
+                }
+            }
+        }
+        if !self.order_in_tree && !self.order_by.is_empty() {
+            out.sort_by_keys(&self.order_by);
+        }
+        if let Some(k) = self.limit {
+            if out.len() > k {
+                out = fdb_relational::ops::limit(&out, k);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The raw tree attributes each emit column reads.
+    fn raw_attrs(&self) -> Vec<AttrId> {
+        let mut attrs = Vec::new();
+        for (col, _) in &self.emit {
+            match col {
+                EmitCol::Raw(a) => attrs.push(*a),
+                EmitCol::Div { num, den } => {
+                    attrs.push(*num);
+                    attrs.push(*den);
+                }
+            }
+        }
+        attrs.dedup();
+        attrs
+    }
+
+    fn emit_row(
+        &self,
+        row: &[Value],
+        positions: &[usize],
+        raw_attrs: &[AttrId],
+        buf: &mut Vec<Value>,
+    ) {
+        let lookup = |a: AttrId| -> &Value {
+            let i = raw_attrs.iter().position(|&x| x == a).expect("raw attr");
+            &row[positions[i]]
+        };
+        for (col, _) in &self.emit {
+            match col {
+                EmitCol::Raw(a) => buf.push(lookup(*a).clone()),
+                EmitCol::Div { num, den } => {
+                    let n = lookup(*num).as_number().expect("numeric sum").to_f64();
+                    let d = lookup(*den).as_number().expect("numeric count").to_f64();
+                    buf.push(Value::Float(n / d));
+                }
+            }
+        }
+    }
+}
+
+fn compute_emit(col: &EmitCol, raw: &HashMap<AttrId, Value>) -> Result<Value> {
+    match col {
+        EmitCol::Raw(a) => raw
+            .get(a)
+            .cloned()
+            .ok_or_else(|| FdbError::Unresolved(format!("output attribute {a} missing"))),
+        EmitCol::Div { num, den } => {
+            let n = raw[num].as_number().expect("numeric sum").to_f64();
+            let d = raw[den].as_number().expect("numeric count").to_f64();
+            Ok(Value::Float(n / d))
+        }
+    }
+}
+
+/// The FDB main-memory engine.
+#[derive(Clone, Debug, Default)]
+pub struct FdbEngine {
+    /// Attribute catalog shared with every registered input.
+    pub catalog: Catalog,
+    views: HashMap<String, (FRep, Stats)>,
+    relations: HashMap<String, Relation>,
+}
+
+impl FdbEngine {
+    pub fn new(catalog: Catalog) -> Self {
+        FdbEngine {
+            catalog,
+            views: HashMap::new(),
+            relations: HashMap::new(),
+        }
+    }
+
+    /// Registers a factorised view (a read-optimised materialised input).
+    pub fn register_view(&mut self, name: impl Into<String>, rep: FRep) {
+        let mut stats = Stats::new();
+        let size = rep.tuple_count();
+        for edge in rep.ftree().deps() {
+            stats.add_relation(edge.iter().copied(), size);
+        }
+        // Views with no multi-attribute dependencies still need coverage.
+        let attrs = rep.ftree().all_attrs();
+        stats.add_relation(attrs, size);
+        self.views.insert(name.into(), (rep, stats));
+    }
+
+    /// Registers a flat relation (factorised on demand as a sorted trie).
+    pub fn register_relation(&mut self, name: impl Into<String>, rel: Relation) {
+        self.relations.insert(name.into(), rel);
+    }
+
+    /// Borrow of a registered view's factorisation.
+    pub fn view(&self, name: &str) -> Option<&FRep> {
+        self.views.get(name).map(|(rep, _)| rep)
+    }
+
+    /// Serialises a registered view (see [`crate::io`] for the format).
+    pub fn save_view(&self, name: &str, w: impl std::io::Write) -> Result<()> {
+        let rep = self
+            .view(name)
+            .ok_or_else(|| FdbError::Unresolved(format!("unknown view `{name}`")))?;
+        crate::io::write_frep(rep, &self.catalog, w)
+    }
+
+    /// Loads a serialised view and registers it under `name`, re-interning
+    /// attribute names into this engine's catalog.
+    pub fn load_view(&mut self, name: impl Into<String>, r: impl std::io::BufRead) -> Result<()> {
+        let rep = crate::io::read_frep(r, &mut self.catalog)?;
+        self.register_view(name, rep);
+        Ok(())
+    }
+
+    /// Schemas of all registered inputs (for the SQL front-end).
+    pub fn schemas(&self) -> HashMap<String, Schema> {
+        let mut out: HashMap<String, Schema> = self
+            .relations
+            .iter()
+            .map(|(k, v)| (k.clone(), v.schema().clone()))
+            .collect();
+        for (k, (rep, _)) in &self.views {
+            out.insert(k.clone(), rep.schema());
+        }
+        out
+    }
+
+    /// Runs a task with default options (greedy, auto-consolidation).
+    pub fn run_default(&mut self, task: &JoinAggTask) -> Result<FdbResult> {
+        self.run(task, RunOptions::default())
+    }
+
+    /// Parses and runs a SQL query in one step (default options).
+    ///
+    /// ```
+    /// # use fdb_core::engine::FdbEngine;
+    /// # use fdb_relational::{Catalog, Relation, Schema, Value};
+    /// # let mut catalog = Catalog::new();
+    /// # let item = catalog.intern("item");
+    /// # let price = catalog.intern("price");
+    /// # let items = Relation::from_rows(
+    /// #     Schema::new(vec![item, price]),
+    /// #     [("base", 6), ("ham", 1)].into_iter()
+    /// #         .map(|(i, p)| vec![Value::str(i), Value::Int(p)]),
+    /// # );
+    /// # let mut engine = FdbEngine::new(catalog);
+    /// # engine.register_relation("Items", items);
+    /// let out = engine
+    ///     .run_sql("SELECT SUM(price) AS total FROM Items")
+    ///     .unwrap();
+    /// assert_eq!(out.row(0)[0], Value::Int(7));
+    /// ```
+    pub fn run_sql(&mut self, sql: &str) -> Result<Relation> {
+        let schemas = self.schemas();
+        let query = fdb_query::parse(sql, &mut self.catalog, &schemas)
+            .map_err(|e| FdbError::Unresolved(format!("SQL error: {e}")))?;
+        self.run_default(&query.to_task())?.to_relation()
+    }
+
+    /// Plans and executes `task` on factorised inputs.
+    pub fn run(&mut self, task: &JoinAggTask, opts: RunOptions) -> Result<FdbResult> {
+        let (rep, stats, mut selections, natural_attrs) = self.build_input(&task.inputs)?;
+
+        let mut const_preds = Vec::new();
+        for p in &task.predicates {
+            match p {
+                Predicate::AttrEq(a, b) => selections.push((*a, *b)),
+                Predicate::AttrCmp(a, op, v) => const_preds.push((*a, *op, v.clone())),
+            }
+        }
+
+        // Desugar aggregates; avg becomes (sum, count) plus a division at
+        // emission (§3.2.4).
+        let mut final_funcs: Vec<AggOp> = Vec::new();
+        let mut final_outputs: Vec<AttrId> = Vec::new();
+        let mut emit: Vec<(EmitCol, AttrId)> = Vec::new();
+        let mut div_outputs: Vec<AttrId> = Vec::new();
+        for g in &task.group_by {
+            emit.push((EmitCol::Raw(*g), *g));
+        }
+        for spec in &task.aggregates {
+            match spec.func {
+                AggFunc::Count => {
+                    final_funcs.push(AggOp::Count);
+                    final_outputs.push(spec.output);
+                    emit.push((EmitCol::Raw(spec.output), spec.output));
+                }
+                AggFunc::Sum(a) => {
+                    final_funcs.push(AggOp::Sum(a));
+                    final_outputs.push(spec.output);
+                    emit.push((EmitCol::Raw(spec.output), spec.output));
+                }
+                AggFunc::Min(a) => {
+                    final_funcs.push(AggOp::Min(a));
+                    final_outputs.push(spec.output);
+                    emit.push((EmitCol::Raw(spec.output), spec.output));
+                }
+                AggFunc::Max(a) => {
+                    final_funcs.push(AggOp::Max(a));
+                    final_outputs.push(spec.output);
+                    emit.push((EmitCol::Raw(spec.output), spec.output));
+                }
+                AggFunc::Avg(a) => {
+                    let s = self
+                        .catalog
+                        .fresh(&format!("avg_sum({})", self.catalog.name(a)));
+                    let n = self
+                        .catalog
+                        .fresh(&format!("avg_count({})", self.catalog.name(a)));
+                    final_funcs.push(AggOp::Sum(a));
+                    final_outputs.push(s);
+                    final_funcs.push(AggOp::Count);
+                    final_outputs.push(n);
+                    emit.push((EmitCol::Div { num: s, den: n }, spec.output));
+                    div_outputs.push(spec.output);
+                }
+            }
+        }
+        let is_aggregate = !task.aggregates.is_empty();
+
+        // Order analysis: keys on group attributes can always be realised
+        // in the tree (after restructuring); keys on aggregate outputs
+        // need consolidation; keys on avg outputs are computed columns and
+        // force a sort.
+        let order_on_raw_agg = task
+            .order_by
+            .iter()
+            .any(|k| final_outputs.contains(&k.attr));
+        let order_on_div = task.order_by.iter().any(|k| div_outputs.contains(&k.attr));
+        let having_on_raw = task.having.iter().any(|p| match p {
+            Predicate::AttrCmp(a, _, _) => final_outputs.contains(a) || task.group_by.contains(a),
+            Predicate::AttrEq(_, _) => false,
+        });
+        let want_consolidate = is_aggregate
+            && match opts.consolidate {
+                ConsolidateMode::Always => true,
+                ConsolidateMode::Never => false,
+                ConsolidateMode::Auto => order_on_raw_agg || having_on_raw,
+            };
+
+        // Builds the optimiser spec for a given consolidation choice. The
+        // tree can realise the order only if *all* keys are realisable (a
+        // partial prefix would still need a sort).
+        let make_parts = |consolidate: bool| -> (QuerySpec, Vec<SortKey>, bool) {
+            let tree_keys: Vec<SortKey> = task
+                .order_by
+                .iter()
+                .copied()
+                .filter(|k| {
+                    if div_outputs.contains(&k.attr) {
+                        return false;
+                    }
+                    if is_aggregate {
+                        task.group_by.contains(&k.attr)
+                            || (consolidate && final_outputs.contains(&k.attr))
+                    } else {
+                        true
+                    }
+                })
+                .collect();
+            let order_in_tree_candidate = tree_keys.len() == task.order_by.len();
+            let spec = QuerySpec {
+                selections: selections.clone(),
+                const_preds: const_preds.clone(),
+                projection: if is_aggregate {
+                    None
+                } else {
+                    Some(
+                        task.projection
+                            .clone()
+                            .unwrap_or_else(|| natural_attrs.clone()),
+                    )
+                },
+                group_by: task.group_by.clone(),
+                final_funcs: final_funcs.clone(),
+                final_outputs: final_outputs.clone(),
+                order_by: if order_in_tree_candidate {
+                    tree_keys.clone()
+                } else {
+                    Vec::new()
+                },
+                consolidate,
+            };
+            (spec, tree_keys, order_in_tree_candidate)
+        };
+
+        // Consolidation (§5.2 step 7) is not always achievable: partial
+        // aggregates pinned under *different* group nodes along a path
+        // cannot be gathered by upward swaps. When planning fails for that
+        // reason, fall back to the grouped (scenario-3) evaluation — any
+        // HAVING / ORDER BY on the aggregate is then handled at emission.
+        let (mut spec, mut tree_keys, mut order_in_tree_candidate) =
+            make_parts(want_consolidate);
+        let mut plan = match opts.strategy {
+            PlanStrategy::Greedy => greedy(rep.ftree(), &spec, &stats, &mut self.catalog),
+            PlanStrategy::Exhaustive(cfg) => {
+                match exhaustive(rep.ftree(), &spec, &stats, &mut self.catalog, cfg) {
+                    Ok(p) => Ok(p),
+                    Err(FdbError::PlanningFailed(_)) => {
+                        greedy(rep.ftree(), &spec, &stats, &mut self.catalog)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        };
+        let mut consolidate = want_consolidate;
+        if consolidate && matches!(plan, Err(FdbError::PlanningFailed(_))) {
+            consolidate = false;
+            (spec, tree_keys, order_in_tree_candidate) = make_parts(false);
+            plan = greedy(rep.ftree(), &spec, &stats, &mut self.catalog);
+        }
+        let plan = plan?;
+        let mut result_rep = plan.execute(rep)?;
+
+        // HAVING: push what we can into the factorisation as selections;
+        // the rest (e.g. conditions on avg) filters rows at emission.
+        let mut row_filters: Vec<Predicate> = Vec::new();
+        for p in &task.having {
+            match p {
+                Predicate::AttrCmp(a, op, v)
+                    if result_rep.ftree().node_of_attr(*a).is_some() =>
+                {
+                    result_rep = crate::ops::select_const(result_rep, *a, *op, v)?;
+                }
+                other => row_filters.push(other.clone()),
+            }
+        }
+
+        let output_attrs: Vec<AttrId> = if is_aggregate {
+            emit.iter().map(|(_, out)| *out).collect()
+        } else {
+            let proj = task
+                .projection
+                .clone()
+                .unwrap_or_else(|| natural_attrs.clone());
+            emit = proj.iter().map(|&a| (EmitCol::Raw(a), a)).collect();
+            proj
+        };
+
+        let kind = if !is_aggregate {
+            ResultKind::Spj
+        } else if consolidate {
+            ResultKind::AggConsolidated
+        } else {
+            ResultKind::AggGrouped {
+                group_attrs: task.group_by.clone(),
+                final_funcs,
+                func_outputs: final_outputs,
+            }
+        };
+
+        // Verify the order really is realised (defensive: fall back to a
+        // sort rather than return wrongly ordered data).
+        let order_in_tree = order_in_tree_candidate
+            && !task.order_by.is_empty()
+            && !order_on_div
+            && match &kind {
+                ResultKind::Spj | ResultKind::AggConsolidated => {
+                    crate::enumerate::supports_order(result_rep.ftree(), &tree_keys)
+                }
+                ResultKind::AggGrouped { group_attrs, .. } => EnumSpec::group_prefix_ordered(
+                    result_rep.ftree(),
+                    group_attrs,
+                    &tree_keys,
+                )
+                .is_ok(),
+            };
+
+        Ok(FdbResult {
+            rep: result_rep,
+            kind,
+            output_attrs,
+            emit,
+            order_by: task.order_by.clone(),
+            order_in_tree,
+            row_filters,
+            limit: task.limit,
+            plan,
+        })
+    }
+
+    /// Assembles the input factorisation for the task's `FROM` list:
+    /// registered views are cloned, flat relations are factorised as
+    /// sorted tries (join attributes towards the root); name collisions
+    /// across inputs are shadowed and returned as pending equality
+    /// selections (the natural-join conditions).
+    #[allow(clippy::type_complexity)]
+    fn build_input(
+        &mut self,
+        inputs: &[String],
+    ) -> Result<(FRep, Stats, Vec<(AttrId, AttrId)>, Vec<AttrId>)> {
+        if inputs.is_empty() {
+            return Err(FdbError::Unresolved("query has no inputs".into()));
+        }
+        if inputs.len() == 1 {
+            if let Some((rep, stats)) = self.views.get(&inputs[0]) {
+                let natural = rep.ftree().all_attrs();
+                return Ok((rep.clone(), stats.clone(), Vec::new(), natural));
+            }
+        }
+        // Shared attributes across the original input schemas determine
+        // both the trie orders and the join conditions.
+        let schemas: Vec<Vec<AttrId>> = inputs
+            .iter()
+            .map(|name| {
+                if let Some((rep, _)) = self.views.get(name) {
+                    Ok(rep.ftree().all_attrs())
+                } else if let Some(rel) = self.relations.get(name) {
+                    Ok(rel.schema().attrs().to_vec())
+                } else {
+                    Err(FdbError::Unresolved(format!("unknown input `{name}`")))
+                }
+            })
+            .collect::<Result<_>>()?;
+        let shared = |a: AttrId, except: usize| {
+            schemas
+                .iter()
+                .enumerate()
+                .any(|(j, s)| j != except && s.contains(&a))
+        };
+
+        let mut combined: Option<FRep> = None;
+        let mut stats = Stats::new();
+        let mut selections: Vec<(AttrId, AttrId)> = Vec::new();
+        let mut seen: Vec<AttrId> = Vec::new();
+        let mut natural: Vec<AttrId> = Vec::new();
+        for (i, name) in inputs.iter().enumerate() {
+            let mut rep = if let Some((rep, _)) = self.views.get(name) {
+                rep.clone()
+            } else {
+                let rel = &self.relations[name];
+                // Trie order: shared (join) attributes first.
+                let mut order: Vec<AttrId> = schemas[i]
+                    .iter()
+                    .copied()
+                    .filter(|&a| shared(a, i))
+                    .collect();
+                order.extend(schemas[i].iter().copied().filter(|&a| !shared(a, i)));
+                FRep::from_relation(rel, FTree::path(&order))?
+            };
+            let size = rep.tuple_count();
+            // Shadow attributes already seen: rename in this input's copy
+            // and record the equality selection.
+            let mut attrs_after = Vec::new();
+            for a in rep.ftree().all_attrs() {
+                if seen.contains(&a) {
+                    let shadow = self
+                        .catalog
+                        .fresh(&format!("{}@{}", self.catalog.name(a), name));
+                    rep = crate::ops::rename(rep, a, shadow)?;
+                    selections.push((a, shadow));
+                    attrs_after.push(shadow);
+                } else {
+                    seen.push(a);
+                    natural.push(a);
+                    attrs_after.push(a);
+                }
+            }
+            stats.add_relation(attrs_after, size);
+            combined = Some(match combined {
+                None => rep,
+                Some(acc) => crate::ops::product(acc, rep),
+            });
+        }
+        Ok((
+            combined.expect("at least one input"),
+            stats,
+            selections,
+            natural,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_relational::{AggSpec, CmpOp, SortDir};
+
+    /// Base relations of the running example (natural-join keys shared).
+    fn engine() -> FdbEngine {
+        let mut catalog = Catalog::new();
+        let customer = catalog.intern("customer");
+        let date = catalog.intern("date");
+        let package = catalog.intern("package");
+        let item = catalog.intern("item");
+        let price = catalog.intern("price");
+        let orders = Relation::from_rows(
+            Schema::new(vec![customer, date, package]),
+            [
+                ("Mario", 1, "Capricciosa"),
+                ("Mario", 2, "Margherita"),
+                ("Pietro", 5, "Hawaii"),
+                ("Lucia", 5, "Hawaii"),
+                ("Mario", 5, "Capricciosa"),
+            ]
+            .into_iter()
+            .map(|(c, d, p)| vec![Value::str(c), Value::Int(d), Value::str(p)]),
+        );
+        let packages = Relation::from_rows(
+            Schema::new(vec![package, item]),
+            [
+                ("Margherita", "base"),
+                ("Capricciosa", "base"),
+                ("Capricciosa", "ham"),
+                ("Capricciosa", "mushrooms"),
+                ("Hawaii", "base"),
+                ("Hawaii", "ham"),
+                ("Hawaii", "pineapple"),
+            ]
+            .into_iter()
+            .map(|(p, i)| vec![Value::str(p), Value::str(i)]),
+        );
+        let items = Relation::from_rows(
+            Schema::new(vec![item, price]),
+            [("base", 6), ("ham", 1), ("mushrooms", 1), ("pineapple", 2)]
+                .into_iter()
+                .map(|(i, p)| vec![Value::str(i), Value::Int(p)]),
+        );
+        let mut e = FdbEngine::new(catalog);
+        e.register_relation("Orders", orders);
+        e.register_relation("Packages", packages);
+        e.register_relation("Items", items);
+        e
+    }
+
+    fn revenue_task(e: &mut FdbEngine) -> JoinAggTask {
+        let customer = e.catalog.lookup("customer").unwrap();
+        let price = e.catalog.lookup("price").unwrap();
+        let revenue = e.catalog.intern("revenue");
+        JoinAggTask {
+            inputs: vec!["Orders".into(), "Packages".into(), "Items".into()],
+            group_by: vec![customer],
+            aggregates: vec![AggSpec::new(AggFunc::Sum(price), revenue)],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn revenue_per_customer_from_flat_inputs() {
+        let mut e = engine();
+        let task = revenue_task(&mut e);
+        let result = e.run_default(&task).unwrap();
+        let rel = result.to_relation().unwrap();
+        let rows: Vec<(String, i64)> = rel
+            .rows()
+            .map(|r| (r[0].as_str().unwrap().to_string(), r[1].as_int().unwrap()))
+            .collect();
+        let mut sorted = rows.clone();
+        sorted.sort();
+        assert_eq!(
+            sorted,
+            vec![
+                ("Lucia".to_string(), 9),
+                ("Mario".to_string(), 22),
+                ("Pietro".to_string(), 9)
+            ]
+        );
+    }
+
+    #[test]
+    fn ordered_by_group_attribute_streams_sorted() {
+        let mut e = engine();
+        let mut task = revenue_task(&mut e);
+        let customer = e.catalog.lookup("customer").unwrap();
+        task.order_by = vec![SortKey::asc(customer)];
+        let result = e.run_default(&task).unwrap();
+        assert!(result.order_supported_in_tree());
+        let rel = result.to_relation().unwrap();
+        assert!(rel.is_sorted_by(&[SortKey::asc(customer)]));
+        assert_eq!(rel.len(), 3);
+    }
+
+    #[test]
+    fn ordered_by_aggregate_consolidates() {
+        // Q7-style: ORDER BY revenue DESC.
+        let mut e = engine();
+        let mut task = revenue_task(&mut e);
+        let revenue = e.catalog.lookup("revenue").unwrap();
+        task.order_by = vec![SortKey::desc(revenue)];
+        let result = e.run_default(&task).unwrap();
+        assert!(result.order_supported_in_tree());
+        let rel = result.to_relation().unwrap();
+        let revs: Vec<i64> = rel.rows().map(|r| r[1].as_int().unwrap()).collect();
+        assert_eq!(revs, vec![22, 9, 9]);
+    }
+
+    #[test]
+    fn limit_with_order() {
+        let mut e = engine();
+        let mut task = revenue_task(&mut e);
+        let revenue = e.catalog.lookup("revenue").unwrap();
+        task.order_by = vec![SortKey::desc(revenue)];
+        task.limit = Some(1);
+        let rel = e.run_default(&task).unwrap().to_relation().unwrap();
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.row(0)[0], Value::str("Mario"));
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let mut e = engine();
+        let mut task = revenue_task(&mut e);
+        let revenue = e.catalog.lookup("revenue").unwrap();
+        task.having = vec![Predicate::AttrCmp(revenue, CmpOp::Gt, Value::Int(10))];
+        let rel = e.run_default(&task).unwrap().to_relation().unwrap();
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.row(0)[0], Value::str("Mario"));
+    }
+
+    #[test]
+    fn avg_is_emitted_as_division() {
+        let mut e = engine();
+        let price = e.catalog.lookup("price").unwrap();
+        let customer = e.catalog.lookup("customer").unwrap();
+        let m = e.catalog.intern("mean_price");
+        let task = JoinAggTask {
+            inputs: vec!["Orders".into(), "Packages".into(), "Items".into()],
+            group_by: vec![customer],
+            aggregates: vec![AggSpec::new(AggFunc::Avg(price), m)],
+            order_by: vec![SortKey::asc(customer)],
+            ..Default::default()
+        };
+        let rel = e.run_default(&task).unwrap().to_relation().unwrap();
+        // Lucia: (6+1+2)/3 = 3.0.
+        assert_eq!(rel.row(0)[1], Value::Float(3.0));
+    }
+
+    #[test]
+    fn count_and_min_max() {
+        let mut e = engine();
+        let price = e.catalog.lookup("price").unwrap();
+        let package = e.catalog.lookup("package").unwrap();
+        let n = e.catalog.intern("n_parts");
+        let cheapest = e.catalog.intern("cheapest");
+        let dearest = e.catalog.intern("dearest");
+        let task = JoinAggTask {
+            inputs: vec!["Packages".into(), "Items".into()],
+            group_by: vec![package],
+            aggregates: vec![
+                AggSpec::new(AggFunc::Count, n),
+                AggSpec::new(AggFunc::Min(price), cheapest),
+                AggSpec::new(AggFunc::Max(price), dearest),
+            ],
+            order_by: vec![SortKey::asc(package)],
+            ..Default::default()
+        };
+        let rel = e.run_default(&task).unwrap().to_relation().unwrap();
+        let rows: Vec<(String, i64, i64, i64)> = rel
+            .rows()
+            .map(|r| {
+                (
+                    r[0].as_str().unwrap().to_string(),
+                    r[1].as_int().unwrap(),
+                    r[2].as_int().unwrap(),
+                    r[3].as_int().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                ("Capricciosa".to_string(), 3, 1, 6),
+                ("Hawaii".to_string(), 3, 1, 6),
+                ("Margherita".to_string(), 1, 6, 6),
+            ]
+        );
+    }
+
+    #[test]
+    fn spj_with_projection_and_order() {
+        let mut e = engine();
+        let package = e.catalog.lookup("package").unwrap();
+        let item = e.catalog.lookup("item").unwrap();
+        let task = JoinAggTask {
+            inputs: vec!["Packages".into(), "Items".into()],
+            projection: Some(vec![item, package]),
+            order_by: vec![SortKey::asc(item), SortKey::asc(package)],
+            limit: Some(4),
+            ..Default::default()
+        };
+        let result = e.run_default(&task).unwrap();
+        assert!(result.order_supported_in_tree());
+        let rel = result.to_relation().unwrap();
+        assert_eq!(rel.len(), 4);
+        assert!(rel.is_sorted_by(&[SortKey::asc(item), SortKey::asc(package)]));
+        assert_eq!(rel.row(0)[0], Value::str("base"));
+    }
+
+    #[test]
+    fn where_predicates_are_applied() {
+        let mut e = engine();
+        let price = e.catalog.lookup("price").unwrap();
+        let mut task = revenue_task(&mut e);
+        task.predicates = vec![Predicate::AttrCmp(price, CmpOp::Le, Value::Int(2))];
+        let rel = e.run_default(&task).unwrap().to_relation().unwrap();
+        let rows: Vec<(String, i64)> = rel
+            .canonical()
+            .rows()
+            .map(|r| (r[0].as_str().unwrap().to_string(), r[1].as_int().unwrap()))
+            .collect();
+        // Cheap toppings only: Lucia 3, Mario 2·2=4, Pietro 3.
+        assert_eq!(
+            rows,
+            vec![
+                ("Lucia".to_string(), 3),
+                ("Mario".to_string(), 4),
+                ("Pietro".to_string(), 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn factorised_view_input() {
+        // Materialise the join as a view (SPJ run), then aggregate on it.
+        let mut e = engine();
+        let spj = JoinAggTask {
+            inputs: vec!["Orders".into(), "Packages".into(), "Items".into()],
+            ..Default::default()
+        };
+        let view = e.run_default(&spj).unwrap();
+        let rep = view.rep().clone();
+        let flat_count = rep.tuple_count();
+        e.register_view("R", rep);
+        let task = {
+            let customer = e.catalog.lookup("customer").unwrap();
+            let price = e.catalog.lookup("price").unwrap();
+            let revenue2 = e.catalog.intern("revenue_view");
+            JoinAggTask {
+                inputs: vec!["R".into()],
+                group_by: vec![customer],
+                aggregates: vec![AggSpec::new(AggFunc::Sum(price), revenue2)],
+                order_by: vec![SortKey::asc(customer)],
+                ..Default::default()
+            }
+        };
+        let rel = e.run_default(&task).unwrap().to_relation().unwrap();
+        let rows: Vec<(String, i64)> = rel
+            .rows()
+            .map(|r| (r[0].as_str().unwrap().to_string(), r[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                ("Lucia".to_string(), 9),
+                ("Mario".to_string(), 22),
+                ("Pietro".to_string(), 9)
+            ]
+        );
+        assert_eq!(flat_count, 13);
+    }
+
+    #[test]
+    fn exhaustive_strategy_agrees_with_greedy() {
+        let mut e = engine();
+        let task = revenue_task(&mut e);
+        let g = e
+            .run(&task, RunOptions::default())
+            .unwrap()
+            .to_relation()
+            .unwrap()
+            .canonical();
+        let x = e
+            .run(
+                &task,
+                RunOptions {
+                    strategy: PlanStrategy::Exhaustive(ExhaustiveConfig::default()),
+                    consolidate: ConsolidateMode::Auto,
+                },
+            )
+            .unwrap()
+            .to_relation()
+            .unwrap()
+            .canonical();
+        assert_eq!(g, x);
+    }
+
+    #[test]
+    fn consolidate_modes_agree() {
+        let mut e = engine();
+        let task = revenue_task(&mut e);
+        let never = e
+            .run(
+                &task,
+                RunOptions {
+                    strategy: PlanStrategy::Greedy,
+                    consolidate: ConsolidateMode::Never,
+                },
+            )
+            .unwrap()
+            .to_relation()
+            .unwrap()
+            .canonical();
+        let always = e
+            .run(
+                &task,
+                RunOptions {
+                    strategy: PlanStrategy::Greedy,
+                    consolidate: ConsolidateMode::Always,
+                },
+            )
+            .unwrap()
+            .to_relation()
+            .unwrap()
+            .canonical();
+        assert_eq!(never, always);
+    }
+
+    #[test]
+    fn descending_group_order() {
+        let mut e = engine();
+        let mut task = revenue_task(&mut e);
+        let customer = e.catalog.lookup("customer").unwrap();
+        task.order_by = vec![SortKey {
+            attr: customer,
+            dir: SortDir::Desc,
+        }];
+        let rel = e.run_default(&task).unwrap().to_relation().unwrap();
+        let names: Vec<&str> = rel.rows().map(|r| r[0].as_str().unwrap()).collect();
+        assert_eq!(names, vec!["Pietro", "Mario", "Lucia"]);
+    }
+
+    #[test]
+    fn explain_describes_plan_and_mode() {
+        let mut e = engine();
+        let mut task = revenue_task(&mut e);
+        let revenue = e.catalog.lookup("revenue").unwrap();
+        task.order_by = vec![SortKey::desc(revenue)];
+        task.limit = Some(2);
+        let result = e.run_default(&task).unwrap();
+        assert!(!result.plan().is_empty());
+        let text = result.explain(&e.catalog);
+        assert!(text.contains("f-plan"), "{text}");
+        assert!(text.contains("result f-tree"), "{text}");
+        assert!(
+            text.contains("constant-delay streaming"),
+            "Q7-style ordering is realised in-tree: {text}"
+        );
+        assert!(text.contains("limit: 2"), "{text}");
+        // The plan must mention the aggregation operator.
+        assert!(text.contains("γ["), "{text}");
+    }
+
+    #[test]
+    fn explain_reports_sort_fallback_for_avg_order() {
+        let mut e = engine();
+        let price = e.catalog.lookup("price").unwrap();
+        let customer = e.catalog.lookup("customer").unwrap();
+        let m = e.catalog.intern("m");
+        let task = JoinAggTask {
+            inputs: vec!["Orders".into(), "Packages".into(), "Items".into()],
+            group_by: vec![customer],
+            aggregates: vec![AggSpec::new(AggFunc::Avg(price), m)],
+            order_by: vec![SortKey::desc(m)],
+            ..Default::default()
+        };
+        let result = e.run_default(&task).unwrap();
+        let text = result.explain(&e.catalog);
+        assert!(text.contains("sorted after materialisation"), "{text}");
+    }
+}

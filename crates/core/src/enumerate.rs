@@ -1,0 +1,793 @@
+//! Constant-delay enumeration of factorised data — §4 of the paper.
+//!
+//! Tuples are enumerated with an *odometer* over an explicit node visit
+//! sequence (each node after its parent). The union a node iterates over is
+//! determined by its parent's current entry, so advancing the odometer
+//! touches at most one union per f-tree node — delay between consecutive
+//! tuples is constant in the data size (linear in the schema, as in the
+//! paper).
+//!
+//! * [`EnumSpec::ordered`] realises Theorem 2: enumeration in a given
+//!   lexicographic order `O` (asc/desc per attribute) is possible iff every
+//!   attribute of `O` is a root or a child of an earlier `O`-attribute —
+//!   then the visit sequence starts with the `O`-nodes in `O`-order.
+//! * [`EnumSpec::grouped`] realises Theorem 1: grouped enumeration needs
+//!   every group-by node to be a root or the child of another group node.
+//! * [`GroupCursor`] walks group combinations and exposes the *dangling*
+//!   subtree unions below each group, on which the caller evaluates
+//!   aggregates on the fly (scenario 3 of the introduction).
+
+use crate::error::{FdbError, Result};
+use crate::frep::{Entry, FRep, Union};
+use crate::ftree::{FTree, NodeId, NodeLabel};
+use fdb_relational::{AttrId, SortDir, SortKey, Value};
+
+/// A node visit sequence with per-node directions.
+#[derive(Clone, Debug)]
+pub struct EnumSpec {
+    pub visit: Vec<NodeId>,
+    pub dirs: Vec<SortDir>,
+}
+
+impl EnumSpec {
+    /// Pre-order visit of every node (the "no particular order" case).
+    pub fn all_preorder(tree: &FTree) -> Self {
+        let visit = tree.live_nodes();
+        let dirs = vec![SortDir::Asc; visit.len()];
+        EnumSpec { visit, dirs }
+    }
+
+    /// Visit sequence for lexicographic enumeration by `keys` (Theorem 2).
+    ///
+    /// Fails with [`FdbError::OrderUnsupported`] when the f-tree does not
+    /// support the order; restructure first (see [`crate::orderby`]).
+    pub fn ordered(tree: &FTree, keys: &[SortKey]) -> Result<Self> {
+        let mut visit: Vec<NodeId> = Vec::new();
+        let mut dirs: Vec<SortDir> = Vec::new();
+        for key in keys {
+            let node = tree.node_of_attr(key.attr).ok_or_else(|| {
+                FdbError::Unresolved(format!("order attribute {} not in f-tree", key.attr))
+            })?;
+            if visit.contains(&node) {
+                // Same equivalence class as an earlier key: values are
+                // identical tuple-wise, the key is redundant (§4).
+                continue;
+            }
+            let ok = match tree.node(node).parent {
+                None => true,
+                Some(p) => visit.contains(&p),
+            };
+            if !ok {
+                return Err(FdbError::OrderUnsupported(format!(
+                    "attribute {} is neither a root nor a child of an \
+                     earlier order attribute (Theorem 2)",
+                    key.attr
+                )));
+            }
+            visit.push(node);
+            dirs.push(key.dir);
+        }
+        complete_preorder(tree, &mut visit, &mut dirs);
+        Ok(EnumSpec { visit, dirs })
+    }
+
+    /// Visit sequence enumerating tuples clustered by `group` (Theorem 1):
+    /// group nodes first (any topological order), then the rest.
+    pub fn grouped(tree: &FTree, group: &[AttrId]) -> Result<Self> {
+        let mut spec = Self::group_prefix(tree, group)?;
+        complete_preorder(tree, &mut spec.visit, &mut spec.dirs);
+        Ok(spec)
+    }
+
+    /// Group-node prefix visiting the order keys first: grouped
+    /// enumeration that is additionally sorted by `keys` (which must
+    /// reference group attributes). Used by the engine for ordered
+    /// group-by output without consolidation.
+    pub fn group_prefix_ordered(
+        tree: &FTree,
+        group: &[AttrId],
+        keys: &[SortKey],
+    ) -> Result<Self> {
+        let base = Self::group_prefix(tree, group)?;
+        let mut visit: Vec<NodeId> = Vec::new();
+        let mut dirs: Vec<SortDir> = Vec::new();
+        for key in keys {
+            let node = tree.node_of_attr(key.attr).ok_or_else(|| {
+                FdbError::Unresolved(format!("order attribute {} not in f-tree", key.attr))
+            })?;
+            if visit.contains(&node) {
+                continue;
+            }
+            if !base.visit.contains(&node) {
+                return Err(FdbError::OrderUnsupported(format!(
+                    "order attribute {} is not a group attribute",
+                    key.attr
+                )));
+            }
+            let ok = match tree.node(node).parent {
+                None => true,
+                Some(p) => visit.contains(&p),
+            };
+            if !ok {
+                return Err(FdbError::OrderUnsupported(format!(
+                    "attribute {} violates Theorem 2 within the group prefix",
+                    key.attr
+                )));
+            }
+            visit.push(node);
+            dirs.push(key.dir);
+        }
+        for &n in &base.visit {
+            if !visit.contains(&n) {
+                visit.push(n);
+                dirs.push(SortDir::Asc);
+            }
+        }
+        Ok(EnumSpec { visit, dirs })
+    }
+
+    /// Only the group nodes (the prefix used by [`GroupCursor`]).
+    pub fn group_prefix(tree: &FTree, group: &[AttrId]) -> Result<Self> {
+        let mut nodes: Vec<NodeId> = Vec::new();
+        for &g in group {
+            let node = tree.node_of_attr(g).ok_or_else(|| {
+                FdbError::Unresolved(format!("group attribute {g} not in f-tree"))
+            })?;
+            if !nodes.contains(&node) {
+                nodes.push(node);
+            }
+        }
+        for &n in &nodes {
+            let ok = match tree.node(n).parent {
+                None => true,
+                Some(p) => nodes.contains(&p),
+            };
+            if !ok {
+                return Err(FdbError::OrderUnsupported(format!(
+                    "group node {n:?} is neither a root nor a child of \
+                     another group node (Theorem 1)"
+                )));
+            }
+        }
+        // Topological order: parents before children.
+        nodes.sort_by_key(|&n| tree.depth(n));
+        let dirs = vec![SortDir::Asc; nodes.len()];
+        Ok(EnumSpec { visit: nodes, dirs })
+    }
+}
+
+/// Appends the unvisited nodes in pre-order (parents first).
+fn complete_preorder(tree: &FTree, visit: &mut Vec<NodeId>, dirs: &mut Vec<SortDir>) {
+    for n in tree.live_nodes() {
+        if !visit.contains(&n) {
+            visit.push(n);
+            dirs.push(SortDir::Asc);
+        }
+    }
+}
+
+/// True iff the f-tree supports constant-delay enumeration in `keys` order
+/// without restructuring (Theorem 2).
+pub fn supports_order(tree: &FTree, keys: &[SortKey]) -> bool {
+    EnumSpec::ordered(tree, keys).is_ok()
+}
+
+/// True iff the f-tree supports constant-delay grouped enumeration by
+/// `group` without restructuring (Theorem 1).
+pub fn supports_group(tree: &FTree, group: &[AttrId]) -> bool {
+    EnumSpec::group_prefix(tree, group).is_ok()
+}
+
+/// Where a visited node finds its union.
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    /// `roots[i]`.
+    Root(usize),
+    /// Child `child_pos` of the entry currently selected at visit index
+    /// `parent_visit`.
+    Inner {
+        parent_visit: usize,
+        child_pos: usize,
+    },
+}
+
+/// The shared odometer over a visit sequence.
+struct Odometer<'a> {
+    rep: &'a FRep,
+    visit: Vec<NodeId>,
+    dirs: Vec<SortDir>,
+    slots: Vec<Slot>,
+    unions: Vec<Option<&'a Union>>,
+    /// Logical index per node (0 = first in direction order).
+    idxs: Vec<usize>,
+    started: bool,
+    done: bool,
+}
+
+impl<'a> Odometer<'a> {
+    fn new(rep: &'a FRep, spec: &EnumSpec) -> Result<Self> {
+        let tree = rep.ftree();
+        let mut slots = Vec::with_capacity(spec.visit.len());
+        for (i, &n) in spec.visit.iter().enumerate() {
+            let slot = match tree.node(n).parent {
+                None => Slot::Root(
+                    tree.roots()
+                        .iter()
+                        .position(|&r| r == n)
+                        .expect("root registered"),
+                ),
+                Some(p) => {
+                    let parent_visit =
+                        spec.visit[..i].iter().position(|&v| v == p).ok_or_else(|| {
+                            FdbError::OrderUnsupported(format!(
+                                "visit sequence places {n:?} before its parent"
+                            ))
+                        })?;
+                    let child_pos = tree
+                        .node(p)
+                        .children
+                        .iter()
+                        .position(|&c| c == n)
+                        .expect("child registered");
+                    Slot::Inner {
+                        parent_visit,
+                        child_pos,
+                    }
+                }
+            };
+            slots.push(slot);
+        }
+        Ok(Odometer {
+            rep,
+            visit: spec.visit.clone(),
+            dirs: spec.dirs.clone(),
+            slots,
+            unions: vec![None; spec.visit.len()],
+            idxs: vec![0; spec.visit.len()],
+            started: false,
+            done: false,
+        })
+    }
+
+    /// Physical entry index for a logical position.
+    fn phys(&self, i: usize) -> usize {
+        let len = self.unions[i].expect("opened").entries.len();
+        match self.dirs[i] {
+            SortDir::Asc => self.idxs[i],
+            SortDir::Desc => len - 1 - self.idxs[i],
+        }
+    }
+
+    /// Currently selected entry at visit position `i`.
+    fn entry(&self, i: usize) -> &'a Entry {
+        &self.unions[i].expect("opened").entries[self.phys(i)]
+    }
+
+    /// (Re)opens position `i` at its first entry. Returns `false` when the
+    /// union is empty (possible only at the roots of an empty relation).
+    fn open(&mut self, i: usize) -> bool {
+        let u: &'a Union = match self.slots[i] {
+            Slot::Root(r) => &self.rep.roots()[r],
+            Slot::Inner {
+                parent_visit,
+                child_pos,
+            } => &self.entry(parent_visit).children[child_pos],
+        };
+        self.unions[i] = Some(u);
+        self.idxs[i] = 0;
+        !u.entries.is_empty()
+    }
+
+    /// Moves to the first/next combination; returns `false` at the end.
+    fn step(&mut self) -> bool {
+        if self.done {
+            return false;
+        }
+        if !self.started {
+            self.started = true;
+            // Emptiness is only representable at the roots; an empty
+            // relation yields no tuples and no groups (even with an empty
+            // visit sequence, where the single nullary group must not
+            // appear).
+            if self.rep.is_empty() {
+                self.done = true;
+                return false;
+            }
+            for i in 0..self.visit.len() {
+                if !self.open(i) {
+                    self.done = true;
+                    return false;
+                }
+            }
+            return true;
+        }
+        // Advance the deepest position with entries left; everything after
+        // it reopens. At most |visit| unions are touched: constant delay.
+        let mut i = self.visit.len();
+        loop {
+            if i == 0 {
+                self.done = true;
+                return false;
+            }
+            i -= 1;
+            let len = self.unions[i].expect("opened").entries.len();
+            if self.idxs[i] + 1 < len {
+                self.idxs[i] += 1;
+                for j in i + 1..self.visit.len() {
+                    let ok = self.open(j);
+                    debug_assert!(ok, "inner unions are never empty");
+                }
+                return true;
+            }
+        }
+    }
+}
+
+/// Constant-delay tuple enumeration following an [`EnumSpec`].
+///
+/// `next_row` is a lending-iterator: the returned slice is valid until the
+/// next call. Column layout follows the visit sequence ([`TupleIter::schema`]);
+/// use [`TupleIter::projected`] for a caller-chosen column order.
+pub struct TupleIter<'a> {
+    odo: Odometer<'a>,
+    offsets: Vec<usize>,
+    row: Vec<Value>,
+}
+
+impl<'a> TupleIter<'a> {
+    pub fn new(rep: &'a FRep, spec: &EnumSpec) -> Result<Self> {
+        let odo = Odometer::new(rep, spec)?;
+        let mut offsets = Vec::with_capacity(spec.visit.len());
+        let mut width = 0;
+        for &n in &spec.visit {
+            offsets.push(width);
+            width += rep.ftree().node(n).label.exposed_attrs().len();
+        }
+        Ok(TupleIter {
+            odo,
+            offsets,
+            row: vec![Value::Int(0); width],
+        })
+    }
+
+    /// Output attributes in visit order.
+    pub fn schema(&self) -> Vec<AttrId> {
+        self.odo
+            .visit
+            .iter()
+            .flat_map(|&n| self.odo.rep.ftree().node(n).label.exposed_attrs())
+            .collect()
+    }
+
+    /// Next tuple, or `None` when exhausted.
+    pub fn next_row(&mut self) -> Option<&[Value]> {
+        if !self.odo.step() {
+            return None;
+        }
+        for i in 0..self.odo.visit.len() {
+            let e = self.odo.entry(i);
+            let label = &self.odo.rep.ftree().node(self.odo.visit[i]).label;
+            write_entry_values(label, &e.value, &mut self.row[self.offsets[i]..]);
+        }
+        Some(&self.row)
+    }
+
+    /// Column positions of `attrs` within [`TupleIter::schema`].
+    pub fn positions(&self, attrs: &[AttrId]) -> Result<Vec<usize>> {
+        let schema = self.schema();
+        attrs
+            .iter()
+            .map(|a| {
+                schema
+                    .iter()
+                    .position(|x| x == a)
+                    .ok_or_else(|| FdbError::Unresolved(format!("attribute {a} not enumerated")))
+            })
+            .collect()
+    }
+
+    /// Materialises up to `limit` tuples projected onto `attrs`.
+    pub fn projected(
+        mut self,
+        attrs: &[AttrId],
+        limit: Option<usize>,
+    ) -> Result<fdb_relational::Relation> {
+        let positions = self.positions(attrs)?;
+        let schema = fdb_relational::Schema::new(attrs.to_vec());
+        let mut out = fdb_relational::Relation::empty(schema);
+        let mut buf: Vec<Value> = Vec::with_capacity(attrs.len());
+        let mut n = 0usize;
+        while let Some(row) = self.next_row() {
+            if let Some(k) = limit {
+                if n >= k {
+                    break;
+                }
+            }
+            buf.clear();
+            buf.extend(positions.iter().map(|&p| row[p].clone()));
+            out.push_row(&buf);
+            n += 1;
+        }
+        Ok(out)
+    }
+}
+
+/// Writes an entry's value into output slots (class members repeat the
+/// value; composite aggregates expand their components).
+fn write_entry_values(label: &NodeLabel, value: &Value, slots: &mut [Value]) {
+    match label {
+        NodeLabel::Atomic(attrs) => {
+            for slot in slots.iter_mut().take(attrs.len()) {
+                *slot = value.clone();
+            }
+        }
+        NodeLabel::Agg(l) => {
+            if l.arity() == 1 {
+                slots[0] = value.clone();
+            } else {
+                let comps = value.as_tup().expect("composite aggregate holds a Tup");
+                for (i, comp) in comps.iter().enumerate() {
+                    slots[i] = comp.clone();
+                }
+            }
+        }
+    }
+}
+
+/// Iterates over group combinations, exposing the group values and the
+/// dangling subtree unions below them (for on-the-fly aggregation).
+pub struct GroupCursor<'a> {
+    odo: Odometer<'a>,
+    /// Root positions not covered by the visit sequence.
+    free_roots: Vec<usize>,
+    /// Per visit position: child positions not covered by the visit.
+    dangling_children: Vec<Vec<usize>>,
+    offsets: Vec<usize>,
+    row: Vec<Value>,
+}
+
+impl<'a> GroupCursor<'a> {
+    /// `spec` must cover an up-closed node set (e.g. from
+    /// [`EnumSpec::group_prefix`]).
+    pub fn new(rep: &'a FRep, spec: &EnumSpec) -> Result<Self> {
+        let tree = rep.ftree();
+        let odo = Odometer::new(rep, spec)?;
+        let free_roots = tree
+            .roots()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !spec.visit.contains(r))
+            .map(|(i, _)| i)
+            .collect();
+        let dangling_children = spec
+            .visit
+            .iter()
+            .map(|&n| {
+                tree.node(n)
+                    .children
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| !spec.visit.contains(c))
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect();
+        let mut offsets = Vec::with_capacity(spec.visit.len());
+        let mut width = 0;
+        for &n in &spec.visit {
+            offsets.push(width);
+            width += tree.node(n).label.exposed_attrs().len();
+        }
+        Ok(GroupCursor {
+            odo,
+            free_roots,
+            dangling_children,
+            offsets,
+            row: vec![Value::Int(0); width],
+        })
+    }
+
+    /// Group-value attributes in visit order.
+    pub fn schema(&self) -> Vec<AttrId> {
+        self.odo
+            .visit
+            .iter()
+            .flat_map(|&n| self.odo.rep.ftree().node(n).label.exposed_attrs())
+            .collect()
+    }
+
+    /// Advances to the next group; returns the group values and the
+    /// dangling unions, or `None` when exhausted.
+    pub fn next_group(&mut self) -> Option<(&[Value], Vec<&'a Union>)> {
+        if !self.odo.step() {
+            return None;
+        }
+        let mut dangling: Vec<&'a Union> = Vec::new();
+        for &r in &self.free_roots {
+            dangling.push(&self.odo.rep.roots()[r]);
+        }
+        for i in 0..self.odo.visit.len() {
+            let e = self.odo.entry(i);
+            let label = &self.odo.rep.ftree().node(self.odo.visit[i]).label;
+            write_entry_values(label, &e.value, &mut self.row[self.offsets[i]..]);
+            for &cp in &self.dangling_children[i] {
+                dangling.push(&e.children[cp]);
+            }
+        }
+        Some((&self.row, dangling))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftree::AggOp;
+    use fdb_relational::{Catalog, Relation, Schema};
+
+    /// T1-shaped rep: pizza → {date → customer, item → price}.
+    fn t1_rep() -> (Catalog, FRep) {
+        let mut c = Catalog::new();
+        let pizza = c.intern("pizza");
+        let date = c.intern("date");
+        let customer = c.intern("customer");
+        let item = c.intern("item");
+        let price = c.intern("price");
+        let rows: Vec<(&str, i64, &str, &str, i64)> = vec![
+            ("Capricciosa", 1, "Mario", "base", 6),
+            ("Capricciosa", 1, "Mario", "ham", 1),
+            ("Capricciosa", 5, "Mario", "base", 6),
+            ("Capricciosa", 5, "Mario", "ham", 1),
+            ("Hawaii", 5, "Lucia", "base", 6),
+            ("Hawaii", 5, "Pietro", "base", 6),
+        ];
+        let rel = Relation::from_rows(
+            Schema::new(vec![pizza, date, customer, item, price]),
+            rows.into_iter().map(|(p, d, cu, i, pr)| {
+                vec![
+                    Value::str(p),
+                    Value::Int(d),
+                    Value::str(cu),
+                    Value::str(i),
+                    Value::Int(pr),
+                ]
+            }),
+        );
+        let mut t = crate::ftree::FTree::new();
+        let n_pizza = t.add_node(NodeLabel::Atomic(vec![pizza]), None);
+        let n_date = t.add_node(NodeLabel::Atomic(vec![date]), Some(n_pizza));
+        t.add_node(NodeLabel::Atomic(vec![customer]), Some(n_date));
+        let n_item = t.add_node(NodeLabel::Atomic(vec![item]), Some(n_pizza));
+        t.add_node(NodeLabel::Atomic(vec![price]), Some(n_item));
+        t.add_dep([customer, date, pizza]);
+        t.add_dep([pizza, item]);
+        t.add_dep([item, price]);
+        let rep = FRep::from_relation(&rel, t).unwrap();
+        (c, rep)
+    }
+
+    #[test]
+    fn plain_enumeration_matches_flatten() {
+        let (_, rep) = t1_rep();
+        let spec = EnumSpec::all_preorder(rep.ftree());
+        let mut it = TupleIter::new(&rep, &spec).unwrap();
+        let mut n = 0;
+        while it.next_row().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, rep.tuple_count());
+    }
+
+    #[test]
+    fn theorem2_supported_orders() {
+        // Example 9: T1 supports (pizza), (pizza,date), (pizza,date,
+        // customer), (pizza,item), (pizza,item,price), (pizza,date,item);
+        // but not (pizza,customer,date) or (customer,pizza).
+        let (c, rep) = t1_rep();
+        let t = rep.ftree();
+        let a = |n: &str| c.lookup(n).unwrap();
+        let k = |n: &str| SortKey::asc(a(n));
+        assert!(supports_order(t, &[k("pizza")]));
+        assert!(supports_order(t, &[k("pizza"), k("date")]));
+        assert!(supports_order(t, &[k("pizza"), k("date"), k("customer")]));
+        assert!(supports_order(t, &[k("pizza"), k("item")]));
+        assert!(supports_order(t, &[k("pizza"), k("item"), k("price")]));
+        assert!(supports_order(t, &[k("pizza"), k("date"), k("item")]));
+        assert!(!supports_order(t, &[k("pizza"), k("customer"), k("date")]));
+        assert!(!supports_order(t, &[k("customer"), k("pizza")]));
+    }
+
+    #[test]
+    fn theorem1_grouping_allows_permutations() {
+        // Example 10: grouping tolerates any permutation of a supported
+        // order's attributes.
+        let (c, rep) = t1_rep();
+        let t = rep.ftree();
+        let a = |n: &str| c.lookup(n).unwrap();
+        assert!(supports_group(t, &[a("date"), a("pizza")]));
+        assert!(supports_group(t, &[a("item"), a("pizza"), a("date")]));
+        assert!(!supports_group(t, &[a("customer"), a("pizza")]));
+        assert!(!supports_group(t, &[a("date")]));
+    }
+
+    #[test]
+    fn ordered_enumeration_is_sorted() {
+        let (c, rep) = t1_rep();
+        let a = |n: &str| c.lookup(n).unwrap();
+        let keys = vec![
+            SortKey::asc(a("pizza")),
+            SortKey::asc(a("date")),
+            SortKey::asc(a("item")),
+        ];
+        let spec = EnumSpec::ordered(rep.ftree(), &keys).unwrap();
+        let it = TupleIter::new(&rep, &spec).unwrap();
+        let rel = it
+            .projected(&[a("pizza"), a("date"), a("item")], None)
+            .unwrap();
+        assert_eq!(rel.len(), rep.tuple_count());
+        assert!(rel.is_sorted_by(&keys));
+    }
+
+    #[test]
+    fn descending_enumeration() {
+        let (c, rep) = t1_rep();
+        let a = |n: &str| c.lookup(n).unwrap();
+        let keys = vec![SortKey::desc(a("pizza")), SortKey::desc(a("date"))];
+        let spec = EnumSpec::ordered(rep.ftree(), &keys).unwrap();
+        let it = TupleIter::new(&rep, &spec).unwrap();
+        let rel = it.projected(&[a("pizza"), a("date")], None).unwrap();
+        assert!(rel.is_sorted_by(&keys));
+        assert_eq!(rel.row(0)[0], Value::str("Hawaii"));
+    }
+
+    #[test]
+    fn limit_stops_early() {
+        let (c, rep) = t1_rep();
+        let a = |n: &str| c.lookup(n).unwrap();
+        let keys = vec![SortKey::asc(a("pizza"))];
+        let spec = EnumSpec::ordered(rep.ftree(), &keys).unwrap();
+        let it = TupleIter::new(&rep, &spec).unwrap();
+        let rel = it.projected(&[a("pizza"), a("customer")], Some(3)).unwrap();
+        assert_eq!(rel.len(), 3);
+    }
+
+    #[test]
+    fn unsupported_order_is_rejected() {
+        let (c, rep) = t1_rep();
+        let a = |n: &str| c.lookup(n).unwrap();
+        let err = EnumSpec::ordered(rep.ftree(), &[SortKey::asc(a("customer"))]);
+        assert!(matches!(err, Err(FdbError::OrderUnsupported(_))));
+    }
+
+    #[test]
+    fn group_cursor_on_the_fly_aggregation() {
+        // Scenario 3: revenue per pizza without materialising the
+        // aggregate — walk pizza groups, evaluate sum(price) on the
+        // dangling subtrees.
+        let (c, rep) = t1_rep();
+        let a = |n: &str| c.lookup(n).unwrap();
+        let spec = EnumSpec::group_prefix(rep.ftree(), &[a("pizza")]).unwrap();
+        let mut cur = GroupCursor::new(&rep, &spec).unwrap();
+        let mut got: Vec<(String, Value)> = Vec::new();
+        while let Some((vals, dangling)) = cur.next_group() {
+            let v = crate::agg::eval_funcs(
+                rep.ftree(),
+                &dangling,
+                &[AggOp::Sum(a("price"))],
+            )
+            .unwrap();
+            got.push((vals[0].as_str().unwrap().to_string(), v));
+        }
+        // Capricciosa: prices (6+1) × 2 dates = 14; Hawaii: 6 × 2
+        // customers = 12.
+        assert_eq!(
+            got,
+            vec![
+                ("Capricciosa".to_string(), Value::Int(14)),
+                ("Hawaii".to_string(), Value::Int(12)),
+            ]
+        );
+    }
+
+    #[test]
+    fn group_cursor_empty_group_list_single_group() {
+        let (c, rep) = t1_rep();
+        let a = |n: &str| c.lookup(n).unwrap();
+        let spec = EnumSpec::group_prefix(rep.ftree(), &[]).unwrap();
+        let mut cur = GroupCursor::new(&rep, &spec).unwrap();
+        let mut groups = 0;
+        while let Some((vals, dangling)) = cur.next_group() {
+            assert!(vals.is_empty());
+            let v =
+                crate::agg::eval_funcs(rep.ftree(), &dangling, &[AggOp::Count]).unwrap();
+            assert_eq!(v, Value::Int(6));
+            groups += 1;
+        }
+        assert_eq!(groups, 1);
+        let _ = a("pizza");
+    }
+
+    #[test]
+    fn empty_rep_yields_nothing() {
+        let mut c = Catalog::new();
+        let x = c.intern("x");
+        let rel = Relation::empty(Schema::new(vec![x]));
+        let rep = FRep::from_relation(&rel, crate::ftree::FTree::path(&[x])).unwrap();
+        let spec = EnumSpec::all_preorder(rep.ftree());
+        let mut it = TupleIter::new(&rep, &spec).unwrap();
+        assert!(it.next_row().is_none());
+        let gspec = EnumSpec::group_prefix(rep.ftree(), &[]).unwrap();
+        let mut cur = GroupCursor::new(&rep, &gspec).unwrap();
+        assert!(cur.next_group().is_none());
+    }
+
+    #[test]
+    fn group_prefix_ordered_respects_keys() {
+        let (c, rep) = t1_rep();
+        let a = |n: &str| c.lookup(n).unwrap();
+        // Group by {pizza, date} ordered by (pizza DESC, date ASC).
+        let keys = [SortKey::desc(a("pizza")), SortKey::asc(a("date"))];
+        let spec =
+            EnumSpec::group_prefix_ordered(rep.ftree(), &[a("date"), a("pizza")], &keys)
+                .unwrap();
+        let mut cur = GroupCursor::new(&rep, &spec).unwrap();
+        let mut groups: Vec<(String, i64)> = Vec::new();
+        while let Some((vals, _)) = cur.next_group() {
+            groups.push((
+                vals[0].as_str().unwrap().to_string(),
+                vals[1].as_int().unwrap(),
+            ));
+        }
+        let mut expected = groups.clone();
+        expected.sort_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)));
+        assert_eq!(groups, expected);
+        assert!(groups.len() >= 2);
+        // A key outside the group set is rejected.
+        let err = EnumSpec::group_prefix_ordered(
+            rep.ftree(),
+            &[a("pizza")],
+            &[SortKey::asc(a("customer"))],
+        );
+        assert!(matches!(err, Err(FdbError::OrderUnsupported(_))));
+    }
+
+    #[test]
+    fn group_cursor_exposes_free_roots_as_dangling() {
+        // A forest with one grouped root and one free root: the free
+        // root's union must appear in every group's dangling list.
+        let mut c = Catalog::new();
+        let g = c.intern("g");
+        let w = c.intern("w");
+        let rel_g = Relation::from_rows(
+            Schema::new(vec![g]),
+            [1, 2].into_iter().map(|v| vec![Value::Int(v)]),
+        );
+        let rel_w = Relation::from_rows(
+            Schema::new(vec![w]),
+            [10, 20, 30].into_iter().map(|v| vec![Value::Int(v)]),
+        );
+        let rep_g = crate::frep::FRep::from_relation(
+            &rel_g,
+            crate::ftree::FTree::path(&[g]),
+        )
+        .unwrap();
+        let rep_w = crate::frep::FRep::from_relation(
+            &rel_w,
+            crate::ftree::FTree::path(&[w]),
+        )
+        .unwrap();
+        let rep = crate::ops::product(rep_g, rep_w);
+        let spec = EnumSpec::group_prefix(rep.ftree(), &[g]).unwrap();
+        let mut cur = GroupCursor::new(&rep, &spec).unwrap();
+        let mut n_groups = 0;
+        while let Some((vals, dangling)) = cur.next_group() {
+            assert_eq!(vals.len(), 1);
+            assert_eq!(dangling.len(), 1);
+            let count =
+                crate::agg::eval_funcs(rep.ftree(), &dangling, &[crate::ftree::AggOp::Count])
+                    .unwrap();
+            assert_eq!(count, Value::Int(3));
+            n_groups += 1;
+        }
+        assert_eq!(n_groups, 2);
+    }
+}

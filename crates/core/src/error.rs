@@ -1,0 +1,58 @@
+//! Error type for the factorised engine.
+
+use std::fmt;
+
+/// Errors raised by f-tree manipulation, factorised evaluation and planning.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FdbError {
+    /// An operator was applied to nodes in an invalid position (e.g. merge
+    /// of non-siblings, swap of non-parent-child).
+    InvalidOperator(String),
+    /// A composition of aggregation operators outside Proposition 2, e.g.
+    /// `count` over a `sum` aggregate singleton.
+    InvalidComposition(String),
+    /// The f-tree would violate the path constraint (Proposition 1).
+    PathConstraint(String),
+    /// An aggregate met a non-numeric value.
+    NonNumeric(String),
+    /// Name resolution failure.
+    Unresolved(String),
+    /// Requested enumeration order is not supported and restructuring was
+    /// disabled or failed.
+    OrderUnsupported(String),
+    /// Planner could not produce a plan (e.g. state budget exhausted).
+    PlanningFailed(String),
+}
+
+impl fmt::Display for FdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FdbError::InvalidOperator(m) => write!(f, "invalid operator application: {m}"),
+            FdbError::InvalidComposition(m) => {
+                write!(f, "invalid aggregation composition (Prop. 2): {m}")
+            }
+            FdbError::PathConstraint(m) => write!(f, "path constraint violation: {m}"),
+            FdbError::NonNumeric(m) => write!(f, "non-numeric value in aggregate: {m}"),
+            FdbError::Unresolved(m) => write!(f, "unresolved name: {m}"),
+            FdbError::OrderUnsupported(m) => write!(f, "order not supported: {m}"),
+            FdbError::PlanningFailed(m) => write!(f, "planning failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FdbError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, FdbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = FdbError::InvalidComposition("count over sum(price)".into());
+        assert!(e.to_string().contains("Prop. 2"));
+        assert!(e.to_string().contains("count over sum(price)"));
+    }
+}

@@ -1,0 +1,574 @@
+//! Factorised representations over f-trees (Definition 1).
+//!
+//! A factorisation over an f-tree is stored in its canonical grouped form:
+//! for a node `n` with children `c1…ck`, the data under one group is
+//! `⋃_a (⟨n:a⟩ × E1(a) × … × Ek(a))` — a [`Union`] of [`Entry`]s, each
+//! holding the singleton value and one child [`Union`] per child of `n`.
+//!
+//! Invariants maintained by every operator:
+//! * entries of every union are sorted by **strictly ascending** value
+//!   (§4.1: "singletons within each union are kept sorted");
+//! * `Entry::children` is parallel to the f-tree's child list;
+//! * unions are non-empty everywhere except at the roots (empty unions are
+//!   pruned bottom-up, so emptiness is only representable at the top).
+
+use crate::error::{FdbError, Result};
+use crate::ftree::{FTree, NodeId, NodeLabel};
+use fdb_relational::{AttrId, Catalog, Relation, Schema, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One singleton value plus the factorisations of the child subtrees.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entry {
+    pub value: Value,
+    /// One union per child of this entry's node, in f-tree child order.
+    pub children: Vec<Union>,
+}
+
+/// A union of singleton-rooted products for one f-tree node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Union {
+    /// The f-tree node this union ranges over.
+    pub node: NodeId,
+    /// Entries sorted by strictly ascending value.
+    pub entries: Vec<Entry>,
+}
+
+impl Union {
+    /// An empty union for `node`.
+    pub fn empty(node: NodeId) -> Self {
+        Union {
+            node,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Binary search for an entry by value.
+    pub fn find(&self, value: &Value) -> Option<usize> {
+        self.entries
+            .binary_search_by(|e| e.value.cmp(value))
+            .ok()
+    }
+
+    /// Number of singletons in this union and all its descendants.
+    pub fn singleton_count(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| 1 + e.children.iter().map(Union::singleton_count).sum::<usize>())
+            .sum()
+    }
+}
+
+/// A factorised representation: an f-tree plus one union per root.
+#[derive(Clone, Debug)]
+pub struct FRep {
+    ftree: FTree,
+    roots: Vec<Union>,
+}
+
+impl FRep {
+    /// Wraps pre-built unions (crate-internal; operators use this).
+    ///
+    /// Empty root unions are re-tagged to the (possibly restructured)
+    /// f-tree's root ids: an operator on an empty relation changes the
+    /// tree but has no entries to carry the new node ids.
+    pub(crate) fn from_parts(ftree: FTree, mut roots: Vec<Union>) -> Self {
+        let root_ids: Vec<NodeId> = ftree.roots().to_vec();
+        for (u, &rid) in roots.iter_mut().zip(&root_ids) {
+            if u.entries.is_empty() {
+                u.node = rid;
+            }
+        }
+        FRep { ftree, roots }
+    }
+
+    /// Builds a representation from externally constructed unions,
+    /// validating the structural invariants (sorted distinct entries,
+    /// child arity, no empty inner unions).
+    ///
+    /// This is the constructor for callers that assemble factorisations
+    /// directly — e.g. data generators that know the grouping structure
+    /// and can emit the factorised form in linear time.
+    pub fn new(ftree: FTree, roots: Vec<Union>) -> Result<FRep> {
+        let rep = FRep { ftree, roots };
+        rep.check_invariants()?;
+        Ok(rep)
+    }
+
+    /// The empty relation over `ftree`'s schema.
+    pub fn empty(ftree: FTree) -> Self {
+        let roots = ftree.roots().iter().map(|&r| Union::empty(r)).collect();
+        FRep { ftree, roots }
+    }
+
+    /// Builds the factorisation of `rel` over `ftree` by recursive grouping.
+    ///
+    /// Every f-tree node must be an atomic single-attribute node and the
+    /// exposed attributes must be exactly `rel`'s schema. For a *path*
+    /// f-tree the result always represents `rel` exactly (a sorted trie);
+    /// for branching f-trees it represents `rel` exactly iff `rel`
+    /// satisfies the join dependencies the branching asserts (Prop. 1) —
+    /// `debug_assert`ed here, and guaranteed by construction when the
+    /// f-plan operators build the branching themselves.
+    pub fn from_relation(rel: &Relation, ftree: FTree) -> Result<FRep> {
+        let mut col_of: BTreeMap<AttrId, usize> = BTreeMap::new();
+        for n in ftree.live_nodes() {
+            match &ftree.node(n).label {
+                NodeLabel::Atomic(attrs) if attrs.len() == 1 => {
+                    let pos = rel.schema().position(attrs[0]).ok_or_else(|| {
+                        FdbError::Unresolved(format!(
+                            "f-tree attribute {} missing from relation schema",
+                            attrs[0]
+                        ))
+                    })?;
+                    col_of.insert(attrs[0], pos);
+                }
+                _ => {
+                    return Err(FdbError::InvalidOperator(
+                        "from_relation needs single-attribute atomic nodes".into(),
+                    ))
+                }
+            }
+        }
+        if col_of.len() != rel.arity() {
+            return Err(FdbError::Unresolved(
+                "f-tree does not cover the relation schema".into(),
+            ));
+        }
+        let all_rows: Vec<usize> = (0..rel.len()).collect();
+        let roots = ftree
+            .roots()
+            .iter()
+            .map(|&r| build_union(rel, &ftree, r, &all_rows, &col_of))
+            .collect();
+        let rep = FRep { ftree, roots };
+        debug_assert!(rep.check_invariants().is_ok());
+        Ok(rep)
+    }
+
+    /// The nesting structure.
+    pub fn ftree(&self) -> &FTree {
+        &self.ftree
+    }
+
+    pub(crate) fn ftree_mut(&mut self) -> &mut FTree {
+        &mut self.ftree
+    }
+
+    /// Root unions, parallel to `ftree().roots()`.
+    pub fn roots(&self) -> &[Union] {
+        &self.roots
+    }
+
+    /// Mutable root access; only tests use this (to corrupt invariants).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn roots_mut(&mut self) -> &mut Vec<Union> {
+        &mut self.roots
+    }
+
+    /// Decomposes into parts (crate-internal).
+    pub(crate) fn into_parts(self) -> (FTree, Vec<Union>) {
+        (self.ftree, self.roots)
+    }
+
+    /// True if the represented relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.roots.iter().any(|u| u.entries.is_empty())
+    }
+
+    /// Total number of singletons — the paper's size measure for
+    /// factorisations (§6 reports sizes in singletons).
+    pub fn singleton_count(&self) -> usize {
+        self.roots.iter().map(Union::singleton_count).sum()
+    }
+
+    /// Number of tuples in the represented relation (product of root
+    /// counts of a quick recursive walk; cheap relative to enumeration).
+    pub fn tuple_count(&self) -> usize {
+        if self.is_empty() {
+            return 0;
+        }
+        self.roots.iter().map(count_tuples).product()
+    }
+
+    /// Output schema in f-tree pre-order: every atomic class contributes
+    /// all its attributes, every aggregate node its output columns.
+    pub fn schema(&self) -> Schema {
+        Schema::new(self.ftree.all_attrs())
+    }
+
+    /// Flattens into a relation laid out per [`FRep::schema`].
+    ///
+    /// This is the `FDB` (flat output) mode of the experiments; `FDB f/o`
+    /// keeps the `FRep`.
+    pub fn flatten(&self) -> Relation {
+        let schema = self.schema();
+        let mut out = Relation::empty(schema);
+        let mut buf: Vec<Value> = Vec::with_capacity(out.arity());
+        self.for_each_tuple(|row| {
+            buf.clear();
+            buf.extend_from_slice(row);
+            out.push_row(&buf);
+        });
+        out
+    }
+
+    /// Invokes `f` once per represented tuple, laid out per [`FRep::schema`].
+    pub fn for_each_tuple(&self, mut f: impl FnMut(&[Value])) {
+        if self.is_empty() {
+            return;
+        }
+        let width: usize = self.schema().arity();
+        let mut row: Vec<Value> = vec![Value::Int(0); width];
+        // Column offsets per node in pre-order.
+        let mut offsets: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let mut off = 0;
+        for n in self.ftree.live_nodes() {
+            offsets.insert(n, off);
+            off += self.ftree.node(n).label.exposed_attrs().len();
+        }
+        fn rec(
+            rep: &FRep,
+            unions: &[&Union],
+            idx: usize,
+            offsets: &BTreeMap<NodeId, usize>,
+            row: &mut Vec<Value>,
+            f: &mut impl FnMut(&[Value]),
+        ) {
+            if idx == unions.len() {
+                f(row);
+                return;
+            }
+            let u = unions[idx];
+            let label = &rep.ftree.node(u.node).label;
+            let off = offsets[&u.node];
+            for e in &u.entries {
+                write_values(label, &e.value, &mut row[off..]);
+                if e.children.is_empty() {
+                    rec(rep, unions, idx + 1, offsets, row, f);
+                } else {
+                    // Expand this entry's children before the remaining
+                    // sibling unions: pre-order within the subtree, then
+                    // continue with the siblings.
+                    let mut next: Vec<&Union> = e.children.iter().collect();
+                    next.extend_from_slice(&unions[idx + 1..]);
+                    rec(rep, &next, 0, offsets, row, f);
+                }
+            }
+        }
+        let top: Vec<&Union> = self.roots.iter().collect();
+        rec(self, &top, 0, &offsets, &mut row, &mut f);
+    }
+
+    /// Structural invariant check (used by tests and `debug_assert`s).
+    pub fn check_invariants(&self) -> Result<()> {
+        if self.roots.len() != self.ftree.roots().len() {
+            return Err(FdbError::InvalidOperator(
+                "root union count mismatch".into(),
+            ));
+        }
+        for (u, &r) in self.roots.iter().zip(self.ftree.roots()) {
+            self.check_union(u, r, true)?;
+        }
+        Ok(())
+    }
+
+    fn check_union(&self, u: &Union, node: NodeId, at_root: bool) -> Result<()> {
+        if u.node != node {
+            return Err(FdbError::InvalidOperator(format!(
+                "union node {:?} does not match f-tree node {:?}",
+                u.node, node
+            )));
+        }
+        if !at_root && u.entries.is_empty() {
+            return Err(FdbError::InvalidOperator(
+                "empty union below the roots".into(),
+            ));
+        }
+        let children = &self.ftree.node(node).children;
+        let mut prev: Option<&Value> = None;
+        for e in &u.entries {
+            if let Some(p) = prev {
+                if p >= &e.value {
+                    return Err(FdbError::InvalidOperator(format!(
+                        "union entries not strictly ascending at {node:?}"
+                    )));
+                }
+            }
+            prev = Some(&e.value);
+            if e.children.len() != children.len() {
+                return Err(FdbError::InvalidOperator(format!(
+                    "entry has {} child unions, f-tree node has {} children",
+                    e.children.len(),
+                    children.len()
+                )));
+            }
+            for (cu, &cn) in e.children.iter().zip(children) {
+                self.check_union(cu, cn, false)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the factorisation in the paper's nested notation.
+    pub fn display(&self, catalog: &Catalog) -> String {
+        let mut out = String::new();
+        for (i, u) in self.roots.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" × ");
+            }
+            self.display_union(u, catalog, &mut out);
+        }
+        out
+    }
+
+    fn display_union(&self, u: &Union, catalog: &Catalog, out: &mut String) {
+        if u.entries.len() != 1 {
+            out.push('(');
+        }
+        for (i, e) in u.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" ∪ ");
+            }
+            let label = &self.ftree.node(u.node).label;
+            let name = match label {
+                NodeLabel::Atomic(attrs) => catalog.name(attrs[0]).to_string(),
+                NodeLabel::Agg(l) => {
+                    let fs: Vec<String> =
+                        l.funcs.iter().map(|f| f.display(catalog)).collect();
+                    fs.join(",")
+                }
+            };
+            let _ = write!(out, "⟨{name}:{}⟩", e.value);
+            for cu in &e.children {
+                out.push_str(" × ");
+                self.display_union(cu, catalog, out);
+            }
+        }
+        if u.entries.len() != 1 {
+            out.push(')');
+        }
+    }
+}
+
+/// Writes an entry's value into the output row slots of its node.
+fn write_values(label: &NodeLabel, value: &Value, slots: &mut [Value]) {
+    match label {
+        NodeLabel::Atomic(attrs) => {
+            // Every member of the equivalence class carries the value.
+            for slot in slots.iter_mut().take(attrs.len()) {
+                *slot = value.clone();
+            }
+        }
+        NodeLabel::Agg(l) => {
+            if l.arity() == 1 {
+                slots[0] = value.clone();
+            } else {
+                let comps = value.as_tup().expect("composite aggregate holds a Tup");
+                for (i, c) in comps.iter().enumerate() {
+                    slots[i] = c.clone();
+                }
+            }
+        }
+    }
+}
+
+/// Extracts the output value of `attr` from an entry of `label`.
+pub fn value_for_attr(label: &NodeLabel, value: &Value, attr: AttrId) -> Option<Value> {
+    match label {
+        NodeLabel::Atomic(attrs) => attrs.contains(&attr).then(|| value.clone()),
+        NodeLabel::Agg(l) => {
+            let i = l.outputs.iter().position(|&o| o == attr)?;
+            if l.arity() == 1 {
+                Some(value.clone())
+            } else {
+                value.as_tup().map(|t| t[i].clone())
+            }
+        }
+    }
+}
+
+fn count_tuples(u: &Union) -> usize {
+    u.entries
+        .iter()
+        .map(|e| e.children.iter().map(count_tuples).product::<usize>())
+        .sum()
+}
+
+fn build_union(
+    rel: &Relation,
+    ftree: &FTree,
+    node: NodeId,
+    rows: &[usize],
+    col_of: &BTreeMap<AttrId, usize>,
+) -> Union {
+    let attr = match &ftree.node(node).label {
+        NodeLabel::Atomic(attrs) => attrs[0],
+        NodeLabel::Agg(_) => unreachable!("checked by from_relation"),
+    };
+    let col = col_of[&attr];
+    let mut groups: BTreeMap<Value, Vec<usize>> = BTreeMap::new();
+    for &r in rows {
+        groups.entry(rel.row(r)[col].clone()).or_default().push(r);
+    }
+    let children = ftree.node(node).children.clone();
+    let entries = groups
+        .into_iter()
+        .map(|(value, group)| Entry {
+            children: children
+                .iter()
+                .map(|&c| build_union(rel, ftree, c, &group, col_of))
+                .collect(),
+            value,
+        })
+        .collect();
+    Union { node, entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The two-column relation of Example 3.
+    fn example3() -> (Catalog, Relation) {
+        let mut c = Catalog::new();
+        let a = c.intern("A");
+        let b = c.intern("B");
+        let rel = Relation::from_rows(
+            Schema::new(vec![a, b]),
+            [(1, 1), (1, 2), (1, 3), (2, 1), (2, 2), (2, 3)]
+                .into_iter()
+                .map(|(x, y)| vec![Value::Int(x), Value::Int(y)]),
+        );
+        (c, rel)
+    }
+
+    #[test]
+    fn path_factorisation_round_trips() {
+        let (c, rel) = example3();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let t = FTree::path(&[a, b]);
+        let rep = FRep::from_relation(&rel, t).unwrap();
+        rep.check_invariants().unwrap();
+        assert_eq!(rep.flatten().canonical(), rel.canonical());
+        assert_eq!(rep.tuple_count(), 6);
+        // Trie: 2 A-singletons + 2×3 B-singletons.
+        assert_eq!(rep.singleton_count(), 8);
+    }
+
+    #[test]
+    fn independent_branches_factorise_succinctly() {
+        // Example 3: A and B are independent, so the forest {A} {B}
+        // represents R with 2 + 3 = 5 singletons instead of 12.
+        let (c, rel) = example3();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let mut t = FTree::new();
+        t.add_node(NodeLabel::Atomic(vec![a]), None);
+        t.add_node(NodeLabel::Atomic(vec![b]), None);
+        let rep = FRep::from_relation(&rel, t).unwrap();
+        assert_eq!(rep.singleton_count(), 5);
+        assert_eq!(rep.flatten().canonical(), rel.canonical());
+    }
+
+    #[test]
+    fn empty_relation_representation() {
+        let (c, rel) = example3();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let empty = Relation::empty(rel.schema().clone());
+        let rep = FRep::from_relation(&empty, FTree::path(&[a, b])).unwrap();
+        assert!(rep.is_empty());
+        assert_eq!(rep.tuple_count(), 0);
+        assert_eq!(rep.singleton_count(), 0);
+        assert!(rep.flatten().is_empty());
+    }
+
+    #[test]
+    fn branching_tree_with_valid_join_dependency() {
+        // pizza → {date, item}: valid when date and item are independent
+        // given pizza.
+        let mut c = Catalog::new();
+        let pizza = c.intern("pizza");
+        let date = c.intern("date");
+        let item = c.intern("item");
+        let rel = Relation::from_rows(
+            Schema::new(vec![pizza, date, item]),
+            [
+                ("Hawaii", 1, "base"),
+                ("Hawaii", 1, "ham"),
+                ("Hawaii", 2, "base"),
+                ("Hawaii", 2, "ham"),
+                ("Margherita", 1, "base"),
+            ]
+            .into_iter()
+            .map(|(p, d, i)| vec![Value::str(p), Value::Int(d), Value::str(i)]),
+        );
+        let mut t = FTree::new();
+        let np = t.add_node(NodeLabel::Atomic(vec![pizza]), None);
+        t.add_node(NodeLabel::Atomic(vec![date]), Some(np));
+        t.add_node(NodeLabel::Atomic(vec![item]), Some(np));
+        t.add_dep([pizza, date]);
+        t.add_dep([pizza, item]);
+        let rep = FRep::from_relation(&rel, t).unwrap();
+        assert_eq!(rep.flatten().canonical(), rel.canonical());
+        // 2 pizzas + (2 dates + 2 items) + (1 date + 1 item).
+        assert_eq!(rep.singleton_count(), 8);
+    }
+
+    #[test]
+    fn sortedness_invariant_detected() {
+        let (c, rel) = example3();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let mut rep = FRep::from_relation(&rel, FTree::path(&[a, b])).unwrap();
+        // Corrupt the order.
+        rep.roots_mut()[0].entries.reverse();
+        assert!(rep.check_invariants().is_err());
+    }
+
+    #[test]
+    fn find_binary_search() {
+        let (c, rel) = example3();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let rep = FRep::from_relation(&rel, FTree::path(&[a, b])).unwrap();
+        let u = &rep.roots()[0];
+        assert_eq!(u.find(&Value::Int(2)), Some(1));
+        assert_eq!(u.find(&Value::Int(9)), None);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let (c, rel) = example3();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let mut t = FTree::new();
+        t.add_node(NodeLabel::Atomic(vec![a]), None);
+        t.add_node(NodeLabel::Atomic(vec![b]), None);
+        let rep = FRep::from_relation(&rel, t).unwrap();
+        let s = rep.display(&c);
+        assert!(s.contains("⟨A:1⟩ ∪ ⟨A:2⟩"));
+        assert!(s.contains('×'));
+    }
+
+    #[test]
+    fn flatten_layout_matches_schema() {
+        let mut c = Catalog::new();
+        let x = c.intern("x");
+        let y = c.intern("y");
+        let rel = Relation::from_rows(
+            Schema::new(vec![y, x]), // note: relation order differs
+            [(10, 1), (20, 2)]
+                .into_iter()
+                .map(|(b, a)| vec![Value::Int(b), Value::Int(a)]),
+        );
+        let rep = FRep::from_relation(&rel, FTree::path(&[x, y])).unwrap();
+        let schema = rep.schema();
+        assert_eq!(schema.attrs(), &[x, y]);
+        let flat = rep.flatten();
+        assert_eq!(flat.row(0), &[Value::Int(1), Value::Int(10)]);
+    }
+}

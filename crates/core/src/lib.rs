@@ -1,0 +1,78 @@
+//! # fdb-core — factorised databases with aggregation and ordering
+//!
+//! A from-scratch Rust implementation of the FDB query engine extended
+//! with aggregates and ordering, reproducing *Aggregation and Ordering in
+//! Factorised Databases* (Bakibayev, Kočiský, Olteanu, Závodný; VLDB
+//! 2013).
+//!
+//! A **factorised database** represents a relation as a relational algebra
+//! expression of unions, products and singletons whose nesting structure
+//! is a **factorisation tree** ([`ftree::FTree`]); the representation
+//! ([`frep::FRep`]) can be exponentially smaller than the relation it
+//! denotes. This crate provides:
+//!
+//! * the f-plan operators of the FDB engine — product, constant
+//!   selections, merge/absorb (equality selections), swap (restructuring),
+//!   projection and constant-time renaming ([`ops`]);
+//! * the paper's contribution: the **aggregation operator** `γ_F(U)` with
+//!   linear-time recursive evaluators for `count`/`sum`/`min`/`max` and
+//!   composite functions such as `avg` ([`agg`], [`ops::aggregate`]),
+//!   composing under the rules of Proposition 2;
+//! * **constant-delay enumeration** of tuples, plain, grouped (Theorem 1)
+//!   and in given asc/desc lexicographic orders (Theorem 2), plus the
+//!   group cursor for on-the-fly aggregate combination ([`enumerate`]);
+//! * restructuring for group-by/order-by clauses via swaps, including the
+//!   single-attribute consolidation of §5.2 step 7 ([`orderby`]);
+//! * the **optimisers**: the greedy heuristic of §5.2 and exhaustive
+//!   Dijkstra over the f-plan space, both driven by tight factorisation
+//!   size bounds from fractional edge covers ([`optim`]);
+//! * a high-level engine executing SQL-lowered
+//!   [`fdb_relational::planner::JoinAggTask`]s end to end
+//!   ([`engine::FdbEngine`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fdb_core::engine::FdbEngine;
+//! use fdb_relational::planner::JoinAggTask;
+//! use fdb_relational::{AggFunc, AggSpec, Catalog, Relation, Schema, Value};
+//!
+//! let mut catalog = Catalog::new();
+//! let item = catalog.intern("item");
+//! let price = catalog.intern("price");
+//! let items = Relation::from_rows(
+//!     Schema::new(vec![item, price]),
+//!     [("base", 6), ("ham", 1)].into_iter()
+//!         .map(|(i, p)| vec![Value::str(i), Value::Int(p)]),
+//! );
+//! let mut engine = FdbEngine::new(catalog);
+//! engine.register_relation("Items", items);
+//! let total = engine.catalog.intern("total");
+//! let task = JoinAggTask {
+//!     inputs: vec!["Items".into()],
+//!     aggregates: vec![AggSpec::new(AggFunc::Sum(price), total)],
+//!     ..Default::default()
+//! };
+//! let result = engine.run_default(&task).unwrap();
+//! let rel = result.to_relation().unwrap();
+//! assert_eq!(rel.row(0)[0], Value::Int(7));
+//! ```
+
+pub mod agg;
+pub mod engine;
+pub mod enumerate;
+pub mod error;
+pub mod frep;
+pub mod ftree;
+pub mod io;
+pub mod ops;
+pub mod optim;
+pub mod orderby;
+pub mod plan;
+
+pub use engine::{ConsolidateMode, FdbEngine, FdbResult, PlanStrategy, RunOptions};
+pub use error::{FdbError, Result};
+pub use frep::{Entry, FRep, Union};
+pub use ftree::{AggLabel, AggOp, FTree, NodeId, NodeLabel};
+pub use optim::{ExhaustiveConfig, QuerySpec, Stats};
+pub use plan::{FOp, FPlan};

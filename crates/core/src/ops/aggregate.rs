@@ -1,0 +1,352 @@
+//! The aggregation operator `γ_F(U)` — §3 of the paper.
+//!
+//! Given a set `U` of sibling subtrees (children of one parent, or roots),
+//! the operator replaces, in every context, the product of the `U`-unions
+//! by a single aggregate singleton `⟨F(U):v⟩`, where `v` is computed by the
+//! linear-time recursive algorithms of §3.2 ([`crate::agg`]). The f-tree
+//! gets a fresh aggregate node in place of the `U` subtrees, and the
+//! dependency sets are extended per Example 5.
+
+use crate::agg::eval_funcs;
+use crate::error::{FdbError, Result};
+use crate::frep::{Entry, FRep, Union};
+use crate::ftree::{AggOp, NodeId};
+use crate::ops::rewrite_at;
+use fdb_relational::AttrId;
+
+/// Where the operator applies: sibling subtrees under `parent`, or root
+/// subtrees when `parent` is `None`.
+#[derive(Clone, Debug)]
+pub struct AggTarget {
+    pub parent: Option<NodeId>,
+    pub nodes: Vec<NodeId>,
+}
+
+impl AggTarget {
+    /// Targets the subtree rooted at a single node.
+    pub fn subtree(tree: &crate::ftree::FTree, node: NodeId) -> Self {
+        AggTarget {
+            parent: tree.node(node).parent,
+            nodes: vec![node],
+        }
+    }
+}
+
+/// Applies `γ` with functions `funcs` (named `outputs`) over the target
+/// subtrees. With `k > 1` functions the new node holds composite values
+/// (§3.2.4); identical functions should be deduplicated by the caller
+/// ([`crate::agg::partial_funcs`] does).
+pub fn aggregate(
+    rep: FRep,
+    target: &AggTarget,
+    funcs: Vec<AggOp>,
+    outputs: Vec<AttrId>,
+) -> Result<FRep> {
+    if funcs.is_empty() || funcs.len() != outputs.len() {
+        return Err(FdbError::InvalidOperator(
+            "aggregate needs parallel funcs/outputs".into(),
+        ));
+    }
+    let (tree, roots) = rep.into_parts();
+    let mut new_tree = tree.clone();
+    let new_node = new_tree.aggregate(target.parent, &target.nodes, funcs.clone(), outputs)?;
+
+    // Positions of the target subtrees in the (old) sibling list.
+    let sibling_ids: Vec<NodeId> = match target.parent {
+        Some(p) => tree.node(p).children.clone(),
+        None => tree.roots().to_vec(),
+    };
+    let positions: Vec<usize> = target
+        .nodes
+        .iter()
+        .map(|&t| {
+            sibling_ids
+                .iter()
+                .position(|&c| c == t)
+                .expect("validated by tree aggregate")
+        })
+        .collect();
+    let insert_at = *positions.iter().min().expect("at least one target");
+
+    let replace =
+        |children: &mut Vec<Union>, tree: &crate::ftree::FTree| -> Result<()> {
+            // Extract target unions (highest position first to keep indices
+            // stable), evaluate, insert the aggregate leaf.
+            let mut order: Vec<usize> = positions.clone();
+            order.sort_unstable_by(|x, y| y.cmp(x));
+            let mut taken: Vec<(usize, Union)> = order
+                .into_iter()
+                .map(|i| (i, children.remove(i)))
+                .collect();
+            taken.sort_by_key(|(i, _)| *i);
+            let unions: Vec<&Union> = taken.iter().map(|(_, u)| u).collect();
+            let value = eval_funcs(tree, &unions, &funcs)?;
+            children.insert(
+                insert_at,
+                Union {
+                    node: new_node,
+                    entries: vec![Entry {
+                        value,
+                        children: Vec::new(),
+                    }],
+                },
+            );
+            Ok(())
+        };
+
+    let roots = match target.parent {
+        Some(p) => rewrite_at(&tree, roots, p, &mut |mut up| {
+            for e in up.entries.iter_mut() {
+                replace(&mut e.children, &tree)?;
+            }
+            Ok(Some(up))
+        })?,
+        None => {
+            // Root-level aggregation reduces whole root unions to one leaf.
+            let mut roots = roots;
+            if roots.iter().any(|u| u.entries.is_empty()) {
+                // Empty input: the aggregate of an empty relation is the
+                // empty relation (no groups exist).
+                return Ok(FRep::empty(new_tree));
+            }
+            replace(&mut roots, &tree)?;
+            roots
+        }
+    };
+    let out = FRep::from_parts(new_tree, roots);
+    debug_assert!(out.check_invariants().is_ok());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftree::{FTree, NodeLabel};
+    use fdb_relational::{Catalog, Relation, Schema, Value};
+
+    /// R = Orders ⋈ Pizzas ⋈ Items over T1, built directly from the flat
+    /// join (which satisfies T1's join dependencies).
+    fn fig1_rep() -> (Catalog, FRep) {
+        let mut c = Catalog::new();
+        let pizza = c.intern("pizza");
+        let date = c.intern("date");
+        let customer = c.intern("customer");
+        let item = c.intern("item");
+        let price = c.intern("price");
+        // Dates as integers: Monday=1, Tuesday=2, Friday=5.
+        let rows: Vec<(&str, i64, &str, &str, i64)> = vec![
+            ("Capricciosa", 1, "Mario", "base", 6),
+            ("Capricciosa", 1, "Mario", "ham", 1),
+            ("Capricciosa", 1, "Mario", "mushrooms", 1),
+            ("Capricciosa", 5, "Mario", "base", 6),
+            ("Capricciosa", 5, "Mario", "ham", 1),
+            ("Capricciosa", 5, "Mario", "mushrooms", 1),
+            ("Hawaii", 5, "Lucia", "base", 6),
+            ("Hawaii", 5, "Lucia", "ham", 1),
+            ("Hawaii", 5, "Lucia", "pineapple", 2),
+            ("Hawaii", 5, "Pietro", "base", 6),
+            ("Hawaii", 5, "Pietro", "ham", 1),
+            ("Hawaii", 5, "Pietro", "pineapple", 2),
+            ("Margherita", 2, "Mario", "base", 6),
+        ];
+        let rel = Relation::from_rows(
+            Schema::new(vec![pizza, date, customer, item, price]),
+            rows.into_iter().map(|(p, d, cu, i, pr)| {
+                vec![
+                    Value::str(p),
+                    Value::Int(d),
+                    Value::str(cu),
+                    Value::str(i),
+                    Value::Int(pr),
+                ]
+            }),
+        );
+        let mut t = FTree::new();
+        let n_pizza = t.add_node(NodeLabel::Atomic(vec![pizza]), None);
+        let n_date = t.add_node(NodeLabel::Atomic(vec![date]), Some(n_pizza));
+        t.add_node(NodeLabel::Atomic(vec![customer]), Some(n_date));
+        let n_item = t.add_node(NodeLabel::Atomic(vec![item]), Some(n_pizza));
+        t.add_node(NodeLabel::Atomic(vec![price]), Some(n_item));
+        t.add_dep([customer, date, pizza]);
+        t.add_dep([pizza, item]);
+        t.add_dep([item, price]);
+        let rep = FRep::from_relation(&rel, t).unwrap();
+        (c, rep)
+    }
+
+    #[test]
+    fn fig1_factorisation_size() {
+        let (_, rep) = fig1_rep();
+        // Fig. 1's factorisation: 3 pizzas + 4 dates + 4 customers + 7
+        // items + 7 prices... counted as singletons of the example: the
+        // factorisation has 25 singletons.
+        assert_eq!(rep.tuple_count(), 13);
+        assert!(rep.singleton_count() < 13 * 5);
+    }
+
+    #[test]
+    fn gamma_sum_price_gives_t2() {
+        // Example 1, query S: replace each item-price subtree by
+        // sum(price): Capricciosa 8, Hawaii 9, Margherita 6.
+        let (mut c, rep) = fig1_rep();
+        let price = c.lookup("price").unwrap();
+        let item_node = rep.ftree().node_of_attr(c.lookup("item").unwrap()).unwrap();
+        let out_attr = c.intern("sumprice");
+        let target = AggTarget::subtree(rep.ftree(), item_node);
+        let out = aggregate(rep, &target, vec![AggOp::Sum(price)], vec![out_attr]).unwrap();
+        // For each pizza, the aggregate leaf holds the pizza's price sum.
+        let root = &out.roots()[0];
+        let sums: Vec<(String, Value)> = root
+            .entries
+            .iter()
+            .map(|e| {
+                // children: [date-subtree, sum-leaf]
+                (
+                    e.value.as_str().unwrap().to_string(),
+                    e.children[1].entries[0].value.clone(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            sums,
+            vec![
+                ("Capricciosa".to_string(), Value::Int(8)),
+                ("Hawaii".to_string(), Value::Int(9)),
+                ("Margherita".to_string(), Value::Int(6)),
+            ]
+        );
+    }
+
+    #[test]
+    fn full_query_p_revenue_per_customer() {
+        // Example 1, query P = ̟customer;sum(price)(R): partial sum per
+        // pizza, swap customer up, count dates, final sum — the f-plan of
+        // Example 11. Expected: Lucia 9, Mario 22, Pietro 9.
+        let (mut c, rep) = fig1_rep();
+        let price = c.lookup("price").unwrap();
+        let customer = c.lookup("customer").unwrap();
+        let item_node = rep.ftree().node_of_attr(c.lookup("item").unwrap()).unwrap();
+        let sum_out = c.intern("sumprice");
+
+        // γ_sum(price) over the item subtree (T1 → T2).
+        let target = AggTarget::subtree(rep.ftree(), item_node);
+        let rep = aggregate(rep, &target, vec![AggOp::Sum(price)], vec![sum_out]).unwrap();
+
+        // Swap customer above date, then above pizza (T2 → T3).
+        let n_cust = rep.ftree().node_of_attr(customer).unwrap();
+        let n_date = rep.ftree().node(n_cust).parent.unwrap();
+        let rep = crate::ops::swap(rep, n_date, n_cust).unwrap();
+        let n_pizza = rep.ftree().node(n_cust).parent.unwrap();
+        let rep = crate::ops::swap(rep, n_pizza, n_cust).unwrap();
+        rep.check_invariants().unwrap();
+
+        // γ_count(date) (T3 → T4).
+        let n_date = rep.ftree().node_of_attr(c.lookup("date").unwrap()).unwrap();
+        let cnt_out = c.intern("countdate");
+        let target = AggTarget::subtree(rep.ftree(), n_date);
+        let rep = aggregate(rep, &target, vec![AggOp::Count], vec![cnt_out]).unwrap();
+
+        // Final γ_sum over everything under customer.
+        let n_cust = rep.ftree().node_of_attr(customer).unwrap();
+        let below: Vec<NodeId> = rep.ftree().node(n_cust).children.clone();
+        let rev_out = c.intern("revenue");
+        let rep = aggregate(
+            rep,
+            &AggTarget {
+                parent: Some(n_cust),
+                nodes: below,
+            },
+            vec![AggOp::Sum(price)],
+            vec![rev_out],
+        )
+        .unwrap();
+
+        let flat = rep.flatten();
+        let rows: Vec<(String, i64)> = flat
+            .rows()
+            .map(|r| (r[0].as_str().unwrap().to_string(), r[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                ("Lucia".to_string(), 9),
+                ("Mario".to_string(), 22),
+                ("Pietro".to_string(), 9),
+            ]
+        );
+    }
+
+    #[test]
+    fn root_level_aggregate_reduces_to_scalar() {
+        let (mut c, rep) = fig1_rep();
+        let price = c.lookup("price").unwrap();
+        let out_attr = c.intern("total");
+        let roots = rep.ftree().roots().to_vec();
+        let out = aggregate(
+            rep,
+            &AggTarget {
+                parent: None,
+                nodes: roots,
+            },
+            vec![AggOp::Sum(price)],
+            vec![out_attr],
+        )
+        .unwrap();
+        assert_eq!(out.tuple_count(), 1);
+        // Full sum over the join: 8+8+9+9+6 = 40.
+        assert_eq!(out.roots()[0].entries[0].value, Value::Int(40));
+    }
+
+    #[test]
+    fn aggregate_empty_relation_is_empty() {
+        let mut c = Catalog::new();
+        let a = c.intern("a");
+        let out_attr = c.intern("n");
+        let rel = Relation::empty(Schema::new(vec![a]));
+        let rep = FRep::from_relation(&rel, FTree::path(&[a])).unwrap();
+        let roots = rep.ftree().roots().to_vec();
+        let out = aggregate(
+            rep,
+            &AggTarget {
+                parent: None,
+                nodes: roots,
+            },
+            vec![AggOp::Count],
+            vec![out_attr],
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn composite_avg_as_sum_count() {
+        let (mut c, rep) = fig1_rep();
+        let price = c.lookup("price").unwrap();
+        let item_node = rep.ftree().node_of_attr(c.lookup("item").unwrap()).unwrap();
+        let s_out = c.intern("s");
+        let n_out = c.intern("n");
+        let target = AggTarget::subtree(rep.ftree(), item_node);
+        let out = aggregate(
+            rep,
+            &target,
+            vec![AggOp::Sum(price), AggOp::Count],
+            vec![s_out, n_out],
+        )
+        .unwrap();
+        // Capricciosa: (8, 3).
+        let leaf = &out.roots()[0].entries[0].children[1].entries[0].value;
+        assert_eq!(
+            *leaf,
+            Value::tup(vec![Value::Int(8), Value::Int(3)])
+        );
+    }
+
+    #[test]
+    fn mismatched_funcs_outputs_rejected() {
+        let (c, rep) = fig1_rep();
+        let item_node = rep.ftree().node_of_attr(c.lookup("item").unwrap()).unwrap();
+        let target = AggTarget::subtree(rep.ftree(), item_node);
+        let err = aggregate(rep, &target, vec![AggOp::Count], vec![]);
+        assert!(matches!(err, Err(FdbError::InvalidOperator(_))));
+    }
+}

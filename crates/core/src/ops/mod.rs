@@ -1,0 +1,90 @@
+//! F-plan operators on factorised representations (§2.1, §3, §4.2).
+//!
+//! Each operator transforms an [`crate::frep::FRep`] into another one, changing the
+//! f-tree and mirroring the change on the data in one pass:
+//!
+//! | operator | implements | module |
+//! |---|---|---|
+//! | `product` | cross product (cheapest op: forest union) | [`product`] |
+//! | `select_const` | `A θ c` selections | [`select`] |
+//! | `merge` / `absorb` | `A = B` selections (siblings / path) | [`restructure`] |
+//! | `swap` | restructuring `χ_{A,B}` | [`restructure`] |
+//! | `aggregate` | the new aggregation operator `γ_F(U)` | [`aggregate`] |
+//! | `project_away` | projection (leaf removal, with push-down) | [`project`] |
+//! | `rename` | constant-time attribute renaming | [`project`] |
+//!
+//! All operators preserve the sortedness invariant of unions and prune
+//! entries whose subtrees become empty, cascading towards the roots.
+
+pub mod aggregate;
+pub mod product;
+pub mod project;
+pub mod restructure;
+pub mod select;
+
+pub use aggregate::{aggregate, AggTarget};
+pub use product::product;
+pub use project::{project_away, remove_leaf, rename};
+pub use restructure::{absorb, merge, swap};
+pub use select::select_const;
+
+use crate::error::Result;
+use crate::frep::Union;
+use crate::ftree::{FTree, NodeId};
+
+/// Applies `f` to every occurrence of `target`'s union within `roots`.
+///
+/// The unions of a node occur once per combination of its ancestors'
+/// values; this walks the unique root path (computed on the f-tree *before*
+/// any structural change) and rewrites each occurrence. If `f` returns
+/// `None` — or a union with no entries — the containing entry is pruned and
+/// pruning cascades upward; at the root an empty union denotes the empty
+/// relation.
+pub(crate) fn rewrite_at(
+    tree: &FTree,
+    mut roots: Vec<Union>,
+    target: NodeId,
+    f: &mut dyn FnMut(Union) -> Result<Option<Union>>,
+) -> Result<Vec<Union>> {
+    let path = tree.root_path(target);
+    let root_idx = tree
+        .roots()
+        .iter()
+        .position(|&r| r == path[0])
+        .expect("target's root is a forest root");
+    let placeholder = Union::empty(path[0]);
+    let u = std::mem::replace(&mut roots[root_idx], placeholder);
+    let nu = rewrite_rec(tree, u, &path, f)?;
+    roots[root_idx] = nu.unwrap_or_else(|| Union::empty(path[0]));
+    Ok(roots)
+}
+
+fn rewrite_rec(
+    tree: &FTree,
+    u: Union,
+    path: &[NodeId],
+    f: &mut dyn FnMut(Union) -> Result<Option<Union>>,
+) -> Result<Option<Union>> {
+    debug_assert_eq!(u.node, path[0]);
+    if path.len() == 1 {
+        return Ok(f(u)?.filter(|nu| !nu.entries.is_empty()));
+    }
+    let child_idx = tree
+        .node(path[0])
+        .children
+        .iter()
+        .position(|&c| c == path[1])
+        .expect("path step is a child");
+    let mut entries = Vec::with_capacity(u.entries.len());
+    for mut e in u.entries {
+        let slot = std::mem::replace(&mut e.children[child_idx], Union::empty(path[1]));
+        if let Some(nu) = rewrite_rec(tree, slot, &path[1..], f)? {
+            e.children[child_idx] = nu;
+            entries.push(e);
+        }
+    }
+    Ok((!entries.is_empty()).then_some(Union {
+        node: u.node,
+        entries,
+    }))
+}

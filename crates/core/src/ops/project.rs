@@ -1,0 +1,168 @@
+//! Projection and renaming on factorisations.
+//!
+//! A projection removes attributes that are not wanted: attributes shared
+//! with the rest of their equivalence class are just dropped from the label
+//! (no data change); a node whose class empties must first become a leaf —
+//! implemented, as in FDB, by swapping its children above it — and is then
+//! removed (§2.1). Renaming is a constant-time label edit.
+
+use crate::error::{FdbError, Result};
+use crate::frep::FRep;
+use crate::ftree::{NodeId, NodeLabel};
+use crate::ops::{rewrite_at, swap};
+use fdb_relational::AttrId;
+
+/// Removes a leaf node's union everywhere (the data-level step of
+/// projection).
+pub fn remove_leaf(rep: FRep, node: NodeId) -> Result<FRep> {
+    let (tree, roots) = rep.into_parts();
+    let parent = tree.node(node).parent;
+    let mut new_tree = tree.clone();
+    let pos = new_tree.remove_leaf(node)?;
+    let roots = match parent {
+        Some(p) => rewrite_at(&tree, roots, p, &mut |mut up| {
+            for e in up.entries.iter_mut() {
+                e.children.remove(pos);
+            }
+            Ok(Some(up))
+        })?,
+        None => {
+            let mut roots = roots;
+            roots.remove(pos);
+            roots
+        }
+    };
+    let out = FRep::from_parts(new_tree, roots);
+    debug_assert!(out.check_invariants().is_ok());
+    Ok(out)
+}
+
+/// Projects away one attribute.
+///
+/// If the attribute shares its node with other class members, only the
+/// label changes. Otherwise the node is pushed down to a leaf with swaps
+/// (each swap lifts one child above it) and removed. Note that projection
+/// on factorised *sets* needs no deduplication: the remaining structure
+/// keys distinct combinations.
+pub fn project_away(rep: FRep, attr: AttrId) -> Result<FRep> {
+    let node = rep
+        .ftree()
+        .node_of_attr(attr)
+        .ok_or_else(|| FdbError::Unresolved(format!("attribute {attr} not in f-tree")))?;
+    let label = rep.ftree().node(node).label.clone();
+    match &label {
+        NodeLabel::Atomic(attrs) if attrs.len() > 1 => {
+            // Drop from the class; the representative value stays and the
+            // dependency edges are rewritten to a remaining member.
+            let mut rep = rep;
+            rep.ftree_mut().shrink_class(node, attr)?;
+            Ok(rep)
+        }
+        NodeLabel::Atomic(_) => {
+            let mut rep = rep;
+            // Push the node down until it is a leaf: swapping a child above
+            // the node increases the node's depth by one each time, so this
+            // terminates within the tree height.
+            loop {
+                let children = rep.ftree().node(node).children.clone();
+                match children.first() {
+                    None => break,
+                    Some(&c) => {
+                        rep = swap(rep, node, c)?;
+                    }
+                }
+            }
+            remove_leaf(rep, node)
+        }
+        NodeLabel::Agg(l) if l.outputs.len() > 1 => Err(FdbError::InvalidOperator(
+            "cannot project a single output of a composite aggregate".into(),
+        )),
+        NodeLabel::Agg(_) => {
+            let mut rep = rep;
+            loop {
+                let children = rep.ftree().node(node).children.clone();
+                match children.first() {
+                    None => break,
+                    Some(&c) => {
+                        rep = swap(rep, node, c)?;
+                    }
+                }
+            }
+            remove_leaf(rep, node)
+        }
+    }
+}
+
+/// Renames an output attribute (constant time, §2.1: names live in the
+/// f-tree, not in singletons).
+pub fn rename(mut rep: FRep, from: AttrId, to: AttrId) -> Result<FRep> {
+    rep.ftree_mut().rename_attr(from, to)?;
+    Ok(rep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftree::FTree;
+    use fdb_relational::{Catalog, Relation, Schema, Value};
+
+    fn abc_rep() -> (Catalog, FRep) {
+        let mut c = Catalog::new();
+        let a = c.intern("a");
+        let b = c.intern("b");
+        let x = c.intern("x");
+        let rel = Relation::from_rows(
+            Schema::new(vec![a, b, x]),
+            [(1, 10, 7), (1, 20, 7), (2, 10, 8), (2, 10, 9)]
+                .into_iter()
+                .map(|(p, q, r)| vec![Value::Int(p), Value::Int(q), Value::Int(r)]),
+        );
+        let rep = FRep::from_relation(&rel, FTree::path(&[a, b, x])).unwrap();
+        (c, rep)
+    }
+
+    #[test]
+    fn remove_leaf_projects() {
+        let (c, rep) = abc_rep();
+        let x = c.lookup("x").unwrap();
+        let leaf = rep.ftree().node_of_attr(x).unwrap();
+        let out = remove_leaf(rep, leaf).unwrap();
+        // π_{a,b}: three distinct pairs.
+        assert_eq!(out.tuple_count(), 3);
+        assert_eq!(out.schema().arity(), 2);
+    }
+
+    #[test]
+    fn project_away_internal_node() {
+        let (c, rep) = abc_rep();
+        let b = c.lookup("b").unwrap();
+        let out = project_away(rep, b).unwrap();
+        out.check_invariants().unwrap();
+        // π_{a,x}: (1,7), (2,8), (2,9).
+        assert_eq!(out.tuple_count(), 3);
+        let names: Vec<AttrId> = out.schema().attrs().to_vec();
+        assert!(!names.contains(&b));
+    }
+
+    #[test]
+    fn project_away_root() {
+        let (c, rep) = abc_rep();
+        let a = c.lookup("a").unwrap();
+        let out = project_away(rep, a).unwrap();
+        out.check_invariants().unwrap();
+        // π_{b,x}: (10,7), (20,7), (10,8), (10,9).
+        assert_eq!(out.tuple_count(), 4);
+    }
+
+    #[test]
+    fn rename_keeps_data() {
+        let (mut c, rep) = abc_rep();
+        let a = c.lookup("a").unwrap();
+        let z = c.intern("z");
+        let before = rep.tuple_count();
+        let out = rename(rep, a, z).unwrap();
+        assert_eq!(out.tuple_count(), before);
+        assert!(out.schema().contains(z));
+        assert!(!out.schema().contains(a));
+    }
+}

@@ -1,0 +1,111 @@
+//! Constant selections `A θ c` on factorisations.
+//!
+//! A constant selection filters the entries of the attribute's unions in
+//! one traversal of the relevant fragment (§5.1); entries whose subtrees
+//! become empty are pruned on the way back up.
+
+use crate::error::{FdbError, Result};
+use crate::frep::{value_for_attr, FRep, Union};
+use crate::ops::rewrite_at;
+use fdb_relational::{AttrId, CmpOp, Value};
+
+/// Filters the factorised relation to tuples with `attr θ value`.
+///
+/// Works on atomic attributes and on aggregate outputs alike — the latter
+/// is how `HAVING` clauses execute after aggregation (§2).
+pub fn select_const(rep: FRep, attr: AttrId, op: CmpOp, value: &Value) -> Result<FRep> {
+    let node = rep
+        .ftree()
+        .node_of_attr(attr)
+        .ok_or_else(|| FdbError::Unresolved(format!("attribute {attr} not in f-tree")))?;
+    let (tree, roots) = rep.into_parts();
+    let label = tree.node(node).label.clone();
+    let roots = rewrite_at(&tree, roots, node, &mut |mut u: Union| {
+        u.entries.retain(|e| {
+            let v = value_for_attr(&label, &e.value, attr)
+                .expect("node exposes the selected attribute");
+            op.eval(v.cmp(value))
+        });
+        Ok(Some(u))
+    })?;
+    let out = FRep::from_parts(tree, roots);
+    debug_assert!(out.check_invariants().is_ok());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftree::FTree;
+    use fdb_relational::{Catalog, Relation, Schema};
+
+    fn items() -> (Catalog, FRep) {
+        let mut c = Catalog::new();
+        let item = c.intern("item");
+        let price = c.intern("price");
+        let rel = Relation::from_rows(
+            Schema::new(vec![item, price]),
+            [("base", 6), ("ham", 1), ("mushrooms", 1), ("pineapple", 2)]
+                .into_iter()
+                .map(|(i, p)| vec![Value::str(i), Value::Int(p)]),
+        );
+        let rep = FRep::from_relation(&rel, FTree::path(&[item, price])).unwrap();
+        (c, rep)
+    }
+
+    #[test]
+    fn select_on_root_attribute() {
+        let (c, rep) = items();
+        let item = c.lookup("item").unwrap();
+        let out = select_const(rep, item, CmpOp::Eq, &Value::str("ham")).unwrap();
+        assert_eq!(out.tuple_count(), 1);
+        let flat = out.flatten();
+        assert_eq!(flat.row(0)[1], Value::Int(1));
+    }
+
+    #[test]
+    fn select_on_leaf_prunes_upwards() {
+        let (c, rep) = items();
+        let price = c.lookup("price").unwrap();
+        // price > 10 matches nothing: all item entries must be pruned.
+        let out = select_const(rep, price, CmpOp::Gt, &Value::Int(10)).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.singleton_count(), 0);
+    }
+
+    #[test]
+    fn select_keeps_matching_branches_only() {
+        let (c, rep) = items();
+        let price = c.lookup("price").unwrap();
+        let out = select_const(rep, price, CmpOp::Le, &Value::Int(2)).unwrap();
+        out.check_invariants().unwrap();
+        assert_eq!(out.tuple_count(), 3);
+        // "base" (price 6) disappeared from the item union.
+        let names: Vec<String> = out.roots()[0]
+            .entries
+            .iter()
+            .map(|e| e.value.as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["ham", "mushrooms", "pineapple"]);
+    }
+
+    #[test]
+    fn select_ne_and_ranges_compose() {
+        let (c, rep) = items();
+        let price = c.lookup("price").unwrap();
+        let step1 = select_const(rep, price, CmpOp::Ne, &Value::Int(1)).unwrap();
+        let step2 = select_const(step1, price, CmpOp::Lt, &Value::Int(6)).unwrap();
+        assert_eq!(step2.tuple_count(), 1);
+        assert_eq!(
+            step2.roots()[0].entries[0].value,
+            Value::str("pineapple")
+        );
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        let (_, rep) = items();
+        let err = select_const(rep, AttrId(99), CmpOp::Eq, &Value::Int(0));
+        assert!(matches!(err, Err(FdbError::Unresolved(_))));
+    }
+}

@@ -1,0 +1,185 @@
+//! Cost metric for f-trees: asymptotically tight size bounds (§2.1, §5).
+//!
+//! The size of a factorisation over an f-tree `T` is bounded by
+//! `Σ_{v ∈ T} Π_e |R_e|^{x_e(v)}`, where `x(v)` is an optimal fractional
+//! edge cover of the atomic attributes on the root path of `v` \[22\]. The
+//! bound both predicts operator output sizes (the optimiser's cost) and is
+//! checked against actual singleton counts in tests (soundness).
+
+use crate::ftree::{FTree, NodeLabel};
+use crate::optim::lp::fractional_edge_cover;
+use fdb_relational::AttrId;
+use std::collections::BTreeSet;
+
+/// Input cardinalities: one weighted hyperedge per base relation.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// `(schema attributes, cardinality)`; cardinalities are clamped ≥ 1.
+    pub edges: Vec<(BTreeSet<AttrId>, f64)>,
+}
+
+impl Stats {
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Registers a base relation's schema and size.
+    pub fn add_relation(&mut self, attrs: impl IntoIterator<Item = AttrId>, size: usize) {
+        self.edges
+            .push((attrs.into_iter().collect(), (size.max(1)) as f64));
+    }
+
+    /// When selections merge attribute classes, an edge covering one class
+    /// member covers them all; `expand` maps each attribute to its class.
+    fn covers(&self, edge: &BTreeSet<AttrId>, class: &[AttrId]) -> bool {
+        class.iter().any(|a| edge.contains(a))
+    }
+
+    /// Tight size bound for the set of attribute classes `classes` (each a
+    /// slice of equivalent attributes): `Π_e |R_e|^{x_e}` for the optimal
+    /// fractional cover `x`.
+    pub fn bound_for_classes(&self, classes: &[Vec<AttrId>]) -> f64 {
+        if classes.is_empty() {
+            return 1.0;
+        }
+        let edges: Vec<(Vec<usize>, f64)> = self
+            .edges
+            .iter()
+            .map(|(attrs, size)| {
+                let members: Vec<usize> = classes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, class)| self.covers(attrs, class))
+                    .map(|(i, _)| i)
+                    .collect();
+                (members, size.ln())
+            })
+            .collect();
+        let exponent = fractional_edge_cover(classes.len(), &edges);
+        if exponent.is_infinite() {
+            f64::MAX
+        } else {
+            exponent.exp()
+        }
+    }
+}
+
+/// Size bound for a factorisation over `tree` given base-relation `stats`:
+/// the sum over nodes of the bound on the node's union count, which is the
+/// bound on distinct value combinations along its root path.
+pub fn tree_cost(tree: &FTree, stats: &Stats) -> f64 {
+    let mut total = 0.0;
+    for n in tree.live_nodes() {
+        let mut classes: Vec<Vec<AttrId>> = Vec::new();
+        for p in tree.root_path(n) {
+            if let NodeLabel::Atomic(attrs) = &tree.node(p).label {
+                classes.push(attrs.clone());
+            }
+        }
+        total += stats.bound_for_classes(&classes);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frep::FRep;
+    use fdb_relational::{Catalog, Relation, Schema, Value};
+
+    #[test]
+    fn path_tree_bound_matches_trie_intuition() {
+        // R(a,b) with |R| = N: path a→b has bound N (for a) wait — for
+        // node a the path is {a}: bound N; for b the path {a,b}: bound N;
+        // total 2N.
+        let mut stats = Stats::new();
+        let a = AttrId(0);
+        let b = AttrId(1);
+        stats.add_relation([a, b], 100);
+        let tree = FTree::path(&[a, b]);
+        let cost = tree_cost(&tree, &stats);
+        assert!((cost - 200.0).abs() < 1e-6, "got {cost}");
+    }
+
+    #[test]
+    fn bound_dominates_actual_size() {
+        // Soundness: the bound is an upper bound on the singleton count.
+        let mut c = Catalog::new();
+        let a = c.intern("a");
+        let b = c.intern("b");
+        let rel = Relation::from_rows(
+            Schema::new(vec![a, b]),
+            (0..20).map(|i| vec![Value::Int(i % 5), Value::Int(i)]),
+        );
+        let mut stats = Stats::new();
+        stats.add_relation([a, b], rel.len());
+        let tree = FTree::path(&[a, b]);
+        let rep = FRep::from_relation(&rel, tree.clone()).unwrap();
+        assert!(tree_cost(&tree, &stats) + 1e-9 >= rep.singleton_count() as f64);
+    }
+
+    #[test]
+    fn branching_tree_is_cheaper_for_independent_branches() {
+        // Orders ⋈ Packages ⋈ Items over T1-style branching vs a pure
+        // path: the branching bound must not exceed the path bound.
+        let mut c = Catalog::new();
+        let pkg = c.intern("package");
+        let date = c.intern("date");
+        let cust = c.intern("customer");
+        let item = c.intern("item");
+        let price = c.intern("price");
+        let mut stats = Stats::new();
+        stats.add_relation([cust, date, pkg], 1000);
+        stats.add_relation([pkg, item], 200);
+        stats.add_relation([item, price], 50);
+
+        use crate::ftree::NodeLabel;
+        let mut branching = FTree::new();
+        let n_pkg = branching.add_node(NodeLabel::Atomic(vec![pkg]), None);
+        let n_date = branching.add_node(NodeLabel::Atomic(vec![date]), Some(n_pkg));
+        branching.add_node(NodeLabel::Atomic(vec![cust]), Some(n_date));
+        let n_item = branching.add_node(NodeLabel::Atomic(vec![item]), Some(n_pkg));
+        branching.add_node(NodeLabel::Atomic(vec![price]), Some(n_item));
+
+        let path = FTree::path(&[pkg, date, cust, item, price]);
+        let cb = tree_cost(&branching, &stats);
+        let cp = tree_cost(&path, &stats);
+        assert!(cb < cp, "branching {cb} should beat path {cp}");
+    }
+
+    #[test]
+    fn aggregate_nodes_cost_by_their_path_context() {
+        use crate::ftree::{AggLabel, AggOp, NodeLabel};
+        let mut stats = Stats::new();
+        let a = AttrId(0);
+        let b = AttrId(1);
+        let out = AttrId(9);
+        stats.add_relation([a, b], 100);
+        let mut t = FTree::new();
+        let na = t.add_node(NodeLabel::Atomic(vec![a]), None);
+        t.add_node(
+            NodeLabel::Agg(AggLabel {
+                funcs: vec![AggOp::Sum(b)],
+                over: [b].into_iter().collect(),
+                outputs: vec![out],
+            }),
+            Some(na),
+        );
+        // Aggregate node: one value per `a` value → bound 100; plus the a
+        // node itself: 100. Total 200.
+        let cost = tree_cost(&t, &stats);
+        assert!((cost - 200.0).abs() < 1e-6, "got {cost}");
+    }
+
+    #[test]
+    fn merged_classes_are_covered_by_either_edge() {
+        // After a join a=b, the class {a,b} is covered by either relation.
+        let a = AttrId(0);
+        let b = AttrId(1);
+        let mut stats = Stats::new();
+        stats.add_relation([a], 10);
+        stats.add_relation([b], 1000);
+        let bound = stats.bound_for_classes(&[vec![a, b]]);
+        assert!((bound - 10.0).abs() < 1e-6, "got {bound}");
+    }
+}

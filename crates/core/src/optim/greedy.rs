@@ -1,0 +1,707 @@
+//! The polynomial-time greedy heuristic of §5.2.
+//!
+//! Repeatedly, in priority order: (1) execute a permissible selection
+//! operator on a highest-placed node; (2) execute a permissible aggregation
+//! operator with maximal subject; (3) restructure for a pending selection,
+//! choosing the cheapest of lifting one side, the other, or both; (4) lift
+//! group-by attributes above non-group parents; (5) fix order-by
+//! contradictions; then stop. Step (7) — consolidating the remaining
+//! partial aggregates into a single attribute — runs when requested
+//! (needed for HAVING and for ordering by the aggregation result).
+//!
+//! The heuristic plans on a scratch f-tree; every emitted operator is
+//! simulated immediately so later operators reference valid node ids.
+
+use crate::agg::partial_funcs;
+use crate::error::{FdbError, Result};
+use crate::ftree::{AggOp, FTree, NodeId, NodeLabel};
+use crate::optim::cost::{tree_cost, Stats};
+use crate::orderby;
+use crate::plan::{apply_to_tree, FOp, FPlan};
+use fdb_relational::{AttrId, Catalog, CmpOp, SortKey, Value};
+use std::collections::BTreeSet;
+
+/// What the optimiser must achieve, independent of any engine plumbing.
+#[derive(Clone, Debug, Default)]
+pub struct QuerySpec {
+    /// Pending equality selections `Ai = Bi` (e.g. natural-join conditions).
+    pub selections: Vec<(AttrId, AttrId)>,
+    /// Constant selections `A θ c`, applied up front (§5.1).
+    pub const_preds: Vec<(AttrId, CmpOp, Value)>,
+    /// For aggregate-free queries: the attributes to keep.
+    pub projection: Option<Vec<AttrId>>,
+    /// Group-by attributes `G`.
+    pub group_by: Vec<AttrId>,
+    /// Final aggregation functions (avg already desugared to sum + count).
+    pub final_funcs: Vec<AggOp>,
+    /// Output attribute per final function.
+    pub final_outputs: Vec<AttrId>,
+    /// Order-by keys (over `G` attributes and/or final outputs).
+    pub order_by: Vec<SortKey>,
+    /// Reduce the aggregate to a single node (§5.2 step 7); required when
+    /// ordering/filtering by the aggregation result.
+    pub consolidate: bool,
+}
+
+impl QuerySpec {
+    pub fn is_aggregate(&self) -> bool {
+        !self.final_funcs.is_empty()
+    }
+}
+
+/// Runs the greedy heuristic, returning an executable [`FPlan`].
+pub fn greedy(
+    tree0: &FTree,
+    spec: &QuerySpec,
+    stats: &Stats,
+    catalog: &mut Catalog,
+) -> Result<FPlan> {
+    let mut tree = tree0.clone();
+    let mut plan = FPlan::new();
+    let emit = |tree: &mut FTree, plan: &mut FPlan, op: FOp| -> Result<()> {
+        apply_to_tree(tree, &op)?;
+        plan.push(op);
+        Ok(())
+    };
+
+    // Constant selections run on the input factorisation directly.
+    for (attr, op, value) in &spec.const_preds {
+        emit(
+            &mut tree,
+            &mut plan,
+            FOp::SelectConst {
+                attr: *attr,
+                op: *op,
+                value: value.clone(),
+            },
+        )?;
+    }
+
+    let mut pending: Vec<(AttrId, AttrId)> = spec.selections.clone();
+    let mut guard = 0usize;
+    loop {
+        guard += 1;
+        if guard > 10_000 {
+            return Err(FdbError::PlanningFailed("greedy did not converge".into()));
+        }
+        // Drop selections already satisfied by earlier merges/absorbs.
+        pending.retain(|&(x, y)| tree.node_of_attr(x) != tree.node_of_attr(y));
+
+        // Step 1: permissible selection operators, highest-placed first.
+        if let Some((i, op)) = applicable_selection(&tree, &pending) {
+            emit(&mut tree, &mut plan, op)?;
+            pending.remove(i);
+            continue;
+        }
+        // Step 2: permissible aggregation operator with maximal subject.
+        if spec.is_aggregate() {
+            if let Some((parent, targets)) = best_aggregate(&tree, spec, &pending) {
+                let funcs = partial_funcs(&tree, &targets, &spec.final_funcs);
+                let outputs: Vec<AttrId> = funcs
+                    .iter()
+                    .map(|f| catalog.fresh(&format!("partial_{}", f.display(catalog))))
+                    .collect();
+                emit(
+                    &mut tree,
+                    &mut plan,
+                    FOp::Aggregate {
+                        parent,
+                        targets,
+                        funcs,
+                        outputs,
+                    },
+                )?;
+                continue;
+            }
+        }
+        // Step 3: restructure for the first pending selection.
+        if let Some(&(x, y)) = pending.first() {
+            let swaps = cheapest_selection_restructuring(&tree, x, y, stats)?;
+            for (p, n) in swaps {
+                emit(&mut tree, &mut plan, FOp::Swap { parent: p, child: n })?;
+            }
+            continue;
+        }
+        // Step 4: lift a group attribute above a non-group parent.
+        if let Some((p, n)) = group_violation(&tree, &spec.group_by) {
+            emit(&mut tree, &mut plan, FOp::Swap { parent: p, child: n })?;
+            continue;
+        }
+        // Step 5: fix an order-by contradiction (keys present in the tree).
+        if let Some((p, n)) = order_violation(&tree, &spec.order_by) {
+            emit(&mut tree, &mut plan, FOp::Swap { parent: p, child: n })?;
+            continue;
+        }
+        break;
+    }
+
+    finish(&mut tree, &mut plan, spec)?;
+    Ok(plan)
+}
+
+/// Shared finishing phase for both optimisers: step 7 consolidation and
+/// the final aggregation for aggregate queries; projection for SPJ
+/// queries; then re-established group/order support (steps 4–5).
+pub(crate) fn finish(tree: &mut FTree, plan: &mut FPlan, spec: &QuerySpec) -> Result<()> {
+    let emit = |tree: &mut FTree, plan: &mut FPlan, op: FOp| -> Result<()> {
+        apply_to_tree(tree, &op)?;
+        plan.push(op);
+        Ok(())
+    };
+    if spec.is_aggregate() && spec.consolidate {
+        // Step 7: single-attribute result.
+        let (swaps, parent, targets) = orderby::plan_consolidation(tree, &spec.group_by)?;
+        for (p, n) in swaps {
+            emit(tree, plan, FOp::Swap { parent: p, child: n })?;
+        }
+        emit(
+            tree,
+            plan,
+            FOp::Aggregate {
+                parent,
+                targets,
+                funcs: spec.final_funcs.clone(),
+                outputs: spec.final_outputs.clone(),
+            },
+        )?;
+        // The consolidated output may participate in ordering (e.g. Q7
+        // orders by the revenue aggregate): re-establish Theorem 2. The
+        // Theorem 1 check is intentionally absent here — after the final
+        // aggregation every group holds exactly one tuple, so grouping is
+        // trivial and must not fight the order restructuring (ordering by
+        // the aggregate puts its node *above* the group attributes).
+        let mut guard = 0usize;
+        while let Some((p, n)) = order_violation(tree, &spec.order_by) {
+            guard += 1;
+            if guard > 10_000 {
+                return Err(FdbError::PlanningFailed(
+                    "post-consolidation restructuring did not converge".into(),
+                ));
+            }
+            emit(tree, plan, FOp::Swap { parent: p, child: n })?;
+        }
+    }
+
+    if !spec.is_aggregate() {
+        if let Some(proj) = &spec.projection {
+            // Remove unwanted attributes, deepest nodes first so most
+            // removals are plain leaf drops.
+            loop {
+                let mut victims: Vec<(usize, AttrId)> = Vec::new();
+                for n in tree.live_nodes() {
+                    for a in tree.node(n).label.exposed_attrs() {
+                        if !proj.contains(&a) {
+                            victims.push((tree.depth(n), a));
+                        }
+                    }
+                }
+                match victims.into_iter().max_by_key(|&(d, _)| d) {
+                    None => break,
+                    Some((_, a)) => {
+                        emit(tree, plan, FOp::ProjectAway { attr: a })?;
+                    }
+                }
+            }
+            // Projection may have disturbed the order support.
+            let mut guard = 0usize;
+            while let Some((p, n)) = order_violation(tree, &spec.order_by) {
+                guard += 1;
+                if guard > 10_000 {
+                    return Err(FdbError::PlanningFailed(
+                        "post-projection restructuring did not converge".into(),
+                    ));
+                }
+                emit(tree, plan, FOp::Swap { parent: p, child: n })?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Step 1: a merge/absorb whose condition already holds structurally,
+/// preferring operators touching the highest-placed (shallowest) node.
+pub(crate) fn applicable_selection(
+    tree: &FTree,
+    pending: &[(AttrId, AttrId)],
+) -> Option<(usize, FOp)> {
+    let mut best: Option<(usize, usize, FOp)> = None; // (depth, idx, op)
+    for (i, &(x, y)) in pending.iter().enumerate() {
+        let (Some(nx), Some(ny)) = (tree.node_of_attr(x), tree.node_of_attr(y)) else {
+            continue;
+        };
+        if nx == ny {
+            continue;
+        }
+        let op = if tree.node(nx).parent == tree.node(ny).parent {
+            Some(FOp::Merge { a: nx, b: ny })
+        } else if tree.is_ancestor(nx, ny) {
+            Some(FOp::Absorb { anc: nx, desc: ny })
+        } else if tree.is_ancestor(ny, nx) {
+            Some(FOp::Absorb { anc: ny, desc: nx })
+        } else {
+            None
+        };
+        if let Some(op) = op {
+            let depth = tree.depth(nx).min(tree.depth(ny));
+            if best.as_ref().is_none_or(|(d, _, _)| depth < *d) {
+                best = Some((depth, i, op));
+            }
+        }
+    }
+    best.map(|(_, i, op)| (i, op))
+}
+
+/// Step 2: the permissible aggregation target with the most atomic
+/// attributes. Returns `(parent, sibling subtrees)`.
+pub(crate) fn best_aggregate(
+    tree: &FTree,
+    spec: &QuerySpec,
+    pending: &[(AttrId, AttrId)],
+) -> Option<(Option<NodeId>, Vec<NodeId>)> {
+    // Attributes that must survive: group-by, pending selections, and any
+    // order-by attribute still atomic in the tree.
+    let mut blocked: BTreeSet<AttrId> = spec.group_by.iter().copied().collect();
+    for &(x, y) in pending {
+        blocked.insert(x);
+        blocked.insert(y);
+    }
+    for k in &spec.order_by {
+        blocked.insert(k.attr);
+    }
+    let mut best: Option<(usize, Option<NodeId>, Vec<NodeId>)> = None;
+    let mut consider = |parent: Option<NodeId>, siblings: &[NodeId]| {
+        let mut targets = Vec::new();
+        let mut atomic_attrs = 0usize;
+        let mut useful = false;
+        for &c in siblings {
+            let attrs = tree.subtree_attrs(c);
+            if attrs.iter().any(|a| blocked.contains(a)) {
+                continue;
+            }
+            for m in tree.subtree_nodes(c) {
+                match &tree.node(m).label {
+                    NodeLabel::Atomic(class) => {
+                        atomic_attrs += class.len();
+                        useful = true;
+                    }
+                    NodeLabel::Agg(_) => {
+                        if !tree.node(m).children.is_empty() {
+                            useful = true;
+                        }
+                    }
+                }
+            }
+            targets.push(c);
+        }
+        // Re-aggregating a lone bare aggregate leaf is a no-op; several
+        // bare leaves are the consolidation step's job, not step 2's.
+        if targets.is_empty() || !useful {
+            return;
+        }
+        if best
+            .as_ref()
+            .is_none_or(|(n, _, _)| atomic_attrs > *n)
+        {
+            best = Some((atomic_attrs, parent, targets));
+        }
+    };
+    consider(None, tree.roots());
+    for n in tree.live_nodes() {
+        consider(Some(n), &tree.node(n).children);
+    }
+    best.map(|(_, p, t)| (p, t))
+}
+
+/// Step 3: the cheapest of (a) lifting `x`'s node, (b) lifting `y`'s node,
+/// (c) lifting both, until a selection operator becomes applicable. Cost
+/// is the sum of intermediate f-tree size bounds, the paper's metric.
+fn cheapest_selection_restructuring(
+    tree: &FTree,
+    x: AttrId,
+    y: AttrId,
+    stats: &Stats,
+) -> Result<Vec<(NodeId, NodeId)>> {
+    let nx = tree
+        .node_of_attr(x)
+        .ok_or_else(|| FdbError::Unresolved(format!("attribute {x} not in f-tree")))?;
+    let ny = tree
+        .node_of_attr(y)
+        .ok_or_else(|| FdbError::Unresolved(format!("attribute {y} not in f-tree")))?;
+    let options: [Vec<NodeId>; 3] = [vec![nx], vec![ny], vec![nx, ny]];
+    let mut best: Option<(f64, Vec<(NodeId, NodeId)>)> = None;
+    for lift_set in options {
+        if let Some((cost, swaps)) = simulate_lifting(tree, nx, ny, &lift_set, stats) {
+            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                best = Some((cost, swaps));
+            }
+        }
+    }
+    best.map(|(_, s)| s)
+        .ok_or_else(|| FdbError::PlanningFailed("no restructuring lifts the selection".into()))
+}
+
+/// Lifts the nodes of `lift_set` round-robin until `nx`/`ny` are siblings
+/// or in ancestor-descendant position; returns `(Σ intermediate costs,
+/// swap list)` or `None` if this option stalls.
+fn simulate_lifting(
+    tree: &FTree,
+    nx: NodeId,
+    ny: NodeId,
+    lift_set: &[NodeId],
+    stats: &Stats,
+) -> Option<(f64, Vec<(NodeId, NodeId)>)> {
+    let mut scratch = tree.clone();
+    let mut swaps = Vec::new();
+    let mut cost = 0.0;
+    let applicable = |t: &FTree| {
+        t.node(nx).parent == t.node(ny).parent
+            || t.is_ancestor(nx, ny)
+            || t.is_ancestor(ny, nx)
+    };
+    let mut i = 0usize;
+    let mut stalled = 0usize;
+    while !applicable(&scratch) {
+        if swaps.len() > 2 * scratch.live_nodes().len() + 4 {
+            return None;
+        }
+        let n = lift_set[i % lift_set.len()];
+        i += 1;
+        match scratch.node(n).parent {
+            None => {
+                stalled += 1;
+                if stalled > lift_set.len() {
+                    return None; // every liftee is a root and still nothing
+                }
+            }
+            Some(p) => {
+                stalled = 0;
+                scratch.swap(p, n).ok()?;
+                swaps.push((p, n));
+                cost += tree_cost(&scratch, stats);
+            }
+        }
+    }
+    Some((cost, swaps))
+}
+
+/// Step 4 condition: a node exposing a group attribute whose parent
+/// exposes none.
+pub(crate) fn group_violation(tree: &FTree, group: &[AttrId]) -> Option<(NodeId, NodeId)> {
+    let in_group = |n: NodeId| {
+        tree.node(n)
+            .label
+            .exposed_attrs()
+            .iter()
+            .any(|a| group.contains(a))
+    };
+    tree.live_nodes().into_iter().find_map(|n| {
+        if in_group(n) {
+            tree.node(n).parent.filter(|&p| !in_group(p)).map(|p| (p, n))
+        } else {
+            None
+        }
+    })
+}
+
+/// Step 5 condition: an order-by node whose parent is not an earlier
+/// order-by node (keys whose attributes are not yet in the tree — pending
+/// final outputs — are skipped).
+pub(crate) fn order_violation(tree: &FTree, keys: &[SortKey]) -> Option<(NodeId, NodeId)> {
+    let nodes: Vec<Option<NodeId>> = keys.iter().map(|k| tree.node_of_attr(k.attr)).collect();
+    for (i, &n) in nodes.iter().enumerate() {
+        let Some(n) = n else { continue };
+        if nodes[..i].contains(&Some(n)) {
+            continue; // same class as an earlier key
+        }
+        if let Some(p) = tree.node(n).parent {
+            if !nodes[..i].contains(&Some(p)) {
+                return Some((p, n));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frep::FRep;
+    use fdb_relational::{Relation, Schema};
+
+    /// T1 rep + stats for the pizzeria join.
+    fn t1_rep() -> (Catalog, FRep, Stats) {
+        let mut c = Catalog::new();
+        let pizza = c.intern("pizza");
+        let date = c.intern("date");
+        let customer = c.intern("customer");
+        let item = c.intern("item");
+        let price = c.intern("price");
+        let rows: Vec<(&str, i64, &str, &str, i64)> = vec![
+            ("Capricciosa", 1, "Mario", "base", 6),
+            ("Capricciosa", 1, "Mario", "ham", 1),
+            ("Capricciosa", 1, "Mario", "mushrooms", 1),
+            ("Capricciosa", 5, "Mario", "base", 6),
+            ("Capricciosa", 5, "Mario", "ham", 1),
+            ("Capricciosa", 5, "Mario", "mushrooms", 1),
+            ("Hawaii", 5, "Lucia", "base", 6),
+            ("Hawaii", 5, "Lucia", "ham", 1),
+            ("Hawaii", 5, "Lucia", "pineapple", 2),
+            ("Hawaii", 5, "Pietro", "base", 6),
+            ("Hawaii", 5, "Pietro", "ham", 1),
+            ("Hawaii", 5, "Pietro", "pineapple", 2),
+            ("Margherita", 2, "Mario", "base", 6),
+        ];
+        let rel = Relation::from_rows(
+            Schema::new(vec![pizza, date, customer, item, price]),
+            rows.into_iter().map(|(p, d, cu, i, pr)| {
+                vec![
+                    Value::str(p),
+                    Value::Int(d),
+                    Value::str(cu),
+                    Value::str(i),
+                    Value::Int(pr),
+                ]
+            }),
+        );
+        let mut t = FTree::new();
+        let n_pizza = t.add_node(NodeLabel::Atomic(vec![pizza]), None);
+        let n_date = t.add_node(NodeLabel::Atomic(vec![date]), Some(n_pizza));
+        t.add_node(NodeLabel::Atomic(vec![customer]), Some(n_date));
+        let n_item = t.add_node(NodeLabel::Atomic(vec![item]), Some(n_pizza));
+        t.add_node(NodeLabel::Atomic(vec![price]), Some(n_item));
+        t.add_dep([customer, date, pizza]);
+        t.add_dep([pizza, item]);
+        t.add_dep([item, price]);
+        let rep = FRep::from_relation(&rel, t).unwrap();
+        let mut stats = Stats::new();
+        stats.add_relation([customer, date, pizza], 5);
+        stats.add_relation([pizza, item], 7);
+        stats.add_relation([item, price], 4);
+        (c, rep, stats)
+    }
+
+    #[test]
+    fn greedy_revenue_per_customer() {
+        // Query P of Example 1: ̟customer;sum(price)(R) with a single
+        // consolidated output attribute.
+        let (mut c, rep, stats) = t1_rep();
+        let price = c.lookup("price").unwrap();
+        let customer = c.lookup("customer").unwrap();
+        let revenue = c.intern("revenue");
+        let spec = QuerySpec {
+            group_by: vec![customer],
+            final_funcs: vec![AggOp::Sum(price)],
+            final_outputs: vec![revenue],
+            consolidate: true,
+            ..Default::default()
+        };
+        let plan = greedy(rep.ftree(), &spec, &stats, &mut c).unwrap();
+        // The plan must start with a partial aggregation (the item-price
+        // subtree is aggregatable before any restructuring).
+        assert!(
+            matches!(plan.ops[0], FOp::Aggregate { .. }),
+            "plan: {}",
+            plan.display(&c)
+        );
+        let out = plan.execute(rep).unwrap();
+        out.check_invariants().unwrap();
+        let flat = out.flatten();
+        let rows: Vec<(String, i64)> = flat
+            .rows()
+            .map(|r| (r[0].as_str().unwrap().to_string(), r[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                ("Lucia".to_string(), 9),
+                ("Mario".to_string(), 22),
+                ("Pietro".to_string(), 9)
+            ]
+        );
+    }
+
+    #[test]
+    fn greedy_group_without_consolidation() {
+        // ̟customer,pizza;sum(price): scenario 3 — leave partial
+        // aggregates for on-the-fly combination.
+        let (mut c, rep, stats) = t1_rep();
+        let price = c.lookup("price").unwrap();
+        let customer = c.lookup("customer").unwrap();
+        let pizza = c.lookup("pizza").unwrap();
+        let spec = QuerySpec {
+            group_by: vec![customer, pizza],
+            final_funcs: vec![AggOp::Sum(price)],
+            final_outputs: vec![c.intern("rev")],
+            consolidate: false,
+            ..Default::default()
+        };
+        let plan = greedy(rep.ftree(), &spec, &stats, &mut c).unwrap();
+        let out = plan.execute(rep).unwrap();
+        // Group nodes satisfy Theorem 1 afterwards.
+        assert!(crate::enumerate::supports_group(
+            out.ftree(),
+            &[customer, pizza]
+        ));
+        // Atomic non-group attributes are gone.
+        for n in out.ftree().live_nodes() {
+            if let NodeLabel::Atomic(attrs) = &out.ftree().node(n).label {
+                for a in attrs {
+                    assert!([customer, pizza].contains(a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_full_aggregate_to_scalar() {
+        let (mut c, rep, stats) = t1_rep();
+        let price = c.lookup("price").unwrap();
+        let total = c.intern("total");
+        let spec = QuerySpec {
+            final_funcs: vec![AggOp::Sum(price)],
+            final_outputs: vec![total],
+            consolidate: true,
+            ..Default::default()
+        };
+        let plan = greedy(rep.ftree(), &spec, &stats, &mut c).unwrap();
+        let out = plan.execute(rep).unwrap();
+        assert_eq!(out.tuple_count(), 1);
+        assert_eq!(out.roots()[0].entries[0].value, Value::Int(40));
+    }
+
+    #[test]
+    fn greedy_order_by_aggregate_output() {
+        // Q7-style: order by the aggregation result — requires
+        // consolidation plus a swap lifting the aggregate node.
+        let (mut c, rep, stats) = t1_rep();
+        let price = c.lookup("price").unwrap();
+        let customer = c.lookup("customer").unwrap();
+        let revenue = c.intern("revenue2");
+        let spec = QuerySpec {
+            group_by: vec![customer],
+            final_funcs: vec![AggOp::Sum(price)],
+            final_outputs: vec![revenue],
+            order_by: vec![SortKey::desc(revenue)],
+            consolidate: true,
+            ..Default::default()
+        };
+        let plan = greedy(rep.ftree(), &spec, &stats, &mut c).unwrap();
+        let out = plan.execute(rep).unwrap();
+        assert!(crate::enumerate::supports_order(
+            out.ftree(),
+            &[SortKey::desc(revenue)]
+        ));
+        let spec2 =
+            crate::enumerate::EnumSpec::ordered(out.ftree(), &[SortKey::desc(revenue)]).unwrap();
+        let rel = crate::enumerate::TupleIter::new(&out, &spec2)
+            .unwrap()
+            .projected(&[customer, revenue], None)
+            .unwrap();
+        let revs: Vec<i64> = rel.rows().map(|r| r[1].as_int().unwrap()).collect();
+        assert_eq!(revs, vec![22, 9, 9]);
+    }
+
+    #[test]
+    fn greedy_spj_projection_and_order() {
+        let (mut c, rep, stats) = t1_rep();
+        let pizza = c.lookup("pizza").unwrap();
+        let item = c.lookup("item").unwrap();
+        let spec = QuerySpec {
+            projection: Some(vec![pizza, item]),
+            order_by: vec![SortKey::asc(item), SortKey::asc(pizza)],
+            ..Default::default()
+        };
+        let plan = greedy(rep.ftree(), &spec, &stats, &mut c).unwrap();
+        let out = plan.execute(rep).unwrap();
+        let keys = [SortKey::asc(item), SortKey::asc(pizza)];
+        assert!(crate::enumerate::supports_order(out.ftree(), &keys));
+        let espec = crate::enumerate::EnumSpec::ordered(out.ftree(), &keys).unwrap();
+        let rel = crate::enumerate::TupleIter::new(&out, &espec)
+            .unwrap()
+            .projected(&[item, pizza], None)
+            .unwrap();
+        assert_eq!(rel.len(), 7);
+        assert!(rel.is_sorted_by(&keys));
+    }
+
+    #[test]
+    fn greedy_join_by_selection() {
+        // Two path reps product + selection item = item2 (the FDB join).
+        let mut c = Catalog::new();
+        let pizza = c.intern("pizza");
+        let item = c.intern("item");
+        let item2 = c.intern("item2");
+        let price = c.intern("price");
+        let pizzas = Relation::from_rows(
+            Schema::new(vec![pizza, item]),
+            [("Hawaii", "base"), ("Hawaii", "ham"), ("Margherita", "base")]
+                .into_iter()
+                .map(|(p, i)| vec![Value::str(p), Value::str(i)]),
+        );
+        let items = Relation::from_rows(
+            Schema::new(vec![item2, price]),
+            [("base", 6), ("ham", 1)]
+                .into_iter()
+                .map(|(i, p)| vec![Value::str(i), Value::Int(p)]),
+        );
+        let rp = FRep::from_relation(&pizzas, FTree::path(&[pizza, item])).unwrap();
+        let ri = FRep::from_relation(&items, FTree::path(&[item2, price])).unwrap();
+        let joined = crate::ops::product(rp, ri);
+        let mut stats = Stats::new();
+        stats.add_relation([pizza, item], 3);
+        stats.add_relation([item2, price], 2);
+        let total = c.intern("total");
+        let spec = QuerySpec {
+            selections: vec![(item, item2)],
+            group_by: vec![pizza],
+            final_funcs: vec![AggOp::Sum(price)],
+            final_outputs: vec![total],
+            consolidate: true,
+            ..Default::default()
+        };
+        let plan = greedy(joined.ftree(), &spec, &stats, &mut c).unwrap();
+        let out = plan.execute(joined).unwrap();
+        let flat = out.flatten();
+        let rows: Vec<(String, i64)> = flat
+            .rows()
+            .map(|r| (r[0].as_str().unwrap().to_string(), r[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(
+            rows,
+            vec![("Hawaii".to_string(), 7), ("Margherita".to_string(), 6)]
+        );
+    }
+
+    #[test]
+    fn greedy_with_const_predicates() {
+        let (mut c, rep, stats) = t1_rep();
+        let price = c.lookup("price").unwrap();
+        let customer = c.lookup("customer").unwrap();
+        let rev = c.intern("rev_cheap");
+        let spec = QuerySpec {
+            const_preds: vec![(price, CmpOp::Le, Value::Int(2))],
+            group_by: vec![customer],
+            final_funcs: vec![AggOp::Sum(price)],
+            final_outputs: vec![rev],
+            consolidate: true,
+            ..Default::default()
+        };
+        let plan = greedy(rep.ftree(), &spec, &stats, &mut c).unwrap();
+        assert!(matches!(plan.ops[0], FOp::SelectConst { .. }));
+        let out = plan.execute(rep).unwrap();
+        let flat = out.flatten();
+        // Cheap toppings only: Mario 2·(1+1)=4, Lucia 3, Pietro 3.
+        let rows: Vec<(String, i64)> = flat
+            .rows()
+            .map(|r| (r[0].as_str().unwrap().to_string(), r[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                ("Lucia".to_string(), 3),
+                ("Mario".to_string(), 4),
+                ("Pietro".to_string(), 3)
+            ]
+        );
+    }
+}

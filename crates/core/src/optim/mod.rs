@@ -1,0 +1,17 @@
+//! Query optimisation for f-plans (§5).
+//!
+//! * [`cost`] — the paper's cost metric: tight factorisation size bounds
+//!   from fractional edge covers of root paths;
+//! * [`lp`] — the small simplex solver behind the bounds;
+//! * [`greedy`] — the polynomial-time heuristic of §5.2;
+//! * [`exhaustive`] — Dijkstra over the space of f-trees with permissible
+//!   operators as edges (Prop. 3), exact but exponential.
+
+pub mod cost;
+pub mod exhaustive;
+pub mod greedy;
+pub mod lp;
+
+pub use cost::{tree_cost, Stats};
+pub use exhaustive::{exhaustive, ExhaustiveConfig};
+pub use greedy::{greedy, QuerySpec};

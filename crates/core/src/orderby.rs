@@ -1,0 +1,440 @@
+//! Restructuring factorisations for group-by and order-by clauses (§4.2)
+//! and the single-attribute consolidation of §5.2 step 7.
+//!
+//! Restructuring is planned at the f-tree level as a sequence of swaps and
+//! applied to the representation by [`crate::ops::swap`]:
+//!
+//! * for grouping, every group attribute is pushed above all non-group
+//!   attributes (greedy step 4);
+//! * for ordering, additionally the order of the list must not contradict
+//!   the root-to-leaf order (greedy step 5);
+//! * step 7 arranges the remaining non-group subtrees under one parent so
+//!   that a final aggregation operator can reduce them to a *single*
+//!   aggregate attribute — required for HAVING and for ordering by the
+//!   aggregation result (Q7 of the experiments).
+
+use crate::error::{FdbError, Result};
+use crate::frep::FRep;
+use crate::ftree::{FTree, NodeId};
+use crate::ops;
+use fdb_relational::{AttrId, SortKey};
+
+/// Plans the swaps that make Theorem 1 hold for `group`.
+///
+/// Returns `(parent, child)` pairs in application order; each swap lifts a
+/// group node above a non-group parent. Every swap strictly decreases the
+/// total depth of group nodes, so the loop terminates.
+pub fn plan_group_swaps(tree: &FTree, group: &[AttrId]) -> Result<Vec<(NodeId, NodeId)>> {
+    let mut scratch = tree.clone();
+    let mut swaps = Vec::new();
+    loop {
+        let group_nodes = nodes_of(&scratch, group)?;
+        let candidate = group_nodes.iter().find_map(|&n| {
+            scratch
+                .node(n)
+                .parent
+                .filter(|p| !group_nodes.contains(p))
+                .map(|p| (p, n))
+        });
+        match candidate {
+            None => break,
+            Some((p, n)) => {
+                scratch.swap(p, n)?;
+                swaps.push((p, n));
+            }
+        }
+    }
+    Ok(swaps)
+}
+
+/// Plans the swaps that make Theorem 2 hold for the order list `keys`:
+/// every order node becomes a root or a child of an earlier order node.
+pub fn plan_order_swaps(tree: &FTree, keys: &[SortKey]) -> Result<Vec<(NodeId, NodeId)>> {
+    let mut scratch = tree.clone();
+    let mut swaps = Vec::new();
+    loop {
+        let order_nodes = nodes_of(
+            &scratch,
+            &keys.iter().map(|k| k.attr).collect::<Vec<_>>(),
+        )?;
+        // Find the first order node violating Theorem 2: its parent is not
+        // an earlier order node (greedy step 5).
+        let mut todo = None;
+        for (i, &n) in order_nodes.iter().enumerate() {
+            if let Some(p) = scratch.node(n).parent {
+                if !order_nodes[..i].contains(&p) {
+                    todo = Some((p, n));
+                    break;
+                }
+            }
+        }
+        match todo {
+            None => break,
+            Some((p, n)) => {
+                scratch.swap(p, n)?;
+                swaps.push((p, n));
+            }
+        }
+    }
+    Ok(swaps)
+}
+
+/// Applies a planned swap sequence to a representation.
+pub fn apply_swaps(mut rep: FRep, swaps: &[(NodeId, NodeId)]) -> Result<FRep> {
+    for &(p, n) in swaps {
+        rep = ops::swap(rep, p, n)?;
+    }
+    Ok(rep)
+}
+
+/// Restructures so that grouped enumeration by `group` is constant-delay.
+pub fn restructure_for_group(rep: FRep, group: &[AttrId]) -> Result<FRep> {
+    let swaps = plan_group_swaps(rep.ftree(), group)?;
+    apply_swaps(rep, &swaps)
+}
+
+/// Restructures so that ordered enumeration by `keys` is constant-delay.
+pub fn restructure_for_order(rep: FRep, keys: &[SortKey]) -> Result<FRep> {
+    let swaps = plan_order_swaps(rep.ftree(), keys)?;
+    apply_swaps(rep, &swaps)
+}
+
+/// Plans §5.2 step 7: swaps that gather every node *not* exposing a
+/// `group` attribute under a single parent, returning the swaps plus the
+/// final target (parent, sibling subtrees) for the consolidating `γ`.
+///
+/// Fails when the non-group nodes live in different trees of the forest
+/// with group roots in between — callers fall back to materialising.
+pub fn plan_consolidation(
+    tree: &FTree,
+    group: &[AttrId],
+) -> Result<(Vec<(NodeId, NodeId)>, Option<NodeId>, Vec<NodeId>)> {
+    let mut scratch = tree.clone();
+    let mut swaps: Vec<(NodeId, NodeId)> = Vec::new();
+    let group_nodes = nodes_of(&scratch, group)?;
+    let value_nodes: Vec<NodeId> = scratch
+        .live_nodes()
+        .into_iter()
+        .filter(|n| !group_nodes.contains(n))
+        .collect();
+    if value_nodes.is_empty() {
+        return Err(FdbError::InvalidOperator(
+            "nothing to consolidate: every node is a group node".into(),
+        ));
+    }
+    // Iterate: find the LCA of all value nodes; while it is a group node
+    // with group children on the paths to value nodes, lift those group
+    // children above it.
+    let mut guard = 0usize;
+    loop {
+        guard += 1;
+        if guard > 10_000 {
+            return Err(FdbError::PlanningFailed(
+                "consolidation did not converge".into(),
+            ));
+        }
+        let value_nodes: Vec<NodeId> = scratch
+            .live_nodes()
+            .into_iter()
+            .filter(|n| !group_nodes.contains(n))
+            .collect();
+        // Roots of the value forest: value nodes whose parent is a group
+        // node or absent.
+        let value_roots: Vec<NodeId> = value_nodes
+            .iter()
+            .copied()
+            .filter(|&n| match scratch.node(n).parent {
+                None => true,
+                Some(p) => group_nodes.contains(&p),
+            })
+            .collect();
+        let parents: Vec<Option<NodeId>> = value_roots
+            .iter()
+            .map(|&n| scratch.node(n).parent)
+            .collect();
+        if parents.iter().all(|p| p.is_none()) {
+            return Ok((swaps, None, value_roots));
+        }
+        if parents.windows(2).all(|w| w[0] == w[1]) {
+            // All value subtrees already hang under one parent.
+            if let Some(Some(p)) = parents.first().copied() {
+                // The parent must not have *group* children below which
+                // more value nodes hide — value_roots covers all of them
+                // by construction, so we are done.
+                return Ok((swaps, Some(p), value_roots));
+            }
+        }
+        // Mixed parents: lift a group node that sits on the path between
+        // the deepest common region and a value root — concretely, lift
+        // the deepest group parent of a value root above its own parent,
+        // funnelling value subtrees towards a common ancestor.
+        let deepest = value_roots
+            .iter()
+            .filter_map(|&n| scratch.node(n).parent.map(|p| (p, scratch.depth(p))))
+            .max_by_key(|&(_, d)| d);
+        match deepest {
+            None => {
+                return Err(FdbError::PlanningFailed(
+                    "value subtrees split across forest roots".into(),
+                ))
+            }
+            Some((gp, _)) => {
+                match scratch.node(gp).parent {
+                    None => {
+                        return Err(FdbError::PlanningFailed(
+                            "value subtrees split across forest roots".into(),
+                        ))
+                    }
+                    Some(gpp) => {
+                        // χ_{gpp, gp}: lift the group parent; its value
+                        // children that depend on gpp sink to gpp,
+                        // merging value regions.
+                        scratch.swap(gpp, gp)?;
+                        swaps.push((gpp, gp));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn nodes_of(tree: &FTree, attrs: &[AttrId]) -> Result<Vec<NodeId>> {
+    let mut nodes = Vec::new();
+    for &a in attrs {
+        let n = tree
+            .node_of_attr(a)
+            .ok_or_else(|| FdbError::Unresolved(format!("attribute {a} not in f-tree")))?;
+        if !nodes.contains(&n) {
+            nodes.push(n);
+        }
+    }
+    Ok(nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{supports_group, supports_order};
+    use crate::ftree::NodeLabel;
+    use fdb_relational::{Catalog, Relation, Schema, SortDir, Value};
+
+    fn t1_rep() -> (Catalog, FRep) {
+        let mut c = Catalog::new();
+        let pizza = c.intern("pizza");
+        let date = c.intern("date");
+        let customer = c.intern("customer");
+        let item = c.intern("item");
+        let price = c.intern("price");
+        let rows: Vec<(&str, i64, &str, &str, i64)> = vec![
+            ("Capricciosa", 1, "Mario", "base", 6),
+            ("Capricciosa", 1, "Mario", "ham", 1),
+            ("Capricciosa", 5, "Mario", "base", 6),
+            ("Capricciosa", 5, "Mario", "ham", 1),
+            ("Hawaii", 5, "Lucia", "base", 6),
+            ("Hawaii", 5, "Pietro", "base", 6),
+            ("Margherita", 2, "Mario", "base", 6),
+        ];
+        let rel = Relation::from_rows(
+            Schema::new(vec![pizza, date, customer, item, price]),
+            rows.into_iter().map(|(p, d, cu, i, pr)| {
+                vec![
+                    Value::str(p),
+                    Value::Int(d),
+                    Value::str(cu),
+                    Value::str(i),
+                    Value::Int(pr),
+                ]
+            }),
+        );
+        let mut t = FTree::new();
+        let n_pizza = t.add_node(NodeLabel::Atomic(vec![pizza]), None);
+        let n_date = t.add_node(NodeLabel::Atomic(vec![date]), Some(n_pizza));
+        t.add_node(NodeLabel::Atomic(vec![customer]), Some(n_date));
+        let n_item = t.add_node(NodeLabel::Atomic(vec![item]), Some(n_pizza));
+        t.add_node(NodeLabel::Atomic(vec![price]), Some(n_item));
+        t.add_dep([customer, date, pizza]);
+        t.add_dep([pizza, item]);
+        t.add_dep([item, price]);
+        let rep = FRep::from_relation(&rel, t).unwrap();
+        (c, rep)
+    }
+
+    #[test]
+    fn example2_customer_order_restructuring() {
+        // Example 2: the order (customer, pizza, item, price) is obtained
+        // by pushing customer up past date and pizza; the item/price
+        // branch is untouched.
+        let (c, rep) = t1_rep();
+        let a = |n: &str| c.lookup(n).unwrap();
+        let keys = vec![
+            SortKey::asc(a("customer")),
+            SortKey::asc(a("pizza")),
+            SortKey::asc(a("item")),
+            SortKey::asc(a("price")),
+        ];
+        assert!(!supports_order(rep.ftree(), &keys));
+        let swaps = plan_order_swaps(rep.ftree(), &keys).unwrap();
+        assert_eq!(swaps.len(), 2); // customer past date, then past pizza
+        let before: usize = rep.tuple_count();
+        let out = apply_swaps(rep, &swaps).unwrap();
+        out.check_invariants().unwrap();
+        assert!(supports_order(out.ftree(), &keys));
+        assert_eq!(out.tuple_count(), before);
+        // And the enumeration really is sorted.
+        let spec = crate::enumerate::EnumSpec::ordered(out.ftree(), &keys).unwrap();
+        let rel = crate::enumerate::TupleIter::new(&out, &spec)
+            .unwrap()
+            .projected(&[a("customer"), a("pizza"), a("item"), a("price")], None)
+            .unwrap();
+        assert!(rel.is_sorted_by(&keys));
+    }
+
+    #[test]
+    fn group_restructuring_lifts_group_nodes() {
+        let (c, rep) = t1_rep();
+        let a = |n: &str| c.lookup(n).unwrap();
+        let group = vec![a("customer"), a("pizza")];
+        assert!(!supports_group(rep.ftree(), &group));
+        let out = restructure_for_group(rep, &group).unwrap();
+        assert!(supports_group(out.ftree(), &group));
+        out.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn already_supported_order_needs_no_swaps() {
+        let (c, rep) = t1_rep();
+        let a = |n: &str| c.lookup(n).unwrap();
+        let keys = vec![
+            SortKey {
+                attr: a("pizza"),
+                dir: SortDir::Asc,
+            },
+            SortKey {
+                attr: a("date"),
+                dir: SortDir::Desc,
+            },
+        ];
+        let swaps = plan_order_swaps(rep.ftree(), &keys).unwrap();
+        assert!(swaps.is_empty());
+    }
+
+    #[test]
+    fn consolidation_under_single_group_node() {
+        // Group by pizza: date-customer and item-price subtrees both hang
+        // under pizza already; consolidation targets them directly.
+        let (c, rep) = t1_rep();
+        let a = |n: &str| c.lookup(n).unwrap();
+        let (swaps, parent, targets) =
+            plan_consolidation(rep.ftree(), &[a("pizza")]).unwrap();
+        assert!(swaps.is_empty());
+        assert_eq!(parent, rep.ftree().node_of_attr(a("pizza")).map(|n| n).map(Some).unwrap());
+        assert_eq!(targets.len(), 2);
+    }
+
+    #[test]
+    fn consolidation_with_scattered_value_nodes() {
+        // Group by customer after restructuring: the date node sits between
+        // customer and the leaves; consolidation must lift group nodes so
+        // that the value subtrees share a parent.
+        let (c, rep) = t1_rep();
+        let a = |n: &str| c.lookup(n).unwrap();
+        let rep = restructure_for_group(rep, &[a("customer")]).unwrap();
+        let (swaps, parent, targets) =
+            plan_consolidation(rep.ftree(), &[a("customer")]).unwrap();
+        let rep2 = apply_swaps(rep, &swaps).unwrap();
+        rep2.check_invariants().unwrap();
+        // All value subtrees now under the customer node.
+        let cust_node = rep2.ftree().node_of_attr(a("customer")).unwrap();
+        assert_eq!(parent, Some(cust_node));
+        for &t in &targets {
+            assert_eq!(rep2.ftree().node(t).parent, Some(cust_node));
+        }
+    }
+
+    #[test]
+    fn full_aggregation_consolidates_at_root() {
+        let (_, rep) = t1_rep();
+        let (swaps, parent, targets) = plan_consolidation(rep.ftree(), &[]).unwrap();
+        assert!(swaps.is_empty());
+        assert_eq!(parent, None);
+        assert_eq!(targets, rep.ftree().roots().to_vec());
+    }
+}
+
+#[cfg(test)]
+mod consolidation_failure_tests {
+    use super::*;
+    use crate::ftree::{AggLabel, AggOp, NodeLabel};
+    use fdb_relational::{AttrId, Catalog};
+
+    /// Value subtrees in different *trees of the forest* cannot be
+    /// consolidated by upward swaps: the planner must report failure so
+    /// the engine can fall back to grouped evaluation.
+    #[test]
+    fn forest_split_value_nodes_fail_gracefully() {
+        let mut c = Catalog::new();
+        let g1 = c.intern("g1");
+        let g2 = c.intern("g2");
+        let v1 = c.intern("v1");
+        let v2 = c.intern("v2");
+        let mut t = FTree::new();
+        let n1 = t.add_node(NodeLabel::Atomic(vec![g1]), None);
+        let n2 = t.add_node(NodeLabel::Atomic(vec![g2]), None);
+        let mk_leaf = |t: &mut FTree, parent, out: AttrId, over: AttrId| {
+            t.add_node(
+                NodeLabel::Agg(AggLabel {
+                    funcs: vec![AggOp::Count],
+                    over: [over].into_iter().collect(),
+                    outputs: vec![out],
+                }),
+                Some(parent),
+            )
+        };
+        let x1 = c.intern("x1");
+        let x2 = c.intern("x2");
+        mk_leaf(&mut t, n1, v1, x1);
+        mk_leaf(&mut t, n2, v2, x2);
+        t.add_dep([g1, v1]);
+        t.add_dep([g2, v2]);
+        let err = plan_consolidation(&t, &[g1, g2]);
+        assert!(matches!(err, Err(FdbError::PlanningFailed(_))));
+    }
+
+    /// Partial aggregates pinned under different group nodes on one path
+    /// (the R⋈S⋈T `GROUP BY b, c` shape) also fail — the swap loop must
+    /// hit its guard, not spin forever.
+    #[test]
+    fn path_split_value_nodes_fail_gracefully() {
+        let mut c = Catalog::new();
+        let b = c.intern("b");
+        let d = c.intern("d");
+        let cnt_a = c.intern("count_a");
+        let sum_d = c.intern("sum_d");
+        let a_attr = c.intern("a");
+        let d_over = c.intern("d_over");
+        let mut t = FTree::new();
+        let nb = t.add_node(NodeLabel::Atomic(vec![b]), None);
+        let nc = t.add_node(NodeLabel::Atomic(vec![d]), Some(nb));
+        t.add_node(
+            NodeLabel::Agg(AggLabel {
+                funcs: vec![AggOp::Count],
+                over: [a_attr].into_iter().collect(),
+                outputs: vec![cnt_a],
+            }),
+            Some(nb),
+        );
+        t.add_node(
+            NodeLabel::Agg(AggLabel {
+                funcs: vec![AggOp::Sum(d_over)],
+                over: [d_over].into_iter().collect(),
+                outputs: vec![sum_d],
+            }),
+            Some(nc),
+        );
+        t.add_dep([b, cnt_a]);
+        t.add_dep([d, sum_d]);
+        t.add_dep([b, d]);
+        let result = plan_consolidation(&t, &[b, d]);
+        assert!(matches!(result, Err(FdbError::PlanningFailed(_))));
+    }
+}

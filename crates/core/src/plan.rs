@@ -1,0 +1,278 @@
+//! F-plans: sequences of f-plan operators (§2.1, §5).
+//!
+//! A plan is produced by the optimiser against the *initial* f-tree and
+//! executed later against the representation. Node ids are stable across
+//! restructuring and fresh ids are allocated deterministically, so a plan
+//! simulated on a scratch tree references exactly the nodes that will exist
+//! at execution time.
+
+use crate::error::Result;
+use crate::frep::FRep;
+use crate::ftree::{AggOp, FTree, NodeId};
+use crate::ops;
+use fdb_relational::{AttrId, Catalog, CmpOp, Value};
+use std::fmt::Write as _;
+
+/// One f-plan operator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FOp {
+    /// `σ_{A θ c}`.
+    SelectConst {
+        attr: AttrId,
+        op: CmpOp,
+        value: Value,
+    },
+    /// `σ_{A=B}` for sibling nodes.
+    Merge { a: NodeId, b: NodeId },
+    /// `σ_{A=B}` along a root-to-leaf path.
+    Absorb { anc: NodeId, desc: NodeId },
+    /// `χ_{A,B}` restructuring.
+    Swap { parent: NodeId, child: NodeId },
+    /// `γ_{F(U)}` aggregation.
+    Aggregate {
+        parent: Option<NodeId>,
+        targets: Vec<NodeId>,
+        funcs: Vec<AggOp>,
+        outputs: Vec<AttrId>,
+    },
+    /// Projection of one attribute.
+    ProjectAway { attr: AttrId },
+    /// Constant-time renaming.
+    Rename { from: AttrId, to: AttrId },
+}
+
+/// A sequence of operators.
+#[derive(Clone, Debug, Default)]
+pub struct FPlan {
+    pub ops: Vec<FOp>,
+}
+
+impl FPlan {
+    pub fn new() -> Self {
+        FPlan { ops: Vec::new() }
+    }
+
+    pub fn push(&mut self, op: FOp) {
+        self.ops.push(op);
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Applies the plan to a representation.
+    pub fn execute(&self, mut rep: FRep) -> Result<FRep> {
+        for op in &self.ops {
+            rep = apply(rep, op)?;
+        }
+        Ok(rep)
+    }
+
+    /// Simulates the plan on an f-tree (what the optimiser explores).
+    pub fn simulate(&self, tree: &mut FTree) -> Result<()> {
+        for op in &self.ops {
+            apply_to_tree(tree, op)?;
+        }
+        Ok(())
+    }
+
+    /// Human-readable rendering.
+    pub fn display(&self, catalog: &Catalog) -> String {
+        let mut out = String::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            let _ = write!(out, "{:>3}. ", i + 1);
+            match op {
+                FOp::SelectConst { attr, op, value } => {
+                    let _ = writeln!(out, "select {} {op} {value}", catalog.name(*attr));
+                }
+                FOp::Merge { a, b } => {
+                    let _ = writeln!(out, "merge {a:?} with {b:?}");
+                }
+                FOp::Absorb { anc, desc } => {
+                    let _ = writeln!(out, "absorb {desc:?} into {anc:?}");
+                }
+                FOp::Swap { parent, child } => {
+                    let _ = writeln!(out, "swap χ({parent:?}, {child:?})");
+                }
+                FOp::Aggregate {
+                    targets,
+                    funcs,
+                    outputs,
+                    ..
+                } => {
+                    let fs: Vec<String> = funcs.iter().map(|f| f.display(catalog)).collect();
+                    let os: Vec<&str> = outputs.iter().map(|&o| catalog.name(o)).collect();
+                    let _ = writeln!(
+                        out,
+                        "γ[{}] over {targets:?} -> {}",
+                        fs.join(","),
+                        os.join(",")
+                    );
+                }
+                FOp::ProjectAway { attr } => {
+                    let _ = writeln!(out, "project away {}", catalog.name(*attr));
+                }
+                FOp::Rename { from, to } => {
+                    let _ = writeln!(
+                        out,
+                        "rename {} -> {}",
+                        catalog.name(*from),
+                        catalog.name(*to)
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Applies one operator to a representation.
+pub fn apply(rep: FRep, op: &FOp) -> Result<FRep> {
+    match op {
+        FOp::SelectConst { attr, op, value } => ops::select_const(rep, *attr, *op, value),
+        FOp::Merge { a, b } => ops::merge(rep, *a, *b),
+        FOp::Absorb { anc, desc } => ops::absorb(rep, *anc, *desc),
+        FOp::Swap { parent, child } => ops::swap(rep, *parent, *child),
+        FOp::Aggregate {
+            parent,
+            targets,
+            funcs,
+            outputs,
+        } => ops::aggregate(
+            rep,
+            &ops::AggTarget {
+                parent: *parent,
+                nodes: targets.clone(),
+            },
+            funcs.clone(),
+            outputs.clone(),
+        ),
+        FOp::ProjectAway { attr } => ops::project_away(rep, *attr),
+        FOp::Rename { from, to } => ops::rename(rep, *from, *to),
+    }
+}
+
+/// Applies one operator to an f-tree only (plan simulation).
+pub fn apply_to_tree(tree: &mut FTree, op: &FOp) -> Result<()> {
+    match op {
+        FOp::SelectConst { .. } => Ok(()),
+        FOp::Merge { a, b } => tree.merge(*a, *b).map(|_| ()),
+        FOp::Absorb { anc, desc } => tree.absorb(*anc, *desc).map(|_| ()),
+        FOp::Swap { parent, child } => tree.swap(*parent, *child).map(|_| ()),
+        FOp::Aggregate {
+            parent,
+            targets,
+            funcs,
+            outputs,
+        } => tree
+            .aggregate(*parent, targets, funcs.clone(), outputs.clone())
+            .map(|_| ()),
+        FOp::ProjectAway { attr } => {
+            // Tree-level approximation of project_away: label shrink or
+            // push-down-and-remove, mirroring `ops::project_away`.
+            let node = tree.node_of_attr(*attr).ok_or_else(|| {
+                crate::error::FdbError::Unresolved(format!("attribute {attr} not in f-tree"))
+            })?;
+            match tree.node(node).label.clone() {
+                crate::ftree::NodeLabel::Atomic(attrs) if attrs.len() > 1 => {
+                    tree.shrink_class(node, *attr)
+                }
+                _ => {
+                    loop {
+                        let children = tree.node(node).children.clone();
+                        match children.first() {
+                            None => break,
+                            Some(&c) => {
+                                tree.swap(node, c)?;
+                            }
+                        }
+                    }
+                    tree.remove_leaf(node).map(|_| ())
+                }
+            }
+        }
+        FOp::Rename { from, to } => tree.rename_attr(*from, *to),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_relational::{Relation, Schema};
+
+    fn simple_rep() -> (Catalog, FRep) {
+        let mut c = Catalog::new();
+        let a = c.intern("a");
+        let b = c.intern("b");
+        let rel = Relation::from_rows(
+            Schema::new(vec![a, b]),
+            [(1, 10), (1, 20), (2, 10)]
+                .into_iter()
+                .map(|(x, y)| vec![Value::Int(x), Value::Int(y)]),
+        );
+        let rep = FRep::from_relation(&rel, FTree::path(&[a, b])).unwrap();
+        (c, rep)
+    }
+
+    #[test]
+    fn plan_executes_and_simulates_consistently() {
+        let (mut c, rep) = simple_rep();
+        let a = c.lookup("a").unwrap();
+        let b = c.lookup("b").unwrap();
+        let na = rep.ftree().node_of_attr(a).unwrap();
+        let nb = rep.ftree().node_of_attr(b).unwrap();
+        let out_attr = c.intern("n");
+        let mut plan = FPlan::new();
+        plan.push(FOp::SelectConst {
+            attr: a,
+            op: CmpOp::Eq,
+            value: Value::Int(1),
+        });
+        plan.push(FOp::Aggregate {
+            parent: Some(na),
+            targets: vec![nb],
+            funcs: vec![AggOp::Count],
+            outputs: vec![out_attr],
+        });
+        // Simulation yields the same structure as execution.
+        let mut sim_tree = rep.ftree().clone();
+        plan.simulate(&mut sim_tree).unwrap();
+        let out = plan.execute(rep).unwrap();
+        assert_eq!(out.ftree().canonical_key(), sim_tree.canonical_key());
+        assert_eq!(out.tuple_count(), 1);
+        // a=1 has two b values.
+        assert_eq!(out.roots()[0].entries[0].children[0].entries[0].value, Value::Int(2));
+    }
+
+    #[test]
+    fn plan_display_is_readable() {
+        let (c, rep) = simple_rep();
+        let a = c.lookup("a").unwrap();
+        let na = rep.ftree().node_of_attr(a).unwrap();
+        let nb = rep.ftree().node(na).children[0];
+        let mut plan = FPlan::new();
+        plan.push(FOp::Swap {
+            parent: na,
+            child: nb,
+        });
+        plan.push(FOp::ProjectAway { attr: a });
+        let s = plan.display(&c);
+        assert!(s.contains("swap"));
+        assert!(s.contains("project away a"));
+    }
+
+    #[test]
+    fn project_away_via_plan() {
+        let (mut c, rep) = simple_rep();
+        let a = c.lookup("a").unwrap();
+        let mut plan = FPlan::new();
+        plan.push(FOp::ProjectAway { attr: a });
+        let out = plan.execute(rep).unwrap();
+        assert_eq!(out.tuple_count(), 2); // distinct b values
+        let _ = c.intern("unused");
+    }
+}

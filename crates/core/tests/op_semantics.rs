@@ -1,0 +1,286 @@
+//! Operator semantics against the relational definitions, on random data:
+//! each f-plan operator must transform the *represented relation* exactly
+//! as its relational counterpart transforms the flat relation.
+
+use fdb_core::frep::FRep;
+use fdb_core::ftree::{AggOp, FTree, NodeLabel};
+use fdb_core::ops;
+use fdb_relational::ops as rel_ops;
+use fdb_relational::{
+    AggFunc, AggSpec, Catalog, CmpOp, GroupStrategy, Predicate, Relation, Schema, Value,
+};
+use proptest::prelude::*;
+
+fn catalog3() -> (Catalog, [fdb_relational::AttrId; 3]) {
+    let mut c = Catalog::new();
+    let x = c.intern("x");
+    let y = c.intern("y");
+    let z = c.intern("z");
+    (c, [x, y, z])
+}
+
+fn rel3(
+    attrs: &[fdb_relational::AttrId; 3],
+    rows: &[(i64, i64, i64)],
+) -> Relation {
+    Relation::from_rows(
+        Schema::new(attrs.to_vec()),
+        rows.iter()
+            .map(|&(a, b, d)| vec![Value::Int(a), Value::Int(b), Value::Int(d)]),
+    )
+    .canonical()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn select_const_matches_relational_selection(
+        rows in prop::collection::vec((0i64..6, 0i64..6, 0i64..6), 0..25),
+        threshold in 0i64..6,
+        op_pick in 0usize..6,
+    ) {
+        let (_, attrs) = catalog3();
+        let rel = rel3(&attrs, &rows);
+        let rep = FRep::from_relation(&rel, FTree::path(&attrs)).unwrap();
+        let op = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][op_pick];
+        // Select on the middle attribute: exercises pruning both ways.
+        let selected = ops::select_const(rep, attrs[1], op, &Value::Int(threshold)).unwrap();
+        prop_assert!(selected.check_invariants().is_ok());
+        let expected = rel_ops::select(
+            &rel,
+            &[Predicate::AttrCmp(attrs[1], op, Value::Int(threshold))],
+        );
+        prop_assert_eq!(selected.flatten().canonical(), expected.canonical());
+    }
+
+    #[test]
+    fn merge_implements_natural_join(
+        l in prop::collection::vec((0i64..5, 0i64..5), 0..20),
+        r in prop::collection::vec((0i64..5, 0i64..5), 0..20),
+    ) {
+        let mut c = Catalog::new();
+        let a = c.intern("a");
+        let b = c.intern("b");
+        let b2 = c.intern("b2");
+        let d = c.intern("d");
+        let left = Relation::from_rows(
+            Schema::new(vec![a, b]),
+            l.iter().map(|&(u, v)| vec![Value::Int(u), Value::Int(v)]),
+        ).canonical();
+        let right = Relation::from_rows(
+            Schema::new(vec![b2, d]),
+            r.iter().map(|&(u, v)| vec![Value::Int(u), Value::Int(v)]),
+        ).canonical();
+        // FDB join: trie with join attr at the root on the left (swap b
+        // up), product, merge roots.
+        let lrep = FRep::from_relation(&left, FTree::path(&[b, a])).unwrap();
+        let rrep = FRep::from_relation(&right, FTree::path(&[b2, d])).unwrap();
+        let nb = lrep.ftree().roots()[0];
+        let joined = ops::product(lrep, rrep);
+        let nb2 = joined.ftree().roots()[1];
+        let merged = ops::merge(joined, nb, nb2).unwrap();
+        prop_assert!(merged.check_invariants().is_ok());
+        // Compare against the relational natural join (b = b2), dropping
+        // the duplicate column: the merged class exposes both b and b2
+        // with equal values.
+        let renamed_right = right.project_cols(&[b2, d]);
+        let mut expected_rows: Vec<Vec<Value>> = Vec::new();
+        for lr in left.rows() {
+            for rr in renamed_right.rows() {
+                if lr[1] == rr[0] {
+                    expected_rows.push(vec![
+                        lr[1].clone(), // b
+                        rr[0].clone(), // b2 (equal)
+                        lr[0].clone(), // a
+                        rr[1].clone(), // d
+                    ]);
+                }
+            }
+        }
+        let expected = Relation::from_rows(
+            Schema::new(vec![b, b2, a, d]),
+            expected_rows,
+        ).canonical();
+        let got = merged.flatten().project_cols(&[b, b2, a, d]).canonical();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn absorb_implements_equality_selection(
+        rows in prop::collection::vec((0i64..4, 0i64..4, 0i64..4), 0..25),
+    ) {
+        let (_, attrs) = catalog3();
+        let rel = rel3(&attrs, &rows);
+        let rep = FRep::from_relation(&rel, FTree::path(&attrs)).unwrap();
+        let nx = rep.ftree().node_of_attr(attrs[0]).unwrap();
+        let nz = rep.ftree().node_of_attr(attrs[2]).unwrap();
+        let absorbed = ops::absorb(rep, nx, nz).unwrap();
+        prop_assert!(absorbed.check_invariants().is_ok());
+        let expected = rel_ops::select(&rel, &[Predicate::AttrEq(attrs[0], attrs[2])]);
+        let got = absorbed.flatten().project_cols(&attrs).canonical();
+        prop_assert_eq!(got, expected.canonical());
+    }
+
+    #[test]
+    fn project_away_implements_projection(
+        rows in prop::collection::vec((0i64..5, 0i64..5, 0i64..5), 0..25),
+        victim in 0usize..3,
+    ) {
+        let (_, attrs) = catalog3();
+        let rel = rel3(&attrs, &rows);
+        let rep = FRep::from_relation(&rel, FTree::path(&attrs)).unwrap();
+        let projected = ops::project_away(rep, attrs[victim]).unwrap();
+        prop_assert!(projected.check_invariants().is_ok());
+        let keep: Vec<_> = attrs
+            .iter()
+            .copied()
+            .filter(|&a| a != attrs[victim])
+            .collect();
+        let expected = rel_ops::project(&rel, &keep, true);
+        let got = projected.flatten().project_cols(&keep).canonical();
+        prop_assert_eq!(got, expected.canonical());
+    }
+
+    #[test]
+    fn aggregate_matches_relational_group_aggregate(
+        rows in prop::collection::vec((0i64..5, 0i64..5, -5i64..5), 0..25),
+        func_pick in 0usize..4,
+    ) {
+        let (mut c, attrs) = catalog3();
+        let rel = rel3(&attrs, &rows);
+        if rel.is_empty() {
+            return Ok(());
+        }
+        let rep = FRep::from_relation(&rel, FTree::path(&attrs)).unwrap();
+        // γ over the subtree rooted at y: groups by x.
+        let ny = rep.ftree().node_of_attr(attrs[1]).unwrap();
+        let out = c.intern("out");
+        let (fop, ffunc) = match func_pick {
+            0 => (AggOp::Count, AggFunc::Count),
+            1 => (AggOp::Sum(attrs[2]), AggFunc::Sum(attrs[2])),
+            2 => (AggOp::Min(attrs[2]), AggFunc::Min(attrs[2])),
+            _ => (AggOp::Max(attrs[2]), AggFunc::Max(attrs[2])),
+        };
+        let target = ops::AggTarget::subtree(rep.ftree(), ny);
+        let agged = ops::aggregate(rep, &target, vec![fop], vec![out]).unwrap();
+        prop_assert!(agged.check_invariants().is_ok());
+        let expected = rel_ops::group_aggregate(
+            &rel,
+            &[attrs[0]],
+            &[AggSpec::new(ffunc, out).into()],
+            GroupStrategy::Sort,
+        );
+        let got = agged.flatten().project_cols(&[attrs[0], out]).canonical();
+        prop_assert_eq!(got, expected.canonical());
+    }
+
+    #[test]
+    fn swap_chains_preserve_semantics_and_invariants(
+        rows in prop::collection::vec((0i64..4, 0i64..4, 0i64..4), 1..20),
+        swaps in prop::collection::vec(any::<bool>(), 1..6),
+    ) {
+        let (_, attrs) = catalog3();
+        let rel = rel3(&attrs, &rows);
+        let mut rep = FRep::from_relation(&rel, FTree::path(&attrs)).unwrap();
+        // Random walk over applicable swaps: every intermediate state must
+        // be a valid representation of the same relation.
+        for pick_first in swaps {
+            let candidates: Vec<(fdb_core::NodeId, fdb_core::NodeId)> = rep
+                .ftree()
+                .live_nodes()
+                .into_iter()
+                .filter_map(|n| rep.ftree().node(n).parent.map(|p| (p, n)))
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let (p, n) = if pick_first {
+                candidates[0]
+            } else {
+                candidates[candidates.len() - 1]
+            };
+            rep = ops::swap(rep, p, n).unwrap();
+            prop_assert!(rep.check_invariants().is_ok());
+            prop_assert!(rep.ftree().check_path_constraint().is_ok());
+            prop_assert_eq!(
+                rep.flatten().project_cols(&attrs).canonical(),
+                rel.clone()
+            );
+        }
+    }
+}
+
+#[test]
+fn having_on_composite_aggregate_node() {
+    // Selections on aggregate outputs must read the right component of a
+    // composite (sum, count) value.
+    let (mut c, attrs) = catalog3();
+    let rel = rel3(
+        &attrs,
+        &[(1, 1, 4), (1, 2, 6), (2, 1, 1), (2, 2, 1), (2, 3, 1)],
+    );
+    let rep = FRep::from_relation(&rel, FTree::path(&attrs)).unwrap();
+    let ny = rep.ftree().node_of_attr(attrs[1]).unwrap();
+    let s = c.intern("s");
+    let n = c.intern("n");
+    let target = ops::AggTarget::subtree(rep.ftree(), ny);
+    let agged = ops::aggregate(
+        rep,
+        &target,
+        vec![AggOp::Sum(attrs[2]), AggOp::Count],
+        vec![s, n],
+    )
+    .unwrap();
+    // HAVING s > 5: keeps only x=1 (sum 10 vs sum 3).
+    let filtered = ops::select_const(agged.clone(), s, CmpOp::Gt, &Value::Int(5)).unwrap();
+    assert_eq!(filtered.tuple_count(), 1);
+    // HAVING n >= 3: keeps only x=2 (count 3).
+    let filtered = ops::select_const(agged, n, CmpOp::Ge, &Value::Int(3)).unwrap();
+    assert_eq!(filtered.tuple_count(), 1);
+    let flat = filtered.flatten();
+    assert_eq!(flat.row(0)[0], Value::Int(2));
+}
+
+#[test]
+fn aggregate_multiple_sibling_targets_at_once() {
+    // γ over two sibling subtrees jointly: counts multiply (product
+    // semantics) — build a branching tree x → {y, z}.
+    let mut c = Catalog::new();
+    let x = c.intern("x");
+    let y = c.intern("y");
+    let z = c.intern("z");
+    let rows: Vec<Vec<Value>> = (0..2)
+        .flat_map(|a| {
+            (0..3).flat_map(move |b| {
+                (0..2).map(move |d| {
+                    vec![Value::Int(a), Value::Int(b), Value::Int(d)]
+                })
+            })
+        })
+        .collect();
+    let rel = Relation::from_rows(Schema::new(vec![x, y, z]), rows);
+    let mut t = FTree::new();
+    let nx = t.add_node(NodeLabel::Atomic(vec![x]), None);
+    let ny = t.add_node(NodeLabel::Atomic(vec![y]), Some(nx));
+    let nz = t.add_node(NodeLabel::Atomic(vec![z]), Some(nx));
+    t.add_dep([x, y]);
+    t.add_dep([x, z]);
+    let rep = FRep::from_relation(&rel, t).unwrap();
+    let out = c.intern("n");
+    let agged = ops::aggregate(
+        rep,
+        &ops::AggTarget {
+            parent: Some(nx),
+            nodes: vec![ny, nz],
+        },
+        vec![AggOp::Count],
+        vec![out],
+    )
+    .unwrap();
+    // Each x group holds 3 × 2 = 6 tuples.
+    let flat = agged.flatten();
+    assert_eq!(flat.len(), 2);
+    assert_eq!(flat.row(0)[1], Value::Int(6));
+    assert_eq!(flat.row(1)[1], Value::Int(6));
+}

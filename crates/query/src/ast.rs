@@ -1,0 +1,218 @@
+//! Resolved query AST.
+//!
+//! The parser resolves attribute names against the registered schemas and
+//! interns them into the shared [`Catalog`], so the AST carries [`AttrId`]s
+//! rather than strings. [`Query::to_task`] lowers the AST into the
+//! engine-neutral [`JoinAggTask`] executed by both the relational baselines
+//! and the factorised engine.
+
+use fdb_relational::planner::JoinAggTask;
+use fdb_relational::{AggSpec, AttrId, Catalog, Predicate, SortKey};
+
+/// One item of the `SELECT` clause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SelectItem {
+    /// Plain attribute (must be grouped when aggregates are present).
+    Attr(AttrId),
+    /// Aggregate `α ← F` with a resolved output attribute.
+    Agg(AggSpec),
+}
+
+impl SelectItem {
+    /// The output attribute this item contributes.
+    pub fn output(&self) -> AttrId {
+        match self {
+            SelectItem::Attr(a) => *a,
+            SelectItem::Agg(s) => s.output,
+        }
+    }
+}
+
+/// A parsed, resolved query.
+///
+/// Shapes covered (the paper's query classes, §2 and Fig. 3):
+/// select-project-join, grouped aggregates, having, order-by (asc/desc) and
+/// limit, over natural joins of named relations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    pub select: Vec<SelectItem>,
+    /// Relations joined by natural join, in order.
+    pub from: Vec<String>,
+    /// WHERE conjuncts.
+    pub predicates: Vec<Predicate>,
+    /// GROUP BY attributes.
+    pub group_by: Vec<AttrId>,
+    /// HAVING conjuncts (over output attributes).
+    pub having: Vec<Predicate>,
+    /// ORDER BY keys.
+    pub order_by: Vec<SortKey>,
+    /// LIMIT k.
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// True if the query has aggregates.
+    pub fn is_aggregate(&self) -> bool {
+        self.select
+            .iter()
+            .any(|i| matches!(i, SelectItem::Agg(_)))
+    }
+
+    /// Aggregate specs in select order.
+    pub fn aggregates(&self) -> Vec<AggSpec> {
+        self.select
+            .iter()
+            .filter_map(|i| match i {
+                SelectItem::Agg(s) => Some(*s),
+                SelectItem::Attr(_) => None,
+            })
+            .collect()
+    }
+
+    /// Output attributes in select order.
+    pub fn output_attrs(&self) -> Vec<AttrId> {
+        self.select.iter().map(|i| i.output()).collect()
+    }
+
+    /// Lowers to the engine-neutral task.
+    ///
+    /// A grouped query without aggregates becomes a distinct projection
+    /// onto the group-by attributes (standard SQL equivalence).
+    pub fn to_task(&self) -> JoinAggTask {
+        if self.is_aggregate() {
+            JoinAggTask {
+                inputs: self.from.clone(),
+                predicates: self.predicates.clone(),
+                projection: None,
+                group_by: self.group_by.clone(),
+                aggregates: self.aggregates(),
+                having: self.having.clone(),
+                order_by: self.order_by.clone(),
+                limit: self.limit,
+            }
+        } else {
+            JoinAggTask {
+                inputs: self.from.clone(),
+                predicates: self.predicates.clone(),
+                projection: Some(self.output_attrs()),
+                group_by: Vec::new(),
+                aggregates: Vec::new(),
+                having: self.having.clone(),
+                order_by: self.order_by.clone(),
+                limit: self.limit,
+            }
+        }
+    }
+
+    /// Renders the query back to SQL-ish text (for logs and EXPLAIN).
+    pub fn display(&self, catalog: &Catalog) -> String {
+        let mut s = String::from("SELECT ");
+        let items: Vec<String> = self
+            .select
+            .iter()
+            .map(|i| match i {
+                SelectItem::Attr(a) => catalog.name(*a).to_string(),
+                SelectItem::Agg(spec) => format!(
+                    "{} AS {}",
+                    spec.func.derived_name(catalog),
+                    catalog.name(spec.output)
+                ),
+            })
+            .collect();
+        s.push_str(&items.join(", "));
+        s.push_str(" FROM ");
+        s.push_str(&self.from.join(", "));
+        if !self.predicates.is_empty() {
+            let preds: Vec<String> = self
+                .predicates
+                .iter()
+                .map(|p| p.display(catalog).to_string())
+                .collect();
+            s.push_str(" WHERE ");
+            s.push_str(&preds.join(" AND "));
+        }
+        if !self.group_by.is_empty() {
+            let g: Vec<&str> = self.group_by.iter().map(|&a| catalog.name(a)).collect();
+            s.push_str(" GROUP BY ");
+            s.push_str(&g.join(", "));
+        }
+        if !self.having.is_empty() {
+            let h: Vec<String> = self
+                .having
+                .iter()
+                .map(|p| p.display(catalog).to_string())
+                .collect();
+            s.push_str(" HAVING ");
+            s.push_str(&h.join(" AND "));
+        }
+        if !self.order_by.is_empty() {
+            let o: Vec<String> = self
+                .order_by
+                .iter()
+                .map(|k| {
+                    format!(
+                        "{}{}",
+                        catalog.name(k.attr),
+                        match k.dir {
+                            fdb_relational::SortDir::Asc => "",
+                            fdb_relational::SortDir::Desc => " DESC",
+                        }
+                    )
+                })
+                .collect();
+            s.push_str(" ORDER BY ");
+            s.push_str(&o.join(", "));
+        }
+        if let Some(k) = self.limit {
+            s.push_str(&format!(" LIMIT {k}"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdb_relational::AggFunc;
+
+    #[test]
+    fn grouped_query_without_aggregates_lowers_to_distinct_projection() {
+        let a = AttrId(0);
+        let q = Query {
+            select: vec![SelectItem::Attr(a)],
+            from: vec!["R".into()],
+            predicates: vec![],
+            group_by: vec![a],
+            having: vec![],
+            order_by: vec![],
+            limit: None,
+        };
+        let task = q.to_task();
+        assert!(!task.is_aggregate());
+        assert_eq!(task.projection, Some(vec![a]));
+    }
+
+    #[test]
+    fn aggregate_query_lowers_with_group_by() {
+        let g = AttrId(0);
+        let p = AttrId(1);
+        let out = AttrId(2);
+        let q = Query {
+            select: vec![
+                SelectItem::Attr(g),
+                SelectItem::Agg(AggSpec::new(AggFunc::Sum(p), out)),
+            ],
+            from: vec!["R".into()],
+            predicates: vec![],
+            group_by: vec![g],
+            having: vec![],
+            order_by: vec![],
+            limit: Some(5),
+        };
+        let task = q.to_task();
+        assert!(task.is_aggregate());
+        assert_eq!(task.group_by, vec![g]);
+        assert_eq!(task.limit, Some(5));
+        assert_eq!(q.output_attrs(), vec![g, out]);
+    }
+}

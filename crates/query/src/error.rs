@@ -1,0 +1,52 @@
+//! Parse and validation errors for the SQL-ish front-end.
+
+use std::fmt;
+
+/// Errors raised while lexing, parsing or validating a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// Lexer met an unexpected character.
+    Lex { pos: usize, message: String },
+    /// Parser met an unexpected token.
+    Parse { pos: usize, message: String },
+    /// The query is syntactically fine but semantically invalid.
+    Invalid(String),
+    /// An identifier did not resolve against the registered schemas.
+    Unresolved(String),
+}
+
+impl QueryError {
+    pub(crate) fn parse(pos: usize, message: impl Into<String>) -> Self {
+        QueryError::Parse {
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { pos, message } => write!(f, "lex error at byte {pos}: {message}"),
+            QueryError::Parse { pos, message } => {
+                write!(f, "parse error at token {pos}: {message}")
+            }
+            QueryError::Invalid(m) => write!(f, "invalid query: {m}"),
+            QueryError::Unresolved(m) => write!(f, "unresolved name: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_position() {
+        let e = QueryError::parse(3, "expected FROM");
+        assert!(e.to_string().contains("token 3"));
+        assert!(e.to_string().contains("expected FROM"));
+    }
+}

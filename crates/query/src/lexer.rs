@@ -1,0 +1,258 @@
+//! Tokeniser for the SQL subset.
+//!
+//! Keywords are case-insensitive; identifiers keep their case. String
+//! literals use single quotes with `''` as the escape for a quote.
+
+use crate::error::QueryError;
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Keyword, upper-cased (`SELECT`, `FROM`, …).
+    Keyword(String),
+    /// Identifier (attribute or relation name).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes stripped, escapes resolved).
+    Str(String),
+    /// Punctuation and operators.
+    Symbol(Sym),
+}
+
+/// Punctuation / operator symbols.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sym {
+    Comma,
+    LParen,
+    RParen,
+    Star,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Semicolon,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "AS", "AND", "ASC",
+    "DESC", "SUM", "COUNT", "MIN", "MAX", "AVG", "NATURAL", "JOIN", "DISTINCT",
+];
+
+/// Tokenises `input`.
+pub fn lex(input: &str) -> Result<Vec<Token>, QueryError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            ',' => {
+                tokens.push(Token::Symbol(Sym::Comma));
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::Symbol(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::Symbol(Sym::RParen));
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Symbol(Sym::Star));
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Symbol(Sym::Semicolon));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Symbol(Sym::Eq));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol(Sym::Le));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Symbol(Sym::Ne));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(Sym::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol(Sym::Ge));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(Sym::Gt));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol(Sym::Ne));
+                    i += 2;
+                } else {
+                    return Err(QueryError::Lex {
+                        pos: i,
+                        message: "expected `!=`".into(),
+                    });
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    match bytes.get(j) {
+                        None => {
+                            return Err(QueryError::Lex {
+                                pos: i,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') if bytes.get(j + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            j += 2;
+                        }
+                        Some(b'\'') => {
+                            j += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            j += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+                i = j;
+            }
+            '0'..='9' | '-' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                    if !matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                        return Err(QueryError::Lex {
+                            pos: start,
+                            message: "`-` must start a number".into(),
+                        });
+                    }
+                }
+                let mut is_float = false;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'0'..=b'9' => i += 1,
+                        b'.' if !is_float => {
+                            is_float = true;
+                            i += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    let f: f64 = text.parse().map_err(|_| QueryError::Lex {
+                        pos: start,
+                        message: format!("bad float literal `{text}`"),
+                    })?;
+                    tokens.push(Token::Float(f));
+                } else {
+                    let n: i64 = text.parse().map_err(|_| QueryError::Lex {
+                        pos: start,
+                        message: format!("bad integer literal `{text}`"),
+                    })?;
+                    tokens.push(Token::Int(n));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    tokens.push(Token::Keyword(upper));
+                } else {
+                    tokens.push(Token::Ident(word.to_string()));
+                }
+            }
+            other => {
+                return Err(QueryError::Lex {
+                    pos: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = lex("select Sum ( price )").unwrap();
+        assert_eq!(toks[0], Token::Keyword("SELECT".into()));
+        assert_eq!(toks[1], Token::Keyword("SUM".into()));
+    }
+
+    #[test]
+    fn identifiers_keep_case() {
+        let toks = lex("Orders").unwrap();
+        assert_eq!(toks[0], Token::Ident("Orders".into()));
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let toks = lex("42 -7 3.5 'it''s'").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Int(42),
+                Token::Int(-7),
+                Token::Float(3.5),
+                Token::Str("it's".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = lex("= <> != < <= > >=").unwrap();
+        let syms: Vec<Sym> = toks
+            .into_iter()
+            .map(|t| match t {
+                Token::Symbol(s) => s,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            syms,
+            vec![Sym::Eq, Sym::Ne, Sym::Ne, Sym::Lt, Sym::Le, Sym::Gt, Sym::Ge]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(matches!(lex("'oops"), Err(QueryError::Lex { .. })));
+    }
+
+    #[test]
+    fn stray_character_is_error() {
+        assert!(matches!(lex("price @ 3"), Err(QueryError::Lex { .. })));
+    }
+}

@@ -1,0 +1,36 @@
+//! # fdb-query — SQL-ish front-end for the FDB reproduction
+//!
+//! Parses the query dialect of the paper (§2): select-project-join queries
+//! over natural joins, with `SUM`/`COUNT`/`MIN`/`MAX`/`AVG` aggregates,
+//! `GROUP BY`, `HAVING`, `ORDER BY … ASC|DESC` and `LIMIT`. Attribute names
+//! resolve against registered relation schemas and intern into the shared
+//! [`fdb_relational::Catalog`]; the resolved [`Query`] lowers to a
+//! [`fdb_relational::planner::JoinAggTask`] runnable by both the relational
+//! baselines and the factorised engine.
+//!
+//! ```
+//! use fdb_relational::{Catalog, Schema};
+//! use std::collections::HashMap;
+//!
+//! let mut catalog = Catalog::new();
+//! let item = catalog.intern("item");
+//! let price = catalog.intern("price");
+//! let mut schemas = HashMap::new();
+//! schemas.insert("Items".to_string(), Schema::new(vec![item, price]));
+//!
+//! let q = fdb_query::parse(
+//!     "SELECT item, SUM(price) AS total FROM Items GROUP BY item ORDER BY total DESC",
+//!     &mut catalog,
+//!     &schemas,
+//! ).unwrap();
+//! assert!(q.is_aggregate());
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Query, SelectItem};
+pub use error::QueryError;
+pub use parser::parse;

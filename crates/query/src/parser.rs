@@ -1,0 +1,840 @@
+//! Recursive-descent parser for the SQL subset.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query     := SELECT [DISTINCT] items FROM tables
+//!              [WHERE conj] [GROUP BY attrs] [HAVING conj]
+//!              [ORDER BY keys] [LIMIT int] [';']
+//! items     := '*' | item (',' item)*
+//! item      := agg [AS ident] | ident
+//! agg       := (SUM|MIN|MAX|AVG) '(' ident ')' | COUNT '(' ('*'|ident) ')'
+//! tables    := ident ((',' | NATURAL JOIN) ident)*
+//! conj      := cond (AND cond)*
+//! cond      := operand cmp operand        -- at least one side an attribute
+//! keys      := ident [ASC|DESC] (',' ident [ASC|DESC])*
+//! ```
+//!
+//! Attribute names are resolved against the natural join of the `FROM`
+//! schemas and interned into the shared catalog; the result is a fully
+//! resolved [`Query`].
+
+use crate::ast::{Query, SelectItem};
+use crate::error::QueryError;
+use crate::lexer::{lex, Sym, Token};
+use fdb_relational::{
+    AggFunc, AggSpec, AttrId, Catalog, CmpOp, Predicate, Schema, SortDir, SortKey, Value,
+};
+use std::collections::HashMap;
+
+/// Parses `sql` against the registered `schemas`, interning names into
+/// `catalog`.
+pub fn parse(
+    sql: &str,
+    catalog: &mut Catalog,
+    schemas: &HashMap<String, Schema>,
+) -> Result<Query, QueryError> {
+    let tokens = lex(sql)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        catalog,
+        schemas,
+    };
+    let q = p.query()?;
+    p.finish()?;
+    validate(&q, p.catalog)?;
+    Ok(q)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    catalog: &'a mut Catalog,
+    schemas: &'a HashMap<String, Schema>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Keyword(k)) if k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: Sym) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), QueryError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(QueryError::parse(
+                self.pos,
+                format!("expected `{kw}`, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: Sym, what: &str) -> Result<(), QueryError> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(QueryError::parse(
+                self.pos,
+                format!("expected {what}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, QueryError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(QueryError::parse(
+                self.pos,
+                format!("expected {what}, found {other:?}"),
+            )),
+        }
+    }
+
+    fn finish(&mut self) -> Result<(), QueryError> {
+        let _ = self.eat_symbol(Sym::Semicolon);
+        if let Some(t) = self.peek() {
+            return Err(QueryError::parse(
+                self.pos,
+                format!("trailing input starting at {t:?}"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn query(&mut self) -> Result<Query, QueryError> {
+        self.expect_keyword("SELECT")?;
+        let _ = self.eat_keyword("DISTINCT"); // set semantics already
+        // Select items are parsed unresolved first: resolution needs the
+        // FROM schemas, which come later in the text.
+        let raw_items = self.raw_select_items()?;
+        self.expect_keyword("FROM")?;
+        let from = self.tables()?;
+        let joined = self.joined_schema(&from)?;
+
+        let select = self.resolve_items(raw_items, &joined)?;
+
+        let mut predicates = Vec::new();
+        if self.eat_keyword("WHERE") {
+            predicates = self.conjunction(&joined)?;
+        }
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                let name = self.ident("group-by attribute")?;
+                group_by.push(self.resolve_attr(&name, &joined)?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut having = Vec::new();
+        if self.eat_keyword("HAVING") {
+            // HAVING conditions range over the *output* schema: group-by
+            // attributes and aggregate aliases. Inline aggregate syntax is
+            // allowed when an identical aggregate appears in SELECT (the
+            // paper adds having-aggregates to the aggregation operator;
+            // here they must be listed, which keeps outputs explicit).
+            having = self.having_conjunction(&select, &joined)?;
+        }
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let name = self.ident("order-by attribute")?;
+                let attr = self.resolve_output(&name, &select, &joined)?;
+                let dir = if self.eat_keyword("DESC") {
+                    SortDir::Desc
+                } else {
+                    let _ = self.eat_keyword("ASC");
+                    SortDir::Asc
+                };
+                order_by.push(SortKey { attr, dir });
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        if self.eat_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => limit = Some(n as usize),
+                other => {
+                    return Err(QueryError::parse(
+                        self.pos,
+                        format!("LIMIT expects a non-negative integer, found {other:?}"),
+                    ))
+                }
+            }
+        }
+        Ok(Query {
+            select,
+            from,
+            predicates,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn raw_select_items(&mut self) -> Result<RawItems, QueryError> {
+        if self.eat_symbol(Sym::Star) {
+            return Ok(RawItems::Star);
+        }
+        let mut items = Vec::new();
+        loop {
+            items.push(self.raw_item()?);
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        Ok(RawItems::List(items))
+    }
+
+    fn raw_item(&mut self) -> Result<RawItem, QueryError> {
+        if let Some(Token::Keyword(k)) = self.peek() {
+            if let Some(kind) = AggKind::from_keyword(k) {
+                self.pos += 1;
+                self.expect_symbol(Sym::LParen, "`(`")?;
+                let arg = if kind == AggKind::Count && self.eat_symbol(Sym::Star) {
+                    None
+                } else {
+                    Some(self.ident("aggregated attribute")?)
+                };
+                self.expect_symbol(Sym::RParen, "`)`")?;
+                let alias = if self.eat_keyword("AS") {
+                    Some(self.ident("alias")?)
+                } else {
+                    None
+                };
+                return Ok(RawItem::Agg { kind, arg, alias });
+            }
+        }
+        let name = self.ident("select item")?;
+        Ok(RawItem::Attr(name))
+    }
+
+    fn tables(&mut self) -> Result<Vec<String>, QueryError> {
+        let mut tables = vec![self.ident("relation name")?];
+        loop {
+            if self.eat_symbol(Sym::Comma) {
+                tables.push(self.ident("relation name")?);
+            } else if self.eat_keyword("NATURAL") {
+                self.expect_keyword("JOIN")?;
+                tables.push(self.ident("relation name")?);
+            } else {
+                break;
+            }
+        }
+        Ok(tables)
+    }
+
+    /// Natural-join output schema of the FROM list: attributes of the first
+    /// input followed by the new attributes of each subsequent input.
+    fn joined_schema(&mut self, from: &[String]) -> Result<Schema, QueryError> {
+        let mut attrs: Vec<AttrId> = Vec::new();
+        for name in from {
+            let schema = self
+                .schemas
+                .get(name)
+                .ok_or_else(|| QueryError::Unresolved(format!("relation `{name}`")))?;
+            for &a in schema.attrs() {
+                if !attrs.contains(&a) {
+                    attrs.push(a);
+                }
+            }
+        }
+        Ok(Schema::new(attrs))
+    }
+
+    fn resolve_attr(&mut self, name: &str, joined: &Schema) -> Result<AttrId, QueryError> {
+        let id = self
+            .catalog
+            .lookup(name)
+            .ok_or_else(|| QueryError::Unresolved(format!("attribute `{name}`")))?;
+        if joined.contains(id) {
+            Ok(id)
+        } else {
+            Err(QueryError::Unresolved(format!(
+                "attribute `{name}` is not in the FROM schema"
+            )))
+        }
+    }
+
+    /// Resolves an ORDER BY / HAVING identifier against the output schema:
+    /// either a select item's output (alias) or a joined attribute that the
+    /// query exposes.
+    fn resolve_output(
+        &mut self,
+        name: &str,
+        select: &[SelectItem],
+        joined: &Schema,
+    ) -> Result<AttrId, QueryError> {
+        if let Some(id) = self.catalog.lookup(name) {
+            if select.iter().any(|i| i.output() == id) {
+                return Ok(id);
+            }
+            // Plain attribute ordering on SPJ queries.
+            if joined.contains(id) && select.iter().any(|i| i.output() == id) {
+                return Ok(id);
+            }
+        }
+        Err(QueryError::Unresolved(format!(
+            "`{name}` is not an output attribute of the query"
+        )))
+    }
+
+    fn resolve_items(
+        &mut self,
+        raw: RawItems,
+        joined: &Schema,
+    ) -> Result<Vec<SelectItem>, QueryError> {
+        match raw {
+            RawItems::Star => Ok(joined
+                .attrs()
+                .iter()
+                .map(|&a| SelectItem::Attr(a))
+                .collect()),
+            RawItems::List(items) => items
+                .into_iter()
+                .map(|item| match item {
+                    RawItem::Attr(name) => {
+                        Ok(SelectItem::Attr(self.resolve_attr(&name, joined)?))
+                    }
+                    RawItem::Agg { kind, arg, alias } => {
+                        let func = match (&kind, arg) {
+                            (AggKind::Count, None) => AggFunc::Count,
+                            // COUNT(a): no NULLs in this data model, so it
+                            // equals COUNT(*) (documented deviation).
+                            (AggKind::Count, Some(name)) => {
+                                let _ = self.resolve_attr(&name, joined)?;
+                                AggFunc::Count
+                            }
+                            (k, Some(name)) => {
+                                let a = self.resolve_attr(&name, joined)?;
+                                match k {
+                                    AggKind::Sum => AggFunc::Sum(a),
+                                    AggKind::Min => AggFunc::Min(a),
+                                    AggKind::Max => AggFunc::Max(a),
+                                    AggKind::Avg => AggFunc::Avg(a),
+                                    AggKind::Count => unreachable!(),
+                                }
+                            }
+                            (_, None) => {
+                                return Err(QueryError::Invalid(
+                                    "only COUNT may take `*`".into(),
+                                ))
+                            }
+                        };
+                        let output = match alias {
+                            Some(alias) => self.catalog.intern(&alias),
+                            None => {
+                                let base = func.derived_name(self.catalog);
+                                self.catalog.fresh(&base)
+                            }
+                        };
+                        Ok(SelectItem::Agg(AggSpec::new(func, output)))
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn conjunction(&mut self, joined: &Schema) -> Result<Vec<Predicate>, QueryError> {
+        let mut preds = Vec::new();
+        loop {
+            preds.push(self.condition(joined)?);
+            if !self.eat_keyword("AND") {
+                break;
+            }
+        }
+        Ok(preds)
+    }
+
+    fn condition(&mut self, joined: &Schema) -> Result<Predicate, QueryError> {
+        let lhs = self.operand()?;
+        let op = self.cmp_op()?;
+        let rhs = self.operand()?;
+        self.build_predicate(lhs, op, rhs, joined, |p, name, j| p.resolve_attr(name, j))
+    }
+
+    fn having_conjunction(
+        &mut self,
+        select: &[SelectItem],
+        joined: &Schema,
+    ) -> Result<Vec<Predicate>, QueryError> {
+        let mut preds = Vec::new();
+        loop {
+            let lhs = self.having_operand(select)?;
+            let op = self.cmp_op()?;
+            let rhs = self.having_operand(select)?;
+            preds.push(self.build_predicate(lhs, op, rhs, joined, |p, name, _| {
+                let select_outputs: Vec<AttrId> = Vec::new();
+                let _ = select_outputs;
+                p.catalog
+                    .lookup(name)
+                    .filter(|id| select.iter().any(|i| i.output() == *id))
+                    .ok_or_else(|| {
+                        QueryError::Unresolved(format!(
+                            "`{name}` is not an output attribute (HAVING ranges over outputs)"
+                        ))
+                    })
+            })?);
+            if !self.eat_keyword("AND") {
+                break;
+            }
+        }
+        Ok(preds)
+    }
+
+    /// HAVING may use inline aggregate syntax when the same aggregate is
+    /// listed in SELECT; it then refers to that output column.
+    fn having_operand(&mut self, select: &[SelectItem]) -> Result<Operand, QueryError> {
+        if let Some(Token::Keyword(k)) = self.peek() {
+            if let Some(kind) = AggKind::from_keyword(k) {
+                self.pos += 1;
+                self.expect_symbol(Sym::LParen, "`(`")?;
+                let arg = if kind == AggKind::Count && self.eat_symbol(Sym::Star) {
+                    None
+                } else {
+                    Some(self.ident("aggregated attribute")?)
+                };
+                self.expect_symbol(Sym::RParen, "`)`")?;
+                let func = self.kind_to_func(kind, arg)?;
+                let matching = select.iter().find_map(|i| match i {
+                    SelectItem::Agg(s) if s.func == func => Some(s.output),
+                    _ => None,
+                });
+                return match matching {
+                    Some(out) => Ok(Operand::ResolvedAttr(out)),
+                    None => Err(QueryError::Invalid(
+                        "HAVING aggregate must also appear in SELECT".into(),
+                    )),
+                };
+            }
+        }
+        self.operand()
+    }
+
+    fn kind_to_func(&mut self, kind: AggKind, arg: Option<String>) -> Result<AggFunc, QueryError> {
+        Ok(match (kind, arg) {
+            (AggKind::Count, _) => AggFunc::Count,
+            (k, Some(name)) => {
+                let a = self
+                    .catalog
+                    .lookup(&name)
+                    .ok_or_else(|| QueryError::Unresolved(format!("attribute `{name}`")))?;
+                match k {
+                    AggKind::Sum => AggFunc::Sum(a),
+                    AggKind::Min => AggFunc::Min(a),
+                    AggKind::Max => AggFunc::Max(a),
+                    AggKind::Avg => AggFunc::Avg(a),
+                    AggKind::Count => unreachable!(),
+                }
+            }
+            (_, None) => return Err(QueryError::Invalid("only COUNT may take `*`".into())),
+        })
+    }
+
+    fn operand(&mut self) -> Result<Operand, QueryError> {
+        match self.next() {
+            Some(Token::Ident(name)) => Ok(Operand::Attr(name)),
+            Some(Token::Int(n)) => Ok(Operand::Const(Value::Int(n))),
+            Some(Token::Float(f)) => Ok(Operand::Const(Value::Float(f))),
+            Some(Token::Str(s)) => Ok(Operand::Const(Value::str(s))),
+            other => Err(QueryError::parse(
+                self.pos,
+                format!("expected attribute or literal, found {other:?}"),
+            )),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, QueryError> {
+        match self.next() {
+            Some(Token::Symbol(Sym::Eq)) => Ok(CmpOp::Eq),
+            Some(Token::Symbol(Sym::Ne)) => Ok(CmpOp::Ne),
+            Some(Token::Symbol(Sym::Lt)) => Ok(CmpOp::Lt),
+            Some(Token::Symbol(Sym::Le)) => Ok(CmpOp::Le),
+            Some(Token::Symbol(Sym::Gt)) => Ok(CmpOp::Gt),
+            Some(Token::Symbol(Sym::Ge)) => Ok(CmpOp::Ge),
+            other => Err(QueryError::parse(
+                self.pos,
+                format!("expected comparison operator, found {other:?}"),
+            )),
+        }
+    }
+
+    fn build_predicate(
+        &mut self,
+        lhs: Operand,
+        op: CmpOp,
+        rhs: Operand,
+        joined: &Schema,
+        resolve: impl Fn(&mut Self, &str, &Schema) -> Result<AttrId, QueryError>,
+    ) -> Result<Predicate, QueryError> {
+        match (lhs, rhs) {
+            (Operand::Attr(a), Operand::Attr(b)) => {
+                if op != CmpOp::Eq {
+                    return Err(QueryError::Invalid(
+                        "attribute-to-attribute conditions must use `=` (§2)".into(),
+                    ));
+                }
+                let ia = resolve(self, &a, joined)?;
+                let ib = resolve(self, &b, joined)?;
+                Ok(Predicate::AttrEq(ia, ib))
+            }
+            (Operand::ResolvedAttr(a), Operand::ResolvedAttr(b)) => {
+                if op != CmpOp::Eq {
+                    return Err(QueryError::Invalid(
+                        "attribute-to-attribute conditions must use `=` (§2)".into(),
+                    ));
+                }
+                Ok(Predicate::AttrEq(a, b))
+            }
+            (Operand::Attr(a), Operand::Const(c)) => {
+                Ok(Predicate::AttrCmp(resolve(self, &a, joined)?, op, c))
+            }
+            (Operand::ResolvedAttr(a), Operand::Const(c)) => Ok(Predicate::AttrCmp(a, op, c)),
+            (Operand::Const(c), Operand::Attr(a)) => Ok(Predicate::AttrCmp(
+                resolve(self, &a, joined)?,
+                mirror(op),
+                c,
+            )),
+            (Operand::Const(c), Operand::ResolvedAttr(a)) => {
+                Ok(Predicate::AttrCmp(a, mirror(op), c))
+            }
+            (Operand::Attr(a), Operand::ResolvedAttr(b))
+            | (Operand::ResolvedAttr(b), Operand::Attr(a)) => {
+                if op != CmpOp::Eq {
+                    return Err(QueryError::Invalid(
+                        "attribute-to-attribute conditions must use `=` (§2)".into(),
+                    ));
+                }
+                let ia = resolve(self, &a, joined)?;
+                Ok(Predicate::AttrEq(ia, b))
+            }
+            (Operand::Const(_), Operand::Const(_)) => Err(QueryError::Invalid(
+                "conditions must mention at least one attribute".into(),
+            )),
+        }
+    }
+}
+
+/// Flips a comparison when the constant was written on the left.
+fn mirror(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq | CmpOp::Ne => op,
+    }
+}
+
+enum RawItems {
+    Star,
+    List(Vec<RawItem>),
+}
+
+enum RawItem {
+    Attr(String),
+    Agg {
+        kind: AggKind,
+        arg: Option<String>,
+        alias: Option<String>,
+    },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum AggKind {
+    Sum,
+    Count,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggKind {
+    fn from_keyword(k: &str) -> Option<AggKind> {
+        match k {
+            "SUM" => Some(AggKind::Sum),
+            "COUNT" => Some(AggKind::Count),
+            "MIN" => Some(AggKind::Min),
+            "MAX" => Some(AggKind::Max),
+            "AVG" => Some(AggKind::Avg),
+            _ => None,
+        }
+    }
+}
+
+enum Operand {
+    Attr(String),
+    ResolvedAttr(AttrId),
+    Const(Value),
+}
+
+/// Semantic checks after parsing.
+fn validate(q: &Query, catalog: &Catalog) -> Result<(), QueryError> {
+    if q.is_aggregate() {
+        for item in &q.select {
+            if let SelectItem::Attr(a) = item {
+                if !q.group_by.contains(a) {
+                    return Err(QueryError::Invalid(format!(
+                        "attribute `{}` must appear in GROUP BY",
+                        catalog.name(*a)
+                    )));
+                }
+            }
+        }
+    } else if !q.having.is_empty() {
+        return Err(QueryError::Invalid(
+            "HAVING requires aggregates or GROUP BY".into(),
+        ));
+    }
+    // Every group-by attribute should be exposed, so downstream operators
+    // (ordering, having) stay within the output schema.
+    for g in &q.group_by {
+        if q.is_aggregate() && !q.select.iter().any(|i| i.output() == *g) {
+            return Err(QueryError::Invalid(format!(
+                "GROUP BY attribute `{}` must be selected",
+                catalog.name(*g)
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Catalog, HashMap<String, Schema>) {
+        let mut c = Catalog::new();
+        let customer = c.intern("customer");
+        let date = c.intern("date");
+        let package = c.intern("package");
+        let item = c.intern("item");
+        let price = c.intern("price");
+        let mut schemas = HashMap::new();
+        schemas.insert(
+            "Orders".to_string(),
+            Schema::new(vec![customer, date, package]),
+        );
+        schemas.insert("Packages".to_string(), Schema::new(vec![package, item]));
+        schemas.insert("Items".to_string(), Schema::new(vec![item, price]));
+        (c, schemas)
+    }
+
+    #[test]
+    fn parses_q2_revenue_per_customer() {
+        let (mut c, schemas) = setup();
+        let q = parse(
+            "SELECT customer, SUM(price) AS revenue \
+             FROM Orders, Packages, Items GROUP BY customer",
+            &mut c,
+            &schemas,
+        )
+        .unwrap();
+        assert_eq!(q.from, vec!["Orders", "Packages", "Items"]);
+        assert_eq!(q.group_by.len(), 1);
+        let aggs = q.aggregates();
+        assert_eq!(aggs.len(), 1);
+        assert_eq!(c.name(aggs[0].output), "revenue");
+        assert!(matches!(aggs[0].func, AggFunc::Sum(_)));
+    }
+
+    #[test]
+    fn parses_natural_join_syntax() {
+        let (mut c, schemas) = setup();
+        let q = parse(
+            "SELECT package FROM Orders NATURAL JOIN Packages GROUP BY package",
+            &mut c,
+            &schemas,
+        )
+        .unwrap();
+        assert_eq!(q.from, vec!["Orders", "Packages"]);
+    }
+
+    #[test]
+    fn star_expands_to_joined_schema() {
+        let (mut c, schemas) = setup();
+        let q = parse("SELECT * FROM Packages, Items", &mut c, &schemas).unwrap();
+        let names: Vec<&str> = q.output_attrs().iter().map(|&a| c.name(a)).collect();
+        assert_eq!(names, vec!["package", "item", "price"]);
+    }
+
+    #[test]
+    fn where_with_constants_and_equalities() {
+        let (mut c, schemas) = setup();
+        let q = parse(
+            "SELECT item FROM Items WHERE price >= 2 AND 6 > price AND item = item",
+            &mut c,
+            &schemas,
+        )
+        .unwrap();
+        assert_eq!(q.predicates.len(), 3);
+        assert!(matches!(
+            q.predicates[1],
+            Predicate::AttrCmp(_, CmpOp::Lt, _)
+        ));
+    }
+
+    #[test]
+    fn order_by_desc_and_limit() {
+        let (mut c, schemas) = setup();
+        let q = parse(
+            "SELECT customer, SUM(price) AS revenue FROM Orders, Packages, Items \
+             GROUP BY customer ORDER BY revenue DESC LIMIT 10",
+            &mut c,
+            &schemas,
+        )
+        .unwrap();
+        assert_eq!(q.order_by.len(), 1);
+        assert_eq!(q.order_by[0].dir, SortDir::Desc);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn having_references_selected_aggregate() {
+        let (mut c, schemas) = setup();
+        let q = parse(
+            "SELECT customer, SUM(price) AS revenue FROM Orders, Packages, Items \
+             GROUP BY customer HAVING revenue > 10",
+            &mut c,
+            &schemas,
+        )
+        .unwrap();
+        assert_eq!(q.having.len(), 1);
+        // Inline aggregate syntax resolves to the same column.
+        let q2 = parse(
+            "SELECT customer, SUM(price) AS revenue FROM Orders, Packages, Items \
+             GROUP BY customer HAVING SUM(price) > 10",
+            &mut c,
+            &schemas,
+        )
+        .unwrap();
+        assert_eq!(q.having, q2.having);
+    }
+
+    #[test]
+    fn having_aggregate_not_in_select_is_rejected() {
+        let (mut c, schemas) = setup();
+        let err = parse(
+            "SELECT customer, SUM(price) AS revenue FROM Orders, Packages, Items \
+             GROUP BY customer HAVING MIN(price) > 1",
+            &mut c,
+            &schemas,
+        );
+        assert!(matches!(err, Err(QueryError::Invalid(_))));
+    }
+
+    #[test]
+    fn ungrouped_attribute_is_rejected() {
+        let (mut c, schemas) = setup();
+        let err = parse(
+            "SELECT customer, SUM(price) FROM Orders, Packages, Items GROUP BY date",
+            &mut c,
+            &schemas,
+        );
+        assert!(matches!(err, Err(QueryError::Invalid(_))));
+    }
+
+    #[test]
+    fn unknown_relation_is_unresolved() {
+        let (mut c, schemas) = setup();
+        let err = parse("SELECT x FROM Nope", &mut c, &schemas);
+        assert!(matches!(err, Err(QueryError::Unresolved(_))));
+    }
+
+    #[test]
+    fn unknown_attribute_is_unresolved() {
+        let (mut c, schemas) = setup();
+        let err = parse("SELECT nope FROM Items", &mut c, &schemas);
+        assert!(matches!(err, Err(QueryError::Unresolved(_))));
+    }
+
+    #[test]
+    fn attribute_outside_from_is_unresolved() {
+        let (mut c, schemas) = setup();
+        // `customer` exists in the catalog but not in Items' schema.
+        let err = parse("SELECT customer FROM Items", &mut c, &schemas);
+        assert!(matches!(err, Err(QueryError::Unresolved(_))));
+    }
+
+    #[test]
+    fn count_star_and_count_attr() {
+        let (mut c, schemas) = setup();
+        let q = parse(
+            "SELECT COUNT(*) AS n, COUNT(item) AS m FROM Items",
+            &mut c,
+            &schemas,
+        )
+        .unwrap();
+        let aggs = q.aggregates();
+        assert_eq!(aggs.len(), 2);
+        assert!(matches!(aggs[0].func, AggFunc::Count));
+        assert!(matches!(aggs[1].func, AggFunc::Count));
+    }
+
+    #[test]
+    fn order_by_non_output_is_rejected() {
+        let (mut c, schemas) = setup();
+        let err = parse(
+            "SELECT customer, SUM(price) AS r FROM Orders, Packages, Items \
+             GROUP BY customer ORDER BY date",
+            &mut c,
+            &schemas,
+        );
+        assert!(matches!(err, Err(QueryError::Unresolved(_))));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let (mut c, schemas) = setup();
+        let err = parse("SELECT item FROM Items garbage", &mut c, &schemas);
+        assert!(matches!(err, Err(QueryError::Parse { .. })));
+    }
+
+    #[test]
+    fn lowering_round_trip_display() {
+        let (mut c, schemas) = setup();
+        let sql = "SELECT customer, SUM(price) AS revenue FROM Orders, Packages, Items \
+                   GROUP BY customer ORDER BY revenue DESC LIMIT 3";
+        let q = parse(sql, &mut c, &schemas).unwrap();
+        let shown = q.display(&c);
+        assert!(shown.contains("GROUP BY customer"));
+        assert!(shown.contains("ORDER BY revenue DESC"));
+        assert!(shown.contains("LIMIT 3"));
+        let task = q.to_task();
+        assert_eq!(task.inputs.len(), 3);
+        assert_eq!(task.limit, Some(3));
+    }
+}

@@ -1,0 +1,98 @@
+//! Parser robustness: arbitrary input must never panic — every outcome is
+//! either a resolved query or a structured error — and valid queries
+//! round-trip through `display` to an equivalent parse.
+
+use fdb_query::parse;
+use fdb_relational::{Catalog, Schema};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn schemas() -> (Catalog, HashMap<String, Schema>) {
+    let mut c = Catalog::new();
+    let customer = c.intern("customer");
+    let date = c.intern("date");
+    let package = c.intern("package");
+    let item = c.intern("item");
+    let price = c.intern("price");
+    let mut schemas = HashMap::new();
+    schemas.insert(
+        "Orders".to_string(),
+        Schema::new(vec![customer, date, package]),
+    );
+    schemas.insert("Packages".to_string(), Schema::new(vec![package, item]));
+    schemas.insert("Items".to_string(), Schema::new(vec![item, price]));
+    (c, schemas)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn arbitrary_input_never_panics(input in ".{0,80}") {
+        let (mut c, schemas) = schemas();
+        let _ = parse(&input, &mut c, &schemas);
+    }
+
+    #[test]
+    fn keyword_soup_never_panics(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "HAVING",
+                "LIMIT", "AND", "AS", "SUM", "COUNT", "MIN", "MAX", "AVG",
+                "ASC", "DESC", "NATURAL", "JOIN", "DISTINCT",
+                "customer", "price", "Items", "Orders", "*", "(", ")", ",",
+                "=", "<", ">=", "<>", "5", "3.5", "'x'",
+            ]),
+            0..20,
+        )
+    ) {
+        let (mut c, schemas) = schemas();
+        let sql = words.join(" ");
+        let _ = parse(&sql, &mut c, &schemas);
+    }
+
+    #[test]
+    fn valid_queries_round_trip_through_display(
+        agg_pick in 0usize..5,
+        desc in any::<bool>(),
+        limit in prop::option::of(0usize..100),
+        with_where in any::<bool>(),
+    ) {
+        let (mut c, schemas) = schemas();
+        let agg = ["SUM(price)", "COUNT(*)", "MIN(price)", "MAX(price)", "AVG(price)"][agg_pick];
+        let mut sql = format!(
+            "SELECT customer, {agg} AS out FROM Orders, Packages, Items"
+        );
+        if with_where {
+            sql.push_str(" WHERE price >= 2");
+        }
+        sql.push_str(" GROUP BY customer ORDER BY customer");
+        if desc {
+            sql.push_str(" DESC");
+        }
+        if let Some(k) = limit {
+            sql.push_str(&format!(" LIMIT {k}"));
+        }
+        let q1 = parse(&sql, &mut c, &schemas).expect("valid query parses");
+        let rendered = q1.display(&c);
+        let q2 = parse(&rendered, &mut c, &schemas)
+            .unwrap_or_else(|e| panic!("rendered `{rendered}` must reparse: {e}"));
+        prop_assert_eq!(q1, q2);
+    }
+}
+
+#[test]
+fn deeply_nested_garbage_is_rejected_gracefully() {
+    let (mut c, schemas) = schemas();
+    let sql = format!("SELECT {} FROM Items", "(".repeat(500));
+    assert!(parse(&sql, &mut c, &schemas).is_err());
+}
+
+#[test]
+fn long_conjunctions_parse() {
+    let (mut c, schemas) = schemas();
+    let conds: Vec<String> = (0..50).map(|i| format!("price <> {i}")).collect();
+    let sql = format!("SELECT item FROM Items WHERE {}", conds.join(" AND "));
+    let q = parse(&sql, &mut c, &schemas).unwrap();
+    assert_eq!(q.predicates.len(), 50);
+}

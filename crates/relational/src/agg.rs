@@ -1,0 +1,213 @@
+//! Aggregation function specifications, shared by the relational baselines
+//! and (re-exported) by the factorised engine.
+//!
+//! The paper considers `sum`, `count`, `min` and `max`; `avg` is recovered as
+//! the pair `(sum, count)` (§2, §3.2.4). [`AggFunc`] is the logical function
+//! as written in a query; [`AggSpec`] pairs it with its output attribute,
+//! matching the `̟G; α←F` notation.
+
+use crate::attr::{AttrId, Catalog};
+use crate::value::{Number, Value};
+use std::fmt;
+
+/// A logical aggregation function over one attribute (or none, for `count`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Number of tuples in the group.
+    Count,
+    /// Sum of the attribute's values.
+    Sum(AttrId),
+    /// Minimum of the attribute's values.
+    Min(AttrId),
+    /// Maximum of the attribute's values.
+    Max(AttrId),
+    /// Average of the attribute's values; evaluated as `(sum, count)`.
+    Avg(AttrId),
+}
+
+impl AggFunc {
+    /// The aggregated attribute, if any (`count` has none).
+    pub fn attr(&self) -> Option<AttrId> {
+        match self {
+            AggFunc::Count => None,
+            AggFunc::Sum(a) | AggFunc::Min(a) | AggFunc::Max(a) | AggFunc::Avg(a) => Some(*a),
+        }
+    }
+
+    /// Renders the function with attribute names from `catalog`.
+    pub fn display<'a>(&'a self, catalog: &'a Catalog) -> AggFuncDisplay<'a> {
+        AggFuncDisplay {
+            func: self,
+            catalog,
+        }
+    }
+
+    /// Derived name used when a query does not alias the aggregate.
+    pub fn derived_name(&self, catalog: &Catalog) -> String {
+        match self {
+            AggFunc::Count => "count(*)".to_string(),
+            AggFunc::Sum(a) => format!("sum({})", catalog.name(*a)),
+            AggFunc::Min(a) => format!("min({})", catalog.name(*a)),
+            AggFunc::Max(a) => format!("max({})", catalog.name(*a)),
+            AggFunc::Avg(a) => format!("avg({})", catalog.name(*a)),
+        }
+    }
+}
+
+/// Helper for [`AggFunc::display`].
+pub struct AggFuncDisplay<'a> {
+    func: &'a AggFunc,
+    catalog: &'a Catalog,
+}
+
+impl fmt::Display for AggFuncDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.func.derived_name(self.catalog))
+    }
+}
+
+/// One aggregate of a query: `α ← F`, i.e. function plus output attribute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    pub output: AttrId,
+}
+
+impl AggSpec {
+    pub fn new(func: AggFunc, output: AttrId) -> Self {
+        AggSpec { func, output }
+    }
+}
+
+/// Running accumulator for one aggregation function.
+///
+/// Used by the relational baselines' scan-based aggregation; the factorised
+/// engine evaluates aggregates recursively on factorisations instead
+/// (`fdb-core::agg`).
+#[derive(Clone, Debug)]
+pub enum Accumulator {
+    Count(u64),
+    Sum(Number),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: Number, count: u64 },
+}
+
+impl Accumulator {
+    /// Fresh accumulator for `func`.
+    pub fn new(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Count => Accumulator::Count(0),
+            AggFunc::Sum(_) => Accumulator::Sum(Number::ZERO),
+            AggFunc::Min(_) => Accumulator::Min(None),
+            AggFunc::Max(_) => Accumulator::Max(None),
+            AggFunc::Avg(_) => Accumulator::Avg {
+                sum: Number::ZERO,
+                count: 0,
+            },
+        }
+    }
+
+    /// Folds one input value into the accumulator.
+    ///
+    /// For `count` the value is ignored (every tuple counts once); for the
+    /// others it must be numeric or ordered as required.
+    pub fn update(&mut self, value: Option<&Value>) {
+        match self {
+            Accumulator::Count(n) => *n += 1,
+            Accumulator::Sum(acc) => {
+                let v = value.expect("sum needs a value");
+                let n = v.as_number().expect("sum over non-numeric value");
+                *acc = acc.add(n);
+            }
+            Accumulator::Min(m) => {
+                let v = value.expect("min needs a value");
+                if m.as_ref().is_none_or(|cur| v < cur) {
+                    *m = Some(v.clone());
+                }
+            }
+            Accumulator::Max(m) => {
+                let v = value.expect("max needs a value");
+                if m.as_ref().is_none_or(|cur| v > cur) {
+                    *m = Some(v.clone());
+                }
+            }
+            Accumulator::Avg { sum, count } => {
+                let v = value.expect("avg needs a value");
+                let n = v.as_number().expect("avg over non-numeric value");
+                *sum = sum.add(n);
+                *count += 1;
+            }
+        }
+    }
+
+    /// Finalises the accumulator into an output value.
+    ///
+    /// Groups are formed from existing tuples, so `min`/`max`/`avg` are never
+    /// finalised empty; this is asserted.
+    pub fn finish(self) -> Value {
+        match self {
+            Accumulator::Count(n) => Value::Int(n as i64),
+            Accumulator::Sum(acc) => acc.into_value(),
+            Accumulator::Min(m) => m.expect("min over empty group"),
+            Accumulator::Max(m) => m.expect("max over empty group"),
+            Accumulator::Avg { sum, count } => {
+                assert!(count > 0, "avg over empty group");
+                Value::Float(sum.to_f64() / count as f64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_accumulates_tuples() {
+        let mut acc = Accumulator::new(AggFunc::Count);
+        acc.update(None);
+        acc.update(None);
+        acc.update(None);
+        assert_eq!(acc.finish(), Value::Int(3));
+    }
+
+    #[test]
+    fn sum_widens_to_float() {
+        let mut acc = Accumulator::new(AggFunc::Sum(AttrId(0)));
+        acc.update(Some(&Value::Int(2)));
+        acc.update(Some(&Value::Float(0.5)));
+        assert_eq!(acc.finish(), Value::Float(2.5));
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let a = AttrId(0);
+        let mut mn = Accumulator::new(AggFunc::Min(a));
+        let mut mx = Accumulator::new(AggFunc::Max(a));
+        for v in [5, 1, 9, 3] {
+            mn.update(Some(&Value::Int(v)));
+            mx.update(Some(&Value::Int(v)));
+        }
+        assert_eq!(mn.finish(), Value::Int(1));
+        assert_eq!(mx.finish(), Value::Int(9));
+    }
+
+    #[test]
+    fn avg_is_sum_over_count() {
+        let mut acc = Accumulator::new(AggFunc::Avg(AttrId(0)));
+        for v in [1, 2, 3, 4] {
+            acc.update(Some(&Value::Int(v)));
+        }
+        assert_eq!(acc.finish(), Value::Float(2.5));
+    }
+
+    #[test]
+    fn derived_names() {
+        let mut c = Catalog::new();
+        let p = c.intern("price");
+        assert_eq!(AggFunc::Sum(p).derived_name(&c), "sum(price)");
+        assert_eq!(AggFunc::Count.derived_name(&c), "count(*)");
+        assert_eq!(AggFunc::Avg(p).display(&c).to_string(), "avg(price)");
+    }
+}

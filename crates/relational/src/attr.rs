@@ -1,0 +1,156 @@
+//! Attribute identifiers and the attribute catalog.
+//!
+//! FDB keeps attribute names in the f-tree rather than with each singleton,
+//! which is what makes its `rename` operator constant-time (§2.1). We follow
+//! the same design: attribute names are interned once in a [`Catalog`] and
+//! every schema, f-tree node and plan operator refers to attributes by a
+//! compact [`AttrId`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Compact identifier of an attribute, valid within one [`Catalog`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    /// Index view for direct vector addressing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Interner mapping attribute names to [`AttrId`]s and back.
+///
+/// The catalog is append-only; ids are dense and never recycled, so they can
+/// be used as vector indices throughout the engine.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    names: Vec<String>,
+    index: HashMap<String, AttrId>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> AttrId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = AttrId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Interns several names at once, in order.
+    pub fn intern_all<'a>(&mut self, names: impl IntoIterator<Item = &'a str>) -> Vec<AttrId> {
+        names.into_iter().map(|n| self.intern(n)).collect()
+    }
+
+    /// Looks up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<AttrId> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the name of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this catalog.
+    pub fn name(&self, id: AttrId) -> &str {
+        &self.names[id.idx()]
+    }
+
+    /// Number of interned attributes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no attribute has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Generates a fresh attribute with a unique, derived name.
+    ///
+    /// Used for aggregate output attributes such as `sum(price)` when the
+    /// query does not name them explicitly; if the derived name collides, a
+    /// numeric suffix disambiguates.
+    pub fn fresh(&mut self, base: &str) -> AttrId {
+        if self.lookup(base).is_none() {
+            return self.intern(base);
+        }
+        for i in 2.. {
+            let candidate = format!("{base}_{i}");
+            if self.lookup(&candidate).is_none() {
+                return self.intern(&candidate);
+            }
+        }
+        unreachable!("catalog exhausted usize suffixes")
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (AttrId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut c = Catalog::new();
+        let a = c.intern("customer");
+        let b = c.intern("customer");
+        assert_eq!(a, b);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut c = Catalog::new();
+        let ids = c.intern_all(["a", "b", "c"]);
+        assert_eq!(ids, vec![AttrId(0), AttrId(1), AttrId(2)]);
+        assert_eq!(c.name(ids[1]), "b");
+    }
+
+    #[test]
+    fn lookup_missing_is_none() {
+        let c = Catalog::new();
+        assert_eq!(c.lookup("nope"), None);
+    }
+
+    #[test]
+    fn fresh_avoids_collisions() {
+        let mut c = Catalog::new();
+        c.intern("sum(price)");
+        let f = c.fresh("sum(price)");
+        assert_eq!(c.name(f), "sum(price)_2");
+        let g = c.fresh("sum(price)");
+        assert_eq!(c.name(g), "sum(price)_3");
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut c = Catalog::new();
+        c.intern_all(["x", "y"]);
+        let collected: Vec<_> = c.iter().map(|(id, n)| (id.0, n.to_string())).collect();
+        assert_eq!(collected, vec![(0, "x".to_string()), (1, "y".to_string())]);
+    }
+}

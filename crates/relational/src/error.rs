@@ -1,0 +1,45 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by relational planning and execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RelError {
+    /// A plan referenced a relation that is not registered.
+    UnknownRelation(String),
+    /// A plan referenced an attribute missing from its input schema.
+    MissingAttribute { attr: String, context: String },
+    /// The requested rewrite (e.g. eager aggregation) does not apply.
+    Unsupported(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::UnknownRelation(n) => write!(f, "unknown relation `{n}`"),
+            RelError::MissingAttribute { attr, context } => {
+                write!(f, "attribute `{attr}` not available in {context}")
+            }
+            RelError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(RelError::UnknownRelation("R".into())
+            .to_string()
+            .contains("R"));
+        let e = RelError::MissingAttribute {
+            attr: "price".into(),
+            context: "eager pre-aggregation".into(),
+        };
+        assert!(e.to_string().contains("price"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Selection predicates.
+//!
+//! The paper's selection conditions are conjunctions of equalities `Ai = Aj`
+//! and comparisons `Ai θ c` with a constant `c` (§2). [`Predicate`] models
+//! one conjunct; plans carry conjunctions as `Vec<Predicate>`.
+
+use crate::attr::{AttrId, Catalog};
+use crate::schema::Schema;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Binary comparison operator `θ`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates the operator on an `Ordering` of `lhs.cmp(rhs)`.
+    #[inline]
+    pub fn eval(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// Parser-facing symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// One conjunct of a selection condition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Predicate {
+    /// `Ai = Aj` — attribute equality (the join/merge/absorb case).
+    AttrEq(AttrId, AttrId),
+    /// `Ai θ c` — comparison of an attribute with a constant.
+    AttrCmp(AttrId, CmpOp, Value),
+}
+
+impl Predicate {
+    /// Attributes mentioned by the predicate.
+    pub fn attrs(&self) -> Vec<AttrId> {
+        match self {
+            Predicate::AttrEq(a, b) => vec![*a, *b],
+            Predicate::AttrCmp(a, _, _) => vec![*a],
+        }
+    }
+
+    /// True if every mentioned attribute is in `schema`.
+    pub fn applies_to(&self, schema: &Schema) -> bool {
+        self.attrs().iter().all(|a| schema.contains(*a))
+    }
+
+    /// Evaluates the predicate on a tuple laid out per `schema`.
+    ///
+    /// # Panics
+    /// Panics if a mentioned attribute is absent from `schema`.
+    pub fn eval(&self, schema: &Schema, row: &[Value]) -> bool {
+        match self {
+            Predicate::AttrEq(a, b) => {
+                let pa = schema.position(*a).expect("lhs attr in schema");
+                let pb = schema.position(*b).expect("rhs attr in schema");
+                row[pa] == row[pb]
+            }
+            Predicate::AttrCmp(a, op, c) => {
+                let pa = schema.position(*a).expect("attr in schema");
+                op.eval(row[pa].cmp(c))
+            }
+        }
+    }
+
+    /// Renders the predicate with attribute names from `catalog`.
+    pub fn display<'a>(&'a self, catalog: &'a Catalog) -> PredicateDisplay<'a> {
+        PredicateDisplay {
+            pred: self,
+            catalog,
+        }
+    }
+}
+
+/// Helper for [`Predicate::display`].
+pub struct PredicateDisplay<'a> {
+    pred: &'a Predicate,
+    catalog: &'a Catalog,
+}
+
+impl fmt::Display for PredicateDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pred {
+            Predicate::AttrEq(a, b) => {
+                write!(f, "{} = {}", self.catalog.name(*a), self.catalog.name(*b))
+            }
+            Predicate::AttrCmp(a, op, c) => {
+                write!(f, "{} {op} {c}", self.catalog.name(*a))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_eval_table() {
+        use CmpOp::*;
+        let cases = [
+            (Eq, [false, true, false]),
+            (Ne, [true, false, true]),
+            (Lt, [true, false, false]),
+            (Le, [true, true, false]),
+            (Gt, [false, false, true]),
+            (Ge, [false, true, true]),
+        ];
+        let orderings = [Ordering::Less, Ordering::Equal, Ordering::Greater];
+        for (op, expected) in cases {
+            for (ord, want) in orderings.iter().zip(expected) {
+                assert_eq!(op.eval(*ord), want, "{op:?} on {ord:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn predicate_eval_on_rows() {
+        let mut c = Catalog::new();
+        let a = c.intern("a");
+        let b = c.intern("b");
+        let schema = Schema::new(vec![a, b]);
+        let row = [Value::Int(3), Value::Int(3)];
+        assert!(Predicate::AttrEq(a, b).eval(&schema, &row));
+        assert!(Predicate::AttrCmp(a, CmpOp::Ge, Value::Int(3)).eval(&schema, &row));
+        assert!(!Predicate::AttrCmp(b, CmpOp::Lt, Value::Int(3)).eval(&schema, &row));
+    }
+
+    #[test]
+    fn applies_to_checks_schema() {
+        let mut c = Catalog::new();
+        let a = c.intern("a");
+        let b = c.intern("b");
+        let x = c.intern("x");
+        let schema = Schema::new(vec![a, b]);
+        assert!(Predicate::AttrEq(a, b).applies_to(&schema));
+        assert!(!Predicate::AttrEq(a, x).applies_to(&schema));
+    }
+
+    #[test]
+    fn display_renders_names() {
+        let mut c = Catalog::new();
+        let a = c.intern("price");
+        let p = Predicate::AttrCmp(a, CmpOp::Le, Value::Int(5));
+        assert_eq!(p.display(&c).to_string(), "price <= 5");
+    }
+}

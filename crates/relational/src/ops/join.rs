@@ -1,0 +1,271 @@
+//! Joins: natural hash join, natural sort-merge join, and cross product.
+//!
+//! Natural joins equate all attributes shared by the two schemas, matching
+//! the paper's queries (`R1 = Orders ⋈ Items ⋈ Packages`, §6). The output
+//! schema is `left ++ (right \ left)`.
+
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Builds the output schema and column plumbing shared by both join
+/// algorithms: positions of join keys on each side and the positions of the
+/// right-side payload columns (non-join attributes).
+struct JoinLayout {
+    out_schema: Schema,
+    left_key: Vec<usize>,
+    right_key: Vec<usize>,
+    right_payload: Vec<usize>,
+}
+
+fn layout(left: &Relation, right: &Relation) -> JoinLayout {
+    let common = left.schema().common(right.schema());
+    let left_key: Vec<usize> = common
+        .iter()
+        .map(|&a| left.schema().position(a).unwrap())
+        .collect();
+    let right_key: Vec<usize> = common
+        .iter()
+        .map(|&a| right.schema().position(a).unwrap())
+        .collect();
+    let right_extra = right.schema().difference(left.schema());
+    let right_payload: Vec<usize> = right_extra
+        .iter()
+        .map(|&a| right.schema().position(a).unwrap())
+        .collect();
+    let out_schema = Schema::new(
+        left.schema()
+            .attrs()
+            .iter()
+            .copied()
+            .chain(right_extra)
+            .collect(),
+    );
+    JoinLayout {
+        out_schema,
+        left_key,
+        right_key,
+        right_payload,
+    }
+}
+
+/// Natural join via a hash table on the smaller input's join key.
+pub fn hash_join(left: &Relation, right: &Relation) -> Relation {
+    let lay = layout(left, right);
+    let mut out = Relation::empty(lay.out_schema.clone());
+    if left.is_empty() || right.is_empty() {
+        return out;
+    }
+    if lay.left_key.is_empty() {
+        // No shared attributes: natural join degenerates to a product.
+        return product(left, right);
+    }
+    // Build on the right side (probe with left rows so output keeps the
+    // left-major ordering, which downstream sort-reuse tests rely on).
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (i, row) in right.rows().enumerate() {
+        let key: Vec<Value> = lay.right_key.iter().map(|&p| row[p].clone()).collect();
+        table.entry(key).or_default().push(i);
+    }
+    let mut buf: Vec<Value> = Vec::with_capacity(lay.out_schema.arity());
+    let mut key_buf: Vec<Value> = Vec::with_capacity(lay.left_key.len());
+    for lrow in left.rows() {
+        key_buf.clear();
+        key_buf.extend(lay.left_key.iter().map(|&p| lrow[p].clone()));
+        if let Some(matches) = table.get(&key_buf) {
+            for &ri in matches {
+                let rrow = right.row(ri);
+                buf.clear();
+                buf.extend_from_slice(lrow);
+                buf.extend(lay.right_payload.iter().map(|&p| rrow[p].clone()));
+                out.push_row_unchecked(&buf);
+            }
+        }
+    }
+    out
+}
+
+/// Natural join via sorting both inputs on the join key and merging runs.
+pub fn sort_merge_join(left: &Relation, right: &Relation) -> Relation {
+    let lay = layout(left, right);
+    let mut out = Relation::empty(lay.out_schema.clone());
+    if left.is_empty() || right.is_empty() {
+        return out;
+    }
+    if lay.left_key.is_empty() {
+        return product(left, right);
+    }
+    let common = left.schema().common(right.schema());
+    let mut l = left.clone();
+    let mut r = right.clone();
+    l.sort_by_keys(
+        &common
+            .iter()
+            .map(|&a| crate::relation::SortKey::asc(a))
+            .collect::<Vec<_>>(),
+    );
+    r.sort_by_keys(
+        &common
+            .iter()
+            .map(|&a| crate::relation::SortKey::asc(a))
+            .collect::<Vec<_>>(),
+    );
+    let key_cmp = |lrow: &[Value], rrow: &[Value]| {
+        for (&lp, &rp) in lay.left_key.iter().zip(&lay.right_key) {
+            let ord = lrow[lp].cmp(&rrow[rp]);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    };
+    let (mut i, mut j) = (0usize, 0usize);
+    let (n, m) = (l.len(), r.len());
+    let mut buf: Vec<Value> = Vec::with_capacity(lay.out_schema.arity());
+    while i < n && j < m {
+        match key_cmp(l.row(i), r.row(j)) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Find the full run of equal keys on each side.
+                let i_end = (i..n)
+                    .find(|&x| key_cmp(l.row(x), r.row(j)) != std::cmp::Ordering::Equal)
+                    .unwrap_or(n);
+                let j_end = (j..m)
+                    .find(|&x| key_cmp(l.row(i), r.row(x)) != std::cmp::Ordering::Equal)
+                    .unwrap_or(m);
+                for li in i..i_end {
+                    for rj in j..j_end {
+                        buf.clear();
+                        buf.extend_from_slice(l.row(li));
+                        buf.extend(lay.right_payload.iter().map(|&p| r.row(rj)[p].clone()));
+                        out.push_row_unchecked(&buf);
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    out
+}
+
+/// Cross product of relations over disjoint schemas.
+///
+/// # Panics
+/// Panics if the schemas overlap (use a join instead).
+pub fn product(left: &Relation, right: &Relation) -> Relation {
+    let out_schema = left.schema().concat(right.schema());
+    let mut out = Relation::empty(out_schema);
+    out.reserve(left.len() * right.len());
+    let mut buf: Vec<Value> = Vec::with_capacity(out.arity());
+    for lrow in left.rows() {
+        for rrow in right.rows() {
+            buf.clear();
+            buf.extend_from_slice(lrow);
+            buf.extend_from_slice(rrow);
+            out.push_row(&buf);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Catalog;
+    use crate::value::Value;
+
+    fn pizzeria() -> (Catalog, Relation, Relation) {
+        // Pizzas(pizza, item) and Items(item, price) from Figure 1.
+        let mut c = Catalog::new();
+        let pizza = c.intern("pizza");
+        let item = c.intern("item");
+        let price = c.intern("price");
+        let pizzas = Relation::from_rows(
+            Schema::new(vec![pizza, item]),
+            [
+                ("Margherita", "base"),
+                ("Capricciosa", "base"),
+                ("Capricciosa", "ham"),
+                ("Capricciosa", "mushrooms"),
+                ("Hawaii", "base"),
+                ("Hawaii", "ham"),
+                ("Hawaii", "pineapple"),
+            ]
+            .into_iter()
+            .map(|(p, i)| vec![Value::str(p), Value::str(i)]),
+        );
+        let items = Relation::from_rows(
+            Schema::new(vec![item, price]),
+            [("base", 6), ("ham", 1), ("mushrooms", 1), ("pineapple", 2)]
+                .into_iter()
+                .map(|(i, pr)| vec![Value::str(i), Value::Int(pr)]),
+        );
+        (c, pizzas, items)
+    }
+
+    #[test]
+    fn hash_and_merge_join_agree() {
+        let (_, pizzas, items) = pizzeria();
+        let h = hash_join(&pizzas, &items).canonical();
+        let m = sort_merge_join(&pizzas, &items).canonical();
+        assert_eq!(h, m);
+        assert_eq!(h.len(), 7);
+        assert_eq!(h.arity(), 3);
+    }
+
+    #[test]
+    fn join_filters_dangling_tuples() {
+        let (mut c, pizzas, _) = pizzeria();
+        let item = c.lookup("item").unwrap();
+        let price = c.intern("price");
+        // Only "base" is priced: all non-base rows dangle.
+        let items = Relation::from_rows(
+            Schema::new(vec![item, price]),
+            [vec![Value::str("base"), Value::Int(6)]],
+        );
+        let out = hash_join(&pizzas, &items);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn disjoint_schemas_degenerate_to_product() {
+        let mut c = Catalog::new();
+        let a = c.intern("a");
+        let b = c.intern("b");
+        let ra = Relation::from_rows(
+            Schema::new(vec![a]),
+            [1, 2].into_iter().map(|x| vec![Value::Int(x)]),
+        );
+        let rb = Relation::from_rows(
+            Schema::new(vec![b]),
+            [10, 20, 30].into_iter().map(|x| vec![Value::Int(x)]),
+        );
+        let out = hash_join(&ra, &rb);
+        assert_eq!(out.len(), 6);
+        assert_eq!(out, product(&ra, &rb));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_join() {
+        let (_, pizzas, items) = pizzeria();
+        let empty = Relation::empty(items.schema().clone());
+        assert!(hash_join(&pizzas, &empty).is_empty());
+        assert!(sort_merge_join(&empty, &items).is_empty());
+    }
+
+    #[test]
+    fn join_output_schema_order() {
+        let (c, pizzas, items) = pizzeria();
+        let out = hash_join(&pizzas, &items);
+        let names: Vec<&str> = out
+            .schema()
+            .attrs()
+            .iter()
+            .map(|&a| c.name(a))
+            .collect();
+        assert_eq!(names, vec!["pizza", "item", "price"]);
+    }
+}

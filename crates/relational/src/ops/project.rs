@@ -1,0 +1,59 @@
+//! Projection with set semantics.
+
+use crate::attr::AttrId;
+use crate::relation::Relation;
+
+/// Projects `rel` onto `attrs` (in the given column order).
+///
+/// Relational algebra in the paper is over sets, so the result is
+/// deduplicated; pass `distinct = false` only when the caller knows the
+/// projection is injective (e.g. onto a key) and wants to skip the sort.
+///
+/// # Panics
+/// Panics if an attribute is missing from `rel`'s schema.
+pub fn project(rel: &Relation, attrs: &[AttrId], distinct: bool) -> Relation {
+    let mut out = rel.project_cols(attrs);
+    if distinct {
+        out.canonicalize();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Catalog;
+    use crate::schema::Schema;
+    use crate::value::Value;
+
+    #[test]
+    fn distinct_projection_dedups() {
+        let mut c = Catalog::new();
+        let a = c.intern("a");
+        let b = c.intern("b");
+        let rel = Relation::from_rows(
+            Schema::new(vec![a, b]),
+            [(1, 1), (1, 2), (2, 9)]
+                .into_iter()
+                .map(|(x, y)| vec![Value::Int(x), Value::Int(y)]),
+        );
+        let out = project(&rel, &[a], true);
+        assert_eq!(out.len(), 2);
+        let raw = project(&rel, &[a], false);
+        assert_eq!(raw.len(), 3);
+    }
+
+    #[test]
+    fn projection_onto_empty_schema_yields_nullary() {
+        let mut c = Catalog::new();
+        let a = c.intern("a");
+        let rel = Relation::from_rows(
+            Schema::new(vec![a]),
+            [1, 2].into_iter().map(|x| vec![Value::Int(x)]),
+        );
+        let out = project(&rel, &[], true);
+        assert_eq!(out.arity(), 0);
+        // The nullary tuple is present exactly once.
+        assert_eq!(out.len(), 1);
+    }
+}

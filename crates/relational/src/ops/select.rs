@@ -1,0 +1,87 @@
+//! Selection: filters tuples by a conjunction of predicates in one scan.
+
+use crate::expr::Predicate;
+use crate::relation::Relation;
+
+/// Returns the tuples of `rel` satisfying every predicate in `preds`.
+///
+/// # Panics
+/// Panics if a predicate mentions an attribute outside `rel`'s schema.
+pub fn select(rel: &Relation, preds: &[Predicate]) -> Relation {
+    let schema = rel.schema().clone();
+    for p in preds {
+        assert!(
+            p.applies_to(&schema),
+            "predicate references attribute outside schema"
+        );
+    }
+    let mut out = Relation::empty(schema.clone());
+    for row in rel.rows() {
+        if preds.iter().all(|p| p.eval(&schema, row)) {
+            out.push_row(row);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Catalog;
+    use crate::expr::CmpOp;
+    use crate::schema::Schema;
+    use crate::value::Value;
+
+    fn sample() -> (Catalog, Relation) {
+        let mut c = Catalog::new();
+        let a = c.intern("a");
+        let b = c.intern("b");
+        let rel = Relation::from_rows(
+            Schema::new(vec![a, b]),
+            [(1, 1), (1, 2), (2, 2), (3, 5)]
+                .into_iter()
+                .map(|(x, y)| vec![Value::Int(x), Value::Int(y)]),
+        );
+        (c, rel)
+    }
+
+    #[test]
+    fn attr_eq_selects_diagonal() {
+        let (c, rel) = sample();
+        let a = c.lookup("a").unwrap();
+        let b = c.lookup("b").unwrap();
+        let out = select(&rel, &[Predicate::AttrEq(a, b)]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn const_comparison() {
+        let (c, rel) = sample();
+        let b = c.lookup("b").unwrap();
+        let out = select(&rel, &[Predicate::AttrCmp(b, CmpOp::Gt, Value::Int(1))]);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn conjunction_is_intersection() {
+        let (c, rel) = sample();
+        let a = c.lookup("a").unwrap();
+        let b = c.lookup("b").unwrap();
+        let out = select(
+            &rel,
+            &[
+                Predicate::AttrEq(a, b),
+                Predicate::AttrCmp(a, CmpOp::Ge, Value::Int(2)),
+            ],
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.row(0), &[Value::Int(2), Value::Int(2)]);
+    }
+
+    #[test]
+    fn empty_predicates_is_identity() {
+        let (_, rel) = sample();
+        let out = select(&rel, &[]);
+        assert_eq!(out, rel);
+    }
+}

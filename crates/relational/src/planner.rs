@@ -1,0 +1,641 @@
+//! Logical join-aggregate tasks and the two baseline planners.
+//!
+//! [`naive_plan`] mirrors what SQLite and PostgreSQL did in the paper's
+//! Experiment 2: join everything, then group and aggregate ("lazy"
+//! aggregation). [`eager_plan`] automates the handcrafted "man" plans of
+//! Figure 6 using Yan–Larson eager aggregation \[31\]: every base relation is
+//! pre-aggregated down to its join and group-by attributes (partial sums
+//! plus counts), the shrunken relations are joined, and the final aggregate
+//! recombines the partials as `Σ partial_sum · Π counts` per group.
+
+use crate::agg::{AggFunc, AggSpec};
+use crate::attr::{AttrId, Catalog};
+use crate::error::RelError;
+use crate::expr::Predicate;
+use crate::ops::aggregate::{PhysAgg, PhysAggSpec};
+use crate::plan::{DeriveExpr, JoinAlgo, RelPlan};
+use crate::relation::SortKey;
+use crate::schema::Schema;
+use std::collections::HashMap;
+
+/// A logical query: natural join of named inputs, optional selections,
+/// grouping/aggregation (or plain projection), having, ordering and limit.
+///
+/// This is the common denominator the baseline engines execute; the SQL
+/// front-end in `fdb-query` lowers to it, and the factorised engine runs
+/// the same tasks through f-plans.
+#[derive(Clone, Debug, Default)]
+pub struct JoinAggTask {
+    /// Relations to natural-join, in join order.
+    pub inputs: Vec<String>,
+    /// Extra selection conjuncts (`Ai = Aj`, `Ai θ c`).
+    pub predicates: Vec<Predicate>,
+    /// Projection for aggregate-free queries; ignored when aggregates exist.
+    pub projection: Option<Vec<AttrId>>,
+    /// Group-by attributes `G`.
+    pub group_by: Vec<AttrId>,
+    /// Aggregates `αi ← Fi`.
+    pub aggregates: Vec<AggSpec>,
+    /// HAVING conjuncts (over group-by attributes and aggregate outputs).
+    pub having: Vec<Predicate>,
+    /// ORDER BY keys.
+    pub order_by: Vec<SortKey>,
+    /// LIMIT k.
+    pub limit: Option<usize>,
+}
+
+impl JoinAggTask {
+    /// True if the task has a grouping/aggregation stage.
+    pub fn is_aggregate(&self) -> bool {
+        !self.aggregates.is_empty()
+    }
+
+    /// The expected output schema column order.
+    pub fn output_attrs(&self) -> Vec<AttrId> {
+        if self.is_aggregate() {
+            self.group_by
+                .iter()
+                .copied()
+                .chain(self.aggregates.iter().map(|a| a.output))
+                .collect()
+        } else {
+            self.projection.clone().unwrap_or_default()
+        }
+    }
+}
+
+/// Splits predicates into per-input pushable constant comparisons and the
+/// rest (cross-input equalities and predicates over join outputs).
+fn split_predicates<'a>(
+    preds: &'a [Predicate],
+    schemas: &[(String, &Schema)],
+) -> (Vec<Vec<&'a Predicate>>, Vec<&'a Predicate>) {
+    let mut per_input: Vec<Vec<&Predicate>> = vec![Vec::new(); schemas.len()];
+    let mut residual: Vec<&Predicate> = Vec::new();
+    for p in preds {
+        match p {
+            Predicate::AttrCmp(a, _, _) => {
+                let mut pushed = false;
+                for (i, (_, s)) in schemas.iter().enumerate() {
+                    if s.contains(*a) {
+                        per_input[i].push(p);
+                        pushed = true;
+                    }
+                }
+                if !pushed {
+                    residual.push(p);
+                }
+            }
+            Predicate::AttrEq(_, _) => residual.push(p),
+        }
+    }
+    (per_input, residual)
+}
+
+/// Left-deep natural-join tree over the (possibly filtered) inputs.
+fn join_tree(leaves: Vec<RelPlan>) -> RelPlan {
+    let mut it = leaves.into_iter();
+    let first = it.next().expect("at least one input");
+    it.fold(first, |acc, next| acc.join(next, JoinAlgo::Hash))
+}
+
+fn resolve_schemas<'a>(
+    inputs: &[String],
+    schemas: &'a HashMap<String, Schema>,
+) -> Result<Vec<(String, &'a Schema)>, RelError> {
+    inputs
+        .iter()
+        .map(|n| {
+            schemas
+                .get(n)
+                .map(|s| (n.clone(), s))
+                .ok_or_else(|| RelError::UnknownRelation(n.clone()))
+        })
+        .collect()
+}
+
+/// Lazy-aggregation plan: filter-pushdown, left-deep joins, one final
+/// group-aggregate, having, sort, limit — the plan shape the off-the-shelf
+/// engines chose in the paper.
+pub fn naive_plan(
+    task: &JoinAggTask,
+    catalog: &mut Catalog,
+    schemas: &HashMap<String, Schema>,
+) -> Result<RelPlan, RelError> {
+    let ins = resolve_schemas(&task.inputs, schemas)?;
+    if ins.is_empty() {
+        return Err(RelError::Unsupported("query with no inputs".into()));
+    }
+    let (per_input, residual) = split_predicates(&task.predicates, &ins);
+    let leaves: Vec<RelPlan> = ins
+        .iter()
+        .zip(per_input)
+        .map(|((name, _), preds)| {
+            let scan = RelPlan::Scan(name.clone());
+            if preds.is_empty() {
+                scan
+            } else {
+                scan.select(preds.into_iter().cloned().collect())
+            }
+        })
+        .collect();
+    let mut plan = join_tree(leaves);
+    if !residual.is_empty() {
+        plan = plan.select(residual.into_iter().cloned().collect());
+    }
+    if task.is_aggregate() {
+        plan = finalize_aggregate(plan, task, catalog, |_agg| None)?;
+    } else if let Some(proj) = &task.projection {
+        plan = plan.project(proj.clone(), true);
+    }
+    if !task.having.is_empty() {
+        plan = plan.select(task.having.clone());
+    }
+    if !task.order_by.is_empty() {
+        plan = plan.sort(task.order_by.clone());
+    }
+    if let Some(k) = task.limit {
+        plan = plan.limit(k);
+    }
+    Ok(plan)
+}
+
+/// Eager-aggregation plan (Yan–Larson): pre-aggregate each input down to
+/// its join ∪ group-by attributes, join the shrunken inputs, recombine.
+///
+/// Returns [`RelError::Unsupported`] when the rewrite does not apply
+/// (aggregate-free queries, or cross-input `Ai = Aj` selections beyond the
+/// natural join); callers fall back to [`naive_plan`].
+pub fn eager_plan(
+    task: &JoinAggTask,
+    catalog: &mut Catalog,
+    schemas: &HashMap<String, Schema>,
+) -> Result<RelPlan, RelError> {
+    if !task.is_aggregate() {
+        return Err(RelError::Unsupported(
+            "eager aggregation needs an aggregate query".into(),
+        ));
+    }
+    if task
+        .predicates
+        .iter()
+        .any(|p| matches!(p, Predicate::AttrEq(_, _)))
+    {
+        return Err(RelError::Unsupported(
+            "eager aggregation with explicit attribute equalities".into(),
+        ));
+    }
+    let ins = resolve_schemas(&task.inputs, schemas)?;
+    if ins.is_empty() {
+        return Err(RelError::Unsupported("query with no inputs".into()));
+    }
+    let (per_input, residual) = split_predicates(&task.predicates, &ins);
+    debug_assert!(residual.is_empty(), "const preds always push down");
+
+    // Attributes that survive the pre-aggregation of input i: attributes
+    // shared with any other input (join keys) plus group-by attributes.
+    let keys: Vec<Vec<AttrId>> = ins
+        .iter()
+        .enumerate()
+        .map(|(i, (_, s))| {
+            s.attrs()
+                .iter()
+                .copied()
+                .filter(|a| {
+                    task.group_by.contains(a)
+                        || ins
+                            .iter()
+                            .enumerate()
+                            .any(|(j, (_, t))| j != i && t.contains(*a))
+                })
+                .collect()
+        })
+        .collect();
+
+    // Does any aggregate need tuple multiplicities?
+    let needs_counts = task
+        .aggregates
+        .iter()
+        .any(|a| matches!(a.func, AggFunc::Count | AggFunc::Sum(_) | AggFunc::Avg(_)));
+
+    // Partial aggregates per input, plus bookkeeping for the recombination.
+    let mut partial_specs: Vec<Vec<PhysAggSpec>> = vec![Vec::new(); ins.len()];
+    // For each (query-aggregate, input): the partial sum/min/max column.
+    let mut partial_col: HashMap<(usize, usize), AttrId> = HashMap::new();
+    for (qi, agg) in task.aggregates.iter().enumerate() {
+        let attr = match agg.func {
+            AggFunc::Count => continue,
+            AggFunc::Sum(a) | AggFunc::Avg(a) | AggFunc::Min(a) | AggFunc::Max(a) => a,
+        };
+        let homes: Vec<usize> = ins
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, s))| s.contains(attr))
+            .map(|(i, _)| i)
+            .collect();
+        if homes.is_empty() {
+            return Err(RelError::MissingAttribute {
+                attr: catalog.name(attr).to_string(),
+                context: "eager pre-aggregation".into(),
+            });
+        }
+        let home = homes[0];
+        if keys[home].contains(&attr) {
+            // The attribute survives to the join; no partial needed.
+            continue;
+        }
+        let base = agg.func.derived_name(catalog);
+        let col = catalog.fresh(&format!("{base}@{}", ins[home].0));
+        let func = match agg.func {
+            AggFunc::Sum(a) | AggFunc::Avg(a) => AggFunc::Sum(a),
+            AggFunc::Min(a) => AggFunc::Min(a),
+            AggFunc::Max(a) => AggFunc::Max(a),
+            AggFunc::Count => unreachable!(),
+        };
+        partial_specs[home].push(AggSpec::new(func, col).into());
+        partial_col.insert((qi, home), col);
+    }
+
+    // Build per-input pre-aggregation plans and track count columns.
+    let mut count_cols: Vec<Option<AttrId>> = vec![None; ins.len()];
+    let mut leaves: Vec<RelPlan> = Vec::with_capacity(ins.len());
+    for (i, ((name, schema), preds)) in ins.iter().zip(per_input).enumerate() {
+        let mut leaf = RelPlan::Scan(name.clone());
+        if !preds.is_empty() {
+            leaf = leaf.select(preds.into_iter().cloned().collect());
+        }
+        let covers_all = keys[i].len() == schema.arity();
+        if covers_all && partial_specs[i].is_empty() {
+            // Nothing to shrink: every attribute is a key, so every group
+            // has exactly one tuple (set semantics) and its count is 1.
+            leaves.push(leaf);
+            continue;
+        }
+        let mut aggs = std::mem::take(&mut partial_specs[i]);
+        if needs_counts {
+            let c = catalog.fresh(&format!("count@{name}"));
+            aggs.push(AggSpec::new(AggFunc::Count, c).into());
+            count_cols[i] = Some(c);
+        }
+        leaves.push(leaf.group_aggregate(keys[i].clone(), aggs));
+    }
+    let plan = join_tree(leaves);
+
+    // Final recombination per query aggregate.
+    let all_counts: Vec<AttrId> = count_cols.iter().flatten().copied().collect();
+    let mut final_plan = finalize_aggregate(plan, task, catalog, |ctx| {
+        Some(recombine(ctx, &ins, &keys, &partial_col, &count_cols, &all_counts))
+    })?;
+    if !task.having.is_empty() {
+        final_plan = final_plan.select(task.having.clone());
+    }
+    if !task.order_by.is_empty() {
+        final_plan = final_plan.sort(task.order_by.clone());
+    }
+    if let Some(k) = task.limit {
+        final_plan = final_plan.limit(k);
+    }
+    Ok(final_plan)
+}
+
+/// Context handed to the physical-aggregate chooser: which query aggregate
+/// (by index) with which logical function is being lowered.
+struct AggCtx {
+    index: usize,
+    func: AggFunc,
+}
+
+/// Picks the physical recombination aggregate for one query aggregate in
+/// the eager plan.
+fn recombine(
+    ctx: &AggCtx,
+    ins: &[(String, &Schema)],
+    keys: &[Vec<AttrId>],
+    partial_col: &HashMap<(usize, usize), AttrId>,
+    count_cols: &[Option<AttrId>],
+    all_counts: &[AttrId],
+) -> PhysAgg {
+    match ctx.func {
+        AggFunc::Count => {
+            if all_counts.is_empty() {
+                PhysAgg::Plain(AggFunc::Count)
+            } else {
+                PhysAgg::SumProd(all_counts.to_vec())
+            }
+        }
+        AggFunc::Sum(a) | AggFunc::Avg(a) => {
+            // Either the attribute survived the pre-aggregation (it is a
+            // key somewhere) or exactly one home input carries its partial
+            // sum; the weight is the product of the *other* inputs' counts.
+            let home = ins
+                .iter()
+                .enumerate()
+                .find(|(i, (_, s))| s.contains(a) && !keys[*i].contains(&a))
+                .map(|(i, _)| i);
+            match home {
+                None => {
+                    let mut cols = vec![a];
+                    cols.extend_from_slice(all_counts);
+                    PhysAgg::SumProd(cols)
+                }
+                Some(i) => {
+                    let s = partial_col[&(ctx.index, i)];
+                    let mut cols = vec![s];
+                    cols.extend(
+                        count_cols
+                            .iter()
+                            .enumerate()
+                            .filter(|(j, _)| *j != i)
+                            .filter_map(|(_, c)| *c),
+                    );
+                    PhysAgg::SumProd(cols)
+                }
+            }
+        }
+        AggFunc::Min(a) => {
+            let col = ins
+                .iter()
+                .enumerate()
+                .find_map(|(i, _)| partial_col.get(&(ctx.index, i)).copied())
+                .unwrap_or(a);
+            PhysAgg::Plain(AggFunc::Min(col))
+        }
+        AggFunc::Max(a) => {
+            let col = ins
+                .iter()
+                .enumerate()
+                .find_map(|(i, _)| partial_col.get(&(ctx.index, i)).copied())
+                .unwrap_or(a);
+            PhysAgg::Plain(AggFunc::Max(col))
+        }
+    }
+}
+
+/// Lowers the final grouping stage, expanding `avg` into sum/count plus a
+/// derive, and projecting to the task's declared column order.
+///
+/// `choose` lets the eager planner substitute recombination aggregates; the
+/// naive planner passes a function returning `None` (plain lowering).
+fn finalize_aggregate(
+    input: RelPlan,
+    task: &JoinAggTask,
+    catalog: &mut Catalog,
+    choose: impl Fn(&AggCtx) -> Option<PhysAgg>,
+) -> Result<RelPlan, RelError> {
+    let mut phys: Vec<PhysAggSpec> = Vec::new();
+    let mut derives: Vec<(DeriveExpr, AttrId)> = Vec::new();
+    for (index, agg) in task.aggregates.iter().enumerate() {
+        match agg.func {
+            AggFunc::Avg(a) => {
+                // avg = (sum, count) finalised by a division (§3.2.4).
+                let sum_ctx = AggCtx {
+                    index,
+                    func: AggFunc::Sum(a),
+                };
+                let cnt_ctx = AggCtx {
+                    index,
+                    func: AggFunc::Count,
+                };
+                let s = catalog.fresh(&format!("avg_sum({})", catalog.name(a)));
+                let n = catalog.fresh(&format!("avg_count({})", catalog.name(a)));
+                phys.push(PhysAggSpec {
+                    agg: choose(&sum_ctx).unwrap_or(PhysAgg::Plain(AggFunc::Sum(a))),
+                    output: s,
+                });
+                phys.push(PhysAggSpec {
+                    agg: choose(&cnt_ctx).unwrap_or(PhysAgg::Plain(AggFunc::Count)),
+                    output: n,
+                });
+                derives.push((DeriveExpr::Div(s, n), agg.output));
+            }
+            func => {
+                let ctx = AggCtx { index, func };
+                phys.push(PhysAggSpec {
+                    agg: choose(&ctx).unwrap_or(PhysAgg::Plain(func)),
+                    output: agg.output,
+                });
+            }
+        }
+    }
+    let mut plan = input.group_aggregate(task.group_by.clone(), phys);
+    if !derives.is_empty() {
+        plan = plan.derive(derives);
+        // Restore the declared column order (derive appends at the end).
+        plan = plan.project(task.output_attrs(), false);
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::GroupStrategy;
+    use crate::plan::execute;
+    use crate::relation::Relation;
+    use crate::value::Value;
+
+    /// Three-relation mini-instance of the paper's benchmark schema.
+    fn db() -> (Catalog, HashMap<String, Relation>, HashMap<String, Schema>) {
+        let mut c = Catalog::new();
+        let customer = c.intern("customer");
+        let date = c.intern("date");
+        let package = c.intern("package");
+        let item = c.intern("item");
+        let price = c.intern("price");
+        let orders = Relation::from_rows(
+            Schema::new(vec![customer, date, package]),
+            [
+                ("Mario", 1, "Capricciosa"),
+                ("Mario", 2, "Margherita"),
+                ("Pietro", 5, "Hawaii"),
+                ("Lucia", 5, "Hawaii"),
+                ("Mario", 5, "Capricciosa"),
+            ]
+            .into_iter()
+            .map(|(cu, d, p)| vec![Value::str(cu), Value::Int(d), Value::str(p)]),
+        );
+        let packages = Relation::from_rows(
+            Schema::new(vec![package, item]),
+            [
+                ("Margherita", "base"),
+                ("Capricciosa", "base"),
+                ("Capricciosa", "ham"),
+                ("Capricciosa", "mushrooms"),
+                ("Hawaii", "base"),
+                ("Hawaii", "ham"),
+                ("Hawaii", "pineapple"),
+            ]
+            .into_iter()
+            .map(|(p, i)| vec![Value::str(p), Value::str(i)]),
+        );
+        let items = Relation::from_rows(
+            Schema::new(vec![item, price]),
+            [("base", 6), ("ham", 1), ("mushrooms", 1), ("pineapple", 2)]
+                .into_iter()
+                .map(|(i, pr)| vec![Value::str(i), Value::Int(pr)]),
+        );
+        let mut rels = HashMap::new();
+        rels.insert("Orders".to_string(), orders);
+        rels.insert("Packages".to_string(), packages);
+        rels.insert("Items".to_string(), items);
+        let schemas = rels
+            .iter()
+            .map(|(k, v)| (k.clone(), v.schema().clone()))
+            .collect();
+        (c, rels, schemas)
+    }
+
+    fn revenue_task(c: &mut Catalog) -> JoinAggTask {
+        let customer = c.lookup("customer").unwrap();
+        let price = c.lookup("price").unwrap();
+        let revenue = c.intern("revenue");
+        JoinAggTask {
+            inputs: vec!["Orders".into(), "Packages".into(), "Items".into()],
+            group_by: vec![customer],
+            aggregates: vec![AggSpec::new(AggFunc::Sum(price), revenue)],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn naive_matches_paper_example() {
+        let (mut c, rels, schemas) = db();
+        let task = revenue_task(&mut c);
+        let plan = naive_plan(&task, &mut c, &schemas).unwrap();
+        let out = execute(&plan, &rels, GroupStrategy::Sort).unwrap();
+        // Example 1: Lucia 9, Mario 22, Pietro 9.
+        let rows: Vec<(String, i64)> = out
+            .rows()
+            .map(|r| (r[0].as_str().unwrap().to_string(), r[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                ("Lucia".to_string(), 9),
+                ("Mario".to_string(), 22),
+                ("Pietro".to_string(), 9)
+            ]
+        );
+    }
+
+    #[test]
+    fn eager_matches_naive() {
+        let (mut c, rels, schemas) = db();
+        let task = revenue_task(&mut c);
+        let naive = naive_plan(&task, &mut c, &schemas).unwrap();
+        let eager = eager_plan(&task, &mut c, &schemas).unwrap();
+        let a = execute(&naive, &rels, GroupStrategy::Sort).unwrap().canonical();
+        let b = execute(&eager, &rels, GroupStrategy::Hash).unwrap().canonical();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn eager_pre_aggregates_items() {
+        let (mut c, _, schemas) = db();
+        let task = revenue_task(&mut c);
+        let plan = eager_plan(&task, &mut c, &schemas).unwrap();
+        let text = plan.explain(&c);
+        // The Items side must be aggregated below the join.
+        let agg_pos = text.find("GroupAggregate").unwrap();
+        let join_pos = text.find("Join").unwrap();
+        assert!(text.matches("GroupAggregate").count() >= 2);
+        assert!(agg_pos < text.len() && join_pos < text.len());
+    }
+
+    #[test]
+    fn eager_count_query() {
+        let (mut c, rels, schemas) = db();
+        let package = c.lookup("package").unwrap();
+        let n = c.intern("n");
+        let task = JoinAggTask {
+            inputs: vec!["Orders".into(), "Packages".into(), "Items".into()],
+            group_by: vec![package],
+            aggregates: vec![AggSpec::new(AggFunc::Count, n)],
+            ..Default::default()
+        };
+        let naive = naive_plan(&task, &mut c, &schemas).unwrap();
+        let eager = eager_plan(&task, &mut c, &schemas).unwrap();
+        assert_eq!(
+            execute(&naive, &rels, GroupStrategy::Sort).unwrap().canonical(),
+            execute(&eager, &rels, GroupStrategy::Sort).unwrap().canonical()
+        );
+    }
+
+    #[test]
+    fn eager_min_avg() {
+        let (mut c, rels, schemas) = db();
+        let customer = c.lookup("customer").unwrap();
+        let price = c.lookup("price").unwrap();
+        let cheapest = c.intern("cheapest");
+        let mean = c.intern("mean_price");
+        let task = JoinAggTask {
+            inputs: vec!["Orders".into(), "Packages".into(), "Items".into()],
+            group_by: vec![customer],
+            aggregates: vec![
+                AggSpec::new(AggFunc::Min(price), cheapest),
+                AggSpec::new(AggFunc::Avg(price), mean),
+            ],
+            ..Default::default()
+        };
+        let naive = naive_plan(&task, &mut c, &schemas).unwrap();
+        let eager = eager_plan(&task, &mut c, &schemas).unwrap();
+        assert_eq!(
+            execute(&naive, &rels, GroupStrategy::Sort).unwrap().canonical(),
+            execute(&eager, &rels, GroupStrategy::Hash).unwrap().canonical()
+        );
+    }
+
+    #[test]
+    fn eager_rejects_spj() {
+        let (mut c, _, schemas) = db();
+        let customer = c.lookup("customer").unwrap();
+        let task = JoinAggTask {
+            inputs: vec!["Orders".into()],
+            projection: Some(vec![customer]),
+            ..Default::default()
+        };
+        assert!(matches!(
+            eager_plan(&task, &mut c, &schemas),
+            Err(RelError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn naive_spj_with_order_limit() {
+        let (mut c, rels, schemas) = db();
+        let customer = c.lookup("customer").unwrap();
+        let task = JoinAggTask {
+            inputs: vec!["Orders".into()],
+            projection: Some(vec![customer]),
+            order_by: vec![SortKey::desc(customer)],
+            limit: Some(2),
+            ..Default::default()
+        };
+        let plan = naive_plan(&task, &mut c, &schemas).unwrap();
+        let out = execute(&plan, &rels, GroupStrategy::Sort).unwrap();
+        let names: Vec<&str> = out.rows().map(|r| r[0].as_str().unwrap()).collect();
+        assert_eq!(names, vec!["Pietro", "Mario"]);
+    }
+
+    #[test]
+    fn sum_over_join_key_survives() {
+        // Sum over an attribute that is itself a join key: the eager plan
+        // must weight the surviving column by the counts.
+        let (mut c, rels, schemas) = db();
+        let date = c.lookup("date").unwrap();
+        let package = c.lookup("package").unwrap();
+        let total = c.intern("total_dates");
+        let task = JoinAggTask {
+            inputs: vec!["Orders".into(), "Packages".into()],
+            group_by: vec![package],
+            aggregates: vec![AggSpec::new(AggFunc::Sum(date), total)],
+            ..Default::default()
+        };
+        let naive = naive_plan(&task, &mut c, &schemas).unwrap();
+        let eager = eager_plan(&task, &mut c, &schemas).unwrap();
+        assert_eq!(
+            execute(&naive, &rels, GroupStrategy::Sort).unwrap().canonical(),
+            execute(&eager, &rels, GroupStrategy::Sort).unwrap().canonical()
+        );
+    }
+}

@@ -1,0 +1,469 @@
+//! In-memory relations with set semantics.
+//!
+//! A [`Relation`] stores tuples row-major in one flat `Vec<Value>` (arity
+//! stride), which keeps scans cache-friendly and avoids one allocation per
+//! tuple. Relational algebra in the paper is over *sets* of tuples — the
+//! factorised representations denote sets (Def. 1: unions are disjoint) — so
+//! relations offer canonicalisation (sort + dedup) and all engines preserve
+//! distinctness.
+
+use crate::attr::Catalog;
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::AttrId;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Sort direction for one ordering key, ascending by default as in the paper
+/// (`oG` orders ascending unless `↓` is specified, §2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum SortDir {
+    #[default]
+    Asc,
+    Desc,
+}
+
+impl SortDir {
+    /// Applies the direction to an ascending comparison result.
+    #[inline]
+    pub fn apply(self, ord: Ordering) -> Ordering {
+        match self {
+            SortDir::Asc => ord,
+            SortDir::Desc => ord.reverse(),
+        }
+    }
+}
+
+/// One ordering key: attribute plus direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SortKey {
+    pub attr: AttrId,
+    pub dir: SortDir,
+}
+
+impl SortKey {
+    /// Ascending key.
+    pub fn asc(attr: AttrId) -> Self {
+        SortKey {
+            attr,
+            dir: SortDir::Asc,
+        }
+    }
+
+    /// Descending key.
+    pub fn desc(attr: AttrId) -> Self {
+        SortKey {
+            attr,
+            dir: SortDir::Desc,
+        }
+    }
+}
+
+/// A materialised relation: a schema plus a flat row-major tuple store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relation {
+    schema: Schema,
+    data: Vec<Value>,
+}
+
+impl Relation {
+    /// Creates an empty relation over `schema`.
+    pub fn empty(schema: Schema) -> Self {
+        Relation {
+            schema,
+            data: Vec::new(),
+        }
+    }
+
+    /// Creates a relation from rows.
+    ///
+    /// # Panics
+    /// Panics if any row's length differs from the schema arity.
+    pub fn from_rows(schema: Schema, rows: impl IntoIterator<Item = Vec<Value>>) -> Self {
+        let mut rel = Relation::empty(schema);
+        for row in rows {
+            rel.push_row(&row);
+        }
+        rel
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        if self.schema.arity() == 0 {
+            // A nullary relation holds either zero tuples or the nullary
+            // tuple once; we track it via a sentinel length in `data`.
+            return self.data.len();
+        }
+        self.data.len() / self.schema.arity()
+    }
+
+    /// True if the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends one tuple.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn push_row(&mut self, row: &[Value]) {
+        assert_eq!(
+            row.len(),
+            self.schema.arity(),
+            "row arity {} does not match schema arity {}",
+            row.len(),
+            self.schema.arity()
+        );
+        if self.schema.arity() == 0 {
+            // Represent the presence of the nullary tuple with one sentinel.
+            if self.data.is_empty() {
+                self.data.push(Value::Int(0));
+            }
+            return;
+        }
+        self.data.extend_from_slice(row);
+    }
+
+    /// Appends one tuple without arity checks (internal fast path).
+    pub(crate) fn push_row_unchecked(&mut self, row: &[Value]) {
+        debug_assert_eq!(row.len(), self.schema.arity());
+        self.data.extend_from_slice(row);
+    }
+
+    /// Reserves capacity for `additional` more tuples.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional * self.schema.arity().max(1));
+    }
+
+    /// Borrowing access to the `i`-th tuple.
+    pub fn row(&self, i: usize) -> &[Value] {
+        let a = self.schema.arity();
+        &self.data[i * a..(i + 1) * a]
+    }
+
+    /// Iterates over tuples as slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[Value]> + '_ {
+        let a = self.schema.arity();
+        if a == 0 {
+            // chunks(1) over the sentinel yields one pseudo-row per tuple;
+            // map to the empty slice.
+            RowsIter::Nullary {
+                remaining: self.len(),
+            }
+        } else {
+            RowsIter::Chunks(self.data.chunks_exact(a))
+        }
+    }
+
+    /// Sorts tuples lexicographically by the given keys (stable).
+    ///
+    /// Attributes not mentioned in `keys` keep their relative order, which
+    /// mirrors how re-sorting can reuse existing orders (§1).
+    pub fn sort_by_keys(&mut self, keys: &[SortKey]) {
+        let positions: Vec<(usize, SortDir)> = keys
+            .iter()
+            .map(|k| {
+                (
+                    self.schema
+                        .position(k.attr)
+                        .expect("sort key must be in schema"),
+                    k.dir,
+                )
+            })
+            .collect();
+        let a = self.schema.arity();
+        if a == 0 {
+            return;
+        }
+        let mut index: Vec<usize> = (0..self.len()).collect();
+        let data = &self.data;
+        index.sort_by(|&i, &j| {
+            let ri = &data[i * a..(i + 1) * a];
+            let rj = &data[j * a..(j + 1) * a];
+            for &(p, dir) in &positions {
+                let ord = dir.apply(ri[p].cmp(&rj[p]));
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        let mut out = Vec::with_capacity(self.data.len());
+        for i in index {
+            out.extend_from_slice(&self.data[i * a..(i + 1) * a]);
+        }
+        self.data = out;
+    }
+
+    /// Sorts by all columns ascending and removes duplicate tuples,
+    /// producing the canonical set form used to compare query results.
+    pub fn canonicalize(&mut self) {
+        let a = self.schema.arity();
+        if a == 0 {
+            return;
+        }
+        let mut rows: Vec<&[Value]> = self.data.chunks_exact(a).collect();
+        rows.sort();
+        rows.dedup();
+        let mut out = Vec::with_capacity(rows.len() * a);
+        for r in rows {
+            out.extend_from_slice(r);
+        }
+        self.data = out;
+    }
+
+    /// Returns a canonicalised copy (sorted by all columns, deduplicated).
+    pub fn canonical(&self) -> Relation {
+        let mut r = self.clone();
+        r.canonicalize();
+        r
+    }
+
+    /// True if the tuples are sorted (non-strictly) by `keys`.
+    pub fn is_sorted_by(&self, keys: &[SortKey]) -> bool {
+        let positions: Vec<(usize, SortDir)> = keys
+            .iter()
+            .filter_map(|k| self.schema.position(k.attr).map(|p| (p, k.dir)))
+            .collect();
+        if positions.len() != keys.len() {
+            return false;
+        }
+        let mut prev: Option<&[Value]> = None;
+        for row in self.rows() {
+            if let Some(p) = prev {
+                let mut ord = Ordering::Equal;
+                for &(pos, dir) in &positions {
+                    ord = dir.apply(p[pos].cmp(&row[pos]));
+                    if ord != Ordering::Equal {
+                        break;
+                    }
+                }
+                if ord == Ordering::Greater {
+                    return false;
+                }
+            }
+            prev = Some(row);
+        }
+        true
+    }
+
+    /// Projects the relation onto `attrs` without deduplication.
+    ///
+    /// Only correct as a relational projection when `attrs` is a superkey or
+    /// when followed by [`Relation::canonicalize`]; the distinct variant
+    /// lives in [`crate::ops::project`].
+    pub fn project_cols(&self, attrs: &[AttrId]) -> Relation {
+        let positions: Vec<usize> = attrs
+            .iter()
+            .map(|a| self.schema.position(*a).expect("attr in schema"))
+            .collect();
+        let out_schema = Schema::new(attrs.to_vec());
+        let mut out = Relation::empty(out_schema);
+        out.reserve(self.len());
+        let mut buf = Vec::with_capacity(attrs.len());
+        for row in self.rows() {
+            buf.clear();
+            buf.extend(positions.iter().map(|&p| row[p].clone()));
+            if buf.is_empty() {
+                out.push_row(&buf);
+            } else {
+                out.push_row_unchecked(&buf);
+            }
+        }
+        out
+    }
+
+    /// Renders the relation as an aligned table using `catalog` for headers.
+    pub fn display<'a>(&'a self, catalog: &'a Catalog) -> RelationDisplay<'a> {
+        RelationDisplay {
+            relation: self,
+            catalog,
+        }
+    }
+}
+
+enum RowsIter<'a> {
+    Chunks(std::slice::ChunksExact<'a, Value>),
+    Nullary { remaining: usize },
+}
+
+impl<'a> Iterator for RowsIter<'a> {
+    type Item = &'a [Value];
+
+    fn next(&mut self) -> Option<&'a [Value]> {
+        match self {
+            RowsIter::Chunks(c) => c.next(),
+            RowsIter::Nullary { remaining } => {
+                if *remaining == 0 {
+                    None
+                } else {
+                    *remaining -= 1;
+                    Some(&[])
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            RowsIter::Chunks(c) => c.size_hint(),
+            RowsIter::Nullary { remaining } => (*remaining, Some(*remaining)),
+        }
+    }
+}
+
+/// Helper for [`Relation::display`].
+pub struct RelationDisplay<'a> {
+    relation: &'a Relation,
+    catalog: &'a Catalog,
+}
+
+impl fmt::Display for RelationDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let headers: Vec<String> = self
+            .relation
+            .schema()
+            .attrs()
+            .iter()
+            .map(|&a| self.catalog.name(a).to_string())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let rows: Vec<Vec<String>> = self
+            .relation
+            .rows()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        for (i, h) in headers.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{:width$}", h, width = widths[i])?;
+        }
+        writeln!(f)?;
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{:width$}", cell, width = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_ab(rows: &[(i64, i64)]) -> (Catalog, Relation) {
+        let mut c = Catalog::new();
+        let a = c.intern("a");
+        let b = c.intern("b");
+        let rel = Relation::from_rows(
+            Schema::new(vec![a, b]),
+            rows.iter().map(|&(x, y)| vec![Value::Int(x), Value::Int(y)]),
+        );
+        (c, rel)
+    }
+
+    #[test]
+    fn push_and_iterate() {
+        let (_, rel) = rel_ab(&[(1, 2), (3, 4)]);
+        assert_eq!(rel.len(), 2);
+        let rows: Vec<Vec<i64>> = rel
+            .rows()
+            .map(|r| r.iter().map(|v| v.as_int().unwrap()).collect())
+            .collect();
+        assert_eq!(rows, vec![vec![1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let (_, mut rel) = rel_ab(&[]);
+        rel.push_row(&[Value::Int(1)]);
+    }
+
+    #[test]
+    fn sort_by_keys_multi() {
+        let (c, mut rel) = rel_ab(&[(2, 1), (1, 2), (2, 0), (1, 1)]);
+        let a = c.lookup("a").unwrap();
+        let b = c.lookup("b").unwrap();
+        rel.sort_by_keys(&[SortKey::asc(a), SortKey::desc(b)]);
+        let rows: Vec<(i64, i64)> = rel
+            .rows()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(rows, vec![(1, 2), (1, 1), (2, 1), (2, 0)]);
+        assert!(rel.is_sorted_by(&[SortKey::asc(a)]));
+        assert!(!rel.is_sorted_by(&[SortKey::asc(b)]));
+    }
+
+    #[test]
+    fn canonicalize_dedups() {
+        let (_, mut rel) = rel_ab(&[(1, 1), (1, 1), (0, 5)]);
+        rel.canonicalize();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.row(0), &[Value::Int(0), Value::Int(5)]);
+    }
+
+    #[test]
+    fn nullary_relation_semantics() {
+        let mut rel = Relation::empty(Schema::empty());
+        assert_eq!(rel.len(), 0);
+        rel.push_row(&[]);
+        rel.push_row(&[]);
+        // Set semantics: the nullary tuple is present at most once.
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.rows().count(), 1);
+    }
+
+    #[test]
+    fn project_cols_reorders() {
+        let (c, rel) = rel_ab(&[(1, 2)]);
+        let a = c.lookup("a").unwrap();
+        let b = c.lookup("b").unwrap();
+        let p = rel.project_cols(&[b, a]);
+        assert_eq!(p.row(0), &[Value::Int(2), Value::Int(1)]);
+    }
+
+    #[test]
+    fn display_renders_headers() {
+        let (c, rel) = rel_ab(&[(1, 2)]);
+        let s = rel.display(&c).to_string();
+        assert!(s.contains('a') && s.contains('b') && s.contains('1'));
+    }
+
+    #[test]
+    fn stable_sort_preserves_existing_suborder() {
+        // Mirrors §1: a relation sorted by (a, b) re-sorted by b keeps the
+        // a-order within equal b groups.
+        let (c, mut rel) = rel_ab(&[(1, 7), (2, 7), (1, 3), (2, 3)]);
+        let a = c.lookup("a").unwrap();
+        let b = c.lookup("b").unwrap();
+        rel.sort_by_keys(&[SortKey::asc(a), SortKey::asc(b)]);
+        rel.sort_by_keys(&[SortKey::asc(b)]);
+        let rows: Vec<(i64, i64)> = rel
+            .rows()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(rows, vec![(1, 3), (2, 3), (1, 7), (2, 7)]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Relation schemas: ordered lists of distinct attributes.
+
+use crate::attr::{AttrId, Catalog};
+use std::fmt;
+
+/// An ordered list of distinct attributes.
+///
+/// Column order matters for tuple layout; set-like queries (`contains`,
+/// intersection with another schema) are provided on top.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Schema {
+    attrs: Vec<AttrId>,
+}
+
+impl Schema {
+    /// Builds a schema from attribute ids.
+    ///
+    /// # Panics
+    /// Panics if `attrs` contains duplicates — a relation cannot have two
+    /// columns with the same attribute.
+    pub fn new(attrs: Vec<AttrId>) -> Self {
+        for (i, a) in attrs.iter().enumerate() {
+            assert!(
+                !attrs[..i].contains(a),
+                "duplicate attribute {a} in schema"
+            );
+        }
+        Schema { attrs }
+    }
+
+    /// The empty (nullary) schema.
+    pub fn empty() -> Self {
+        Schema { attrs: Vec::new() }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True for the nullary schema.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The attributes in column order.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Column position of `attr`, if present.
+    pub fn position(&self, attr: AttrId) -> Option<usize> {
+        self.attrs.iter().position(|&a| a == attr)
+    }
+
+    /// True if `attr` is a column of this schema.
+    pub fn contains(&self, attr: AttrId) -> bool {
+        self.position(attr).is_some()
+    }
+
+    /// Attributes present in both schemas, in `self`'s column order.
+    pub fn common(&self, other: &Schema) -> Vec<AttrId> {
+        self.attrs
+            .iter()
+            .copied()
+            .filter(|a| other.contains(*a))
+            .collect()
+    }
+
+    /// Attributes of `self` absent from `other`, in column order.
+    pub fn difference(&self, other: &Schema) -> Vec<AttrId> {
+        self.attrs
+            .iter()
+            .copied()
+            .filter(|a| !other.contains(*a))
+            .collect()
+    }
+
+    /// Concatenation of two disjoint schemas.
+    ///
+    /// # Panics
+    /// Panics if the schemas share an attribute (products in the paper are
+    /// over disjoint schemas, Def. 1).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut attrs = self.attrs.clone();
+        for &a in &other.attrs {
+            assert!(!self.contains(a), "schemas overlap on {a}");
+            attrs.push(a);
+        }
+        Schema { attrs }
+    }
+
+    /// Renders the schema with attribute names from `catalog`.
+    pub fn display<'a>(&'a self, catalog: &'a Catalog) -> SchemaDisplay<'a> {
+        SchemaDisplay {
+            schema: self,
+            catalog,
+        }
+    }
+}
+
+impl From<Vec<AttrId>> for Schema {
+    fn from(attrs: Vec<AttrId>) -> Self {
+        Schema::new(attrs)
+    }
+}
+
+/// Helper for [`Schema::display`].
+pub struct SchemaDisplay<'a> {
+    schema: &'a Schema,
+    catalog: &'a Catalog,
+}
+
+impl fmt::Display for SchemaDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, &a) in self.schema.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.catalog.name(a))?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> (Catalog, Vec<AttrId>) {
+        let mut c = Catalog::new();
+        let ids = c.intern_all(["a", "b", "c"]);
+        (c, ids)
+    }
+
+    #[test]
+    fn position_and_contains() {
+        let (_, ids) = abc();
+        let s = Schema::new(ids.clone());
+        assert_eq!(s.position(ids[1]), Some(1));
+        assert!(s.contains(ids[2]));
+        assert_eq!(s.arity(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicates_rejected() {
+        let (_, ids) = abc();
+        Schema::new(vec![ids[0], ids[0]]);
+    }
+
+    #[test]
+    fn common_and_difference() {
+        let (mut c, ids) = abc();
+        let d = c.intern("d");
+        let s1 = Schema::new(vec![ids[0], ids[1], ids[2]]);
+        let s2 = Schema::new(vec![ids[1], d]);
+        assert_eq!(s1.common(&s2), vec![ids[1]]);
+        assert_eq!(s1.difference(&s2), vec![ids[0], ids[2]]);
+    }
+
+    #[test]
+    fn concat_disjoint() {
+        let (mut c, ids) = abc();
+        let d = c.intern("d");
+        let s1 = Schema::new(vec![ids[0]]);
+        let s2 = Schema::new(vec![d]);
+        assert_eq!(s1.concat(&s2).attrs(), &[ids[0], d]);
+    }
+
+    #[test]
+    #[should_panic(expected = "schemas overlap")]
+    fn concat_overlapping_panics() {
+        let (_, ids) = abc();
+        let s1 = Schema::new(vec![ids[0], ids[1]]);
+        let s2 = Schema::new(vec![ids[1]]);
+        let _ = s1.concat(&s2);
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let (c, ids) = abc();
+        let s = Schema::new(ids);
+        assert_eq!(s.display(&c).to_string(), "(a, b, c)");
+    }
+}

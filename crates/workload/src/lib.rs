@@ -1,0 +1,17 @@
+//! # fdb-workload — synthetic datasets for the FDB experiments
+//!
+//! * [`pizzeria`] — the Figure 1 micro-database (Orders, Pizzas, Items)
+//!   and the factorisation of their join over the f-tree T1, used to walk
+//!   through the paper's running examples;
+//! * [`orders`] — the scalable benchmark generator of §6 (Orders,
+//!   Packages, Items with scale parameter `s`), including direct
+//!   construction of the factorised materialised view `R1` over the
+//!   paper's f-tree `T`;
+//! * [`rng`] — binomial and distinct-k sampling used by the generators.
+
+pub mod orders;
+pub mod pizzeria;
+pub mod rng;
+
+pub use orders::{generate, OrdersConfig, OrdersDataset};
+pub use pizzeria::{factorised_r, pizzeria, Pizzeria};

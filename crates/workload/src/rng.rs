@@ -1,0 +1,85 @@
+//! Sampling utilities for the workload generators.
+//!
+//! Kept dependency-light: the binomial draws the paper's generator needs
+//! (§6: "both with a binomial distribution") are implemented as explicit
+//! Bernoulli sums — the parameters are small enough that O(n) sampling is
+//! irrelevant next to data construction.
+
+use rand::Rng;
+
+/// Samples `Binomial(n, p)` as a sum of Bernoulli trials.
+pub fn binomial(rng: &mut impl Rng, n: u32, p: f64) -> u32 {
+    debug_assert!((0.0..=1.0).contains(&p));
+    (0..n).filter(|_| rng.gen_bool(p)).count() as u32
+}
+
+/// Samples `k` distinct values from `0..n` (k ≤ n), ascending.
+///
+/// Floyd's algorithm: O(k) expected insertions, no O(n) shuffle.
+pub fn distinct_sample(rng: &mut impl Rng, n: u32, k: u32) -> Vec<u32> {
+    debug_assert!(k <= n);
+    let mut chosen = std::collections::BTreeSet::new();
+    for j in n - k..n {
+        let t = rng.gen_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    chosen.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binomial_mean_is_np() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 2000;
+        let total: u64 = (0..trials).map(|_| binomial(&mut rng, 40, 0.5) as u64).sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 20.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = binomial(&mut rng, 10, 0.3);
+            assert!(v <= 10);
+        }
+        assert_eq!(binomial(&mut rng, 5, 0.0), 0);
+        assert_eq!(binomial(&mut rng, 5, 1.0), 5);
+    }
+
+    #[test]
+    fn distinct_sample_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let sample = distinct_sample(&mut rng, 100, 30);
+        assert_eq!(sample.len(), 30);
+        assert!(sample.windows(2).all(|w| w[0] < w[1]));
+        assert!(sample.iter().all(|&x| x < 100));
+    }
+
+    #[test]
+    fn distinct_sample_full_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sample = distinct_sample(&mut rng, 8, 8);
+        assert_eq!(sample, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<u32> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            distinct_sample(&mut rng, 1000, 10)
+        };
+        let b: Vec<u32> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            distinct_sample(&mut rng, 1000, 10)
+        };
+        assert_eq!(a, b);
+    }
+}

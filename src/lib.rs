@@ -1,0 +1,26 @@
+//! # fdb — factorised databases with aggregation and ordering
+//!
+//! Facade crate for the reproduction of *Aggregation and Ordering in
+//! Factorised Databases* (Bakibayev, Kočiský, Olteanu, Závodný; VLDB
+//! 2013). It re-exports the workspace crates:
+//!
+//! * [`core`] (`fdb-core`) — factorised representations, f-trees, the
+//!   aggregation operator, constant-delay enumeration, restructuring and
+//!   the query optimisers;
+//! * [`relational`] (`fdb-relational`) — the flat-relation substrate and
+//!   the baseline main-memory engines (sort-/hash-grouping, naive and
+//!   eager-aggregation planners);
+//! * [`query`] (`fdb-query`) — the SQL-ish front-end;
+//! * [`workload`] (`fdb-workload`) — the paper's synthetic datasets.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour, and DESIGN.md /
+//! EXPERIMENTS.md for the system inventory and experiment index.
+
+pub use fdb_core as core;
+pub use fdb_query as query;
+pub use fdb_relational as relational;
+pub use fdb_workload as workload;
+
+pub use fdb_core::{FRep, FTree, FdbEngine, FdbResult};
+pub use fdb_query::parse;
+pub use fdb_relational::{Catalog, Relation, Schema, Value};

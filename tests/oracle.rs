@@ -1,0 +1,265 @@
+//! Property-based equivalence: the factorised engine must agree with the
+//! relational baselines on randomly generated databases and queries, for
+//! every plan flavour (greedy/exhaustive, consolidated or not, sort/hash
+//! grouping, naive/eager aggregation).
+//!
+//! The query corpus covers joins of one to three relations, all five
+//! aggregation functions, grouping by arbitrary subsets, WHERE ranges,
+//! HAVING, and ordering.
+
+mod common;
+
+use common::EnginePair;
+use fdb::relational::{Relation, Schema, Value};
+use fdb::Catalog;
+use proptest::prelude::*;
+
+/// Builds the chain-join database R(a,b), S(b,c), T(c,d).
+fn chain_db(
+    r_rows: &[(i64, i64)],
+    s_rows: &[(i64, i64)],
+    t_rows: &[(i64, i64)],
+) -> EnginePair {
+    let mut catalog = Catalog::new();
+    let a = catalog.intern("a");
+    let b = catalog.intern("b");
+    let c = catalog.intern("c");
+    let d = catalog.intern("d");
+    let rel = |x, y, rows: &[(i64, i64)]| {
+        Relation::from_rows(
+            Schema::new(vec![x, y]),
+            rows.iter()
+                .map(|&(u, v)| vec![Value::Int(u), Value::Int(v)]),
+        )
+        .canonical()
+    };
+    let mut pair = EnginePair::new(catalog);
+    pair.register("R", rel(a, b, r_rows));
+    pair.register("S", rel(b, c, s_rows));
+    pair.register("T", rel(c, d, t_rows));
+    pair
+}
+
+/// The query corpus, parameterised by a selector. Each query is valid for
+/// the chain schema above.
+fn corpus() -> Vec<&'static str> {
+    vec![
+        // SPJ.
+        "SELECT a, b FROM R",
+        "SELECT b FROM R, S GROUP BY b",
+        "SELECT a, c FROM R, S ORDER BY c DESC, a",
+        "SELECT a, d FROM R, S, T",
+        "SELECT a FROM R WHERE b >= 2 GROUP BY a",
+        // Single-relation aggregates.
+        "SELECT SUM(b) AS s FROM R",
+        "SELECT a, COUNT(*) AS n FROM R GROUP BY a",
+        "SELECT a, MIN(b) AS lo, MAX(b) AS hi FROM R GROUP BY a",
+        "SELECT a, AVG(b) AS m FROM R GROUP BY a",
+        // Two-way joins.
+        "SELECT SUM(c) AS s FROM R, S",
+        "SELECT a, SUM(c) AS s FROM R, S GROUP BY a",
+        "SELECT b, COUNT(*) AS n FROM R, S GROUP BY b",
+        "SELECT a, b, SUM(c) AS s FROM R, S GROUP BY a, b",
+        "SELECT c, MIN(a) AS lo FROM R, S GROUP BY c",
+        // Three-way joins.
+        "SELECT SUM(d) AS s FROM R, S, T",
+        "SELECT COUNT(*) AS n FROM R, S, T",
+        "SELECT a, SUM(d) AS s FROM R, S, T GROUP BY a",
+        "SELECT b, c, SUM(d) AS s FROM R, S, T GROUP BY b, c",
+        "SELECT a, d, COUNT(*) AS n FROM R, S, T GROUP BY a, d",
+        "SELECT a, AVG(d) AS m FROM R, S, T GROUP BY a",
+        "SELECT c, MAX(a) AS hi FROM R, S, T GROUP BY c",
+        // Aggregating a join attribute.
+        "SELECT a, SUM(b) AS s FROM R, S GROUP BY a",
+        "SELECT SUM(c) AS s FROM S, T",
+        // WHERE + HAVING + ORDER BY combinations.
+        "SELECT a, SUM(c) AS s FROM R, S WHERE b <> 1 GROUP BY a",
+        "SELECT a, SUM(c) AS s FROM R, S GROUP BY a HAVING s >= 3",
+        "SELECT a, SUM(c) AS s FROM R, S GROUP BY a ORDER BY s DESC, a",
+        "SELECT a, COUNT(*) AS n FROM R, S, T WHERE d < 4 GROUP BY a \
+         HAVING n > 1 ORDER BY n, a DESC",
+        "SELECT b, AVG(d) AS m FROM S, T GROUP BY b ORDER BY b",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn engines_agree_on_random_databases(
+        r in prop::collection::vec((0i64..5, 0i64..5), 0..18),
+        s in prop::collection::vec((0i64..5, 0i64..5), 0..18),
+        t in prop::collection::vec((0i64..5, 0i64..5), 0..18),
+        picks in prop::collection::vec(0usize..28, 4),
+    ) {
+        let queries = corpus();
+        let mut pair = chain_db(&r, &s, &t);
+        for pick in picks {
+            pair.assert_all_agree(queries[pick % queries.len()]);
+        }
+    }
+
+    #[test]
+    fn factorise_flatten_round_trip(
+        rows in prop::collection::vec((0i64..8, 0i64..8, 0i64..8), 0..30),
+    ) {
+        let mut catalog = Catalog::new();
+        let x = catalog.intern("x");
+        let y = catalog.intern("y");
+        let z = catalog.intern("z");
+        let rel = Relation::from_rows(
+            Schema::new(vec![x, y, z]),
+            rows.iter().map(|&(u, v, w)| {
+                vec![Value::Int(u), Value::Int(v), Value::Int(w)]
+            }),
+        ).canonical();
+        let rep = fdb::core::frep::FRep::from_relation(
+            &rel,
+            fdb::core::FTree::path(&[x, y, z]),
+        ).unwrap();
+        prop_assert!(rep.check_invariants().is_ok());
+        prop_assert_eq!(rep.flatten().canonical(), rel.clone());
+        prop_assert_eq!(rep.tuple_count(), rel.len());
+        // The trie never exceeds the flat singleton count.
+        prop_assert!(rep.singleton_count() <= rel.len() * 3);
+    }
+
+    #[test]
+    fn ordered_enumeration_is_sorted_on_random_data(
+        rows in prop::collection::vec((0i64..6, 0i64..6, 0i64..6), 1..25),
+        desc_mask in 0u8..8,
+    ) {
+        use fdb::relational::{SortDir, SortKey};
+        let mut catalog = Catalog::new();
+        let x = catalog.intern("x");
+        let y = catalog.intern("y");
+        let z = catalog.intern("z");
+        let rel = Relation::from_rows(
+            Schema::new(vec![x, y, z]),
+            rows.iter().map(|&(u, v, w)| {
+                vec![Value::Int(u), Value::Int(v), Value::Int(w)]
+            }),
+        ).canonical();
+        let rep = fdb::core::frep::FRep::from_relation(
+            &rel,
+            fdb::core::FTree::path(&[x, y, z]),
+        ).unwrap();
+        let dir = |bit: u8| if desc_mask & bit != 0 { SortDir::Desc } else { SortDir::Asc };
+        let keys = vec![
+            SortKey { attr: x, dir: dir(1) },
+            SortKey { attr: y, dir: dir(2) },
+            SortKey { attr: z, dir: dir(4) },
+        ];
+        let spec = fdb::core::enumerate::EnumSpec::ordered(rep.ftree(), &keys).unwrap();
+        let it = fdb::core::enumerate::TupleIter::new(&rep, &spec).unwrap();
+        let out = it.projected(&[x, y, z], None).unwrap();
+        prop_assert_eq!(out.len(), rel.len());
+        prop_assert!(out.is_sorted_by(&keys));
+    }
+
+    #[test]
+    fn swap_preserves_data_on_random_relations(
+        rows in prop::collection::vec((0i64..5, 0i64..5, 0i64..5), 1..25),
+    ) {
+        let mut catalog = Catalog::new();
+        let x = catalog.intern("x");
+        let y = catalog.intern("y");
+        let z = catalog.intern("z");
+        let rel = Relation::from_rows(
+            Schema::new(vec![x, y, z]),
+            rows.iter().map(|&(u, v, w)| {
+                vec![Value::Int(u), Value::Int(v), Value::Int(w)]
+            }),
+        ).canonical();
+        let rep = fdb::core::frep::FRep::from_relation(
+            &rel,
+            fdb::core::FTree::path(&[x, y, z]),
+        ).unwrap();
+        // Swap y above x, then z above y: every step preserves ⟦E⟧.
+        let nx = rep.ftree().node_of_attr(x).unwrap();
+        let ny = rep.ftree().node_of_attr(y).unwrap();
+        let swapped = fdb::core::ops::swap(rep, nx, ny).unwrap();
+        prop_assert!(swapped.check_invariants().is_ok());
+        prop_assert_eq!(
+            swapped.flatten().project_cols(&[x, y, z]).canonical(),
+            rel.clone()
+        );
+        let nz = swapped.ftree().node_of_attr(z).unwrap();
+        let parent = swapped.ftree().node(nz).parent.unwrap();
+        let swapped2 = fdb::core::ops::swap(swapped, parent, nz).unwrap();
+        prop_assert!(swapped2.check_invariants().is_ok());
+        prop_assert_eq!(
+            swapped2.flatten().project_cols(&[x, y, z]).canonical(),
+            rel
+        );
+    }
+
+    #[test]
+    fn size_bound_is_sound(
+        rows in prop::collection::vec((0i64..6, 0i64..6), 1..30),
+    ) {
+        use fdb::core::optim::{tree_cost, Stats};
+        let mut catalog = Catalog::new();
+        let x = catalog.intern("x");
+        let y = catalog.intern("y");
+        let rel = Relation::from_rows(
+            Schema::new(vec![x, y]),
+            rows.iter().map(|&(u, v)| vec![Value::Int(u), Value::Int(v)]),
+        ).canonical();
+        let tree = fdb::core::FTree::path(&[x, y]);
+        let rep = fdb::core::frep::FRep::from_relation(&rel, tree.clone()).unwrap();
+        let mut stats = Stats::new();
+        stats.add_relation([x, y], rel.len());
+        prop_assert!(
+            tree_cost(&tree, &stats) + 1e-6 >= rep.singleton_count() as f64,
+            "bound {} < actual {}",
+            tree_cost(&tree, &stats),
+            rep.singleton_count()
+        );
+    }
+}
+
+#[test]
+fn empty_database_everywhere() {
+    let mut pair = chain_db(&[], &[], &[]);
+    for sql in corpus() {
+        let out = pair.assert_all_agree(sql);
+        assert!(out.is_empty(), "`{sql}` on empty inputs");
+    }
+}
+
+#[test]
+fn single_tuple_database() {
+    let mut pair = chain_db(&[(1, 1)], &[(1, 1)], &[(1, 1)]);
+    for sql in corpus() {
+        pair.assert_all_agree(sql);
+    }
+}
+
+#[test]
+fn skewed_database_one_hot_key() {
+    // One b-value joins everything: stresses the swap regrouping and the
+    // count multiplication paths.
+    let r: Vec<(i64, i64)> = (0..10).map(|i| (i, 0)).collect();
+    let s: Vec<(i64, i64)> = (0..10).map(|j| (0, j)).collect();
+    let t: Vec<(i64, i64)> = (0..4).map(|k| (k, k)).collect();
+    let mut pair = chain_db(&r, &s, &t);
+    for sql in corpus() {
+        pair.assert_all_agree(sql);
+    }
+}
+
+#[test]
+fn dangling_tuples_database() {
+    // Join keys that never match: plenty of pruning.
+    let r = vec![(1, 1), (2, 2), (3, 9)];
+    let s = vec![(1, 5), (2, 5), (7, 5)];
+    let t = vec![(5, 0), (6, 1)];
+    let mut pair = chain_db(&r, &s, &t);
+    for sql in corpus() {
+        pair.assert_all_agree(sql);
+    }
+}

@@ -1,0 +1,118 @@
+//! Joins whose inputs mix factorised views and flat relations: the engine
+//! must shadow colliding attribute names, merge on the natural-join
+//! conditions, and agree with the relational baseline.
+
+mod common;
+
+use fdb::core::engine::FdbEngine;
+use fdb::core::frep::FRep;
+use fdb::relational::engine::{PlanMode, RdbEngine};
+use fdb::relational::planner::JoinAggTask;
+use fdb::relational::{AggFunc, AggSpec, GroupStrategy, SortKey};
+use fdb::workload::pizzeria::pizzeria;
+use fdb::{Catalog, FTree};
+
+#[test]
+fn view_joined_with_flat_relation() {
+    let mut catalog = Catalog::new();
+    let db = pizzeria(&mut catalog);
+    let a = db.attrs;
+
+    // Factorised view over Pizzas (trie pizza → item), flat Items.
+    let pizzas_rep = FRep::from_relation(
+        &db.pizzas.project_cols(&[a.pizza, a.item]).canonical(),
+        FTree::path(&[a.pizza, a.item]),
+    )
+    .unwrap();
+    let mut fdb = FdbEngine::new(catalog.clone());
+    fdb.register_view("PizzasV", pizzas_rep);
+    fdb.register_relation("Items", db.items.clone());
+
+    let total = fdb.catalog.intern("total");
+    let task = JoinAggTask {
+        inputs: vec!["PizzasV".into(), "Items".into()],
+        group_by: vec![a.pizza],
+        aggregates: vec![AggSpec::new(AggFunc::Sum(a.price), total)],
+        order_by: vec![SortKey::asc(a.pizza)],
+        ..Default::default()
+    };
+    let got = fdb.run_default(&task).unwrap().to_relation().unwrap();
+
+    let mut rdb = RdbEngine::new(fdb.catalog.clone(), GroupStrategy::Sort);
+    rdb.register("PizzasV", db.pizzas.clone());
+    rdb.register("Items", db.items.clone());
+    let expected = rdb.run(&task, PlanMode::Naive).unwrap();
+    assert_eq!(got.canonical(), expected.canonical());
+    assert_eq!(got.len(), 3);
+}
+
+#[test]
+fn two_views_join_with_shadowing() {
+    let mut catalog = Catalog::new();
+    let db = pizzeria(&mut catalog);
+    let a = db.attrs;
+    let orders_rep = FRep::from_relation(
+        &db.orders
+            .project_cols(&[a.pizza, a.customer, a.date])
+            .canonical(),
+        FTree::path(&[a.pizza, a.customer, a.date]),
+    )
+    .unwrap();
+    let pizzas_rep = FRep::from_relation(
+        &db.pizzas.project_cols(&[a.pizza, a.item]).canonical(),
+        FTree::path(&[a.pizza, a.item]),
+    )
+    .unwrap();
+    let mut fdb = FdbEngine::new(catalog.clone());
+    fdb.register_view("OrdersV", orders_rep);
+    fdb.register_view("PizzasV", pizzas_rep);
+
+    // The shared `pizza` attribute must be shadowed in the second view and
+    // equated by the natural-join selection.
+    let n = fdb.catalog.intern("n");
+    let task = JoinAggTask {
+        inputs: vec!["OrdersV".into(), "PizzasV".into()],
+        group_by: vec![a.customer],
+        aggregates: vec![AggSpec::new(AggFunc::Count, n)],
+        order_by: vec![SortKey::asc(a.customer)],
+        ..Default::default()
+    };
+    let got = fdb.run_default(&task).unwrap().to_relation().unwrap();
+
+    let mut rdb = RdbEngine::new(fdb.catalog.clone(), GroupStrategy::Hash);
+    rdb.register("OrdersV", db.orders.clone());
+    rdb.register("PizzasV", db.pizzas.clone());
+    let expected = rdb.run(&task, PlanMode::Naive).unwrap();
+    assert_eq!(got.canonical(), expected.canonical());
+    // Mario: Capricciosa(3 items)×2 dates + Margherita(1): 7 order-items…
+    // distinct (date, pizza, item) combos per customer; verified against
+    // the oracle above, spot-check one row here.
+    assert_eq!(got.row(1)[0], fdb::Value::str("Mario"));
+}
+
+#[test]
+fn three_way_mixed_inputs_match_all_baselines() {
+    let mut e = common::pizzeria_engines();
+    // Re-register Pizzas as a factorised view in the FDB engine only; the
+    // task is identical for the baselines.
+    let (pizza, item) = (
+        e.fdb.catalog.lookup("pizza").unwrap(),
+        e.fdb.catalog.lookup("item").unwrap(),
+    );
+    let mut c2 = e.fdb.catalog.clone();
+    let db = pizzeria(&mut c2);
+    let rep = FRep::from_relation(
+        &db.pizzas.project_cols(&[pizza, item]).canonical(),
+        FTree::path(&[pizza, item]),
+    )
+    .unwrap();
+    e.fdb.register_view("Pizzas", rep);
+    e.assert_all_agree(
+        "SELECT customer, SUM(price) AS revenue \
+         FROM Orders, Pizzas, Items GROUP BY customer",
+    );
+    e.assert_all_agree(
+        "SELECT pizza, COUNT(*) AS n FROM Orders, Pizzas GROUP BY pizza \
+         ORDER BY n DESC, pizza",
+    );
+}
