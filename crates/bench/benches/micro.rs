@@ -11,9 +11,9 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use fdb_core::enumerate::{EnumSpec, TupleIter};
 use fdb_core::ftree::AggOp;
 use fdb_core::ops;
+use fdb_relational::Catalog;
 use fdb_relational::{CmpOp, Value};
 use fdb_workload::orders::{generate, OrdersConfig};
-use fdb_relational::Catalog;
 
 fn micro(c: &mut Criterion) {
     let mut catalog = Catalog::new();

@@ -17,9 +17,9 @@
 
 use fdb_bench::{median_secs, paper_queries, print_row, Args, BenchSetup};
 use fdb_core::engine::{ConsolidateMode, PlanStrategy, RunOptions};
+use fdb_core::ftree::AggOp;
 use fdb_core::optim::{exhaustive, greedy, tree_cost, ExhaustiveConfig, QuerySpec, Stats};
 use fdb_core::plan::apply_to_tree;
-use fdb_core::ftree::AggOp;
 use fdb_relational::SortKey;
 use fdb_workload::orders::OrdersConfig;
 
@@ -55,26 +55,27 @@ fn main() {
             .unwrap()
             .len()
     });
-    print_row("ablation", scale, "Q2", "partial aggregation", t_partial, "");
+    print_row(
+        "ablation",
+        scale,
+        "Q2",
+        "partial aggregation",
+        t_partial,
+        "",
+    );
     // Without partial aggregation: group directly on the raw view — walk
     // customer groups of the *restructured but unreduced* factorisation
     // and aggregate each group's subtree from scratch.
     let (_, t_raw) = median_secs(args.repeats, || {
         let rep = env.fdb.view("R1").unwrap().clone();
-        let rep =
-            fdb_core::orderby::restructure_for_group(rep, &[attrs.customer]).unwrap();
+        let rep = fdb_core::orderby::restructure_for_group(rep, &[attrs.customer]).unwrap();
         let spec =
-            fdb_core::enumerate::EnumSpec::group_prefix(rep.ftree(), &[attrs.customer])
-                .unwrap();
+            fdb_core::enumerate::EnumSpec::group_prefix(rep.ftree(), &[attrs.customer]).unwrap();
         let mut cur = fdb_core::enumerate::GroupCursor::new(&rep, &spec).unwrap();
         let mut n = 0usize;
         while let Some((_, dangling)) = cur.next_group() {
-            let _ = fdb_core::agg::eval_funcs(
-                rep.ftree(),
-                &dangling,
-                &[AggOp::Sum(attrs.price)],
-            )
-            .unwrap();
+            let _ = fdb_core::agg::eval_funcs(rep.ftree(), &dangling, &[AggOp::Sum(attrs.price)])
+                .unwrap();
             n += 1;
         }
         n

@@ -41,11 +41,13 @@ fn main() {
             ("RDB sort", GroupStrategy::Sort),
             ("RDB hash", GroupStrategy::Hash),
         ] {
-            let (n, t) =
-                median_secs(args.repeats, || env.run_rdb(&q.task, strategy, PlanMode::Naive));
+            let (n, t) = median_secs(args.repeats, || {
+                env.run_rdb(&q.task, strategy, PlanMode::Naive)
+            });
             print_row("6", scale, q.name, engine, t, &format!("rows={n}"));
-            let (n, t) =
-                median_secs(args.repeats, || env.run_rdb(&q.task, strategy, PlanMode::Eager));
+            let (n, t) = median_secs(args.repeats, || {
+                env.run_rdb(&q.task, strategy, PlanMode::Eager)
+            });
             print_row(
                 "6",
                 scale,

@@ -47,8 +47,7 @@ fn main() {
             );
             let keys = task.order_by.clone();
             let input = q.input;
-            let (n, t) =
-                median_secs(args.repeats, || env.run_rdb_ord(input, &keys, limit));
+            let (n, t) = median_secs(args.repeats, || env.run_rdb_ord(input, &keys, limit));
             print_row(
                 "8",
                 scale,

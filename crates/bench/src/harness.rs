@@ -87,9 +87,7 @@ impl Args {
                     i += 2;
                 }
                 "--help" | "-h" => {
-                    eprintln!(
-                        "usage: [--scale N] [--max-scale N] [--repeats N] [--customers N]"
-                    );
+                    eprintln!("usage: [--scale N] [--max-scale N] [--repeats N] [--customers N]");
                     std::process::exit(0);
                 }
                 other => {

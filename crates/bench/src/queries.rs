@@ -72,11 +72,7 @@ pub fn paper_queries(catalog: &mut Catalog, a: &OrdersAttrs) -> Vec<PaperQuery> 
         PaperQuery {
             name: "Q1",
             class: QueryClass::Agg,
-            task: on_r1(
-                vec![a.package, a.date, a.customer],
-                sum(sum_price),
-                vec![],
-            ),
+            task: on_r1(vec![a.package, a.date, a.customer], sum(sum_price), vec![]),
             input: "R1",
         },
         PaperQuery {
@@ -208,11 +204,14 @@ mod tests {
     #[test]
     fn thirteen_queries_in_three_classes() {
         let mut c = Catalog::new();
-        let ds = generate(&mut c, &OrdersConfig {
-            scale: 1,
-            customers: 4,
-            seed: 1,
-        });
+        let ds = generate(
+            &mut c,
+            &OrdersConfig {
+                scale: 1,
+                customers: 4,
+                seed: 1,
+            },
+        );
         let qs = paper_queries(&mut c, &ds.attrs);
         assert_eq!(qs.len(), 13);
         assert_eq!(qs.iter().filter(|q| q.class == QueryClass::Agg).count(), 5);
@@ -227,11 +226,14 @@ mod tests {
     #[test]
     fn flat_variants_join_three_relations() {
         let mut c = Catalog::new();
-        let ds = generate(&mut c, &OrdersConfig {
-            scale: 1,
-            customers: 4,
-            seed: 1,
-        });
+        let ds = generate(
+            &mut c,
+            &OrdersConfig {
+                scale: 1,
+                customers: 4,
+                seed: 1,
+            },
+        );
         let qs = flat_input_agg_queries(&mut c, &ds.attrs);
         assert_eq!(qs.len(), 5);
         assert!(qs.iter().all(|q| q.task.inputs.len() == 3));

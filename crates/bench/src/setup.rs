@@ -66,9 +66,7 @@ impl BenchSetup {
         // R3 = o_{date,customer,package}(Orders): as a factorisation, the
         // trie in exactly that attribute order.
         let r3_flat = {
-            let mut r = ds
-                .orders
-                .project_cols(&[a.date, a.customer, a.package]);
+            let mut r = ds.orders.project_cols(&[a.date, a.customer, a.package]);
             r.sort_by_keys(&[
                 SortKey::asc(a.date),
                 SortKey::asc(a.customer),
@@ -231,8 +229,16 @@ mod tests {
                 .to_relation()
                 .unwrap()
                 .canonical();
-            let naive = env.rdb_sort.run(&q.task, PlanMode::Naive).unwrap().canonical();
-            let eager = env.rdb_sort.run(&q.task, PlanMode::Eager).unwrap().canonical();
+            let naive = env
+                .rdb_sort
+                .run(&q.task, PlanMode::Naive)
+                .unwrap()
+                .canonical();
+            let eager = env
+                .rdb_sort
+                .run(&q.task, PlanMode::Eager)
+                .unwrap()
+                .canonical();
             assert_eq!(fdb_out, naive, "{} fdb vs naive", q.name);
             assert_eq!(naive, eager, "{} naive vs eager", q.name);
         }

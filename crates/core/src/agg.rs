@@ -20,12 +20,13 @@ use fdb_relational::{Number, Value};
 pub fn subtree_provides(ftree: &FTree, node: NodeId, op: &AggOp) -> bool {
     match op.attr() {
         None => true,
-        Some(attr) => ftree.subtree_nodes(node).iter().any(|&n| {
-            match &ftree.node(n).label {
+        Some(attr) => ftree
+            .subtree_nodes(node)
+            .iter()
+            .any(|&n| match &ftree.node(n).label {
                 NodeLabel::Atomic(attrs) => attrs.contains(&attr),
                 NodeLabel::Agg(l) => l.component_of(op).is_some(),
-            }
-        }),
+            }),
     }
 }
 
@@ -85,9 +86,9 @@ pub fn sum_union(ftree: &FTree, u: &Union, op: &AggOp) -> Result<Number> {
                 NodeLabel::Atomic(_) => e.value.clone(),
                 NodeLabel::Agg(l) => component(l, &e.value, l.component_of(op).unwrap()),
             };
-            let n = v.as_number().ok_or_else(|| {
-                FdbError::NonNumeric(format!("sum over non-numeric value {v}"))
-            })?;
+            let n = v
+                .as_number()
+                .ok_or_else(|| FdbError::NonNumeric(format!("sum over non-numeric value {v}")))?;
             let mut mult: i64 = 1;
             for c in &e.children {
                 mult = mult.wrapping_mul(count_union(ftree, c)?);
@@ -133,9 +134,8 @@ pub fn extremum_union(ftree: &FTree, u: &Union, op: &AggOp) -> Result<Value> {
             } else {
                 u.entries.last()
             };
-            e.map(|e| e.value.clone()).ok_or_else(|| {
-                FdbError::InvalidOperator("extremum of an empty union".into())
-            })
+            e.map(|e| e.value.clone())
+                .ok_or_else(|| FdbError::InvalidOperator("extremum of an empty union".into()))
         }
         NodeLabel::Agg(l) if l.component_of(op).is_some() => {
             let i = l.component_of(op).unwrap();
@@ -282,9 +282,7 @@ pub fn combine_partials(final_op: &AggOp, leaves: &[(&AggLabel, &Value)]) -> Res
                         "count combination needs a count component in every leaf".into(),
                     )
                 })?;
-                prod = prod.wrapping_mul(
-                    component(l, v, i).as_int().expect("integral count"),
-                );
+                prod = prod.wrapping_mul(component(l, v, i).as_int().expect("integral count"));
             }
             Ok(Value::Int(prod))
         }
@@ -308,8 +306,7 @@ pub fn combine_partials(final_op: &AggOp, leaves: &[(&AggLabel, &Value)]) -> Res
                             "sum combination needs counts in the other leaves".into(),
                         )
                     })?;
-                    mult = mult
-                        .wrapping_mul(component(l, v, i).as_int().expect("integral count"));
+                    mult = mult.wrapping_mul(component(l, v, i).as_int().expect("integral count"));
                 }
             }
             let total = total.ok_or_else(|| {
@@ -384,8 +381,7 @@ mod tests {
         let b = c.intern("B");
         let rel = Relation::from_rows(
             Schema::new(vec![a, b]),
-            (1..=2)
-                .flat_map(|x| (1..=3).map(move |y| vec![Value::Int(x), Value::Int(y)])),
+            (1..=2).flat_map(|x| (1..=3).map(move |y| vec![Value::Int(x), Value::Int(y)])),
         );
         let mut t = FTree::new();
         t.add_node(NodeLabel::Atomic(vec![a]), None);
@@ -563,12 +559,7 @@ mod tests {
         let (c, rep) = items_rep();
         let price = c.lookup("price").unwrap();
         let unions: Vec<&Union> = rep.roots().iter().collect();
-        let v = eval_funcs(
-            rep.ftree(),
-            &unions,
-            &[AggOp::Sum(price), AggOp::Count],
-        )
-        .unwrap();
+        let v = eval_funcs(rep.ftree(), &unions, &[AggOp::Sum(price), AggOp::Count]).unwrap();
         assert_eq!(v, Value::tup(vec![Value::Int(10), Value::Int(4)]));
     }
 
@@ -620,11 +611,8 @@ mod tests {
         let s = Value::Int(8);
         let n = Value::Int(2);
         // sum × count = 16 (revenue for Mario's Capricciosa, Example 1).
-        let combined = combine_partials(
-            &AggOp::Sum(price),
-            &[(&sum_label, &s), (&cnt_label, &n)],
-        )
-        .unwrap();
+        let combined =
+            combine_partials(&AggOp::Sum(price), &[(&sum_label, &s), (&cnt_label, &n)]).unwrap();
         assert_eq!(combined, Value::Int(16));
         // count over both leaves requires both to carry counts.
         assert!(combine_partials(&AggOp::Count, &[(&sum_label, &s)]).is_err());

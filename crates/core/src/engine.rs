@@ -23,9 +23,7 @@ use crate::frep::FRep;
 use crate::ftree::{AggOp, FTree};
 use crate::optim::{exhaustive, greedy, ExhaustiveConfig, QuerySpec, Stats};
 use fdb_relational::planner::JoinAggTask;
-use fdb_relational::{
-    AggFunc, AttrId, Catalog, Predicate, Relation, Schema, SortKey, Value,
-};
+use fdb_relational::{AggFunc, AttrId, Catalog, Predicate, Relation, Schema, SortKey, Value};
 use std::collections::HashMap;
 
 /// Plan search strategy.
@@ -148,9 +146,7 @@ impl FdbResult {
         out.push_str(&self.rep.ftree().display(catalog));
         let mode = match &self.kind {
             ResultKind::Spj => "select-project-join (enumerate + project)".to_string(),
-            ResultKind::AggConsolidated => {
-                "aggregates consolidated into named nodes".to_string()
-            }
+            ResultKind::AggConsolidated => "aggregates consolidated into named nodes".to_string(),
             ResultKind::AggGrouped { final_funcs, .. } => format!(
                 "grouped: {} aggregate(s) evaluated on the fly per group",
                 final_funcs.len()
@@ -186,11 +182,7 @@ impl FdbResult {
         // LIMIT stops enumeration early; otherwise collect-sort-cut.
         let streaming_limit = if self.order_in_tree { self.limit } else { None };
         let push_row = |row: &[Value], out: &mut Relation| -> bool {
-            if self
-                .row_filters
-                .iter()
-                .all(|p| p.eval(&out_schema, row))
-            {
+            if self.row_filters.iter().all(|p| p.eval(&out_schema, row)) {
                 out.push_row(row);
             }
             match streaming_limit {
@@ -223,11 +215,7 @@ impl FdbResult {
                 func_outputs,
             } => {
                 let spec = if self.order_in_tree {
-                    EnumSpec::group_prefix_ordered(
-                        self.rep.ftree(),
-                        group_attrs,
-                        &self.order_by,
-                    )?
+                    EnumSpec::group_prefix_ordered(self.rep.ftree(), group_attrs, &self.order_by)?
                 } else {
                     EnumSpec::group_prefix(self.rep.ftree(), group_attrs)?
                 };
@@ -556,8 +544,7 @@ impl FdbEngine {
         // cannot be gathered by upward swaps. When planning fails for that
         // reason, fall back to the grouped (scenario-3) evaluation — any
         // HAVING / ORDER BY on the aggregate is then handled at emission.
-        let (mut spec, mut tree_keys, mut order_in_tree_candidate) =
-            make_parts(want_consolidate);
+        let (mut spec, mut tree_keys, mut order_in_tree_candidate) = make_parts(want_consolidate);
         let mut plan = match opts.strategy {
             PlanStrategy::Greedy => greedy(rep.ftree(), &spec, &stats, &mut self.catalog),
             PlanStrategy::Exhaustive(cfg) => {
@@ -584,9 +571,7 @@ impl FdbEngine {
         let mut row_filters: Vec<Predicate> = Vec::new();
         for p in &task.having {
             match p {
-                Predicate::AttrCmp(a, op, v)
-                    if result_rep.ftree().node_of_attr(*a).is_some() =>
-                {
+                Predicate::AttrCmp(a, op, v) if result_rep.ftree().node_of_attr(*a).is_some() => {
                     result_rep = crate::ops::select_const(result_rep, *a, *op, v)?;
                 }
                 other => row_filters.push(other.clone()),
@@ -625,12 +610,10 @@ impl FdbEngine {
                 ResultKind::Spj | ResultKind::AggConsolidated => {
                     crate::enumerate::supports_order(result_rep.ftree(), &tree_keys)
                 }
-                ResultKind::AggGrouped { group_attrs, .. } => EnumSpec::group_prefix_ordered(
-                    result_rep.ftree(),
-                    group_attrs,
-                    &tree_keys,
-                )
-                .is_ok(),
+                ResultKind::AggGrouped { group_attrs, .. } => {
+                    EnumSpec::group_prefix_ordered(result_rep.ftree(), group_attrs, &tree_keys)
+                        .is_ok()
+                }
             };
 
         Ok(FdbResult {

@@ -83,11 +83,7 @@ impl EnumSpec {
     /// enumeration that is additionally sorted by `keys` (which must
     /// reference group attributes). Used by the engine for ordered
     /// group-by output without consolidation.
-    pub fn group_prefix_ordered(
-        tree: &FTree,
-        group: &[AttrId],
-        keys: &[SortKey],
-    ) -> Result<Self> {
+    pub fn group_prefix_ordered(tree: &FTree, group: &[AttrId], keys: &[SortKey]) -> Result<Self> {
         let base = Self::group_prefix(tree, group)?;
         let mut visit: Vec<NodeId> = Vec::new();
         let mut dirs: Vec<SortDir> = Vec::new();
@@ -218,11 +214,14 @@ impl<'a> Odometer<'a> {
                 ),
                 Some(p) => {
                     let parent_visit =
-                        spec.visit[..i].iter().position(|&v| v == p).ok_or_else(|| {
-                            FdbError::OrderUnsupported(format!(
-                                "visit sequence places {n:?} before its parent"
-                            ))
-                        })?;
+                        spec.visit[..i]
+                            .iter()
+                            .position(|&v| v == p)
+                            .ok_or_else(|| {
+                                FdbError::OrderUnsupported(format!(
+                                    "visit sequence places {n:?} before its parent"
+                                ))
+                            })?;
                     let child_pos = tree
                         .node(p)
                         .children
@@ -669,12 +668,8 @@ mod tests {
         let mut cur = GroupCursor::new(&rep, &spec).unwrap();
         let mut got: Vec<(String, Value)> = Vec::new();
         while let Some((vals, dangling)) = cur.next_group() {
-            let v = crate::agg::eval_funcs(
-                rep.ftree(),
-                &dangling,
-                &[AggOp::Sum(a("price"))],
-            )
-            .unwrap();
+            let v =
+                crate::agg::eval_funcs(rep.ftree(), &dangling, &[AggOp::Sum(a("price"))]).unwrap();
             got.push((vals[0].as_str().unwrap().to_string(), v));
         }
         // Capricciosa: prices (6+1) × 2 dates = 14; Hawaii: 6 × 2
@@ -697,8 +692,7 @@ mod tests {
         let mut groups = 0;
         while let Some((vals, dangling)) = cur.next_group() {
             assert!(vals.is_empty());
-            let v =
-                crate::agg::eval_funcs(rep.ftree(), &dangling, &[AggOp::Count]).unwrap();
+            let v = crate::agg::eval_funcs(rep.ftree(), &dangling, &[AggOp::Count]).unwrap();
             assert_eq!(v, Value::Int(6));
             groups += 1;
         }
@@ -727,8 +721,7 @@ mod tests {
         // Group by {pizza, date} ordered by (pizza DESC, date ASC).
         let keys = [SortKey::desc(a("pizza")), SortKey::asc(a("date"))];
         let spec =
-            EnumSpec::group_prefix_ordered(rep.ftree(), &[a("date"), a("pizza")], &keys)
-                .unwrap();
+            EnumSpec::group_prefix_ordered(rep.ftree(), &[a("date"), a("pizza")], &keys).unwrap();
         let mut cur = GroupCursor::new(&rep, &spec).unwrap();
         let mut groups: Vec<(String, i64)> = Vec::new();
         while let Some((vals, _)) = cur.next_group() {
@@ -765,16 +758,10 @@ mod tests {
             Schema::new(vec![w]),
             [10, 20, 30].into_iter().map(|v| vec![Value::Int(v)]),
         );
-        let rep_g = crate::frep::FRep::from_relation(
-            &rel_g,
-            crate::ftree::FTree::path(&[g]),
-        )
-        .unwrap();
-        let rep_w = crate::frep::FRep::from_relation(
-            &rel_w,
-            crate::ftree::FTree::path(&[w]),
-        )
-        .unwrap();
+        let rep_g =
+            crate::frep::FRep::from_relation(&rel_g, crate::ftree::FTree::path(&[g])).unwrap();
+        let rep_w =
+            crate::frep::FRep::from_relation(&rel_w, crate::ftree::FTree::path(&[w])).unwrap();
         let rep = crate::ops::product(rep_g, rep_w);
         let spec = EnumSpec::group_prefix(rep.ftree(), &[g]).unwrap();
         let mut cur = GroupCursor::new(&rep, &spec).unwrap();

@@ -46,9 +46,7 @@ impl Union {
 
     /// Binary search for an entry by value.
     pub fn find(&self, value: &Value) -> Option<usize> {
-        self.entries
-            .binary_search_by(|e| e.value.cmp(value))
-            .ok()
+        self.entries.binary_search_by(|e| e.value.cmp(value)).ok()
     }
 
     /// Number of singletons in this union and all its descendants.
@@ -335,8 +333,7 @@ impl FRep {
             let name = match label {
                 NodeLabel::Atomic(attrs) => catalog.name(attrs[0]).to_string(),
                 NodeLabel::Agg(l) => {
-                    let fs: Vec<String> =
-                        l.funcs.iter().map(|f| f.display(catalog)).collect();
+                    let fs: Vec<String> = l.funcs.iter().map(|f| f.display(catalog)).collect();
                     fs.join(",")
                 }
             };

@@ -703,11 +703,7 @@ impl FTree {
     /// the exhaustive optimiser to deduplicate states (sibling order is
     /// semantically irrelevant for products).
     pub fn canonical_key(&self) -> String {
-        let mut keys: Vec<String> = self
-            .roots
-            .iter()
-            .map(|&r| self.node_key(r, true))
-            .collect();
+        let mut keys: Vec<String> = self.roots.iter().map(|&r| self.node_key(r, true)).collect();
         keys.sort();
         keys.join("|")
     }

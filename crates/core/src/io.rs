@@ -77,8 +77,7 @@ pub fn write_frep(rep: &FRep, catalog: &Catalog, mut w: impl Write) -> Result<()
             note(a, &mut attrs);
         }
     }
-    let local: BTreeMap<AttrId, usize> =
-        attrs.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+    let local: BTreeMap<AttrId, usize> = attrs.iter().enumerate().map(|(i, &a)| (a, i)).collect();
     write!(w, "{MAGIC} {}", attrs.len()).map_err(io_err)?;
     for &a in &attrs {
         let name = catalog.name(a);
@@ -199,8 +198,7 @@ impl Tokens {
         if start == self.pos {
             return Err(malformed("unexpected end of stream"));
         }
-        std::str::from_utf8(&self.buf[start..self.pos])
-            .map_err(|_| malformed("non-utf8 token"))
+        std::str::from_utf8(&self.buf[start..self.pos]).map_err(|_| malformed("non-utf8 token"))
     }
 
     fn usize(&mut self) -> Result<usize> {
@@ -256,8 +254,7 @@ impl Tokens {
             Some(b'f') => {
                 self.pos += 1;
                 let hex = self.word()?;
-                let bits = u64::from_str_radix(hex, 16)
-                    .map_err(|_| malformed("bad float bits"))?;
+                let bits = u64::from_str_radix(hex, 16).map_err(|_| malformed("bad float bits"))?;
                 Ok(Value::Float(f64::from_bits(bits)))
             }
             Some(b's') => Ok(Value::str(self.string()?)),
@@ -329,9 +326,7 @@ pub fn read_frep(r: impl BufRead, catalog: &mut Catalog) -> Result<FRep> {
                         "s" => AggOp::Sum(attr(t.usize()?)?),
                         "m" => AggOp::Min(attr(t.usize()?)?),
                         "x" => AggOp::Max(attr(t.usize()?)?),
-                        other => {
-                            return Err(malformed(format!("unknown agg op `{other}`")))
-                        }
+                        other => return Err(malformed(format!("unknown agg op `{other}`"))),
                     });
                 }
                 let n_over = t.usize()?;
@@ -429,10 +424,7 @@ mod tests {
         back.check_invariants().unwrap();
         assert_eq!(back.tuple_count(), rep.tuple_count());
         assert_eq!(back.singleton_count(), rep.singleton_count());
-        assert_eq!(
-            back.flatten().canonical(),
-            rep.flatten().canonical()
-        );
+        assert_eq!(back.flatten().canonical(), rep.flatten().canonical());
     }
 
     #[test]
@@ -456,8 +448,7 @@ mod tests {
         let n_item = rep.ftree().node_of_attr(item).unwrap();
         let out = c.intern("n");
         let target = crate::ops::AggTarget::subtree(rep.ftree(), n_item);
-        let agged =
-            crate::ops::aggregate(rep, &target, vec![AggOp::Count], vec![out]).unwrap();
+        let agged = crate::ops::aggregate(rep, &target, vec![AggOp::Count], vec![out]).unwrap();
         let mut buf = Vec::new();
         write_frep(&agged, &c, &mut buf).unwrap();
         let mut c2 = Catalog::new();

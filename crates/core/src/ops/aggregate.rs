@@ -68,31 +68,28 @@ pub fn aggregate(
         .collect();
     let insert_at = *positions.iter().min().expect("at least one target");
 
-    let replace =
-        |children: &mut Vec<Union>, tree: &crate::ftree::FTree| -> Result<()> {
-            // Extract target unions (highest position first to keep indices
-            // stable), evaluate, insert the aggregate leaf.
-            let mut order: Vec<usize> = positions.clone();
-            order.sort_unstable_by(|x, y| y.cmp(x));
-            let mut taken: Vec<(usize, Union)> = order
-                .into_iter()
-                .map(|i| (i, children.remove(i)))
-                .collect();
-            taken.sort_by_key(|(i, _)| *i);
-            let unions: Vec<&Union> = taken.iter().map(|(_, u)| u).collect();
-            let value = eval_funcs(tree, &unions, &funcs)?;
-            children.insert(
-                insert_at,
-                Union {
-                    node: new_node,
-                    entries: vec![Entry {
-                        value,
-                        children: Vec::new(),
-                    }],
-                },
-            );
-            Ok(())
-        };
+    let replace = |children: &mut Vec<Union>, tree: &crate::ftree::FTree| -> Result<()> {
+        // Extract target unions (highest position first to keep indices
+        // stable), evaluate, insert the aggregate leaf.
+        let mut order: Vec<usize> = positions.clone();
+        order.sort_unstable_by(|x, y| y.cmp(x));
+        let mut taken: Vec<(usize, Union)> =
+            order.into_iter().map(|i| (i, children.remove(i))).collect();
+        taken.sort_by_key(|(i, _)| *i);
+        let unions: Vec<&Union> = taken.iter().map(|(_, u)| u).collect();
+        let value = eval_funcs(tree, &unions, &funcs)?;
+        children.insert(
+            insert_at,
+            Union {
+                node: new_node,
+                entries: vec![Entry {
+                    value,
+                    children: Vec::new(),
+                }],
+            },
+        );
+        Ok(())
+    };
 
     let roots = match target.parent {
         Some(p) => rewrite_at(&tree, roots, p, &mut |mut up| {
@@ -335,10 +332,7 @@ mod tests {
         .unwrap();
         // Capricciosa: (8, 3).
         let leaf = &out.roots()[0].entries[0].children[1].entries[0].value;
-        assert_eq!(
-            *leaf,
-            Value::tup(vec![Value::Int(8), Value::Int(3)])
-        );
+        assert_eq!(*leaf, Value::tup(vec![Value::Int(8), Value::Int(3)]));
     }
 
     #[test]

@@ -375,10 +375,7 @@ mod tests {
         let child = rp.ftree().node(root).children[0];
         let once = swap(rp, root, child).unwrap();
         let twice = swap(once, child, root).unwrap();
-        assert_eq!(
-            twice.flatten().canonical(),
-            before.flatten().canonical()
-        );
+        assert_eq!(twice.flatten().canonical(), before.flatten().canonical());
         assert_eq!(twice.singleton_count(), before.singleton_count());
     }
 
@@ -398,14 +395,14 @@ mod tests {
         assert_eq!(merged.tuple_count(), 7);
         // Schema: item (class {item,item2}) → {pizza, price}.
         let root = merged.ftree().roots()[0];
-        assert_eq!(
-            merged.ftree().node(root).label.exposed_attrs().len(),
-            2
-        );
+        assert_eq!(merged.ftree().node(root).label.exposed_attrs().len(), 2);
         let price = c.lookup("price").unwrap();
-        let s =
-            crate::agg::sum_union(merged.ftree(), &merged.roots()[0], &crate::ftree::AggOp::Sum(price))
-                .unwrap();
+        let s = crate::agg::sum_union(
+            merged.ftree(),
+            &merged.roots()[0],
+            &crate::ftree::AggOp::Sum(price),
+        )
+        .unwrap();
         // Sum of prices over the join: base 6×3 + ham 1×2 + mushrooms 1 +
         // pineapple 2 = 23.
         assert_eq!(s.into_value(), Value::Int(23));
@@ -476,10 +473,7 @@ mod tests {
         );
         let rep = FRep::from_relation(&rel, FTree::path(&[a, x, b])).unwrap();
         let na = rep.ftree().roots()[0];
-        let nb = rep
-            .ftree()
-            .node_of_attr(c.lookup("b").unwrap())
-            .unwrap();
+        let nb = rep.ftree().node_of_attr(c.lookup("b").unwrap()).unwrap();
         let out = absorb(rep, na, nb).unwrap();
         out.check_invariants().unwrap();
         // Rows with a = b: (1,10,1) and (2,10,2).

@@ -96,10 +96,7 @@ mod tests {
         let step1 = select_const(rep, price, CmpOp::Ne, &Value::Int(1)).unwrap();
         let step2 = select_const(step1, price, CmpOp::Lt, &Value::Int(6)).unwrap();
         assert_eq!(step2.tuple_count(), 1);
-        assert_eq!(
-            step2.roots()[0].entries[0].value,
-            Value::str("pineapple")
-        );
+        assert_eq!(step2.roots()[0].entries[0].value, Value::str("pineapple"));
     }
 
     #[test]

@@ -118,18 +118,39 @@ pub fn greedy(
         if let Some(&(x, y)) = pending.first() {
             let swaps = cheapest_selection_restructuring(&tree, x, y, stats)?;
             for (p, n) in swaps {
-                emit(&mut tree, &mut plan, FOp::Swap { parent: p, child: n })?;
+                emit(
+                    &mut tree,
+                    &mut plan,
+                    FOp::Swap {
+                        parent: p,
+                        child: n,
+                    },
+                )?;
             }
             continue;
         }
         // Step 4: lift a group attribute above a non-group parent.
         if let Some((p, n)) = group_violation(&tree, &spec.group_by) {
-            emit(&mut tree, &mut plan, FOp::Swap { parent: p, child: n })?;
+            emit(
+                &mut tree,
+                &mut plan,
+                FOp::Swap {
+                    parent: p,
+                    child: n,
+                },
+            )?;
             continue;
         }
         // Step 5: fix an order-by contradiction (keys present in the tree).
         if let Some((p, n)) = order_violation(&tree, &spec.order_by) {
-            emit(&mut tree, &mut plan, FOp::Swap { parent: p, child: n })?;
+            emit(
+                &mut tree,
+                &mut plan,
+                FOp::Swap {
+                    parent: p,
+                    child: n,
+                },
+            )?;
             continue;
         }
         break;
@@ -152,7 +173,14 @@ pub(crate) fn finish(tree: &mut FTree, plan: &mut FPlan, spec: &QuerySpec) -> Re
         // Step 7: single-attribute result.
         let (swaps, parent, targets) = orderby::plan_consolidation(tree, &spec.group_by)?;
         for (p, n) in swaps {
-            emit(tree, plan, FOp::Swap { parent: p, child: n })?;
+            emit(
+                tree,
+                plan,
+                FOp::Swap {
+                    parent: p,
+                    child: n,
+                },
+            )?;
         }
         emit(
             tree,
@@ -178,7 +206,14 @@ pub(crate) fn finish(tree: &mut FTree, plan: &mut FPlan, spec: &QuerySpec) -> Re
                     "post-consolidation restructuring did not converge".into(),
                 ));
             }
-            emit(tree, plan, FOp::Swap { parent: p, child: n })?;
+            emit(
+                tree,
+                plan,
+                FOp::Swap {
+                    parent: p,
+                    child: n,
+                },
+            )?;
         }
     }
 
@@ -211,7 +246,14 @@ pub(crate) fn finish(tree: &mut FTree, plan: &mut FPlan, spec: &QuerySpec) -> Re
                         "post-projection restructuring did not converge".into(),
                     ));
                 }
-                emit(tree, plan, FOp::Swap { parent: p, child: n })?;
+                emit(
+                    tree,
+                    plan,
+                    FOp::Swap {
+                        parent: p,
+                        child: n,
+                    },
+                )?;
             }
         }
     }
@@ -298,10 +340,7 @@ pub(crate) fn best_aggregate(
         if targets.is_empty() || !useful {
             return;
         }
-        if best
-            .as_ref()
-            .is_none_or(|(n, _, _)| atomic_attrs > *n)
-        {
+        if best.as_ref().is_none_or(|(n, _, _)| atomic_attrs > *n) {
             best = Some((atomic_attrs, parent, targets));
         }
     };
@@ -354,9 +393,7 @@ fn simulate_lifting(
     let mut swaps = Vec::new();
     let mut cost = 0.0;
     let applicable = |t: &FTree| {
-        t.node(nx).parent == t.node(ny).parent
-            || t.is_ancestor(nx, ny)
-            || t.is_ancestor(ny, nx)
+        t.node(nx).parent == t.node(ny).parent || t.is_ancestor(nx, ny) || t.is_ancestor(ny, nx)
     };
     let mut i = 0usize;
     let mut stalled = 0usize;
@@ -396,7 +433,10 @@ pub(crate) fn group_violation(tree: &FTree, group: &[AttrId]) -> Option<(NodeId,
     };
     tree.live_nodes().into_iter().find_map(|n| {
         if in_group(n) {
-            tree.node(n).parent.filter(|&p| !in_group(p)).map(|p| (p, n))
+            tree.node(n)
+                .parent
+                .filter(|&p| !in_group(p))
+                .map(|p| (p, n))
         } else {
             None
         }
@@ -634,9 +674,13 @@ mod tests {
         let price = c.intern("price");
         let pizzas = Relation::from_rows(
             Schema::new(vec![pizza, item]),
-            [("Hawaii", "base"), ("Hawaii", "ham"), ("Margherita", "base")]
-                .into_iter()
-                .map(|(p, i)| vec![Value::str(p), Value::str(i)]),
+            [
+                ("Hawaii", "base"),
+                ("Hawaii", "ham"),
+                ("Margherita", "base"),
+            ]
+            .into_iter()
+            .map(|(p, i)| vec![Value::str(p), Value::str(i)]),
         );
         let items = Relation::from_rows(
             Schema::new(vec![item2, price]),

@@ -59,8 +59,7 @@ pub fn maximize_packing(obj: &[f64], rows: &[Vec<f64>], caps: &[f64]) -> f64 {
             if t[i][enter] > EPS {
                 let ratio = t[i][cols - 1] / t[i][enter];
                 if ratio < best - EPS
-                    || ((ratio - best).abs() <= EPS
-                        && leave.is_none_or(|l| basis[i] < basis[l]))
+                    || ((ratio - best).abs() <= EPS && leave.is_none_or(|l| basis[i] < basis[l]))
                 {
                     best = ratio;
                     leave = Some(i);
@@ -75,16 +74,18 @@ pub fn maximize_packing(obj: &[f64], rows: &[Vec<f64>], caps: &[f64]) -> f64 {
         for v in t[leave].iter_mut() {
             *v /= pivot;
         }
-        for i in 0..=m {
+        let pivot_row = std::mem::take(&mut t[leave]);
+        for (i, row) in t.iter_mut().enumerate().take(m + 1) {
             if i != leave {
-                let factor = t[i][enter];
+                let factor = row[enter];
                 if factor.abs() > EPS {
-                    for j in 0..cols {
-                        t[i][j] -= factor * t[leave][j];
+                    for (v, &p) in row.iter_mut().zip(&pivot_row) {
+                        *v -= factor * p;
                     }
                 }
             }
         }
+        t[leave] = pivot_row;
         basis[leave] = enter;
     }
     debug_assert!(false, "simplex exceeded iteration bound");

@@ -53,10 +53,7 @@ pub fn plan_order_swaps(tree: &FTree, keys: &[SortKey]) -> Result<Vec<(NodeId, N
     let mut scratch = tree.clone();
     let mut swaps = Vec::new();
     loop {
-        let order_nodes = nodes_of(
-            &scratch,
-            &keys.iter().map(|k| k.attr).collect::<Vec<_>>(),
-        )?;
+        let order_nodes = nodes_of(&scratch, &keys.iter().map(|k| k.attr).collect::<Vec<_>>())?;
         // Find the first order node violating Theorem 2: its parent is not
         // an earlier order node (greedy step 5).
         let mut todo = None;
@@ -99,16 +96,17 @@ pub fn restructure_for_order(rep: FRep, keys: &[SortKey]) -> Result<FRep> {
     apply_swaps(rep, &swaps)
 }
 
+/// What [`plan_consolidation`] computes: the swap sequence, then the
+/// target parent and sibling subtrees for the consolidating `γ`.
+pub type ConsolidationPlan = (Vec<(NodeId, NodeId)>, Option<NodeId>, Vec<NodeId>);
+
 /// Plans §5.2 step 7: swaps that gather every node *not* exposing a
 /// `group` attribute under a single parent, returning the swaps plus the
 /// final target (parent, sibling subtrees) for the consolidating `γ`.
 ///
 /// Fails when the non-group nodes live in different trees of the forest
 /// with group roots in between — callers fall back to materialising.
-pub fn plan_consolidation(
-    tree: &FTree,
-    group: &[AttrId],
-) -> Result<(Vec<(NodeId, NodeId)>, Option<NodeId>, Vec<NodeId>)> {
+pub fn plan_consolidation(tree: &FTree, group: &[AttrId]) -> Result<ConsolidationPlan> {
     let mut scratch = tree.clone();
     let mut swaps: Vec<(NodeId, NodeId)> = Vec::new();
     let group_nodes = nodes_of(&scratch, group)?;
@@ -324,10 +322,9 @@ mod tests {
         // under pizza already; consolidation targets them directly.
         let (c, rep) = t1_rep();
         let a = |n: &str| c.lookup(n).unwrap();
-        let (swaps, parent, targets) =
-            plan_consolidation(rep.ftree(), &[a("pizza")]).unwrap();
+        let (swaps, parent, targets) = plan_consolidation(rep.ftree(), &[a("pizza")]).unwrap();
         assert!(swaps.is_empty());
-        assert_eq!(parent, rep.ftree().node_of_attr(a("pizza")).map(|n| n).map(Some).unwrap());
+        assert_eq!(parent, rep.ftree().node_of_attr(a("pizza")));
         assert_eq!(targets.len(), 2);
     }
 
@@ -339,8 +336,7 @@ mod tests {
         let (c, rep) = t1_rep();
         let a = |n: &str| c.lookup(n).unwrap();
         let rep = restructure_for_group(rep, &[a("customer")]).unwrap();
-        let (swaps, parent, targets) =
-            plan_consolidation(rep.ftree(), &[a("customer")]).unwrap();
+        let (swaps, parent, targets) = plan_consolidation(rep.ftree(), &[a("customer")]).unwrap();
         let rep2 = apply_swaps(rep, &swaps).unwrap();
         rep2.check_invariants().unwrap();
         // All value subtrees now under the customer node.

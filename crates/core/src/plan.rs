@@ -245,7 +245,10 @@ mod tests {
         assert_eq!(out.ftree().canonical_key(), sim_tree.canonical_key());
         assert_eq!(out.tuple_count(), 1);
         // a=1 has two b values.
-        assert_eq!(out.roots()[0].entries[0].children[0].entries[0].value, Value::Int(2));
+        assert_eq!(
+            out.roots()[0].entries[0].children[0].entries[0].value,
+            Value::Int(2)
+        );
     }
 
     #[test]

@@ -115,10 +115,7 @@ fn law1_pre_aggregation_is_absorbed_sum() {
     .unwrap();
     let composed = final_gamma(pre, AggOp::Sum(f.price), out);
 
-    assert_eq!(
-        direct.flatten().canonical(),
-        composed.flatten().canonical()
-    );
+    assert_eq!(direct.flatten().canonical(), composed.flatten().canonical());
     assert_eq!(direct.roots()[0].entries[0].value, Value::Int(40));
 }
 
@@ -139,10 +136,7 @@ fn law1_pre_aggregation_is_absorbed_count() {
     )
     .unwrap();
     let composed = final_gamma(pre, AggOp::Count, out);
-    assert_eq!(
-        direct.flatten().canonical(),
-        composed.flatten().canonical()
-    );
+    assert_eq!(direct.flatten().canonical(), composed.flatten().canonical());
     assert_eq!(direct.roots()[0].entries[0].value, Value::Int(13));
 }
 
@@ -166,10 +160,7 @@ fn law1_min_max_absorbed() {
         .unwrap();
         let composed = final_gamma(pre, func, out);
         assert_eq!(direct.roots()[0].entries[0].value, expected);
-        assert_eq!(
-            direct.flatten().canonical(),
-            composed.flatten().canonical()
-        );
+        assert_eq!(direct.flatten().canonical(), composed.flatten().canonical());
     }
 }
 
@@ -192,10 +183,7 @@ fn law2_sum_after_count_on_disjoint_subtree() {
     )
     .unwrap();
     let composed = final_gamma(pre, AggOp::Sum(f.price), out);
-    assert_eq!(
-        direct.flatten().canonical(),
-        composed.flatten().canonical()
-    );
+    assert_eq!(direct.flatten().canonical(), composed.flatten().canonical());
 }
 
 #[test]
@@ -255,9 +243,7 @@ fn example7_full_pipeline_equivalence() {
     )
     .unwrap();
     // Restructure customer to the root for both sides.
-    let lift = |rep: FRep| {
-        fdb_core::orderby::restructure_for_group(rep, &[f.customer]).unwrap()
-    };
+    let lift = |rep: FRep| fdb_core::orderby::restructure_for_group(rep, &[f.customer]).unwrap();
     let with_partials = lift(with_partials);
     let date_node = with_partials.ftree().node_of_attr(f.date).unwrap();
     let c1 = f.catalog.intern("cd");

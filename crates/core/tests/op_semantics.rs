@@ -19,10 +19,7 @@ fn catalog3() -> (Catalog, [fdb_relational::AttrId; 3]) {
     (c, [x, y, z])
 }
 
-fn rel3(
-    attrs: &[fdb_relational::AttrId; 3],
-    rows: &[(i64, i64, i64)],
-) -> Relation {
+fn rel3(attrs: &[fdb_relational::AttrId; 3], rows: &[(i64, i64, i64)]) -> Relation {
     Relation::from_rows(
         Schema::new(attrs.to_vec()),
         rows.iter()
@@ -253,9 +250,7 @@ fn aggregate_multiple_sibling_targets_at_once() {
     let rows: Vec<Vec<Value>> = (0..2)
         .flat_map(|a| {
             (0..3).flat_map(move |b| {
-                (0..2).map(move |d| {
-                    vec![Value::Int(a), Value::Int(b), Value::Int(d)]
-                })
+                (0..2).map(move |d| vec![Value::Int(a), Value::Int(b), Value::Int(d)])
             })
         })
         .collect();

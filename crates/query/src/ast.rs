@@ -53,9 +53,7 @@ pub struct Query {
 impl Query {
     /// True if the query has aggregates.
     pub fn is_aggregate(&self) -> bool {
-        self.select
-            .iter()
-            .any(|i| matches!(i, SelectItem::Agg(_)))
+        self.select.iter().any(|i| matches!(i, SelectItem::Agg(_)))
     }
 
     /// Aggregate specs in select order.

@@ -242,7 +242,15 @@ mod tests {
             .collect();
         assert_eq!(
             syms,
-            vec![Sym::Eq, Sym::Ne, Sym::Ne, Sym::Lt, Sym::Le, Sym::Gt, Sym::Ge]
+            vec![
+                Sym::Eq,
+                Sym::Ne,
+                Sym::Ne,
+                Sym::Lt,
+                Sym::Le,
+                Sym::Gt,
+                Sym::Ge
+            ]
         );
     }
 

@@ -131,6 +131,7 @@ impl<'a> Parser<'a> {
     fn query(&mut self) -> Result<Query, QueryError> {
         self.expect_keyword("SELECT")?;
         let _ = self.eat_keyword("DISTINCT"); // set semantics already
+
         // Select items are parsed unresolved first: resolution needs the
         // FROM schemas, which come later in the text.
         let raw_items = self.raw_select_items()?;
@@ -326,9 +327,7 @@ impl<'a> Parser<'a> {
             RawItems::List(items) => items
                 .into_iter()
                 .map(|item| match item {
-                    RawItem::Attr(name) => {
-                        Ok(SelectItem::Attr(self.resolve_attr(&name, joined)?))
-                    }
+                    RawItem::Attr(name) => Ok(SelectItem::Attr(self.resolve_attr(&name, joined)?)),
                     RawItem::Agg { kind, arg, alias } => {
                         let func = match (&kind, arg) {
                             (AggKind::Count, None) => AggFunc::Count,
@@ -349,9 +348,7 @@ impl<'a> Parser<'a> {
                                 }
                             }
                             (_, None) => {
-                                return Err(QueryError::Invalid(
-                                    "only COUNT may take `*`".into(),
-                                ))
+                                return Err(QueryError::Invalid("only COUNT may take `*`".into()))
                             }
                         };
                         let output = match alias {

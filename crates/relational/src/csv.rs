@@ -142,9 +142,8 @@ mod tests {
         let rel2 = read_csv(out.as_slice(), &mut c2).unwrap();
         // Same data after re-reading (column ids differ across catalogs,
         // so compare raw tuples).
-        let tuples = |r: &Relation| -> Vec<Vec<Value>> {
-            r.rows().map(|row| row.to_vec()).collect()
-        };
+        let tuples =
+            |r: &Relation| -> Vec<Vec<Value>> { r.rows().map(|row| row.to_vec()).collect() };
         assert_eq!(tuples(&rel), tuples(&rel2));
     }
 

@@ -135,22 +135,18 @@ pub fn group_aggregate(
             let mut accs: Vec<PhysAcc> = aggs.iter().map(|a| a.agg.make_acc()).collect();
             let mut current: Option<Vec<Value>> = None;
             let mut buf: Vec<Value> = Vec::new();
-            let flush =
-                |accs: &mut Vec<PhysAcc>, key: &[Value], out: &mut Relation, buf: &mut Vec<Value>| {
-                    buf.clear();
-                    buf.extend_from_slice(key);
-                    for (acc, spec) in std::mem::replace(
-                        accs,
-                        aggs.iter().map(|a| a.agg.make_acc()).collect(),
-                    )
-                    .into_iter()
-                    .zip(aggs)
-                    {
-                        let _ = spec;
-                        buf.push(acc.finish());
-                    }
-                    out.push_row(buf);
-                };
+            let flush = |accs: &mut Vec<PhysAcc>,
+                         key: &[Value],
+                         out: &mut Relation,
+                         buf: &mut Vec<Value>| {
+                buf.clear();
+                buf.extend_from_slice(key);
+                for acc in std::mem::replace(accs, aggs.iter().map(|a| a.agg.make_acc()).collect())
+                {
+                    buf.push(acc.finish());
+                }
+                out.push_row(buf);
+            };
             for row in sorted.rows() {
                 let key: Vec<Value> = group_pos.iter().map(|&p| row[p].clone()).collect();
                 match &current {
@@ -206,9 +202,15 @@ mod tests {
         let price = c.intern("price");
         let rel = Relation::from_rows(
             Schema::new(vec![cust, price]),
-            [("Lucia", 9), ("Mario", 8), ("Mario", 8), ("Mario", 6), ("Pietro", 9)]
-                .into_iter()
-                .map(|(n, p)| vec![Value::str(n), Value::Int(p)]),
+            [
+                ("Lucia", 9),
+                ("Mario", 8),
+                ("Mario", 8),
+                ("Mario", 6),
+                ("Pietro", 9),
+            ]
+            .into_iter()
+            .map(|(n, p)| vec![Value::str(n), Value::Int(p)]),
         );
         (c, rel)
     }

@@ -260,12 +260,7 @@ mod tests {
     fn join_output_schema_order() {
         let (c, pizzas, items) = pizzeria();
         let out = hash_join(&pizzas, &items);
-        let names: Vec<&str> = out
-            .schema()
-            .attrs()
-            .iter()
-            .map(|&a| c.name(a))
-            .collect();
+        let names: Vec<&str> = out.schema().attrs().iter().map(|&a| c.name(a)).collect();
         assert_eq!(names, vec!["pizza", "item", "price"]);
     }
 }

@@ -3,8 +3,8 @@
 use crate::attr::{AttrId, Catalog};
 use crate::error::RelError;
 use crate::expr::Predicate;
-use crate::ops::{self, GroupStrategy};
 use crate::ops::aggregate::PhysAggSpec;
+use crate::ops::{self, GroupStrategy};
 use crate::relation::{Relation, SortKey};
 use crate::value::Value;
 use std::collections::HashMap;
@@ -141,8 +141,10 @@ impl RelPlan {
                 let _ = writeln!(out, "{pad}Scan {name}");
             }
             RelPlan::Select { input, preds } => {
-                let conds: Vec<String> =
-                    preds.iter().map(|p| p.display(catalog).to_string()).collect();
+                let conds: Vec<String> = preds
+                    .iter()
+                    .map(|p| p.display(catalog).to_string())
+                    .collect();
                 let _ = writeln!(out, "{pad}Select [{}]", conds.join(" AND "));
                 input.explain_into(catalog, depth + 1, out);
             }
@@ -328,7 +330,10 @@ mod tests {
         let price = c.lookup("price").unwrap();
         let total = c.intern("total");
         let plan = RelPlan::Scan("Items".into())
-            .group_aggregate(vec![], vec![AggSpec::new(AggFunc::Sum(price), total).into()])
+            .group_aggregate(
+                vec![],
+                vec![AggSpec::new(AggFunc::Sum(price), total).into()],
+            )
             .sort(vec![SortKey::asc(total)])
             .limit(1);
         let out = execute(&plan, &rels, GroupStrategy::Sort).unwrap();
@@ -361,7 +366,10 @@ mod tests {
         let price = c.lookup("price").unwrap();
         let total = c.intern("total");
         let plan = RelPlan::Scan("Items".into())
-            .group_aggregate(vec![], vec![AggSpec::new(AggFunc::Sum(price), total).into()])
+            .group_aggregate(
+                vec![],
+                vec![AggSpec::new(AggFunc::Sum(price), total).into()],
+            )
             .sort(vec![SortKey::asc(total)]);
         let text = plan.explain(&c);
         assert!(text.contains("Sort"));

@@ -284,7 +284,14 @@ pub fn eager_plan(
     // Final recombination per query aggregate.
     let all_counts: Vec<AttrId> = count_cols.iter().flatten().copied().collect();
     let mut final_plan = finalize_aggregate(plan, task, catalog, |ctx| {
-        Some(recombine(ctx, &ins, &keys, &partial_col, &count_cols, &all_counts))
+        Some(recombine(
+            ctx,
+            &ins,
+            &keys,
+            &partial_col,
+            &count_cols,
+            &all_counts,
+        ))
     })?;
     if !task.having.is_empty() {
         final_plan = final_plan.select(task.having.clone());
@@ -524,8 +531,12 @@ mod tests {
         let task = revenue_task(&mut c);
         let naive = naive_plan(&task, &mut c, &schemas).unwrap();
         let eager = eager_plan(&task, &mut c, &schemas).unwrap();
-        let a = execute(&naive, &rels, GroupStrategy::Sort).unwrap().canonical();
-        let b = execute(&eager, &rels, GroupStrategy::Hash).unwrap().canonical();
+        let a = execute(&naive, &rels, GroupStrategy::Sort)
+            .unwrap()
+            .canonical();
+        let b = execute(&eager, &rels, GroupStrategy::Hash)
+            .unwrap()
+            .canonical();
         assert_eq!(a, b);
     }
 
@@ -556,8 +567,12 @@ mod tests {
         let naive = naive_plan(&task, &mut c, &schemas).unwrap();
         let eager = eager_plan(&task, &mut c, &schemas).unwrap();
         assert_eq!(
-            execute(&naive, &rels, GroupStrategy::Sort).unwrap().canonical(),
-            execute(&eager, &rels, GroupStrategy::Sort).unwrap().canonical()
+            execute(&naive, &rels, GroupStrategy::Sort)
+                .unwrap()
+                .canonical(),
+            execute(&eager, &rels, GroupStrategy::Sort)
+                .unwrap()
+                .canonical()
         );
     }
 
@@ -580,8 +595,12 @@ mod tests {
         let naive = naive_plan(&task, &mut c, &schemas).unwrap();
         let eager = eager_plan(&task, &mut c, &schemas).unwrap();
         assert_eq!(
-            execute(&naive, &rels, GroupStrategy::Sort).unwrap().canonical(),
-            execute(&eager, &rels, GroupStrategy::Hash).unwrap().canonical()
+            execute(&naive, &rels, GroupStrategy::Sort)
+                .unwrap()
+                .canonical(),
+            execute(&eager, &rels, GroupStrategy::Hash)
+                .unwrap()
+                .canonical()
         );
     }
 
@@ -634,8 +653,12 @@ mod tests {
         let naive = naive_plan(&task, &mut c, &schemas).unwrap();
         let eager = eager_plan(&task, &mut c, &schemas).unwrap();
         assert_eq!(
-            execute(&naive, &rels, GroupStrategy::Sort).unwrap().canonical(),
-            execute(&eager, &rels, GroupStrategy::Sort).unwrap().canonical()
+            execute(&naive, &rels, GroupStrategy::Sort)
+                .unwrap()
+                .canonical(),
+            execute(&eager, &rels, GroupStrategy::Sort)
+                .unwrap()
+                .canonical()
         );
     }
 }

@@ -378,7 +378,8 @@ mod tests {
         let b = c.intern("b");
         let rel = Relation::from_rows(
             Schema::new(vec![a, b]),
-            rows.iter().map(|&(x, y)| vec![Value::Int(x), Value::Int(y)]),
+            rows.iter()
+                .map(|&(x, y)| vec![Value::Int(x), Value::Int(y)]),
         );
         (c, rel)
     }

@@ -20,10 +20,7 @@ impl Schema {
     /// columns with the same attribute.
     pub fn new(attrs: Vec<AttrId>) -> Self {
         for (i, a) in attrs.iter().enumerate() {
-            assert!(
-                !attrs[..i].contains(a),
-                "duplicate attribute {a} in schema"
-            );
+            assert!(!attrs[..i].contains(a), "duplicate attribute {a} in schema");
         }
         Schema { attrs }
     }

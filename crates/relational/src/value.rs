@@ -186,6 +186,10 @@ pub enum Number {
     Float(f64),
 }
 
+// `add`/`mul` intentionally shadow the operator-trait names: callers use
+// them as explicit widening combinators, and the `Ord`-less `f64` payload
+// makes full operator impls misleading.
+#[allow(clippy::should_implement_trait)]
 impl Number {
     /// Additive identity.
     pub const ZERO: Number = Number::Int(0);

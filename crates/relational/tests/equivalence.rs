@@ -6,9 +6,7 @@
 use fdb_relational::engine::{PlanMode, RdbEngine};
 use fdb_relational::ops::{self, GroupStrategy};
 use fdb_relational::planner::JoinAggTask;
-use fdb_relational::{
-    AggFunc, AggSpec, AttrId, Catalog, Relation, Schema, SortKey, Value,
-};
+use fdb_relational::{AggFunc, AggSpec, AttrId, Catalog, Relation, Schema, SortKey, Value};
 use proptest::prelude::*;
 
 fn rel2(x: AttrId, y: AttrId, rows: &[(i64, i64)]) -> Relation {
@@ -135,18 +133,9 @@ fn eager_three_way_chain_fixed_case() {
     let d = c.intern("d");
     let e_attr = c.intern("e");
     let mut engine = RdbEngine::new(c, GroupStrategy::Hash);
-    engine.register(
-        "R",
-        rel2(a, b, &[(1, 1), (1, 2), (2, 1), (3, 2), (3, 3)]),
-    );
-    engine.register(
-        "S",
-        rel2(b, d, &[(1, 10), (1, 20), (2, 10), (3, 30)]),
-    );
-    engine.register(
-        "T",
-        rel2(d, e_attr, &[(10, 5), (20, 5), (20, 7), (30, 9)]),
-    );
+    engine.register("R", rel2(a, b, &[(1, 1), (1, 2), (2, 1), (3, 2), (3, 3)]));
+    engine.register("S", rel2(b, d, &[(1, 10), (1, 20), (2, 10), (3, 30)]));
+    engine.register("T", rel2(d, e_attr, &[(10, 5), (20, 5), (20, 7), (30, 9)]));
     let s = engine.catalog.intern("sum_e");
     let n = engine.catalog.intern("cnt");
     let task = JoinAggTask {

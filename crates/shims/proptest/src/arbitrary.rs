@@ -1,0 +1,81 @@
+//! `any::<T>()` — canonical strategies for plain types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngCore;
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Strategy generating any value of a primitive type from raw bits.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyPrimitive<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+
+        impl Arbitrary for $ty {
+            type Strategy = AnyPrimitive<$ty>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive::default()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive::default()
+    }
+}
+
+impl Strategy for AnyPrimitive<char> {
+    type Value = char;
+
+    fn generate(&self, rng: &mut TestRng) -> char {
+        crate::string::pattern(".{1,1}")
+            .generate(rng)
+            .chars()
+            .next()
+            .unwrap_or('a')
+    }
+}
+
+impl Arbitrary for char {
+    type Strategy = AnyPrimitive<char>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive::default()
+    }
+}

@@ -1,0 +1,71 @@
+//! String generation from the `.{lo,hi}` pattern shape.
+//!
+//! Upstream treats `&str` strategies as full regexes. This shim
+//! recognises the one shape the workspace uses — `.{lo,hi}`, "between
+//! `lo` and `hi` arbitrary characters" — and degrades to printable junk
+//! of bounded length for anything else, which still serves the
+//! robustness tests' purpose (arbitrary non-crashing input).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A compiled string pattern.
+#[derive(Clone, Debug)]
+pub struct StringPattern {
+    min_len: usize,
+    max_len: usize,
+}
+
+/// Compiles `source` into a [`StringPattern`].
+pub fn pattern(source: &str) -> StringPattern {
+    if let Some(rest) = source.strip_prefix(".{") {
+        if let Some(body) = rest.strip_suffix('}') {
+            if let Some((lo, hi)) = body.split_once(',') {
+                if let (Ok(lo), Ok(hi)) = (lo.trim().parse(), hi.trim().parse()) {
+                    if lo <= hi {
+                        return StringPattern {
+                            min_len: lo,
+                            max_len: hi,
+                        };
+                    }
+                }
+            }
+        }
+    }
+    StringPattern {
+        min_len: 0,
+        max_len: 16,
+    }
+}
+
+/// Character classes mixed into generated strings: mostly printable
+/// ASCII (so SQL-ish tokens appear), some whitespace, some multi-byte
+/// unicode to stress lexers.
+fn arbitrary_char(rng: &mut TestRng) -> char {
+    match rng.gen_range(0u32..10) {
+        0..=6 => char::from(rng.gen_range(0x20u8..0x7F)),
+        7 => *[' ', '\t', '\n', '\r'].strategy_pick(rng),
+        8 => *['λ', 'é', '⋈', '𝔽', '☃', '中'].strategy_pick(rng),
+        _ => char::from(rng.gen_range(0u8..0x20)),
+    }
+}
+
+trait Pick<T> {
+    fn strategy_pick(&self, rng: &mut TestRng) -> &T;
+}
+
+impl<T> Pick<T> for [T] {
+    fn strategy_pick(&self, rng: &mut TestRng) -> &T {
+        &self[rng.gen_range(0..self.len())]
+    }
+}
+
+impl Strategy for StringPattern {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let len = rng.gen_range(self.min_len..=self.max_len);
+        (0..len).map(|_| arbitrary_char(rng)).collect()
+    }
+}

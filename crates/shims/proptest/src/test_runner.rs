@@ -1,0 +1,128 @@
+//! The case runner: configuration, per-case RNG, and failure reporting.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Mirror of `proptest::test_runner::Config` (the fields this workspace
+/// sets; the rest exist so `..Config::default()` keeps working if more
+/// are added upstream-style).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on rejected (filtered-out) cases before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property does not hold.
+    Fail(String),
+    /// The inputs were rejected (e.g. by `prop_assume!`); try another case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// The RNG handed to strategies. Deterministic per (test name, case).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn for_case(test_name: &str, case: u64) -> Self {
+        let mut hasher = DefaultHasher::new();
+        test_name.hash(&mut hasher);
+        let seed = hasher.finish() ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Explicit reconstruction, for replaying a reported failure.
+    pub fn replay(test_name: &str, case: u64) -> Self {
+        TestRng::for_case(test_name, case)
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Drives `config.cases` generated cases through a property closure.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: Config,
+    name: String,
+}
+
+impl TestRunner {
+    pub fn new(config: Config, name: &str) -> Self {
+        TestRunner {
+            config,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs the property; panics (test failure) on the first failing case.
+    pub fn run_cases(
+        &mut self,
+        mut property: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    ) {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut case = 0u64;
+        while passed < self.config.cases {
+            let mut rng = TestRng::for_case(&self.name, case);
+            match property(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= self.config.max_global_rejects,
+                        "proptest shim: too many rejected cases in `{}`",
+                        self.name
+                    );
+                }
+                Err(TestCaseError::Fail(message)) => panic!(
+                    "proptest shim: property `{}` failed at case {case}\n\
+                     (replay with TestRng::replay({:?}, {case}))\n{message}",
+                    self.name, self.name
+                ),
+            }
+            case += 1;
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! The shim harness itself must fail failing properties and replay
+//! deterministically — otherwise a green workspace suite proves nothing.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generated_values_respect_strategies(
+        x in 2i64..7,
+        (a, b) in (0u8..4, 10usize..=12),
+        v in prop::collection::vec(0i64..3, 1..5),
+        pick in prop::sample::select(vec!["r", "s", "t"]),
+        opt in prop::option::of(0u32..2),
+        flags in prop::collection::vec(any::<bool>(), 32),
+        s in ".{0,12}",
+    ) {
+        prop_assert!((2..7).contains(&x));
+        prop_assert!(a < 4 && (10..=12).contains(&b));
+        prop_assert!(!v.is_empty() && v.len() < 5 && v.iter().all(|e| (0..3).contains(e)));
+        prop_assert!(["r", "s", "t"].contains(&pick));
+        prop_assert!(opt.is_none_or(|o| o < 2));
+        prop_assert_eq!(flags.len(), 32);
+        prop_assert!(s.chars().count() <= 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_fails_the_test(x in 0i64..10) {
+        prop_assert!(x > 100, "x was {x}");
+    }
+
+    #[test]
+    fn early_return_ok_is_accepted(x in 0i64..10) {
+        if x < 100 {
+            return Ok(());
+        }
+        prop_assert!(false, "unreachable for this strategy");
+    }
+}
+
+#[test]
+fn cases_replay_deterministically() {
+    use proptest::strategy::Strategy;
+    use proptest::test_runner::TestRng;
+
+    let strat = (0i64..1000, 0i64..1000);
+    let mut a = TestRng::replay("some_test", 3);
+    let mut b = TestRng::replay("some_test", 3);
+    assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    let mut c = TestRng::replay("some_test", 4);
+    assert_ne!(
+        (0i64..1_000_000_000).generate(&mut TestRng::replay("some_test", 3)),
+        (0i64..1_000_000_000).generate(&mut c),
+    );
+}

@@ -136,19 +136,13 @@ pub fn generate(catalog: &mut Catalog, cfg: &OrdersConfig) -> OrdersDataset {
     for p in 0..n_packages {
         let k = binomial(&mut rng, n_items, p_item).max(1);
         let chosen = distinct_sample(&mut rng, n_items, k);
-        let entry: Vec<(u32, i64)> = chosen
-            .iter()
-            .map(|&i| (i, prices[i as usize]))
-            .collect();
+        let entry: Vec<(u32, i64)> = chosen.iter().map(|&i| (i, prices[i as usize])).collect();
         for &(i, _) in &entry {
             package_rows.push(vec![Value::Int(p as i64), Value::Int(i as i64)]);
         }
         package_items.insert(p, entry);
     }
-    let packages = Relation::from_rows(
-        Schema::new(vec![attrs.package, attrs.item]),
-        package_rows,
-    );
+    let packages = Relation::from_rows(Schema::new(vec![attrs.package, attrs.item]), package_rows);
 
     // Orders(customer, date, package): per customer a binomial number of
     // order dates (mean 80·s = 10% of dates), two orders per order date on

@@ -159,11 +159,10 @@ mod tests {
         let out = fdb_relational::ops::group_aggregate(
             &j2,
             &[db.attrs.customer],
-            &[fdb_relational::AggSpec::new(
-                fdb_relational::AggFunc::Sum(db.attrs.price),
-                rev,
-            )
-            .into()],
+            &[
+                fdb_relational::AggSpec::new(fdb_relational::AggFunc::Sum(db.attrs.price), rev)
+                    .into(),
+            ],
             fdb_relational::GroupStrategy::Sort,
         );
         let rows: Vec<(String, i64)> = out

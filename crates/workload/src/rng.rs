@@ -38,7 +38,9 @@ mod tests {
     fn binomial_mean_is_np() {
         let mut rng = StdRng::seed_from_u64(7);
         let trials = 2000;
-        let total: u64 = (0..trials).map(|_| binomial(&mut rng, 40, 0.5) as u64).sum();
+        let total: u64 = (0..trials)
+            .map(|_| binomial(&mut rng, 40, 0.5) as u64)
+            .sum();
         let mean = total as f64 / trials as f64;
         assert!((mean - 20.0).abs() < 1.0, "mean {mean}");
     }

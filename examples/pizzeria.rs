@@ -40,8 +40,13 @@ fn main() {
     let item_node = rep.ftree().node_of_attr(a.item).unwrap();
     let sumprice = catalog.intern("sumprice");
     let target = AggTarget::subtree(rep.ftree(), item_node);
-    let s = ops::aggregate(rep.clone(), &target, vec![AggOp::Sum(a.price)], vec![sumprice])
-        .expect("γ sum(price) over the item subtree");
+    let s = ops::aggregate(
+        rep.clone(),
+        &target,
+        vec![AggOp::Sum(a.price)],
+        vec![sumprice],
+    )
+    .expect("γ sum(price) over the item subtree");
     println!("f-tree T2:\n{}", s.ftree().display(&catalog));
     println!("factorisation:\n{}\n", s.display(&catalog));
 
@@ -53,14 +58,16 @@ fn main() {
     let p = ops::swap(s, n_date, n_cust).expect("χ(date, customer)");
     let n_pizza = p.ftree().node(n_cust).parent.unwrap();
     let p = ops::swap(p, n_pizza, n_cust).expect("χ(pizza, customer)");
-    println!("f-tree T3 (customer pushed to the root):\n{}", p.ftree().display(&catalog));
+    println!(
+        "f-tree T3 (customer pushed to the root):\n{}",
+        p.ftree().display(&catalog)
+    );
 
     // Count order dates per (customer, pizza) (T3 → T4).
     let n_date = p.ftree().node_of_attr(a.date).unwrap();
     let countdate = catalog.intern("countdate");
     let target = AggTarget::subtree(p.ftree(), n_date);
-    let p = ops::aggregate(p, &target, vec![AggOp::Count], vec![countdate])
-        .expect("γ count(date)");
+    let p = ops::aggregate(p, &target, vec![AggOp::Count], vec![countdate]).expect("γ count(date)");
     println!("f-tree T4:\n{}", p.ftree().display(&catalog));
     println!("factorisation over T4:\n{}\n", p.display(&catalog));
 

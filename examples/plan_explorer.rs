@@ -55,7 +55,10 @@ fn main() {
         };
         let gplan = greedy(rep.ftree(), &spec, &stats, &mut catalog).expect("greedy plan");
         println!("greedy f-plan:\n{}", gplan.display(&catalog));
-        println!("greedy plan cost: {:.1}", plan_cost(rep.ftree(), &gplan, &stats));
+        println!(
+            "greedy plan cost: {:.1}",
+            plan_cost(rep.ftree(), &gplan, &stats)
+        );
 
         spec.final_outputs = vec![catalog.fresh("revenue")];
         match exhaustive(

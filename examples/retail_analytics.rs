@@ -85,7 +85,10 @@ fn main() {
         ..task
     };
     let top = fdb.run_default(&task).unwrap().to_relation().unwrap();
-    println!("\ntop-5 customers by revenue:\n{}", top.display(&fdb.catalog));
+    println!(
+        "\ntop-5 customers by revenue:\n{}",
+        top.display(&fdb.catalog)
+    );
 
     // ---- Average item price per package ----------------------------
     let mean = fdb.catalog.intern("avg_item_price");
@@ -125,9 +128,21 @@ fn main() {
     // T supports (package, date, item) and (package, item, date) without
     // restructuring; (date, package, item) needs one swap (Experiment 4).
     for keys in [
-        vec![SortKey::asc(a.package), SortKey::asc(a.date), SortKey::asc(a.item)],
-        vec![SortKey::asc(a.package), SortKey::asc(a.item), SortKey::asc(a.date)],
-        vec![SortKey::asc(a.date), SortKey::asc(a.package), SortKey::asc(a.item)],
+        vec![
+            SortKey::asc(a.package),
+            SortKey::asc(a.date),
+            SortKey::asc(a.item),
+        ],
+        vec![
+            SortKey::asc(a.package),
+            SortKey::asc(a.item),
+            SortKey::asc(a.date),
+        ],
+        vec![
+            SortKey::asc(a.date),
+            SortKey::asc(a.package),
+            SortKey::asc(a.item),
+        ],
     ] {
         let names: Vec<String> = keys
             .iter()

@@ -15,11 +15,7 @@ use fdb::Catalog;
 use proptest::prelude::*;
 
 /// Builds the chain-join database R(a,b), S(b,c), T(c,d).
-fn chain_db(
-    r_rows: &[(i64, i64)],
-    s_rows: &[(i64, i64)],
-    t_rows: &[(i64, i64)],
-) -> EnginePair {
+fn chain_db(r_rows: &[(i64, i64)], s_rows: &[(i64, i64)], t_rows: &[(i64, i64)]) -> EnginePair {
     let mut catalog = Catalog::new();
     let a = catalog.intern("a");
     let b = catalog.intern("b");

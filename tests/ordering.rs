@@ -86,7 +86,7 @@ fn alternative_supported_order_is_free() {
 }
 
 #[test]
-fn unsupported_order_restructures_then_streams(){
+fn unsupported_order_restructures_then_streams() {
     // (date, package, item) needs one swap (Q12).
     let (mut e, ds) = orders_engine(1);
     let a = ds.attrs;
@@ -216,9 +216,7 @@ fn q13_partial_resort_of_orders_trie() {
     // date, package): one swap; the package lists stay sorted.
     let (mut e, ds) = orders_engine(1);
     let a = ds.attrs;
-    let mut r3 = ds
-        .orders
-        .project_cols(&[a.date, a.customer, a.package]);
+    let mut r3 = ds.orders.project_cols(&[a.date, a.customer, a.package]);
     r3.sort_by_keys(&[
         SortKey::asc(a.date),
         SortKey::asc(a.customer),

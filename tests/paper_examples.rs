@@ -19,12 +19,7 @@ fn example1_query_s_price_of_each_ordered_pizza() {
     assert_eq!(out.len(), 5);
     let by_pizza: Vec<(String, i64)> = out
         .rows()
-        .map(|r| {
-            (
-                r[2].as_str().unwrap().to_string(),
-                r[3].as_int().unwrap(),
-            )
-        })
+        .map(|r| (r[2].as_str().unwrap().to_string(), r[3].as_int().unwrap()))
         .collect();
     for (pizza, total) in by_pizza {
         let expected = match pizza.as_str() {
@@ -99,8 +94,7 @@ fn full_join_count() {
 #[test]
 fn total_revenue_scalar() {
     let mut e = pizzeria_engines();
-    let out =
-        e.assert_all_agree("SELECT SUM(price) AS total FROM Orders, Pizzas, Items");
+    let out = e.assert_all_agree("SELECT SUM(price) AS total FROM Orders, Pizzas, Items");
     // 8 + 8 + 9 + 9 + 6 = 40.
     assert_eq!(out.row(0)[0], Value::Int(40));
 }
@@ -119,11 +113,7 @@ fn min_max_avg_per_pizza() {
         .unwrap();
     assert_eq!(
         caps,
-        vec![
-            Value::Int(1),
-            Value::Int(6),
-            Value::Float(8.0 / 3.0)
-        ]
+        vec![Value::Int(1), Value::Int(6), Value::Float(8.0 / 3.0)]
     );
 }
 
@@ -208,13 +198,8 @@ fn distinct_projection_via_group_by() {
 #[test]
 fn count_distinct_packages_per_customer() {
     let mut e = pizzeria_engines();
-    let out = e.assert_all_agree(
-        "SELECT customer, COUNT(*) AS orders FROM Orders GROUP BY customer",
-    );
-    let mario = out
-        .rows()
-        .find(|r| r[0].as_str() == Some("Mario"))
-        .unwrap()[1]
-        .clone();
+    let out =
+        e.assert_all_agree("SELECT customer, COUNT(*) AS orders FROM Orders GROUP BY customer");
+    let mario = out.rows().find(|r| r[0].as_str() == Some("Mario")).unwrap()[1].clone();
     assert_eq!(mario, Value::Int(3));
 }

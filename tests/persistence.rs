@@ -45,9 +45,8 @@ fn save_and_reload_view_then_query() {
         .unwrap();
 
     // Attribute ids differ across catalogs; compare the tuple data.
-    let tuples = |r: &fdb::Relation| -> Vec<Vec<Value>> {
-        r.rows().map(|row| row.to_vec()).collect()
-    };
+    let tuples =
+        |r: &fdb::Relation| -> Vec<Vec<Value>> { r.rows().map(|row| row.to_vec()).collect() };
     assert_eq!(tuples(&expected), tuples(&got));
     assert!(!got.is_empty());
 }
@@ -76,9 +75,7 @@ fn pizzeria_view_through_a_file() {
         fresh.load_view("R", std::io::BufReader::new(file)).unwrap();
     }
     std::fs::remove_file(&path).ok();
-    let out = fresh
-        .run_sql("SELECT SUM(price) AS total FROM R")
-        .unwrap();
+    let out = fresh.run_sql("SELECT SUM(price) AS total FROM R").unwrap();
     assert_eq!(out.row(0)[0], Value::Int(40));
 }
 

@@ -2,8 +2,8 @@
 //! factorised engine, export the answer as CSV — the adoption path a
 //! downstream user of the library would take.
 
-use fdb::relational::csv::{read_csv, write_csv};
 use fdb::core::engine::FdbEngine;
+use fdb::relational::csv::{read_csv, write_csv};
 use fdb::Catalog;
 
 const ORDERS_CSV: &str = "\
@@ -60,10 +60,7 @@ fn csv_to_sql_to_csv() {
     let mut buf = Vec::new();
     write_csv(&out, &engine.catalog, &mut buf).unwrap();
     let text = String::from_utf8(buf).unwrap();
-    assert_eq!(
-        text,
-        "customer,revenue\nMario,22\nLucia,9\nPietro,9\n"
-    );
+    assert_eq!(text, "customer,revenue\nMario,22\nLucia,9\nPietro,9\n");
 }
 
 #[test]

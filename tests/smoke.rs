@@ -1,0 +1,55 @@
+//! Workspace smoke test: the `fdb` facade re-exports (`FRep`, `FTree`,
+//! `FdbEngine`, `parse`, `Catalog`, …) must compose end-to-end without
+//! reaching into the underlying crates by name.
+
+use fdb::{parse, Catalog, FRep, FTree, FdbEngine, Relation, Schema, Value};
+
+#[test]
+fn facade_reexports_compose_end_to_end() {
+    let mut catalog = Catalog::new();
+    let item = catalog.intern("item");
+    let price = catalog.intern("price");
+    let items = Relation::from_rows(
+        Schema::new(vec![item, price]),
+        [("base", 6), ("ham", 1), ("salami", 4)]
+            .into_iter()
+            .map(|(i, p)| vec![Value::str(i), Value::Int(p)]),
+    );
+
+    // Factorisation core: factorise over a path f-tree and round-trip.
+    let rep = FRep::from_relation(&items, FTree::path(&[item, price])).unwrap();
+    assert!(rep.check_invariants().is_ok());
+    assert_eq!(rep.tuple_count(), items.len());
+    assert_eq!(rep.flatten().canonical(), items.clone().canonical());
+
+    // Front-end: parse resolves against the engine's registered schemas.
+    let mut engine = FdbEngine::new(catalog);
+    engine.register_relation("Items", items);
+    let schemas = engine.schemas();
+    let query = parse(
+        "SELECT item, SUM(price) AS total FROM Items GROUP BY item ORDER BY total DESC",
+        &mut engine.catalog,
+        &schemas,
+    )
+    .unwrap();
+    assert!(query.is_aggregate());
+
+    // Engine: SQL in, relation out, through the factorised pipeline.
+    let out = engine
+        .run_sql("SELECT SUM(price) AS total FROM Items")
+        .unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.row(0)[0], Value::Int(11));
+}
+
+#[test]
+fn facade_module_reexports_are_reachable() {
+    // The module-level re-exports carry the deeper APIs.
+    let mut catalog = fdb::Catalog::new();
+    let x = catalog.intern("x");
+    let tree = fdb::core::FTree::path(&[x]);
+    assert_eq!(tree.roots().len(), 1);
+    let pizzeria = fdb::workload::pizzeria::pizzeria(&mut catalog);
+    assert!(!pizzeria.orders.is_empty());
+    assert!(fdb::relational::Value::Int(1) < fdb::relational::Value::Int(2));
+}
