@@ -12,6 +12,10 @@ use fdb_relational::GroupStrategy;
 use fdb_workload::orders::OrdersConfig;
 
 fn env_at(scale: u32) -> fdb_bench::BenchEnv {
+    env_at_threads(scale, 1)
+}
+
+fn env_at_threads(scale: u32, threads: usize) -> fdb_bench::BenchEnv {
     BenchSetup {
         config: OrdersConfig {
             scale,
@@ -19,6 +23,7 @@ fn env_at(scale: u32) -> fdb_bench::BenchEnv {
             seed: 0xFDB,
         },
         materialise_flat: true,
+        threads,
     }
     .build()
 }
@@ -92,6 +97,28 @@ fn agg_ord_on_view(c: &mut Criterion) {
     group.finish();
 }
 
+/// Thread-sweep variant of Figure 5: the AGG queries at 1/2/4 workers,
+/// for tracking the parallel speedup (or its absence on small data).
+fn agg_thread_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_agg_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let mut env = env_at_threads(1, threads);
+        let attrs = env.attrs;
+        let queries = paper_queries(&mut env.fdb.catalog, &attrs);
+        env.rdb_sort.catalog = env.fdb.catalog.clone();
+        for q in queries.iter().filter(|q| q.name == "Q2" || q.name == "Q5") {
+            group.bench_function(format!("{}_fdb_t{}", q.name, threads), |b| {
+                b.iter(|| env.run_fdb_flat(&q.task))
+            });
+            group.bench_function(format!("{}_rdb_sort_t{}", q.name, threads), |b| {
+                b.iter(|| env.run_rdb(&q.task, GroupStrategy::Sort, PlanMode::Naive))
+            });
+        }
+    }
+    group.finish();
+}
+
 /// Figure 8: ORD queries with and without LIMIT 10.
 fn ord_queries(c: &mut Criterion) {
     let mut env = env_at(1);
@@ -123,6 +150,7 @@ criterion_group!(
     agg_on_view,
     agg_on_flat_input,
     agg_ord_on_view,
+    agg_thread_sweep,
     ord_queries
 );
 criterion_main!(figures);

@@ -46,6 +46,31 @@ fn micro(c: &mut Criterion) {
         })
     });
 
+    // Parallel counterparts of the recursive evaluators: the entries of
+    // the top union are fanned out to the fdb-exec pool.
+    for threads in [2usize, 4] {
+        group.bench_function(
+            format!("count_over_{singletons}_singletons_t{threads}"),
+            |b| {
+                b.iter(|| {
+                    let unions: Vec<&fdb_core::Union> = rep.roots().iter().collect();
+                    fdb_core::agg::eval_op_par(rep.ftree(), &unions, &AggOp::Count, threads)
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_function(
+            format!("sum_over_{singletons}_singletons_t{threads}"),
+            |b| {
+                b.iter(|| {
+                    let unions: Vec<&fdb_core::Union> = rep.roots().iter().collect();
+                    fdb_core::agg::eval_op_par(rep.ftree(), &unions, &AggOp::Sum(a.price), threads)
+                        .unwrap()
+                })
+            },
+        );
+    }
+
     group.bench_function("swap_package_date", |b| {
         let root = rep.ftree().roots()[0];
         let date_node = rep.ftree().node(root).children[0];
@@ -101,6 +126,25 @@ fn micro(c: &mut Criterion) {
             BatchSize::LargeInput,
         )
     });
+
+    // The aggregation operator with one pool task per group (per parent
+    // union entry).
+    for threads in [2usize, 4] {
+        group.bench_function(format!("aggregate_items_subtree_t{threads}"), |b| {
+            let item_node = rep.ftree().node_of_attr(a.item).unwrap();
+            let mut freshen = catalog.clone();
+            let out = freshen.fresh("bench_sum_par");
+            b.iter_batched(
+                || rep.clone(),
+                |r| {
+                    let target = ops::AggTarget::subtree(r.ftree(), item_node);
+                    ops::aggregate_par(r, &target, vec![AggOp::Sum(a.price)], vec![out], threads)
+                        .unwrap()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
 
     group.finish();
 }

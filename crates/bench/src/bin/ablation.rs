@@ -15,7 +15,7 @@
 //!
 //! `cargo run --release -p fdb-bench --bin ablation -- --scale 4`
 
-use fdb_bench::{median_secs, paper_queries, print_row, Args, BenchSetup};
+use fdb_bench::{median_secs, paper_queries, Args, BenchSetup};
 use fdb_core::engine::{ConsolidateMode, PlanStrategy, RunOptions};
 use fdb_core::ftree::AggOp;
 use fdb_core::optim::{exhaustive, greedy, tree_cost, ExhaustiveConfig, QuerySpec, Stats};
@@ -26,6 +26,7 @@ use fdb_workload::orders::OrdersConfig;
 fn main() {
     let args = Args::parse(2, 2);
     let scale = args.scale;
+    let mut emit = args.emitter();
     println!("# Ablations at scale {scale}");
     let mut env = BenchSetup {
         config: OrdersConfig {
@@ -34,6 +35,7 @@ fn main() {
             seed: 0xFDB,
         },
         materialise_flat: true,
+        threads: args.threads,
     }
     .build();
     let attrs = env.attrs;
@@ -48,6 +50,7 @@ fn main() {
                 RunOptions {
                     strategy: PlanStrategy::Greedy,
                     consolidate: ConsolidateMode::Never,
+                    threads: env.threads,
                 },
             )
             .unwrap()
@@ -55,7 +58,7 @@ fn main() {
             .unwrap()
             .len()
     });
-    print_row(
+    emit.row(
         "ablation",
         scale,
         "Q2",
@@ -80,7 +83,7 @@ fn main() {
         }
         n
     });
-    print_row("ablation", scale, "Q2", "no partial aggregation", t_raw, "");
+    emit.row("ablation", scale, "Q2", "no partial aggregation", t_raw, "");
 
     // --- 2. Restructure vs re-sort (Q12's order) --------------------
     let order = vec![
@@ -93,14 +96,14 @@ fn main() {
         let rep = fdb_core::orderby::restructure_for_order(rep, &order).unwrap();
         rep.singleton_count()
     });
-    print_row("ablation", scale, "Q12", "restructure (swap)", t_swap, "");
+    emit.row("ablation", scale, "Q12", "restructure (swap)", t_swap, "");
     let (_, t_sort) = median_secs(args.repeats, || {
         let rep = env.fdb.view("R1").unwrap();
         let mut flat = rep.flatten();
         flat.sort_by_keys(&order);
         flat.len()
     });
-    print_row("ablation", scale, "Q12", "flatten + full sort", t_sort, "");
+    emit.row("ablation", scale, "Q12", "flatten + full sort", t_sort, "");
 
     // --- 3. Greedy vs exhaustive plan cost --------------------------
     let rep = env.fdb.view("R1").unwrap().clone();
@@ -128,7 +131,7 @@ fn main() {
     let (gplan, t_g) = median_secs(args.repeats, || {
         greedy(rep.ftree(), &spec, &stats, &mut env.fdb.catalog).unwrap()
     });
-    print_row(
+    emit.row(
         "ablation",
         scale,
         "Q2-plan",
@@ -147,7 +150,7 @@ fn main() {
         )
         .unwrap()
     });
-    print_row(
+    emit.row(
         "ablation",
         scale,
         "Q2-plan",
@@ -155,4 +158,5 @@ fn main() {
         t_x,
         &format!("cost={:.1} ops={}", plan_cost(&xplan), xplan.len()),
     );
+    emit.finish();
 }

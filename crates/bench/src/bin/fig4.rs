@@ -9,13 +9,14 @@
 //!
 //! `cargo run --release -p fdb-bench --bin fig4 -- --max-scale 8`
 
-use fdb_bench::{median_secs, paper_queries, print_row, Args, BenchSetup};
+use fdb_bench::{median_secs, paper_queries, Args, BenchSetup};
 use fdb_relational::engine::PlanMode;
 use fdb_relational::GroupStrategy;
 use fdb_workload::orders::OrdersConfig;
 
 fn main() {
     let args = Args::parse(1, 4);
+    let mut emit = args.emitter();
     println!("# Figure 4: wall-clock time vs database scale for Q2 and Q3");
     println!("# engines: FDB (factorised view) | RDB sort (SQLite-like) | RDB hash (PSQL-like)");
     for scale in args.sweep() {
@@ -26,6 +27,7 @@ fn main() {
                 seed: 0xFDB,
             },
             materialise_flat: true,
+            threads: args.threads,
         }
         .build();
         println!(
@@ -38,15 +40,16 @@ fn main() {
         env.rdb_hash.catalog = env.fdb.catalog.clone();
         for q in queries.iter().filter(|q| q.name == "Q2" || q.name == "Q3") {
             let (n, t) = median_secs(args.repeats, || env.run_fdb_flat(&q.task));
-            print_row("4", scale, q.name, "FDB", t, &format!("rows={n}"));
+            emit.row("4", scale, q.name, "FDB", t, &format!("rows={n}"));
             let (n, t) = median_secs(args.repeats, || {
                 env.run_rdb(&q.task, GroupStrategy::Sort, PlanMode::Naive)
             });
-            print_row("4", scale, q.name, "RDB sort", t, &format!("rows={n}"));
+            emit.row("4", scale, q.name, "RDB sort", t, &format!("rows={n}"));
             let (n, t) = median_secs(args.repeats, || {
                 env.run_rdb(&q.task, GroupStrategy::Hash, PlanMode::Naive)
             });
-            print_row("4", scale, q.name, "RDB hash", t, &format!("rows={n}"));
+            emit.row("4", scale, q.name, "RDB hash", t, &format!("rows={n}"));
         }
     }
+    emit.finish();
 }

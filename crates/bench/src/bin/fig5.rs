@@ -7,8 +7,13 @@
 //! relational baselines.
 //!
 //! `cargo run --release -p fdb-bench --bin fig5 -- --scale 8`
+//!
+//! `--threads N` runs both engine families on an N-worker pool;
+//! `--json PATH` additionally writes the rows as a machine-readable
+//! results file (`BENCH_s1.json` in the repo root is the recorded
+//! `--scale 1 --threads 1` baseline).
 
-use fdb_bench::{median_secs, paper_queries, print_row, Args, BenchSetup, QueryClass};
+use fdb_bench::{median_secs, paper_queries, Args, BenchSetup, QueryClass};
 use fdb_relational::engine::PlanMode;
 use fdb_relational::GroupStrategy;
 use fdb_workload::orders::OrdersConfig;
@@ -16,6 +21,7 @@ use fdb_workload::orders::OrdersConfig;
 fn main() {
     let args = Args::parse(4, 4);
     let scale = args.scale;
+    let mut emit = args.emitter();
     println!("# Figure 5: AGG queries on the materialised view R1 at scale {scale}");
     let mut env = BenchSetup {
         config: OrdersConfig {
@@ -24,11 +30,12 @@ fn main() {
             seed: 0xFDB,
         },
         materialise_flat: true,
+        threads: args.threads,
     }
     .build();
     println!(
-        "# flat view {} tuples, factorised view {} singletons",
-        env.flat_tuples, env.view_singletons
+        "# flat view {} tuples, factorised view {} singletons, {} worker thread(s)",
+        env.flat_tuples, env.view_singletons, env.threads
     );
     let attrs = env.attrs;
     let queries = paper_queries(&mut env.fdb.catalog, &attrs);
@@ -36,16 +43,17 @@ fn main() {
     env.rdb_hash.catalog = env.fdb.catalog.clone();
     for q in queries.iter().filter(|q| q.class == QueryClass::Agg) {
         let (n, t) = median_secs(args.repeats, || env.run_fdb_fo(&q.task));
-        print_row("5", scale, q.name, "FDB f/o", t, &format!("singletons={n}"));
+        emit.row("5", scale, q.name, "FDB f/o", t, &format!("singletons={n}"));
         let (n, t) = median_secs(args.repeats, || env.run_fdb_flat(&q.task));
-        print_row("5", scale, q.name, "FDB", t, &format!("rows={n}"));
+        emit.row("5", scale, q.name, "FDB", t, &format!("rows={n}"));
         let (n, t) = median_secs(args.repeats, || {
             env.run_rdb(&q.task, GroupStrategy::Sort, PlanMode::Naive)
         });
-        print_row("5", scale, q.name, "RDB sort", t, &format!("rows={n}"));
+        emit.row("5", scale, q.name, "RDB sort", t, &format!("rows={n}"));
         let (n, t) = median_secs(args.repeats, || {
             env.run_rdb(&q.task, GroupStrategy::Hash, PlanMode::Naive)
         });
-        print_row("5", scale, q.name, "RDB hash", t, &format!("rows={n}"));
+        emit.row("5", scale, q.name, "RDB hash", t, &format!("rows={n}"));
     }
+    emit.finish();
 }

@@ -10,7 +10,7 @@
 //! `cargo run --release -p fdb-bench --bin fig6 -- --scale 4`
 
 use fdb_bench::queries::flat_input_agg_queries;
-use fdb_bench::{median_secs, print_row, Args, BenchSetup};
+use fdb_bench::{median_secs, Args, BenchSetup};
 use fdb_relational::engine::PlanMode;
 use fdb_relational::GroupStrategy;
 use fdb_workload::orders::OrdersConfig;
@@ -18,6 +18,7 @@ use fdb_workload::orders::OrdersConfig;
 fn main() {
     let args = Args::parse(2, 2);
     let scale = args.scale;
+    let mut emit = args.emitter();
     println!("# Figure 6: AGG queries on flat input (no materialised view) at scale {scale}");
     let mut env = BenchSetup {
         config: OrdersConfig {
@@ -26,6 +27,7 @@ fn main() {
             seed: 0xFDB,
         },
         materialise_flat: false,
+        threads: args.threads,
     }
     .build();
     let attrs = env.attrs;
@@ -34,9 +36,9 @@ fn main() {
     env.rdb_hash.catalog = env.fdb.catalog.clone();
     for q in &queries {
         let (n, t) = median_secs(args.repeats, || env.run_fdb_fo(&q.task));
-        print_row("6", scale, q.name, "FDB f/o", t, &format!("singletons={n}"));
+        emit.row("6", scale, q.name, "FDB f/o", t, &format!("singletons={n}"));
         let (n, t) = median_secs(args.repeats, || env.run_fdb_flat(&q.task));
-        print_row("6", scale, q.name, "FDB", t, &format!("rows={n}"));
+        emit.row("6", scale, q.name, "FDB", t, &format!("rows={n}"));
         for (engine, strategy) in [
             ("RDB sort", GroupStrategy::Sort),
             ("RDB hash", GroupStrategy::Hash),
@@ -44,11 +46,11 @@ fn main() {
             let (n, t) = median_secs(args.repeats, || {
                 env.run_rdb(&q.task, strategy, PlanMode::Naive)
             });
-            print_row("6", scale, q.name, engine, t, &format!("rows={n}"));
+            emit.row("6", scale, q.name, engine, t, &format!("rows={n}"));
             let (n, t) = median_secs(args.repeats, || {
                 env.run_rdb(&q.task, strategy, PlanMode::Eager)
             });
-            print_row(
+            emit.row(
                 "6",
                 scale,
                 q.name,
@@ -58,4 +60,5 @@ fn main() {
             );
         }
     }
+    emit.finish();
 }

@@ -8,7 +8,7 @@
 //!
 //! `cargo run --release -p fdb-bench --bin fig7 -- --scale 8`
 
-use fdb_bench::{median_secs, paper_queries, print_row, Args, BenchSetup, QueryClass};
+use fdb_bench::{median_secs, paper_queries, Args, BenchSetup, QueryClass};
 use fdb_relational::engine::PlanMode;
 use fdb_relational::GroupStrategy;
 use fdb_workload::orders::OrdersConfig;
@@ -16,6 +16,7 @@ use fdb_workload::orders::OrdersConfig;
 fn main() {
     let args = Args::parse(4, 4);
     let scale = args.scale;
+    let mut emit = args.emitter();
     println!("# Figure 7: AGG+ORD queries on the materialised view R1 at scale {scale}");
     let mut env = BenchSetup {
         config: OrdersConfig {
@@ -24,6 +25,7 @@ fn main() {
             seed: 0xFDB,
         },
         materialise_flat: true,
+        threads: args.threads,
     }
     .build();
     let attrs = env.attrs;
@@ -32,14 +34,15 @@ fn main() {
     env.rdb_hash.catalog = env.fdb.catalog.clone();
     for q in queries.iter().filter(|q| q.class == QueryClass::AggOrd) {
         let (n, t) = median_secs(args.repeats, || env.run_fdb_flat(&q.task));
-        print_row("7", scale, q.name, "FDB", t, &format!("rows={n}"));
+        emit.row("7", scale, q.name, "FDB", t, &format!("rows={n}"));
         let (n, t) = median_secs(args.repeats, || {
             env.run_rdb(&q.task, GroupStrategy::Sort, PlanMode::Naive)
         });
-        print_row("7", scale, q.name, "RDB sort", t, &format!("rows={n}"));
+        emit.row("7", scale, q.name, "RDB sort", t, &format!("rows={n}"));
         let (n, t) = median_secs(args.repeats, || {
             env.run_rdb(&q.task, GroupStrategy::Hash, PlanMode::Naive)
         });
-        print_row("7", scale, q.name, "RDB hash", t, &format!("rows={n}"));
+        emit.row("7", scale, q.name, "RDB hash", t, &format!("rows={n}"));
     }
+    emit.finish();
 }

@@ -11,12 +11,13 @@
 //!
 //! `cargo run --release -p fdb-bench --bin fig8 -- --scale 8`
 
-use fdb_bench::{median_secs, paper_queries, print_row, Args, BenchSetup, QueryClass};
+use fdb_bench::{median_secs, paper_queries, Args, BenchSetup, QueryClass};
 use fdb_workload::orders::OrdersConfig;
 
 fn main() {
     let args = Args::parse(4, 4);
     let scale = args.scale;
+    let mut emit = args.emitter();
     println!("# Figure 8: ORD queries ± LIMIT 10 on materialised views at scale {scale}");
     let mut env = BenchSetup {
         config: OrdersConfig {
@@ -25,6 +26,7 @@ fn main() {
             seed: 0xFDB,
         },
         materialise_flat: true,
+        threads: args.threads,
     }
     .build();
     let attrs = env.attrs;
@@ -37,7 +39,7 @@ fn main() {
             task.limit = limit;
             let engine_suffix = if limit.is_some() { " lim" } else { "" };
             let (n, t) = median_secs(args.repeats, || env.run_fdb_flat(&task));
-            print_row(
+            emit.row(
                 "8",
                 scale,
                 q.name,
@@ -48,7 +50,7 @@ fn main() {
             let keys = task.order_by.clone();
             let input = q.input;
             let (n, t) = median_secs(args.repeats, || env.run_rdb_ord(input, &keys, limit));
-            print_row(
+            emit.row(
                 "8",
                 scale,
                 q.name,
@@ -58,4 +60,5 @@ fn main() {
             );
         }
     }
+    emit.finish();
 }

@@ -37,13 +37,18 @@ pub fn print_row(figure: &str, scale: u32, query: &str, engine: &str, seconds: f
     );
 }
 
-/// Parses `--scale N`, `--max-scale N`, `--repeats N`, `--customers N`
-/// from argv with defaults; unknown flags abort with usage.
+/// Parses `--scale N`, `--max-scale N`, `--repeats N`, `--customers N`,
+/// `--threads N`, `--json PATH` from argv with defaults; unknown flags
+/// abort with usage.
 pub struct Args {
     pub scale: u32,
     pub max_scale: u32,
     pub repeats: usize,
     pub customers: u32,
+    /// Worker threads for both engines (1 = serial, 0 = machine).
+    pub threads: usize,
+    /// Optional path for a machine-readable JSON results file.
+    pub json: Option<String>,
 }
 
 impl Args {
@@ -53,6 +58,8 @@ impl Args {
             max_scale: default_max,
             repeats: 3,
             customers: 100,
+            threads: 1,
+            json: None,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -86,8 +93,23 @@ impl Args {
                     args.customers = need_value(i) as u32;
                     i += 2;
                 }
+                "--threads" => {
+                    args.threads = need_value(i) as usize;
+                    i += 2;
+                }
+                "--json" => {
+                    let path = argv.get(i + 1).unwrap_or_else(|| {
+                        eprintln!("missing value for --json");
+                        std::process::exit(2);
+                    });
+                    args.json = Some(path.clone());
+                    i += 2;
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: [--scale N] [--max-scale N] [--repeats N] [--customers N]");
+                    eprintln!(
+                        "usage: [--scale N] [--max-scale N] [--repeats N] [--customers N] \
+                         [--threads N] [--json PATH]"
+                    );
                     std::process::exit(0);
                 }
                 other => {
@@ -109,6 +131,116 @@ impl Args {
         }
         out
     }
+
+    /// An [`Emitter`] honouring this invocation's `--json` flag. The
+    /// report records the *resolved* worker count (`--threads 0` means
+    /// "use the machine"), so results files compare like against like.
+    pub fn emitter(&self) -> Emitter {
+        Emitter {
+            json_path: self.json.clone(),
+            threads: fdb_exec::effective_threads(self.threads),
+            repeats: self.repeats,
+            rows: Vec::new(),
+        }
+    }
+}
+
+/// Prints the greppable rows and, when `--json PATH` was given, records
+/// them for a machine-readable results file (the perf-trajectory
+/// format: `BENCH_s1.json` in the repository root is the recorded
+/// baseline).
+#[derive(Debug)]
+pub struct Emitter {
+    json_path: Option<String>,
+    threads: usize,
+    repeats: usize,
+    rows: Vec<JsonRow>,
+}
+
+#[derive(Debug)]
+struct JsonRow {
+    figure: String,
+    scale: u32,
+    query: String,
+    engine: String,
+    seconds: f64,
+    note: String,
+}
+
+impl Emitter {
+    /// Prints one row and records it for the JSON report.
+    pub fn row(
+        &mut self,
+        figure: &str,
+        scale: u32,
+        query: &str,
+        engine: &str,
+        seconds: f64,
+        note: &str,
+    ) {
+        print_row(figure, scale, query, engine, seconds, note);
+        self.rows.push(JsonRow {
+            figure: figure.to_string(),
+            scale,
+            query: query.to_string(),
+            engine: engine.to_string(),
+            seconds,
+            note: note.to_string(),
+        });
+    }
+
+    /// Renders the recorded rows as a JSON document.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"repeats\": {},", self.repeats);
+        let _ = writeln!(out, "  \"rows\": [");
+        for (i, r) in self.rows.iter().enumerate() {
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"figure\": \"{}\", \"scale\": {}, \"query\": \"{}\", \
+                 \"engine\": \"{}\", \"seconds\": {:.6}, \"note\": \"{}\"}}{comma}",
+                json_escape(&r.figure),
+                r.scale,
+                json_escape(&r.query),
+                json_escape(&r.engine),
+                r.seconds,
+                json_escape(&r.note),
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        out.push('}');
+        out.push('\n');
+        out
+    }
+
+    /// Writes the JSON report if `--json PATH` was given; call last.
+    pub fn finish(self) {
+        if let Some(path) = &self.json_path {
+            std::fs::write(path, self.to_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            println!("# json results written to {path}");
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -131,5 +263,32 @@ mod tests {
         let (v, t) = time_secs(|| 40 + 2);
         assert_eq!(v, 42);
         assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn emitter_renders_escaped_json() {
+        let mut e = Emitter {
+            json_path: None,
+            threads: 4,
+            repeats: 3,
+            rows: Vec::new(),
+        };
+        e.row("5", 1, "Q1", "FDB f/o", 0.001234, "singletons=\"7\"");
+        e.row("5", 1, "Q1", "RDB sort", 0.01, "");
+        let json = e.to_json();
+        assert!(json.contains("\"threads\": 4"), "{json}");
+        assert!(json.contains("\"engine\": \"FDB f/o\""), "{json}");
+        assert!(json.contains("singletons=\\\"7\\\""), "{json}");
+        assert!(json.contains("\"seconds\": 0.001234"), "{json}");
+        // A comma after the first row object, none after the last.
+        assert_eq!(json.matches("\"}},").count(), 0);
+        assert_eq!(json.matches("\"}\n").count(), 1);
+        assert_eq!(json.matches("\"},\n").count(), 1);
+    }
+
+    #[test]
+    fn json_escape_handles_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 }

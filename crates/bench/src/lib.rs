@@ -19,6 +19,6 @@ pub mod harness;
 pub mod queries;
 pub mod setup;
 
-pub use harness::{median_secs, print_row, time_secs, Args};
+pub use harness::{median_secs, print_row, time_secs, Args, Emitter};
 pub use queries::{paper_queries, PaperQuery, QueryClass};
 pub use setup::{BenchEnv, BenchSetup};

@@ -27,6 +27,8 @@ pub struct BenchEnv {
     pub flat_tuples: usize,
     /// Size of the factorised view in singletons (4.2M at s=32).
     pub view_singletons: usize,
+    /// Worker threads for both engine families (1 = serial).
+    pub threads: usize,
 }
 
 /// What to materialise (the ORD experiment needs the flat views; the AGG
@@ -38,6 +40,9 @@ pub struct BenchSetup {
     /// Materialise the flat join for the relational engines (skipped when
     /// only factorised inputs are needed — it dominates setup time).
     pub materialise_flat: bool,
+    /// Worker threads for both engine families (1 = serial, 0 = machine),
+    /// so FDB-vs-RDB comparisons stay fair under parallelism.
+    pub threads: usize,
 }
 
 impl BenchSetup {
@@ -45,11 +50,13 @@ impl BenchSetup {
         BenchSetup {
             config: OrdersConfig::at_scale(scale),
             materialise_flat: true,
+            threads: 1,
         }
     }
 
     /// Builds the environment.
     pub fn build(&self) -> BenchEnv {
+        let threads = fdb_exec::effective_threads(self.threads);
         let mut catalog = Catalog::new();
         let ds = generate(&mut catalog, &self.config);
         let a = ds.attrs;
@@ -74,9 +81,10 @@ impl BenchSetup {
             ]);
             r
         };
-        let r3_rep = FRep::from_relation(
+        let r3_rep = FRep::from_relation_with(
             &r3_flat,
             fdb_core::FTree::path(&[a.date, a.customer, a.package]),
+            threads,
         )
         .expect("orders trie");
         fdb.register_view("R3", r3_rep);
@@ -84,6 +92,8 @@ impl BenchSetup {
         // Relational side.
         let mut rdb_sort = RdbEngine::new(catalog.clone(), GroupStrategy::Sort);
         let mut rdb_hash = RdbEngine::new(catalog.clone(), GroupStrategy::Hash);
+        rdb_sort.threads = threads;
+        rdb_hash.threads = threads;
         for rdb in [&mut rdb_sort, &mut rdb_hash] {
             rdb.register("Orders", ds.orders.clone());
             rdb.register("Packages", ds.packages.clone());
@@ -112,22 +122,30 @@ impl BenchSetup {
             rdb_hash,
             flat_tuples,
             view_singletons,
+            threads,
         }
     }
 }
 
 impl BenchEnv {
+    /// Run options honouring the environment's thread count.
+    fn run_opts(&self) -> fdb_core::RunOptions {
+        fdb_core::RunOptions::with_threads(self.threads)
+    }
+
     /// Runs a task on FDB with flat output, returning the tuple count
     /// (forces full enumeration, like the paper's `FDB` timings).
     pub fn run_fdb_flat(&mut self, task: &JoinAggTask) -> usize {
-        let result = self.fdb.run_default(task).expect("fdb plans");
+        let opts = self.run_opts();
+        let result = self.fdb.run(task, opts).expect("fdb plans");
         result.to_relation().expect("fdb enumerates").len()
     }
 
     /// Runs a task on FDB keeping the output factorised (`FDB f/o`),
     /// returning the singleton count of the result.
     pub fn run_fdb_fo(&mut self, task: &JoinAggTask) -> usize {
-        let result = self.fdb.run_default(task).expect("fdb plans");
+        let opts = self.run_opts();
+        let result = self.fdb.run(task, opts).expect("fdb plans");
         result.singleton_count()
     }
 
@@ -159,7 +177,7 @@ impl BenchEnv {
                 None => stored.clone().len(),
             };
         }
-        let out: Relation = fdb_relational::ops::order_by(stored, keys);
+        let out: Relation = fdb_relational::ops::order_by_par(stored, keys, self.threads);
         match limit {
             Some(k) => fdb_relational::ops::limit(&out, k).len(),
             None => out.len(),
@@ -181,6 +199,7 @@ mod tests {
                 seed: 5,
             },
             materialise_flat: true,
+            threads: 1,
         }
         .build()
     }

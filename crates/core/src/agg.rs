@@ -8,11 +8,44 @@
 //! `s`; compositions outside Proposition 2 — e.g. a `count` over a `sum`
 //! singleton, whose cardinality is unrecoverable — are reported as
 //! [`FdbError::InvalidComposition`].
+//!
+//! Every evaluator exists in a serial form and a `_par` form that
+//! partitions the top union's entries over an [`fdb_exec`] pool. The
+//! per-entry contributions are always combined **in entry order**, so
+//! the parallel evaluators return bit-identical results to the serial
+//! ones for every thread count — including floating-point sums, whose
+//! addition order never changes.
 
 use crate::error::{FdbError, Result};
-use crate::frep::Union;
+use crate::frep::{Entry, Union};
 use crate::ftree::{AggLabel, AggOp, FTree, NodeId, NodeLabel};
 use fdb_relational::{Number, Value};
+
+/// Evaluates `term` for every entry and folds the results in entry
+/// order with `combine` — serially for `threads <= 1`, on the pool
+/// otherwise. Because the fold order is fixed, both paths return the
+/// same value bit for bit.
+fn fold_entries<A, T>(
+    threads: usize,
+    entries: &[Entry],
+    init: A,
+    term: impl Fn(&Entry) -> Result<T> + Sync,
+    mut combine: impl FnMut(A, T) -> A,
+) -> Result<A>
+where
+    T: Send,
+{
+    if threads <= 1 || entries.len() < 2 {
+        let mut acc = init;
+        for e in entries {
+            acc = combine(acc, term(e)?);
+        }
+        return Ok(acc);
+    }
+    let refs: Vec<&Entry> = entries.iter().collect();
+    let terms = fdb_exec::try_parallel_map(threads, refs, term)?;
+    Ok(terms.into_iter().fold(init, combine))
+}
 
 /// True if the subtree rooted at `node` can feed the aggregation `op`:
 /// it exposes the aggregated attribute atomically, or holds a compatible
@@ -59,43 +92,64 @@ fn component(label: &AggLabel, value: &Value, i: usize) -> Value {
 
 /// `count(E)` — cardinality of the relation represented by union `u`.
 pub fn count_union(ftree: &FTree, u: &Union) -> Result<i64> {
+    count_union_par(ftree, u, 1)
+}
+
+/// [`count_union`] with the top union's entries partitioned over
+/// `threads` workers; identical result for every thread count.
+pub fn count_union_par(ftree: &FTree, u: &Union, threads: usize) -> Result<i64> {
     let label = &ftree.node(u.node).label;
-    let mut total: i64 = 0;
-    for e in &u.entries {
-        let mut prod = entry_multiplicity(label, &e.value)?;
-        for c in &e.children {
-            prod = prod.wrapping_mul(count_union(ftree, c)?);
-        }
-        total = total.wrapping_add(prod);
-    }
-    Ok(total)
+    fold_entries(
+        threads,
+        &u.entries,
+        0i64,
+        |e| {
+            let mut prod = entry_multiplicity(label, &e.value)?;
+            for c in &e.children {
+                prod = prod.wrapping_mul(count_union(ftree, c)?);
+            }
+            Ok(prod)
+        },
+        i64::wrapping_add,
+    )
 }
 
 /// `sumA(E)` over union `u`, which must provide `A`.
 pub fn sum_union(ftree: &FTree, u: &Union, op: &AggOp) -> Result<Number> {
+    sum_union_par(ftree, u, op, 1)
+}
+
+/// [`sum_union`] with the top union's entries partitioned over
+/// `threads` workers. Per-entry terms are added in entry order, so even
+/// float sums match the serial result bit for bit.
+pub fn sum_union_par(ftree: &FTree, u: &Union, op: &AggOp, threads: usize) -> Result<Number> {
     let attr = op.attr().expect("sum has an attribute");
     let label = &ftree.node(u.node).label;
     let node_provides = match label {
         NodeLabel::Atomic(attrs) => attrs.contains(&attr),
         NodeLabel::Agg(l) => l.component_of(op).is_some(),
     };
-    let mut total = Number::ZERO;
     if node_provides {
-        for e in &u.entries {
-            let v = match label {
-                NodeLabel::Atomic(_) => e.value.clone(),
-                NodeLabel::Agg(l) => component(l, &e.value, l.component_of(op).unwrap()),
-            };
-            let n = v
-                .as_number()
-                .ok_or_else(|| FdbError::NonNumeric(format!("sum over non-numeric value {v}")))?;
-            let mut mult: i64 = 1;
-            for c in &e.children {
-                mult = mult.wrapping_mul(count_union(ftree, c)?);
-            }
-            total = total.add(n.mul(Number::Int(mult)));
-        }
-        return Ok(total);
+        return fold_entries(
+            threads,
+            &u.entries,
+            Number::ZERO,
+            |e| {
+                let v = match label {
+                    NodeLabel::Atomic(_) => e.value.clone(),
+                    NodeLabel::Agg(l) => component(l, &e.value, l.component_of(op).unwrap()),
+                };
+                let n = v.as_number().ok_or_else(|| {
+                    FdbError::NonNumeric(format!("sum over non-numeric value {v}"))
+                })?;
+                let mut mult: i64 = 1;
+                for c in &e.children {
+                    mult = mult.wrapping_mul(count_union(ftree, c)?);
+                }
+                Ok(n.mul(Number::Int(mult)))
+            },
+            Number::add,
+        );
     }
     // Exactly one child subtree provides A (attributes partition the
     // schema); the others contribute their cardinalities.
@@ -108,25 +162,54 @@ pub fn sum_union(ftree: &FTree, u: &Union, op: &AggOp) -> Result<Number> {
                 "no subtree provides {op:?}; a prior aggregate hid the attribute"
             ))
         })?;
-    for e in &u.entries {
-        let mut mult = entry_multiplicity(label, &e.value)?;
-        for (k, c) in e.children.iter().enumerate() {
-            if k != j {
-                mult = mult.wrapping_mul(count_union(ftree, c)?);
+    fold_entries(
+        threads,
+        &u.entries,
+        Number::ZERO,
+        |e| {
+            let mut mult = entry_multiplicity(label, &e.value)?;
+            for (k, c) in e.children.iter().enumerate() {
+                if k != j {
+                    mult = mult.wrapping_mul(count_union(ftree, c)?);
+                }
             }
-        }
-        let s = sum_union(ftree, &e.children[j], op)?;
-        total = total.add(s.mul(Number::Int(mult)));
-    }
-    Ok(total)
+            let s = sum_union(ftree, &e.children[j], op)?;
+            Ok(s.mul(Number::Int(mult)))
+        },
+        Number::add,
+    )
 }
 
 /// `minA(E)` / `maxA(E)` over union `u`, which must provide `A`.
 pub fn extremum_union(ftree: &FTree, u: &Union, op: &AggOp) -> Result<Value> {
+    extremum_union_par(ftree, u, op, 1)
+}
+
+/// [`extremum_union`] with the top union's entries partitioned over
+/// `threads` workers; candidates are compared in entry order, so ties
+/// resolve exactly as in the serial scan.
+pub fn extremum_union_par(ftree: &FTree, u: &Union, op: &AggOp, threads: usize) -> Result<Value> {
     let is_min = matches!(op, AggOp::Min(_));
     let attr = op.attr().expect("min/max has an attribute");
     let label = &ftree.node(u.node).label;
-    match label {
+    let pick = move |best: Option<Value>, v: Value| -> Option<Value> {
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                if is_min {
+                    v < *b
+                } else {
+                    v > *b
+                }
+            }
+        };
+        if better {
+            Some(v)
+        } else {
+            best
+        }
+    };
+    let best = match label {
         NodeLabel::Atomic(attrs) if attrs.contains(&attr) => {
             // Entries are sorted ascending: the extremum is at an end.
             let e = if is_min {
@@ -135,28 +218,16 @@ pub fn extremum_union(ftree: &FTree, u: &Union, op: &AggOp) -> Result<Value> {
                 u.entries.last()
             };
             e.map(|e| e.value.clone())
-                .ok_or_else(|| FdbError::InvalidOperator("extremum of an empty union".into()))
         }
         NodeLabel::Agg(l) if l.component_of(op).is_some() => {
             let i = l.component_of(op).unwrap();
-            let mut best: Option<Value> = None;
-            for e in &u.entries {
-                let v = component(l, &e.value, i);
-                let better = match &best {
-                    None => true,
-                    Some(b) => {
-                        if is_min {
-                            v < *b
-                        } else {
-                            v > *b
-                        }
-                    }
-                };
-                if better {
-                    best = Some(v);
-                }
-            }
-            best.ok_or_else(|| FdbError::InvalidOperator("extremum of an empty union".into()))
+            fold_entries(
+                threads,
+                &u.entries,
+                None,
+                |e| Ok(component(l, &e.value, i)),
+                pick,
+            )?
         }
         _ => {
             let children = &ftree.node(u.node).children;
@@ -168,36 +239,33 @@ pub fn extremum_union(ftree: &FTree, u: &Union, op: &AggOp) -> Result<Value> {
                         "no subtree provides {op:?}; a prior aggregate hid the attribute"
                     ))
                 })?;
-            let mut best: Option<Value> = None;
-            for e in &u.entries {
-                let v = extremum_union(ftree, &e.children[j], op)?;
-                let better = match &best {
-                    None => true,
-                    Some(b) => {
-                        if is_min {
-                            v < *b
-                        } else {
-                            v > *b
-                        }
-                    }
-                };
-                if better {
-                    best = Some(v);
-                }
-            }
-            best.ok_or_else(|| FdbError::InvalidOperator("extremum of an empty union".into()))
+            fold_entries(
+                threads,
+                &u.entries,
+                None,
+                |e| extremum_union(ftree, &e.children[j], op),
+                pick,
+            )?
         }
-    }
+    };
+    best.ok_or_else(|| FdbError::InvalidOperator("extremum of an empty union".into()))
 }
 
 /// Evaluates one aggregation function over a *product* of sibling unions
 /// (the expression an aggregation operator replaces, §3.2).
 pub fn eval_op(ftree: &FTree, unions: &[&Union], op: &AggOp) -> Result<Value> {
+    eval_op_par(ftree, unions, op, 1)
+}
+
+/// [`eval_op`] with the recursive evaluators parallelised over the top
+/// unions' entries on `threads` workers; identical result for every
+/// thread count.
+pub fn eval_op_par(ftree: &FTree, unions: &[&Union], op: &AggOp, threads: usize) -> Result<Value> {
     match op {
         AggOp::Count => {
             let mut prod: i64 = 1;
             for u in unions {
-                prod = prod.wrapping_mul(count_union(ftree, u)?);
+                prod = prod.wrapping_mul(count_union_par(ftree, u, threads)?);
             }
             Ok(Value::Int(prod))
         }
@@ -208,10 +276,10 @@ pub fn eval_op(ftree: &FTree, unions: &[&Union], op: &AggOp) -> Result<Value> {
                 .ok_or_else(|| {
                     FdbError::InvalidComposition(format!("no factor provides {op:?}"))
                 })?;
-            let mut total = sum_union(ftree, unions[j], op)?;
+            let mut total = sum_union_par(ftree, unions[j], op, threads)?;
             for (k, u) in unions.iter().enumerate() {
                 if k != j {
-                    total = total.mul(Number::Int(count_union(ftree, u)?));
+                    total = total.mul(Number::Int(count_union_par(ftree, u, threads)?));
                 }
             }
             Ok(total.into_value())
@@ -223,7 +291,7 @@ pub fn eval_op(ftree: &FTree, unions: &[&Union], op: &AggOp) -> Result<Value> {
                 .ok_or_else(|| {
                     FdbError::InvalidComposition(format!("no factor provides {op:?}"))
                 })?;
-            extremum_union(ftree, unions[j], op)
+            extremum_union_par(ftree, unions[j], op, threads)
         }
     }
 }
@@ -231,9 +299,19 @@ pub fn eval_op(ftree: &FTree, unions: &[&Union], op: &AggOp) -> Result<Value> {
 /// Evaluates a composite function `(F1,…,Fk)` over a product of unions,
 /// returning a scalar when `k = 1` and a `Tup` otherwise (§3.2.4).
 pub fn eval_funcs(ftree: &FTree, unions: &[&Union], funcs: &[AggOp]) -> Result<Value> {
+    eval_funcs_par(ftree, unions, funcs, 1)
+}
+
+/// [`eval_funcs`] on `threads` workers (see [`eval_op_par`]).
+pub fn eval_funcs_par(
+    ftree: &FTree,
+    unions: &[&Union],
+    funcs: &[AggOp],
+    threads: usize,
+) -> Result<Value> {
     let mut vals = Vec::with_capacity(funcs.len());
     for f in funcs {
-        vals.push(eval_op(ftree, unions, f)?);
+        vals.push(eval_op_par(ftree, unions, f, threads)?);
     }
     Ok(if vals.len() == 1 {
         vals.pop().unwrap()
@@ -371,6 +449,43 @@ mod tests {
         let mx = extremum_union(rep.ftree(), &rep.roots()[0], &AggOp::Max(price)).unwrap();
         assert_eq!(mn, Value::Int(1));
         assert_eq!(mx, Value::Int(6));
+    }
+
+    #[test]
+    fn parallel_evaluators_match_serial_bit_for_bit() {
+        // Mixed int/float prices: the in-entry-order fold must keep even
+        // the float addition sequence identical to the serial scan.
+        let mut c = Catalog::new();
+        let item = c.intern("item");
+        let price = c.intern("price");
+        let rel = Relation::from_rows(
+            Schema::new(vec![item, price]),
+            (0..40).map(|i| {
+                let p = if i % 3 == 0 {
+                    Value::Float(0.1 * i as f64)
+                } else {
+                    Value::Int(i)
+                };
+                vec![Value::Int(i), p]
+            }),
+        );
+        let rep = FRep::from_relation(&rel, FTree::path(&[item, price])).unwrap();
+        let u = &rep.roots()[0];
+        let t = rep.ftree();
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(
+                count_union_par(t, u, threads).unwrap(),
+                count_union(t, u).unwrap()
+            );
+            for op in [AggOp::Sum(price), AggOp::Min(price), AggOp::Max(price)] {
+                let unions = [u];
+                assert_eq!(
+                    eval_op_par(t, &unions, &op, threads).unwrap(),
+                    eval_op(t, &unions, &op).unwrap(),
+                    "op={op:?} threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -51,6 +51,12 @@ pub enum ConsolidateMode {
 pub struct RunOptions {
     pub strategy: PlanStrategy,
     pub consolidate: ConsolidateMode,
+    /// Worker threads for f-representation construction, aggregation
+    /// operators and the sort fallback. `1` (the default) is the exact
+    /// serial path; `0` means "use the machine"
+    /// ([`std::thread::available_parallelism`]). Results are identical
+    /// for every thread count (see `fdb-exec`).
+    pub threads: usize,
 }
 
 impl Default for RunOptions {
@@ -58,6 +64,17 @@ impl Default for RunOptions {
         RunOptions {
             strategy: PlanStrategy::Greedy,
             consolidate: ConsolidateMode::Auto,
+            threads: 1,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Default options with the given worker-thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        RunOptions {
+            threads,
+            ..RunOptions::default()
         }
     }
 }
@@ -106,6 +123,9 @@ pub struct FdbResult {
     limit: Option<usize>,
     /// The executed f-plan (for EXPLAIN-style introspection).
     plan: crate::plan::FPlan,
+    /// Worker threads for enumeration-time work (the sort fallback),
+    /// resolved from the [`RunOptions`] that produced this result.
+    threads: usize,
 }
 
 impl FdbResult {
@@ -246,7 +266,7 @@ impl FdbResult {
             }
         }
         if !self.order_in_tree && !self.order_by.is_empty() {
-            out.sort_by_keys(&self.order_by);
+            out.sort_by_keys_par(&self.order_by, self.threads);
         }
         if let Some(k) = self.limit {
             if out.len() > k {
@@ -414,7 +434,9 @@ impl FdbEngine {
 
     /// Plans and executes `task` on factorised inputs.
     pub fn run(&mut self, task: &JoinAggTask, opts: RunOptions) -> Result<FdbResult> {
-        let (rep, stats, mut selections, natural_attrs) = self.build_input(&task.inputs)?;
+        let threads = fdb_exec::effective_threads(opts.threads);
+        let (rep, stats, mut selections, natural_attrs) =
+            self.build_input(&task.inputs, threads)?;
 
         let mut const_preds = Vec::new();
         for p in &task.predicates {
@@ -564,7 +586,7 @@ impl FdbEngine {
             plan = greedy(rep.ftree(), &spec, &stats, &mut self.catalog);
         }
         let plan = plan?;
-        let mut result_rep = plan.execute(rep)?;
+        let mut result_rep = plan.execute_with(rep, threads)?;
 
         // HAVING: push what we can into the factorisation as selections;
         // the rest (e.g. conditions on avg) filters rows at emission.
@@ -626,6 +648,7 @@ impl FdbEngine {
             row_filters,
             limit: task.limit,
             plan,
+            threads,
         })
     }
 
@@ -638,6 +661,7 @@ impl FdbEngine {
     fn build_input(
         &mut self,
         inputs: &[String],
+        threads: usize,
     ) -> Result<(FRep, Stats, Vec<(AttrId, AttrId)>, Vec<AttrId>)> {
         if inputs.is_empty() {
             return Err(FdbError::Unresolved("query has no inputs".into()));
@@ -686,7 +710,7 @@ impl FdbEngine {
                     .filter(|&a| shared(a, i))
                     .collect();
                 order.extend(schemas[i].iter().copied().filter(|&a| !shared(a, i)));
-                FRep::from_relation(rel, FTree::path(&order))?
+                FRep::from_relation_with(rel, FTree::path(&order), threads)?
             };
             let size = rep.tuple_count();
             // Shadow attributes already seen: rename in this input's copy
@@ -1015,6 +1039,7 @@ mod tests {
                 RunOptions {
                     strategy: PlanStrategy::Exhaustive(ExhaustiveConfig::default()),
                     consolidate: ConsolidateMode::Auto,
+                    ..RunOptions::default()
                 },
             )
             .unwrap()
@@ -1034,6 +1059,7 @@ mod tests {
                 RunOptions {
                     strategy: PlanStrategy::Greedy,
                     consolidate: ConsolidateMode::Never,
+                    ..RunOptions::default()
                 },
             )
             .unwrap()
@@ -1046,6 +1072,7 @@ mod tests {
                 RunOptions {
                     strategy: PlanStrategy::Greedy,
                     consolidate: ConsolidateMode::Always,
+                    ..RunOptions::default()
                 },
             )
             .unwrap()

@@ -110,6 +110,16 @@ impl FRep {
     /// `debug_assert`ed here, and guaranteed by construction when the
     /// f-plan operators build the branching themselves.
     pub fn from_relation(rel: &Relation, ftree: FTree) -> Result<FRep> {
+        Self::from_relation_with(rel, ftree, 1)
+    }
+
+    /// [`FRep::from_relation`] with construction partitioned over the
+    /// leading union: the root-level grouping is computed once, then the
+    /// child factorisations of the root entries are built on up to
+    /// `threads` workers. Grouping is order-deterministic (`BTreeMap`),
+    /// so the result is identical for every thread count; `threads <= 1`
+    /// is exactly the serial build.
+    pub fn from_relation_with(rel: &Relation, ftree: FTree, threads: usize) -> Result<FRep> {
         let mut col_of: BTreeMap<AttrId, usize> = BTreeMap::new();
         for n in ftree.live_nodes() {
             match &ftree.node(n).label {
@@ -138,7 +148,7 @@ impl FRep {
         let roots = ftree
             .roots()
             .iter()
-            .map(|&r| build_union(rel, &ftree, r, &all_rows, &col_of))
+            .map(|&r| build_union_par(rel, &ftree, r, &all_rows, &col_of, threads))
             .collect();
         let rep = FRep { ftree, roots };
         debug_assert!(rep.check_invariants().is_ok());
@@ -400,6 +410,21 @@ fn build_union(
     rows: &[usize],
     col_of: &BTreeMap<AttrId, usize>,
 ) -> Union {
+    build_union_par(rel, ftree, node, rows, col_of, 1)
+}
+
+/// Builds one union, fanning the children of the node's entries (the
+/// leading union's groups) out to `threads` workers. Recursive builds
+/// below the top level stay serial — the root fan-out already exposes
+/// all the parallelism the data has.
+fn build_union_par(
+    rel: &Relation,
+    ftree: &FTree,
+    node: NodeId,
+    rows: &[usize],
+    col_of: &BTreeMap<AttrId, usize>,
+    threads: usize,
+) -> Union {
     let attr = match &ftree.node(node).label {
         NodeLabel::Atomic(attrs) => attrs[0],
         NodeLabel::Agg(_) => unreachable!("checked by from_relation"),
@@ -410,16 +435,19 @@ fn build_union(
         groups.entry(rel.row(r)[col].clone()).or_default().push(r);
     }
     let children = ftree.node(node).children.clone();
-    let entries = groups
-        .into_iter()
-        .map(|(value, group)| Entry {
-            children: children
-                .iter()
-                .map(|&c| build_union(rel, ftree, c, &group, col_of))
-                .collect(),
-            value,
-        })
-        .collect();
+    let build_entry = |(value, group): (Value, Vec<usize>)| Entry {
+        children: children
+            .iter()
+            .map(|&c| build_union(rel, ftree, c, &group, col_of))
+            .collect(),
+        value,
+    };
+    let entries = if threads <= 1 || children.is_empty() {
+        groups.into_iter().map(build_entry).collect()
+    } else {
+        let groups: Vec<(Value, Vec<usize>)> = groups.into_iter().collect();
+        fdb_exec::parallel_map(threads, groups, build_entry)
+    };
     Union { node, entries }
 }
 
@@ -468,6 +496,31 @@ mod tests {
         let rep = FRep::from_relation(&rel, t).unwrap();
         assert_eq!(rep.singleton_count(), 5);
         assert_eq!(rep.flatten().canonical(), rel.canonical());
+    }
+
+    #[test]
+    fn parallel_construction_matches_serial() {
+        let mut c = Catalog::new();
+        let x = c.intern("x");
+        let y = c.intern("y");
+        let z = c.intern("z");
+        let rel = Relation::from_rows(
+            Schema::new(vec![x, y, z]),
+            (0..120).map(|i| {
+                vec![
+                    Value::Int(i % 11),
+                    Value::Int((i * 3) % 7),
+                    Value::Int(i % 5),
+                ]
+            }),
+        )
+        .canonical();
+        let serial = FRep::from_relation(&rel, FTree::path(&[x, y, z])).unwrap();
+        for threads in [2, 3, 4, 8] {
+            let par = FRep::from_relation_with(&rel, FTree::path(&[x, y, z]), threads).unwrap();
+            par.check_invariants().unwrap();
+            assert_eq!(par.roots(), serial.roots(), "threads={threads}");
+        }
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! gets a fresh aggregate node in place of the `U` subtrees, and the
 //! dependency sets are extended per Example 5.
 
-use crate::agg::eval_funcs;
 use crate::error::{FdbError, Result};
 use crate::frep::{Entry, FRep, Union};
 use crate::ftree::{AggOp, NodeId};
@@ -42,6 +41,25 @@ pub fn aggregate(
     funcs: Vec<AggOp>,
     outputs: Vec<AttrId>,
 ) -> Result<FRep> {
+    aggregate_par(rep, target, funcs, outputs, 1)
+}
+
+/// [`aggregate`] on up to `threads` workers.
+///
+/// The operator's work is one independent evaluation per entry of the
+/// parent union (per group), so the entries are fanned out to the pool;
+/// each group's aggregate is computed by the unchanged serial evaluators
+/// and the entry list is reassembled in order, making the result
+/// identical for every thread count. A parent union with a single entry
+/// (and the root-level reduction) parallelises *inside* the evaluation
+/// instead, over the target unions' top entries ([`crate::agg`]).
+pub fn aggregate_par(
+    rep: FRep,
+    target: &AggTarget,
+    funcs: Vec<AggOp>,
+    outputs: Vec<AttrId>,
+    threads: usize,
+) -> Result<FRep> {
     if funcs.is_empty() || funcs.len() != outputs.len() {
         return Err(FdbError::InvalidOperator(
             "aggregate needs parallel funcs/outputs".into(),
@@ -68,7 +86,10 @@ pub fn aggregate(
         .collect();
     let insert_at = *positions.iter().min().expect("at least one target");
 
-    let replace = |children: &mut Vec<Union>, tree: &crate::ftree::FTree| -> Result<()> {
+    let replace = |children: &mut Vec<Union>,
+                   tree: &crate::ftree::FTree,
+                   eval_threads: usize|
+     -> Result<()> {
         // Extract target unions (highest position first to keep indices
         // stable), evaluate, insert the aggregate leaf.
         let mut order: Vec<usize> = positions.clone();
@@ -77,7 +98,7 @@ pub fn aggregate(
             order.into_iter().map(|i| (i, children.remove(i))).collect();
         taken.sort_by_key(|(i, _)| *i);
         let unions: Vec<&Union> = taken.iter().map(|(_, u)| u).collect();
-        let value = eval_funcs(tree, &unions, &funcs)?;
+        let value = crate::agg::eval_funcs_par(tree, &unions, &funcs, eval_threads)?;
         children.insert(
             insert_at,
             Union {
@@ -93,8 +114,18 @@ pub fn aggregate(
 
     let roots = match target.parent {
         Some(p) => rewrite_at(&tree, roots, p, &mut |mut up| {
-            for e in up.entries.iter_mut() {
-                replace(&mut e.children, &tree)?;
+            if threads > 1 && up.entries.len() > 1 {
+                // One task per group: take the entries out, evaluate in
+                // parallel, reassemble in order.
+                let entries = std::mem::take(&mut up.entries);
+                up.entries = fdb_exec::try_parallel_map(threads, entries, |mut e| {
+                    replace(&mut e.children, &tree, 1)?;
+                    Ok(e)
+                })?;
+            } else {
+                for e in up.entries.iter_mut() {
+                    replace(&mut e.children, &tree, threads)?;
+                }
             }
             Ok(Some(up))
         })?,
@@ -106,7 +137,7 @@ pub fn aggregate(
                 // empty relation (no groups exist).
                 return Ok(FRep::empty(new_tree));
             }
-            replace(&mut roots, &tree)?;
+            replace(&mut roots, &tree, threads)?;
             roots
         }
     };

@@ -22,7 +22,7 @@ pub mod project;
 pub mod restructure;
 pub mod select;
 
-pub use aggregate::{aggregate, AggTarget};
+pub use aggregate::{aggregate, aggregate_par, AggTarget};
 pub use product::product;
 pub use project::{project_away, remove_leaf, rename};
 pub use restructure::{absorb, merge, swap};

@@ -65,9 +65,16 @@ impl FPlan {
     }
 
     /// Applies the plan to a representation.
-    pub fn execute(&self, mut rep: FRep) -> Result<FRep> {
+    pub fn execute(&self, rep: FRep) -> Result<FRep> {
+        self.execute_with(rep, 1)
+    }
+
+    /// Applies the plan with aggregation operators fanned out to
+    /// `threads` workers (see [`crate::ops::aggregate_par`]); results
+    /// are identical for every thread count.
+    pub fn execute_with(&self, mut rep: FRep, threads: usize) -> Result<FRep> {
         for op in &self.ops {
-            rep = apply(rep, op)?;
+            rep = apply_with(rep, op, threads)?;
         }
         Ok(rep)
     }
@@ -132,6 +139,13 @@ impl FPlan {
 
 /// Applies one operator to a representation.
 pub fn apply(rep: FRep, op: &FOp) -> Result<FRep> {
+    apply_with(rep, op, 1)
+}
+
+/// Applies one operator with aggregation parallelised on `threads`
+/// workers; the structural operators stay serial (they are linear
+/// single-pass rewrites).
+pub fn apply_with(rep: FRep, op: &FOp, threads: usize) -> Result<FRep> {
     match op {
         FOp::SelectConst { attr, op, value } => ops::select_const(rep, *attr, *op, value),
         FOp::Merge { a, b } => ops::merge(rep, *a, *b),
@@ -142,7 +156,7 @@ pub fn apply(rep: FRep, op: &FOp) -> Result<FRep> {
             targets,
             funcs,
             outputs,
-        } => ops::aggregate(
+        } => ops::aggregate_par(
             rep,
             &ops::AggTarget {
                 parent: *parent,
@@ -150,6 +164,7 @@ pub fn apply(rep: FRep, op: &FOp) -> Result<FRep> {
             },
             funcs.clone(),
             outputs.clone(),
+            threads,
         ),
         FOp::ProjectAway { attr } => ops::project_away(rep, *attr),
         FOp::Rename { from, to } => ops::rename(rep, *from, *to),

@@ -1,0 +1,194 @@
+//! # fdb-exec — deterministic data parallelism for f-plan execution
+//!
+//! A dependency-free execution pool built on [`std::thread::scope`]. The
+//! engines use it to partition work over the children of a top-level
+//! union (the natural unit of work in a factorised database) and over
+//! row ranges of flat relations.
+//!
+//! Design rules, chosen so that parallel runs are **differentially
+//! testable** against serial runs:
+//!
+//! * `threads <= 1` (or fewer than two items) takes the exact serial
+//!   code path — bit-identical to a build without this crate;
+//! * results are collected **in input order**, never in completion
+//!   order, so a parallel map is a pure `map` regardless of scheduling;
+//! * fallible maps report the error of the **first failing item in
+//!   input order**, not whichever worker lost the race;
+//! * the thread count only decides which worker computes which slice —
+//!   it never changes how partial results are combined. Callers that
+//!   fold partials must pick a chunking independent of `threads` if
+//!   their combine step is order-sensitive (see `fdb_core::agg`).
+//!
+//! Worker panics are propagated to the caller (the pool does not
+//! swallow them), so `debug_assert!`s inside parallel sections still
+//! fail tests.
+
+use std::num::NonZeroUsize;
+
+/// Hard ceiling on spawned workers per parallel call: far above any
+/// useful oversubscription, far below OS thread limits, so an absurd
+/// `--threads` value degrades instead of aborting the process.
+pub const MAX_WORKERS: usize = 256;
+
+/// Resolves a requested thread count: `0` means "use the machine"
+/// ([`std::thread::available_parallelism`]), anything else is taken
+/// literally up to [`MAX_WORKERS`]. Never returns 0.
+pub fn effective_threads(requested: usize) -> usize {
+    match requested {
+        0 => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n.min(MAX_WORKERS),
+    }
+}
+
+/// Splits `items` into at most `parts` contiguous chunks of
+/// near-equal length, preserving order. `parts` is clamped to at
+/// least 1; fewer chunks are returned when there are fewer items.
+pub fn split_chunks<T>(items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let parts = parts.max(1);
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = n.div_ceil(parts);
+    let mut out = Vec::with_capacity(parts);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Maps `f` over `items` on up to `threads` worker threads, returning
+/// the results **in input order**.
+///
+/// With `threads <= 1` or fewer than two items this is exactly
+/// `items.into_iter().map(f).collect()` on the calling thread.
+pub fn parallel_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if threads <= 1 || items.len() < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunks = split_chunks(items, threads.min(MAX_WORKERS));
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::new();
+        for h in handles {
+            out.extend(h.join().expect("fdb-exec worker panicked"));
+        }
+        out
+    })
+}
+
+/// Fallible [`parallel_map`]: every item is attempted, and on failure
+/// the error of the first failing item **in input order** is returned
+/// (deterministic regardless of scheduling).
+pub fn try_parallel_map<T, R, E, F>(threads: usize, items: Vec<T>, f: F) -> Result<Vec<R>, E>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    F: Fn(T) -> Result<R, E> + Sync,
+{
+    if threads <= 1 || items.len() < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let results = parallel_map(threads, items, f);
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn effective_threads_resolves_zero() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn split_chunks_covers_all_items_in_order() {
+        for parts in 1..8 {
+            for n in 0..20 {
+                let items: Vec<usize> = (0..n).collect();
+                let chunks = split_chunks(items.clone(), parts);
+                assert!(chunks.len() <= parts);
+                let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+                assert_eq!(flat, items, "parts={parts} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        for threads in [1, 2, 3, 4, 7] {
+            let out = parallel_map(threads, (0..100).collect::<Vec<i64>>(), |x| x * 2);
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<i64>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_runs_every_item_once() {
+        let counter = AtomicUsize::new(0);
+        let out = parallel_map(4, (0..57).collect::<Vec<usize>>(), |x| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(out.len(), 57);
+        assert_eq!(counter.load(Ordering::SeqCst), 57);
+    }
+
+    #[test]
+    fn try_parallel_map_reports_first_error_in_input_order() {
+        for threads in [1, 2, 4] {
+            let r: Result<Vec<i64>, String> =
+                try_parallel_map(threads, (0..40).collect::<Vec<i64>>(), |x| {
+                    if x == 7 || x == 31 {
+                        Err(format!("bad {x}"))
+                    } else {
+                        Ok(x)
+                    }
+                });
+            assert_eq!(r, Err("bad 7".to_string()), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn absurd_thread_counts_are_clamped() {
+        assert_eq!(effective_threads(1_000_000), MAX_WORKERS);
+        let out = parallel_map(1_000_000, (0..500).collect::<Vec<i64>>(), |x| x + 1);
+        assert_eq!(out, (1..=500).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let out: Vec<i32> = parallel_map(4, Vec::new(), |x: i32| x);
+        assert!(out.is_empty());
+        let out = parallel_map(4, vec![9], |x: i32| x + 1);
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_propagates() {
+        let _ = parallel_map(2, (0..10).collect::<Vec<i32>>(), |x| {
+            assert!(x != 5, "boom");
+            x
+        });
+    }
+}

@@ -9,7 +9,7 @@
 use crate::attr::Catalog;
 use crate::error::RelError;
 use crate::ops::GroupStrategy;
-use crate::plan::{execute, RelPlan};
+use crate::plan::{execute_with, RelPlan};
 use crate::planner::{eager_plan, naive_plan, JoinAggTask};
 use crate::relation::Relation;
 use crate::schema::Schema;
@@ -31,6 +31,10 @@ pub struct RdbEngine {
     relations: HashMap<String, Relation>,
     /// Default grouping strategy for plans that do not pin one.
     pub strategy: GroupStrategy,
+    /// Worker threads for grouping and sorting (`1` = serial, the
+    /// default; `0` = use the machine). Keeps the FDB-vs-RDB comparison
+    /// fair when the factorised engine runs parallel.
+    pub threads: usize,
 }
 
 impl RdbEngine {
@@ -40,6 +44,7 @@ impl RdbEngine {
             catalog,
             relations: HashMap::new(),
             strategy,
+            threads: 1,
         }
     }
 
@@ -79,7 +84,8 @@ impl RdbEngine {
 
     /// Executes a physical plan.
     pub fn execute(&self, plan: &RelPlan) -> Result<Relation, RelError> {
-        execute(plan, &self.relations, self.strategy)
+        let threads = fdb_exec::effective_threads(self.threads);
+        execute_with(plan, &self.relations, self.strategy, threads)
     }
 
     /// Plans and executes in one step.

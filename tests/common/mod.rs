@@ -32,9 +32,10 @@ impl EnginePair {
         self.rdb_hash.register(name, rel);
     }
 
-    /// Parses `sql`, runs it on all engines and plan modes, and asserts
-    /// that every result is the same set of tuples. Returns the canonical
-    /// result.
+    /// Parses `sql`, runs it on all engines and plan modes **and every
+    /// thread count of [`thread_sweep`]**, and asserts that every result
+    /// is the same set of tuples (the parallel≡serial differential
+    /// oracle). Returns the canonical result.
     pub fn assert_all_agree(&mut self, sql: &str) -> Relation {
         let schemas = self.fdb.schemas();
         let query = fdb::parse(sql, &mut self.fdb.catalog, &schemas)
@@ -43,52 +44,34 @@ impl EnginePair {
         self.rdb_hash.catalog = self.fdb.catalog.clone();
         let task = query.to_task();
 
-        let fdb_default = self
-            .fdb
-            .run_default(&task)
-            .unwrap_or_else(|e| panic!("fdb greedy `{sql}`: {e}"))
-            .to_relation()
-            .unwrap_or_else(|e| panic!("fdb enumerate `{sql}`: {e}"))
-            .canonical();
-        let fdb_never = self
-            .fdb
-            .run(
-                &task,
+        // Every plan flavour of the factorised engine.
+        let flavours: [(&str, RunOptions); 4] = [
+            ("greedy", RunOptions::default()),
+            (
+                "no consolidation",
                 RunOptions {
                     strategy: PlanStrategy::Greedy,
                     consolidate: ConsolidateMode::Never,
+                    ..RunOptions::default()
                 },
-            )
-            .unwrap()
-            .to_relation()
-            .unwrap()
-            .canonical();
-        let fdb_always = self
-            .fdb
-            .run(
-                &task,
+            ),
+            (
+                "consolidated",
                 RunOptions {
                     strategy: PlanStrategy::Greedy,
                     consolidate: ConsolidateMode::Always,
+                    ..RunOptions::default()
                 },
-            )
-            .unwrap()
-            .to_relation()
-            .unwrap()
-            .canonical();
-        let fdb_exhaustive = self
-            .fdb
-            .run(
-                &task,
+            ),
+            (
+                "exhaustive",
                 RunOptions {
                     strategy: PlanStrategy::Exhaustive(ExhaustiveConfig { max_states: 4000 }),
                     consolidate: ConsolidateMode::Auto,
+                    ..RunOptions::default()
                 },
-            )
-            .unwrap()
-            .to_relation()
-            .unwrap()
-            .canonical();
+            ),
+        ];
 
         let rdb_naive = self
             .rdb_sort
@@ -105,13 +88,52 @@ impl EnginePair {
             .run(&task, PlanMode::Eager)
             .unwrap_or_else(|e| panic!("rdb eager `{sql}`: {e}"))
             .canonical();
-
-        assert_eq!(fdb_default, rdb_naive, "fdb vs rdb naive on `{sql}`");
-        assert_eq!(fdb_never, rdb_naive, "fdb (no consolidation) on `{sql}`");
-        assert_eq!(fdb_always, rdb_naive, "fdb (consolidated) on `{sql}`");
-        assert_eq!(fdb_exhaustive, rdb_naive, "fdb exhaustive on `{sql}`");
         assert_eq!(rdb_hash, rdb_naive, "hash vs sort grouping on `{sql}`");
         assert_eq!(rdb_eager, rdb_naive, "eager vs naive on `{sql}`");
+
+        // fdb: every plan flavour × every thread count must reproduce the
+        // relational ground truth.
+        for threads in thread_sweep() {
+            for (name, opts) in &flavours {
+                let opts = RunOptions { threads, ..*opts };
+                let out = self
+                    .fdb
+                    .run(&task, opts)
+                    .unwrap_or_else(|e| panic!("fdb {name} (threads={threads}) `{sql}`: {e}"))
+                    .to_relation()
+                    .unwrap_or_else(|e| {
+                        panic!("fdb {name} (threads={threads}) enumerate `{sql}`: {e}")
+                    })
+                    .canonical();
+                assert_eq!(
+                    out, rdb_naive,
+                    "fdb {name} (threads={threads}) vs rdb naive on `{sql}`"
+                );
+            }
+        }
+
+        // rdb: the parallel baselines must agree with their serial selves.
+        for threads in thread_sweep() {
+            if threads == 1 {
+                continue;
+            }
+            self.rdb_sort.threads = threads;
+            self.rdb_hash.threads = threads;
+            let sort_par = self
+                .rdb_sort
+                .run(&task, PlanMode::Naive)
+                .unwrap()
+                .canonical();
+            let hash_par = self
+                .rdb_hash
+                .run(&task, PlanMode::Naive)
+                .unwrap()
+                .canonical();
+            self.rdb_sort.threads = 1;
+            self.rdb_hash.threads = 1;
+            assert_eq!(sort_par, rdb_naive, "rdb sort (threads={threads}) `{sql}`");
+            assert_eq!(hash_par, rdb_naive, "rdb hash (threads={threads}) `{sql}`");
+        }
         rdb_naive
     }
 
@@ -128,6 +150,21 @@ impl EnginePair {
             .to_relation()
             .unwrap_or_else(|e| panic!("fdb enumerate `{sql}`: {e}"))
     }
+}
+
+/// The worker-thread counts the differential suites sweep: `{1, 2, 4}`
+/// by default. Setting `FDB_TEST_THREADS=N` *replaces* the parallel
+/// part with `{1, N}` — serial stays as the reference — so CI can
+/// exercise an extra, odd count without re-paying the default sweep.
+pub fn thread_sweep() -> Vec<usize> {
+    if let Ok(v) = std::env::var("FDB_TEST_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 1 {
+                return vec![1, n];
+            }
+        }
+    }
+    vec![1, 2, 4]
 }
 
 /// The pizzeria database registered in all engines.

@@ -1,7 +1,10 @@
 //! Property-based equivalence: the factorised engine must agree with the
 //! relational baselines on randomly generated databases and queries, for
 //! every plan flavour (greedy/exhaustive, consolidated or not, sort/hash
-//! grouping, naive/eager aggregation).
+//! grouping, naive/eager aggregation) **and every worker-thread count**
+//! of `common::thread_sweep()` — the parallel≡serial differential
+//! oracle: `threads ∈ {1, 2, 4}` (plus `FDB_TEST_THREADS`) must produce
+//! the same `Relation::canonical` on every database × query × flavour.
 //!
 //! The query corpus covers joins of one to three relations, all five
 //! aggregation functions, grouping by arbitrary subsets, WHERE ranges,
@@ -245,6 +248,44 @@ fn skewed_database_one_hot_key() {
     let mut pair = chain_db(&r, &s, &t);
     for sql in corpus() {
         pair.assert_all_agree(sql);
+    }
+}
+
+#[test]
+fn thread_sweep_on_larger_skewed_database() {
+    // A bigger, heavily skewed database run directly against the engine
+    // (not only through `assert_all_agree`): the parallel runs must match
+    // the serial run for the whole corpus, including the exact order of
+    // ordered results.
+    use fdb::core::engine::RunOptions;
+    let r: Vec<(i64, i64)> = (0..120).map(|i| (i % 13, i % 4)).collect();
+    let s: Vec<(i64, i64)> = (0..150).map(|j| (j % 4, j % 17)).collect();
+    let t: Vec<(i64, i64)> = (0..80).map(|k| (k % 17, k % 9)).collect();
+    let mut pair = chain_db(&r, &s, &t);
+    for sql in corpus() {
+        let schemas = pair.fdb.schemas();
+        let query = fdb::parse(sql, &mut pair.fdb.catalog, &schemas).unwrap();
+        let task = query.to_task();
+        let serial = pair
+            .fdb
+            .run(&task, RunOptions::default())
+            .unwrap()
+            .to_relation()
+            .unwrap();
+        for threads in common::thread_sweep() {
+            if threads == 1 {
+                continue;
+            }
+            let par = pair
+                .fdb
+                .run(&task, RunOptions::with_threads(threads))
+                .unwrap()
+                .to_relation()
+                .unwrap();
+            // Exact equality, not just canonical: parallelism must not
+            // perturb enumeration or sort order.
+            assert_eq!(par, serial, "`{sql}` threads={threads}");
+        }
     }
 }
 

@@ -280,6 +280,102 @@ fn pizzeria_supported_and_unsupported_orders() {
 }
 
 #[test]
+fn parallel_runs_are_deterministic_including_limit_ties() {
+    // Two back-to-back parallel runs with the same seed and threads = 4
+    // must yield byte-identical results — including `ORDER BY … LIMIT`
+    // where several groups tie at the cut, the classic nondeterminism
+    // trap for parallel engines. The dataset is built so that revenue
+    // ties: customers 0..8 pair up with equal totals.
+    use fdb::core::engine::RunOptions;
+    use fdb::relational::{Relation, Schema};
+
+    let build = || {
+        let mut catalog = Catalog::new();
+        let customer = catalog.intern("customer");
+        let order_id = catalog.intern("order_id");
+        let amount = catalog.intern("amount");
+        // customer c gets orders summing to 100 * (c / 2): consecutive
+        // pairs of customers tie exactly.
+        let rows: Vec<Vec<Value>> = (0..8i64)
+            .flat_map(|c| {
+                (0..4i64).map(move |o| {
+                    vec![
+                        Value::Int(c),
+                        Value::Int(c * 10 + o),
+                        Value::Int(25 * (c / 2)),
+                    ]
+                })
+            })
+            .collect();
+        let sales = Relation::from_rows(Schema::new(vec![customer, order_id, amount]), rows);
+        let mut e = FdbEngine::new(catalog);
+        e.register_relation("Sales", sales);
+        e
+    };
+
+    let task = |e: &mut FdbEngine| {
+        let customer = e.catalog.lookup("customer").unwrap();
+        let amount = e.catalog.lookup("amount").unwrap();
+        let revenue = e.catalog.intern("revenue");
+        JoinAggTask {
+            inputs: vec!["Sales".into()],
+            group_by: vec![customer],
+            aggregates: vec![fdb::relational::AggSpec::new(
+                fdb::relational::AggFunc::Sum(amount),
+                revenue,
+            )],
+            order_by: vec![SortKey::desc(revenue), SortKey::asc(customer)],
+            limit: Some(3),
+            ..Default::default()
+        }
+    };
+
+    // Serial reference: threads = 1 on a fresh engine.
+    let mut e1 = build();
+    let t1 = task(&mut e1);
+    let serial = e1.run_default(&t1).unwrap().to_relation().unwrap();
+    assert_eq!(serial.len(), 3);
+
+    // Two identical parallel runs on fresh engines.
+    let mut runs = Vec::new();
+    for _ in 0..2 {
+        let mut e = build();
+        let t = task(&mut e);
+        let out = e
+            .run(&t, RunOptions::with_threads(4))
+            .unwrap()
+            .to_relation()
+            .unwrap();
+        runs.push(out);
+    }
+    assert_eq!(runs[0], runs[1], "two parallel runs diverged");
+    assert_eq!(runs[0], serial, "parallel differs from serial");
+
+    // The same discipline with the tie *at* the LIMIT cut and no
+    // tiebreaker key: the stable sort must resolve it identically in
+    // serial and parallel runs.
+    let tie_task = |e: &mut FdbEngine| {
+        let mut t = task(e);
+        t.order_by.truncate(1); // ORDER BY revenue DESC only
+        t.limit = Some(5); // cuts inside a tie pair
+        t
+    };
+    let mut es = build();
+    let ts = tie_task(&mut es);
+    let serial_tie = es.run_default(&ts).unwrap().to_relation().unwrap();
+    for _ in 0..2 {
+        let mut e = build();
+        let t = tie_task(&mut e);
+        let out = e
+            .run(&t, RunOptions::with_threads(4))
+            .unwrap()
+            .to_relation()
+            .unwrap();
+        assert_eq!(out, serial_tie, "tie at the LIMIT cut diverged");
+    }
+}
+
+#[test]
 fn top1_revenue_query_streams_single_group() {
     let mut e = pizzeria_engines();
     let out = e.run_fdb(
