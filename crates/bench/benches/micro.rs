@@ -34,14 +34,14 @@ fn micro(c: &mut Criterion) {
 
     group.bench_function(format!("count_over_{singletons}_singletons"), |b| {
         b.iter(|| {
-            let unions: Vec<&fdb_core::Union> = rep.roots().iter().collect();
+            let unions: Vec<fdb_core::UnionRef<'_>> = rep.root_unions().collect();
             fdb_core::agg::eval_op(rep.ftree(), &unions, &AggOp::Count).unwrap()
         })
     });
 
     group.bench_function(format!("sum_over_{singletons}_singletons"), |b| {
         b.iter(|| {
-            let unions: Vec<&fdb_core::Union> = rep.roots().iter().collect();
+            let unions: Vec<fdb_core::UnionRef<'_>> = rep.root_unions().collect();
             fdb_core::agg::eval_op(rep.ftree(), &unions, &AggOp::Sum(a.price)).unwrap()
         })
     });
@@ -53,7 +53,7 @@ fn micro(c: &mut Criterion) {
             format!("count_over_{singletons}_singletons_t{threads}"),
             |b| {
                 b.iter(|| {
-                    let unions: Vec<&fdb_core::Union> = rep.roots().iter().collect();
+                    let unions: Vec<fdb_core::UnionRef<'_>> = rep.root_unions().collect();
                     fdb_core::agg::eval_op_par(rep.ftree(), &unions, &AggOp::Count, threads)
                         .unwrap()
                 })
@@ -63,7 +63,7 @@ fn micro(c: &mut Criterion) {
             format!("sum_over_{singletons}_singletons_t{threads}"),
             |b| {
                 b.iter(|| {
-                    let unions: Vec<&fdb_core::Union> = rep.roots().iter().collect();
+                    let unions: Vec<fdb_core::UnionRef<'_>> = rep.root_unions().collect();
                     fdb_core::agg::eval_op_par(rep.ftree(), &unions, &AggOp::Sum(a.price), threads)
                         .unwrap()
                 })

@@ -34,16 +34,23 @@ fn main() {
     }
     .build();
     println!(
-        "# flat view {} tuples, factorised view {} singletons, {} worker thread(s)",
-        env.flat_tuples, env.view_singletons, env.threads
+        "# flat view {} tuples, factorised view {} singletons ({} arena bytes), {} worker thread(s)",
+        env.flat_tuples, env.view_singletons, env.view_bytes, env.threads
     );
     let attrs = env.attrs;
     let queries = paper_queries(&mut env.fdb.catalog, &attrs);
     env.rdb_sort.catalog = env.fdb.catalog.clone();
     env.rdb_hash.catalog = env.fdb.catalog.clone();
     for q in queries.iter().filter(|q| q.class == QueryClass::Agg) {
-        let (n, t) = median_secs(args.repeats, || env.run_fdb_fo(&q.task));
-        emit.row("5", scale, q.name, "FDB f/o", t, &format!("singletons={n}"));
+        let (st, t) = median_secs(args.repeats, || env.run_fdb_fo_stats(&q.task));
+        emit.row(
+            "5",
+            scale,
+            q.name,
+            "FDB f/o",
+            t,
+            &format!("singletons={} bytes={}", st.singletons, st.bytes),
+        );
         let (n, t) = median_secs(args.repeats, || env.run_fdb_flat(&q.task));
         emit.row("5", scale, q.name, "FDB", t, &format!("rows={n}"));
         let (n, t) = median_secs(args.repeats, || {

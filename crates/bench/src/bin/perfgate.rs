@@ -1,0 +1,109 @@
+//! CI perf-smoke gate: compares a fresh `--json` results file against
+//! the committed baseline and fails on large regressions.
+//!
+//! ```text
+//! perfgate --baseline BENCH_s1.json --current fresh.json \
+//!          [--max-ratio 3.0] [--floor-ms 1.0] [--engine-prefix FDB]
+//! ```
+//!
+//! Exit codes: `0` pass, `1` regression detected, `2` usage/parse error.
+//! Only rows whose engine starts with the prefix are gated (default
+//! `FDB`); the ratio threshold is deliberately generous so that shared
+//! CI runners don't flake the build — the gate exists to catch
+//! order-of-magnitude storage regressions, not single-digit percents.
+
+use fdb_bench::perf::{compare, parse_results, GateConfig};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path: Option<String> = None;
+    let mut current_path: Option<String> = None;
+    let mut max_ratio = 3.0f64;
+    let mut floor_ms = 1.0f64;
+    let mut engine_prefix = "FDB".to_string();
+    let mut i = 0;
+    let usage = "usage: perfgate --baseline PATH --current PATH \
+                 [--max-ratio R] [--floor-ms MS] [--engine-prefix P]";
+    while i < argv.len() {
+        let value = |i: usize| -> String {
+            argv.get(i + 1)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {}", argv[i]);
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--baseline" => baseline_path = Some(value(i)),
+            "--current" => current_path = Some(value(i)),
+            "--max-ratio" => {
+                max_ratio = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("bad --max-ratio");
+                    std::process::exit(2);
+                })
+            }
+            "--floor-ms" => {
+                floor_ms = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("bad --floor-ms");
+                    std::process::exit(2);
+                })
+            }
+            "--engine-prefix" => engine_prefix = value(i),
+            "--help" | "-h" => {
+                eprintln!("{usage}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag `{other}`; {usage}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    };
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let parse = |path: &str, text: &str| {
+        parse_results(text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = parse(&baseline_path, &read(&baseline_path));
+    let current = parse(&current_path, &read(&current_path));
+    let cfg = GateConfig {
+        max_ratio,
+        floor_secs: floor_ms / 1000.0,
+        engine_prefix: &engine_prefix,
+    };
+    let verdicts = compare(&baseline, &current, &cfg);
+    if verdicts.is_empty() {
+        eprintln!("no gated rows matched engine prefix `{engine_prefix}` — refusing to pass an empty gate");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    println!("# perf gate: max-ratio {max_ratio}, floor {floor_ms} ms, prefix `{engine_prefix}`");
+    for v in &verdicts {
+        let status = if v.failed { "FAIL" } else { "ok  " };
+        failed |= v.failed;
+        println!(
+            "{status} {key}: baseline {base:.6}s current {cur:.6}s ratio {ratio:.2}",
+            key = v.key,
+            base = v.baseline_secs,
+            cur = v.current_secs,
+            ratio = v.ratio,
+        );
+    }
+    if failed {
+        eprintln!("perf gate FAILED: at least one gated row regressed past {max_ratio}x");
+        std::process::exit(1);
+    }
+    println!("# perf gate passed ({} rows)", verdicts.len());
+}

@@ -168,6 +168,17 @@ struct JsonRow {
 }
 
 impl Emitter {
+    /// An emitter that never writes a file — for tests of the results
+    /// format (see [`crate::perf`]).
+    pub fn for_tests(threads: usize, repeats: usize) -> Emitter {
+        Emitter {
+            json_path: None,
+            threads,
+            repeats,
+            rows: Vec::new(),
+        }
+    }
+
     /// Prints one row and records it for the JSON report.
     pub fn row(
         &mut self,

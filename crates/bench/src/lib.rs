@@ -16,9 +16,11 @@
 //! aggregation plans (Figure 6).
 
 pub mod harness;
+pub mod perf;
 pub mod queries;
 pub mod setup;
 
 pub use harness::{median_secs, print_row, time_secs, Args, Emitter};
+pub use perf::{compare, parse_results, GateConfig, PerfRow, Verdict};
 pub use queries::{paper_queries, PaperQuery, QueryClass};
 pub use setup::{BenchEnv, BenchSetup};

@@ -27,6 +27,9 @@ pub struct BenchEnv {
     pub flat_tuples: usize,
     /// Size of the factorised view in singletons (4.2M at s=32).
     pub view_singletons: usize,
+    /// Physical arena footprint of the factorised view in bytes
+    /// (capacity-aware, see `FRep::stats`).
+    pub view_bytes: usize,
     /// Worker threads for both engine families (1 = serial).
     pub threads: usize,
 }
@@ -63,7 +66,9 @@ impl BenchSetup {
 
         // Factorised side.
         let view: FRep = ds.factorised_view();
-        let view_singletons = view.singleton_count();
+        let view_stats = view.stats();
+        let view_singletons = view_stats.singletons;
+        let view_bytes = view_stats.bytes;
         let flat_tuples = ds.flat_join_size();
         let mut fdb = FdbEngine::new(catalog.clone());
         fdb.register_view("R1", view);
@@ -122,6 +127,7 @@ impl BenchSetup {
             rdb_hash,
             flat_tuples,
             view_singletons,
+            view_bytes,
             threads,
         }
     }
@@ -144,9 +150,16 @@ impl BenchEnv {
     /// Runs a task on FDB keeping the output factorised (`FDB f/o`),
     /// returning the singleton count of the result.
     pub fn run_fdb_fo(&mut self, task: &JoinAggTask) -> usize {
+        self.run_fdb_fo_stats(task).singletons
+    }
+
+    /// [`BenchEnv::run_fdb_fo`] returning the full size report of the
+    /// result factorisation — the perf trajectory records the arena's
+    /// byte footprint alongside the paper's singleton measure.
+    pub fn run_fdb_fo_stats(&mut self, task: &JoinAggTask) -> fdb_core::FRepStats {
         let opts = self.run_opts();
         let result = self.fdb.run(task, opts).expect("fdb plans");
-        result.singleton_count()
+        result.rep().stats()
     }
 
     /// Runs a task on a relational baseline, returning the tuple count.
@@ -284,5 +297,21 @@ mod tests {
         let env = tiny_env();
         assert!(env.view_singletons > 0);
         assert!(env.flat_tuples * 5 > env.view_singletons);
+        // The arena footprint covers at least the value payloads.
+        assert!(
+            env.view_bytes >= env.view_singletons * std::mem::size_of::<fdb_relational::Value>()
+        );
+    }
+
+    #[test]
+    fn fo_stats_report_bytes() {
+        let mut env = tiny_env();
+        let attrs = env.attrs;
+        let queries = paper_queries(&mut env.fdb.catalog, &attrs);
+        let q1 = &queries[0];
+        let stats = env.run_fdb_fo_stats(&q1.task);
+        assert!(stats.singletons > 0);
+        assert!(stats.bytes > 0);
+        assert_eq!(stats.singletons, env.run_fdb_fo(&q1.task));
     }
 }

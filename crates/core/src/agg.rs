@@ -9,6 +9,10 @@
 //! singleton, whose cardinality is unrecoverable — are reported as
 //! [`FdbError::InvalidComposition`].
 //!
+//! The evaluators traverse the arena through [`UnionRef`]/[`EntryRef`]
+//! cursors — index chasing over flat tables, no pointer-chasing through
+//! heap-allocated nodes.
+//!
 //! Every evaluator exists in a serial form and a `_par` form that
 //! partitions the top union's entries over an [`fdb_exec`] pool. The
 //! per-entry contributions are always combined **in entry order**, so
@@ -17,7 +21,7 @@
 //! addition order never changes.
 
 use crate::error::{FdbError, Result};
-use crate::frep::{Entry, Union};
+use crate::frep::{EntryRef, UnionRef};
 use crate::ftree::{AggLabel, AggOp, FTree, NodeId, NodeLabel};
 use fdb_relational::{Number, Value};
 
@@ -27,23 +31,23 @@ use fdb_relational::{Number, Value};
 /// same value bit for bit.
 fn fold_entries<A, T>(
     threads: usize,
-    entries: &[Entry],
+    u: UnionRef<'_>,
     init: A,
-    term: impl Fn(&Entry) -> Result<T> + Sync,
+    term: impl Fn(EntryRef<'_>) -> Result<T> + Sync,
     mut combine: impl FnMut(A, T) -> A,
 ) -> Result<A>
 where
     T: Send,
 {
-    if threads <= 1 || entries.len() < 2 {
+    if threads <= 1 || u.len() < 2 {
         let mut acc = init;
-        for e in entries {
+        for e in u.entries() {
             acc = combine(acc, term(e)?);
         }
         return Ok(acc);
     }
-    let refs: Vec<&Entry> = entries.iter().collect();
-    let terms = fdb_exec::try_parallel_map(threads, refs, term)?;
+    let idx: Vec<usize> = (0..u.len()).collect();
+    let terms = fdb_exec::try_parallel_map(threads, idx, |i| term(u.entry(i)))?;
     Ok(terms.into_iter().fold(init, combine))
 }
 
@@ -91,21 +95,21 @@ fn component(label: &AggLabel, value: &Value, i: usize) -> Value {
 }
 
 /// `count(E)` — cardinality of the relation represented by union `u`.
-pub fn count_union(ftree: &FTree, u: &Union) -> Result<i64> {
+pub fn count_union(ftree: &FTree, u: UnionRef<'_>) -> Result<i64> {
     count_union_par(ftree, u, 1)
 }
 
 /// [`count_union`] with the top union's entries partitioned over
 /// `threads` workers; identical result for every thread count.
-pub fn count_union_par(ftree: &FTree, u: &Union, threads: usize) -> Result<i64> {
-    let label = &ftree.node(u.node).label;
+pub fn count_union_par(ftree: &FTree, u: UnionRef<'_>, threads: usize) -> Result<i64> {
+    let label = &ftree.node(u.node()).label;
     fold_entries(
         threads,
-        &u.entries,
+        u,
         0i64,
         |e| {
-            let mut prod = entry_multiplicity(label, &e.value)?;
-            for c in &e.children {
+            let mut prod = entry_multiplicity(label, e.value())?;
+            for c in e.children() {
                 prod = prod.wrapping_mul(count_union(ftree, c)?);
             }
             Ok(prod)
@@ -115,16 +119,16 @@ pub fn count_union_par(ftree: &FTree, u: &Union, threads: usize) -> Result<i64> 
 }
 
 /// `sumA(E)` over union `u`, which must provide `A`.
-pub fn sum_union(ftree: &FTree, u: &Union, op: &AggOp) -> Result<Number> {
+pub fn sum_union(ftree: &FTree, u: UnionRef<'_>, op: &AggOp) -> Result<Number> {
     sum_union_par(ftree, u, op, 1)
 }
 
 /// [`sum_union`] with the top union's entries partitioned over
 /// `threads` workers. Per-entry terms are added in entry order, so even
 /// float sums match the serial result bit for bit.
-pub fn sum_union_par(ftree: &FTree, u: &Union, op: &AggOp, threads: usize) -> Result<Number> {
+pub fn sum_union_par(ftree: &FTree, u: UnionRef<'_>, op: &AggOp, threads: usize) -> Result<Number> {
     let attr = op.attr().expect("sum has an attribute");
-    let label = &ftree.node(u.node).label;
+    let label = &ftree.node(u.node()).label;
     let node_provides = match label {
         NodeLabel::Atomic(attrs) => attrs.contains(&attr),
         NodeLabel::Agg(l) => l.component_of(op).is_some(),
@@ -132,18 +136,18 @@ pub fn sum_union_par(ftree: &FTree, u: &Union, op: &AggOp, threads: usize) -> Re
     if node_provides {
         return fold_entries(
             threads,
-            &u.entries,
+            u,
             Number::ZERO,
             |e| {
                 let v = match label {
-                    NodeLabel::Atomic(_) => e.value.clone(),
-                    NodeLabel::Agg(l) => component(l, &e.value, l.component_of(op).unwrap()),
+                    NodeLabel::Atomic(_) => e.value().clone(),
+                    NodeLabel::Agg(l) => component(l, e.value(), l.component_of(op).unwrap()),
                 };
                 let n = v.as_number().ok_or_else(|| {
                     FdbError::NonNumeric(format!("sum over non-numeric value {v}"))
                 })?;
                 let mut mult: i64 = 1;
-                for c in &e.children {
+                for c in e.children() {
                     mult = mult.wrapping_mul(count_union(ftree, c)?);
                 }
                 Ok(n.mul(Number::Int(mult)))
@@ -153,7 +157,7 @@ pub fn sum_union_par(ftree: &FTree, u: &Union, op: &AggOp, threads: usize) -> Re
     }
     // Exactly one child subtree provides A (attributes partition the
     // schema); the others contribute their cardinalities.
-    let children = &ftree.node(u.node).children;
+    let children = &ftree.node(u.node()).children;
     let j = children
         .iter()
         .position(|&c| subtree_provides(ftree, c, op))
@@ -164,16 +168,16 @@ pub fn sum_union_par(ftree: &FTree, u: &Union, op: &AggOp, threads: usize) -> Re
         })?;
     fold_entries(
         threads,
-        &u.entries,
+        u,
         Number::ZERO,
         |e| {
-            let mut mult = entry_multiplicity(label, &e.value)?;
-            for (k, c) in e.children.iter().enumerate() {
+            let mut mult = entry_multiplicity(label, e.value())?;
+            for (k, c) in e.children().enumerate() {
                 if k != j {
                     mult = mult.wrapping_mul(count_union(ftree, c)?);
                 }
             }
-            let s = sum_union(ftree, &e.children[j], op)?;
+            let s = sum_union(ftree, e.child(j), op)?;
             Ok(s.mul(Number::Int(mult)))
         },
         Number::add,
@@ -181,17 +185,22 @@ pub fn sum_union_par(ftree: &FTree, u: &Union, op: &AggOp, threads: usize) -> Re
 }
 
 /// `minA(E)` / `maxA(E)` over union `u`, which must provide `A`.
-pub fn extremum_union(ftree: &FTree, u: &Union, op: &AggOp) -> Result<Value> {
+pub fn extremum_union(ftree: &FTree, u: UnionRef<'_>, op: &AggOp) -> Result<Value> {
     extremum_union_par(ftree, u, op, 1)
 }
 
 /// [`extremum_union`] with the top union's entries partitioned over
 /// `threads` workers; candidates are compared in entry order, so ties
 /// resolve exactly as in the serial scan.
-pub fn extremum_union_par(ftree: &FTree, u: &Union, op: &AggOp, threads: usize) -> Result<Value> {
+pub fn extremum_union_par(
+    ftree: &FTree,
+    u: UnionRef<'_>,
+    op: &AggOp,
+    threads: usize,
+) -> Result<Value> {
     let is_min = matches!(op, AggOp::Min(_));
     let attr = op.attr().expect("min/max has an attribute");
-    let label = &ftree.node(u.node).label;
+    let label = &ftree.node(u.node()).label;
     let pick = move |best: Option<Value>, v: Value| -> Option<Value> {
         let better = match &best {
             None => true,
@@ -212,25 +221,20 @@ pub fn extremum_union_par(ftree: &FTree, u: &Union, op: &AggOp, threads: usize) 
     let best = match label {
         NodeLabel::Atomic(attrs) if attrs.contains(&attr) => {
             // Entries are sorted ascending: the extremum is at an end.
-            let e = if is_min {
-                u.entries.first()
+            if u.is_empty() {
+                None
+            } else if is_min {
+                Some(u.entry(0).value().clone())
             } else {
-                u.entries.last()
-            };
-            e.map(|e| e.value.clone())
+                Some(u.entry(u.len() - 1).value().clone())
+            }
         }
         NodeLabel::Agg(l) if l.component_of(op).is_some() => {
             let i = l.component_of(op).unwrap();
-            fold_entries(
-                threads,
-                &u.entries,
-                None,
-                |e| Ok(component(l, &e.value, i)),
-                pick,
-            )?
+            fold_entries(threads, u, None, |e| Ok(component(l, e.value(), i)), pick)?
         }
         _ => {
-            let children = &ftree.node(u.node).children;
+            let children = &ftree.node(u.node()).children;
             let j = children
                 .iter()
                 .position(|&c| subtree_provides(ftree, c, op))
@@ -241,9 +245,9 @@ pub fn extremum_union_par(ftree: &FTree, u: &Union, op: &AggOp, threads: usize) 
                 })?;
             fold_entries(
                 threads,
-                &u.entries,
+                u,
                 None,
-                |e| extremum_union(ftree, &e.children[j], op),
+                |e| extremum_union(ftree, e.child(j), op),
                 pick,
             )?
         }
@@ -253,18 +257,23 @@ pub fn extremum_union_par(ftree: &FTree, u: &Union, op: &AggOp, threads: usize) 
 
 /// Evaluates one aggregation function over a *product* of sibling unions
 /// (the expression an aggregation operator replaces, §3.2).
-pub fn eval_op(ftree: &FTree, unions: &[&Union], op: &AggOp) -> Result<Value> {
+pub fn eval_op(ftree: &FTree, unions: &[UnionRef<'_>], op: &AggOp) -> Result<Value> {
     eval_op_par(ftree, unions, op, 1)
 }
 
 /// [`eval_op`] with the recursive evaluators parallelised over the top
 /// unions' entries on `threads` workers; identical result for every
 /// thread count.
-pub fn eval_op_par(ftree: &FTree, unions: &[&Union], op: &AggOp, threads: usize) -> Result<Value> {
+pub fn eval_op_par(
+    ftree: &FTree,
+    unions: &[UnionRef<'_>],
+    op: &AggOp,
+    threads: usize,
+) -> Result<Value> {
     match op {
         AggOp::Count => {
             let mut prod: i64 = 1;
-            for u in unions {
+            for &u in unions {
                 prod = prod.wrapping_mul(count_union_par(ftree, u, threads)?);
             }
             Ok(Value::Int(prod))
@@ -272,12 +281,12 @@ pub fn eval_op_par(ftree: &FTree, unions: &[&Union], op: &AggOp, threads: usize)
         AggOp::Sum(_) => {
             let j = unions
                 .iter()
-                .position(|u| subtree_provides(ftree, u.node, op))
+                .position(|u| subtree_provides(ftree, u.node(), op))
                 .ok_or_else(|| {
                     FdbError::InvalidComposition(format!("no factor provides {op:?}"))
                 })?;
             let mut total = sum_union_par(ftree, unions[j], op, threads)?;
-            for (k, u) in unions.iter().enumerate() {
+            for (k, &u) in unions.iter().enumerate() {
                 if k != j {
                     total = total.mul(Number::Int(count_union_par(ftree, u, threads)?));
                 }
@@ -287,7 +296,7 @@ pub fn eval_op_par(ftree: &FTree, unions: &[&Union], op: &AggOp, threads: usize)
         AggOp::Min(_) | AggOp::Max(_) => {
             let j = unions
                 .iter()
-                .position(|u| subtree_provides(ftree, u.node, op))
+                .position(|u| subtree_provides(ftree, u.node(), op))
                 .ok_or_else(|| {
                     FdbError::InvalidComposition(format!("no factor provides {op:?}"))
                 })?;
@@ -298,14 +307,14 @@ pub fn eval_op_par(ftree: &FTree, unions: &[&Union], op: &AggOp, threads: usize)
 
 /// Evaluates a composite function `(F1,…,Fk)` over a product of unions,
 /// returning a scalar when `k = 1` and a `Tup` otherwise (§3.2.4).
-pub fn eval_funcs(ftree: &FTree, unions: &[&Union], funcs: &[AggOp]) -> Result<Value> {
+pub fn eval_funcs(ftree: &FTree, unions: &[UnionRef<'_>], funcs: &[AggOp]) -> Result<Value> {
     eval_funcs_par(ftree, unions, funcs, 1)
 }
 
 /// [`eval_funcs`] on `threads` workers (see [`eval_op_par`]).
 pub fn eval_funcs_par(
     ftree: &FTree,
-    unions: &[&Union],
+    unions: &[UnionRef<'_>],
     funcs: &[AggOp],
     threads: usize,
 ) -> Result<Value> {
@@ -429,7 +438,7 @@ mod tests {
     #[test]
     fn count_over_trie() {
         let (_, rep) = items_rep();
-        let n = count_union(rep.ftree(), &rep.roots()[0]).unwrap();
+        let n = count_union(rep.ftree(), rep.root(0)).unwrap();
         assert_eq!(n, 4);
     }
 
@@ -437,7 +446,7 @@ mod tests {
     fn sum_over_trie() {
         let (c, rep) = items_rep();
         let price = c.lookup("price").unwrap();
-        let s = sum_union(rep.ftree(), &rep.roots()[0], &AggOp::Sum(price)).unwrap();
+        let s = sum_union(rep.ftree(), rep.root(0), &AggOp::Sum(price)).unwrap();
         assert_eq!(s.into_value(), Value::Int(10));
     }
 
@@ -445,8 +454,8 @@ mod tests {
     fn min_max_over_trie() {
         let (c, rep) = items_rep();
         let price = c.lookup("price").unwrap();
-        let mn = extremum_union(rep.ftree(), &rep.roots()[0], &AggOp::Min(price)).unwrap();
-        let mx = extremum_union(rep.ftree(), &rep.roots()[0], &AggOp::Max(price)).unwrap();
+        let mn = extremum_union(rep.ftree(), rep.root(0), &AggOp::Min(price)).unwrap();
+        let mx = extremum_union(rep.ftree(), rep.root(0), &AggOp::Max(price)).unwrap();
         assert_eq!(mn, Value::Int(1));
         assert_eq!(mx, Value::Int(6));
     }
@@ -470,7 +479,7 @@ mod tests {
             }),
         );
         let rep = FRep::from_relation(&rel, FTree::path(&[item, price])).unwrap();
-        let u = &rep.roots()[0];
+        let u = rep.root(0);
         let t = rep.ftree();
         for threads in [2, 3, 4, 8] {
             assert_eq!(
@@ -502,7 +511,7 @@ mod tests {
         t.add_node(NodeLabel::Atomic(vec![a]), None);
         t.add_node(NodeLabel::Atomic(vec![b]), None);
         let rep = FRep::from_relation(&rel, t).unwrap();
-        let unions: Vec<&Union> = rep.roots().iter().collect();
+        let unions: Vec<UnionRef<'_>> = rep.root_unions().collect();
         assert_eq!(
             eval_op(rep.ftree(), &unions, &AggOp::Count).unwrap(),
             Value::Int(6)
@@ -582,8 +591,7 @@ mod tests {
                 cust_entry("Pietro", vec![pizza_entry("Hawaii", 1, 9)]),
             ],
         };
-        let rep = FRep::from_parts(t, vec![root]);
-        rep.check_invariants().unwrap();
+        let rep = FRep::new(t, vec![root]).unwrap();
         (c, rep)
     }
 
@@ -594,14 +602,13 @@ mod tests {
         let (c, rep) = example8();
         let price = c.lookup("price").unwrap();
         let op = AggOp::Sum(price);
-        let root = &rep.roots()[0];
+        let root = rep.root(0);
         let per_customer: Vec<(String, Value)> = root
-            .entries
-            .iter()
+            .entries()
             .map(|e| {
-                let unions: Vec<&Union> = e.children.iter().collect();
+                let unions: Vec<UnionRef<'_>> = e.children().collect();
                 (
-                    e.value.as_str().unwrap().to_string(),
+                    e.value().as_str().unwrap().to_string(),
                     eval_op(rep.ftree(), &unions, &op).unwrap(),
                 )
             })
@@ -653,7 +660,8 @@ mod tests {
                 entry("Margherita", 1),
             ],
         };
-        assert_eq!(count_union(&t, &root).unwrap(), 7);
+        let rep = FRep::new(t.clone(), vec![root]).unwrap();
+        assert_eq!(count_union(&t, rep.root(0)).unwrap(), 7);
     }
 
     #[test]
@@ -663,8 +671,7 @@ mod tests {
         // is fine here because the count(date) leaf provides multiplicity;
         // but counting the sum leaf alone must fail.
         let _ = c;
-        let root = &rep.roots()[0];
-        let sum_leaf = &root.entries[0].children[0].entries[0].children[1];
+        let sum_leaf = rep.root(0).entry(0).child(0).entry(0).child(1);
         let err = count_union(rep.ftree(), sum_leaf);
         assert!(matches!(err, Err(FdbError::InvalidComposition(_))));
     }
@@ -673,7 +680,7 @@ mod tests {
     fn composite_functions_share_evaluation() {
         let (c, rep) = items_rep();
         let price = c.lookup("price").unwrap();
-        let unions: Vec<&Union> = rep.roots().iter().collect();
+        let unions: Vec<UnionRef<'_>> = rep.root_unions().collect();
         let v = eval_funcs(rep.ftree(), &unions, &[AggOp::Sum(price), AggOp::Count]).unwrap();
         assert_eq!(v, Value::tup(vec![Value::Int(10), Value::Int(4)]));
     }

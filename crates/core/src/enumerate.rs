@@ -18,7 +18,7 @@
 //!   aggregates on the fly (scenario 3 of the introduction).
 
 use crate::error::{FdbError, Result};
-use crate::frep::{Entry, FRep, Union};
+use crate::frep::{EntryRef, FRep, UnionId, UnionRef};
 use crate::ftree::{FTree, NodeId, NodeLabel};
 use fdb_relational::{AttrId, SortDir, SortKey, Value};
 
@@ -187,13 +187,15 @@ enum Slot {
     },
 }
 
-/// The shared odometer over a visit sequence.
+/// The shared odometer over a visit sequence: an iterative cursor walk
+/// over the arena's index tables, holding one [`UnionId`] and one entry
+/// index per visited node — no recursion, no per-step allocation.
 struct Odometer<'a> {
     rep: &'a FRep,
     visit: Vec<NodeId>,
     dirs: Vec<SortDir>,
     slots: Vec<Slot>,
-    unions: Vec<Option<&'a Union>>,
+    unions: Vec<Option<UnionId>>,
     /// Logical index per node (0 = first in direction order).
     idxs: Vec<usize>,
     started: bool,
@@ -248,9 +250,14 @@ impl<'a> Odometer<'a> {
         })
     }
 
+    /// Cursor over the union currently open at visit position `i`.
+    fn union(&self, i: usize) -> UnionRef<'a> {
+        self.rep.union(self.unions[i].expect("opened"))
+    }
+
     /// Physical entry index for a logical position.
     fn phys(&self, i: usize) -> usize {
-        let len = self.unions[i].expect("opened").entries.len();
+        let len = self.union(i).len();
         match self.dirs[i] {
             SortDir::Asc => self.idxs[i],
             SortDir::Desc => len - 1 - self.idxs[i],
@@ -258,23 +265,23 @@ impl<'a> Odometer<'a> {
     }
 
     /// Currently selected entry at visit position `i`.
-    fn entry(&self, i: usize) -> &'a Entry {
-        &self.unions[i].expect("opened").entries[self.phys(i)]
+    fn entry(&self, i: usize) -> EntryRef<'a> {
+        self.union(i).entry(self.phys(i))
     }
 
     /// (Re)opens position `i` at its first entry. Returns `false` when the
     /// union is empty (possible only at the roots of an empty relation).
     fn open(&mut self, i: usize) -> bool {
-        let u: &'a Union = match self.slots[i] {
-            Slot::Root(r) => &self.rep.roots()[r],
+        let u: UnionId = match self.slots[i] {
+            Slot::Root(r) => self.rep.root_ids()[r],
             Slot::Inner {
                 parent_visit,
                 child_pos,
-            } => &self.entry(parent_visit).children[child_pos],
+            } => self.entry(parent_visit).child_id(child_pos),
         };
         self.unions[i] = Some(u);
         self.idxs[i] = 0;
-        !u.entries.is_empty()
+        !self.rep.union(u).is_empty()
     }
 
     /// Moves to the first/next combination; returns `false` at the end.
@@ -309,7 +316,7 @@ impl<'a> Odometer<'a> {
                 return false;
             }
             i -= 1;
-            let len = self.unions[i].expect("opened").entries.len();
+            let len = self.union(i).len();
             if self.idxs[i] + 1 < len {
                 self.idxs[i] += 1;
                 for j in i + 1..self.visit.len() {
@@ -366,7 +373,7 @@ impl<'a> TupleIter<'a> {
         for i in 0..self.odo.visit.len() {
             let e = self.odo.entry(i);
             let label = &self.odo.rep.ftree().node(self.odo.visit[i]).label;
-            write_entry_values(label, &e.value, &mut self.row[self.offsets[i]..]);
+            write_entry_values(label, e.value(), &mut self.row[self.offsets[i]..]);
         }
         Some(&self.row)
     }
@@ -497,20 +504,20 @@ impl<'a> GroupCursor<'a> {
 
     /// Advances to the next group; returns the group values and the
     /// dangling unions, or `None` when exhausted.
-    pub fn next_group(&mut self) -> Option<(&[Value], Vec<&'a Union>)> {
+    pub fn next_group(&mut self) -> Option<(&[Value], Vec<UnionRef<'a>>)> {
         if !self.odo.step() {
             return None;
         }
-        let mut dangling: Vec<&'a Union> = Vec::new();
+        let mut dangling: Vec<UnionRef<'a>> = Vec::new();
         for &r in &self.free_roots {
-            dangling.push(&self.odo.rep.roots()[r]);
+            dangling.push(self.odo.rep.root(r));
         }
         for i in 0..self.odo.visit.len() {
             let e = self.odo.entry(i);
             let label = &self.odo.rep.ftree().node(self.odo.visit[i]).label;
-            write_entry_values(label, &e.value, &mut self.row[self.offsets[i]..]);
+            write_entry_values(label, e.value(), &mut self.row[self.offsets[i]..]);
             for &cp in &self.dangling_children[i] {
-                dangling.push(&e.children[cp]);
+                dangling.push(e.child(cp));
             }
         }
         Some((&self.row, dangling))

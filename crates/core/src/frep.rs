@@ -1,14 +1,40 @@
-//! Factorised representations over f-trees (Definition 1).
+//! Factorised representations over f-trees (Definition 1), stored in a
+//! flat **arena**.
 //!
 //! A factorisation over an f-tree is stored in its canonical grouped form:
 //! for a node `n` with children `c1…ck`, the data under one group is
-//! `⋃_a (⟨n:a⟩ × E1(a) × … × Ek(a))` — a [`Union`] of [`Entry`]s, each
-//! holding the singleton value and one child [`Union`] per child of `n`.
+//! `⋃_a (⟨n:a⟩ × E1(a) × … × Ek(a))` — a union of entries, each holding
+//! the singleton value and one child union per child of `n`.
+//!
+//! ## Physical layout
+//!
+//! The nesting structure is *not* a tree of heap-allocated nodes. One
+//! [`Arena`] per representation holds four flat tables:
+//!
+//! * `unions`  — one 12-byte record per union: its f-tree node and the
+//!   range of its entries in the entry table ([`UnionId`] addresses);
+//! * `entries` — one 12-byte record per entry (= per singleton): the
+//!   index of its value in the per-node column and the range of its
+//!   child unions in the kid table;
+//! * `kids`    — child [`UnionId`]s, one contiguous range per entry;
+//! * `cols`    — per f-tree node, a columnar buffer of the values of
+//!   every singleton tagged with that node.
+//!
+//! A union's entries and an entry's children are therefore index
+//! *ranges*, not owned vectors: traversal is array indexing, and
+//! constructing or transforming a representation is append-only table
+//! building with no per-node allocation. Traversal goes through the
+//! cheap copyable cursors [`UnionRef`]/[`EntryRef`]; operators consume
+//! the input arena and emit a fresh one (see [`crate::ops`]).
+//!
+//! The nested [`Union`]/[`Entry`] structs survive as a *builder-side*
+//! convenience for callers that assemble factorisations by hand (data
+//! generators, tests); [`FRep::new`] freezes them into an arena.
 //!
 //! Invariants maintained by every operator:
 //! * entries of every union are sorted by **strictly ascending** value
 //!   (§4.1: "singletons within each union are kept sorted");
-//! * `Entry::children` is parallel to the f-tree's child list;
+//! * an entry's kid range is parallel to the f-tree's child list;
 //! * unions are non-empty everywhere except at the roots (empty unions are
 //!   pruned bottom-up, so emptiness is only representable at the top).
 
@@ -18,7 +44,416 @@ use fdb_relational::{AttrId, Catalog, Relation, Schema, Value};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// One singleton value plus the factorisations of the child subtrees.
+// ---------------------------------------------------------------------
+// Arena storage
+// ---------------------------------------------------------------------
+
+/// Index of a union in an [`Arena`]'s union table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UnionId(pub u32);
+
+/// Index of an entry in an [`Arena`]'s entry table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntryId(pub u32);
+
+/// One union: the f-tree node it ranges over and its entry range.
+#[derive(Clone, Copy, Debug)]
+struct UnionRec {
+    node: NodeId,
+    /// First entry in [`Arena::entries`].
+    start: u32,
+    /// Number of entries.
+    len: u32,
+}
+
+/// One entry (singleton occurrence): value index into the node's column
+/// and the kid range.
+#[derive(Clone, Copy, Debug)]
+struct EntryRec {
+    /// Index into `cols[node]` of the owning union's node.
+    val: u32,
+    /// First kid in [`Arena::kids`].
+    kids_start: u32,
+    /// Number of child unions (= arity of the f-tree node's child list).
+    kids_len: u32,
+}
+
+/// An entry under construction: value already pushed to the node column,
+/// kids already pushed to the kid table.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct EntrySpec {
+    val: u32,
+    kids_start: u32,
+    kids_len: u32,
+}
+
+/// Flat storage for one factorised representation (see module docs).
+#[derive(Clone, Debug, Default)]
+pub struct Arena {
+    unions: Vec<UnionRec>,
+    entries: Vec<EntryRec>,
+    kids: Vec<UnionId>,
+    /// Per f-tree node id: the values of every entry tagged with it.
+    cols: Vec<Vec<Value>>,
+}
+
+impl Arena {
+    /// Appends `v` to `node`'s column; returns its index therein.
+    pub(crate) fn push_value(&mut self, node: NodeId, v: Value) -> u32 {
+        let n = node.0 as usize;
+        if self.cols.len() <= n {
+            self.cols.resize_with(n + 1, Vec::new);
+        }
+        let col = &mut self.cols[n];
+        col.push(v);
+        (col.len() - 1) as u32
+    }
+
+    /// Appends a kid list; returns an [`EntrySpec`] once paired with a
+    /// value via [`Arena::entry`].
+    pub(crate) fn push_kids(&mut self, kids: &[UnionId]) -> (u32, u32) {
+        let start = self.kids.len() as u32;
+        self.kids.extend_from_slice(kids);
+        (start, kids.len() as u32)
+    }
+
+    /// Builds one entry spec: pushes the value and the kid list.
+    pub(crate) fn entry(&mut self, node: NodeId, value: Value, kids: &[UnionId]) -> EntrySpec {
+        let (kids_start, kids_len) = self.push_kids(kids);
+        let val = self.push_value(node, value);
+        EntrySpec {
+            val,
+            kids_start,
+            kids_len,
+        }
+    }
+
+    /// Appends a union with the given entries (laid out contiguously in
+    /// the entry table, in slice order).
+    pub(crate) fn push_union(&mut self, node: NodeId, entries: &[EntrySpec]) -> UnionId {
+        let start = self.entries.len() as u32;
+        for s in entries {
+            self.entries.push(EntryRec {
+                val: s.val,
+                kids_start: s.kids_start,
+                kids_len: s.kids_len,
+            });
+        }
+        self.unions.push(UnionRec {
+            node,
+            start,
+            len: entries.len() as u32,
+        });
+        UnionId((self.unions.len() - 1) as u32)
+    }
+
+    /// An empty union for `node` (representable only at the roots).
+    pub(crate) fn empty_union(&mut self, node: NodeId) -> UnionId {
+        self.push_union(node, &[])
+    }
+
+    /// Retags a union's f-tree node (empty-root normalisation).
+    pub(crate) fn set_union_node(&mut self, id: UnionId, node: NodeId) {
+        self.unions[id.0 as usize].node = node;
+    }
+
+    /// Cursor over union `id`.
+    pub(crate) fn union(&self, id: UnionId) -> UnionRef<'_> {
+        UnionRef { arena: self, id }
+    }
+
+    pub(crate) fn union_len(&self, id: UnionId) -> usize {
+        self.unions[id.0 as usize].len as usize
+    }
+
+    /// Deep-copies union `src_id` from `src` into `self`: a record-wise
+    /// walk over the source tables that appends one union/entry record
+    /// per copied node and clones each value (`Arc` payloads make value
+    /// clones cheap). Wholesale arena splicing is [`Arena::append`].
+    pub(crate) fn copy_union_from(&mut self, src: &Arena, src_id: UnionId) -> UnionId {
+        let mut kid_scratch: Vec<UnionId> = Vec::new();
+        let mut spec_scratch: Vec<EntrySpec> = Vec::new();
+        self.copy_union_rec(src, src_id, &mut kid_scratch, &mut spec_scratch)
+    }
+
+    fn copy_union_rec(
+        &mut self,
+        src: &Arena,
+        src_id: UnionId,
+        kid_scratch: &mut Vec<UnionId>,
+        spec_scratch: &mut Vec<EntrySpec>,
+    ) -> UnionId {
+        let rec = src.unions[src_id.0 as usize];
+        let node = rec.node;
+        let spec_base = spec_scratch.len();
+        for i in rec.start..rec.start + rec.len {
+            let e = src.entries[i as usize];
+            let kid_base = kid_scratch.len();
+            for k in e.kids_start..e.kids_start + e.kids_len {
+                let cid = self.copy_union_rec(src, src.kids[k as usize], kid_scratch, spec_scratch);
+                kid_scratch.push(cid);
+            }
+            let value = src.cols[node.0 as usize][e.val as usize].clone();
+            let spec = self.entry(node, value, &kid_scratch[kid_base..]);
+            kid_scratch.truncate(kid_base);
+            spec_scratch.push(spec);
+        }
+        let out = self.push_union(node, &spec_scratch[spec_base..]);
+        spec_scratch.truncate(spec_base);
+        out
+    }
+
+    /// Appends another arena wholesale, shifting its f-tree node ids by
+    /// `node_offset`; returns the [`UnionId`] offset to add to `sub` ids.
+    ///
+    /// Every entry reachable from a union of `sub` is re-based exactly
+    /// once (each live entry belongs to exactly one union); unreachable
+    /// garbage keeps stale value indices but is never read.
+    pub(crate) fn append(&mut self, sub: Arena, node_offset: u32) -> u32 {
+        let union_base = self.unions.len() as u32;
+        let entry_base = self.entries.len() as u32;
+        let kid_base = self.kids.len() as u32;
+        let want = sub.cols.len() + node_offset as usize;
+        if self.cols.len() < want {
+            self.cols.resize_with(want, Vec::new);
+        }
+        let col_base: Vec<u32> = (0..sub.cols.len())
+            .map(|n| self.cols[n + node_offset as usize].len() as u32)
+            .collect();
+        for (n, col) in sub.cols.into_iter().enumerate() {
+            self.cols[n + node_offset as usize].extend(col);
+        }
+        for k in sub.kids {
+            self.kids.push(UnionId(k.0 + union_base));
+        }
+        for e in &sub.entries {
+            self.entries.push(EntryRec {
+                val: e.val,
+                kids_start: e.kids_start + kid_base,
+                kids_len: e.kids_len,
+            });
+        }
+        for u in &sub.unions {
+            for i in u.start..u.start + u.len {
+                self.entries[(entry_base + i) as usize].val += col_base[u.node.0 as usize];
+            }
+            self.unions.push(UnionRec {
+                node: NodeId(u.node.0 + node_offset),
+                start: u.start + entry_base,
+                len: u.len,
+            });
+        }
+        union_base
+    }
+
+    /// Physical footprint in bytes, capacity-aware: table capacities plus
+    /// the heap behind every stored [`Value`].
+    fn bytes(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>()
+            + self.unions.capacity() * std::mem::size_of::<UnionRec>()
+            + self.entries.capacity() * std::mem::size_of::<EntryRec>()
+            + self.kids.capacity() * std::mem::size_of::<UnionId>()
+            + self.cols.capacity() * std::mem::size_of::<Vec<Value>>();
+        for col in &self.cols {
+            total += col.capacity() * std::mem::size_of::<Value>();
+            for v in col {
+                total += value_heap_bytes(v);
+            }
+        }
+        total
+    }
+
+    fn value_count(&self) -> usize {
+        self.cols.iter().map(Vec::len).sum()
+    }
+}
+
+/// Estimated heap allocation behind one value (`Arc` payloads; shared
+/// `Arc`s are counted at every holder — an upper bound on the footprint).
+fn value_heap_bytes(v: &Value) -> usize {
+    match v {
+        Value::Int(_) | Value::Float(_) => 0,
+        // Arc<str>: payload + strong/weak counts.
+        Value::Str(s) => s.len() + 16,
+        Value::Tup(vs) => {
+            16 + vs.len() * std::mem::size_of::<Value>()
+                + vs.iter().map(value_heap_bytes).sum::<usize>()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Traversal cursors
+// ---------------------------------------------------------------------
+
+/// Cheap copyable cursor over one union in an arena.
+#[derive(Clone, Copy, Debug)]
+pub struct UnionRef<'a> {
+    arena: &'a Arena,
+    id: UnionId,
+}
+
+impl<'a> UnionRef<'a> {
+    pub fn id(&self) -> UnionId {
+        self.id
+    }
+
+    fn rec(&self) -> UnionRec {
+        self.arena.unions[self.id.0 as usize]
+    }
+
+    /// The f-tree node this union ranges over.
+    pub fn node(&self) -> NodeId {
+        self.rec().node
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.rec().len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rec().len == 0
+    }
+
+    /// The `i`-th entry (entries are sorted by strictly ascending value).
+    pub fn entry(&self, i: usize) -> EntryRef<'a> {
+        let rec = self.rec();
+        debug_assert!(i < rec.len as usize);
+        EntryRef {
+            arena: self.arena,
+            node: rec.node,
+            id: EntryId(rec.start + i as u32),
+        }
+    }
+
+    /// Iterates the entries in order.
+    pub fn entries(&self) -> impl ExactSizeIterator<Item = EntryRef<'a>> + 'a {
+        let rec = self.rec();
+        let arena = self.arena;
+        (rec.start..rec.start + rec.len).map(move |i| EntryRef {
+            arena,
+            node: rec.node,
+            id: EntryId(i),
+        })
+    }
+
+    /// Binary search for an entry by value.
+    pub fn find(&self, value: &Value) -> Option<usize> {
+        let rec = self.rec();
+        let col = &self.arena.cols[rec.node.0 as usize];
+        let range = &self.arena.entries[rec.start as usize..(rec.start + rec.len) as usize];
+        range
+            .binary_search_by(|e| col[e.val as usize].cmp(value))
+            .ok()
+    }
+
+    /// Number of singletons in this union and all its descendants
+    /// (iterative walk over the index tables).
+    pub fn singleton_count(&self) -> usize {
+        let arena = self.arena;
+        let mut total = 0usize;
+        let mut stack: Vec<UnionId> = vec![self.id];
+        while let Some(uid) = stack.pop() {
+            let u = arena.unions[uid.0 as usize];
+            total += u.len as usize;
+            for i in u.start..u.start + u.len {
+                let e = arena.entries[i as usize];
+                for k in e.kids_start..e.kids_start + e.kids_len {
+                    stack.push(arena.kids[k as usize]);
+                }
+            }
+        }
+        total
+    }
+
+    pub(crate) fn arena(&self) -> &'a Arena {
+        self.arena
+    }
+}
+
+/// Structural equality: same node, values and (recursively) children.
+/// Arena-internal id layout is irrelevant.
+impl PartialEq for UnionRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        if self.node() != other.node() || self.len() != other.len() {
+            return false;
+        }
+        self.entries().zip(other.entries()).all(|(a, b)| {
+            a.value() == b.value()
+                && a.child_count() == b.child_count()
+                && a.children().zip(b.children()).all(|(x, y)| x == y)
+        })
+    }
+}
+
+/// Cheap copyable cursor over one entry.
+#[derive(Clone, Copy, Debug)]
+pub struct EntryRef<'a> {
+    arena: &'a Arena,
+    /// Node of the owning union (locates the value column).
+    node: NodeId,
+    id: EntryId,
+}
+
+impl<'a> EntryRef<'a> {
+    fn rec(&self) -> EntryRec {
+        self.arena.entries[self.id.0 as usize]
+    }
+
+    /// The singleton value.
+    pub fn value(&self) -> &'a Value {
+        &self.arena.cols[self.node.0 as usize][self.rec().val as usize]
+    }
+
+    /// Number of child unions (f-tree child arity).
+    pub fn child_count(&self) -> usize {
+        self.rec().kids_len as usize
+    }
+
+    /// The `k`-th child union, in f-tree child order.
+    pub fn child(&self, k: usize) -> UnionRef<'a> {
+        UnionRef {
+            arena: self.arena,
+            id: self.child_id(k),
+        }
+    }
+
+    /// The `k`-th child union's id.
+    pub fn child_id(&self, k: usize) -> UnionId {
+        let rec = self.rec();
+        debug_assert!(k < rec.kids_len as usize);
+        self.arena.kids[(rec.kids_start + k as u32) as usize]
+    }
+
+    /// Iterates the child unions in order.
+    pub fn children(&self) -> impl ExactSizeIterator<Item = UnionRef<'a>> + 'a {
+        let rec = self.rec();
+        let arena = self.arena;
+        (rec.kids_start..rec.kids_start + rec.kids_len).map(move |k| UnionRef {
+            arena,
+            id: arena.kids[k as usize],
+        })
+    }
+
+    /// Iterates the child union ids in order.
+    pub fn child_ids(&self) -> impl ExactSizeIterator<Item = UnionId> + 'a {
+        let rec = self.rec();
+        let arena = self.arena;
+        (rec.kids_start..rec.kids_start + rec.kids_len).map(move |k| arena.kids[k as usize])
+    }
+
+    pub(crate) fn arena(&self) -> &'a Arena {
+        self.arena
+    }
+}
+
+// ---------------------------------------------------------------------
+// Builder-side nested form
+// ---------------------------------------------------------------------
+
+/// One singleton value plus the factorisations of the child subtrees
+/// (builder-side nested form; storage is the [`Arena`]).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Entry {
     pub value: Value,
@@ -26,7 +461,8 @@ pub struct Entry {
     pub children: Vec<Union>,
 }
 
-/// A union of singleton-rooted products for one f-tree node.
+/// A union of singleton-rooted products for one f-tree node
+/// (builder-side nested form; storage is the [`Arena`]).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Union {
     /// The f-tree node this union ranges over.
@@ -43,61 +479,109 @@ impl Union {
             entries: Vec::new(),
         }
     }
-
-    /// Binary search for an entry by value.
-    pub fn find(&self, value: &Value) -> Option<usize> {
-        self.entries.binary_search_by(|e| e.value.cmp(value)).ok()
-    }
-
-    /// Number of singletons in this union and all its descendants.
-    pub fn singleton_count(&self) -> usize {
-        self.entries
-            .iter()
-            .map(|e| 1 + e.children.iter().map(Union::singleton_count).sum::<usize>())
-            .sum()
-    }
 }
 
-/// A factorised representation: an f-tree plus one union per root.
+/// Freezes a nested union into the arena.
+fn freeze_union(arena: &mut Arena, u: Union) -> UnionId {
+    let Union { node, entries } = u;
+    let mut specs = Vec::with_capacity(entries.len());
+    for Entry { value, children } in entries {
+        let mut kid_ids = Vec::with_capacity(children.len());
+        for c in children {
+            kid_ids.push(freeze_union(arena, c));
+        }
+        specs.push(arena.entry(node, value, &kid_ids));
+    }
+    arena.push_union(node, &specs)
+}
+
+// ---------------------------------------------------------------------
+// FRep
+// ---------------------------------------------------------------------
+
+/// Size report for a factorised representation (see [`FRep::stats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FRepStats {
+    /// Singletons reachable from the roots — the paper's size measure.
+    pub singletons: usize,
+    /// Union records in the arena (including unreachable leftovers of
+    /// pruning operators).
+    pub unions: usize,
+    /// Entry records in the arena.
+    pub entries: usize,
+    /// Values across all node columns.
+    pub values: usize,
+    /// Physical arena footprint in bytes, capacity-aware.
+    pub bytes: usize,
+}
+
+/// A factorised representation: an f-tree plus one arena-stored union
+/// per root.
 #[derive(Clone, Debug)]
 pub struct FRep {
     ftree: FTree,
-    roots: Vec<Union>,
+    arena: Arena,
+    roots: Vec<UnionId>,
 }
 
 impl FRep {
-    /// Wraps pre-built unions (crate-internal; operators use this).
+    /// Wraps pre-built arena parts (crate-internal; operators use this).
     ///
     /// Empty root unions are re-tagged to the (possibly restructured)
     /// f-tree's root ids: an operator on an empty relation changes the
     /// tree but has no entries to carry the new node ids.
-    pub(crate) fn from_parts(ftree: FTree, mut roots: Vec<Union>) -> Self {
+    pub(crate) fn from_arena(ftree: FTree, mut arena: Arena, roots: Vec<UnionId>) -> Self {
         let root_ids: Vec<NodeId> = ftree.roots().to_vec();
-        for (u, &rid) in roots.iter_mut().zip(&root_ids) {
-            if u.entries.is_empty() {
-                u.node = rid;
+        for (&u, &rid) in roots.iter().zip(&root_ids) {
+            if arena.union_len(u) == 0 {
+                arena.set_union_node(u, rid);
             }
         }
-        FRep { ftree, roots }
+        FRep {
+            ftree,
+            arena,
+            roots,
+        }
     }
 
-    /// Builds a representation from externally constructed unions,
+    /// Builds a representation from externally constructed nested unions,
     /// validating the structural invariants (sorted distinct entries,
-    /// child arity, no empty inner unions).
+    /// child arity, correct node tags, no empty inner unions).
     ///
     /// This is the constructor for callers that assemble factorisations
     /// directly — e.g. data generators that know the grouping structure
-    /// and can emit the factorised form in linear time.
+    /// and can emit the factorised form in linear time. Unlike the
+    /// operator-internal constructor, no empty-root re-tagging happens
+    /// before validation: a root union tagged with the wrong node is an
+    /// error here, not something to paper over.
     pub fn new(ftree: FTree, roots: Vec<Union>) -> Result<FRep> {
-        let rep = FRep { ftree, roots };
+        let mut arena = Arena::default();
+        let root_ids = roots
+            .into_iter()
+            .map(|u| freeze_union(&mut arena, u))
+            .collect();
+        let rep = FRep {
+            ftree,
+            arena,
+            roots: root_ids,
+        };
         rep.check_invariants()?;
         Ok(rep)
     }
 
     /// The empty relation over `ftree`'s schema.
     pub fn empty(ftree: FTree) -> Self {
-        let roots = ftree.roots().iter().map(|&r| Union::empty(r)).collect();
-        FRep { ftree, roots }
+        let mut arena = Arena::default();
+        let roots = ftree
+            .roots()
+            .iter()
+            .map(|&r| arena.empty_union(r))
+            .collect();
+        FRep {
+            ftree,
+            arena,
+            roots,
+        }
     }
 
     /// Builds the factorisation of `rel` over `ftree` by recursive grouping.
@@ -115,10 +599,11 @@ impl FRep {
 
     /// [`FRep::from_relation`] with construction partitioned over the
     /// leading union: the root-level grouping is computed once, then the
-    /// child factorisations of the root entries are built on up to
-    /// `threads` workers. Grouping is order-deterministic (`BTreeMap`),
-    /// so the result is identical for every thread count; `threads <= 1`
-    /// is exactly the serial build.
+    /// child factorisations of the root entries are built into per-chunk
+    /// sub-arenas on up to `threads` workers and spliced back in order.
+    /// Grouping is order-deterministic (`BTreeMap`), so the result is
+    /// structurally identical for every thread count; `threads <= 1` is
+    /// exactly the serial build.
     pub fn from_relation_with(rel: &Relation, ftree: FTree, threads: usize) -> Result<FRep> {
         let mut col_of: BTreeMap<AttrId, usize> = BTreeMap::new();
         for n in ftree.live_nodes() {
@@ -145,12 +630,17 @@ impl FRep {
             ));
         }
         let all_rows: Vec<usize> = (0..rel.len()).collect();
+        let mut arena = Arena::default();
         let roots = ftree
             .roots()
             .iter()
-            .map(|&r| build_union_par(rel, &ftree, r, &all_rows, &col_of, threads))
+            .map(|&r| build_union_par(rel, &ftree, r, &all_rows, &col_of, threads, &mut arena))
             .collect();
-        let rep = FRep { ftree, roots };
+        let rep = FRep {
+            ftree,
+            arena,
+            roots,
+        };
         debug_assert!(rep.check_invariants().is_ok());
         Ok(rep)
     }
@@ -164,31 +654,46 @@ impl FRep {
         &mut self.ftree
     }
 
-    /// Root unions, parallel to `ftree().roots()`.
-    pub fn roots(&self) -> &[Union] {
+    /// Root union ids, parallel to `ftree().roots()`.
+    pub fn root_ids(&self) -> &[UnionId] {
         &self.roots
     }
 
-    /// Mutable root access; only tests use this (to corrupt invariants).
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub(crate) fn roots_mut(&mut self) -> &mut Vec<Union> {
-        &mut self.roots
+    /// Number of root unions.
+    pub fn root_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Cursor over the `i`-th root union.
+    pub fn root(&self, i: usize) -> UnionRef<'_> {
+        self.arena.union(self.roots[i])
+    }
+
+    /// Cursors over the root unions, parallel to `ftree().roots()`.
+    pub fn root_unions(&self) -> impl ExactSizeIterator<Item = UnionRef<'_>> + '_ {
+        self.roots.iter().map(|&r| self.arena.union(r))
+    }
+
+    /// Cursor over an arbitrary union id of this representation.
+    pub fn union(&self, id: UnionId) -> UnionRef<'_> {
+        self.arena.union(id)
     }
 
     /// Decomposes into parts (crate-internal).
-    pub(crate) fn into_parts(self) -> (FTree, Vec<Union>) {
-        (self.ftree, self.roots)
+    pub(crate) fn into_arena_parts(self) -> (FTree, Arena, Vec<UnionId>) {
+        (self.ftree, self.arena, self.roots)
     }
 
     /// True if the represented relation is empty.
     pub fn is_empty(&self) -> bool {
-        self.roots.iter().any(|u| u.entries.is_empty())
+        self.roots.iter().any(|&u| self.arena.union_len(u) == 0)
     }
 
     /// Total number of singletons — the paper's size measure for
-    /// factorisations (§6 reports sizes in singletons).
+    /// factorisations (§6 reports sizes in singletons). Counts only
+    /// entries reachable from the roots.
     pub fn singleton_count(&self) -> usize {
-        self.roots.iter().map(Union::singleton_count).sum()
+        self.root_unions().map(|u| u.singleton_count()).sum()
     }
 
     /// Number of tuples in the represented relation (product of root
@@ -197,7 +702,37 @@ impl FRep {
         if self.is_empty() {
             return 0;
         }
-        self.roots.iter().map(count_tuples).product()
+        self.root_unions().map(|u| count_tuples(&u)).product()
+    }
+
+    /// Size report: logical singleton count plus the arena's physical
+    /// table sizes and byte footprint (capacity-aware).
+    pub fn stats(&self) -> FRepStats {
+        FRepStats {
+            singletons: self.singleton_count(),
+            unions: self.arena.unions.len(),
+            entries: self.arena.entries.len(),
+            values: self.arena.value_count(),
+            bytes: self.memory_bytes(),
+        }
+    }
+
+    /// Physical arena footprint in bytes (capacity-aware: counts table
+    /// capacities and the heap behind every stored value).
+    pub fn memory_bytes(&self) -> usize {
+        self.arena.bytes()
+    }
+
+    /// Structural data equality: same root unions (node, values, shape),
+    /// ignoring arena-internal id layout. The f-trees are compared via
+    /// their root lists implicitly; callers wanting full equivalence
+    /// should also compare [`FRep::ftree`].
+    pub fn same_data(&self, other: &FRep) -> bool {
+        self.roots.len() == other.roots.len()
+            && self
+                .root_unions()
+                .zip(other.root_unions())
+                .all(|(a, b)| a == b)
     }
 
     /// Output schema in f-tree pre-order: every atomic class contributes
@@ -213,60 +748,22 @@ impl FRep {
     pub fn flatten(&self) -> Relation {
         let schema = self.schema();
         let mut out = Relation::empty(schema);
-        let mut buf: Vec<Value> = Vec::with_capacity(out.arity());
         self.for_each_tuple(|row| {
-            buf.clear();
-            buf.extend_from_slice(row);
-            out.push_row(&buf);
+            out.push_row(row);
         });
         out
     }
 
-    /// Invokes `f` once per represented tuple, laid out per [`FRep::schema`].
+    /// Invokes `f` once per represented tuple, laid out per
+    /// [`FRep::schema`]. Implemented as an iterative cursor walk (the
+    /// odometer of [`crate::enumerate`]) — no recursion over the data.
     pub fn for_each_tuple(&self, mut f: impl FnMut(&[Value])) {
-        if self.is_empty() {
-            return;
+        let spec = crate::enumerate::EnumSpec::all_preorder(&self.ftree);
+        let mut it = crate::enumerate::TupleIter::new(self, &spec)
+            .expect("pre-order visit sequence is parent-first");
+        while let Some(row) = it.next_row() {
+            f(row);
         }
-        let width: usize = self.schema().arity();
-        let mut row: Vec<Value> = vec![Value::Int(0); width];
-        // Column offsets per node in pre-order.
-        let mut offsets: BTreeMap<NodeId, usize> = BTreeMap::new();
-        let mut off = 0;
-        for n in self.ftree.live_nodes() {
-            offsets.insert(n, off);
-            off += self.ftree.node(n).label.exposed_attrs().len();
-        }
-        fn rec(
-            rep: &FRep,
-            unions: &[&Union],
-            idx: usize,
-            offsets: &BTreeMap<NodeId, usize>,
-            row: &mut Vec<Value>,
-            f: &mut impl FnMut(&[Value]),
-        ) {
-            if idx == unions.len() {
-                f(row);
-                return;
-            }
-            let u = unions[idx];
-            let label = &rep.ftree.node(u.node).label;
-            let off = offsets[&u.node];
-            for e in &u.entries {
-                write_values(label, &e.value, &mut row[off..]);
-                if e.children.is_empty() {
-                    rec(rep, unions, idx + 1, offsets, row, f);
-                } else {
-                    // Expand this entry's children before the remaining
-                    // sibling unions: pre-order within the subtree, then
-                    // continue with the siblings.
-                    let mut next: Vec<&Union> = e.children.iter().collect();
-                    next.extend_from_slice(&unions[idx + 1..]);
-                    rec(rep, &next, 0, offsets, row, f);
-                }
-            }
-        }
-        let top: Vec<&Union> = self.roots.iter().collect();
-        rec(self, &top, 0, &offsets, &mut row, &mut f);
     }
 
     /// Structural invariant check (used by tests and `debug_assert`s).
@@ -276,43 +773,44 @@ impl FRep {
                 "root union count mismatch".into(),
             ));
         }
-        for (u, &r) in self.roots.iter().zip(self.ftree.roots()) {
+        for (u, &r) in self.root_unions().zip(self.ftree.roots()) {
             self.check_union(u, r, true)?;
         }
         Ok(())
     }
 
-    fn check_union(&self, u: &Union, node: NodeId, at_root: bool) -> Result<()> {
-        if u.node != node {
+    fn check_union(&self, u: UnionRef<'_>, node: NodeId, at_root: bool) -> Result<()> {
+        if u.node() != node {
             return Err(FdbError::InvalidOperator(format!(
                 "union node {:?} does not match f-tree node {:?}",
-                u.node, node
+                u.node(),
+                node
             )));
         }
-        if !at_root && u.entries.is_empty() {
+        if !at_root && u.is_empty() {
             return Err(FdbError::InvalidOperator(
                 "empty union below the roots".into(),
             ));
         }
         let children = &self.ftree.node(node).children;
         let mut prev: Option<&Value> = None;
-        for e in &u.entries {
+        for e in u.entries() {
             if let Some(p) = prev {
-                if p >= &e.value {
+                if p >= e.value() {
                     return Err(FdbError::InvalidOperator(format!(
                         "union entries not strictly ascending at {node:?}"
                     )));
                 }
             }
-            prev = Some(&e.value);
-            if e.children.len() != children.len() {
+            prev = Some(e.value());
+            if e.child_count() != children.len() {
                 return Err(FdbError::InvalidOperator(format!(
                     "entry has {} child unions, f-tree node has {} children",
-                    e.children.len(),
+                    e.child_count(),
                     children.len()
                 )));
             }
-            for (cu, &cn) in e.children.iter().zip(children) {
+            for (cu, &cn) in e.children().zip(children) {
                 self.check_union(cu, cn, false)?;
             }
         }
@@ -322,7 +820,7 @@ impl FRep {
     /// Renders the factorisation in the paper's nested notation.
     pub fn display(&self, catalog: &Catalog) -> String {
         let mut out = String::new();
-        for (i, u) in self.roots.iter().enumerate() {
+        for (i, u) in self.root_unions().enumerate() {
             if i > 0 {
                 out.push_str(" × ");
             }
@@ -331,15 +829,15 @@ impl FRep {
         out
     }
 
-    fn display_union(&self, u: &Union, catalog: &Catalog, out: &mut String) {
-        if u.entries.len() != 1 {
+    fn display_union(&self, u: UnionRef<'_>, catalog: &Catalog, out: &mut String) {
+        if u.len() != 1 {
             out.push('(');
         }
-        for (i, e) in u.entries.iter().enumerate() {
+        for (i, e) in u.entries().enumerate() {
             if i > 0 {
                 out.push_str(" ∪ ");
             }
-            let label = &self.ftree.node(u.node).label;
+            let label = &self.ftree.node(u.node()).label;
             let name = match label {
                 NodeLabel::Atomic(attrs) => catalog.name(attrs[0]).to_string(),
                 NodeLabel::Agg(l) => {
@@ -347,36 +845,14 @@ impl FRep {
                     fs.join(",")
                 }
             };
-            let _ = write!(out, "⟨{name}:{}⟩", e.value);
-            for cu in &e.children {
+            let _ = write!(out, "⟨{name}:{}⟩", e.value());
+            for cu in e.children() {
                 out.push_str(" × ");
                 self.display_union(cu, catalog, out);
             }
         }
-        if u.entries.len() != 1 {
+        if u.len() != 1 {
             out.push(')');
-        }
-    }
-}
-
-/// Writes an entry's value into the output row slots of its node.
-fn write_values(label: &NodeLabel, value: &Value, slots: &mut [Value]) {
-    match label {
-        NodeLabel::Atomic(attrs) => {
-            // Every member of the equivalence class carries the value.
-            for slot in slots.iter_mut().take(attrs.len()) {
-                *slot = value.clone();
-            }
-        }
-        NodeLabel::Agg(l) => {
-            if l.arity() == 1 {
-                slots[0] = value.clone();
-            } else {
-                let comps = value.as_tup().expect("composite aggregate holds a Tup");
-                for (i, c) in comps.iter().enumerate() {
-                    slots[i] = c.clone();
-                }
-            }
         }
     }
 }
@@ -396,27 +872,79 @@ pub fn value_for_attr(label: &NodeLabel, value: &Value, attr: AttrId) -> Option<
     }
 }
 
-fn count_tuples(u: &Union) -> usize {
-    u.entries
-        .iter()
-        .map(|e| e.children.iter().map(count_tuples).product::<usize>())
+fn count_tuples(u: &UnionRef<'_>) -> usize {
+    u.entries()
+        .map(|e| e.children().map(|c| count_tuples(&c)).product::<usize>())
         .sum()
 }
 
+// ---------------------------------------------------------------------
+// Construction from relations
+// ---------------------------------------------------------------------
+
+/// Builds one union serially into `arena`, reusing shared scratch
+/// buffers so the hot path allocates only the grouping map per level.
 fn build_union(
     rel: &Relation,
     ftree: &FTree,
     node: NodeId,
     rows: &[usize],
     col_of: &BTreeMap<AttrId, usize>,
-) -> Union {
-    build_union_par(rel, ftree, node, rows, col_of, 1)
+    arena: &mut Arena,
+    kid_scratch: &mut Vec<UnionId>,
+    spec_scratch: &mut Vec<EntrySpec>,
+) -> UnionId {
+    let (col, children) = node_shape(ftree, node, col_of);
+    let groups = group_rows(rel, col, rows);
+    let spec_base = spec_scratch.len();
+    for (value, group) in groups {
+        let kid_base = kid_scratch.len();
+        for &c in children {
+            let cid = build_union(
+                rel,
+                ftree,
+                c,
+                &group,
+                col_of,
+                arena,
+                kid_scratch,
+                spec_scratch,
+            );
+            kid_scratch.push(cid);
+        }
+        let spec = arena.entry(node, value, &kid_scratch[kid_base..]);
+        kid_scratch.truncate(kid_base);
+        spec_scratch.push(spec);
+    }
+    let out = arena.push_union(node, &spec_scratch[spec_base..]);
+    spec_scratch.truncate(spec_base);
+    out
 }
 
-/// Builds one union, fanning the children of the node's entries (the
-/// leading union's groups) out to `threads` workers. Recursive builds
-/// below the top level stay serial — the root fan-out already exposes
-/// all the parallelism the data has.
+fn node_shape<'t>(
+    ftree: &'t FTree,
+    node: NodeId,
+    col_of: &BTreeMap<AttrId, usize>,
+) -> (usize, &'t [NodeId]) {
+    let attr = match &ftree.node(node).label {
+        NodeLabel::Atomic(attrs) => attrs[0],
+        NodeLabel::Agg(_) => unreachable!("checked by from_relation"),
+    };
+    (col_of[&attr], &ftree.node(node).children)
+}
+
+fn group_rows(rel: &Relation, col: usize, rows: &[usize]) -> BTreeMap<Value, Vec<usize>> {
+    let mut groups: BTreeMap<Value, Vec<usize>> = BTreeMap::new();
+    for &r in rows {
+        groups.entry(rel.row(r)[col].clone()).or_default().push(r);
+    }
+    groups
+}
+
+/// Builds one union, fanning chunks of the leading union's groups out to
+/// `threads` workers, each building a private sub-arena that is spliced
+/// back in group order. Recursive builds below the top level stay serial
+/// — the root fan-out already exposes all the parallelism the data has.
 fn build_union_par(
     rel: &Relation,
     ftree: &FTree,
@@ -424,31 +952,62 @@ fn build_union_par(
     rows: &[usize],
     col_of: &BTreeMap<AttrId, usize>,
     threads: usize,
-) -> Union {
-    let attr = match &ftree.node(node).label {
-        NodeLabel::Atomic(attrs) => attrs[0],
-        NodeLabel::Agg(_) => unreachable!("checked by from_relation"),
-    };
-    let col = col_of[&attr];
-    let mut groups: BTreeMap<Value, Vec<usize>> = BTreeMap::new();
-    for &r in rows {
-        groups.entry(rel.row(r)[col].clone()).or_default().push(r);
+    arena: &mut Arena,
+) -> UnionId {
+    let (col, children) = node_shape(ftree, node, col_of);
+    if threads <= 1 || children.is_empty() {
+        let mut kid_scratch = Vec::new();
+        let mut spec_scratch = Vec::new();
+        return build_union(
+            rel,
+            ftree,
+            node,
+            rows,
+            col_of,
+            arena,
+            &mut kid_scratch,
+            &mut spec_scratch,
+        );
     }
-    let children = ftree.node(node).children.clone();
-    let build_entry = |(value, group): (Value, Vec<usize>)| Entry {
-        children: children
-            .iter()
-            .map(|&c| build_union(rel, ftree, c, &group, col_of))
-            .collect(),
-        value,
-    };
-    let entries = if threads <= 1 || children.is_empty() {
-        groups.into_iter().map(build_entry).collect()
-    } else {
-        let groups: Vec<(Value, Vec<usize>)> = groups.into_iter().collect();
-        fdb_exec::parallel_map(threads, groups, build_entry)
-    };
-    Union { node, entries }
+    let groups: Vec<(Value, Vec<usize>)> = group_rows(rel, col, rows).into_iter().collect();
+    let chunks = fdb_exec::split_chunks(groups, threads);
+    /// One worker's output: its private arena plus, per group, the value
+    /// and the child union ids within that arena.
+    type ChunkBuild = (Arena, Vec<(Value, Vec<UnionId>)>);
+    let built: Vec<ChunkBuild> = fdb_exec::parallel_map(threads, chunks, |chunk| {
+        let mut sub = Arena::default();
+        let mut kid_scratch = Vec::new();
+        let mut spec_scratch = Vec::new();
+        let mut entries = Vec::with_capacity(chunk.len());
+        for (value, group) in chunk {
+            let kids: Vec<UnionId> = children
+                .iter()
+                .map(|&c| {
+                    build_union(
+                        rel,
+                        ftree,
+                        c,
+                        &group,
+                        col_of,
+                        &mut sub,
+                        &mut kid_scratch,
+                        &mut spec_scratch,
+                    )
+                })
+                .collect();
+            entries.push((value, kids));
+        }
+        (sub, entries)
+    });
+    let mut specs = Vec::new();
+    for (sub, entries) in built {
+        let off = arena.append(sub, 0);
+        for (value, kids) in entries {
+            let ids: Vec<UnionId> = kids.iter().map(|k| UnionId(k.0 + off)).collect();
+            specs.push(arena.entry(node, value, &ids));
+        }
+    }
+    arena.push_union(node, &specs)
 }
 
 #[cfg(test)]
@@ -519,7 +1078,7 @@ mod tests {
         for threads in [2, 3, 4, 8] {
             let par = FRep::from_relation_with(&rel, FTree::path(&[x, y, z]), threads).unwrap();
             par.check_invariants().unwrap();
-            assert_eq!(par.roots(), serial.roots(), "threads={threads}");
+            assert!(par.same_data(&serial), "threads={threads}");
         }
     }
 
@@ -573,10 +1132,25 @@ mod tests {
         let (c, rel) = example3();
         let a = c.lookup("A").unwrap();
         let b = c.lookup("B").unwrap();
-        let mut rep = FRep::from_relation(&rel, FTree::path(&[a, b])).unwrap();
-        // Corrupt the order.
-        rep.roots_mut()[0].entries.reverse();
-        assert!(rep.check_invariants().is_err());
+        let rep = FRep::from_relation(&rel, FTree::path(&[a, b])).unwrap();
+        // Rebuild by hand with the order corrupted: `new` must reject it.
+        let mut t2 = FTree::new();
+        let na = t2.add_node(NodeLabel::Atomic(vec![a]), None);
+        let bad = Union {
+            node: na,
+            entries: vec![
+                Entry {
+                    value: Value::Int(2),
+                    children: vec![],
+                },
+                Entry {
+                    value: Value::Int(1),
+                    children: vec![],
+                },
+            ],
+        };
+        assert!(FRep::new(t2, vec![bad]).is_err());
+        let _ = rep;
     }
 
     #[test]
@@ -585,7 +1159,7 @@ mod tests {
         let a = c.lookup("A").unwrap();
         let b = c.lookup("B").unwrap();
         let rep = FRep::from_relation(&rel, FTree::path(&[a, b])).unwrap();
-        let u = &rep.roots()[0];
+        let u = rep.root(0);
         assert_eq!(u.find(&Value::Int(2)), Some(1));
         assert_eq!(u.find(&Value::Int(9)), None);
     }
@@ -620,5 +1194,39 @@ mod tests {
         assert_eq!(schema.attrs(), &[x, y]);
         let flat = rep.flatten();
         assert_eq!(flat.row(0), &[Value::Int(1), Value::Int(10)]);
+    }
+
+    #[test]
+    fn stats_report_physical_footprint() {
+        let (c, rel) = example3();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let rep = FRep::from_relation(&rel, FTree::path(&[a, b])).unwrap();
+        let s = rep.stats();
+        assert_eq!(s.singletons, 8);
+        assert_eq!(s.entries, 8); // freshly built: no garbage
+        assert_eq!(s.values, 8);
+        assert_eq!(s.unions, 3); // A-union + two B-unions
+        assert!(s.bytes >= 8 * (std::mem::size_of::<Value>() + 12));
+        assert_eq!(rep.memory_bytes(), s.bytes);
+    }
+
+    #[test]
+    fn arena_append_rebases_ids_and_columns() {
+        let (c, rel) = example3();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let one = FRep::from_relation(&rel, FTree::path(&[a, b])).unwrap();
+        let two = FRep::from_relation(&rel, FTree::path(&[a, b])).unwrap();
+        let (_, mut arena, mut roots) = one.into_arena_parts();
+        let (tree2, sub, sub_roots) = two.into_arena_parts();
+        let off = arena.append(sub, 0);
+        roots.extend(sub_roots.iter().map(|r| UnionId(r.0 + off)));
+        // Both copies must still flatten to the same data.
+        let u0 = arena.union(roots[0]);
+        let u1 = arena.union(roots[1]);
+        assert!(u0 == u1);
+        assert_eq!(u1.singleton_count(), 8);
+        let _ = tree2;
     }
 }

@@ -19,7 +19,7 @@
 //! ```
 
 use crate::error::{FdbError, Result};
-use crate::frep::{Entry, FRep, Union};
+use crate::frep::{Arena, FRep, UnionId, UnionRef};
 use crate::ftree::{AggLabel, AggOp, FTree, NodeId, NodeLabel};
 use fdb_relational::{AttrId, Catalog, Value};
 use std::collections::BTreeMap;
@@ -130,18 +130,18 @@ pub fn write_frep(rep: &FRep, catalog: &Catalog, mut w: impl Write) -> Result<()
             write!(w, " {}", local[a]).map_err(io_err)?;
         }
     }
-    for u in rep.roots() {
+    for u in rep.root_unions() {
         write_union(u, &mut w)?;
     }
     writeln!(w).map_err(io_err)?;
     Ok(())
 }
 
-fn write_union(u: &Union, w: &mut impl Write) -> Result<()> {
-    write!(w, " u {}", u.entries.len()).map_err(io_err)?;
-    for e in &u.entries {
-        write_value(&e.value, w)?;
-        for c in &e.children {
+fn write_union(u: UnionRef<'_>, w: &mut impl Write) -> Result<()> {
+    write!(w, " u {}", u.len()).map_err(io_err)?;
+    for e in u.entries() {
+        write_value(e.value(), w)?;
+        for c in e.children() {
             write_union(c, w)?;
         }
     }
@@ -363,32 +363,34 @@ pub fn read_frep(r: impl BufRead, catalog: &mut Catalog) -> Result<FRep> {
     }
 
     let roots: Vec<NodeId> = tree.roots().to_vec();
+    let mut arena = Arena::default();
     let mut root_unions = Vec::with_capacity(roots.len());
     for &root in &roots {
-        root_unions.push(read_union(&mut t, &tree, root)?);
+        root_unions.push(read_union(&mut t, &tree, root, &mut arena)?);
     }
-    FRep::new(tree, root_unions)
+    let rep = FRep::from_arena(tree, arena, root_unions);
+    rep.check_invariants()?;
+    Ok(rep)
 }
 
-fn read_union(t: &mut Tokens, tree: &FTree, node: NodeId) -> Result<Union> {
+/// Reads one union straight into the arena (no intermediate nested tree).
+fn read_union(t: &mut Tokens, tree: &FTree, node: NodeId, arena: &mut Arena) -> Result<UnionId> {
     if t.word()? != "u" {
         return Err(malformed("expected a union"));
     }
     let n = t.usize()?;
     let children: Vec<NodeId> = tree.node(node).children.clone();
-    let mut entries = Vec::with_capacity(n);
+    let mut specs = Vec::with_capacity(n);
+    let mut kid_ids = Vec::with_capacity(children.len());
     for _ in 0..n {
         let value = t.value()?;
-        let mut child_unions = Vec::with_capacity(children.len());
+        kid_ids.clear();
         for &c in &children {
-            child_unions.push(read_union(t, tree, c)?);
+            kid_ids.push(read_union(t, tree, c, arena)?);
         }
-        entries.push(Entry {
-            value,
-            children: child_unions,
-        });
+        specs.push(arena.entry(node, value, &kid_ids));
     }
-    Ok(Union { node, entries })
+    Ok(arena.push_union(node, &specs))
 }
 
 #[cfg(test)]
@@ -501,7 +503,7 @@ mod tests {
         let mut c2 = Catalog::new();
         let back = read_frep(buf.as_slice(), &mut c2).unwrap();
         // Bit-exact float round trip.
-        assert_eq!(back.roots()[0].entries[0].value, Value::Float(0.1 + 0.2));
+        assert_eq!(*back.root(0).entry(0).value(), Value::Float(0.1 + 0.2));
     }
 
     #[test]

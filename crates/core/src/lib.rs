@@ -16,7 +16,7 @@
 //!   projection and constant-time renaming ([`ops`]);
 //! * the paper's contribution: the **aggregation operator** `γ_F(U)` with
 //!   linear-time recursive evaluators for `count`/`sum`/`min`/`max` and
-//!   composite functions such as `avg` ([`agg`], [`ops::aggregate`]),
+//!   composite functions such as `avg` ([`agg`], [`mod@ops::aggregate`]),
 //!   composing under the rules of Proposition 2;
 //! * **constant-delay enumeration** of tuples, plain, grouped (Theorem 1)
 //!   and in given asc/desc lexicographic orders (Theorem 2), plus the
@@ -72,7 +72,7 @@ pub mod plan;
 
 pub use engine::{ConsolidateMode, FdbEngine, FdbResult, PlanStrategy, RunOptions};
 pub use error::{FdbError, Result};
-pub use frep::{Entry, FRep, Union};
+pub use frep::{Entry, EntryRef, FRep, FRepStats, Union, UnionId, UnionRef};
 pub use ftree::{AggLabel, AggOp, FTree, NodeId, NodeLabel};
 pub use optim::{ExhaustiveConfig, QuerySpec, Stats};
 pub use plan::{FOp, FPlan};

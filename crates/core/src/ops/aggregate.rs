@@ -6,12 +6,17 @@
 //! linear-time recursive algorithms of §3.2 ([`crate::agg`]). The f-tree
 //! gets a fresh aggregate node in place of the `U` subtrees, and the
 //! dependency sets are extended per Example 5.
+//!
+//! Evaluation reads the *source* arena (through cursors); the rewritten
+//! parent entries — untouched siblings plus the new aggregate leaf — are
+//! emitted into the output arena. The consumed target subtrees are simply
+//! never copied.
 
 use crate::error::{FdbError, Result};
-use crate::frep::{Entry, FRep, Union};
+use crate::frep::{Arena, FRep, UnionId, UnionRef};
 use crate::ftree::{AggOp, NodeId};
 use crate::ops::rewrite_at;
-use fdb_relational::AttrId;
+use fdb_relational::{AttrId, Value};
 
 /// Where the operator applies: sibling subtrees under `parent`, or root
 /// subtrees when `parent` is `None`.
@@ -47,12 +52,12 @@ pub fn aggregate(
 /// [`aggregate`] on up to `threads` workers.
 ///
 /// The operator's work is one independent evaluation per entry of the
-/// parent union (per group), so the entries are fanned out to the pool;
-/// each group's aggregate is computed by the unchanged serial evaluators
-/// and the entry list is reassembled in order, making the result
-/// identical for every thread count. A parent union with a single entry
-/// (and the root-level reduction) parallelises *inside* the evaluation
-/// instead, over the target unions' top entries ([`crate::agg`]).
+/// parent union (per group), so the evaluations are fanned out to the
+/// pool against the immutable source arena; the rewritten entries are
+/// then emitted serially in order, making the result identical for
+/// every thread count. A parent union with a single entry (and the
+/// root-level reduction) parallelises *inside* the evaluation instead,
+/// over the target unions' top entries ([`crate::agg`]).
 pub fn aggregate_par(
     rep: FRep,
     target: &AggTarget,
@@ -65,7 +70,7 @@ pub fn aggregate_par(
             "aggregate needs parallel funcs/outputs".into(),
         ));
     }
-    let (tree, roots) = rep.into_parts();
+    let (tree, arena, roots) = rep.into_arena_parts();
     let mut new_tree = tree.clone();
     let new_node = new_tree.aggregate(target.parent, &target.nodes, funcs.clone(), outputs)?;
 
@@ -86,64 +91,77 @@ pub fn aggregate_par(
         .collect();
     let insert_at = *positions.iter().min().expect("at least one target");
 
-    let replace = |children: &mut Vec<Union>,
-                   tree: &crate::ftree::FTree,
-                   eval_threads: usize|
-     -> Result<()> {
-        // Extract target unions (highest position first to keep indices
-        // stable), evaluate, insert the aggregate leaf.
-        let mut order: Vec<usize> = positions.clone();
-        order.sort_unstable_by(|x, y| y.cmp(x));
-        let mut taken: Vec<(usize, Union)> =
-            order.into_iter().map(|i| (i, children.remove(i))).collect();
-        taken.sort_by_key(|(i, _)| *i);
-        let unions: Vec<&Union> = taken.iter().map(|(_, u)| u).collect();
-        let value = crate::agg::eval_funcs_par(tree, &unions, &funcs, eval_threads)?;
-        children.insert(
-            insert_at,
-            Union {
-                node: new_node,
-                entries: vec![Entry {
-                    value,
-                    children: Vec::new(),
-                }],
-            },
-        );
-        Ok(())
-    };
-
-    let roots = match target.parent {
-        Some(p) => rewrite_at(&tree, roots, p, &mut |mut up| {
-            if threads > 1 && up.entries.len() > 1 {
-                // One task per group: take the entries out, evaluate in
-                // parallel, reassemble in order.
-                let entries = std::mem::take(&mut up.entries);
-                up.entries = fdb_exec::try_parallel_map(threads, entries, |mut e| {
-                    replace(&mut e.children, &tree, 1)?;
-                    Ok(e)
-                })?;
+    let mut dst = Arena::default();
+    let new_roots = match target.parent {
+        Some(p) => rewrite_at(&tree, &arena, &roots, p, &mut dst, &mut |up, dst| {
+            // Evaluate every group against the source arena (possibly in
+            // parallel), then emit the rewritten entries in order.
+            let eval_group = |i: usize, eval_threads: usize| -> Result<Value> {
+                let e = up.entry(i);
+                let unions: Vec<UnionRef<'_>> = positions.iter().map(|&pos| e.child(pos)).collect();
+                crate::agg::eval_funcs_par(&tree, &unions, &funcs, eval_threads)
+            };
+            let values: Vec<Value> = if threads > 1 && up.len() > 1 {
+                let idx: Vec<usize> = (0..up.len()).collect();
+                fdb_exec::try_parallel_map(threads, idx, |i| eval_group(i, 1))?
             } else {
-                for e in up.entries.iter_mut() {
-                    replace(&mut e.children, &tree, threads)?;
+                (0..up.len())
+                    .map(|i| eval_group(i, threads))
+                    .collect::<Result<_>>()?
+            };
+            let src = up.arena();
+            let mut specs = Vec::with_capacity(up.len());
+            let mut kid_ids: Vec<UnionId> = Vec::new();
+            for (e, value) in up.entries().zip(values) {
+                kid_ids.clear();
+                for (j, c) in e.child_ids().enumerate() {
+                    if positions.contains(&j) {
+                        if j == insert_at {
+                            kid_ids.push(leaf_union(dst, new_node, value.clone()));
+                        }
+                        // Other target positions vanish.
+                    } else {
+                        kid_ids.push(dst.copy_union_from(src, c));
+                    }
                 }
+                specs.push(dst.entry(up.node(), e.value().clone(), &kid_ids));
             }
-            Ok(Some(up))
+            Ok(Some(dst.push_union(up.node(), &specs)))
         })?,
         None => {
             // Root-level aggregation reduces whole root unions to one leaf.
-            let mut roots = roots;
-            if roots.iter().any(|u| u.entries.is_empty()) {
+            if roots.iter().any(|&u| arena.union_len(u) == 0) {
                 // Empty input: the aggregate of an empty relation is the
                 // empty relation (no groups exist).
                 return Ok(FRep::empty(new_tree));
             }
-            replace(&mut roots, &tree, threads)?;
-            roots
+            let unions: Vec<UnionRef<'_>> = positions
+                .iter()
+                .map(|&pos| arena.union(roots[pos]))
+                .collect();
+            let value = crate::agg::eval_funcs_par(&tree, &unions, &funcs, threads)?;
+            let mut out = Vec::with_capacity(roots.len() - positions.len() + 1);
+            for (i, &r) in roots.iter().enumerate() {
+                if positions.contains(&i) {
+                    if i == insert_at {
+                        out.push(leaf_union(&mut dst, new_node, value.clone()));
+                    }
+                } else {
+                    out.push(dst.copy_union_from(&arena, r));
+                }
+            }
+            out
         }
     };
-    let out = FRep::from_parts(new_tree, roots);
+    let out = FRep::from_arena(new_tree, dst, new_roots);
     debug_assert!(out.check_invariants().is_ok());
     Ok(out)
+}
+
+/// A one-entry, zero-children aggregate leaf `⟨F(U):v⟩`.
+fn leaf_union(dst: &mut Arena, node: NodeId, value: Value) -> UnionId {
+    let spec = dst.entry(node, value, &[]);
+    dst.push_union(node, &[spec])
 }
 
 #[cfg(test)]
@@ -223,15 +241,14 @@ mod tests {
         let target = AggTarget::subtree(rep.ftree(), item_node);
         let out = aggregate(rep, &target, vec![AggOp::Sum(price)], vec![out_attr]).unwrap();
         // For each pizza, the aggregate leaf holds the pizza's price sum.
-        let root = &out.roots()[0];
+        let root = out.root(0);
         let sums: Vec<(String, Value)> = root
-            .entries
-            .iter()
+            .entries()
             .map(|e| {
                 // children: [date-subtree, sum-leaf]
                 (
-                    e.value.as_str().unwrap().to_string(),
-                    e.children[1].entries[0].value.clone(),
+                    e.value().as_str().unwrap().to_string(),
+                    e.child(1).entry(0).value().clone(),
                 )
             })
             .collect();
@@ -322,7 +339,7 @@ mod tests {
         .unwrap();
         assert_eq!(out.tuple_count(), 1);
         // Full sum over the join: 8+8+9+9+6 = 40.
-        assert_eq!(out.roots()[0].entries[0].value, Value::Int(40));
+        assert_eq!(*out.root(0).entry(0).value(), Value::Int(40));
     }
 
     #[test]
@@ -362,8 +379,8 @@ mod tests {
         )
         .unwrap();
         // Capricciosa: (8, 3).
-        let leaf = &out.roots()[0].entries[0].children[1].entries[0].value;
-        assert_eq!(*leaf, Value::tup(vec![Value::Int(8), Value::Int(3)]));
+        let leaf = out.root(0).entry(0).child(1).entry(0).value().clone();
+        assert_eq!(leaf, Value::tup(vec![Value::Int(8), Value::Int(3)]));
     }
 
     #[test]

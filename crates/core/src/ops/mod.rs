@@ -5,13 +5,24 @@
 //!
 //! | operator | implements | module |
 //! |---|---|---|
-//! | `product` | cross product (cheapest op: forest union) | [`product`] |
+//! | `product` | cross product (cheapest op: forest union) | [`mod@product`] |
 //! | `select_const` | `A θ c` selections | [`select`] |
 //! | `merge` / `absorb` | `A = B` selections (siblings / path) | [`restructure`] |
 //! | `swap` | restructuring `χ_{A,B}` | [`restructure`] |
-//! | `aggregate` | the new aggregation operator `γ_F(U)` | [`aggregate`] |
+//! | `aggregate` | the new aggregation operator `γ_F(U)` | [`mod@aggregate`] |
 //! | `project_away` | projection (leaf removal, with push-down) | [`project`] |
 //! | `rename` | constant-time attribute renaming | [`project`] |
+//!
+//! With the arena storage of [`crate::frep`], every structural operator
+//! is a single **copy transform**: it walks the source arena through
+//! [`crate::frep::UnionRef`] cursors and appends the rewritten
+//! representation into a fresh destination arena. Untouched fragments
+//! are deep-copied record by record (`Arena::copy_union_from`) — still
+//! O(fragment size), but each copied singleton is one 12-byte record
+//! append plus a cheap `Arc`-backed value clone, with no per-node heap
+//! allocation. `product` is the exception: it splices the right arena
+//! onto the left in one wholesale table append without touching the
+//! left side at all.
 //!
 //! All operators preserve the sortedness invariant of unions and prune
 //! entries whose subtrees become empty, cascading towards the roots.
@@ -29,45 +40,57 @@ pub use restructure::{absorb, merge, swap};
 pub use select::select_const;
 
 use crate::error::Result;
-use crate::frep::Union;
+use crate::frep::{Arena, UnionId, UnionRef};
 use crate::ftree::{FTree, NodeId};
 
-/// Applies `f` to every occurrence of `target`'s union within `roots`.
+/// Rewrites every occurrence of `target`'s union, copying everything
+/// else from `src` into `dst` unchanged.
 ///
 /// The unions of a node occur once per combination of its ancestors'
 /// values; this walks the unique root path (computed on the f-tree *before*
-/// any structural change) and rewrites each occurrence. If `f` returns
-/// `None` — or a union with no entries — the containing entry is pruned and
-/// pruning cascades upward; at the root an empty union denotes the empty
+/// any structural change) and calls `f` on each occurrence, passing the
+/// source cursor and the destination arena. If `f` returns `None` — or a
+/// union with no entries — the containing entry is pruned and pruning
+/// cascades upward; at the root an empty union denotes the empty
 /// relation.
 pub(crate) fn rewrite_at(
     tree: &FTree,
-    mut roots: Vec<Union>,
+    src: &Arena,
+    roots: &[UnionId],
     target: NodeId,
-    f: &mut dyn FnMut(Union) -> Result<Option<Union>>,
-) -> Result<Vec<Union>> {
+    dst: &mut Arena,
+    f: &mut dyn FnMut(UnionRef<'_>, &mut Arena) -> Result<Option<UnionId>>,
+) -> Result<Vec<UnionId>> {
     let path = tree.root_path(target);
     let root_idx = tree
         .roots()
         .iter()
         .position(|&r| r == path[0])
         .expect("target's root is a forest root");
-    let placeholder = Union::empty(path[0]);
-    let u = std::mem::replace(&mut roots[root_idx], placeholder);
-    let nu = rewrite_rec(tree, u, &path, f)?;
-    roots[root_idx] = nu.unwrap_or_else(|| Union::empty(path[0]));
-    Ok(roots)
+    let mut out = Vec::with_capacity(roots.len());
+    for (i, &r) in roots.iter().enumerate() {
+        if i == root_idx {
+            let nu = rewrite_rec(tree, src, r, &path, f, dst)?;
+            out.push(nu.unwrap_or_else(|| dst.empty_union(path[0])));
+        } else {
+            out.push(dst.copy_union_from(src, r));
+        }
+    }
+    Ok(out)
 }
 
 fn rewrite_rec(
     tree: &FTree,
-    u: Union,
+    src: &Arena,
+    uid: UnionId,
     path: &[NodeId],
-    f: &mut dyn FnMut(Union) -> Result<Option<Union>>,
-) -> Result<Option<Union>> {
-    debug_assert_eq!(u.node, path[0]);
+    f: &mut dyn FnMut(UnionRef<'_>, &mut Arena) -> Result<Option<UnionId>>,
+    dst: &mut Arena,
+) -> Result<Option<UnionId>> {
+    let u = src.union(uid);
+    debug_assert_eq!(u.node(), path[0]);
     if path.len() == 1 {
-        return Ok(f(u)?.filter(|nu| !nu.entries.is_empty()));
+        return Ok(f(u, dst)?.filter(|&nu| dst.union_len(nu) > 0));
     }
     let child_idx = tree
         .node(path[0])
@@ -75,16 +98,23 @@ fn rewrite_rec(
         .iter()
         .position(|&c| c == path[1])
         .expect("path step is a child");
-    let mut entries = Vec::with_capacity(u.entries.len());
-    for mut e in u.entries {
-        let slot = std::mem::replace(&mut e.children[child_idx], Union::empty(path[1]));
-        if let Some(nu) = rewrite_rec(tree, slot, &path[1..], f)? {
-            e.children[child_idx] = nu;
-            entries.push(e);
+    let mut specs = Vec::with_capacity(u.len());
+    let mut kid_ids: Vec<UnionId> = Vec::new();
+    for e in u.entries() {
+        // Rewrite the on-path child first: a pruned subtree skips the
+        // sibling copies entirely.
+        let Some(nu) = rewrite_rec(tree, src, e.child_id(child_idx), &path[1..], f, dst)? else {
+            continue;
+        };
+        kid_ids.clear();
+        for (j, c) in e.child_ids().enumerate() {
+            kid_ids.push(if j == child_idx {
+                nu
+            } else {
+                dst.copy_union_from(src, c)
+            });
         }
+        specs.push(dst.entry(u.node(), e.value().clone(), &kid_ids));
     }
-    Ok((!entries.is_empty()).then_some(Union {
-        node: u.node,
-        entries,
-    }))
+    Ok((!specs.is_empty()).then(|| dst.push_union(u.node(), &specs)))
 }

@@ -3,10 +3,11 @@
 //! "Products are the cheapest operators to execute on factorisations: a
 //! product of n relations can be represented as a factorisation that is a
 //! product relational expression whose children are the n relations" (§5.1)
-//! — structurally a forest union; no data is copied beyond the id remap.
+//! — structurally a forest union. With arena storage this is a single
+//! table append of the right arena onto the left (the left moves for
+//! free; only the right side's ids and node tags are re-based).
 
-use crate::frep::{FRep, Union};
-use crate::ftree::NodeId;
+use crate::frep::{FRep, UnionId};
 
 /// Cross product of two factorised relations over disjoint schemas.
 ///
@@ -14,8 +15,8 @@ use crate::ftree::NodeId;
 /// Debug-asserts schema disjointness; production misuse surfaces as a path
 /// constraint violation at the next check.
 pub fn product(left: FRep, right: FRep) -> FRep {
-    let (mut tree, mut roots) = left.into_parts();
-    let (rtree, rroots) = right.into_parts();
+    let (mut tree, mut arena, mut roots) = left.into_arena_parts();
+    let (rtree, rarena, rroots) = right.into_arena_parts();
     debug_assert!(
         rtree
             .all_attrs()
@@ -24,19 +25,9 @@ pub fn product(left: FRep, right: FRep) -> FRep {
         "product requires disjoint schemas"
     );
     let offset = tree.extend_forest(&rtree);
-    roots.extend(rroots.into_iter().map(|u| offset_union(u, offset)));
-    FRep::from_parts(tree, roots)
-}
-
-/// Shifts every node id in a union by `offset` (forest-append remap).
-fn offset_union(mut u: Union, offset: u32) -> Union {
-    u.node = NodeId(u.node.0 + offset);
-    for e in &mut u.entries {
-        for c in std::mem::take(&mut e.children) {
-            e.children.push(offset_union(c, offset));
-        }
-    }
-    u
+    let union_off = arena.append(rarena, offset);
+    roots.extend(rroots.iter().map(|r| UnionId(r.0 + union_off)));
+    FRep::from_arena(tree, arena, roots)
 }
 
 #[cfg(test)]
@@ -82,9 +73,9 @@ mod tests {
         let l = rep_of(&mut c, "a", &[1]);
         let r = rep_of(&mut c, "b", &[2]);
         let p = product(l, r);
-        // Every union's node id must match the f-tree position.
-        for (u, &root) in p.roots().iter().zip(p.ftree().roots()) {
-            assert_eq!(u.node, root);
+        // Every root union's node id must match the f-tree position.
+        for (u, &root) in p.root_unions().zip(p.ftree().roots()) {
+            assert_eq!(u.node(), root);
         }
     }
 }

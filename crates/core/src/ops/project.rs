@@ -7,7 +7,7 @@
 //! removed (§2.1). Renaming is a constant-time label edit.
 
 use crate::error::{FdbError, Result};
-use crate::frep::FRep;
+use crate::frep::{Arena, FRep, UnionId};
 use crate::ftree::{NodeId, NodeLabel};
 use crate::ops::{rewrite_at, swap};
 use fdb_relational::AttrId;
@@ -15,24 +15,35 @@ use fdb_relational::AttrId;
 /// Removes a leaf node's union everywhere (the data-level step of
 /// projection).
 pub fn remove_leaf(rep: FRep, node: NodeId) -> Result<FRep> {
-    let (tree, roots) = rep.into_parts();
+    let (tree, arena, roots) = rep.into_arena_parts();
     let parent = tree.node(node).parent;
     let mut new_tree = tree.clone();
     let pos = new_tree.remove_leaf(node)?;
+    let mut dst = Arena::default();
     let roots = match parent {
-        Some(p) => rewrite_at(&tree, roots, p, &mut |mut up| {
-            for e in up.entries.iter_mut() {
-                e.children.remove(pos);
+        Some(p) => rewrite_at(&tree, &arena, &roots, p, &mut dst, &mut |up, dst| {
+            let src = up.arena();
+            let mut specs = Vec::with_capacity(up.len());
+            let mut kid_ids: Vec<UnionId> = Vec::new();
+            for e in up.entries() {
+                kid_ids.clear();
+                for (j, c) in e.child_ids().enumerate() {
+                    if j != pos {
+                        kid_ids.push(dst.copy_union_from(src, c));
+                    }
+                }
+                specs.push(dst.entry(up.node(), e.value().clone(), &kid_ids));
             }
-            Ok(Some(up))
+            Ok(Some(dst.push_union(up.node(), &specs)))
         })?,
-        None => {
-            let mut roots = roots;
-            roots.remove(pos);
-            roots
-        }
+        None => roots
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != pos)
+            .map(|(_, &r)| dst.copy_union_from(&arena, r))
+            .collect(),
     };
-    let out = FRep::from_parts(new_tree, roots);
+    let out = FRep::from_arena(new_tree, dst, roots);
     debug_assert!(out.check_invariants().is_ok());
     Ok(out)
 }

@@ -3,24 +3,26 @@
 //! * `swap` exchanges a node with its parent while preserving the path
 //!   constraint: `⋃_a (⟨A:a⟩×E_a×⋃_b (⟨B:b⟩×F_b×G_ab))` becomes
 //!   `⋃_b (⟨B:b⟩×F_b×⋃_a (⟨A:a⟩×E_a×G_ab))`. The independent subtrees
-//!   `F_b` are deduplicated (first copy kept, the rest dropped) — this is
-//!   why re-sorting factorised data can be *partial*: the `G_ab` and `F_b`
-//!   fragments move without being rebuilt.
+//!   `F_b` are deduplicated (first occurrence kept, the rest dropped) —
+//!   the regrouping records *source* union ids and copies each fragment
+//!   into the output arena exactly once per emitted position, so the
+//!   factorisation can only shrink here.
 //! * `merge` implements a selection `A = B` on sibling nodes as a linear
 //!   intersection of their sorted unions.
 //! * `absorb` implements `A = B` when `B`'s node is a descendant of `A`'s:
 //!   each `B`-union below an `A`-value is restricted to that value.
 
 use crate::error::{FdbError, Result};
-use crate::frep::{Entry, FRep, Union};
+use crate::frep::{Arena, EntryRef, FRep, UnionId, UnionRef};
 use crate::ftree::{FTree, NodeId};
 use crate::ops::rewrite_at;
 use fdb_relational::Value;
+use std::collections::btree_map;
 use std::collections::BTreeMap;
 
 /// Swap `χ_{A,B}`: `b` (a child of `a`) becomes `a`'s parent.
 pub fn swap(rep: FRep, a: NodeId, b: NodeId) -> Result<FRep> {
-    let (tree, roots) = rep.into_parts();
+    let (tree, arena, roots) = rep.into_arena_parts();
     if tree.node(b).parent != Some(a) {
         return Err(FdbError::InvalidOperator(format!(
             "swap requires {b:?} to be a child of {a:?}"
@@ -38,185 +40,193 @@ pub fn swap(rep: FRep, a: NodeId, b: NodeId) -> Result<FRep> {
     let moved_idx: Vec<usize> = outcome.moved_up.iter().map(|&n| pos_of(n)).collect();
     let stayed_idx: Vec<usize> = outcome.stayed.iter().map(|&n| pos_of(n)).collect();
     let b_pos = outcome.b_pos_in_a;
-    let roots = rewrite_at(&tree, roots, a, &mut |ua| {
-        Ok(Some(swap_union(ua, a, b, b_pos, &moved_idx, &stayed_idx)))
+    let mut dst = Arena::default();
+    let roots = rewrite_at(&tree, &arena, &roots, a, &mut dst, &mut |ua, dst| {
+        Ok(Some(swap_union(
+            ua,
+            dst,
+            a,
+            b,
+            b_pos,
+            &moved_idx,
+            &stayed_idx,
+        )))
     })?;
-    let out = FRep::from_parts(new_tree, roots);
+    let out = FRep::from_arena(new_tree, dst, roots);
     debug_assert!(out.check_invariants().is_ok());
     Ok(out)
 }
 
 fn swap_union(
-    ua: Union,
+    ua: UnionRef<'_>,
+    dst: &mut Arena,
     a: NodeId,
     b: NodeId,
     b_pos: usize,
     moved_idx: &[usize],
     stayed_idx: &[usize],
-) -> Union {
-    // For each b-value: the F_b subtrees (first occurrence) and the new
-    // inner a-union's entries, accumulated in ascending a-order because the
-    // outer loop visits a-entries in order.
-    let mut regroup: BTreeMap<Value, (Option<Vec<Union>>, Vec<Entry>)> = BTreeMap::new();
-    for ea in ua.entries {
-        let Entry {
-            value: a_val,
-            children: mut a_children,
-        } = ea;
-        let ub = a_children.remove(b_pos);
-        let mut ea_rest = Some(a_children);
-        let n_b = ub.entries.len();
-        for (k, eb) in ub.entries.into_iter().enumerate() {
-            let last = k + 1 == n_b;
-            let mut slots: Vec<Option<Union>> = eb.children.into_iter().map(Some).collect();
-            let fb: Vec<Union> = moved_idx
-                .iter()
-                .map(|&i| slots[i].take().expect("moved child taken once"))
-                .collect();
-            let gab: Vec<Union> = stayed_idx
-                .iter()
-                .map(|&i| slots[i].take().expect("stayed child taken once"))
-                .collect();
-            // E_a is shared by every b-branch below this a-entry: clone for
-            // all but the last occurrence.
-            let mut new_a_children = if last {
-                ea_rest.take().expect("E_a consumed once")
-            } else {
-                ea_rest.as_ref().expect("E_a alive until last").clone()
-            };
-            new_a_children.extend(gab);
-            let slot = regroup.entry(eb.value).or_insert((None, Vec::new()));
-            if slot.0.is_none() {
-                // First occurrence of this b-value keeps F_b; later copies
-                // are identical by the path constraint and are dropped —
-                // the factorisation can only shrink here.
-                slot.0 = Some(fb);
+) -> UnionId {
+    let src = ua.arena();
+    // For each b-value: the F_b subtrees (source ids, first occurrence)
+    // and the new inner a-union's entries as (a-value, source ids of
+    // E_a ++ G_ab), accumulated in ascending a-order because the outer
+    // loop visits a-entries in order. Nothing is copied until emission,
+    // so shared E_a fragments duplicate naturally per b-branch.
+    type Regrouped = (Vec<UnionId>, Vec<(Value, Vec<UnionId>)>);
+    let mut regroup: BTreeMap<Value, Regrouped> = BTreeMap::new();
+    for ea in ua.entries() {
+        let ub = ea.child(b_pos);
+        let ea_rest: Vec<UnionId> = ea
+            .child_ids()
+            .enumerate()
+            .filter(|&(j, _)| j != b_pos)
+            .map(|(_, c)| c)
+            .collect();
+        for eb in ub.entries() {
+            let gab = stayed_idx.iter().map(|&i| eb.child_id(i));
+            let new_a_children: Vec<UnionId> = ea_rest.iter().copied().chain(gab).collect();
+            let a_entry = (ea.value().clone(), new_a_children);
+            match regroup.entry(eb.value().clone()) {
+                btree_map::Entry::Vacant(slot) => {
+                    // First occurrence of this b-value keeps F_b; later
+                    // copies are identical by the path constraint and are
+                    // dropped.
+                    let fb: Vec<UnionId> = moved_idx.iter().map(|&i| eb.child_id(i)).collect();
+                    slot.insert((fb, vec![a_entry]));
+                }
+                btree_map::Entry::Occupied(mut slot) => {
+                    slot.get_mut().1.push(a_entry);
+                }
             }
-            slot.1.push(Entry {
-                value: a_val.clone(),
-                children: new_a_children,
-            });
         }
     }
-    let entries = regroup
-        .into_iter()
-        .map(|(b_val, (fb, a_entries))| {
-            let mut children = fb.expect("F_b recorded at first occurrence");
-            children.push(Union {
-                node: a,
-                entries: a_entries,
-            });
-            Entry {
-                value: b_val,
-                children,
+    let mut b_specs = Vec::with_capacity(regroup.len());
+    let mut kid_ids: Vec<UnionId> = Vec::new();
+    for (b_val, (fb, a_entries)) in regroup {
+        let mut a_specs = Vec::with_capacity(a_entries.len());
+        for (a_val, src_kids) in a_entries {
+            kid_ids.clear();
+            for c in &src_kids {
+                kid_ids.push(dst.copy_union_from(src, *c));
             }
-        })
-        .collect();
-    Union { node: b, entries }
+            a_specs.push(dst.entry(a, a_val, &kid_ids));
+        }
+        let inner = dst.push_union(a, &a_specs);
+        kid_ids.clear();
+        for c in &fb {
+            kid_ids.push(dst.copy_union_from(src, *c));
+        }
+        kid_ids.push(inner);
+        b_specs.push(dst.entry(b, b_val, &kid_ids));
+    }
+    dst.push_union(b, &b_specs)
 }
 
 /// Merge: implements a selection `A = B` for sibling nodes by intersecting
 /// their sorted unions (linear in the union sizes).
 pub fn merge(rep: FRep, a: NodeId, b: NodeId) -> Result<FRep> {
-    let (tree, roots) = rep.into_parts();
+    let (tree, arena, roots) = rep.into_arena_parts();
     let parent = tree.node(a).parent;
     let mut new_tree = tree.clone();
     let outcome = new_tree.merge(a, b)?;
     let (a_pos, b_pos) = (outcome.a_pos, outcome.b_pos);
-    let roots = match parent {
+    let mut dst = Arena::default();
+    let new_roots = match parent {
         None => {
             // Both nodes are roots: intersect the two root unions directly.
-            let mut roots = roots;
-            let (hi, lo) = if a_pos > b_pos {
-                (a_pos, b_pos)
-            } else {
-                (b_pos, a_pos)
-            };
-            let u_hi = roots.remove(hi);
-            let u_lo = std::mem::replace(&mut roots[lo], Union::empty(a));
-            let (ua, ub) = if a_pos < b_pos {
-                (u_lo, u_hi)
-            } else {
-                (u_hi, u_lo)
-            };
-            let merged = intersect_unions(ua, ub, a);
-            let a_new_pos = if b_pos < a_pos { a_pos - 1 } else { a_pos };
-            roots[a_new_pos] = merged;
-            if roots.iter().any(|u| u.entries.is_empty()) {
-                // Empty relation: normalise every root to empty.
-                for u in roots.iter_mut() {
-                    u.entries.clear();
+            let mut out = Vec::with_capacity(roots.len() - 1);
+            for (i, &r) in roots.iter().enumerate() {
+                if i == b_pos {
+                    continue;
+                }
+                if i == a_pos {
+                    out.push(intersect_unions(
+                        &arena,
+                        roots[a_pos],
+                        roots[b_pos],
+                        a,
+                        &mut dst,
+                    ));
+                } else {
+                    out.push(dst.copy_union_from(&arena, r));
                 }
             }
-            roots
+            if out.iter().any(|&u| dst.union_len(u) == 0) {
+                // Empty relation: normalise every root to empty.
+                dst = Arena::default();
+                out = new_tree
+                    .roots()
+                    .iter()
+                    .map(|&r| dst.empty_union(r))
+                    .collect();
+            }
+            out
         }
-        Some(p) => rewrite_at(&tree, roots, p, &mut |mut up| {
-            let mut entries = Vec::with_capacity(up.entries.len());
-            for mut e in up.entries.drain(..) {
-                let (hi, lo) = if a_pos > b_pos {
-                    (a_pos, b_pos)
-                } else {
-                    (b_pos, a_pos)
-                };
-                let u_hi = e.children.remove(hi);
-                let u_lo = std::mem::replace(&mut e.children[lo], Union::empty(a));
-                let (ua, ub) = if a_pos < b_pos {
-                    (u_lo, u_hi)
-                } else {
-                    (u_hi, u_lo)
-                };
-                let merged = intersect_unions(ua, ub, a);
-                if merged.entries.is_empty() {
+        Some(p) => rewrite_at(&tree, &arena, &roots, p, &mut dst, &mut |up, dst| {
+            let src = up.arena();
+            let mut specs = Vec::with_capacity(up.len());
+            let mut kid_ids: Vec<UnionId> = Vec::new();
+            for e in up.entries() {
+                let merged = intersect_unions(src, e.child_id(a_pos), e.child_id(b_pos), a, dst);
+                if dst.union_len(merged) == 0 {
                     continue; // dangling combination: prune this entry
                 }
-                let a_new_pos = if b_pos < a_pos { a_pos - 1 } else { a_pos };
-                e.children[a_new_pos] = merged;
-                entries.push(e);
+                kid_ids.clear();
+                for (j, c) in e.child_ids().enumerate() {
+                    if j == b_pos {
+                        continue;
+                    }
+                    kid_ids.push(if j == a_pos {
+                        merged
+                    } else {
+                        dst.copy_union_from(src, c)
+                    });
+                }
+                specs.push(dst.entry(up.node(), e.value().clone(), &kid_ids));
             }
-            Ok(Some(Union {
-                node: up.node,
-                entries,
-            }))
+            Ok(Some(dst.push_union(up.node(), &specs)))
         })?,
     };
-    let out = FRep::from_parts(new_tree, roots);
+    let out = FRep::from_arena(new_tree, dst, new_roots);
     debug_assert!(out.check_invariants().is_ok());
     Ok(out)
 }
 
 /// Sorted intersection of two unions; matched entries concatenate their
 /// child lists (the merged node keeps `a`'s children then `b`'s).
-fn intersect_unions(ua: Union, ub: Union, node: NodeId) -> Union {
-    let mut entries = Vec::new();
-    let mut ib = ub.entries.into_iter().peekable();
-    for ea in ua.entries {
-        loop {
-            match ib.peek() {
-                Some(eb) if eb.value < ea.value => {
-                    ib.next();
-                }
-                _ => break,
-            }
+fn intersect_unions(
+    src: &Arena,
+    ua: UnionId,
+    ub: UnionId,
+    node: NodeId,
+    dst: &mut Arena,
+) -> UnionId {
+    let ua = src.union(ua);
+    let ub = src.union(ub);
+    let mut specs = Vec::new();
+    let mut kid_ids: Vec<UnionId> = Vec::new();
+    let mut j = 0usize;
+    for ea in ua.entries() {
+        while j < ub.len() && ub.entry(j).value() < ea.value() {
+            j += 1;
         }
-        if let Some(eb) = ib.peek() {
-            if eb.value == ea.value {
-                let eb = ib.next().unwrap();
-                let mut children = ea.children;
-                children.extend(eb.children);
-                entries.push(Entry {
-                    value: ea.value,
-                    children,
-                });
+        if j < ub.len() && ub.entry(j).value() == ea.value() {
+            let eb = ub.entry(j);
+            j += 1;
+            kid_ids.clear();
+            for c in ea.child_ids().chain(eb.child_ids()) {
+                kid_ids.push(dst.copy_union_from(src, c));
             }
+            specs.push(dst.entry(node, ea.value().clone(), &kid_ids));
         }
     }
-    Union { node, entries }
+    dst.push_union(node, &specs)
 }
 
 /// Absorb: implements a selection `A = B` when `desc` (holding `B`) is a
 /// strict descendant of `anc` (holding `A`).
 pub fn absorb(rep: FRep, anc: NodeId, desc: NodeId) -> Result<FRep> {
-    let (tree, roots) = rep.into_parts();
+    let (tree, arena, roots) = rep.into_arena_parts();
     if !tree.is_ancestor(anc, desc) {
         return Err(FdbError::InvalidOperator(format!(
             "absorb requires {desc:?} below {anc:?}"
@@ -232,48 +242,51 @@ pub fn absorb(rep: FRep, anc: NodeId, desc: NodeId) -> Result<FRep> {
     // Path from anc down to desc's parent, inclusive.
     let inner: Vec<NodeId> = full[anc_i..full.len() - 1].to_vec();
     let desc_pos = outcome.pos;
-    let roots = rewrite_at(&tree, roots, anc, &mut |ua| {
-        let mut entries = Vec::with_capacity(ua.entries.len());
-        for e in ua.entries {
-            let v = e.value.clone();
-            if let Some(e2) = restrict_entry(&tree, e, &inner, desc_pos, &v) {
-                entries.push(e2);
+    let mut dst = Arena::default();
+    let roots = rewrite_at(&tree, &arena, &roots, anc, &mut dst, &mut |ua, dst| {
+        let mut specs = Vec::with_capacity(ua.len());
+        for e in ua.entries() {
+            let v = e.value().clone();
+            if let Some(kids) = restrict_entry(&tree, e, &inner, desc_pos, &v, dst) {
+                specs.push(dst.entry(ua.node(), v, &kids));
             }
         }
-        Ok(Some(Union {
-            node: ua.node,
-            entries,
-        }))
+        Ok(Some(dst.push_union(ua.node(), &specs)))
     })?;
-    let out = FRep::from_parts(new_tree, roots);
+    let out = FRep::from_arena(new_tree, dst, roots);
     debug_assert!(out.check_invariants().is_ok());
     Ok(out)
 }
 
 /// Restricts the `desc` unions below one `anc` entry to the value `v`,
 /// splicing the matching entry's children in place of the `desc` union.
-/// Returns `None` when the restriction empties the entry (pruning).
+/// Returns the rewritten kid list for the entry, or `None` when the
+/// restriction empties it (pruning).
 fn restrict_entry(
     tree: &FTree,
-    mut e: Entry,
+    e: EntryRef<'_>,
     path: &[NodeId],
     desc_pos: usize,
     v: &Value,
-) -> Option<Entry> {
+    dst: &mut Arena,
+) -> Option<Vec<UnionId>> {
+    let src = e.arena();
     if path.len() == 1 {
         // `e` is an entry of desc's parent: restrict the desc child union.
-        let du = e.children.remove(desc_pos);
-        let mut du_entries = du.entries;
-        match du_entries.binary_search_by(|x| x.value.cmp(v)) {
-            Ok(i) => {
-                let de = du_entries.swap_remove(i);
-                for (k, cu) in de.children.into_iter().enumerate() {
-                    e.children.insert(desc_pos + k, cu);
+        let du = e.child(desc_pos);
+        let i = du.find(v)?;
+        let de = du.entry(i);
+        let mut kids = Vec::with_capacity(e.child_count() - 1 + de.child_count());
+        for (j, c) in e.child_ids().enumerate() {
+            if j == desc_pos {
+                for dc in de.child_ids() {
+                    kids.push(dst.copy_union_from(src, dc));
                 }
-                Some(e)
+            } else {
+                kids.push(dst.copy_union_from(src, c));
             }
-            Err(_) => None,
         }
+        Some(kids)
     } else {
         let child_idx = tree
             .node(path[0])
@@ -281,21 +294,26 @@ fn restrict_entry(
             .iter()
             .position(|&c| c == path[1])
             .expect("path step is a child");
-        let cu = std::mem::replace(&mut e.children[child_idx], Union::empty(path[1]));
-        let mut entries = Vec::with_capacity(cu.entries.len());
-        for ce in cu.entries {
-            if let Some(ce2) = restrict_entry(tree, ce, &path[1..], desc_pos, v) {
-                entries.push(ce2);
+        let cu = e.child(child_idx);
+        let mut specs = Vec::with_capacity(cu.len());
+        for ce in cu.entries() {
+            if let Some(ce_kids) = restrict_entry(tree, ce, &path[1..], desc_pos, v, dst) {
+                specs.push(dst.entry(cu.node(), ce.value().clone(), &ce_kids));
             }
         }
-        if entries.is_empty() {
+        if specs.is_empty() {
             return None;
         }
-        e.children[child_idx] = Union {
-            node: cu.node,
-            entries,
-        };
-        Some(e)
+        let new_cu = dst.push_union(cu.node(), &specs);
+        let mut kids = Vec::with_capacity(e.child_count());
+        for (j, c) in e.child_ids().enumerate() {
+            kids.push(if j == child_idx {
+                new_cu
+            } else {
+                dst.copy_union_from(src, c)
+            });
+        }
+        Some(kids)
     }
 }
 
@@ -360,11 +378,11 @@ mod tests {
         let swapped = swap(rp, root, child).unwrap();
         // The item union at the top has 4 distinct items; "base" lists 3
         // pizzas beneath it.
-        let u = &swapped.roots()[0];
-        assert_eq!(u.entries.len(), 4);
-        let base = &u.entries[0];
-        assert_eq!(base.value, Value::str("base"));
-        assert_eq!(base.children[0].entries.len(), 3);
+        let u = swapped.root(0);
+        assert_eq!(u.len(), 4);
+        let base = u.entry(0);
+        assert_eq!(*base.value(), Value::str("base"));
+        assert_eq!(base.child(0).len(), 3);
     }
 
     #[test]
@@ -399,7 +417,7 @@ mod tests {
         let price = c.lookup("price").unwrap();
         let s = crate::agg::sum_union(
             merged.ftree(),
-            &merged.roots()[0],
+            merged.root(0),
             &crate::ftree::AggOp::Sum(price),
         )
         .unwrap();

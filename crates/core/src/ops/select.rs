@@ -2,10 +2,11 @@
 //!
 //! A constant selection filters the entries of the attribute's unions in
 //! one traversal of the relevant fragment (§5.1); entries whose subtrees
-//! become empty are pruned on the way back up.
+//! become empty are pruned on the way back up. The surviving entries'
+//! subtrees are copied verbatim into the output arena.
 
 use crate::error::{FdbError, Result};
-use crate::frep::{value_for_attr, FRep, Union};
+use crate::frep::{value_for_attr, Arena, FRep, UnionId};
 use crate::ops::rewrite_at;
 use fdb_relational::{AttrId, CmpOp, Value};
 
@@ -18,17 +19,27 @@ pub fn select_const(rep: FRep, attr: AttrId, op: CmpOp, value: &Value) -> Result
         .ftree()
         .node_of_attr(attr)
         .ok_or_else(|| FdbError::Unresolved(format!("attribute {attr} not in f-tree")))?;
-    let (tree, roots) = rep.into_parts();
+    let (tree, arena, roots) = rep.into_arena_parts();
     let label = tree.node(node).label.clone();
-    let roots = rewrite_at(&tree, roots, node, &mut |mut u: Union| {
-        u.entries.retain(|e| {
-            let v = value_for_attr(&label, &e.value, attr)
+    let mut dst = Arena::default();
+    let roots = rewrite_at(&tree, &arena, &roots, node, &mut dst, &mut |u, dst| {
+        let mut specs = Vec::with_capacity(u.len());
+        let mut kid_ids: Vec<UnionId> = Vec::new();
+        for e in u.entries() {
+            let v = value_for_attr(&label, e.value(), attr)
                 .expect("node exposes the selected attribute");
-            op.eval(v.cmp(value))
-        });
-        Ok(Some(u))
+            if !op.eval(v.cmp(value)) {
+                continue;
+            }
+            kid_ids.clear();
+            for c in e.child_ids() {
+                kid_ids.push(dst.copy_union_from(&arena, c));
+            }
+            specs.push(dst.entry(u.node(), e.value().clone(), &kid_ids));
+        }
+        Ok(Some(dst.push_union(u.node(), &specs)))
     })?;
-    let out = FRep::from_parts(tree, roots);
+    let out = FRep::from_arena(tree, dst, roots);
     debug_assert!(out.check_invariants().is_ok());
     Ok(out)
 }
@@ -81,10 +92,10 @@ mod tests {
         out.check_invariants().unwrap();
         assert_eq!(out.tuple_count(), 3);
         // "base" (price 6) disappeared from the item union.
-        let names: Vec<String> = out.roots()[0]
-            .entries
-            .iter()
-            .map(|e| e.value.as_str().unwrap().to_string())
+        let names: Vec<String> = out
+            .root(0)
+            .entries()
+            .map(|e| e.value().as_str().unwrap().to_string())
             .collect();
         assert_eq!(names, vec!["ham", "mushrooms", "pineapple"]);
     }
@@ -96,7 +107,7 @@ mod tests {
         let step1 = select_const(rep, price, CmpOp::Ne, &Value::Int(1)).unwrap();
         let step2 = select_const(step1, price, CmpOp::Lt, &Value::Int(6)).unwrap();
         assert_eq!(step2.tuple_count(), 1);
-        assert_eq!(step2.roots()[0].entries[0].value, Value::str("pineapple"));
+        assert_eq!(*step2.root(0).entry(0).value(), Value::str("pineapple"));
     }
 
     #[test]

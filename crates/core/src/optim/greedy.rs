@@ -606,7 +606,7 @@ mod tests {
         let plan = greedy(rep.ftree(), &spec, &stats, &mut c).unwrap();
         let out = plan.execute(rep).unwrap();
         assert_eq!(out.tuple_count(), 1);
-        assert_eq!(out.roots()[0].entries[0].value, Value::Int(40));
+        assert_eq!(*out.root(0).entry(0).value(), Value::Int(40));
     }
 
     #[test]

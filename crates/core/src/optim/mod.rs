@@ -3,8 +3,8 @@
 //! * [`cost`] — the paper's cost metric: tight factorisation size bounds
 //!   from fractional edge covers of root paths;
 //! * [`lp`] — the small simplex solver behind the bounds;
-//! * [`greedy`] — the polynomial-time heuristic of §5.2;
-//! * [`exhaustive`] — Dijkstra over the space of f-trees with permissible
+//! * [`mod@greedy`] — the polynomial-time heuristic of §5.2;
+//! * [`mod@exhaustive`] — Dijkstra over the space of f-trees with permissible
 //!   operators as edges (Prop. 3), exact but exponential.
 
 pub mod cost;

@@ -261,7 +261,7 @@ mod tests {
         assert_eq!(out.tuple_count(), 1);
         // a=1 has two b values.
         assert_eq!(
-            out.roots()[0].entries[0].children[0].entries[0].value,
+            *out.root(0).entry(0).child(0).entry(0).value(),
             Value::Int(2)
         );
     }

@@ -116,7 +116,7 @@ fn law1_pre_aggregation_is_absorbed_sum() {
     let composed = final_gamma(pre, AggOp::Sum(f.price), out);
 
     assert_eq!(direct.flatten().canonical(), composed.flatten().canonical());
-    assert_eq!(direct.roots()[0].entries[0].value, Value::Int(40));
+    assert_eq!(*direct.root(0).entry(0).value(), Value::Int(40));
 }
 
 #[test]
@@ -137,7 +137,7 @@ fn law1_pre_aggregation_is_absorbed_count() {
     .unwrap();
     let composed = final_gamma(pre, AggOp::Count, out);
     assert_eq!(direct.flatten().canonical(), composed.flatten().canonical());
-    assert_eq!(direct.roots()[0].entries[0].value, Value::Int(13));
+    assert_eq!(*direct.root(0).entry(0).value(), Value::Int(13));
 }
 
 #[test]
@@ -159,7 +159,7 @@ fn law1_min_max_absorbed() {
         )
         .unwrap();
         let composed = final_gamma(pre, func, out);
-        assert_eq!(direct.roots()[0].entries[0].value, expected);
+        assert_eq!(*direct.root(0).entry(0).value(), expected);
         assert_eq!(direct.flatten().canonical(), composed.flatten().canonical());
     }
 }

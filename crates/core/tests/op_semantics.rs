@@ -199,7 +199,7 @@ proptest! {
         let par = ops::aggregate_par(rep, &target, vec![fop], vec![out], threads).unwrap();
         prop_assert!(par.check_invariants().is_ok());
         // Parallel ≡ serial structurally, not just as a set.
-        prop_assert_eq!(par.roots(), serial.roots());
+        prop_assert!(par.same_data(&serial));
         let expected = rel_ops::group_aggregate(
             &rel,
             &[attrs[0]],
@@ -326,7 +326,7 @@ fn parallel_aggregate_single_child_union_edge_case() {
     .canonical();
     for threads in [1usize, 2, 4, 5] {
         let rep = FRep::from_relation(&rel, FTree::path(&attrs)).unwrap();
-        assert_eq!(rep.roots()[0].entries.len(), 1, "single x value");
+        assert_eq!(rep.root(0).len(), 1, "single x value");
         let ny = rep.ftree().node_of_attr(attrs[1]).unwrap();
         let target = ops::AggTarget::subtree(rep.ftree(), ny);
         let agged =
@@ -374,7 +374,7 @@ fn parallel_aggregate_skewed_child_sizes_edge_case() {
             let ny = rep.ftree().node_of_attr(attrs[1]).unwrap();
             let target = ops::AggTarget::subtree(rep.ftree(), ny);
             let par = ops::aggregate_par(rep, &target, vec![fop], vec![out], threads).unwrap();
-            assert_eq!(par.roots(), serial.roots(), "threads={threads}");
+            assert!(par.same_data(&serial), "threads={threads}");
             assert_eq!(
                 par.flatten().project_cols(&[attrs[0], out]).canonical(),
                 expected,

@@ -1,6 +1,6 @@
 //! # fdb-workload — synthetic datasets for the FDB experiments
 //!
-//! * [`pizzeria`] — the Figure 1 micro-database (Orders, Pizzas, Items)
+//! * [`mod@pizzeria`] — the Figure 1 micro-database (Orders, Pizzas, Items)
 //!   and the factorisation of their join over the f-tree T1, used to walk
 //!   through the paper's running examples;
 //! * [`orders`] — the scalable benchmark generator of §6 (Orders,
