@@ -42,14 +42,17 @@ fn main() {
     env.rdb_sort.catalog = env.fdb.catalog.clone();
     env.rdb_hash.catalog = env.fdb.catalog.clone();
     for q in queries.iter().filter(|q| q.class == QueryClass::Agg) {
-        let (st, t) = median_secs(args.repeats, || env.run_fdb_fo_stats(&q.task));
+        let ((st, exec), t) = median_secs(args.repeats, || env.run_fdb_fo_report(&q.task));
         emit.row(
             "5",
             scale,
             q.name,
             "FDB f/o",
             t,
-            &format!("singletons={} bytes={}", st.singletons, st.bytes),
+            &format!(
+                "singletons={} bytes={} ibytes={} copies_avoided={}",
+                st.singletons, st.bytes, exec.intermediate_bytes, exec.copies_avoided
+            ),
         );
         let (n, t) = median_secs(args.repeats, || env.run_fdb_flat(&q.task));
         emit.row("5", scale, q.name, "FDB", t, &format!("rows={n}"));

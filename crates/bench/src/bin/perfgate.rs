@@ -3,14 +3,18 @@
 //!
 //! ```text
 //! perfgate --baseline BENCH_s1.json --current fresh.json \
-//!          [--max-ratio 3.0] [--floor-ms 1.0] [--engine-prefix FDB]
+//!          [--max-ratio 3.0] [--floor-ms 1.0] [--max-mem-ratio 1.2] \
+//!          [--engine-prefix FDB]
 //! ```
 //!
 //! Exit codes: `0` pass, `1` regression detected, `2` usage/parse error.
 //! Only rows whose engine starts with the prefix are gated (default
-//! `FDB`); the ratio threshold is deliberately generous so that shared
+//! `FDB`); the timing threshold is deliberately generous so that shared
 //! CI runners don't flake the build — the gate exists to catch
 //! order-of-magnitude storage regressions, not single-digit percents.
+//! Rows carrying an `ibytes=` note (intermediate bytes allocated by
+//! the staged plan execution) are additionally gated on memory with the
+//! much tighter `--max-mem-ratio`, since allocation is deterministic.
 
 use fdb_bench::perf::{compare, parse_results, GateConfig};
 
@@ -20,10 +24,12 @@ fn main() {
     let mut current_path: Option<String> = None;
     let mut max_ratio = 3.0f64;
     let mut floor_ms = 1.0f64;
+    let mut max_mem_ratio = 1.2f64;
     let mut engine_prefix = "FDB".to_string();
     let mut i = 0;
     let usage = "usage: perfgate --baseline PATH --current PATH \
-                 [--max-ratio R] [--floor-ms MS] [--engine-prefix P]";
+                 [--max-ratio R] [--floor-ms MS] [--max-mem-ratio R] \
+                 [--engine-prefix P]";
     while i < argv.len() {
         let value = |i: usize| -> String {
             argv.get(i + 1)
@@ -45,6 +51,12 @@ fn main() {
             "--floor-ms" => {
                 floor_ms = value(i).parse().unwrap_or_else(|_| {
                     eprintln!("bad --floor-ms");
+                    std::process::exit(2);
+                })
+            }
+            "--max-mem-ratio" => {
+                max_mem_ratio = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("bad --max-mem-ratio");
                     std::process::exit(2);
                 })
             }
@@ -81,7 +93,9 @@ fn main() {
     let cfg = GateConfig {
         max_ratio,
         floor_secs: floor_ms / 1000.0,
+        max_mem_ratio,
         engine_prefix: &engine_prefix,
+        ..GateConfig::default()
     };
     let verdicts = compare(&baseline, &current, &cfg);
     if verdicts.is_empty() {
@@ -89,15 +103,19 @@ fn main() {
         std::process::exit(2);
     }
     let mut failed = false;
-    println!("# perf gate: max-ratio {max_ratio}, floor {floor_ms} ms, prefix `{engine_prefix}`");
+    println!(
+        "# perf gate: max-ratio {max_ratio}, floor {floor_ms} ms, \
+         max-mem-ratio {max_mem_ratio}, prefix `{engine_prefix}`"
+    );
     for v in &verdicts {
         let status = if v.failed { "FAIL" } else { "ok  " };
         failed |= v.failed;
         println!(
-            "{status} {key}: baseline {base:.6}s current {cur:.6}s ratio {ratio:.2}",
+            "{status} {key} [{metric}]: baseline {base:.6} current {cur:.6} ratio {ratio:.2}",
             key = v.key,
-            base = v.baseline_secs,
-            cur = v.current_secs,
+            metric = v.metric.label(),
+            base = v.baseline,
+            cur = v.current,
             ratio = v.ratio,
         );
     }

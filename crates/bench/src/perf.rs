@@ -35,14 +35,46 @@ impl PerfRow {
             self.figure, self.scale, self.query, self.engine
         )
     }
+
+    /// Extracts an integer `key=value` stat from the row's note (the
+    /// figure binaries embed stats such as `bytes=…` and `ibytes=…`).
+    pub fn note_stat(&self, key: &str) -> Option<u64> {
+        for part in self.note.split_whitespace() {
+            if let Some(v) = part.strip_prefix(key) {
+                if let Some(v) = v.strip_prefix('=') {
+                    return v.parse().ok();
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The quantity one verdict gates on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Wall-clock seconds of the row.
+    Seconds,
+    /// Peak intermediate arena bytes of the plan run (`ibytes=` note).
+    IntermediateBytes,
+}
+
+impl Metric {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Metric::Seconds => "seconds",
+            Metric::IntermediateBytes => "ibytes",
+        }
+    }
 }
 
 /// One gate comparison outcome.
 #[derive(Clone, Debug)]
 pub struct Verdict {
     pub key: String,
-    pub baseline_secs: f64,
-    pub current_secs: f64,
+    pub metric: Metric,
+    pub baseline: f64,
+    pub current: f64,
     /// `current / max(baseline, floor)`.
     pub ratio: f64,
     pub failed: bool,
@@ -56,6 +88,19 @@ pub struct GateConfig<'a> {
     /// Baselines below this are clamped up before the division, so
     /// sub-millisecond rows do not amplify timer noise into failures.
     pub floor_secs: f64,
+    /// Fail when a row's `ibytes=` note grows past
+    /// `max_mem_ratio × max(baseline, floor_bytes)` — intermediate
+    /// allocation is deterministic, so this is much tighter than the
+    /// timing ratio; the slack only absorbs record-layout and
+    /// allocator differences across toolchains. Rows whose *baseline*
+    /// lacks the stat are skipped (pre-fusion baselines), rows that
+    /// *lose* it fail.
+    pub max_mem_ratio: f64,
+    /// Baselines below this are clamped up before the division —
+    /// the analog of `floor_secs` for the memory gate, so rows with
+    /// a few hundred bytes of intermediates don't gate on a
+    /// tens-of-bytes tolerance.
+    pub floor_bytes: u64,
     /// Only rows whose engine starts with this prefix are gated
     /// (the acceptance criterion targets the FDB rows; the relational
     /// baselines are too noisy to gate).
@@ -67,17 +112,21 @@ impl Default for GateConfig<'_> {
         GateConfig {
             max_ratio: 3.0,
             floor_secs: 0.001,
+            max_mem_ratio: 1.2,
+            floor_bytes: 64 * 1024,
             engine_prefix: "FDB",
         }
     }
 }
 
-/// Compares `current` against `baseline` row-by-row.
+/// Compares `current` against `baseline` row-by-row, gating wall time
+/// for every matched row and intermediate bytes for rows whose
+/// baseline note carries `ibytes=`.
 ///
-/// Returns one [`Verdict`] per gated baseline row. A gated baseline row
-/// *missing* from `current` is reported as failed (a silently dropped
-/// measurement must not weaken the gate); extra rows in `current` are
-/// ignored.
+/// Returns one [`Verdict`] per gated (row, metric) pair. A gated
+/// baseline row *missing* from `current` is reported as failed (a
+/// silently dropped measurement must not weaken the gate); extra rows
+/// in `current` are ignored.
 pub fn compare(baseline: &[PerfRow], current: &[PerfRow], cfg: &GateConfig<'_>) -> Vec<Verdict> {
     let cur: BTreeMap<String, &PerfRow> = current.iter().map(|r| (r.key(), r)).collect();
     let mut out = Vec::new();
@@ -87,23 +136,45 @@ pub fn compare(baseline: &[PerfRow], current: &[PerfRow], cfg: &GateConfig<'_>) 
         }
         let key = b.key();
         match cur.get(&key) {
-            None => out.push(Verdict {
-                key,
-                baseline_secs: b.seconds,
-                current_secs: f64::NAN,
-                ratio: f64::INFINITY,
-                failed: true,
-            }),
+            None => {
+                out.push(Verdict {
+                    key,
+                    metric: Metric::Seconds,
+                    baseline: b.seconds,
+                    current: f64::NAN,
+                    ratio: f64::INFINITY,
+                    failed: true,
+                });
+            }
             Some(c) => {
                 let denom = b.seconds.max(cfg.floor_secs);
                 let ratio = c.seconds / denom;
                 out.push(Verdict {
-                    key,
-                    baseline_secs: b.seconds,
-                    current_secs: c.seconds,
+                    key: key.clone(),
+                    metric: Metric::Seconds,
+                    baseline: b.seconds,
+                    current: c.seconds,
                     ratio,
                     failed: ratio > cfg.max_ratio,
                 });
+                if let Some(bb) = b.note_stat("ibytes") {
+                    let (cb, ratio, failed) = match c.note_stat("ibytes") {
+                        None => (f64::NAN, f64::INFINITY, true),
+                        Some(cb) => {
+                            let denom = bb.max(cfg.floor_bytes).max(1);
+                            let ratio = cb as f64 / denom as f64;
+                            (cb as f64, ratio, ratio > cfg.max_mem_ratio)
+                        }
+                    };
+                    out.push(Verdict {
+                        key,
+                        metric: Metric::IntermediateBytes,
+                        baseline: bb as f64,
+                        current: cb,
+                        ratio,
+                        failed,
+                    });
+                }
             }
         }
     }
@@ -366,5 +437,78 @@ mod tests {
         let verdicts = compare(&base, &[], &GateConfig::default());
         assert_eq!(verdicts.len(), 2);
         assert!(verdicts.iter().all(|v| v.failed));
+    }
+
+    fn row_with_note(note: &str) -> PerfRow {
+        PerfRow {
+            figure: "5".into(),
+            scale: 1,
+            query: "Q1".into(),
+            engine: "FDB f/o".into(),
+            seconds: 0.002,
+            note: note.into(),
+        }
+    }
+
+    #[test]
+    fn note_stats_parse() {
+        let r = row_with_note("singletons=27900 bytes=1445152 ibytes=2000000");
+        assert_eq!(r.note_stat("bytes"), Some(1445152));
+        assert_eq!(r.note_stat("ibytes"), Some(2000000));
+        assert_eq!(r.note_stat("rows"), None);
+        // `bytes` must not match inside `ibytes`.
+        let r = row_with_note("ibytes=7");
+        assert_eq!(r.note_stat("bytes"), None);
+    }
+
+    #[test]
+    fn memory_gate_fails_on_intermediate_growth() {
+        let base = vec![row_with_note("ibytes=1000000")];
+        let mut cur = base.clone();
+        cur[0].note = "ibytes=1100000".into(); // within 1.2×
+        let ok = compare(&base, &cur, &GateConfig::default());
+        assert_eq!(ok.len(), 2); // seconds + ibytes
+        assert!(ok.iter().all(|v| !v.failed), "{ok:?}");
+        cur[0].note = "ibytes=1300000".into(); // past 1.2×
+        let bad = compare(&base, &cur, &GateConfig::default());
+        let mem = bad
+            .iter()
+            .find(|v| v.metric == Metric::IntermediateBytes)
+            .unwrap();
+        assert!(mem.failed, "{bad:?}");
+    }
+
+    #[test]
+    fn memory_gate_floor_absorbs_tiny_baselines() {
+        // A 368-byte baseline growing by a few hundred bytes is record
+        // noise, not a regression: the 64 KiB floor keeps the ratio
+        // harmless, exactly like `floor_secs` does for timings.
+        let base = vec![row_with_note("ibytes=368")];
+        let mut cur = base.clone();
+        cur[0].note = "ibytes=900".into();
+        let verdicts = compare(&base, &cur, &GateConfig::default());
+        let mem = verdicts
+            .iter()
+            .find(|v| v.metric == Metric::IntermediateBytes)
+            .unwrap();
+        assert!(!mem.failed, "{verdicts:?}");
+    }
+
+    #[test]
+    fn memory_gate_skips_pre_fusion_baselines_but_not_dropped_stats() {
+        // Baseline without the stat: nothing to gate on.
+        let base = vec![row_with_note("bytes=5")];
+        let cur = vec![row_with_note("bytes=5 ibytes=9")];
+        let verdicts = compare(&base, &cur, &GateConfig::default());
+        assert_eq!(verdicts.len(), 1);
+        // Baseline with the stat, current silently dropping it: fail.
+        let base = vec![row_with_note("ibytes=9")];
+        let cur = vec![row_with_note("bytes=5")];
+        let verdicts = compare(&base, &cur, &GateConfig::default());
+        let mem = verdicts
+            .iter()
+            .find(|v| v.metric == Metric::IntermediateBytes)
+            .unwrap();
+        assert!(mem.failed);
     }
 }

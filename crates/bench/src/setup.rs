@@ -157,9 +157,19 @@ impl BenchEnv {
     /// result factorisation — the perf trajectory records the arena's
     /// byte footprint alongside the paper's singleton measure.
     pub fn run_fdb_fo_stats(&mut self, task: &JoinAggTask) -> fdb_core::FRepStats {
+        self.run_fdb_fo_report(task).0
+    }
+
+    /// [`BenchEnv::run_fdb_fo_stats`] plus the staged executor's
+    /// report — the perf trajectory gates on the intermediate
+    /// arena bytes of the plan run (`ibytes=` in the `--json` notes).
+    pub fn run_fdb_fo_report(
+        &mut self,
+        task: &JoinAggTask,
+    ) -> (fdb_core::FRepStats, fdb_core::ExecStats) {
         let opts = self.run_opts();
         let result = self.fdb.run(task, opts).expect("fdb plans");
-        result.rep().stats()
+        (result.rep().stats(), result.exec_stats())
     }
 
     /// Runs a task on a relational baseline, returning the tuple count.

@@ -58,24 +58,24 @@ pub struct EntryId(pub u32);
 
 /// One union: the f-tree node it ranges over and its entry range.
 #[derive(Clone, Copy, Debug)]
-struct UnionRec {
-    node: NodeId,
+pub(crate) struct UnionRec {
+    pub(crate) node: NodeId,
     /// First entry in [`Arena::entries`].
-    start: u32,
+    pub(crate) start: u32,
     /// Number of entries.
-    len: u32,
+    pub(crate) len: u32,
 }
 
 /// One entry (singleton occurrence): value index into the node's column
 /// and the kid range.
 #[derive(Clone, Copy, Debug)]
-struct EntryRec {
+pub(crate) struct EntryRec {
     /// Index into `cols[node]` of the owning union's node.
-    val: u32,
+    pub(crate) val: u32,
     /// First kid in [`Arena::kids`].
-    kids_start: u32,
+    pub(crate) kids_start: u32,
     /// Number of child unions (= arity of the f-tree node's child list).
-    kids_len: u32,
+    pub(crate) kids_len: u32,
 }
 
 /// An entry under construction: value already pushed to the node column,
@@ -95,6 +95,11 @@ pub struct Arena {
     kids: Vec<UnionId>,
     /// Per f-tree node id: the values of every entry tagged with it.
     cols: Vec<Vec<Value>>,
+    /// Untouched fragments *shared* by id (instead of deep-copied) by
+    /// the in-place operators of the staged pipeline executor — see
+    /// [`crate::pipeline`]. Purely diagnostic; carried through
+    /// [`Arena::append`] and compaction.
+    copies_avoided: u64,
 }
 
 impl Arena {
@@ -121,6 +126,19 @@ impl Arena {
     pub(crate) fn entry(&mut self, node: NodeId, value: Value, kids: &[UnionId]) -> EntrySpec {
         let (kids_start, kids_len) = self.push_kids(kids);
         let val = self.push_value(node, value);
+        EntrySpec {
+            val,
+            kids_start,
+            kids_len,
+        }
+    }
+
+    /// Builds one entry spec *reusing* an existing value index of the
+    /// owning node's column — the in-place rewrites re-emit entries of
+    /// the same node within the same arena, so the singleton value need
+    /// not be cloned or re-pushed.
+    pub(crate) fn entry_shared_val(&mut self, val: u32, kids: &[UnionId]) -> EntrySpec {
+        let (kids_start, kids_len) = self.push_kids(kids);
         EntrySpec {
             val,
             kids_start,
@@ -164,6 +182,138 @@ impl Arena {
 
     pub(crate) fn union_len(&self, id: UnionId) -> usize {
         self.unions[id.0 as usize].len as usize
+    }
+
+    // -----------------------------------------------------------------
+    // Index-based record access — the in-place rewrites of the staged
+    // pipeline executor read and append to the *same* arena, so they
+    // cannot hold `UnionRef` cursors (which borrow the arena) across
+    // appends. Records are `Copy`; reads through `&self` reborrows of a
+    // `&mut Arena` are always safe because the tables are append-only.
+    // -----------------------------------------------------------------
+
+    /// The record of union `id`.
+    pub(crate) fn urec(&self, id: UnionId) -> UnionRec {
+        self.unions[id.0 as usize]
+    }
+
+    /// The record of the entry at absolute index `i` in the entry table.
+    pub(crate) fn erec(&self, i: u32) -> EntryRec {
+        self.entries[i as usize]
+    }
+
+    /// The kid at absolute index `k` in the kid table.
+    pub(crate) fn kid_at(&self, k: u32) -> UnionId {
+        self.kids[k as usize]
+    }
+
+    /// The value at index `val` of `node`'s column.
+    pub(crate) fn value_at(&self, node: NodeId, val: u32) -> &Value {
+        &self.cols[node.0 as usize][val as usize]
+    }
+
+    /// Binary search of union `uid` for `v`; returns the *absolute*
+    /// entry-table index of the match (entries are sorted ascending).
+    pub(crate) fn find_entry(&self, uid: UnionId, v: &Value) -> Option<u32> {
+        let rec = self.unions[uid.0 as usize];
+        let col = &self.cols[rec.node.0 as usize];
+        let range = &self.entries[rec.start as usize..(rec.start + rec.len) as usize];
+        range
+            .binary_search_by(|e| col[e.val as usize].cmp(v))
+            .ok()
+            .map(|i| rec.start + i as u32)
+    }
+
+    /// Physical entry records reachable from `roots`, counting shared
+    /// unions once (iterative walk with a visited set — O(live), used
+    /// by the staged executor to decide whether compaction pays off).
+    pub(crate) fn live_entry_count(&self, roots: &[UnionId]) -> usize {
+        let mut seen = vec![false; self.unions.len()];
+        let mut stack: Vec<UnionId> = roots.to_vec();
+        let mut live = 0usize;
+        while let Some(uid) = stack.pop() {
+            let seen_slot = &mut seen[uid.0 as usize];
+            if *seen_slot {
+                continue;
+            }
+            *seen_slot = true;
+            let u = self.unions[uid.0 as usize];
+            live += u.len as usize;
+            for i in u.start..u.start + u.len {
+                let e = self.entries[i as usize];
+                for k in e.kids_start..e.kids_start + e.kids_len {
+                    stack.push(self.kids[k as usize]);
+                }
+            }
+        }
+        live
+    }
+
+    /// Records `n` fragments shared by id instead of deep-copied.
+    pub(crate) fn note_shared(&mut self, n: u64) {
+        self.copies_avoided += n;
+    }
+
+    /// Total fragments shared by id instead of deep-copied so far.
+    pub(crate) fn copies_avoided(&self) -> u64 {
+        self.copies_avoided
+    }
+
+    /// Copies the live data reachable from `roots` into a fresh arena,
+    /// **preserving sharing**: a union referenced from several parents
+    /// (the in-place `swap`/`rewrite` operators share untouched
+    /// fragments by id) is copied exactly once and re-referenced. This
+    /// is the single per-plan "garbage collection" pass of the staged
+    /// executor — everything unreachable (superseded path spines of the
+    /// in-place rewrites) is shed.
+    pub(crate) fn compact(&self, roots: &[UnionId]) -> (Arena, Vec<UnionId>) {
+        let mut dst = Arena {
+            copies_avoided: self.copies_avoided,
+            ..Arena::default()
+        };
+        // Flat memo table indexed by source union id (u32::MAX = not
+        // yet copied): O(1) sharing detection without hashing.
+        let mut memo: Vec<u32> = vec![u32::MAX; self.unions.len()];
+        let mut kid_scratch: Vec<UnionId> = Vec::new();
+        let mut spec_scratch: Vec<EntrySpec> = Vec::new();
+        let new_roots = roots
+            .iter()
+            .map(|&r| self.compact_rec(r, &mut dst, &mut memo, &mut kid_scratch, &mut spec_scratch))
+            .collect();
+        (dst, new_roots)
+    }
+
+    fn compact_rec(
+        &self,
+        uid: UnionId,
+        dst: &mut Arena,
+        memo: &mut Vec<u32>,
+        kid_scratch: &mut Vec<UnionId>,
+        spec_scratch: &mut Vec<EntrySpec>,
+    ) -> UnionId {
+        let m = memo[uid.0 as usize];
+        if m != u32::MAX {
+            return UnionId(m);
+        }
+        let rec = self.unions[uid.0 as usize];
+        let spec_base = spec_scratch.len();
+        for i in rec.start..rec.start + rec.len {
+            let e = self.entries[i as usize];
+            let kid_base = kid_scratch.len();
+            for k in e.kids_start..e.kids_start + e.kids_len {
+                let cid =
+                    self.compact_rec(self.kids[k as usize], dst, memo, kid_scratch, spec_scratch);
+                kid_scratch.push(cid);
+            }
+            let value = self.cols[rec.node.0 as usize][e.val as usize].clone();
+            let spec = dst.entry(rec.node, value, &kid_scratch[kid_base..]);
+            kid_scratch.truncate(kid_base);
+            spec_scratch.push(spec);
+        }
+        let out = dst.push_union(rec.node, &spec_scratch[spec_base..]);
+        spec_scratch.truncate(spec_base);
+        memo[uid.0 as usize] = out.0;
+        out
     }
 
     /// Deep-copies union `src_id` from `src` into `self`: a record-wise
@@ -243,6 +393,7 @@ impl Arena {
                 len: u.len,
             });
         }
+        self.copies_avoided += sub.copies_avoided;
         union_base
     }
 
@@ -259,6 +410,25 @@ impl Arena {
             for v in col {
                 total += value_heap_bytes(v);
             }
+        }
+        total
+    }
+
+    /// Size-based footprint in bytes: stored records plus the inline
+    /// size of every stored value, ignoring unused vector capacity and
+    /// value heap payloads. Computed in O(#nodes) — table lengths only
+    /// — so the executors can difference it at every stage boundary to
+    /// account *intermediate allocation* without a full arena walk
+    /// (allocator rounding and `Arc`-shared string payloads would only
+    /// obscure how many records an operator actually materialised).
+    fn bytes_used(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>()
+            + self.unions.len() * std::mem::size_of::<UnionRec>()
+            + self.entries.len() * std::mem::size_of::<EntryRec>()
+            + self.kids.len() * std::mem::size_of::<UnionId>()
+            + self.cols.len() * std::mem::size_of::<Vec<Value>>();
+        for col in &self.cols {
+            total += col.len() * std::mem::size_of::<Value>();
         }
         total
     }
@@ -513,6 +683,10 @@ pub struct FRepStats {
     pub values: usize,
     /// Physical arena footprint in bytes, capacity-aware.
     pub bytes: usize,
+    /// Deep copies of untouched fragments avoided by the in-place
+    /// staged-pipeline rewrites that produced this representation
+    /// (0 for freshly built or legacy copy-transformed ones).
+    pub copies_avoided: u64,
 }
 
 /// A factorised representation: an f-tree plus one arena-stored union
@@ -533,7 +707,7 @@ impl FRep {
     pub(crate) fn from_arena(ftree: FTree, mut arena: Arena, roots: Vec<UnionId>) -> Self {
         let root_ids: Vec<NodeId> = ftree.roots().to_vec();
         for (&u, &rid) in roots.iter().zip(&root_ids) {
-            if arena.union_len(u) == 0 {
+            if arena.union_len(u) == 0 && arena.urec(u).node != rid {
                 arena.set_union_node(u, rid);
             }
         }
@@ -714,13 +888,49 @@ impl FRep {
             entries: self.arena.entries.len(),
             values: self.arena.value_count(),
             bytes: self.memory_bytes(),
+            copies_avoided: self.arena.copies_avoided(),
         }
+    }
+
+    /// Copies the live data into a fresh arena, shedding everything
+    /// unreachable from the roots while **preserving sharing** (a
+    /// union referenced from several parents is copied once, via a
+    /// flat memo table): this is the one full arena pass the staged
+    /// pipeline executor performs per plan, in place of the legacy
+    /// one-copy-per-operator transforms.
+    pub fn compact(self) -> FRep {
+        let (tree, arena, roots) = self.into_arena_parts();
+        let (arena, roots) = arena.compact(&roots);
+        FRep::from_arena(tree, arena, roots)
     }
 
     /// Physical arena footprint in bytes (capacity-aware: counts table
     /// capacities and the heap behind every stored value).
     pub fn memory_bytes(&self) -> usize {
         self.arena.bytes()
+    }
+
+    /// Size-based arena footprint in bytes: stored records only, no
+    /// allocator slack or value heap payloads, computed in O(#nodes)
+    /// (see [`FRep::memory_bytes`] for the full capacity-aware figure).
+    /// The executors difference this at stage boundaries to account
+    /// intermediate allocation.
+    pub fn data_bytes(&self) -> usize {
+        self.arena.bytes_used()
+    }
+
+    /// Raw copies-avoided counter of the arena — executors snapshot it
+    /// before and after a run to report the per-plan delta.
+    pub(crate) fn stats_counter_base(&self) -> u64 {
+        self.arena.copies_avoided()
+    }
+
+    /// True when most physical entry records are unreachable garbage
+    /// (superseded by in-place rewrites): the staged executor's cue
+    /// that a compaction pass pays for itself.
+    pub(crate) fn garbage_dominated(&self) -> bool {
+        let live = self.arena.live_entry_count(&self.roots);
+        self.arena.entries.len() > 2 * live
     }
 
     /// Structural data equality: same root unions (node, values, shape),

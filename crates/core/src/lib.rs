@@ -23,6 +23,9 @@
 //!   group cursor for on-the-fly aggregate combination ([`enumerate`]);
 //! * restructuring for group-by/order-by clauses via swaps, including the
 //!   single-attribute consolidation of §5.2 step 7 ([`orderby`]);
+//! * the **staged pipeline executor** ([`pipeline`]): f-plans segment
+//!   into fusible stages executed in place on one shared arena — one
+//!   compaction pass per plan instead of one full copy per operator;
 //! * the **optimisers**: the greedy heuristic of §5.2 and exhaustive
 //!   Dijkstra over the f-plan space, both driven by tight factorisation
 //!   size bounds from fractional edge covers ([`optim`]);
@@ -68,11 +71,13 @@ pub mod io;
 pub mod ops;
 pub mod optim;
 pub mod orderby;
+pub mod pipeline;
 pub mod plan;
 
-pub use engine::{ConsolidateMode, FdbEngine, FdbResult, PlanStrategy, RunOptions};
+pub use engine::{ConsolidateMode, ExecutorMode, FdbEngine, FdbResult, PlanStrategy, RunOptions};
 pub use error::{FdbError, Result};
 pub use frep::{Entry, EntryRef, FRep, FRepStats, Union, UnionId, UnionRef};
 pub use ftree::{AggLabel, AggOp, FTree, NodeId, NodeLabel};
 pub use optim::{ExhaustiveConfig, QuerySpec, Stats};
+pub use pipeline::{ExecStats, Stage, StageKind};
 pub use plan::{FOp, FPlan};

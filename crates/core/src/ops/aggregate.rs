@@ -14,8 +14,8 @@
 
 use crate::error::{FdbError, Result};
 use crate::frep::{Arena, FRep, UnionId, UnionRef};
-use crate::ftree::{AggOp, NodeId};
-use crate::ops::rewrite_at;
+use crate::ftree::{AggOp, FTree, NodeId};
+use crate::ops::{rewrite_at, rewrite_at_inplace};
 use fdb_relational::{AttrId, Value};
 
 /// Where the operator applies: sibling subtrees under `parent`, or root
@@ -162,6 +162,129 @@ pub fn aggregate_par(
 fn leaf_union(dst: &mut Arena, node: NodeId, value: Value) -> UnionId {
     let spec = dst.entry(node, value, &[]);
     dst.push_union(node, &[spec])
+}
+
+/// In-place [`aggregate_par`]: evaluation reads the shared arena
+/// through cursors exactly as the legacy form does (including the
+/// per-group fan-out to the pool), but the rewritten parent entries —
+/// untouched siblings shared by id plus the new aggregate leaf — are
+/// appended to the *same* arena. The consumed target subtrees simply
+/// become unreachable.
+///
+/// Each occurrence is processed in two phases: a read-only phase
+/// evaluates every group against an immutable reborrow of the arena
+/// (`try_parallel_map` needs `Sync` cursors), then an append phase
+/// emits the rewritten entries serially in order — so results stay
+/// identical for every thread count.
+pub fn aggregate_par_inplace(
+    rep: FRep,
+    target: &AggTarget,
+    funcs: Vec<AggOp>,
+    outputs: Vec<AttrId>,
+    threads: usize,
+) -> Result<FRep> {
+    if funcs.is_empty() || funcs.len() != outputs.len() {
+        return Err(FdbError::InvalidOperator(
+            "aggregate needs parallel funcs/outputs".into(),
+        ));
+    }
+    let (tree, mut arena, roots) = rep.into_arena_parts();
+    let mut new_tree = tree.clone();
+    let new_node = new_tree.aggregate(target.parent, &target.nodes, funcs.clone(), outputs)?;
+
+    let sibling_ids: Vec<NodeId> = match target.parent {
+        Some(p) => tree.node(p).children.clone(),
+        None => tree.roots().to_vec(),
+    };
+    let positions: Vec<usize> = target
+        .nodes
+        .iter()
+        .map(|&t| {
+            sibling_ids
+                .iter()
+                .position(|&c| c == t)
+                .expect("validated by tree aggregate")
+        })
+        .collect();
+    let insert_at = *positions.iter().min().expect("at least one target");
+
+    let new_roots = match target.parent {
+        Some(p) => rewrite_at_inplace(&tree, &mut arena, &roots, p, &mut |arena, uid| {
+            let values = eval_groups(arena, uid, &tree, &positions, &funcs, threads)?;
+            let rec = arena.urec(uid);
+            let mut specs = Vec::with_capacity(rec.len as usize);
+            let mut kid_ids: Vec<UnionId> = Vec::new();
+            for (i, value) in (rec.start..rec.start + rec.len).zip(values) {
+                let e = arena.erec(i);
+                kid_ids.clear();
+                for j in 0..e.kids_len {
+                    if positions.contains(&(j as usize)) {
+                        if j as usize == insert_at {
+                            kid_ids.push(leaf_union(arena, new_node, value.clone()));
+                        }
+                        // Other target positions vanish.
+                    } else {
+                        arena.note_shared(1);
+                        kid_ids.push(arena.kid_at(e.kids_start + j));
+                    }
+                }
+                specs.push(arena.entry_shared_val(e.val, &kid_ids));
+            }
+            Ok(Some(arena.push_union(rec.node, &specs)))
+        })?,
+        None => {
+            if roots.iter().any(|&u| arena.union_len(u) == 0) {
+                // Empty input: the aggregate of an empty relation is the
+                // empty relation (no groups exist).
+                return Ok(FRep::empty(new_tree));
+            }
+            let value = {
+                let a: &Arena = &arena;
+                let unions: Vec<UnionRef<'_>> =
+                    positions.iter().map(|&pos| a.union(roots[pos])).collect();
+                crate::agg::eval_funcs_par(&tree, &unions, &funcs, threads)?
+            };
+            let mut out = Vec::with_capacity(roots.len() - positions.len() + 1);
+            for (i, &r) in roots.iter().enumerate() {
+                if positions.contains(&i) {
+                    if i == insert_at {
+                        out.push(leaf_union(&mut arena, new_node, value.clone()));
+                    }
+                } else {
+                    arena.note_shared(1);
+                    out.push(r);
+                }
+            }
+            out
+        }
+    };
+    let out = FRep::from_arena(new_tree, arena, new_roots);
+    debug_assert!(out.check_invariants().is_ok());
+    Ok(out)
+}
+
+/// The read-only phase of one in-place occurrence: evaluates every
+/// group of the parent union `uid` against the shared arena.
+fn eval_groups(
+    arena: &Arena,
+    uid: UnionId,
+    tree: &FTree,
+    positions: &[usize],
+    funcs: &[AggOp],
+    threads: usize,
+) -> Result<Vec<Value>> {
+    let up = arena.union(uid);
+    let eval_group = |i: usize, eval_threads: usize| -> Result<Value> {
+        let e = up.entry(i);
+        let unions: Vec<UnionRef<'_>> = positions.iter().map(|&pos| e.child(pos)).collect();
+        crate::agg::eval_funcs_par(tree, &unions, funcs, eval_threads)
+    };
+    if threads > 1 && up.len() > 1 {
+        let idx: Vec<usize> = (0..up.len()).collect();
+        fdb_exec::try_parallel_map(threads, idx, |i| eval_group(i, 1))
+    } else {
+        (0..up.len()).map(|i| eval_group(i, threads)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -388,7 +511,84 @@ mod tests {
         let (c, rep) = fig1_rep();
         let item_node = rep.ftree().node_of_attr(c.lookup("item").unwrap()).unwrap();
         let target = AggTarget::subtree(rep.ftree(), item_node);
-        let err = aggregate(rep, &target, vec![AggOp::Count], vec![]);
+        let err = aggregate(rep.clone(), &target, vec![AggOp::Count], vec![]);
         assert!(matches!(err, Err(FdbError::InvalidOperator(_))));
+        let err = aggregate_par_inplace(rep, &target, vec![AggOp::Count], vec![], 1);
+        assert!(matches!(err, Err(FdbError::InvalidOperator(_))));
+    }
+
+    #[test]
+    fn inplace_aggregate_matches_legacy() {
+        let (mut c, rep) = fig1_rep();
+        let price = c.lookup("price").unwrap();
+        let item_node = rep.ftree().node_of_attr(c.lookup("item").unwrap()).unwrap();
+        let out_attr = c.intern("sumprice");
+        let target = AggTarget::subtree(rep.ftree(), item_node);
+        let legacy = aggregate(
+            rep.clone(),
+            &target,
+            vec![AggOp::Sum(price), AggOp::Count],
+            vec![out_attr, c.intern("n")],
+        )
+        .unwrap();
+        for threads in [1, 2, 4] {
+            let inplace = aggregate_par_inplace(
+                rep.clone(),
+                &target,
+                vec![AggOp::Sum(price), AggOp::Count],
+                vec![out_attr, c.lookup("n").unwrap()],
+                threads,
+            )
+            .unwrap();
+            inplace.check_invariants().unwrap();
+            assert!(inplace.same_data(&legacy), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn inplace_root_aggregate_matches_legacy() {
+        let (mut c, rep) = fig1_rep();
+        let price = c.lookup("price").unwrap();
+        let out_attr = c.intern("total");
+        let roots = rep.ftree().roots().to_vec();
+        let target = AggTarget {
+            parent: None,
+            nodes: roots,
+        };
+        let legacy = aggregate(
+            rep.clone(),
+            &target,
+            vec![AggOp::Sum(price)],
+            vec![out_attr],
+        )
+        .unwrap();
+        let inplace =
+            aggregate_par_inplace(rep, &target, vec![AggOp::Sum(price)], vec![out_attr], 2)
+                .unwrap();
+        inplace.check_invariants().unwrap();
+        assert!(inplace.same_data(&legacy));
+        assert_eq!(*inplace.root(0).entry(0).value(), Value::Int(40));
+    }
+
+    #[test]
+    fn inplace_aggregate_of_empty_relation_is_empty() {
+        let mut c = Catalog::new();
+        let a = c.intern("a");
+        let out_attr = c.intern("n");
+        let rel = Relation::empty(Schema::new(vec![a]));
+        let rep = FRep::from_relation(&rel, FTree::path(&[a])).unwrap();
+        let roots = rep.ftree().roots().to_vec();
+        let out = aggregate_par_inplace(
+            rep,
+            &AggTarget {
+                parent: None,
+                nodes: roots,
+            },
+            vec![AggOp::Count],
+            vec![out_attr],
+            1,
+        )
+        .unwrap();
+        assert!(out.is_empty());
     }
 }

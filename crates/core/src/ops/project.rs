@@ -9,7 +9,7 @@
 use crate::error::{FdbError, Result};
 use crate::frep::{Arena, FRep, UnionId};
 use crate::ftree::{NodeId, NodeLabel};
-use crate::ops::{rewrite_at, swap};
+use crate::ops::{rewrite_at, rewrite_at_inplace, swap, swap_inplace};
 use fdb_relational::AttrId;
 
 /// Removes a leaf node's union everywhere (the data-level step of
@@ -105,10 +105,86 @@ pub fn project_away(rep: FRep, attr: AttrId) -> Result<FRep> {
 }
 
 /// Renames an output attribute (constant time, §2.1: names live in the
-/// f-tree, not in singletons).
+/// f-tree, not in singletons). Already in-place — the staged executor
+/// uses it directly.
 pub fn rename(mut rep: FRep, from: AttrId, to: AttrId) -> Result<FRep> {
     rep.ftree_mut().rename_attr(from, to)?;
     Ok(rep)
+}
+
+/// In-place [`remove_leaf`]: the parent level is re-emitted with the
+/// leaf's kid position dropped; every kept fragment is shared by id.
+pub fn remove_leaf_inplace(rep: FRep, node: NodeId) -> Result<FRep> {
+    let (tree, mut arena, roots) = rep.into_arena_parts();
+    let parent = tree.node(node).parent;
+    let mut new_tree = tree.clone();
+    let pos = new_tree.remove_leaf(node)?;
+    let roots = match parent {
+        Some(p) => rewrite_at_inplace(&tree, &mut arena, &roots, p, &mut |arena, uid| {
+            let rec = arena.urec(uid);
+            let mut specs = Vec::with_capacity(rec.len as usize);
+            let mut kid_ids: Vec<UnionId> = Vec::new();
+            for i in rec.start..rec.start + rec.len {
+                let e = arena.erec(i);
+                kid_ids.clear();
+                for j in 0..e.kids_len {
+                    if j as usize != pos {
+                        arena.note_shared(1);
+                        kid_ids.push(arena.kid_at(e.kids_start + j));
+                    }
+                }
+                specs.push(arena.entry_shared_val(e.val, &kid_ids));
+            }
+            Ok(Some(arena.push_union(rec.node, &specs)))
+        })?,
+        None => {
+            let mut out = Vec::with_capacity(roots.len() - 1);
+            for (i, &r) in roots.iter().enumerate() {
+                if i != pos {
+                    arena.note_shared(1);
+                    out.push(r);
+                }
+            }
+            out
+        }
+    };
+    let out = FRep::from_arena(new_tree, arena, roots);
+    debug_assert!(out.check_invariants().is_ok());
+    Ok(out)
+}
+
+/// In-place [`project_away`]: same label-shrink / push-down-and-remove
+/// logic, but every data step runs as an in-place rewrite
+/// ([`swap_inplace`], [`remove_leaf_inplace`]).
+pub fn project_away_inplace(rep: FRep, attr: AttrId) -> Result<FRep> {
+    let node = rep
+        .ftree()
+        .node_of_attr(attr)
+        .ok_or_else(|| FdbError::Unresolved(format!("attribute {attr} not in f-tree")))?;
+    let label = rep.ftree().node(node).label.clone();
+    match &label {
+        NodeLabel::Atomic(attrs) if attrs.len() > 1 => {
+            let mut rep = rep;
+            rep.ftree_mut().shrink_class(node, attr)?;
+            Ok(rep)
+        }
+        NodeLabel::Agg(l) if l.outputs.len() > 1 => Err(FdbError::InvalidOperator(
+            "cannot project a single output of a composite aggregate".into(),
+        )),
+        NodeLabel::Atomic(_) | NodeLabel::Agg(_) => {
+            let mut rep = rep;
+            loop {
+                let children = rep.ftree().node(node).children.clone();
+                match children.first() {
+                    None => break,
+                    Some(&c) => {
+                        rep = swap_inplace(rep, node, c)?;
+                    }
+                }
+            }
+            remove_leaf_inplace(rep, node)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +239,37 @@ mod tests {
         out.check_invariants().unwrap();
         // π_{b,x}: (10,7), (20,7), (10,8), (10,9).
         assert_eq!(out.tuple_count(), 4);
+    }
+
+    #[test]
+    fn inplace_project_matches_legacy() {
+        // Leaf removal, internal-node push-down and root projection —
+        // each through both physical paths.
+        for attr_name in ["x", "b", "a"] {
+            let (c, rep) = abc_rep();
+            let attr = c.lookup(attr_name).unwrap();
+            let legacy = project_away(rep.clone(), attr).unwrap();
+            let inplace = project_away_inplace(rep, attr).unwrap();
+            inplace.check_invariants().unwrap();
+            assert!(inplace.same_data(&legacy), "project away {attr_name}");
+            assert_eq!(
+                inplace.ftree().canonical_key(),
+                legacy.ftree().canonical_key(),
+                "project away {attr_name}"
+            );
+        }
+    }
+
+    #[test]
+    fn inplace_remove_leaf_matches_legacy() {
+        let (c, rep) = abc_rep();
+        let x = c.lookup("x").unwrap();
+        let leaf = rep.ftree().node_of_attr(x).unwrap();
+        let legacy = remove_leaf(rep.clone(), leaf).unwrap();
+        let inplace = remove_leaf_inplace(rep, leaf).unwrap();
+        inplace.check_invariants().unwrap();
+        assert!(inplace.same_data(&legacy));
+        assert_eq!(inplace.tuple_count(), 3);
     }
 
     #[test]

@@ -13,9 +13,9 @@
 //!   each `B`-union below an `A`-value is restricted to that value.
 
 use crate::error::{FdbError, Result};
-use crate::frep::{Arena, EntryRef, FRep, UnionId, UnionRef};
+use crate::frep::{Arena, EntryRec, EntryRef, FRep, UnionId, UnionRef};
 use crate::ftree::{FTree, NodeId};
-use crate::ops::rewrite_at;
+use crate::ops::{rewrite_at, rewrite_at_inplace};
 use fdb_relational::Value;
 use std::collections::btree_map;
 use std::collections::BTreeMap;
@@ -122,6 +122,106 @@ fn swap_union(
     dst.push_union(b, &b_specs)
 }
 
+/// In-place [`swap`]: the regrouped `b`-over-`a` levels are appended to
+/// the same arena while the `E_a`, `F_b` and `G_ab` fragments are
+/// shared by id — the shared `E_a` fragments, which the legacy copy
+/// transform duplicates once per b-branch, are here referenced from
+/// every branch without any copy at all.
+pub fn swap_inplace(rep: FRep, a: NodeId, b: NodeId) -> Result<FRep> {
+    let (tree, mut arena, roots) = rep.into_arena_parts();
+    if tree.node(b).parent != Some(a) {
+        return Err(FdbError::InvalidOperator(format!(
+            "swap requires {b:?} to be a child of {a:?}"
+        )));
+    }
+    let b_children_before = tree.node(b).children.clone();
+    let mut new_tree = tree.clone();
+    let outcome = new_tree.swap(a, b)?;
+    let pos_of = |n: NodeId| {
+        b_children_before
+            .iter()
+            .position(|&c| c == n)
+            .expect("partitioned child came from b")
+    };
+    let moved_idx: Vec<usize> = outcome.moved_up.iter().map(|&n| pos_of(n)).collect();
+    let stayed_idx: Vec<usize> = outcome.stayed.iter().map(|&n| pos_of(n)).collect();
+    let b_pos = outcome.b_pos_in_a;
+    let roots = rewrite_at_inplace(&tree, &mut arena, &roots, a, &mut |arena, uid| {
+        Ok(Some(swap_union_inplace(
+            arena,
+            uid,
+            a,
+            b,
+            b_pos,
+            &moved_idx,
+            &stayed_idx,
+        )))
+    })?;
+    let out = FRep::from_arena(new_tree, arena, roots);
+    debug_assert!(out.check_invariants().is_ok());
+    Ok(out)
+}
+
+fn swap_union_inplace(
+    arena: &mut Arena,
+    uid: UnionId,
+    a: NodeId,
+    b: NodeId,
+    b_pos: usize,
+    moved_idx: &[usize],
+    stayed_idx: &[usize],
+) -> UnionId {
+    // Same regrouping as `swap_union`, but recording *value indices*
+    // (into the existing a/b columns) and fragment ids, so emission is
+    // pure record appends with every fragment shared.
+    type Regrouped = (u32, Vec<UnionId>, Vec<(u32, Vec<UnionId>)>);
+    let mut regroup: BTreeMap<Value, Regrouped> = BTreeMap::new();
+    let ua = arena.urec(uid);
+    for i in ua.start..ua.start + ua.len {
+        let ea = arena.erec(i);
+        let ub_id = arena.kid_at(ea.kids_start + b_pos as u32);
+        let ea_rest: Vec<UnionId> = (0..ea.kids_len)
+            .filter(|&j| j as usize != b_pos)
+            .map(|j| arena.kid_at(ea.kids_start + j))
+            .collect();
+        let ub = arena.urec(ub_id);
+        for j in ub.start..ub.start + ub.len {
+            let eb = arena.erec(j);
+            let gab = stayed_idx
+                .iter()
+                .map(|&k| arena.kid_at(eb.kids_start + k as u32));
+            let new_a_children: Vec<UnionId> = ea_rest.iter().copied().chain(gab).collect();
+            let a_entry = (ea.val, new_a_children);
+            match regroup.entry(arena.value_at(b, eb.val).clone()) {
+                btree_map::Entry::Vacant(slot) => {
+                    let fb: Vec<UnionId> = moved_idx
+                        .iter()
+                        .map(|&k| arena.kid_at(eb.kids_start + k as u32))
+                        .collect();
+                    slot.insert((eb.val, fb, vec![a_entry]));
+                }
+                btree_map::Entry::Occupied(mut slot) => {
+                    slot.get_mut().2.push(a_entry);
+                }
+            }
+        }
+    }
+    let mut b_specs = Vec::with_capacity(regroup.len());
+    for (_, (b_val, fb, a_entries)) in regroup {
+        let mut a_specs = Vec::with_capacity(a_entries.len());
+        for (a_val, kids) in a_entries {
+            arena.note_shared(kids.len() as u64);
+            a_specs.push(arena.entry_shared_val(a_val, &kids));
+        }
+        let inner = arena.push_union(a, &a_specs);
+        arena.note_shared(fb.len() as u64);
+        let mut kid_ids = fb;
+        kid_ids.push(inner);
+        b_specs.push(arena.entry_shared_val(b_val, &kid_ids));
+    }
+    arena.push_union(b, &b_specs)
+}
+
 /// Merge: implements a selection `A = B` for sibling nodes by intersecting
 /// their sorted unions (linear in the union sizes).
 pub fn merge(rep: FRep, a: NodeId, b: NodeId) -> Result<FRep> {
@@ -223,6 +323,118 @@ fn intersect_unions(
     dst.push_union(node, &specs)
 }
 
+/// In-place [`merge`]: the intersected union is appended to the same
+/// arena; matched entries share both sides' child fragments by id and
+/// untouched siblings are never copied.
+pub fn merge_inplace(rep: FRep, a: NodeId, b: NodeId) -> Result<FRep> {
+    let (tree, mut arena, roots) = rep.into_arena_parts();
+    let parent = tree.node(a).parent;
+    let mut new_tree = tree.clone();
+    let outcome = new_tree.merge(a, b)?;
+    let (a_pos, b_pos) = (outcome.a_pos, outcome.b_pos);
+    let new_roots = match parent {
+        None => {
+            let mut out = Vec::with_capacity(roots.len() - 1);
+            for (i, &r) in roots.iter().enumerate() {
+                if i == b_pos {
+                    continue;
+                }
+                if i == a_pos {
+                    out.push(intersect_unions_inplace(
+                        &mut arena,
+                        roots[a_pos],
+                        roots[b_pos],
+                        a,
+                    ));
+                } else {
+                    arena.note_shared(1);
+                    out.push(r);
+                }
+            }
+            if out.iter().any(|&u| arena.union_len(u) == 0) {
+                // Empty relation: normalise every root to a fresh empty
+                // union (the source arena stays as garbage for the
+                // per-plan compaction).
+                out = new_tree
+                    .roots()
+                    .iter()
+                    .map(|&r| arena.empty_union(r))
+                    .collect();
+            }
+            out
+        }
+        Some(p) => rewrite_at_inplace(&tree, &mut arena, &roots, p, &mut |arena, uid| {
+            let rec = arena.urec(uid);
+            let mut specs = Vec::with_capacity(rec.len as usize);
+            let mut kid_ids: Vec<UnionId> = Vec::new();
+            for i in rec.start..rec.start + rec.len {
+                let e = arena.erec(i);
+                let ua = arena.kid_at(e.kids_start + a_pos as u32);
+                let ub = arena.kid_at(e.kids_start + b_pos as u32);
+                let merged = intersect_unions_inplace(arena, ua, ub, a);
+                if arena.union_len(merged) == 0 {
+                    continue; // dangling combination: prune this entry
+                }
+                kid_ids.clear();
+                for j in 0..e.kids_len {
+                    if j as usize == b_pos {
+                        continue;
+                    }
+                    if j as usize == a_pos {
+                        kid_ids.push(merged);
+                    } else {
+                        arena.note_shared(1);
+                        kid_ids.push(arena.kid_at(e.kids_start + j));
+                    }
+                }
+                specs.push(arena.entry_shared_val(e.val, &kid_ids));
+            }
+            Ok(Some(arena.push_union(rec.node, &specs)))
+        })?,
+    };
+    let out = FRep::from_arena(new_tree, arena, new_roots);
+    debug_assert!(out.check_invariants().is_ok());
+    Ok(out)
+}
+
+/// In-place [`intersect_unions`]: matched entries concatenate both
+/// sides' kid ids (shared, never copied).
+fn intersect_unions_inplace(arena: &mut Arena, ua: UnionId, ub: UnionId, node: NodeId) -> UnionId {
+    // Phase 1 (read-only): the sorted intersection as value indices of
+    // `a`'s column plus the concatenated shared kid lists.
+    let matched: Vec<(u32, Vec<UnionId>)> = {
+        let ra = arena.urec(ua);
+        let rb = arena.urec(ub);
+        let mut out = Vec::new();
+        let mut j = rb.start;
+        for i in ra.start..ra.start + ra.len {
+            let ea = arena.erec(i);
+            let va = arena.value_at(ra.node, ea.val);
+            while j < rb.start + rb.len && arena.value_at(rb.node, arena.erec(j).val) < va {
+                j += 1;
+            }
+            if j < rb.start + rb.len {
+                let eb = arena.erec(j);
+                if arena.value_at(rb.node, eb.val) == va {
+                    j += 1;
+                    let kids: Vec<UnionId> = (0..ea.kids_len)
+                        .map(|k| arena.kid_at(ea.kids_start + k))
+                        .chain((0..eb.kids_len).map(|k| arena.kid_at(eb.kids_start + k)))
+                        .collect();
+                    out.push((ea.val, kids));
+                }
+            }
+        }
+        out
+    };
+    let mut specs = Vec::with_capacity(matched.len());
+    for (val, kids) in matched {
+        arena.note_shared(kids.len() as u64);
+        specs.push(arena.entry_shared_val(val, &kids));
+    }
+    arena.push_union(node, &specs)
+}
+
 /// Absorb: implements a selection `A = B` when `desc` (holding `B`) is a
 /// strict descendant of `anc` (holding `A`).
 pub fn absorb(rep: FRep, anc: NodeId, desc: NodeId) -> Result<FRep> {
@@ -312,6 +524,105 @@ fn restrict_entry(
             } else {
                 dst.copy_union_from(src, c)
             });
+        }
+        Some(kids)
+    }
+}
+
+/// In-place [`absorb`]: the restricted levels between `anc` and `desc`
+/// are appended to the same arena; the matching `desc` entry's children
+/// and every untouched sibling are shared by id.
+pub fn absorb_inplace(rep: FRep, anc: NodeId, desc: NodeId) -> Result<FRep> {
+    let (tree, mut arena, roots) = rep.into_arena_parts();
+    if !tree.is_ancestor(anc, desc) {
+        return Err(FdbError::InvalidOperator(format!(
+            "absorb requires {desc:?} below {anc:?}"
+        )));
+    }
+    let mut new_tree = tree.clone();
+    let outcome = new_tree.absorb(anc, desc)?;
+    let full = tree.root_path(desc);
+    let anc_i = full
+        .iter()
+        .position(|&n| n == anc)
+        .expect("anc on desc's root path");
+    let inner: Vec<NodeId> = full[anc_i..full.len() - 1].to_vec();
+    let desc_pos = outcome.pos;
+    let roots = rewrite_at_inplace(&tree, &mut arena, &roots, anc, &mut |arena, uid| {
+        let rec = arena.urec(uid);
+        let mut specs = Vec::with_capacity(rec.len as usize);
+        for i in rec.start..rec.start + rec.len {
+            let e = arena.erec(i);
+            let v = arena.value_at(rec.node, e.val).clone();
+            if let Some(kids) = restrict_entry_inplace(&tree, arena, e, &inner, desc_pos, &v) {
+                specs.push(arena.entry_shared_val(e.val, &kids));
+            }
+        }
+        Ok(Some(arena.push_union(rec.node, &specs)))
+    })?;
+    let out = FRep::from_arena(new_tree, arena, roots);
+    debug_assert!(out.check_invariants().is_ok());
+    Ok(out)
+}
+
+/// In-place [`restrict_entry`]: returns the rewritten kid list for one
+/// entry (fragments shared, the rewritten inner level appended), or
+/// `None` when the restriction empties it.
+fn restrict_entry_inplace(
+    tree: &FTree,
+    arena: &mut Arena,
+    e: EntryRec,
+    path: &[NodeId],
+    desc_pos: usize,
+    v: &Value,
+) -> Option<Vec<UnionId>> {
+    if path.len() == 1 {
+        // `e` is an entry of desc's parent: restrict the desc child union.
+        let du = arena.kid_at(e.kids_start + desc_pos as u32);
+        let i = arena.find_entry(du, v)?;
+        let de = arena.erec(i);
+        let mut kids = Vec::with_capacity(e.kids_len as usize - 1 + de.kids_len as usize);
+        for j in 0..e.kids_len {
+            if j as usize == desc_pos {
+                for k in 0..de.kids_len {
+                    arena.note_shared(1);
+                    kids.push(arena.kid_at(de.kids_start + k));
+                }
+            } else {
+                arena.note_shared(1);
+                kids.push(arena.kid_at(e.kids_start + j));
+            }
+        }
+        Some(kids)
+    } else {
+        let child_idx = tree
+            .node(path[0])
+            .children
+            .iter()
+            .position(|&c| c == path[1])
+            .expect("path step is a child");
+        let cu = arena.kid_at(e.kids_start + child_idx as u32);
+        let curec = arena.urec(cu);
+        let mut specs = Vec::with_capacity(curec.len as usize);
+        for i in curec.start..curec.start + curec.len {
+            let ce = arena.erec(i);
+            if let Some(ce_kids) = restrict_entry_inplace(tree, arena, ce, &path[1..], desc_pos, v)
+            {
+                specs.push(arena.entry_shared_val(ce.val, &ce_kids));
+            }
+        }
+        if specs.is_empty() {
+            return None;
+        }
+        let new_cu = arena.push_union(curec.node, &specs);
+        let mut kids = Vec::with_capacity(e.kids_len as usize);
+        for j in 0..e.kids_len {
+            if j as usize == child_idx {
+                kids.push(new_cu);
+            } else {
+                arena.note_shared(1);
+                kids.push(arena.kid_at(e.kids_start + j));
+            }
         }
         Some(kids)
     }
@@ -504,6 +815,87 @@ mod tests {
     fn swap_requires_parent_child_relation() {
         let (_, rp, _) = pizzeria();
         let root = rp.ftree().roots()[0];
-        assert!(swap(rp, root, root).is_err());
+        assert!(swap(rp.clone(), root, root).is_err());
+        assert!(swap_inplace(rp, root, root).is_err());
+    }
+
+    #[test]
+    fn inplace_swap_matches_legacy() {
+        let (_, rp, _) = pizzeria();
+        let root = rp.ftree().roots()[0];
+        let child = rp.ftree().node(root).children[0];
+        let legacy = swap(rp.clone(), root, child).unwrap();
+        let inplace = swap_inplace(rp, root, child).unwrap();
+        inplace.check_invariants().unwrap();
+        assert!(inplace.same_data(&legacy));
+        assert_eq!(
+            inplace.ftree().canonical_key(),
+            legacy.ftree().canonical_key()
+        );
+        assert_eq!(inplace.singleton_count(), legacy.singleton_count());
+        // Double swap through the in-place path restores the data too.
+        let twice = swap_inplace(inplace, child, root).unwrap();
+        twice.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn inplace_merge_matches_legacy() {
+        let (_, rp, ri) = pizzeria();
+        let pizza_root = rp.ftree().roots()[0];
+        let item_node = rp.ftree().node(pizza_root).children[0];
+        let rp = swap(rp, pizza_root, item_node).unwrap();
+        let joined = product(rp, ri);
+        let item2_node = joined.ftree().roots()[1];
+        let legacy = merge(joined.clone(), item_node, item2_node).unwrap();
+        let inplace = merge_inplace(joined, item_node, item2_node).unwrap();
+        inplace.check_invariants().unwrap();
+        assert!(inplace.same_data(&legacy));
+        assert_eq!(inplace.tuple_count(), 7);
+    }
+
+    #[test]
+    fn inplace_merge_empty_result_normalises_roots() {
+        let (_, rp, ri) = pizzeria();
+        // Restrict Items to a price matching nothing, so the merge
+        // empties the relation.
+        let ri = crate::ops::select_const(
+            ri,
+            fdb_relational::AttrId(3),
+            fdb_relational::CmpOp::Gt,
+            &Value::Int(100),
+        )
+        .unwrap();
+        let pizza_root = rp.ftree().roots()[0];
+        let item_node = rp.ftree().node(pizza_root).children[0];
+        let rp = swap(rp, pizza_root, item_node).unwrap();
+        let joined = product(rp, ri);
+        let item2_node = joined.ftree().roots()[1];
+        let legacy = merge(joined.clone(), item_node, item2_node).unwrap();
+        let inplace = merge_inplace(joined, item_node, item2_node).unwrap();
+        inplace.check_invariants().unwrap();
+        assert!(inplace.is_empty());
+        assert!(inplace.same_data(&legacy));
+    }
+
+    #[test]
+    fn inplace_absorb_matches_legacy() {
+        let mut c = Catalog::new();
+        let a = c.intern("a");
+        let x = c.intern("x");
+        let b = c.intern("b");
+        let rel = Relation::from_rows(
+            Schema::new(vec![a, x, b]),
+            [(1, 10, 1), (1, 20, 2), (2, 10, 2), (2, 30, 1), (3, 5, 9)]
+                .into_iter()
+                .map(|(p, q, r)| vec![Value::Int(p), Value::Int(q), Value::Int(r)]),
+        );
+        let rep = FRep::from_relation(&rel, FTree::path(&[a, x, b])).unwrap();
+        let na = rep.ftree().roots()[0];
+        let nb = rep.ftree().node_of_attr(b).unwrap();
+        let legacy = absorb(rep.clone(), na, nb).unwrap();
+        let inplace = absorb_inplace(rep, na, nb).unwrap();
+        inplace.check_invariants().unwrap();
+        assert!(inplace.same_data(&legacy));
+        assert_eq!(inplace.tuple_count(), 2);
     }
 }

@@ -1,0 +1,466 @@
+//! Staged pipeline execution of f-plans.
+//!
+//! The legacy executor applies an f-plan one operator at a time, and
+//! with the arena storage of [`crate::frep`] every operator is a full
+//! arena→arena copy transform: a k-operator plan materialises k
+//! complete intermediate representations, most of which is redundant
+//! deep-copying of untouched subtrees. The paper's cost model (§5.1)
+//! prices a plan by the representations it *produces*, not by how
+//! often an engine recopies them — this module closes that gap.
+//!
+//! ## Pipeline IR
+//!
+//! [`segment`] splits a plan into [`Stage`]s:
+//!
+//! * a **fused** stage is a maximal run of operators that only rewrite
+//!   along a root path (`SelectConst`, `Merge`, `Absorb`,
+//!   `ProjectAway`, `Aggregate`, `Rename`);
+//! * a **restructure** stage is a single `Swap` — the operator that
+//!   rebuilds whole levels and therefore bounds fusion (the `product`
+//!   splice happens before plan execution and is already a single
+//!   table append).
+//!
+//! ## Execution
+//!
+//! [`execute_staged`] runs every operator **in place** on one shared
+//! arena: each rewrite appends only its rewritten fragment and shares
+//! untouched subtrees by id (see `ops::rewrite_at_inplace`),
+//! so no operator materialises the representation. Within a fused
+//! stage, runs of consecutive constant selections additionally compile
+//! into a single composed filter walk
+//! (`select::apply_filters_inplace`) — one arena pass no
+//! matter how many predicates the stage carries. Superseded records
+//! accumulate as unreachable garbage; at most one sharing-preserving
+//! compaction pass per plan ([`crate::frep::FRep::compact`]) sheds
+//! them at the end, and it only runs when dead records outnumber live
+//! ones — an empty plan is a pure pass-through, and short plans whose
+//! result is still mostly the input (a selection keeping most entries,
+//! a rename) return the in-place arena directly, with no full copy
+//! anywhere.
+//!
+//! Parallelism applies per stage: aggregation operators inside a fused
+//! stage fan their per-group evaluations out to the `fdb-exec` pool
+//! exactly as in the legacy path, so results are bit-identical for
+//! every thread count *and* to the legacy executor — the differential
+//! property `tests/pipeline_fused.rs` and the oracle suite pin.
+
+use crate::error::Result;
+use crate::frep::FRep;
+use crate::ops;
+use crate::plan::{apply_with, FOp, FPlan};
+use fdb_relational::Catalog;
+use std::fmt::Write as _;
+use std::ops::Range;
+
+/// What a stage does to the f-tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StageKind {
+    /// Root-path rewrites only; executed as composed in-place rewrites.
+    Fused,
+    /// A single `Swap` — rebuilds levels, bounds fusion.
+    Restructure,
+}
+
+/// One stage: a range of operator indices into [`FPlan::ops`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stage {
+    pub ops: Range<usize>,
+    pub kind: StageKind,
+}
+
+impl Stage {
+    /// Number of operators in the stage.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// True for operators that only rewrite along a root path and
+/// therefore fuse into a stage.
+fn fusible(op: &FOp) -> bool {
+    !matches!(op, FOp::Swap { .. })
+}
+
+/// Segments a plan into fusible stages with `Swap` boundaries.
+pub fn segment(plan: &FPlan) -> Vec<Stage> {
+    let mut out = Vec::new();
+    let mut run_start: Option<usize> = None;
+    for (i, op) in plan.ops.iter().enumerate() {
+        if fusible(op) {
+            run_start.get_or_insert(i);
+        } else {
+            if let Some(s) = run_start.take() {
+                out.push(Stage {
+                    ops: s..i,
+                    kind: StageKind::Fused,
+                });
+            }
+            out.push(Stage {
+                ops: i..i + 1,
+                kind: StageKind::Restructure,
+            });
+        }
+    }
+    if let Some(s) = run_start {
+        out.push(Stage {
+            ops: s..plan.len(),
+            kind: StageKind::Fused,
+        });
+    }
+    out
+}
+
+/// One line summarising the stage grouping, e.g.
+/// `1-3 fused | 4 restructure | 5-6 fused`.
+pub fn render_stages(stages: &[Stage]) -> String {
+    let mut out = String::new();
+    for (i, s) in stages.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" | ");
+        }
+        if s.len() == 1 {
+            let _ = write!(out, "{}", s.ops.start + 1);
+        } else {
+            let _ = write!(out, "{}-{}", s.ops.start + 1, s.ops.end);
+        }
+        match s.kind {
+            StageKind::Fused => out.push_str(" fused"),
+            StageKind::Restructure => out.push_str(" restructure"),
+        }
+    }
+    out
+}
+
+/// Per-stage rendering of a plan: the operator list annotated with the
+/// stage each operator belongs to (used by `explain` and the plan
+/// explorer example).
+pub fn display_staged(plan: &FPlan, catalog: &Catalog) -> String {
+    let stages = segment(plan);
+    let mut out = String::new();
+    let _ = writeln!(out, "stages: {}", render_stages(&stages));
+    let ops_text = plan.display(catalog);
+    for (i, line) in ops_text.lines().enumerate() {
+        let stage = stages.iter().position(|s| s.ops.contains(&i));
+        match stage {
+            Some(si) => {
+                let _ = writeln!(out, "  [stage {}] {}", si + 1, line.trim_start());
+            }
+            None => {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+    }
+    out
+}
+
+/// Execution report of one plan run (see [`execute_staged`] /
+/// [`execute_per_op`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Operators executed.
+    pub operators: usize,
+    /// Stages (for the per-operator executor: one stage per operator).
+    pub stages: usize,
+    /// Bytes of intermediate representation data allocated over the
+    /// plan run (size-based, no allocator slack — [`FRep::data_bytes`]).
+    /// The legacy executor materialises one full arena per operator, so
+    /// it accumulates the size of every intermediate; the staged
+    /// executor accumulates only its in-place appends plus the final
+    /// compaction copy. `0` for an empty plan (no intermediates exist)
+    /// and for pure tree edits (`Rename`, label-shrink projection).
+    pub intermediate_bytes: usize,
+    /// Untouched fragments shared by id instead of deep-copied.
+    pub copies_avoided: u64,
+    /// Whether the final per-plan compaction pass ran.
+    pub compacted: bool,
+}
+
+/// Applies one operator via its in-place rewrite.
+pub fn apply_inplace_with(rep: FRep, op: &FOp, threads: usize) -> Result<FRep> {
+    match op {
+        FOp::SelectConst { attr, op, value } => ops::select_const_inplace(rep, *attr, *op, value),
+        FOp::Merge { a, b } => ops::merge_inplace(rep, *a, *b),
+        FOp::Absorb { anc, desc } => ops::absorb_inplace(rep, *anc, *desc),
+        FOp::Swap { parent, child } => ops::swap_inplace(rep, *parent, *child),
+        FOp::Aggregate {
+            parent,
+            targets,
+            funcs,
+            outputs,
+        } => ops::aggregate_par_inplace(
+            rep,
+            &ops::AggTarget {
+                parent: *parent,
+                nodes: targets.clone(),
+            },
+            funcs.clone(),
+            outputs.clone(),
+            threads,
+        ),
+        FOp::ProjectAway { attr } => ops::project_away_inplace(rep, *attr),
+        FOp::Rename { from, to } => ops::rename(rep, *from, *to),
+    }
+}
+
+/// Executes a plan through the staged pipeline: one shared arena, every
+/// operator in place, consecutive selections fused into one walk, one
+/// compaction pass at the end (skipped for zero/one-stage plans).
+pub fn execute_staged(plan: &FPlan, rep: FRep, threads: usize) -> Result<(FRep, ExecStats)> {
+    let stages = segment(plan);
+    let mut stats = ExecStats {
+        operators: plan.len(),
+        stages: stages.len(),
+        ..ExecStats::default()
+    };
+    if stages.is_empty() {
+        // Zero-stage pass-through: not even a byte is appended.
+        return Ok((rep, stats));
+    }
+    let counter_base = rep.stats_counter_base();
+    let mut rep = rep;
+    let mut bytes_before = rep.data_bytes();
+    for stage in &stages {
+        match stage.kind {
+            StageKind::Restructure => {
+                rep = apply_inplace_with(rep, &plan.ops[stage.ops.start], threads)?;
+            }
+            StageKind::Fused => {
+                let mut i = stage.ops.start;
+                while i < stage.ops.end {
+                    // Fuse a maximal run of constant selections into one
+                    // walk (a run of one is just `select_const_inplace`).
+                    let mut filters: Vec<_> = Vec::new();
+                    while i < stage.ops.end {
+                        let FOp::SelectConst { attr, op, value } = &plan.ops[i] else {
+                            break;
+                        };
+                        filters.push((*attr, *op, value.clone()));
+                        i += 1;
+                    }
+                    if !filters.is_empty() {
+                        rep = ops::select::apply_filters_inplace(rep, &filters)?;
+                    } else {
+                        rep = apply_inplace_with(rep, &plan.ops[i], threads)?;
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Intermediate allocation of the stage: what the in-place
+        // rewrites appended (the arena only grows within a stage; the
+        // rare root-level-aggregate-of-empty shortcut replaces the
+        // arena by a smaller one, hence the saturation).
+        let bytes_after = rep.data_bytes();
+        stats.intermediate_bytes += bytes_after.saturating_sub(bytes_before);
+        bytes_before = bytes_after;
+    }
+    if rep.garbage_dominated() {
+        // The one full arena pass of the plan: shed the superseded
+        // fragments while preserving sharing. Plans whose arena is
+        // still mostly live data (short plans, selections that keep
+        // most entries, pure tree edits) skip it — no copy at all —
+        // since the garbage they carry is smaller than the copy would
+        // be.
+        rep = rep.compact();
+        stats.compacted = true;
+        stats.intermediate_bytes += rep.data_bytes();
+    }
+    stats.copies_avoided = rep.stats_counter_base().saturating_sub(counter_base);
+    Ok((rep, stats))
+}
+
+/// Executes a plan operator by operator through the legacy copy
+/// transforms — the reference path the differential suites compare
+/// against, and the `per-op` arm of the ablation benchmark.
+pub fn execute_per_op(plan: &FPlan, rep: FRep, threads: usize) -> Result<(FRep, ExecStats)> {
+    let mut stats = ExecStats {
+        operators: plan.len(),
+        stages: plan.len(),
+        ..ExecStats::default()
+    };
+    let mut rep = rep;
+    for op in &plan.ops {
+        // Pure tree edits materialise nothing; every other legacy
+        // operator produces a complete fresh arena.
+        let tree_only =
+            match op {
+                FOp::Rename { .. } => true,
+                FOp::ProjectAway { attr } => rep.ftree().node_of_attr(*attr).is_some_and(|n| {
+                    match &rep.ftree().node(n).label {
+                        crate::ftree::NodeLabel::Atomic(attrs) => attrs.len() > 1,
+                        crate::ftree::NodeLabel::Agg(_) => false,
+                    }
+                }),
+                _ => false,
+            };
+        rep = apply_with(rep, op, threads)?;
+        if !tree_only {
+            stats.intermediate_bytes += rep.data_bytes();
+        }
+    }
+    Ok((rep, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftree::{AggOp, FTree};
+    use fdb_relational::{Catalog, CmpOp, Relation, Schema, Value};
+
+    fn rep_abc() -> (Catalog, FRep) {
+        let mut c = Catalog::new();
+        let a = c.intern("a");
+        let b = c.intern("b");
+        let x = c.intern("x");
+        let rel = Relation::from_rows(
+            Schema::new(vec![a, b, x]),
+            (0..24).map(|i| {
+                vec![
+                    Value::Int(i % 4),
+                    Value::Int((i * 7) % 5),
+                    Value::Int(i % 3),
+                ]
+            }),
+        )
+        .canonical();
+        let rep = FRep::from_relation(&rel, FTree::path(&[a, b, x])).unwrap();
+        (c, rep)
+    }
+
+    fn sample_plan(c: &mut Catalog, rep: &FRep) -> FPlan {
+        let a = c.lookup("a").unwrap();
+        let b = c.lookup("b").unwrap();
+        let na = rep.ftree().node_of_attr(a).unwrap();
+        let nb = rep.ftree().node_of_attr(b).unwrap();
+        let out = c.intern("n");
+        let mut plan = FPlan::new();
+        plan.push(FOp::SelectConst {
+            attr: a,
+            op: CmpOp::Le,
+            value: Value::Int(2),
+        });
+        plan.push(FOp::SelectConst {
+            attr: b,
+            op: CmpOp::Ne,
+            value: Value::Int(1),
+        });
+        plan.push(FOp::Swap {
+            parent: na,
+            child: nb,
+        });
+        plan.push(FOp::Aggregate {
+            parent: Some(nb),
+            targets: vec![na],
+            funcs: vec![AggOp::Count],
+            outputs: vec![out],
+        });
+        plan
+    }
+
+    #[test]
+    fn segmentation_groups_runs_and_boundaries() {
+        let (mut c, rep) = rep_abc();
+        let plan = sample_plan(&mut c, &rep);
+        let stages = segment(&plan);
+        assert_eq!(stages.len(), 3);
+        assert_eq!(
+            stages[0],
+            Stage {
+                ops: 0..2,
+                kind: StageKind::Fused
+            }
+        );
+        assert_eq!(
+            stages[1],
+            Stage {
+                ops: 2..3,
+                kind: StageKind::Restructure
+            }
+        );
+        assert_eq!(
+            stages[2],
+            Stage {
+                ops: 3..4,
+                kind: StageKind::Fused
+            }
+        );
+        assert_eq!(
+            render_stages(&stages),
+            "1-2 fused | 3 restructure | 4 fused"
+        );
+        let text = display_staged(&plan, &c);
+        assert!(text.contains("stages: 1-2 fused"), "{text}");
+        assert!(text.contains("[stage 2]"), "{text}");
+    }
+
+    #[test]
+    fn staged_matches_per_op_and_compacts() {
+        let (mut c, rep) = rep_abc();
+        let plan = sample_plan(&mut c, &rep);
+        let (legacy, legacy_stats) = execute_per_op(&plan, rep.clone(), 1).unwrap();
+        for threads in [1, 2, 4] {
+            let (fused, stats) = execute_staged(&plan, rep.clone(), threads).unwrap();
+            assert!(fused.same_data(&legacy), "threads={threads}");
+            assert_eq!(
+                fused.ftree().canonical_key(),
+                legacy.ftree().canonical_key()
+            );
+            assert!(stats.compacted);
+            assert!(stats.copies_avoided > 0);
+            assert!(
+                stats.intermediate_bytes < legacy_stats.intermediate_bytes,
+                "staged {} >= per-op {}",
+                stats.intermediate_bytes,
+                legacy_stats.intermediate_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_a_pass_through() {
+        let (_, rep) = rep_abc();
+        let before = rep.stats();
+        let (out, stats) = execute_staged(&FPlan::new(), rep, 1).unwrap();
+        assert_eq!(stats, ExecStats::default());
+        assert_eq!(out.stats(), before); // no appends, no compaction
+    }
+
+    #[test]
+    fn single_stage_plan_skips_compaction() {
+        let (c, rep) = rep_abc();
+        let a = c.lookup("a").unwrap();
+        let mut plan = FPlan::new();
+        plan.push(FOp::SelectConst {
+            attr: a,
+            op: CmpOp::Lt,
+            value: Value::Int(3),
+        });
+        let (out, stats) = execute_staged(&plan, rep.clone(), 1).unwrap();
+        assert!(!stats.compacted);
+        let (legacy, _) = execute_per_op(&plan, rep, 1).unwrap();
+        assert!(out.same_data(&legacy));
+    }
+
+    #[test]
+    fn fused_filter_run_matches_sequential_selects() {
+        let (c, rep) = rep_abc();
+        let a = c.lookup("a").unwrap();
+        let x = c.lookup("x").unwrap();
+        let mut plan = FPlan::new();
+        for (attr, op, v) in [(a, CmpOp::Ge, 1), (x, CmpOp::Ne, 0), (a, CmpOp::Le, 2)] {
+            plan.push(FOp::SelectConst {
+                attr,
+                op,
+                value: Value::Int(v),
+            });
+        }
+        let (fused, _) = execute_staged(&plan, rep.clone(), 1).unwrap();
+        let (legacy, _) = execute_per_op(&plan, rep, 1).unwrap();
+        assert!(fused.same_data(&legacy));
+        assert_eq!(fused.flatten().canonical(), legacy.flatten().canonical());
+    }
+}

@@ -69,10 +69,21 @@ impl FPlan {
         self.execute_with(rep, 1)
     }
 
-    /// Applies the plan with aggregation operators fanned out to
-    /// `threads` workers (see [`crate::ops::aggregate_par`]); results
-    /// are identical for every thread count.
-    pub fn execute_with(&self, mut rep: FRep, threads: usize) -> Result<FRep> {
+    /// Applies the plan through the staged pipeline executor
+    /// ([`crate::pipeline::execute_staged`]): every operator runs in
+    /// place on one shared arena, consecutive selections fuse into one
+    /// walk, and one compaction pass per plan replaces the legacy
+    /// one-full-copy-per-operator transforms. Aggregation operators fan
+    /// out to `threads` workers; results are identical for every thread
+    /// count and bit-identical to [`FPlan::execute_per_op`].
+    pub fn execute_with(&self, rep: FRep, threads: usize) -> Result<FRep> {
+        crate::pipeline::execute_staged(self, rep, threads).map(|(rep, _)| rep)
+    }
+
+    /// Applies the plan one copy transform per operator — the legacy
+    /// execution path, kept as the reference for the fused-vs-per-op
+    /// differential suites and the ablation benchmark.
+    pub fn execute_per_op(&self, mut rep: FRep, threads: usize) -> Result<FRep> {
         for op in &self.ops {
             rep = apply_with(rep, op, threads)?;
         }

@@ -1,0 +1,305 @@
+//! Differential suite for the staged pipeline executor: on randomly
+//! generated databases and randomly generated *valid* f-plans, fused
+//! (in-place, staged, compacted) execution must be bit-identical to the
+//! legacy one-copy-per-operator path, for worker-thread counts
+//! {1, 2, 4}. Complements the SQL-level oracle in `tests/oracle.rs`,
+//! which sweeps the same property through the whole engine.
+
+use fdb_core::frep::FRep;
+use fdb_core::ftree::{AggOp, FTree, NodeId, NodeLabel};
+use fdb_core::pipeline::{execute_per_op, execute_staged};
+use fdb_core::plan::{apply_to_tree, FOp, FPlan};
+use fdb_relational::{AttrId, Catalog, CmpOp, Relation, Schema, Value};
+use proptest::prelude::*;
+
+/// A three-attribute path factorisation times a one-attribute root —
+/// the product gives the plan generator sibling roots to merge and a
+/// forest to restructure.
+fn build_rep(catalog: &mut Catalog, rows: &[(i64, i64, i64)], extra: &[i64]) -> FRep {
+    let x = catalog.intern("x");
+    let y = catalog.intern("y");
+    let z = catalog.intern("z");
+    let w = catalog.intern("w");
+    let rel = Relation::from_rows(
+        Schema::new(vec![x, y, z]),
+        rows.iter()
+            .map(|&(a, b, c)| vec![Value::Int(a), Value::Int(b), Value::Int(c)]),
+    )
+    .canonical();
+    let left = FRep::from_relation(&rel, FTree::path(&[x, y, z])).unwrap();
+    let extra_rel = Relation::from_rows(
+        Schema::new(vec![w]),
+        extra.iter().map(|&v| vec![Value::Int(v)]),
+    )
+    .canonical();
+    let right = FRep::from_relation(&extra_rel, FTree::path(&[w])).unwrap();
+    fdb_core::ops::product(left, right)
+}
+
+/// Attributes of atomic nodes (selectable, projectable, absorbable).
+fn atomic_attrs(tree: &FTree) -> Vec<(NodeId, AttrId)> {
+    tree.live_nodes()
+        .into_iter()
+        .filter_map(|n| match &tree.node(n).label {
+            NodeLabel::Atomic(attrs) => Some((n, attrs[0])),
+            NodeLabel::Agg(_) => None,
+        })
+        .collect()
+}
+
+/// Builds a random valid plan from a pick stream, simulating each
+/// candidate on a scratch tree so every emitted operator is legal for
+/// the tree state it will meet at execution time.
+fn random_plan(tree0: &FTree, catalog: &mut Catalog, picks: &[(u8, u8, u8)]) -> FPlan {
+    let mut tree = tree0.clone();
+    let mut plan = FPlan::new();
+    let mut fresh = 0usize;
+    for &(sel, p1, p2) in picks {
+        let live = tree.live_nodes();
+        let attrs = tree.all_attrs();
+        if attrs.is_empty() {
+            break;
+        }
+        let pick_attr = attrs[p1 as usize % attrs.len()];
+        let select_op = FOp::SelectConst {
+            attr: pick_attr,
+            op: [CmpOp::Le, CmpOp::Ge, CmpOp::Ne, CmpOp::Eq][p2 as usize % 4],
+            value: Value::Int((p2 % 5) as i64),
+        };
+        let op = match sel % 6 {
+            1 => {
+                // Swap a child above its parent.
+                let edges: Vec<(NodeId, NodeId)> = live
+                    .iter()
+                    .filter_map(|&n| tree.node(n).parent.map(|p| (p, n)))
+                    .collect();
+                if edges.is_empty() {
+                    select_op
+                } else {
+                    let (parent, child) = edges[p1 as usize % edges.len()];
+                    FOp::Swap { parent, child }
+                }
+            }
+            2 => {
+                // Aggregate one subtree (or, rarely, the whole forest).
+                let out = {
+                    fresh += 1;
+                    catalog.intern(&format!("agg{fresh}"))
+                };
+                let (parent, targets) = if p1 % 7 == 0 {
+                    (None, tree.roots().to_vec())
+                } else {
+                    let inner: Vec<NodeId> = live
+                        .iter()
+                        .copied()
+                        .filter(|&n| tree.node(n).parent.is_some())
+                        .collect();
+                    match inner.get(p1 as usize % inner.len().max(1)) {
+                        None => (None, tree.roots().to_vec()),
+                        Some(&n) => (tree.node(n).parent, vec![n]),
+                    }
+                };
+                // Always include Count so later aggregations stay
+                // composable (Prop. 2); add a Sum when a target subtree
+                // provides the attribute.
+                let mut funcs = vec![AggOp::Count];
+                let mut outputs = vec![out];
+                if p2 % 2 == 0 {
+                    let mut provided: Vec<AttrId> = Vec::new();
+                    for &t in &targets {
+                        for (n, a) in atomic_attrs(&tree) {
+                            if n == t || tree.is_ancestor(t, n) {
+                                provided.push(a);
+                            }
+                        }
+                    }
+                    if let Some(&a) = provided.get(p2 as usize % 3) {
+                        funcs.push(AggOp::Sum(a));
+                        fresh += 1;
+                        outputs.push(catalog.intern(&format!("agg{fresh}")));
+                    }
+                }
+                FOp::Aggregate {
+                    parent,
+                    targets,
+                    funcs,
+                    outputs,
+                }
+            }
+            3 => {
+                // Project away an atomic attribute (keep ≥ 2 nodes live).
+                let cands = atomic_attrs(&tree);
+                if cands.is_empty() || live.len() < 2 {
+                    select_op
+                } else {
+                    let (_, attr) = cands[p1 as usize % cands.len()];
+                    FOp::ProjectAway { attr }
+                }
+            }
+            4 => {
+                fresh += 1;
+                FOp::Rename {
+                    from: pick_attr,
+                    to: catalog.intern(&format!("r{fresh}")),
+                }
+            }
+            5 => {
+                // Merge two atomic roots, else absorb along a path.
+                let roots: Vec<NodeId> = tree
+                    .roots()
+                    .iter()
+                    .copied()
+                    .filter(|&n| matches!(tree.node(n).label, NodeLabel::Atomic(_)))
+                    .collect();
+                if roots.len() >= 2 {
+                    FOp::Merge {
+                        a: roots[0],
+                        b: roots[1],
+                    }
+                } else {
+                    let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+                    for (anc, _) in atomic_attrs(&tree) {
+                        for (desc, _) in atomic_attrs(&tree) {
+                            if tree.is_ancestor(anc, desc) {
+                                pairs.push((anc, desc));
+                            }
+                        }
+                    }
+                    match pairs.get(p1 as usize % pairs.len().max(1)) {
+                        Some(&(anc, desc)) => FOp::Absorb { anc, desc },
+                        None => select_op,
+                    }
+                }
+            }
+            _ => select_op,
+        };
+        let mut scratch = tree.clone();
+        if apply_to_tree(&mut scratch, &op).is_ok() {
+            tree = scratch;
+            plan.push(op);
+        }
+    }
+    plan
+}
+
+fn assert_fused_matches_legacy(rep: &FRep, plan: &FPlan) {
+    let legacy = execute_per_op(plan, rep.clone(), 1);
+    for threads in [1usize, 2, 4] {
+        let fused = execute_staged(plan, rep.clone(), threads);
+        match (&legacy, &fused) {
+            (Ok((l, _)), Ok((f, _))) => {
+                assert!(
+                    f.check_invariants().is_ok(),
+                    "invariants (threads={threads}) on {plan:?}"
+                );
+                assert!(
+                    f.same_data(l),
+                    "data differs (threads={threads}) on {plan:?}"
+                );
+                assert_eq!(
+                    f.ftree().canonical_key(),
+                    l.ftree().canonical_key(),
+                    "tree differs (threads={threads}) on {plan:?}"
+                );
+                assert_eq!(
+                    f.flatten().canonical(),
+                    l.flatten().canonical(),
+                    "flattening differs (threads={threads}) on {plan:?}"
+                );
+            }
+            (Err(_), Err(_)) => {}
+            (l, f) => panic!(
+                "executors disagree on success (threads={threads}): \
+                 legacy {l:?} vs fused {f:?} on {plan:?}"
+            ),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn fused_execution_matches_legacy_on_random_plans(
+        rows in prop::collection::vec((0i64..5, 0i64..5, 0i64..5), 0..20),
+        extra in prop::collection::vec(0i64..5, 0..5),
+        picks in prop::collection::vec((0u8..6, 0u8..32, 0u8..32), 1..9),
+    ) {
+        let mut catalog = Catalog::new();
+        let rep = build_rep(&mut catalog, &rows, &extra);
+        let plan = random_plan(rep.ftree(), &mut catalog, &picks);
+        assert_fused_matches_legacy(&rep, &plan);
+    }
+}
+
+#[test]
+fn fused_matches_legacy_on_empty_and_singleton_databases() {
+    for (rows, extra) in [
+        (vec![], vec![]),
+        (vec![(1, 1, 1)], vec![2]),
+        (vec![(0, 0, 0), (0, 1, 0), (1, 0, 1)], vec![]),
+    ] {
+        let mut catalog = Catalog::new();
+        let rep = build_rep(&mut catalog, &rows, &extra);
+        // A fixed stress plan: filters, swap, merge, aggregate.
+        let picks: Vec<(u8, u8, u8)> = vec![
+            (0, 1, 3),
+            (5, 0, 0),
+            (1, 2, 1),
+            (0, 2, 6),
+            (2, 3, 2),
+            (3, 1, 0),
+        ];
+        let plan = random_plan(rep.ftree(), &mut catalog, &picks);
+        assert_fused_matches_legacy(&rep, &plan);
+    }
+}
+
+#[test]
+fn staged_intermediate_bytes_beat_per_op_on_long_plans() {
+    let mut catalog = Catalog::new();
+    let rows: Vec<(i64, i64, i64)> = (0..600).map(|i| (i % 23, (i * 7) % 17, i % 11)).collect();
+    let rep = build_rep(&mut catalog, &rows, &[1, 2, 3]);
+    let x = catalog.lookup("x").unwrap();
+    let y = catalog.lookup("y").unwrap();
+    let nx = rep.ftree().node_of_attr(x).unwrap();
+    let ny = rep.ftree().node_of_attr(y).unwrap();
+    let out = catalog.intern("n");
+    let mut plan = FPlan::new();
+    plan.push(FOp::SelectConst {
+        attr: x,
+        op: CmpOp::Le,
+        value: Value::Int(20),
+    });
+    plan.push(FOp::SelectConst {
+        attr: y,
+        op: CmpOp::Ne,
+        value: Value::Int(3),
+    });
+    plan.push(FOp::Swap {
+        parent: nx,
+        child: ny,
+    });
+    plan.push(FOp::Aggregate {
+        parent: Some(ny),
+        targets: vec![nx],
+        funcs: vec![AggOp::Count],
+        outputs: vec![out],
+    });
+    let (legacy, per_op) = execute_per_op(&plan, rep.clone(), 1).unwrap();
+    let (fused, staged) = execute_staged(&plan, rep, 1).unwrap();
+    assert!(fused.same_data(&legacy));
+    assert!(staged.compacted);
+    assert!(staged.copies_avoided > 0);
+    assert!(
+        staged.intermediate_bytes < per_op.intermediate_bytes,
+        "staged {} >= per-op {}",
+        staged.intermediate_bytes,
+        per_op.intermediate_bytes
+    );
+    // The compacted fused result is no bigger than the legacy result.
+    assert!(fused.memory_bytes() <= legacy.memory_bytes());
+}
