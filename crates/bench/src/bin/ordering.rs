@@ -1,0 +1,161 @@
+//! Ordering-strategy ablation: `ORDER BY … LIMIT k` through the three
+//! physical strategies (DESIGN.md "ordering strategies"):
+//!
+//! * **stream** — restructure by swaps until Theorem 2 holds, then
+//!   enumerate with constant delay, stopping at `k` (§4.2);
+//! * **heap** — bounded-heap top-k over the *unrestructured* arena: one
+//!   unordered enumeration pass through a size-`k` heap, `O(k·row)`
+//!   auxiliary memory;
+//! * **sort** — collect-sort-cut: enumerate everything flat, stable
+//!   sort, truncate (`O(N·row)` memory in the flat result);
+//!
+//! plus an **auto** row reporting what the cost model picks. Every row
+//! carries `ibytes=` — the plan's intermediate arena allocation *plus*
+//! the ordering-side peak (heap payload / sort buffer) — so `perfgate`
+//! holds the memory profile to its tight ratio, and the binary itself
+//! asserts the acceptance property: the heap's allocation undercuts the
+//! collect-sort-cut baseline on the swap-requiring query.
+//!
+//! `cargo run --release -p fdb-bench --bin ordering -- --scale 2 --json out.json`
+
+use fdb_bench::{median_secs, Args, BenchSetup};
+use fdb_core::engine::{OrderMode, OrderStrategy, RunOptions};
+use fdb_core::{ExecStats, OrderRunStats};
+use fdb_relational::planner::JoinAggTask;
+use fdb_relational::{AggFunc, AggSpec, SortKey};
+use fdb_workload::orders::OrdersConfig;
+
+fn strategy_tag(s: OrderStrategy) -> &'static str {
+    match s {
+        OrderStrategy::Unordered => "unordered",
+        OrderStrategy::StreamInTree => "stream",
+        OrderStrategy::HeapTopK { .. } => "heap",
+        OrderStrategy::CollectSortCut => "sort",
+    }
+}
+
+fn main() {
+    let args = Args::parse(1, 1);
+    let scale = args.scale;
+    let mut emit = args.emitter();
+    println!("# Ordering-strategy ablation at scale {scale}");
+    let mut env = BenchSetup {
+        config: OrdersConfig {
+            scale,
+            customers: args.customers,
+            seed: 0xFDB,
+        },
+        // Only the factorised side runs here.
+        materialise_flat: false,
+        threads: args.threads,
+    }
+    .build();
+    let a = env.attrs;
+    let revenue = env.fdb.catalog.intern("revenue_ordering");
+
+    // The query set: one order the stored f-tree realises for free
+    // (Q11's), one that needs a swap (Q12's — the acceptance shape:
+    // keys not realised by the f-tree), and ORDER BY the aggregate (Q7).
+    let queries: Vec<(&str, JoinAggTask)> = vec![
+        (
+            "Q11-top10",
+            JoinAggTask {
+                inputs: vec!["R1".into()],
+                projection: Some(vec![a.package, a.item, a.date]),
+                order_by: vec![
+                    SortKey::asc(a.package),
+                    SortKey::asc(a.item),
+                    SortKey::asc(a.date),
+                ],
+                limit: Some(10),
+                ..Default::default()
+            },
+        ),
+        (
+            "Q12-top10",
+            JoinAggTask {
+                inputs: vec!["R1".into()],
+                projection: Some(vec![a.date, a.package, a.item]),
+                order_by: vec![
+                    SortKey::asc(a.date),
+                    SortKey::asc(a.package),
+                    SortKey::asc(a.item),
+                ],
+                limit: Some(10),
+                ..Default::default()
+            },
+        ),
+        (
+            "Q7-top5",
+            JoinAggTask {
+                inputs: vec!["R1".into()],
+                group_by: vec![a.customer],
+                aggregates: vec![AggSpec::new(AggFunc::Sum(a.price), revenue)],
+                order_by: vec![SortKey::desc(revenue), SortKey::asc(a.customer)],
+                limit: Some(5),
+                ..Default::default()
+            },
+        ),
+    ];
+
+    let modes: [(&str, OrderMode); 4] = [
+        ("FDB stream", OrderMode::ForceStream),
+        ("FDB heap", OrderMode::ForceHeap),
+        ("FDB sort", OrderMode::ForceSort),
+        ("FDB auto", OrderMode::Auto),
+    ];
+
+    // (query, mode) -> combined intermediate bytes, for the acceptance
+    // assertion below.
+    let mut ibytes_of: Vec<(String, usize)> = Vec::new();
+    for (name, task) in &queries {
+        for (engine, mode) in modes {
+            let opts = RunOptions {
+                threads: env.threads,
+                order: mode,
+                ..RunOptions::default()
+            };
+            let ((exec, ord, rows), t): ((ExecStats, OrderRunStats, usize), f64) =
+                median_secs(args.repeats, || {
+                    let result = env.fdb.run(task, opts).expect("fdb plans");
+                    let exec = result.exec_stats();
+                    let (rel, ord) = result.to_relation_counted().expect("fdb enumerates");
+                    (exec, ord, rel.len())
+                });
+            let ibytes = exec.intermediate_bytes + ord.order_bytes;
+            emit.row(
+                "ordering",
+                scale,
+                name,
+                engine,
+                t,
+                &format!(
+                    "ibytes={ibytes} obytes={} rows={rows} seen={} strategy={}",
+                    ord.order_bytes,
+                    ord.rows_enumerated,
+                    strategy_tag(ord.strategy),
+                ),
+            );
+            ibytes_of.push((format!("{name}/{engine}"), ibytes));
+        }
+    }
+
+    // Acceptance: on the swap-requiring query the heap's total
+    // intermediate allocation must undercut collect-sort-cut — the
+    // LIMIT-k path no longer pays O(flat result).
+    let get = |k: &str| {
+        ibytes_of
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|&(_, v)| v)
+            .expect("row recorded")
+    };
+    let heap = get("Q12-top10/FDB heap");
+    let sort = get("Q12-top10/FDB sort");
+    assert!(
+        heap < sort,
+        "heap top-k ibytes ({heap}) must be strictly below collect-sort-cut ({sort})"
+    );
+    println!("# acceptance: Q12-top10 heap ibytes {heap} < sort ibytes {sort}");
+    emit.finish();
+}

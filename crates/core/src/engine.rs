@@ -21,9 +21,13 @@ use crate::enumerate::{EnumSpec, GroupCursor, TupleIter};
 use crate::error::{FdbError, Result};
 use crate::frep::FRep;
 use crate::ftree::{AggOp, FTree};
+use crate::optim::ordering::{choose_order_strategy, OrderChoice, OrderCostInputs};
 use crate::optim::{exhaustive, greedy, ExhaustiveConfig, QuerySpec, Stats};
+use crate::topk::TopK;
 use fdb_relational::planner::JoinAggTask;
-use fdb_relational::{AggFunc, AttrId, Catalog, Predicate, Relation, Schema, SortKey, Value};
+use fdb_relational::{
+    dedup_sort_keys, AggFunc, AttrId, Catalog, Predicate, Relation, Schema, SortKey, Value,
+};
 use std::collections::HashMap;
 
 /// Plan search strategy.
@@ -63,6 +67,63 @@ impl ExecutorMode {
     }
 }
 
+/// Preference knob for the physical `ORDER BY` strategy (see
+/// [`OrderStrategy`] for what actually executed).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OrderMode {
+    /// Cost-based choice among restructure+stream, heap top-k and
+    /// collect-sort-cut ([`crate::optim::ordering`]); the default.
+    #[default]
+    Auto,
+    /// Restructure until the factorisation realises the order, then
+    /// stream (falls back to collect-sort-cut when Theorem 2 cannot be
+    /// made to hold, e.g. ordering by a derived `avg` column).
+    ForceStream,
+    /// Bounded-heap top-k over the unrestructured factorisation (needs
+    /// `ORDER BY` + `LIMIT`; degrades to collect-sort-cut without one).
+    ForceHeap,
+    /// Always materialise, sort, truncate (the ablation baseline).
+    ForceSort,
+}
+
+/// The physical ordering strategy a result executes — decided at plan
+/// time, reported by [`FdbResult::explain`], dispatched on by
+/// [`FdbResult::to_relation`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OrderStrategy {
+    /// No `ORDER BY`: enumeration order is unspecified; `LIMIT` cuts the
+    /// stream early.
+    #[default]
+    Unordered,
+    /// The factorisation realises the order (after any planned swaps):
+    /// enumeration streams sorted, `LIMIT` stops it early (Theorem 2).
+    StreamInTree,
+    /// Bounded-heap top-k ([`crate::topk`]): one unordered enumeration
+    /// pass through a size-`k` heap — `O(k·row)` auxiliary memory,
+    /// independent of the flat result size.
+    HeapTopK {
+        /// The `LIMIT`.
+        k: usize,
+    },
+    /// Full enumeration into a flat relation, stable sort, truncate.
+    CollectSortCut,
+}
+
+/// Report of one enumeration pass ([`FdbResult::to_relation_counted`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OrderRunStats {
+    /// The strategy that executed.
+    pub strategy: OrderStrategy,
+    /// Rows that passed the row filters and reached the ordering stage
+    /// (for streamed strategies: rows emitted).
+    pub rows_enumerated: usize,
+    /// Peak bytes of ordering-side auxiliary state — the heap payload for
+    /// top-k, the materialised buffer for collect-sort-cut, zero for the
+    /// streamed strategies. Size-based, like [`FRep::data_bytes`], so the
+    /// perf gate can hold it to a tight ratio.
+    pub order_bytes: usize,
+}
+
 /// Whether to reduce the aggregate to a single attribute (§5.2 step 7).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ConsolidateMode {
@@ -87,6 +148,10 @@ pub struct RunOptions {
     /// F-plan executor: the staged pipeline (default) or the legacy
     /// one-copy-per-operator path; both produce bit-identical results.
     pub executor: ExecutorMode,
+    /// Physical `ORDER BY` strategy preference; `Auto` (the default)
+    /// picks by cost. Every mode produces identical rows — only the
+    /// time/memory profile differs — which the differential suites pin.
+    pub order: OrderMode,
 }
 
 impl Default for RunOptions {
@@ -96,6 +161,7 @@ impl Default for RunOptions {
             consolidate: ConsolidateMode::Auto,
             threads: 1,
             executor: ExecutorMode::Staged,
+            order: OrderMode::Auto,
         }
     }
 }
@@ -108,6 +174,17 @@ impl RunOptions {
             ..RunOptions::default()
         }
     }
+}
+
+/// One planned ordering candidate: the plan, whether it realises the
+/// order in-tree, the realisable key prefix and the consolidation choice
+/// that survived planning.
+#[derive(Clone)]
+struct OrderCandidate {
+    tree_keys: Vec<SortKey>,
+    realised: bool,
+    plan: crate::plan::FPlan,
+    consolidate: bool,
 }
 
 /// How one output column is produced from the enumerated raw columns.
@@ -144,10 +221,12 @@ pub struct FdbResult {
     /// Final output columns, in declared order.
     output_attrs: Vec<AttrId>,
     emit: Vec<(EmitCol, AttrId)>,
+    /// Normalised (first-occurrence-deduplicated) order keys.
     order_by: Vec<SortKey>,
-    /// True when the factorisation's structure realises the order and the
-    /// enumeration can stream it with constant delay (Thm. 2).
-    order_in_tree: bool,
+    /// The physical ordering strategy that executes (cost-chosen or
+    /// forced via [`RunOptions::order`], then verified against the
+    /// result's f-tree).
+    order_strategy: OrderStrategy,
     /// HAVING conjuncts evaluated per output row (those not already pushed
     /// into the factorisation as selections).
     row_filters: Vec<Predicate>,
@@ -183,7 +262,12 @@ impl FdbResult {
     /// True when ORDER BY is realised by the factorisation itself (no
     /// sorting needed at enumeration).
     pub fn order_supported_in_tree(&self) -> bool {
-        self.order_in_tree
+        matches!(self.order_strategy, OrderStrategy::StreamInTree)
+    }
+
+    /// The physical ordering strategy this result executes.
+    pub fn order_strategy(&self) -> OrderStrategy {
+        self.order_strategy
     }
 
     /// The f-plan that produced this result.
@@ -243,17 +327,32 @@ impl FdbResult {
             ),
         };
         let _ = writeln!(out, "output mode: {mode}");
-        let _ = writeln!(
-            out,
-            "ordering: {}",
-            if self.order_by.is_empty() {
-                "none".to_string()
-            } else if self.order_in_tree {
+        // Name the strategy that actually executes — never claim
+        // constant-delay streaming when row filters stretch the delay or
+        // when a sort/heap pass produces the limit.
+        let ordering = match self.order_strategy {
+            OrderStrategy::Unordered => "none".to_string(),
+            OrderStrategy::StreamInTree if self.row_filters.is_empty() => {
                 "realised by the factorisation (constant-delay streaming)".to_string()
-            } else {
-                "sorted after materialisation".to_string()
             }
-        );
+            OrderStrategy::StreamInTree => format!(
+                "realised by the factorisation (streamed; {} row filter(s), \
+                 delay not constant)",
+                self.row_filters.len()
+            ),
+            OrderStrategy::HeapTopK { k } => format!(
+                "heap top-k (k={k}; bounded heap over the unrestructured \
+                 enumeration, no full materialisation)"
+            ),
+            OrderStrategy::CollectSortCut => {
+                "collect-sort-cut (full materialisation, then sort".to_string()
+                    + &match self.limit {
+                        Some(k) => format!(", truncate to {k})"),
+                        None => ")".to_string(),
+                    }
+            }
+        };
+        let _ = writeln!(out, "ordering: {ordering}");
         if let Some(k) = self.limit {
             let _ = writeln!(out, "limit: {k}");
         }
@@ -266,23 +365,97 @@ impl FdbResult {
     /// Enumerates the result into a flat relation (`FDB` mode): ordered,
     /// filtered and truncated per the query.
     pub fn to_relation(&self) -> Result<Relation> {
+        Ok(self.to_relation_counted()?.0)
+    }
+
+    /// [`FdbResult::to_relation`] plus the enumeration report: which
+    /// ordering strategy executed, how many filtered rows reached it, and
+    /// the peak ordering-side allocation — `O(k·row)` for heap top-k vs
+    /// `O(N·row)` for collect-sort-cut, which the bench ordering ablation
+    /// records (`ibytes=`) and the perf gate holds to ratio.
+    pub fn to_relation_counted(&self) -> Result<(Relation, OrderRunStats)> {
         let out_schema = Schema::new(self.output_attrs.clone());
         let mut out = Relation::empty(out_schema.clone());
-        // When the tree realises the order, rows stream out sorted and
-        // LIMIT stops enumeration early; otherwise collect-sort-cut.
-        let streaming_limit = if self.order_in_tree { self.limit } else { None };
-        let push_row = |row: &[Value], out: &mut Relation| -> bool {
-            if self.row_filters.iter().all(|p| p.eval(&out_schema, row)) {
-                out.push_row(row);
-            }
-            match streaming_limit {
-                Some(k) => out.len() < k,
-                None => true,
-            }
+        let mut stats = OrderRunStats {
+            strategy: self.order_strategy,
+            ..OrderRunStats::default()
         };
+        match self.order_strategy {
+            // Streamed strategies: rows arrive in final order (or no
+            // order was asked for) and LIMIT stops enumeration early.
+            OrderStrategy::Unordered | OrderStrategy::StreamInTree => {
+                let ordered = matches!(self.order_strategy, OrderStrategy::StreamInTree);
+                let limit = self.limit;
+                self.enumerate_filtered(ordered, &out_schema, &mut |row| {
+                    out.push_row(row);
+                    match limit {
+                        Some(k) => out.len() < k,
+                        None => true,
+                    }
+                })?;
+                stats.rows_enumerated = out.len();
+            }
+            OrderStrategy::CollectSortCut => {
+                self.enumerate_filtered(false, &out_schema, &mut |row| {
+                    out.push_row(row);
+                    true
+                })?;
+                stats.rows_enumerated = out.len();
+                stats.order_bytes = out.len() * out.arity() * std::mem::size_of::<Value>();
+                if !self.order_by.is_empty() {
+                    out.sort_by_keys_par(&self.order_by, self.threads);
+                }
+            }
+            OrderStrategy::HeapTopK { k } => {
+                let keys: Vec<(usize, fdb_relational::SortDir)> = self
+                    .order_by
+                    .iter()
+                    .map(|key| {
+                        out_schema
+                            .position(key.attr)
+                            .map(|p| (p, key.dir))
+                            .ok_or_else(|| {
+                                FdbError::Unresolved(format!(
+                                    "order attribute {} not in the output schema",
+                                    key.attr
+                                ))
+                            })
+                    })
+                    .collect::<Result<_>>()?;
+                let mut topk = TopK::new(k, keys);
+                self.enumerate_filtered(false, &out_schema, &mut |row| {
+                    topk.push(row);
+                    true
+                })?;
+                stats.rows_enumerated = topk.rows_seen();
+                stats.order_bytes = topk.peak_bytes();
+                for row in topk.into_rows() {
+                    out.push_row(&row);
+                }
+            }
+        }
+        if let Some(k) = self.limit {
+            if out.len() > k {
+                out = fdb_relational::ops::limit(&out, k);
+            }
+        }
+        Ok((out, stats))
+    }
+
+    /// Streams the emitted output rows that pass the row filters into
+    /// `sink`; a `false` return stops enumeration. `ordered` selects the
+    /// Theorem-2 visit sequence (sorted streaming); otherwise pre-order
+    /// tuples / unordered groups.
+    fn enumerate_filtered(
+        &self,
+        ordered: bool,
+        out_schema: &Schema,
+        sink: &mut dyn FnMut(&[Value]) -> bool,
+    ) -> Result<()> {
+        let keep = |row: &[Value]| self.row_filters.iter().all(|p| p.eval(out_schema, row));
         match &self.kind {
             ResultKind::Spj | ResultKind::AggConsolidated => {
-                let spec = if self.order_in_tree {
+                let spec = if ordered {
                     EnumSpec::ordered(self.rep.ftree(), &self.order_by)?
                 } else {
                     EnumSpec::all_preorder(self.rep.ftree())
@@ -294,7 +467,7 @@ impl FdbResult {
                 while let Some(row) = it.next_row() {
                     buf.clear();
                     self.emit_row(row, &positions, &raw_attrs, &mut buf);
-                    if !push_row(&buf, &mut out) {
+                    if keep(&buf) && !sink(&buf) {
                         break;
                     }
                 }
@@ -304,7 +477,7 @@ impl FdbResult {
                 final_funcs,
                 func_outputs,
             } => {
-                let spec = if self.order_in_tree {
+                let spec = if ordered {
                     EnumSpec::group_prefix_ordered(self.rep.ftree(), group_attrs, &self.order_by)?
                 } else {
                     EnumSpec::group_prefix(self.rep.ftree(), group_attrs)?
@@ -313,7 +486,6 @@ impl FdbResult {
                 let cur_schema = cur.schema();
                 // Raw values: group attrs (from cursor) + per-group
                 // aggregate evaluations.
-                let raw_attrs = self.raw_attrs();
                 let mut buf: Vec<Value> = Vec::with_capacity(self.emit.len());
                 while let Some((vals, dangling)) = cur.next_group() {
                     let mut raw: HashMap<AttrId, Value> = HashMap::new();
@@ -328,22 +500,13 @@ impl FdbResult {
                     for (col, _) in &self.emit {
                         buf.push(compute_emit(col, &raw)?);
                     }
-                    let _ = raw_attrs;
-                    if !push_row(&buf, &mut out) {
+                    if keep(&buf) && !sink(&buf) {
                         break;
                     }
                 }
             }
         }
-        if !self.order_in_tree && !self.order_by.is_empty() {
-            out.sort_by_keys_par(&self.order_by, self.threads);
-        }
-        if let Some(k) = self.limit {
-            if out.len() > k {
-                out = fdb_relational::ops::limit(&out, k);
-            }
-        }
-        Ok(out)
+        Ok(())
     }
 
     /// The raw tree attributes each emit column reads.
@@ -565,70 +728,96 @@ impl FdbEngine {
         }
         let is_aggregate = !task.aggregates.is_empty();
 
+        // Normalised order keys: later duplicates of an attribute are
+        // dropped — the first occurrence (and its direction) decides, so
+        // arena-ordered streaming, heap top-k and the flat sort all honour
+        // the same list (`fdb_relational::dedup_sort_keys`).
+        let order_keys = dedup_sort_keys(&task.order_by);
+        let has_order = !order_keys.is_empty();
+
         // Order analysis: keys on group attributes can always be realised
         // in the tree (after restructuring); keys on aggregate outputs
         // need consolidation; keys on avg outputs are computed columns and
-        // force a sort.
-        let order_on_raw_agg = task
-            .order_by
-            .iter()
-            .any(|k| final_outputs.contains(&k.attr));
-        let order_on_div = task.order_by.iter().any(|k| div_outputs.contains(&k.attr));
+        // can never be realised (heap top-k / sort handle them).
+        let order_on_raw_agg = order_keys.iter().any(|k| final_outputs.contains(&k.attr));
         let having_on_raw = task.having.iter().any(|p| match p {
             Predicate::AttrCmp(a, _, _) => final_outputs.contains(a) || task.group_by.contains(a),
             Predicate::AttrEq(_, _) => false,
         });
-        let want_consolidate = is_aggregate
-            && match opts.consolidate {
-                ConsolidateMode::Always => true,
-                ConsolidateMode::Never => false,
-                ConsolidateMode::Auto => order_on_raw_agg || having_on_raw,
+        let consolidate_if = |needed: bool| {
+            is_aggregate
+                && match opts.consolidate {
+                    ConsolidateMode::Always => true,
+                    ConsolidateMode::Never => false,
+                    ConsolidateMode::Auto => needed,
+                }
+        };
+        // The stream candidate needs consolidation to realise an order on
+        // the aggregate in-tree (Q7); the flat candidates evaluate the
+        // aggregate at emission instead, so only HAVING can demand it.
+        let want_consolidate_stream = consolidate_if(order_on_raw_agg || having_on_raw);
+        let want_consolidate_flat = consolidate_if(having_on_raw);
+
+        // Builds the optimiser spec for a consolidation choice and a
+        // realise-the-order choice. The tree can realise the order only
+        // if *all* keys are realisable (a partial prefix would still need
+        // a sort), and only when the candidate asks for it at all.
+        let make_parts =
+            |consolidate: bool, realise_order: bool| -> (QuerySpec, Vec<SortKey>, bool) {
+                let tree_keys: Vec<SortKey> = order_keys
+                    .iter()
+                    .copied()
+                    .filter(|k| {
+                        if div_outputs.contains(&k.attr) {
+                            return false;
+                        }
+                        if is_aggregate {
+                            task.group_by.contains(&k.attr)
+                                || (consolidate && final_outputs.contains(&k.attr))
+                        } else {
+                            true
+                        }
+                    })
+                    .collect();
+                let realised = realise_order && has_order && tree_keys.len() == order_keys.len();
+                let spec = QuerySpec {
+                    selections: selections.clone(),
+                    const_preds: const_preds.clone(),
+                    projection: if is_aggregate {
+                        None
+                    } else {
+                        Some(
+                            task.projection
+                                .clone()
+                                .unwrap_or_else(|| natural_attrs.clone()),
+                        )
+                    },
+                    group_by: task.group_by.clone(),
+                    final_funcs: final_funcs.clone(),
+                    final_outputs: final_outputs.clone(),
+                    order_by: if realised {
+                        tree_keys.clone()
+                    } else {
+                        Vec::new()
+                    },
+                    consolidate,
+                };
+                (spec, tree_keys, realised)
             };
 
-        // Builds the optimiser spec for a given consolidation choice. The
-        // tree can realise the order only if *all* keys are realisable (a
-        // partial prefix would still need a sort).
-        let make_parts = |consolidate: bool| -> (QuerySpec, Vec<SortKey>, bool) {
-            let tree_keys: Vec<SortKey> = task
-                .order_by
-                .iter()
-                .copied()
-                .filter(|k| {
-                    if div_outputs.contains(&k.attr) {
-                        return false;
+        let plan_spec = |spec: &QuerySpec, catalog: &mut Catalog| -> Result<crate::plan::FPlan> {
+            match opts.strategy {
+                PlanStrategy::Greedy => greedy(rep.ftree(), spec, &stats, catalog),
+                PlanStrategy::Exhaustive(cfg) => {
+                    match exhaustive(rep.ftree(), spec, &stats, catalog, cfg) {
+                        Ok(p) => Ok(p),
+                        Err(FdbError::PlanningFailed(_)) => {
+                            greedy(rep.ftree(), spec, &stats, catalog)
+                        }
+                        Err(e) => Err(e),
                     }
-                    if is_aggregate {
-                        task.group_by.contains(&k.attr)
-                            || (consolidate && final_outputs.contains(&k.attr))
-                    } else {
-                        true
-                    }
-                })
-                .collect();
-            let order_in_tree_candidate = tree_keys.len() == task.order_by.len();
-            let spec = QuerySpec {
-                selections: selections.clone(),
-                const_preds: const_preds.clone(),
-                projection: if is_aggregate {
-                    None
-                } else {
-                    Some(
-                        task.projection
-                            .clone()
-                            .unwrap_or_else(|| natural_attrs.clone()),
-                    )
-                },
-                group_by: task.group_by.clone(),
-                final_funcs: final_funcs.clone(),
-                final_outputs: final_outputs.clone(),
-                order_by: if order_in_tree_candidate {
-                    tree_keys.clone()
-                } else {
-                    Vec::new()
-                },
-                consolidate,
-            };
-            (spec, tree_keys, order_in_tree_candidate)
+                }
+            }
         };
 
         // Consolidation (§5.2 step 7) is not always achievable: partial
@@ -636,26 +825,109 @@ impl FdbEngine {
         // cannot be gathered by upward swaps. When planning fails for that
         // reason, fall back to the grouped (scenario-3) evaluation — any
         // HAVING / ORDER BY on the aggregate is then handled at emission.
-        let (mut spec, mut tree_keys, mut order_in_tree_candidate) = make_parts(want_consolidate);
-        let mut plan = match opts.strategy {
-            PlanStrategy::Greedy => greedy(rep.ftree(), &spec, &stats, &mut self.catalog),
-            PlanStrategy::Exhaustive(cfg) => {
-                match exhaustive(rep.ftree(), &spec, &stats, &mut self.catalog, cfg) {
-                    Ok(p) => Ok(p),
-                    Err(FdbError::PlanningFailed(_)) => {
-                        greedy(rep.ftree(), &spec, &stats, &mut self.catalog)
+        let build_candidate = |catalog: &mut Catalog,
+                               want_consolidate: bool,
+                               realise_order: bool|
+         -> Result<OrderCandidate> {
+            let (mut spec, mut tree_keys, mut realised) =
+                make_parts(want_consolidate, realise_order);
+            let mut plan = plan_spec(&spec, catalog);
+            let mut consolidate = want_consolidate;
+            if consolidate && matches!(plan, Err(FdbError::PlanningFailed(_))) {
+                consolidate = false;
+                (spec, tree_keys, realised) = make_parts(false, realise_order);
+                plan = greedy(rep.ftree(), &spec, &stats, catalog);
+            }
+            Ok(OrderCandidate {
+                tree_keys,
+                realised,
+                plan: plan?,
+                consolidate,
+            })
+        };
+
+        // Strategy decision: which plan to run and how to order output.
+        // Forced modes pick their candidate directly; `Auto` with a LIMIT
+        // prices restructure+stream against heap top-k and
+        // collect-sort-cut over the non-restructuring plan.
+        let row_width = if is_aggregate {
+            emit.len()
+        } else {
+            task.projection
+                .as_ref()
+                .map(|p| p.len())
+                .unwrap_or(natural_attrs.len())
+        };
+        let (cand, mut order_strategy) = if !has_order {
+            let c = build_candidate(&mut self.catalog, want_consolidate_stream, false)?;
+            (c, OrderStrategy::Unordered)
+        } else {
+            match (opts.order, task.limit) {
+                (OrderMode::ForceSort, _) | (OrderMode::ForceHeap, None) => {
+                    let c = build_candidate(&mut self.catalog, want_consolidate_flat, false)?;
+                    (c, OrderStrategy::CollectSortCut)
+                }
+                (OrderMode::ForceHeap, Some(k)) => {
+                    let c = build_candidate(&mut self.catalog, want_consolidate_flat, false)?;
+                    (c, OrderStrategy::HeapTopK { k })
+                }
+                (OrderMode::ForceStream, _) | (OrderMode::Auto, None) => {
+                    let c = build_candidate(&mut self.catalog, want_consolidate_stream, true)?;
+                    let s = if c.realised {
+                        OrderStrategy::StreamInTree
+                    } else {
+                        OrderStrategy::CollectSortCut
+                    };
+                    (c, s)
+                }
+                (OrderMode::Auto, Some(k)) => {
+                    let stream_cand =
+                        build_candidate(&mut self.catalog, want_consolidate_stream, true)?;
+                    // When no key is realisable and the consolidation
+                    // choice matches, the two candidate specs are
+                    // identical — skip the second optimiser search.
+                    let flat_cand = if !stream_cand.realised
+                        && want_consolidate_stream == want_consolidate_flat
+                    {
+                        stream_cand.clone()
+                    } else {
+                        build_candidate(&mut self.catalog, want_consolidate_flat, false)?
+                    };
+                    let stream_plan_cost = stream_cand.realised.then(|| {
+                        crate::optim::ordering::plan_cost(rep.ftree(), &stream_cand.plan, &stats)
+                    });
+                    let unordered_plan_cost =
+                        crate::optim::ordering::plan_cost(rep.ftree(), &flat_cand.plan, &stats);
+                    let est_rows = {
+                        let mut scratch = rep.ftree().clone();
+                        flat_cand.plan.simulate(&mut scratch)?;
+                        crate::optim::ordering::estimate_rows(
+                            &scratch,
+                            &stats,
+                            &task.group_by,
+                            is_aggregate,
+                        )
+                    };
+                    match choose_order_strategy(&OrderCostInputs {
+                        stream_plan_cost,
+                        unordered_plan_cost,
+                        est_rows,
+                        k: Some(k),
+                        row_width,
+                    }) {
+                        OrderChoice::Stream => (stream_cand, OrderStrategy::StreamInTree),
+                        OrderChoice::Heap => (flat_cand, OrderStrategy::HeapTopK { k }),
+                        OrderChoice::Sort => (flat_cand, OrderStrategy::CollectSortCut),
                     }
-                    Err(e) => Err(e),
                 }
             }
         };
-        let mut consolidate = want_consolidate;
-        if consolidate && matches!(plan, Err(FdbError::PlanningFailed(_))) {
-            consolidate = false;
-            (spec, tree_keys, order_in_tree_candidate) = make_parts(false);
-            plan = greedy(rep.ftree(), &spec, &stats, &mut self.catalog);
-        }
-        let plan = plan?;
+        let OrderCandidate {
+            tree_keys,
+            plan,
+            consolidate,
+            ..
+        } = cand;
         let (mut result_rep, mut exec_stats) = opts.executor.run_plan(&plan, rep, threads)?;
 
         // HAVING: push what we can into the factorisation as selections;
@@ -713,12 +985,11 @@ impl FdbEngine {
             }
         };
 
-        // Verify the order really is realised (defensive: fall back to a
-        // sort rather than return wrongly ordered data).
-        let order_in_tree = order_in_tree_candidate
-            && !task.order_by.is_empty()
-            && !order_on_div
-            && match &kind {
+        // Verify a streamed order really is realised on the *result*
+        // f-tree (defensive: degrade to heap top-k / sort rather than
+        // return wrongly ordered data).
+        if matches!(order_strategy, OrderStrategy::StreamInTree) {
+            let verified = match &kind {
                 ResultKind::Spj | ResultKind::AggConsolidated => {
                     crate::enumerate::supports_order(result_rep.ftree(), &tree_keys)
                 }
@@ -727,14 +998,21 @@ impl FdbEngine {
                         .is_ok()
                 }
             };
+            if !verified {
+                order_strategy = match task.limit {
+                    Some(k) => OrderStrategy::HeapTopK { k },
+                    None => OrderStrategy::CollectSortCut,
+                };
+            }
+        }
 
         Ok(FdbResult {
             rep: result_rep,
             kind,
             output_attrs,
             emit,
-            order_by: task.order_by.clone(),
-            order_in_tree,
+            order_by: order_keys,
+            order_strategy,
             row_filters,
             limit: task.limit,
             plan,
@@ -1195,7 +1473,15 @@ mod tests {
         let revenue = e.catalog.lookup("revenue").unwrap();
         task.order_by = vec![SortKey::desc(revenue)];
         task.limit = Some(2);
-        let result = e.run_default(&task).unwrap();
+        let result = e
+            .run(
+                &task,
+                RunOptions {
+                    order: OrderMode::ForceStream,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
         assert!(!result.plan().is_empty());
         let text = result.explain(&e.catalog);
         assert!(text.contains("f-plan"), "{text}");
@@ -1205,11 +1491,97 @@ mod tests {
         assert!(text.contains("result f-tree"), "{text}");
         assert!(
             text.contains("constant-delay streaming"),
-            "Q7-style ordering is realised in-tree: {text}"
+            "Q7-style ordering is realised in-tree under ForceStream: {text}"
         );
         assert!(text.contains("limit: 2"), "{text}");
         // The plan must mention the aggregation operator.
         assert!(text.contains("γ["), "{text}");
+    }
+
+    #[test]
+    fn explain_names_the_executed_strategy() {
+        // The ordering line must report what actually runs — never claim
+        // constant-delay streaming for a heap or sort execution.
+        let mut e = engine();
+        let mut task = revenue_task(&mut e);
+        let revenue = e.catalog.lookup("revenue").unwrap();
+        task.order_by = vec![SortKey::desc(revenue)];
+        task.limit = Some(2);
+        for (mode, needle) in [
+            (OrderMode::ForceHeap, "heap top-k (k=2"),
+            (OrderMode::ForceSort, "collect-sort-cut"),
+        ] {
+            let result = e
+                .run(
+                    &task,
+                    RunOptions {
+                        order: mode,
+                        ..RunOptions::default()
+                    },
+                )
+                .unwrap();
+            let text = result.explain(&e.catalog);
+            assert!(text.contains(needle), "{mode:?}: {text}");
+            assert!(
+                !text.contains("constant-delay streaming"),
+                "{mode:?} must not claim streaming: {text}"
+            );
+        }
+        // A streamed order with residual row filters is not constant-delay
+        // and the explain output must say so.
+        let mut task = revenue_task(&mut e);
+        let customer = e.catalog.lookup("customer").unwrap();
+        let m = e.catalog.intern("m_avg");
+        task.aggregates.push(AggSpec::new(
+            AggFunc::Avg(e.catalog.lookup("price").unwrap()),
+            m,
+        ));
+        task.order_by = vec![SortKey::asc(customer)];
+        task.having = vec![Predicate::AttrCmp(m, CmpOp::Gt, Value::Float(0.0))];
+        let result = e.run_default(&task).unwrap();
+        assert!(result.order_supported_in_tree());
+        let text = result.explain(&e.catalog);
+        assert!(text.contains("row filter(s)"), "{text}");
+        assert!(text.contains("delay not constant"), "{text}");
+        assert!(!text.contains("constant-delay streaming"), "{text}");
+    }
+
+    #[test]
+    fn auto_picks_heap_for_unrealisable_order_with_limit() {
+        // ORDER BY avg LIMIT 1: Theorem 2 can never hold (a derived
+        // division column); with a LIMIT the cost model must pick the
+        // bounded heap over collect-sort-cut — and the rows agree.
+        let mut e = engine();
+        let price = e.catalog.lookup("price").unwrap();
+        let customer = e.catalog.lookup("customer").unwrap();
+        let m = e.catalog.intern("mean_topk");
+        let task = JoinAggTask {
+            inputs: vec!["Orders".into(), "Packages".into(), "Items".into()],
+            group_by: vec![customer],
+            aggregates: vec![AggSpec::new(AggFunc::Avg(price), m)],
+            order_by: vec![SortKey::desc(m)],
+            limit: Some(1),
+            ..Default::default()
+        };
+        let auto = e.run_default(&task).unwrap();
+        assert_eq!(auto.order_strategy(), OrderStrategy::HeapTopK { k: 1 });
+        assert!(!auto.order_supported_in_tree());
+        let (rows, stats) = auto.to_relation_counted().unwrap();
+        assert_eq!(stats.strategy, OrderStrategy::HeapTopK { k: 1 });
+        assert!(stats.order_bytes > 0);
+        let sorted = e
+            .run(
+                &task,
+                RunOptions {
+                    order: OrderMode::ForceSort,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap()
+            .to_relation()
+            .unwrap();
+        assert_eq!(rows, sorted);
+        assert_eq!(rows.len(), 1);
     }
 
     #[test]
@@ -1265,7 +1637,8 @@ mod tests {
             ..Default::default()
         };
         let result = e.run_default(&task).unwrap();
+        assert!(!result.order_supported_in_tree());
         let text = result.explain(&e.catalog);
-        assert!(text.contains("sorted after materialisation"), "{text}");
+        assert!(text.contains("collect-sort-cut"), "{text}");
     }
 }

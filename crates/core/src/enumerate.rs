@@ -49,8 +49,12 @@ impl EnumSpec {
                 FdbError::Unresolved(format!("order attribute {} not in f-tree", key.attr))
             })?;
             if visit.contains(&node) {
-                // Same equivalence class as an earlier key: values are
-                // identical tuple-wise, the key is redundant (§4).
+                // Duplicate key, or the same equivalence class as an
+                // earlier key: the FIRST occurrence (and its direction)
+                // decides, exactly as in `Relation::sort_by_keys` —
+                // tuple-wise the values are identical, so the later key
+                // could never break a tie the earlier one left (§4; see
+                // `fdb_relational::dedup_sort_keys`).
                 continue;
             }
             let ok = match tree.node(node).parent {
@@ -92,6 +96,7 @@ impl EnumSpec {
                 FdbError::Unresolved(format!("order attribute {} not in f-tree", key.attr))
             })?;
             if visit.contains(&node) {
+                // First occurrence decides (see `EnumSpec::ordered`).
                 continue;
             }
             if !base.visit.contains(&node) {
@@ -654,6 +659,39 @@ mod tests {
         let it = TupleIter::new(&rep, &spec).unwrap();
         let rel = it.projected(&[a("pizza"), a("customer")], Some(3)).unwrap();
         assert_eq!(rel.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_key_with_conflicting_direction_honours_first() {
+        // ORDER BY pizza DESC, pizza ASC, date ASC: the ASC duplicate is
+        // redundant and must not override the first occurrence — the
+        // enumeration agrees with the flat stable sort on the raw list.
+        let (c, rep) = t1_rep();
+        let a = |n: &str| c.lookup(n).unwrap();
+        let keys = vec![
+            SortKey::desc(a("pizza")),
+            SortKey::asc(a("pizza")),
+            SortKey::asc(a("date")),
+        ];
+        let spec = EnumSpec::ordered(rep.ftree(), &keys).unwrap();
+        let it = TupleIter::new(&rep, &spec).unwrap();
+        let streamed = it.projected(&[a("pizza"), a("date")], None).unwrap();
+        let mut flat = rep.flatten().project_cols(&[a("pizza"), a("date")]);
+        flat.sort_by_keys(&keys);
+        assert_eq!(streamed, flat);
+        assert!(streamed.is_sorted_by(&fdb_relational::dedup_sort_keys(&keys)));
+        assert_eq!(streamed.row(0)[0], Value::str("Hawaii"));
+        // The same discipline for the grouped variant.
+        let gkeys = [SortKey::desc(a("pizza")), SortKey::asc(a("pizza"))];
+        let gspec = EnumSpec::group_prefix_ordered(rep.ftree(), &[a("pizza")], &gkeys).unwrap();
+        let mut cur = GroupCursor::new(&rep, &gspec).unwrap();
+        let mut pizzas = Vec::new();
+        while let Some((vals, _)) = cur.next_group() {
+            pizzas.push(vals[0].as_str().unwrap().to_string());
+        }
+        let mut expect = pizzas.clone();
+        expect.sort_by(|x, y| y.cmp(x)); // DESC: the first occurrence
+        assert_eq!(pizzas, expect);
     }
 
     #[test]

@@ -442,7 +442,7 @@ impl Arena {
 /// `Arc`s are counted at every holder — an upper bound on the footprint).
 fn value_heap_bytes(v: &Value) -> usize {
     match v {
-        Value::Int(_) | Value::Float(_) => 0,
+        Value::Int(_) | Value::Float(_) | Value::Null => 0,
         // Arc<str>: payload + strong/weak counts.
         Value::Str(s) => s.len() + 16,
         Value::Tup(vs) => {

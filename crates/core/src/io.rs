@@ -160,6 +160,7 @@ fn write_value(v: &Value, w: &mut impl Write) -> Result<()> {
             }
             Ok(())
         }
+        Value::Null => write!(w, " n").map_err(io_err),
     }
 }
 
@@ -266,6 +267,10 @@ impl Tokens {
                     vs.push(self.value()?);
                 }
                 Ok(Value::tup(vs))
+            }
+            Some(b'n') => {
+                self.pos += 1;
+                Ok(Value::Null)
             }
             _ => Err(malformed("expected a value token")),
         }
@@ -504,6 +509,31 @@ mod tests {
         let back = read_frep(buf.as_slice(), &mut c2).unwrap();
         // Bit-exact float round trip.
         assert_eq!(*back.root(0).entry(0).value(), Value::Float(0.1 + 0.2));
+    }
+
+    #[test]
+    fn round_trip_null_values() {
+        use fdb_relational::{Relation, Schema};
+        let mut c = Catalog::new();
+        let x = c.intern("x");
+        let y = c.intern("y");
+        let rel = Relation::from_rows(
+            Schema::new(vec![x, y]),
+            [
+                vec![Value::Int(1), Value::Null],
+                vec![Value::Int(2), Value::str("b")],
+                vec![Value::Null, Value::Int(9)],
+            ],
+        );
+        let rep = FRep::from_relation(&rel, FTree::path(&[x, y])).unwrap();
+        let mut buf = Vec::new();
+        write_frep(&rep, &c, &mut buf).unwrap();
+        let mut c2 = Catalog::new();
+        let back = read_frep(buf.as_slice(), &mut c2).unwrap();
+        assert!(back.same_data(&rep));
+        // NULL sorted last at the root (greatest in the total order).
+        let root = back.root(0);
+        assert!(root.entry(root.len() - 1).value().is_null());
     }
 
     #[test]

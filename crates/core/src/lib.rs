@@ -73,8 +73,12 @@ pub mod optim;
 pub mod orderby;
 pub mod pipeline;
 pub mod plan;
+pub mod topk;
 
-pub use engine::{ConsolidateMode, ExecutorMode, FdbEngine, FdbResult, PlanStrategy, RunOptions};
+pub use engine::{
+    ConsolidateMode, ExecutorMode, FdbEngine, FdbResult, OrderMode, OrderRunStats, OrderStrategy,
+    PlanStrategy, RunOptions,
+};
 pub use error::{FdbError, Result};
 pub use frep::{Entry, EntryRef, FRep, FRepStats, Union, UnionId, UnionRef};
 pub use ftree::{AggLabel, AggOp, FTree, NodeId, NodeLabel};

@@ -5,13 +5,17 @@
 //! * [`lp`] — the small simplex solver behind the bounds;
 //! * [`mod@greedy`] — the polynomial-time heuristic of §5.2;
 //! * [`mod@exhaustive`] — Dijkstra over the space of f-trees with permissible
-//!   operators as edges (Prop. 3), exact but exponential.
+//!   operators as edges (Prop. 3), exact but exponential;
+//! * [`ordering`] — the cost-based choice among the physical `ORDER BY`
+//!   strategies (restructure+stream vs collect-sort-cut vs heap top-k).
 
 pub mod cost;
 pub mod exhaustive;
 pub mod greedy;
 pub mod lp;
+pub mod ordering;
 
 pub use cost::{tree_cost, Stats};
 pub use exhaustive::{exhaustive, ExhaustiveConfig};
 pub use greedy::{greedy, QuerySpec};
+pub use ordering::{choose_order_strategy, OrderChoice, OrderCostInputs};

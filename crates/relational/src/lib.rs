@@ -35,6 +35,6 @@ pub use attr::{AttrId, Catalog};
 pub use error::RelError;
 pub use expr::{CmpOp, Predicate};
 pub use ops::GroupStrategy;
-pub use relation::{Relation, SortDir, SortKey};
+pub use relation::{dedup_sort_keys, Relation, SortDir, SortKey};
 pub use schema::Schema;
 pub use value::{Number, Value};

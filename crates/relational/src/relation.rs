@@ -59,6 +59,26 @@ impl SortKey {
     }
 }
 
+/// Normalises an ORDER BY key list: later occurrences of an attribute are
+/// dropped, keeping the **first** occurrence (and its direction).
+///
+/// A duplicate key — even with a conflicting direction, as in
+/// `ORDER BY a ASC, a DESC` — can never influence the order: rows equal
+/// under the first occurrence carry equal values in the duplicate column
+/// too, so the first occurrence decides. Normalising once up front makes
+/// every consumer (the flat [`Relation::sort_by_keys`] comparator,
+/// arena-ordered enumeration, and heap top-k) honour the first occurrence
+/// by construction instead of each re-deriving the rule.
+pub fn dedup_sort_keys(keys: &[SortKey]) -> Vec<SortKey> {
+    let mut out: Vec<SortKey> = Vec::with_capacity(keys.len());
+    for k in keys {
+        if !out.iter().any(|seen| seen.attr == k.attr) {
+            out.push(*k);
+        }
+    }
+    out
+}
+
 /// A materialised relation: a schema plus a flat row-major tuple store.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Relation {
@@ -490,6 +510,23 @@ mod tests {
         assert_eq!(rows, vec![(1, 2), (1, 1), (2, 1), (2, 0)]);
         assert!(rel.is_sorted_by(&[SortKey::asc(a)]));
         assert!(!rel.is_sorted_by(&[SortKey::asc(b)]));
+    }
+
+    #[test]
+    fn dedup_sort_keys_keeps_first_occurrence() {
+        let (c, mut rel) = rel_ab(&[(2, 1), (1, 2), (2, 0), (1, 1)]);
+        let a = c.lookup("a").unwrap();
+        let b = c.lookup("b").unwrap();
+        // A conflicting-direction duplicate keeps the first occurrence.
+        let keys = [SortKey::desc(a), SortKey::asc(b), SortKey::asc(a)];
+        let norm = dedup_sort_keys(&keys);
+        assert_eq!(norm, vec![SortKey::desc(a), SortKey::asc(b)]);
+        // Sorting by the raw and the normalised list is identical: the
+        // duplicate can never break a tie the first occurrence left.
+        let mut raw = rel.clone();
+        raw.sort_by_keys(&keys);
+        rel.sort_by_keys(&norm);
+        assert_eq!(raw, rel);
     }
 
     #[test]

@@ -18,8 +18,18 @@ use std::sync::Arc;
 /// A single data value.
 ///
 /// Values of different variants are never equal and order by variant rank
-/// (`Int < Float < Str < Tup`); columns are expected to be homogeneously
-/// typed, which the query validator enforces for constants.
+/// (`Int < Float < Str < Tup < Null`); columns are expected to be
+/// homogeneously typed, which the query validator enforces for constants.
+///
+/// ## Null placement
+///
+/// `Null` is the **greatest** value in the total order: under
+/// [`crate::SortDir::Asc`] nulls come last, under
+/// [`crate::SortDir::Desc`] they come first (the same NULLS LAST / NULLS
+/// FIRST defaults as PostgreSQL). Because the rule lives in `Ord` itself,
+/// every ordering consumer — the sorted singleton unions of a
+/// factorisation, arena-ordered enumeration, heap top-k, and the flat
+/// [`crate::Relation::sort_by_keys`] comparator — agrees by construction.
 #[derive(Clone, Debug)]
 pub enum Value {
     /// 64-bit signed integer.
@@ -30,6 +40,8 @@ pub enum Value {
     Str(Arc<str>),
     /// Composite value, used for k-ary aggregate results such as `avg`.
     Tup(Arc<[Value]>),
+    /// Absent value; sorts after every other value (NULLS LAST ascending).
+    Null,
 }
 
 impl Value {
@@ -43,14 +55,21 @@ impl Value {
         Value::Tup(Arc::from(vs.into()))
     }
 
-    /// Variant rank used for cross-variant ordering.
+    /// Variant rank used for cross-variant ordering. `Null` ranks last so
+    /// it is the greatest value (NULLS LAST under ascending order).
     fn rank(&self) -> u8 {
         match self {
             Value::Int(_) => 0,
             Value::Float(_) => 1,
             Value::Str(_) => 2,
             Value::Tup(_) => 3,
+            Value::Null => 4,
         }
+    }
+
+    /// True if this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
     }
 
     /// Returns the integer payload, if this is an `Int`.
@@ -119,6 +138,7 @@ impl Ord for Value {
             (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
             (Value::Tup(a), Value::Tup(b)) => a.cmp(b),
+            (Value::Null, Value::Null) => Ordering::Equal,
             (a, b) => a.rank().cmp(&b.rank()),
         }
     }
@@ -134,6 +154,7 @@ impl Hash for Value {
             Value::Float(f) => f.to_bits().hash(state),
             Value::Str(s) => s.hash(state),
             Value::Tup(vs) => vs.hash(state),
+            Value::Null => {}
         }
     }
 }
@@ -154,6 +175,7 @@ impl fmt::Display for Value {
                 }
                 write!(f, ")")
             }
+            Value::Null => write!(f, "NULL"),
         }
     }
 }
@@ -251,6 +273,7 @@ mod tests {
             Value::Float(0.5),
             Value::str("abc"),
             Value::tup(vec![Value::Int(1)]),
+            Value::Null,
         ];
         for (i, a) in vals.iter().enumerate() {
             for (j, b) in vals.iter().enumerate() {
@@ -286,6 +309,24 @@ mod tests {
         let a = Value::tup(vec![Value::Int(1), Value::Int(9)]);
         let b = Value::tup(vec![Value::Int(2), Value::Int(0)]);
         assert!(a < b);
+    }
+
+    #[test]
+    fn null_sorts_last_ascending_first_descending() {
+        use crate::SortDir;
+        // NULLS LAST under Asc, NULLS FIRST under Desc — the single rule
+        // every ordering consumer inherits from `Ord`.
+        for v in [Value::Int(i64::MAX), Value::str("zzz"), Value::Null] {
+            assert!(v <= Value::Null, "{v:?} must not sort after NULL");
+        }
+        assert_eq!(Value::Null.cmp(&Value::Null), Ordering::Equal);
+        assert_eq!(hash_of(&Value::Null), hash_of(&Value::Null));
+        assert_eq!(
+            SortDir::Desc.apply(Value::Int(1).cmp(&Value::Null)),
+            Ordering::Greater,
+            "descending puts NULL first"
+        );
+        assert!(Value::Null.is_null() && !Value::Int(0).is_null());
     }
 
     #[test]

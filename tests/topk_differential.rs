@@ -1,0 +1,358 @@
+//! `ORDER BY … LIMIT` differential suite: the three physical ordering
+//! strategies — bounded-heap top-k, collect-sort-cut, restructure+stream
+//! — must agree on every query, swept over executors {fused, per-op} ×
+//! threads {1, 2, 4}, including two-run determinism when ties straddle
+//! the LIMIT boundary and NULL-bearing columns (NULLS LAST ascending,
+//! first descending).
+//!
+//! Exactness levels (tie order *within* equal keys is a per-strategy
+//! deterministic choice, not a cross-strategy promise):
+//!
+//! * heap ≡ sort **byte-identical** — the heap's stable tie-break makes
+//!   it literally a stable sort + truncate;
+//! * every strategy × executor × thread count: byte-identical to its own
+//!   re-run (determinism) and identical to the reference on the ORDER BY
+//!   key columns (the columns the query actually constrains);
+//! * every output is sorted by the keys and is a subset of the
+//!   unlimited result.
+
+use fdb::core::engine::{ExecutorMode, FdbEngine, OrderMode, OrderStrategy, RunOptions};
+use fdb::relational::planner::JoinAggTask;
+use fdb::relational::{AggFunc, AggSpec, Relation, Schema, SortKey, Value};
+use fdb::workload::orders::{generate, OrdersConfig};
+use fdb::Catalog;
+
+fn thread_sweep() -> Vec<usize> {
+    vec![1, 2, 4]
+}
+
+fn order_attrs(task: &JoinAggTask) -> Vec<fdb::relational::AttrId> {
+    let mut attrs: Vec<fdb::relational::AttrId> = Vec::new();
+    for k in &task.order_by {
+        if !attrs.contains(&k.attr) {
+            attrs.push(k.attr);
+        }
+    }
+    attrs
+}
+
+/// Runs `task` under every ordering mode × executor × thread count and
+/// checks the agreement contract; returns the collect-sort-cut reference.
+fn assert_strategies_agree(e: &mut FdbEngine, task: &JoinAggTask, label: &str) -> Relation {
+    let keys = fdb::relational::dedup_sort_keys(&task.order_by);
+    let key_attrs = order_attrs(task);
+    let opts_for = |order, executor, threads| RunOptions {
+        order,
+        executor,
+        threads,
+        ..RunOptions::default()
+    };
+    let reference = e
+        .run(
+            task,
+            opts_for(OrderMode::ForceSort, ExecutorMode::Staged, 1),
+        )
+        .unwrap_or_else(|err| panic!("{label}: sort reference plans: {err}"))
+        .to_relation()
+        .unwrap();
+    let unlimited = {
+        let mut t = task.clone();
+        t.limit = None;
+        e.run(&t, opts_for(OrderMode::ForceSort, ExecutorMode::Staged, 1))
+            .unwrap()
+            .to_relation()
+            .unwrap()
+            .canonical()
+    };
+    assert!(reference.is_sorted_by(&keys), "{label}: reference sorted");
+    for mode in [
+        OrderMode::Auto,
+        OrderMode::ForceStream,
+        OrderMode::ForceHeap,
+        OrderMode::ForceSort,
+    ] {
+        for executor in [ExecutorMode::Staged, ExecutorMode::PerOp] {
+            for threads in thread_sweep() {
+                let opts = opts_for(mode, executor, threads);
+                let mut run = || {
+                    e.run(task, opts)
+                        .unwrap_or_else(|err| {
+                            panic!("{label}: {mode:?}/{executor:?}/t{threads}: {err}")
+                        })
+                        .to_relation_counted()
+                        .unwrap()
+                };
+                let (out, stats) = run();
+                let (out2, _) = run();
+                assert_eq!(
+                    out, out2,
+                    "{label}: {mode:?}/{executor:?}/t{threads}: two runs diverged"
+                );
+                assert!(
+                    out.is_sorted_by(&keys),
+                    "{label}: {mode:?}/{executor:?}/t{threads}: unsorted output"
+                );
+                assert_eq!(
+                    out.project_cols(&key_attrs),
+                    reference.project_cols(&key_attrs),
+                    "{label}: {mode:?}/{executor:?}/t{threads}: key columns differ"
+                );
+                let contained = out.rows().all(|r| unlimited.rows().any(|u| u == r));
+                assert!(
+                    contained,
+                    "{label}: {mode:?}/{executor:?}/t{threads}: row not in unlimited result"
+                );
+                if mode == OrderMode::ForceHeap {
+                    // Heap ≡ stable sort + truncate, byte for byte.
+                    assert_eq!(
+                        out, reference,
+                        "{label}: heap/{executor:?}/t{threads} differs from sort"
+                    );
+                    if task.limit.is_some() {
+                        assert!(
+                            matches!(stats.strategy, OrderStrategy::HeapTopK { .. }),
+                            "{label}: ForceHeap must execute the heap"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    reference
+}
+
+/// The orders workload with the factorised view registered.
+fn orders_engine() -> (FdbEngine, fdb::workload::orders::OrdersDataset) {
+    let mut catalog = Catalog::new();
+    let ds = generate(
+        &mut catalog,
+        &OrdersConfig {
+            scale: 1,
+            customers: 10,
+            seed: 0xBEEF,
+        },
+    );
+    let mut e = FdbEngine::new(catalog);
+    e.register_view("R1", ds.factorised_view());
+    e.register_relation("Orders", ds.orders.clone());
+    e.register_relation("Packages", ds.packages.clone());
+    e.register_relation("Items", ds.items.clone());
+    (e, ds)
+}
+
+#[test]
+fn orders_workload_limit_sweep() {
+    let (mut e, ds) = orders_engine();
+    let a = ds.attrs;
+    // Q12-style: keys not realised by the stored f-tree (needs a swap to
+    // stream), plus a LIMIT — the acceptance query shape.
+    for k in [1, 7, 100] {
+        let task = JoinAggTask {
+            inputs: vec!["R1".into()],
+            projection: Some(vec![a.date, a.package, a.item]),
+            order_by: vec![
+                SortKey::asc(a.date),
+                SortKey::asc(a.package),
+                SortKey::asc(a.item),
+            ],
+            limit: Some(k),
+            ..Default::default()
+        };
+        assert_strategies_agree(&mut e, &task, &format!("Q12 LIMIT {k}"));
+    }
+    // Q7-style ORDER BY aggregate DESC LIMIT (ties in revenue likely).
+    let revenue = e.catalog.intern("rev_diff");
+    let task = JoinAggTask {
+        inputs: vec!["R1".into()],
+        group_by: vec![a.customer],
+        aggregates: vec![AggSpec::new(AggFunc::Sum(a.price), revenue)],
+        order_by: vec![SortKey::desc(revenue), SortKey::asc(a.customer)],
+        limit: Some(3),
+        ..Default::default()
+    };
+    assert_strategies_agree(&mut e, &task, "Q7 LIMIT 3");
+    // Mixed directions without a limit: heap degrades to sort, stream
+    // restructures; all agree.
+    let task = JoinAggTask {
+        inputs: vec!["R1".into()],
+        projection: Some(vec![a.package, a.date]),
+        order_by: vec![SortKey::desc(a.package), SortKey::asc(a.date)],
+        ..Default::default()
+    };
+    assert_strategies_agree(&mut e, &task, "mixed no-limit");
+}
+
+#[test]
+fn ties_at_the_limit_boundary_are_deterministic() {
+    // Revenue ties by construction: customers pair up with equal totals
+    // and the LIMIT cuts inside a tie pair; no tiebreaker key.
+    let build = || {
+        let mut catalog = Catalog::new();
+        let customer = catalog.intern("customer");
+        let order_id = catalog.intern("order_id");
+        let amount = catalog.intern("amount");
+        let rows: Vec<Vec<Value>> = (0..12i64)
+            .flat_map(|c| {
+                (0..3i64).map(move |o| {
+                    vec![
+                        Value::Int(c),
+                        Value::Int(c * 10 + o),
+                        Value::Int(50 * (c / 2)),
+                    ]
+                })
+            })
+            .collect();
+        let sales = Relation::from_rows(Schema::new(vec![customer, order_id, amount]), rows);
+        let mut e = FdbEngine::new(catalog);
+        e.register_relation("Sales", sales);
+        e
+    };
+    let mut e = build();
+    let customer = e.catalog.lookup("customer").unwrap();
+    let amount = e.catalog.lookup("amount").unwrap();
+    let revenue = e.catalog.intern("revenue");
+    let task = JoinAggTask {
+        inputs: vec!["Sales".into()],
+        group_by: vec![customer],
+        aggregates: vec![AggSpec::new(AggFunc::Sum(amount), revenue)],
+        order_by: vec![SortKey::desc(revenue)], // ties, no tiebreaker
+        limit: Some(5),                         // cuts inside a tie pair
+        ..Default::default()
+    };
+    assert_strategies_agree(&mut e, &task, "tie boundary");
+}
+
+#[test]
+fn null_bearing_columns_agree_on_placement() {
+    // NULLS LAST under ASC, first under DESC — and every strategy agrees
+    // because the rule lives in `Value::cmp` itself.
+    let mut catalog = Catalog::new();
+    let id = catalog.intern("id");
+    let score = catalog.intern("score");
+    let rows: Vec<Vec<Value>> = (0..20i64)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                if i % 4 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i % 5)
+                },
+            ]
+        })
+        .collect();
+    let rel = Relation::from_rows(Schema::new(vec![id, score]), rows);
+    let mut e = FdbEngine::new(catalog);
+    e.register_relation("T", rel);
+    for dir in [SortKey::asc(score), SortKey::desc(score)] {
+        let task = JoinAggTask {
+            inputs: vec!["T".into()],
+            projection: Some(vec![score, id]),
+            order_by: vec![dir, SortKey::asc(id)],
+            limit: Some(6),
+            ..Default::default()
+        };
+        let reference = assert_strategies_agree(&mut e, &task, &format!("nulls {:?}", dir.dir));
+        // Spot-check the placement rule itself.
+        let first_is_null = reference.row(0)[0].is_null();
+        match dir.dir {
+            fdb::relational::SortDir::Asc => {
+                assert!(!first_is_null, "ASC puts NULLs last");
+            }
+            fdb::relational::SortDir::Desc => {
+                assert!(first_is_null, "DESC puts NULLs first");
+            }
+        }
+    }
+}
+
+#[test]
+fn duplicate_conflicting_direction_keys_honour_first_everywhere() {
+    // ORDER BY package DESC, package ASC: the ASC duplicate is dropped —
+    // by every strategy, matching `Relation::sort_by_keys` on the raw
+    // key list.
+    let (mut e, ds) = orders_engine();
+    let a = ds.attrs;
+    let task = JoinAggTask {
+        inputs: vec!["R1".into()],
+        projection: Some(vec![a.package, a.item]),
+        order_by: vec![
+            SortKey::desc(a.package),
+            SortKey::asc(a.package),
+            SortKey::asc(a.item),
+        ],
+        limit: Some(9),
+        ..Default::default()
+    };
+    let reference = assert_strategies_agree(&mut e, &task, "dup keys");
+    // The raw (un-deduplicated) list sorts identically: the first
+    // occurrence decided.
+    assert!(reference.is_sorted_by(&fdb::relational::dedup_sort_keys(&task.order_by)));
+    let mut resorted = reference.clone();
+    resorted.sort_by_keys(&task.order_by);
+    assert_eq!(resorted, reference);
+}
+
+#[test]
+fn heap_memory_is_independent_of_flat_size_and_below_sort() {
+    // The acceptance property at engine level: the heap's ordering-side
+    // allocation depends on k, not on the flat result size, and sits
+    // strictly below the collect-sort-cut buffer.
+    let run = |customers: u32, mode: OrderMode| {
+        let mut catalog = Catalog::new();
+        let ds = generate(
+            &mut catalog,
+            &OrdersConfig {
+                scale: 2,
+                customers,
+                seed: 7,
+            },
+        );
+        let a = ds.attrs;
+        let mut e = FdbEngine::new(catalog);
+        e.register_view("R1", ds.factorised_view());
+        let task = JoinAggTask {
+            inputs: vec!["R1".into()],
+            projection: Some(vec![a.date, a.package, a.item]),
+            order_by: vec![
+                SortKey::asc(a.date),
+                SortKey::asc(a.package),
+                SortKey::asc(a.item),
+            ],
+            limit: Some(10),
+            ..Default::default()
+        };
+        let result = e
+            .run(
+                &task,
+                RunOptions {
+                    order: mode,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+        let (out, stats) = result.to_relation_counted().unwrap();
+        assert_eq!(out.len(), 10);
+        stats
+    };
+    let heap_small = run(20, OrderMode::ForceHeap);
+    let heap_large = run(60, OrderMode::ForceHeap);
+    let sort_large = run(60, OrderMode::ForceSort);
+    assert!(
+        heap_large.rows_enumerated > heap_small.rows_enumerated,
+        "the large input must actually enumerate more rows \
+         ({} vs {})",
+        heap_large.rows_enumerated,
+        heap_small.rows_enumerated
+    );
+    assert_eq!(
+        heap_small.order_bytes, heap_large.order_bytes,
+        "heap allocation must not scale with the flat result"
+    );
+    assert!(
+        heap_large.order_bytes < sort_large.order_bytes,
+        "heap ({}) must undercut collect-sort-cut ({})",
+        heap_large.order_bytes,
+        sort_large.order_bytes
+    );
+}
