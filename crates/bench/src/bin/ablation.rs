@@ -22,7 +22,7 @@
 //! `cargo run --release -p fdb-bench --bin ablation -- --scale 4`
 
 use fdb_bench::{median_secs, paper_queries, Args, BenchSetup, QueryClass};
-use fdb_core::engine::{ConsolidateMode, ExecutorMode, PlanStrategy, RunOptions};
+use fdb_core::engine::{ConsolidateMode, ExecutorMode, RunOptions};
 use fdb_core::ftree::AggOp;
 use fdb_core::optim::{exhaustive, greedy, tree_cost, ExhaustiveConfig, QuerySpec, Stats};
 use fdb_core::plan::apply_to_tree;
@@ -53,12 +53,9 @@ fn main() {
         env.fdb
             .run(
                 &q2.task,
-                RunOptions {
-                    strategy: PlanStrategy::Greedy,
-                    consolidate: ConsolidateMode::Never,
-                    threads: env.threads,
-                    ..RunOptions::default()
-                },
+                RunOptions::new()
+                    .consolidate(ConsolidateMode::Never)
+                    .threads(env.threads),
             )
             .unwrap()
             .to_relation()
@@ -172,11 +169,7 @@ fn main() {
             ("FDB fused", ExecutorMode::Staged),
             ("FDB per-op", ExecutorMode::PerOp),
         ] {
-            let opts = RunOptions {
-                threads: env.threads,
-                executor,
-                ..RunOptions::default()
-            };
+            let opts = RunOptions::new().threads(env.threads).executor(executor);
             let (exec, t) = median_secs(args.repeats, || {
                 env.fdb.run(&q.task, opts).unwrap().exec_stats()
             });

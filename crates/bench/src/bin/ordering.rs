@@ -110,11 +110,7 @@ fn main() {
     let mut ibytes_of: Vec<(String, usize)> = Vec::new();
     for (name, task) in &queries {
         for (engine, mode) in modes {
-            let opts = RunOptions {
-                threads: env.threads,
-                order: mode,
-                ..RunOptions::default()
-            };
+            let opts = RunOptions::new().threads(env.threads).order(mode);
             let ((exec, ord, rows), t): ((ExecStats, OrderRunStats, usize), f64) =
                 median_secs(args.repeats, || {
                     let result = env.fdb.run(task, opts).expect("fdb plans");

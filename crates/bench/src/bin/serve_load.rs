@@ -1,0 +1,172 @@
+//! Load driver for `fdb-server`: throughput and latency percentiles
+//! under a concurrency sweep.
+//!
+//! Spawns an in-process server over the Orders database, then for each
+//! connection count in {1, 4, 16} drives it with that many client
+//! threads issuing a fixed round-robin query mix, recording qps and
+//! p50/p95/p99 request latency. One warm-up pass per level fills the
+//! plan cache first, so the sweep measures the *serving* path —
+//! protocol framing, worker handoff, cache lookup — at a latency small
+//! enough to sit under the perf gate's 1 ms noise floor, while the
+//! engine-execution numbers stay the business of the figure benches.
+//!
+//! ```text
+//! serve_load [--scale N] [--customers N] [--repeats N] [--json PATH]
+//! ```
+//!
+//! Requests per connection = 100 × `--repeats`. Rows are emitted with
+//! engine `FDB serve c=N` (the `FDB` prefix keeps them inside the
+//! default `perfgate` gate); `seconds` is the p50 latency and the note
+//! carries qps, p95, p99 and the request count. The committed baseline
+//! is `BENCH_serve.json`.
+
+use fdb::workload::orders::{generate, OrdersConfig};
+use fdb::{Catalog, Db, FdbEngine};
+use fdb_bench::harness::Args;
+use fdb_server::{spawn, Client, ServerOptions};
+use std::time::{Duration, Instant};
+
+/// The query mix: the paper's aggregate/ordering shapes over
+/// Orders ⋈ Packages ⋈ Items.
+const QUERIES: [&str; 4] = [
+    "SELECT customer, SUM(price) AS revenue FROM Orders, Packages, Items \
+     GROUP BY customer ORDER BY revenue DESC, customer LIMIT 10",
+    "SELECT COUNT(*) AS n FROM Orders, Packages, Items",
+    "SELECT package, COUNT(*) AS items FROM Packages GROUP BY package ORDER BY package",
+    "SELECT customer, date, SUM(price) AS spent FROM Orders, Packages, Items \
+     GROUP BY customer, date ORDER BY customer, date",
+];
+
+const CONNECTION_SWEEP: [usize; 3] = [1, 4, 16];
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+struct LevelReport {
+    qps: f64,
+    p50: Duration,
+    p95: Duration,
+    p99: Duration,
+    requests: usize,
+}
+
+/// Drives `conns` connections, each issuing `per_conn` requests
+/// round-robin over [`QUERIES`]; returns merged latency percentiles
+/// and aggregate throughput.
+fn drive(addr: std::net::SocketAddr, conns: usize, per_conn: usize) -> LevelReport {
+    let wall = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    let mut lat = Vec::with_capacity(per_conn);
+                    for i in 0..per_conn {
+                        let sql = QUERIES[(t + i) % QUERIES.len()];
+                        let t0 = Instant::now();
+                        let reply = c.query(sql).expect("transport");
+                        lat.push(t0.elapsed());
+                        reply.expect("query should succeed");
+                    }
+                    c.quit().expect("quit");
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = wall.elapsed().as_secs_f64();
+    latencies.sort();
+    let requests = latencies.len();
+    LevelReport {
+        qps: requests as f64 / elapsed,
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        p99: percentile(&latencies, 0.99),
+        requests,
+    }
+}
+
+fn main() {
+    let args = Args::parse(1, 1);
+    let mut emitter = args.emitter();
+    let per_conn = 100 * args.repeats;
+
+    let mut catalog = Catalog::new();
+    let ds = generate(
+        &mut catalog,
+        &OrdersConfig {
+            scale: args.scale,
+            customers: args.customers,
+            seed: 0xFDB,
+        },
+    );
+    let mut engine = FdbEngine::new(catalog);
+    engine.register_relation("Orders", ds.orders);
+    engine.register_relation("Packages", ds.packages);
+    engine.register_relation("Items", ds.items);
+
+    let opts = ServerOptions::new().workers(16);
+    let mut server = spawn(Db::from_engine(engine), "127.0.0.1:0", opts).expect("spawn fdb-server");
+    let addr = server.addr();
+
+    // Warm-up: execute (and cache) every query once, and pin that the
+    // served bytes match the library run before timing anything.
+    {
+        let db_check = {
+            let mut catalog = Catalog::new();
+            let ds = generate(
+                &mut catalog,
+                &OrdersConfig {
+                    scale: args.scale,
+                    customers: args.customers,
+                    seed: 0xFDB,
+                },
+            );
+            let mut engine = FdbEngine::new(catalog);
+            engine.register_relation("Orders", ds.orders);
+            engine.register_relation("Packages", ds.packages);
+            engine.register_relation("Items", ds.items);
+            Db::from_engine(engine)
+        };
+        let mut c = Client::connect(addr).expect("connect");
+        for sql in QUERIES {
+            let served = c.query(sql).expect("transport").expect("warm-up query");
+            let mut session = db_check.session();
+            let expected =
+                fdb_server::proto::render_outcome(&session.query(sql).expect("library run"));
+            assert_eq!(
+                served, expected,
+                "served bytes diverge from library on `{sql}`"
+            );
+        }
+        c.quit().expect("quit");
+    }
+
+    for conns in CONNECTION_SWEEP {
+        let report = drive(addr, conns, per_conn);
+        emitter.row(
+            "serve",
+            args.scale,
+            "mix4",
+            &format!("FDB serve c={conns}"),
+            report.p50.as_secs_f64(),
+            &format!(
+                "qps={:.0} p95us={} p99us={} requests={}",
+                report.qps,
+                report.p95.as_micros(),
+                report.p99.as_micros(),
+                report.requests
+            ),
+        );
+    }
+
+    server.shutdown();
+    emitter.finish();
+}

@@ -29,6 +29,13 @@ use fdb_relational::{
     dedup_sort_keys, AggFunc, AttrId, Catalog, Predicate, Relation, Schema, SortKey, Value,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How often the enumeration sinks poll the deadline clock (rows
+/// between checks). Coarse enough to stay invisible in the profile,
+/// fine enough that a wedged enumeration is cut within microseconds.
+const DEADLINE_CHECK_EVERY: usize = 1024;
 
 /// Plan search strategy.
 #[derive(Clone, Copy, Debug)]
@@ -135,7 +142,19 @@ pub enum ConsolidateMode {
 }
 
 /// Options for [`FdbEngine::run`].
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`RunOptions::new`] (or [`RunOptions::default`]) and the builder
+/// methods, so future knobs (deadlines, cache policy, …) are not
+/// breaking changes for downstream callers:
+///
+/// ```
+/// use fdb_core::engine::{OrderMode, RunOptions};
+/// let opts = RunOptions::new().threads(4).order(OrderMode::ForceHeap);
+/// assert_eq!(opts.threads, 4);
+/// ```
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct RunOptions {
     pub strategy: PlanStrategy,
     pub consolidate: ConsolidateMode,
@@ -152,6 +171,13 @@ pub struct RunOptions {
     /// picks by cost. Every mode produces identical rows — only the
     /// time/memory profile differs — which the differential suites pin.
     pub order: OrderMode,
+    /// Per-run wall-clock budget covering planning, f-plan execution
+    /// and enumeration. `None` (the default) never times out. The
+    /// budget starts when [`FdbEngine::run`] is entered; the result's
+    /// enumeration ([`FdbResult::to_relation`]) honours the *same*
+    /// absolute deadline, so a slow enumeration cannot run away from a
+    /// serving worker. On expiry: [`FdbError::DeadlineExceeded`].
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl Default for RunOptions {
@@ -162,17 +188,58 @@ impl Default for RunOptions {
             threads: 1,
             executor: ExecutorMode::Staged,
             order: OrderMode::Auto,
+            deadline: None,
         }
     }
 }
 
 impl RunOptions {
-    /// Default options with the given worker-thread count.
+    /// The default options; entry point of the builder chain.
+    pub fn new() -> Self {
+        RunOptions::default()
+    }
+
+    /// Sets the plan search strategy.
+    pub fn strategy(mut self, strategy: PlanStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the aggregate-consolidation mode (§5.2 step 7).
+    pub fn consolidate(mut self, consolidate: ConsolidateMode) -> Self {
+        self.consolidate = consolidate;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = use the machine).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the f-plan executor.
+    pub fn executor(mut self, executor: ExecutorMode) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Sets the physical `ORDER BY` strategy preference.
+    pub fn order(mut self, order: OrderMode) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Sets the per-run wall-clock budget (planning + execution +
+    /// enumeration); `None` never times out.
+    pub fn deadline(mut self, deadline: Option<std::time::Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Default options with the given worker-thread count (thin alias
+    /// for `RunOptions::new().threads(n)`, kept for existing callers).
     pub fn with_threads(threads: usize) -> Self {
-        RunOptions {
-            threads,
-            ..RunOptions::default()
-        }
+        RunOptions::new().threads(threads)
     }
 }
 
@@ -241,6 +308,10 @@ pub struct FdbResult {
     /// Worker threads for enumeration-time work (the sort fallback),
     /// resolved from the [`RunOptions`] that produced this result.
     threads: usize,
+    /// Absolute deadline carried over from the producing run
+    /// ([`RunOptions::deadline`]): enumeration honours the same
+    /// wall-clock budget as planning and execution did.
+    deadline_at: Option<Instant>,
 }
 
 impl FdbResult {
@@ -445,13 +516,16 @@ impl FdbResult {
     /// Streams the emitted output rows that pass the row filters into
     /// `sink`; a `false` return stops enumeration. `ordered` selects the
     /// Theorem-2 visit sequence (sorted streaming); otherwise pre-order
-    /// tuples / unordered groups.
+    /// tuples / unordered groups. The producing run's deadline is
+    /// polled every [`DEADLINE_CHECK_EVERY`] rows so a slow enumeration
+    /// cannot wedge a serving worker.
     fn enumerate_filtered(
         &self,
         ordered: bool,
         out_schema: &Schema,
         sink: &mut dyn FnMut(&[Value]) -> bool,
     ) -> Result<()> {
+        let mut clock = DeadlinePoll::new(self.deadline_at);
         let keep = |row: &[Value]| self.row_filters.iter().all(|p| p.eval(out_schema, row));
         match &self.kind {
             ResultKind::Spj | ResultKind::AggConsolidated => {
@@ -465,6 +539,7 @@ impl FdbResult {
                 let positions = it.positions(&raw_attrs)?;
                 let mut buf: Vec<Value> = Vec::with_capacity(self.emit.len());
                 while let Some(row) = it.next_row() {
+                    clock.poll("enumeration")?;
                     buf.clear();
                     self.emit_row(row, &positions, &raw_attrs, &mut buf);
                     if keep(&buf) && !sink(&buf) {
@@ -488,6 +563,7 @@ impl FdbResult {
                 // aggregate evaluations.
                 let mut buf: Vec<Value> = Vec::with_capacity(self.emit.len());
                 while let Some((vals, dangling)) = cur.next_group() {
+                    clock.poll("group enumeration")?;
                     let mut raw: HashMap<AttrId, Value> = HashMap::new();
                     for (a, v) in cur_schema.iter().zip(vals) {
                         raw.insert(*a, v.clone());
@@ -549,6 +625,37 @@ impl FdbResult {
     }
 }
 
+/// Cheap periodic deadline clock: polls [`Instant::now`] once every
+/// [`DEADLINE_CHECK_EVERY`] calls (and on the very first call, so a
+/// zero budget fails deterministically before any row is emitted).
+struct DeadlinePoll {
+    at: Option<Instant>,
+    calls: usize,
+}
+
+impl DeadlinePoll {
+    fn new(at: Option<Instant>) -> Self {
+        DeadlinePoll { at, calls: 0 }
+    }
+
+    fn poll(&mut self, what: &str) -> Result<()> {
+        let Some(at) = self.at else { return Ok(()) };
+        let due = self.calls % DEADLINE_CHECK_EVERY == 0;
+        self.calls += 1;
+        if due && Instant::now() >= at {
+            return Err(FdbError::DeadlineExceeded(format!(
+                "run budget expired during {what}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One-shot deadline check (planning/execution stage boundaries).
+fn check_deadline(at: Option<Instant>, what: &str) -> Result<()> {
+    DeadlinePoll::new(at).poll(what)
+}
+
 fn compute_emit(col: &EmitCol, raw: &HashMap<AttrId, Value>) -> Result<Value> {
     match col {
         EmitCol::Raw(a) => raw
@@ -564,12 +671,19 @@ fn compute_emit(col: &EmitCol, raw: &HashMap<AttrId, Value>) -> Result<Value> {
 }
 
 /// The FDB main-memory engine.
+///
+/// Registered inputs are held behind [`Arc`], so cloning an engine is
+/// cheap — the catalog and the name tables are copied, the arenas and
+/// relation buffers are **shared**. This is the snapshot discipline of
+/// the serving layer: one template engine per database, one cheap clone
+/// per session/worker, all readers enumerating the same immutable
+/// arenas concurrently.
 #[derive(Clone, Debug, Default)]
 pub struct FdbEngine {
     /// Attribute catalog shared with every registered input.
     pub catalog: Catalog,
-    views: HashMap<String, (FRep, Stats)>,
-    relations: HashMap<String, Relation>,
+    views: HashMap<String, (Arc<FRep>, Stats)>,
+    relations: HashMap<String, Arc<Relation>>,
 }
 
 impl FdbEngine {
@@ -583,6 +697,13 @@ impl FdbEngine {
 
     /// Registers a factorised view (a read-optimised materialised input).
     pub fn register_view(&mut self, name: impl Into<String>, rep: FRep) {
+        self.register_view_arc(name, Arc::new(rep));
+    }
+
+    /// Registers an [`Arc`]-shared factorised view without copying the
+    /// arena — the registration path of the serving layer, where the
+    /// same snapshot is shared across many engines/sessions.
+    pub fn register_view_arc(&mut self, name: impl Into<String>, rep: Arc<FRep>) {
         let mut stats = Stats::new();
         let size = rep.tuple_count();
         for edge in rep.ftree().deps() {
@@ -596,12 +717,42 @@ impl FdbEngine {
 
     /// Registers a flat relation (factorised on demand as a sorted trie).
     pub fn register_relation(&mut self, name: impl Into<String>, rel: Relation) {
+        self.register_relation_arc(name, Arc::new(rel));
+    }
+
+    /// Registers an [`Arc`]-shared flat relation without copying it.
+    pub fn register_relation_arc(&mut self, name: impl Into<String>, rel: Arc<Relation>) {
         self.relations.insert(name.into(), rel);
     }
 
     /// Borrow of a registered view's factorisation.
     pub fn view(&self, name: &str) -> Option<&FRep> {
-        self.views.get(name).map(|(rep, _)| rep)
+        self.views.get(name).map(|(rep, _)| rep.as_ref())
+    }
+
+    /// Shared handle to a registered view's factorisation (the unit the
+    /// serving layer hands to concurrent readers).
+    pub fn view_arc(&self, name: &str) -> Option<Arc<FRep>> {
+        self.views.get(name).map(|(rep, _)| Arc::clone(rep))
+    }
+
+    /// Shared handle to a registered flat relation.
+    pub fn relation_arc(&self, name: &str) -> Option<Arc<Relation>> {
+        self.relations.get(name).map(Arc::clone)
+    }
+
+    /// Names of the registered factorised views (sorted).
+    pub fn view_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.views.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Names of the registered flat relations (sorted).
+    pub fn relation_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.relations.keys().cloned().collect();
+        names.sort();
+        names
     }
 
     /// Serialises a registered view (see [`crate::io`] for the format).
@@ -659,17 +810,33 @@ impl FdbEngine {
     /// assert_eq!(out.row(0)[0], Value::Int(7));
     /// ```
     pub fn run_sql(&mut self, sql: &str) -> Result<Relation> {
+        self.run_sql_result(sql)?.to_relation()
+    }
+
+    /// Parses and runs a SQL query, returning the full [`FdbResult`]
+    /// (default options) — unlike [`FdbEngine::run_sql`], SQL callers
+    /// keep access to `explain()`, `exec_stats()`, `order_strategy()`
+    /// and factorised (`FDB f/o`) output.
+    pub fn run_sql_result(&mut self, sql: &str) -> Result<FdbResult> {
+        self.run_sql_with(sql, RunOptions::default())
+    }
+
+    /// [`FdbEngine::run_sql_result`] with explicit [`RunOptions`].
+    pub fn run_sql_with(&mut self, sql: &str, opts: RunOptions) -> Result<FdbResult> {
         let schemas = self.schemas();
         let query = fdb_query::parse(sql, &mut self.catalog, &schemas)
             .map_err(|e| FdbError::Unresolved(format!("SQL error: {e}")))?;
-        self.run_default(&query.to_task())?.to_relation()
+        self.run(&query.to_task(), opts)
     }
 
     /// Plans and executes `task` on factorised inputs.
     pub fn run(&mut self, task: &JoinAggTask, opts: RunOptions) -> Result<FdbResult> {
         let threads = fdb_exec::effective_threads(opts.threads);
+        let deadline_at = opts.deadline.map(|d| Instant::now() + d);
+        check_deadline(deadline_at, "input assembly")?;
         let (rep, stats, mut selections, natural_attrs) =
             self.build_input(&task.inputs, threads)?;
+        check_deadline(deadline_at, "planning")?;
 
         let mut const_preds = Vec::new();
         for p in &task.predicates {
@@ -928,7 +1095,9 @@ impl FdbEngine {
             consolidate,
             ..
         } = cand;
+        check_deadline(deadline_at, "plan execution")?;
         let (mut result_rep, mut exec_stats) = opts.executor.run_plan(&plan, rep, threads)?;
+        check_deadline(deadline_at, "plan execution")?;
 
         // HAVING: push what we can into the factorisation as selections;
         // the rest (e.g. conditions on avg) filters rows at emission.
@@ -1019,6 +1188,7 @@ impl FdbEngine {
             exec_stats,
             executor: opts.executor,
             threads,
+            deadline_at,
         })
     }
 
@@ -1039,7 +1209,7 @@ impl FdbEngine {
         if inputs.len() == 1 {
             if let Some((rep, stats)) = self.views.get(&inputs[0]) {
                 let natural = rep.ftree().all_attrs();
-                return Ok((rep.clone(), stats.clone(), Vec::new(), natural));
+                return Ok((FRep::clone(rep), stats.clone(), Vec::new(), natural));
             }
         }
         // Shared attributes across the original input schemas determine
@@ -1070,9 +1240,9 @@ impl FdbEngine {
         let mut natural: Vec<AttrId> = Vec::new();
         for (i, name) in inputs.iter().enumerate() {
             let mut rep = if let Some((rep, _)) = self.views.get(name) {
-                rep.clone()
+                FRep::clone(rep)
             } else {
-                let rel = &self.relations[name];
+                let rel: &Relation = &self.relations[name];
                 // Trie order: shared (join) attributes first.
                 let mut order: Vec<AttrId> = schemas[i]
                     .iter()
@@ -1406,11 +1576,7 @@ mod tests {
         let x = e
             .run(
                 &task,
-                RunOptions {
-                    strategy: PlanStrategy::Exhaustive(ExhaustiveConfig::default()),
-                    consolidate: ConsolidateMode::Auto,
-                    ..RunOptions::default()
-                },
+                RunOptions::new().strategy(PlanStrategy::Exhaustive(ExhaustiveConfig::default())),
             )
             .unwrap()
             .to_relation()
@@ -1424,14 +1590,7 @@ mod tests {
         let mut e = engine();
         let task = revenue_task(&mut e);
         let never = e
-            .run(
-                &task,
-                RunOptions {
-                    strategy: PlanStrategy::Greedy,
-                    consolidate: ConsolidateMode::Never,
-                    ..RunOptions::default()
-                },
-            )
+            .run(&task, RunOptions::new().consolidate(ConsolidateMode::Never))
             .unwrap()
             .to_relation()
             .unwrap()
@@ -1439,11 +1598,7 @@ mod tests {
         let always = e
             .run(
                 &task,
-                RunOptions {
-                    strategy: PlanStrategy::Greedy,
-                    consolidate: ConsolidateMode::Always,
-                    ..RunOptions::default()
-                },
+                RunOptions::new().consolidate(ConsolidateMode::Always),
             )
             .unwrap()
             .to_relation()
@@ -1474,13 +1629,7 @@ mod tests {
         task.order_by = vec![SortKey::desc(revenue)];
         task.limit = Some(2);
         let result = e
-            .run(
-                &task,
-                RunOptions {
-                    order: OrderMode::ForceStream,
-                    ..RunOptions::default()
-                },
-            )
+            .run(&task, RunOptions::new().order(OrderMode::ForceStream))
             .unwrap();
         assert!(!result.plan().is_empty());
         let text = result.explain(&e.catalog);
@@ -1511,15 +1660,7 @@ mod tests {
             (OrderMode::ForceHeap, "heap top-k (k=2"),
             (OrderMode::ForceSort, "collect-sort-cut"),
         ] {
-            let result = e
-                .run(
-                    &task,
-                    RunOptions {
-                        order: mode,
-                        ..RunOptions::default()
-                    },
-                )
-                .unwrap();
+            let result = e.run(&task, RunOptions::new().order(mode)).unwrap();
             let text = result.explain(&e.catalog);
             assert!(text.contains(needle), "{mode:?}: {text}");
             assert!(
@@ -1570,13 +1711,7 @@ mod tests {
         assert_eq!(stats.strategy, OrderStrategy::HeapTopK { k: 1 });
         assert!(stats.order_bytes > 0);
         let sorted = e
-            .run(
-                &task,
-                RunOptions {
-                    order: OrderMode::ForceSort,
-                    ..RunOptions::default()
-                },
-            )
+            .run(&task, RunOptions::new().order(OrderMode::ForceSort))
             .unwrap()
             .to_relation()
             .unwrap();
@@ -1590,13 +1725,7 @@ mod tests {
         let task = revenue_task(&mut e);
         let staged = e.run(&task, RunOptions::default()).unwrap();
         let per_op = e
-            .run(
-                &task,
-                RunOptions {
-                    executor: ExecutorMode::PerOp,
-                    ..RunOptions::default()
-                },
-            )
+            .run(&task, RunOptions::new().executor(ExecutorMode::PerOp))
             .unwrap();
         assert!(staged.rep().same_data(per_op.rep()));
         assert_eq!(
@@ -1621,6 +1750,89 @@ mod tests {
             s.intermediate_bytes,
             p.intermediate_bytes
         );
+    }
+
+    #[test]
+    fn zero_deadline_fails_deterministically() {
+        // A zero budget must be cut at the first checkpoint — before any
+        // planning work — with the dedicated error, not a wrong result.
+        let mut e = engine();
+        let task = revenue_task(&mut e);
+        let err = e
+            .run(
+                &task,
+                RunOptions::new().deadline(Some(std::time::Duration::ZERO)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, FdbError::DeadlineExceeded(_)), "{err}");
+        // Without a deadline the same task runs to completion.
+        assert!(e.run(&task, RunOptions::new().deadline(None)).is_ok());
+    }
+
+    #[test]
+    fn deadline_cuts_enumeration_of_a_finished_run() {
+        // The absolute deadline rides on the result: a run that finishes
+        // planning in time but whose enumeration starts after expiry is
+        // cut during `to_relation`.
+        let mut e = engine();
+        let task = revenue_task(&mut e);
+        let result = e
+            .run(
+                &task,
+                RunOptions::new().deadline(Some(std::time::Duration::from_millis(30))),
+            )
+            .expect("small plan beats a 30 ms budget");
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        let err = result.to_relation().unwrap_err();
+        assert!(matches!(err, FdbError::DeadlineExceeded(_)), "{err}");
+    }
+
+    #[test]
+    fn run_sql_result_exposes_explain_and_stats() {
+        let mut e = engine();
+        let result = e
+            .run_sql_result(
+                "SELECT customer, SUM(price) AS revenue \
+                 FROM Orders, Packages, Items \
+                 GROUP BY customer ORDER BY revenue DESC LIMIT 2",
+            )
+            .unwrap();
+        let text = result.explain(&e.catalog);
+        assert!(text.contains("f-plan"), "{text}");
+        assert!(result.exec_stats().operators > 0);
+        let rel = result.to_relation().unwrap();
+        assert_eq!(rel.len(), 2);
+        // `run_sql` routes through the same path.
+        let rows = e
+            .run_sql(
+                "SELECT customer, SUM(price) AS revenue \
+                 FROM Orders, Packages, Items \
+                 GROUP BY customer ORDER BY revenue DESC LIMIT 2",
+            )
+            .unwrap();
+        assert_eq!(rel, rows);
+    }
+
+    #[test]
+    fn cloned_engines_share_views_and_agree() {
+        // Engine clones share Arc'd inputs: both run the same query and
+        // agree byte-for-byte, and the view arena is not duplicated.
+        let mut e = engine();
+        let spj = JoinAggTask {
+            inputs: vec!["Orders".into(), "Packages".into(), "Items".into()],
+            ..Default::default()
+        };
+        let rep = e.run_default(&spj).unwrap().rep().clone();
+        e.register_view("V", rep);
+        let mut clone = e.clone();
+        assert!(Arc::ptr_eq(
+            &e.view_arc("V").unwrap(),
+            &clone.view_arc("V").unwrap()
+        ));
+        let sql = "SELECT customer, SUM(price) AS r FROM V GROUP BY customer ORDER BY customer";
+        let a = e.run_sql(sql).unwrap();
+        let b = clone.run_sql(sql).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub enum FdbError {
     OrderUnsupported(String),
     /// Planner could not produce a plan (e.g. state budget exhausted).
     PlanningFailed(String),
+    /// The run's wall-clock budget (`RunOptions::deadline`) expired
+    /// during planning, execution or enumeration.
+    DeadlineExceeded(String),
 }
 
 impl fmt::Display for FdbError {
@@ -36,6 +39,7 @@ impl fmt::Display for FdbError {
             FdbError::Unresolved(m) => write!(f, "unresolved name: {m}"),
             FdbError::OrderUnsupported(m) => write!(f, "order not supported: {m}"),
             FdbError::PlanningFailed(m) => write!(f, "planning failed: {m}"),
+            FdbError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
         }
     }
 }

@@ -1,0 +1,537 @@
+//! `fdb-server` — a concurrent TCP query-serving layer over the
+//! factorised-database engine.
+//!
+//! The paper's premise is build-once-query-many: a factorised
+//! representation is compiled once and then supports many cheap
+//! aggregation and ordering passes. This crate turns that premise into
+//! a service: one [`fdb::Db`] holds the registered inputs (immutable
+//! `FRep` arenas and relations behind `Arc`), a small accept loop feeds
+//! a fixed worker pool, and every worker answers queries from its own
+//! [`fdb::Session`] snapshot — reads share the arenas, no locks are
+//! held during execution, and results are byte-identical to the
+//! single-threaded library run.
+//!
+//! Architecture:
+//!
+//! * **Accept loop** (one thread): non-blocking `accept` polled against
+//!   the shutdown flag; accepted connections go into a `Mutex<VecDeque>`
+//!   + `Condvar` queue.
+//! * **Worker pool** (`workers` threads, default [`DEFAULT_WORKERS`]):
+//!   each pops a connection and serves its requests to completion. A
+//!   worker keeps one [`fdb::Session`] and re-snapshots when the
+//!   database [epoch](fdb::Db::epoch) moves (after a `LOAD`).
+//! * **Plan cache** ([`cache::PlanCache`]): rendered responses keyed by
+//!   normalised query text + epoch, bounded, FIFO-evicted.
+//! * **Deadlines**: every request runs with
+//!   [`RunOptions::deadline`](fdb::core::RunOptions), so a pathological
+//!   enumeration returns `ERR deadline exceeded: …` instead of wedging
+//!   its worker; reads poll a socket timeout so idle connections cannot
+//!   block shutdown.
+//!
+//! The wire protocol is documented in [`proto`]; DESIGN.md §8 covers
+//! the sharing discipline and cache/timeout semantics.
+
+pub mod cache;
+pub mod proto;
+
+use cache::PlanCache;
+use fdb::core::RunOptions;
+use fdb::Db;
+use proto::{err_line, ok_header, Request};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Default worker-pool size: the acceptance bar is 16 concurrent
+/// connections, and a worker owns its connection until the client
+/// quits, so the pool must not be smaller than the target concurrency.
+pub const DEFAULT_WORKERS: usize = 16;
+
+/// Default per-request run budget.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Default plan-cache capacity (entries).
+pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// How often blocked socket reads and idle workers re-check the
+/// shutdown flag; bounds shutdown latency.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Server configuration. `#[non_exhaustive]` + builders, like
+/// [`RunOptions`]: future knobs must not be breaking changes.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct ServerOptions {
+    /// Worker threads (connections served concurrently).
+    pub workers: usize,
+    /// Per-request run budget; `None` disables deadlines.
+    pub deadline: Option<Duration>,
+    /// Plan-cache capacity in entries; `0` disables the cache.
+    pub cache_capacity: usize,
+    /// Base run options applied to every request (threads, executor,
+    /// ordering mode…). The deadline field above is layered on top.
+    pub run: RunOptions,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            workers: DEFAULT_WORKERS,
+            deadline: Some(DEFAULT_DEADLINE),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            run: RunOptions::default(),
+        }
+    }
+}
+
+impl ServerOptions {
+    /// Alias for [`ServerOptions::default`], reads better in chains.
+    pub fn new() -> Self {
+        ServerOptions::default()
+    }
+
+    /// Sets the worker-pool size. `0` means auto: the machine's
+    /// [`fdb_exec::effective_threads`], but never below
+    /// [`DEFAULT_WORKERS`] (workers mostly block on sockets, so
+    /// oversubscribing cores is the right trade).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets (or with `None` disables) the per-request deadline.
+    pub fn deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets the plan-cache capacity; `0` disables caching.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the base run options applied to every request.
+    pub fn run(mut self, run: RunOptions) -> Self {
+        self.run = run;
+        self
+    }
+
+    /// The effective per-request options: base run options plus the
+    /// server deadline.
+    fn request_options(&self) -> RunOptions {
+        self.run.deadline(self.deadline)
+    }
+}
+
+/// Live server counters, surfaced by the `STATS` verb.
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    queries: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// State shared by the accept loop and every worker.
+#[derive(Debug)]
+struct Shared {
+    db: Db,
+    opts: ServerOptions,
+    cache: PlanCache,
+    counters: Counters,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A running server: its bound address plus the thread handles needed
+/// for a clean [`shutdown`](ServerHandle::shutdown).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown and joins every thread. In-flight requests
+    /// finish; idle connections are dropped within one poll interval
+    /// (~100 ms). Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` and spawns the accept loop plus the worker pool,
+/// serving queries against `db`. Returns once listening; use
+/// [`ServerHandle::addr`] to learn the bound port when `addr` ends in
+/// `:0`.
+pub fn spawn(
+    db: Db,
+    addr: impl ToSocketAddrs,
+    opts: ServerOptions,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let mut opts = opts;
+    if opts.workers == 0 {
+        opts.workers = fdb_exec::effective_threads(0).max(DEFAULT_WORKERS);
+    }
+
+    let shared = Arc::new(Shared {
+        cache: PlanCache::new(opts.cache_capacity),
+        db,
+        opts: opts.clone(),
+        counters: Counters::default(),
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("fdb-accept".into())
+            .spawn(move || accept_loop(listener, &shared))?
+    };
+
+    let workers = (0..shared.opts.workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("fdb-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+        })
+        .collect::<std::io::Result<Vec<_>>>()?;
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                let mut queue = shared.queue.lock().expect("queue lock poisoned");
+                queue.push_back(stream);
+                drop(queue);
+                shared.available.notify_one();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => {
+                // Transient accept error (e.g. aborted handshake);
+                // keep serving unless shutting down.
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // The worker's snapshot, cut lazily and refreshed on epoch change.
+    let mut session: Option<fdb::Session> = None;
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break Some(s);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                let (q, _) = shared
+                    .available
+                    .wait_timeout(queue, POLL_INTERVAL)
+                    .expect("queue lock poisoned");
+                queue = q;
+            }
+        };
+        let Some(stream) = stream else { return };
+        serve_connection(stream, shared, &mut session);
+    }
+}
+
+/// Serves one connection until EOF, `QUIT`, an I/O error, or shutdown.
+fn serve_connection(stream: TcpStream, shared: &Shared, session: &mut Option<fdb::Session>) {
+    // A bounded read timeout keeps idle connections from pinning the
+    // worker across shutdown.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        let quit = matches!(proto::parse_request(&line), Ok(Request::Quit));
+        let response = handle_line(&line, shared, session);
+        if write_response(&mut writer, &response).is_err() {
+            return;
+        }
+        if quit || shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+/// One fully-rendered response: status line plus payload lines.
+type Response = Vec<String>;
+
+fn write_response(w: &mut impl Write, response: &Response) -> std::io::Result<()> {
+    for line in response {
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()
+}
+
+fn ok_response(payload: Vec<String>) -> Response {
+    let mut out = Vec::with_capacity(1 + payload.len());
+    out.push(ok_header(payload.len()));
+    out.extend(payload);
+    out
+}
+
+fn handle_line(line: &str, shared: &Shared, session: &mut Option<fdb::Session>) -> Response {
+    let request = match proto::parse_request(line) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            return vec![err_line(&e)];
+        }
+    };
+    let response = handle_request(&request, shared, session);
+    if response.first().is_some_and(|l| l.starts_with("ERR")) {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    response
+}
+
+/// Cuts or refreshes the worker's snapshot so it reflects the current
+/// database epoch.
+fn fresh_session<'a>(
+    shared: &Shared,
+    session: &'a mut Option<fdb::Session>,
+) -> &'a mut fdb::Session {
+    let current = shared.db.epoch();
+    if session.as_ref().map(fdb::Session::epoch) != Some(current) {
+        *session = Some(
+            shared
+                .db
+                .session()
+                .with_options(shared.opts.request_options()),
+        );
+    }
+    session.as_mut().expect("session just cut")
+}
+
+fn handle_request(
+    request: &Request,
+    shared: &Shared,
+    session: &mut Option<fdb::Session>,
+) -> Response {
+    match request {
+        Request::Ping | Request::Quit => ok_response(Vec::new()),
+        Request::Query(sql) => {
+            shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+            let key = proto::normalise_sql(sql);
+            let epoch = shared.db.epoch();
+            if let Some(lines) = shared.cache.get(epoch, &key) {
+                return ok_response(lines.as_ref().clone());
+            }
+            let s = fresh_session(shared, session);
+            match s.query(&key) {
+                Ok(outcome) => {
+                    let lines = proto::render_outcome(&outcome);
+                    shared.cache.put(s.epoch(), key, Arc::new(lines.clone()));
+                    ok_response(lines)
+                }
+                Err(e) => vec![err_line(&e.to_string())],
+            }
+        }
+        Request::Explain(sql) => {
+            let s = fresh_session(shared, session);
+            match s.explain(&proto::normalise_sql(sql)) {
+                Ok(text) => ok_response(proto::render_text(&text)),
+                Err(e) => vec![err_line(&e.to_string())],
+            }
+        }
+        Request::Load { name, path } => {
+            let file = match std::fs::File::open(path) {
+                Ok(f) => f,
+                Err(e) => return vec![err_line(&format!("cannot open `{path}`: {e}"))],
+            };
+            match shared.db.load_view(name.clone(), BufReader::new(file)) {
+                Ok(()) => ok_response(Vec::new()),
+                Err(e) => vec![err_line(&e.to_string())],
+            }
+        }
+        Request::Stats => ok_response(stats_payload(shared)),
+    }
+}
+
+fn stats_payload(shared: &Shared) -> Vec<String> {
+    let (hits, misses, entries) = shared.cache.stats();
+    let (relations, views) = shared.db.input_names();
+    let pairs: Vec<(&str, String)> = vec![
+        ("epoch", shared.db.epoch().to_string()),
+        ("workers", shared.opts.workers.to_string()),
+        (
+            "connections",
+            shared
+                .counters
+                .connections
+                .load(Ordering::Relaxed)
+                .to_string(),
+        ),
+        (
+            "queries",
+            shared.counters.queries.load(Ordering::Relaxed).to_string(),
+        ),
+        (
+            "errors",
+            shared.counters.errors.load(Ordering::Relaxed).to_string(),
+        ),
+        ("cache_hits", hits.to_string()),
+        ("cache_misses", misses.to_string()),
+        ("cache_entries", entries.to_string()),
+        ("relations", relations.join(",")),
+        ("views", views.join(",")),
+    ];
+    pairs
+        .into_iter()
+        .map(|(k, v)| proto::join_fields([proto::escape_field(k), proto::escape_field(&v)]))
+        .collect()
+}
+
+/// A minimal blocking client for tests and the load-driving bench:
+/// one connection, lock-step request/response.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let write_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+        })
+    }
+
+    /// Sends one request line and reads the full framed response.
+    /// `Ok(payload)` for `OK <n>` responses, `Err(message)` for `ERR`;
+    /// transport failures surface as `std::io::Error`.
+    pub fn request(&mut self, line: &str) -> std::io::Result<Result<Vec<String>, String>> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut status = String::new();
+        if self.reader.read_line(&mut status)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed connection before responding",
+            ));
+        }
+        let status = status.trim_end();
+        if let Some(msg) = status.strip_prefix("ERR ") {
+            let msg = proto::unescape_field(msg).unwrap_or_else(|_| msg.to_string());
+            return Ok(Err(msg));
+        }
+        let Some(n) = status
+            .strip_prefix("OK ")
+            .or(if status == "OK" { Some("0") } else { None })
+            .and_then(|n| n.trim().parse::<usize>().ok())
+        else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed status line `{status}`"),
+            ));
+        };
+        let mut payload = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed connection mid-payload",
+                ));
+            }
+            while line.ends_with('\n') || line.ends_with('\r') {
+                line.pop();
+            }
+            payload.push(line);
+        }
+        Ok(Ok(payload))
+    }
+
+    /// `QUERY <sql>`, returning the raw payload lines (header + rows).
+    pub fn query(&mut self, sql: &str) -> std::io::Result<Result<Vec<String>, String>> {
+        self.request(&format!("QUERY {sql}"))
+    }
+
+    /// `QUIT`, then drops the connection.
+    pub fn quit(mut self) -> std::io::Result<()> {
+        let _ = self.request("QUIT")?;
+        Ok(())
+    }
+}

@@ -1,0 +1,159 @@
+//! `fdb-server` binary: serve a dataset over the line protocol.
+//!
+//! ```text
+//! fdb-server [--addr HOST:PORT] [--workers N] [--deadline-ms N]
+//!            [--cache N] [--dataset pizzeria|orders] [--scale S]
+//!            [--load NAME PATH]...
+//! ```
+//!
+//! Defaults: `--addr 127.0.0.1:7437`, the pizzeria dataset, 16 workers,
+//! a 10 s per-request deadline, a 64-entry plan cache. `--dataset
+//! orders --scale S` serves the paper's synthetic Orders/Packages/Items
+//! database instead; `--load` registers serialised `fdbv1` views on top.
+//! Runs until killed (or until stdin reaches EOF when piped).
+
+use fdb::workload::orders::OrdersConfig;
+use fdb::{Catalog, Db, FdbEngine};
+use fdb_server::{spawn, ServerOptions};
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    workers: usize,
+    deadline_ms: u64,
+    cache: usize,
+    dataset: String,
+    scale: u32,
+    loads: Vec<(String, String)>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7437".to_string(),
+        workers: 0,
+        deadline_ms: 10_000,
+        cache: 64,
+        dataset: "pizzeria".to_string(),
+        scale: 1,
+        loads: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+            }
+            "--cache" => {
+                args.cache = value("--cache")?
+                    .parse()
+                    .map_err(|e| format!("--cache: {e}"))?;
+            }
+            "--dataset" => args.dataset = value("--dataset")?,
+            "--scale" => {
+                args.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?;
+            }
+            "--load" => {
+                let name = value("--load")?;
+                let path = value("--load")?;
+                args.loads.push((name, path));
+            }
+            "--help" | "-h" => {
+                return Err("usage: fdb-server [--addr HOST:PORT] [--workers N] \
+                     [--deadline-ms N] [--cache N] [--dataset pizzeria|orders] \
+                     [--scale S] [--load NAME PATH]..."
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_db(args: &Args) -> Result<Db, String> {
+    let mut catalog = Catalog::new();
+    let db = match args.dataset.as_str() {
+        "pizzeria" => {
+            let data = fdb::workload::pizzeria::pizzeria(&mut catalog);
+            let mut engine = FdbEngine::new(catalog);
+            engine.register_relation("Orders", data.orders);
+            engine.register_relation("Pizzas", data.pizzas);
+            engine.register_relation("Items", data.items);
+            Db::from_engine(engine)
+        }
+        "orders" => {
+            let cfg = OrdersConfig::at_scale(args.scale);
+            let data = fdb::workload::orders::generate(&mut catalog, &cfg);
+            let mut engine = FdbEngine::new(catalog);
+            engine.register_relation("Orders", data.orders);
+            engine.register_relation("Packages", data.packages);
+            engine.register_relation("Items", data.items);
+            Db::from_engine(engine)
+        }
+        other => return Err(format!("unknown dataset `{other}` (pizzeria|orders)")),
+    };
+    for (name, path) in &args.loads {
+        let file = std::fs::File::open(path).map_err(|e| format!("--load {name}: {e}"))?;
+        db.load_view(name.clone(), std::io::BufReader::new(file))
+            .map_err(|e| format!("--load {name}: {e}"))?;
+    }
+    Ok(db)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let db = match build_db(&args) {
+        Ok(db) => db,
+        Err(msg) => {
+            eprintln!("fdb-server: {msg}");
+            std::process::exit(1);
+        }
+    };
+    let deadline = if args.deadline_ms == 0 {
+        None
+    } else {
+        Some(Duration::from_millis(args.deadline_ms))
+    };
+    let opts = ServerOptions::new()
+        .workers(args.workers)
+        .deadline(deadline)
+        .cache_capacity(args.cache);
+    let mut handle = match spawn(db, &args.addr, opts) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("fdb-server: bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    // Announce the bound address on stdout so harnesses using port 0
+    // can discover it.
+    println!("fdb-server listening on {}", handle.addr());
+    // Serve until the process is killed, or — when stdin is a pipe —
+    // until the parent closes it (lets test harnesses stop us cleanly).
+    let mut sink = String::new();
+    loop {
+        sink.clear();
+        match std::io::BufRead::read_line(&mut std::io::stdin().lock(), &mut sink) {
+            Ok(0) => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    handle.shutdown();
+}

@@ -1,0 +1,297 @@
+//! The wire protocol: newline-framed requests, `OK`/`ERR` framed
+//! responses, tab-separated escaped payload lines.
+//!
+//! ## Grammar
+//!
+//! Requests are single lines (LF- or CRLF-terminated):
+//!
+//! ```text
+//! request  := verb [SP argument] LF
+//! verb     := "QUERY" | "EXPLAIN" | "LOAD" | "STATS" | "PING" | "QUIT"
+//! QUERY    <sql>          run sql, respond with header + rows
+//! EXPLAIN  <sql>          plan sql, respond with the explain rendering
+//! LOAD     <name> <path>  load an fdbv1 view file, register as <name>
+//! STATS                   server counters and registered inputs
+//! PING                    liveness check
+//! QUIT                    close this connection
+//! ```
+//!
+//! Responses are a status line followed by `n` payload lines:
+//!
+//! ```text
+//! response := "OK" SP n LF payload{n}  |  "ERR" SP message LF
+//! ```
+//!
+//! Payload lines never contain raw LF/CR/TAB: fields are joined with
+//! TAB and the characters `\`, TAB, LF, CR are escaped as `\\`, `\t`,
+//! `\n`, `\r` (see [`escape_field`]). A `QUERY` payload is one header
+//! line of column names followed by one line per row; `EXPLAIN` and
+//! `STATS` payloads are escaped text lines.
+
+use std::fmt::Write as _;
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `QUERY <sql>` — run and enumerate.
+    Query(String),
+    /// `EXPLAIN <sql>` — plan and report, no enumeration payload.
+    Explain(String),
+    /// `LOAD <name> <path>` — read an `fdbv1` view file, register it.
+    Load {
+        /// Registration name of the view.
+        name: String,
+        /// Filesystem path of the serialised view.
+        path: String,
+    },
+    /// `STATS` — server counters and registered inputs.
+    Stats,
+    /// `PING` — liveness check.
+    Ping,
+    /// `QUIT` — close the connection.
+    Quit,
+}
+
+/// Parses one request line (without its terminator).
+///
+/// Verbs are case-insensitive; arguments keep their case. Returns a
+/// human-readable error for unknown verbs or malformed arguments —
+/// servers relay it verbatim in an `ERR` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "QUERY" => {
+            if rest.is_empty() {
+                return Err("QUERY requires an SQL argument".into());
+            }
+            Ok(Request::Query(rest.to_string()))
+        }
+        "EXPLAIN" => {
+            if rest.is_empty() {
+                return Err("EXPLAIN requires an SQL argument".into());
+            }
+            Ok(Request::Explain(rest.to_string()))
+        }
+        "LOAD" => {
+            let Some((name, path)) = rest.split_once(char::is_whitespace) else {
+                return Err("LOAD requires <name> <path>".into());
+            };
+            let (name, path) = (name.trim(), path.trim());
+            if name.is_empty() || path.is_empty() {
+                return Err("LOAD requires <name> <path>".into());
+            }
+            Ok(Request::Load {
+                name: name.to_string(),
+                path: path.to_string(),
+            })
+        }
+        "STATS" => Ok(Request::Stats),
+        "PING" => Ok(Request::Ping),
+        "QUIT" => Ok(Request::Quit),
+        "" => Err("empty request".into()),
+        other => Err(format!(
+            "unknown verb `{other}` (expected QUERY, EXPLAIN, LOAD, STATS, PING or QUIT)"
+        )),
+    }
+}
+
+/// Normalises SQL text for plan-cache keying: trims, collapses every
+/// whitespace run to a single space, and drops one trailing `;`.
+///
+/// Case is preserved — identifiers are case-sensitive, so lowering case
+/// would alias distinct queries.
+pub fn normalise_sql(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut pending_space = false;
+    for part in sql.split_whitespace() {
+        if pending_space {
+            out.push(' ');
+        }
+        out.push_str(part);
+        pending_space = true;
+    }
+    if let Some(stripped) = out.strip_suffix(';') {
+        let len = stripped.trim_end().len();
+        out.truncate(len);
+    }
+    out
+}
+
+/// Escapes one payload field: `\` → `\\`, TAB → `\t`, LF → `\n`,
+/// CR → `\r`. The framing characters never appear raw in a payload.
+pub fn escape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_field`]; unknown escapes error.
+pub fn unescape_field(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => return Err(format!("unknown escape `\\{other}`")),
+            None => return Err("dangling backslash".into()),
+        }
+    }
+    Ok(out)
+}
+
+/// Joins already-escaped fields with TAB into one payload line.
+pub fn join_fields<I, S>(fields: I) -> String
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut out = String::new();
+    for (i, f) in fields.into_iter().enumerate() {
+        if i > 0 {
+            out.push('\t');
+        }
+        out.push_str(f.as_ref());
+    }
+    out
+}
+
+/// Splits a payload line on TAB and unescapes each field.
+pub fn split_fields(line: &str) -> Result<Vec<String>, String> {
+    line.split('\t').map(unescape_field).collect()
+}
+
+/// Renders a [`QueryOutcome`](fdb::QueryOutcome) as payload lines: one
+/// header line of column names, then one line per row. Fields are
+/// escaped and TAB-joined; values print via their canonical `Display`.
+pub fn render_outcome(out: &fdb::QueryOutcome) -> Vec<String> {
+    let mut lines = Vec::with_capacity(1 + out.rows.len());
+    lines.push(join_fields(out.columns.iter().map(|c| escape_field(c))));
+    let mut buf = String::new();
+    for i in 0..out.rows.len() {
+        let mut line = String::new();
+        for (j, v) in out.rows.row(i).iter().enumerate() {
+            if j > 0 {
+                line.push('\t');
+            }
+            buf.clear();
+            let _ = write!(buf, "{v}");
+            line.push_str(&escape_field(&buf));
+        }
+        lines.push(line);
+    }
+    lines
+}
+
+/// Splits free text (EXPLAIN output, error context) into escaped
+/// payload lines, one per source line.
+pub fn render_text(text: &str) -> Vec<String> {
+    text.lines().map(escape_field).collect()
+}
+
+/// Formats the status line of a successful response carrying `n`
+/// payload lines.
+pub fn ok_header(n: usize) -> String {
+    format!("OK {n}")
+}
+
+/// Formats an error response line. The message is escaped so the
+/// response stays one line regardless of the error text.
+pub fn err_line(msg: &str) -> String {
+    format!("ERR {}", escape_field(msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_parse_case_insensitively() {
+        assert_eq!(
+            parse_request("query SELECT 1").unwrap(),
+            Request::Query("SELECT 1".into())
+        );
+        assert_eq!(
+            parse_request("EXPLAIN  SELECT x FROM T "),
+            Ok(Request::Explain("SELECT x FROM T".into()))
+        );
+        assert_eq!(
+            parse_request("LOAD V /tmp/v.fdb"),
+            Ok(Request::Load {
+                name: "V".into(),
+                path: "/tmp/v.fdb".into()
+            })
+        );
+        assert_eq!(parse_request("stats"), Ok(Request::Stats));
+        assert_eq!(parse_request("PING"), Ok(Request::Ping));
+        assert_eq!(parse_request("quit"), Ok(Request::Quit));
+    }
+
+    #[test]
+    fn malformed_requests_error() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("QUERY").is_err());
+        assert!(parse_request("LOAD onlyname").is_err());
+        assert!(parse_request("FLY me to the moon").is_err());
+    }
+
+    #[test]
+    fn normalisation_collapses_whitespace_and_semicolon() {
+        assert_eq!(
+            normalise_sql("  SELECT   x\n FROM\tT ; "),
+            "SELECT x FROM T"
+        );
+        assert_eq!(
+            normalise_sql("SELECT 1"),
+            normalise_sql("select 1").to_uppercase()
+        );
+        // Case is preserved: distinct identifiers stay distinct.
+        assert_ne!(
+            normalise_sql("SELECT x FROM T"),
+            normalise_sql("SELECT X FROM T")
+        );
+    }
+
+    #[test]
+    fn escape_roundtrips() {
+        for s in [
+            "plain",
+            "tab\there",
+            "nl\nhere",
+            "cr\rhere",
+            "back\\slash",
+            "",
+        ] {
+            assert_eq!(unescape_field(&escape_field(s)).unwrap(), s);
+        }
+        assert!(unescape_field("bad\\q").is_err());
+        assert!(unescape_field("dangling\\").is_err());
+    }
+
+    #[test]
+    fn fields_roundtrip_through_a_line() {
+        let fields = ["a", "with\ttab", "with\nnewline", "with\\backslash"];
+        let line = join_fields(fields.iter().map(|f| escape_field(f)));
+        assert!(!line.contains('\n'));
+        let back = split_fields(&line).unwrap();
+        assert_eq!(back, fields);
+    }
+}

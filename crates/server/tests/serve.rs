@@ -1,0 +1,260 @@
+//! Integration tests: a live `fdb-server` against real sockets —
+//! protocol conformance, 16-way concurrent byte-identity with the
+//! library execution, LOAD/epoch behaviour, deadlines, plan-cache
+//! hits and clean shutdown.
+
+use fdb::workload::orders::{generate, OrdersConfig};
+use fdb::{Catalog, Db, FdbEngine};
+use fdb_server::proto::{render_outcome, split_fields};
+use fdb_server::{spawn, Client, ServerOptions};
+use std::time::Duration;
+
+/// The pizzeria database behind a [`Db`].
+fn pizzeria_db() -> Db {
+    let mut catalog = Catalog::new();
+    let data = fdb::workload::pizzeria::pizzeria(&mut catalog);
+    let mut engine = FdbEngine::new(catalog);
+    engine.register_relation("Orders", data.orders);
+    engine.register_relation("Pizzas", data.pizzas);
+    engine.register_relation("Items", data.items);
+    Db::from_engine(engine)
+}
+
+/// The paper's Orders/Packages/Items database behind a [`Db`].
+fn orders_db() -> Db {
+    let mut catalog = Catalog::new();
+    let ds = generate(
+        &mut catalog,
+        &OrdersConfig {
+            scale: 1,
+            customers: 15,
+            seed: 7,
+        },
+    );
+    let mut engine = FdbEngine::new(catalog);
+    engine.register_relation("Orders", ds.orders);
+    engine.register_relation("Packages", ds.packages);
+    engine.register_relation("Items", ds.items);
+    Db::from_engine(engine)
+}
+
+fn stat(payload: &[String], key: &str) -> String {
+    payload
+        .iter()
+        .map(|l| split_fields(l).unwrap())
+        .find(|f| f[0] == key)
+        .unwrap_or_else(|| panic!("no `{key}` in STATS"))[1]
+        .clone()
+}
+
+#[test]
+fn protocol_basics() {
+    let mut server = spawn(pizzeria_db(), "127.0.0.1:0", ServerOptions::new()).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    assert_eq!(c.request("PING").unwrap().unwrap(), Vec::<String>::new());
+
+    let rows = c
+        .query("SELECT SUM(price) AS total FROM Orders, Pizzas, Items")
+        .unwrap()
+        .unwrap();
+    assert_eq!(rows, vec!["total".to_string(), "40".to_string()]);
+
+    let explain = c
+        .request("EXPLAIN SELECT SUM(price) AS total FROM Orders, Pizzas, Items")
+        .unwrap()
+        .unwrap();
+    assert!(explain.iter().any(|l| l.contains("f-plan")), "{explain:?}");
+
+    // Errors keep the connection usable.
+    let err = c.request("FROBNICATE now").unwrap().unwrap_err();
+    assert!(err.contains("unknown verb"), "{err}");
+    let err = c.query("SELECT nothing FROM Nowhere").unwrap().unwrap_err();
+    assert!(!err.is_empty());
+    let stats = c.request("STATS").unwrap().unwrap();
+    assert_eq!(stat(&stats, "relations"), "Items,Orders,Pizzas");
+    assert_eq!(stat(&stats, "errors"), "2");
+
+    c.quit().unwrap();
+    server.shutdown();
+}
+
+/// The acceptance bar: 16 concurrent connections, interleaved queries,
+/// every response byte-identical to the single-threaded library run.
+#[test]
+fn sixteen_connections_byte_identical_to_library() {
+    let db = orders_db();
+    let queries = [
+        "SELECT customer, SUM(price) AS revenue FROM Orders, Packages, Items \
+         GROUP BY customer ORDER BY revenue DESC, customer LIMIT 10",
+        "SELECT COUNT(*) AS n FROM Orders, Packages, Items",
+        "SELECT package, COUNT(*) AS items FROM Packages GROUP BY package ORDER BY package",
+        "SELECT customer, date, SUM(price) AS spent FROM Orders, Packages, Items \
+         GROUP BY customer, date ORDER BY customer, date",
+    ];
+    // Single-threaded library ground truth, rendered exactly as the
+    // server renders (header + escaped TAB-joined rows).
+    let expected: Vec<Vec<String>> = queries
+        .iter()
+        .map(|sql| {
+            let mut session = db.session();
+            let outcome = session.query(sql).unwrap();
+            render_outcome(&outcome)
+        })
+        .collect();
+
+    // No deadline: 16 concurrent debug-build executions on a loaded CI
+    // box can exceed any fixed budget, and this test pins identity,
+    // not latency.
+    let opts = ServerOptions::new().workers(16).deadline(None);
+    let mut server = spawn(db, "127.0.0.1:0", opts).unwrap();
+    let addr = server.addr();
+
+    std::thread::scope(|scope| {
+        for t in 0..16 {
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                // Interleave: each connection walks the query list
+                // several times, starting at a different offset.
+                for i in 0..8 {
+                    let q = (t + i) % queries.len();
+                    let got = c.query(queries[q]).unwrap().unwrap();
+                    assert_eq!(got, expected[q], "conn {t}, query {q}");
+                }
+                c.quit().unwrap();
+            });
+        }
+    });
+
+    // All 16 connections were truly concurrent (held open together).
+    let mut c = Client::connect(addr).unwrap();
+    let stats = c.request("STATS").unwrap().unwrap();
+    assert_eq!(stat(&stats, "queries"), format!("{}", 16 * 8));
+    server.shutdown();
+}
+
+#[test]
+fn load_registers_a_view_and_bumps_the_epoch() {
+    // Persist a factorised view to a temp file.
+    let mut catalog = Catalog::new();
+    let ds = generate(
+        &mut catalog,
+        &OrdersConfig {
+            scale: 1,
+            customers: 10,
+            seed: 21,
+        },
+    );
+    let mut producer = FdbEngine::new(catalog);
+    producer.register_view("R1", ds.factorised_view());
+    let dir = std::env::temp_dir().join("fdb_server_load_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("r1.fdbv1");
+    {
+        let file = std::fs::File::create(&path).unwrap();
+        producer
+            .save_view("R1", std::io::BufWriter::new(file))
+            .unwrap();
+    }
+
+    let mut server = spawn(pizzeria_db(), "127.0.0.1:0", ServerOptions::new()).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    let before: u64 = stat(&c.request("STATS").unwrap().unwrap(), "epoch")
+        .parse()
+        .unwrap();
+    c.request(&format!("LOAD OrdersView {}", path.display()))
+        .unwrap()
+        .unwrap();
+    let stats = c.request("STATS").unwrap().unwrap();
+    let after: u64 = stat(&stats, "epoch").parse().unwrap();
+    assert!(after > before, "LOAD must bump the epoch");
+    assert_eq!(stat(&stats, "views"), "OrdersView");
+
+    // The loaded view is queryable on the same connection.
+    let rows = c
+        .query("SELECT COUNT(*) AS n FROM OrdersView")
+        .unwrap()
+        .unwrap();
+    assert_eq!(rows[0], "n");
+    assert!(rows[1].parse::<i64>().unwrap() > 0);
+
+    // Loading from a missing path reports, doesn't wedge.
+    let err = c
+        .request("LOAD Broken /nonexistent/path.fdbv1")
+        .unwrap()
+        .unwrap_err();
+    assert!(err.contains("cannot open"), "{err}");
+
+    c.quit().unwrap();
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn zero_deadline_reports_deadline_exceeded() {
+    let opts = ServerOptions::new().deadline(Some(Duration::ZERO));
+    let mut server = spawn(pizzeria_db(), "127.0.0.1:0", opts).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    let err = c
+        .query("SELECT SUM(price) AS total FROM Orders, Pizzas, Items")
+        .unwrap()
+        .unwrap_err();
+    assert!(err.contains("deadline exceeded"), "{err}");
+    // The worker survives; the connection still answers.
+    assert!(c.request("PING").unwrap().is_ok());
+    c.quit().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn plan_cache_serves_repeats_identically() {
+    let mut server = spawn(pizzeria_db(), "127.0.0.1:0", ServerOptions::new()).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    let sql = "SELECT customer, SUM(price) AS spent FROM Orders, Pizzas, Items \
+               GROUP BY customer ORDER BY spent DESC";
+    let first = c.query(sql).unwrap().unwrap();
+    // Same query, different whitespace: normalisation must hit.
+    let second = c
+        .query(
+            "SELECT customer,  SUM(price) AS spent FROM Orders, Pizzas, Items \
+                GROUP BY customer    ORDER BY spent DESC;",
+        )
+        .unwrap()
+        .unwrap();
+    assert_eq!(first, second);
+    let stats = c.request("STATS").unwrap().unwrap();
+    assert_eq!(stat(&stats, "cache_hits"), "1");
+    assert_eq!(stat(&stats, "cache_misses"), "1");
+    c.quit().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_is_clean_with_idle_connections() {
+    let mut server = spawn(
+        pizzeria_db(),
+        "127.0.0.1:0",
+        ServerOptions::new().workers(2),
+    )
+    .unwrap();
+    let addr = server.addr();
+    // Hold two idle connections open — shutdown must not hang on them.
+    let idle1 = Client::connect(addr).unwrap();
+    let idle2 = Client::connect(addr).unwrap();
+    let started = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown blocked on idle connections"
+    );
+    drop((idle1, idle2));
+    // The listener is gone: a fresh connection now fails or yields EOF.
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut c) => {
+            assert!(c.request("PING").is_err(), "server accepted after shutdown");
+        }
+    }
+}

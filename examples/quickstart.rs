@@ -1,57 +1,60 @@
 //! Quickstart: SQL on factorised data in five steps.
 //!
-//! Registers the pizzeria base relations, parses an aggregation query
-//! with the SQL front-end, runs it on the factorised engine, and compares
-//! against the relational baseline.
+//! Opens a [`fdb::Db`], registers the pizzeria base relations, queries
+//! through a [`fdb::Session`] — rows, EXPLAIN rendering and execution
+//! stats in one [`fdb::QueryOutcome`] — and cross-checks against the
+//! relational baseline engine.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use fdb::core::engine::FdbEngine;
 use fdb::relational::engine::{PlanMode, RdbEngine};
 use fdb::relational::GroupStrategy;
 use fdb::workload::pizzeria::pizzeria;
-use fdb::Catalog;
+use fdb::{Catalog, Db, FdbEngine};
 
 fn main() {
-    // 1. A catalog and the Figure 1 database.
+    // 1. A catalog, the Figure 1 database, and a Db to serve it.
     let mut catalog = Catalog::new();
-    let db = pizzeria(&mut catalog);
-
-    // 2. Register the base relations with the factorised engine.
+    let data = pizzeria(&mut catalog);
     let mut engine = FdbEngine::new(catalog);
-    engine.register_relation("Orders", db.orders.clone());
-    engine.register_relation("Pizzas", db.pizzas.clone());
-    engine.register_relation("Items", db.items.clone());
+    engine.register_relation("Orders", data.orders.clone());
+    engine.register_relation("Pizzas", data.pizzas.clone());
+    engine.register_relation("Items", data.items.clone());
+    let db = Db::from_engine(engine);
 
-    // 3. Parse a query with aggregates, grouping, ordering and a limit.
+    // 2. Cut a session: an immutable snapshot sharing the registered
+    //    arenas — cheap enough to hand one to every thread.
+    let mut session = db.session();
+
+    // 3. One call parses, plans, runs and enumerates.
     let sql = "SELECT customer, SUM(price) AS revenue \
                FROM Orders, Pizzas, Items \
                GROUP BY customer \
                ORDER BY revenue DESC \
                LIMIT 2";
     println!("query: {sql}\n");
-    let schemas = engine.schemas();
-    let query = fdb::parse(sql, &mut engine.catalog, &schemas).expect("valid SQL");
-    let task = query.to_task();
+    let out = session.query(sql).expect("query runs");
 
-    // 4. Run on the factorised engine (joins become factorisations; the
-    //    aggregate runs as partial aggregation operators on them).
-    let result = engine.run_default(&task).expect("planning succeeds");
+    // 4. The outcome carries the full report, not just rows.
+    println!("{}", out.explain);
     println!(
-        "result factorisation: {} singletons, ordering realised in-tree: {}",
-        result.singleton_count(),
-        result.order_supported_in_tree()
+        "ordering strategy: {:?}; rows enumerated: {}; intermediate bytes: {}",
+        out.strategy, out.order.rows_enumerated, out.exec.intermediate_bytes
     );
-    let rel = result.to_relation().expect("enumeration succeeds");
-    println!("\nFDB result:\n{}", rel.display(&engine.catalog));
+    println!("columns: {}", out.columns.join(", "));
+    println!("\nFDB result:\n{}", out.rows.display(session.catalog()));
 
     // 5. Cross-check with the relational baseline engine.
-    let mut rdb = RdbEngine::new(engine.catalog.clone(), GroupStrategy::Sort);
-    rdb.register("Orders", db.orders);
-    rdb.register("Pizzas", db.pizzas);
-    rdb.register("Items", db.items);
-    let baseline = rdb.run(&task, PlanMode::Naive).expect("baseline runs");
+    let mut rdb = RdbEngine::new(session.catalog().clone(), GroupStrategy::Sort);
+    rdb.register("Orders", data.orders);
+    rdb.register("Pizzas", data.pizzas);
+    rdb.register("Items", data.items);
+    let schemas = rdb.schemas();
+    let query = fdb::parse(sql, &mut rdb.catalog, &schemas).expect("valid SQL");
+    let baseline = rdb
+        .run(&query.to_task(), PlanMode::Naive)
+        .expect("baseline runs");
     println!("RDB result:\n{}", baseline.display(&rdb.catalog));
-    assert_eq!(rel.canonical(), baseline.canonical());
+    assert_eq!(out.rows.canonical(), baseline.canonical());
     println!("both engines agree ✓");
 }

@@ -1,0 +1,291 @@
+//! The session API: a shared, registrable database ([`Db`]) handing out
+//! cheap immutable snapshots ([`Session`]) that answer SQL with a full
+//! result report ([`QueryOutcome`]).
+//!
+//! This is the facade the serving layer (`fdb-server`), the examples,
+//! the benches and the integration tests route through. The design
+//! follows the paper's build-once-query-many premise:
+//!
+//! * a [`Db`] owns one **template engine** whose registered inputs
+//!   (factorised views and flat relations) live behind `Arc` — the flat
+//!   arena of PR 3 makes an immutable snapshot four vector handles;
+//! * [`Db::session`] clones the template under a short lock: the clone
+//!   copies the catalog and the name tables but **shares** every arena
+//!   and relation buffer. A session is therefore a consistent snapshot —
+//!   registrations that happen later are invisible to it;
+//! * many sessions on many threads read the same arenas concurrently;
+//!   results are byte-identical to the single-threaded library run
+//!   (pinned by `tests/shared_snapshot.rs` and the oracle sweep);
+//! * [`Db`] tracks an **epoch** bumped on every registration, so a
+//!   long-lived worker can cheaply detect staleness and re-snapshot.
+//!
+//! ```
+//! use fdb::{Db, Value};
+//! use fdb::relational::{Relation, Schema};
+//!
+//! let db = Db::open();
+//! let (item, price) = {
+//!     let mut cat = db.catalog();
+//!     (cat.intern("item"), cat.intern("price"))
+//! };
+//! # let _ = item;
+//! let rel = Relation::from_rows(
+//!     Schema::new(vec![item, price]),
+//!     [("base", 6), ("ham", 1)]
+//!         .into_iter()
+//!         .map(|(i, p)| vec![Value::str(i), Value::Int(p)]),
+//! );
+//! db.register_relation("Items", rel);
+//! let mut session = db.session();
+//! let out = session.query("SELECT SUM(price) AS total FROM Items").unwrap();
+//! assert_eq!(out.rows.row(0)[0], Value::Int(7));
+//! assert_eq!(out.columns, vec!["total"]);
+//! assert!(out.explain.contains("f-plan"));
+//! ```
+
+use crate::core::engine::{FdbEngine, OrderStrategy, RunOptions};
+use crate::core::{ExecStats, FRep, OrderRunStats, Result};
+use crate::relational::{Catalog, Relation};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A shared database: the registration surface plus a template engine
+/// from which immutable [`Session`] snapshots are cloned.
+///
+/// `Db` is `Clone` + `Send` + `Sync`; clones are handles to the same
+/// underlying database (the serving layer passes one per worker).
+#[derive(Clone, Debug)]
+pub struct Db {
+    inner: Arc<DbInner>,
+}
+
+#[derive(Debug)]
+struct DbInner {
+    /// The template engine. Mutated only by registrations; sessions
+    /// clone it under the lock (cheap: inputs are `Arc`-shared).
+    template: Mutex<FdbEngine>,
+    /// Bumped on every registration; lets workers detect stale
+    /// snapshots without taking the template lock.
+    epoch: AtomicU64,
+}
+
+impl Db {
+    /// An empty database with a fresh catalog.
+    pub fn open() -> Db {
+        Db::from_engine(FdbEngine::new(Catalog::new()))
+    }
+
+    /// Wraps an already-populated engine (the benches and tests build
+    /// their datasets through `FdbEngine` setup helpers).
+    pub fn from_engine(engine: FdbEngine) -> Db {
+        Db {
+            inner: Arc::new(DbInner {
+                template: Mutex::new(engine),
+                epoch: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Locked access to the template engine's catalog (interning
+    /// attributes before building relations by hand).
+    pub fn catalog(&self) -> CatalogGuard<'_> {
+        CatalogGuard { guard: self.lock() }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, FdbEngine> {
+        self.inner
+            .template
+            .lock()
+            .expect("fdb::Db template lock poisoned")
+    }
+
+    /// Registers a flat relation; visible to sessions opened afterwards.
+    pub fn register_relation(&self, name: impl Into<String>, rel: Relation) {
+        self.lock().register_relation(name, rel);
+        self.bump();
+    }
+
+    /// Registers a factorised view; visible to sessions opened afterwards.
+    pub fn register_view(&self, name: impl Into<String>, rep: FRep) {
+        self.lock().register_view(name, rep);
+        self.bump();
+    }
+
+    /// Loads a serialised view (the `fdbv1` format of `fdb_core::io`)
+    /// and registers it under `name`.
+    pub fn load_view(&self, name: impl Into<String>, r: impl std::io::BufRead) -> Result<()> {
+        self.lock().load_view(name, r)?;
+        self.bump();
+        Ok(())
+    }
+
+    /// The current registration epoch (starts at 1, bumped on every
+    /// registration). A [`Session`] records the epoch it was cut at;
+    /// `session.epoch() != db.epoch()` means the snapshot is stale.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Acquire)
+    }
+
+    fn bump(&self) {
+        self.inner.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Cuts an immutable snapshot: a [`Session`] holding its own cheap
+    /// clone of the template engine (shared arenas, private catalog).
+    pub fn session(&self) -> Session {
+        let engine = self.lock().clone();
+        Session {
+            engine,
+            opts: RunOptions::default(),
+            epoch: self.epoch(),
+        }
+    }
+
+    /// Names of the registered relations and views `(relations, views)`,
+    /// both sorted (the serving layer's `STATS` report).
+    pub fn input_names(&self) -> (Vec<String>, Vec<String>) {
+        let engine = self.lock();
+        (engine.relation_names(), engine.view_names())
+    }
+}
+
+impl Default for Db {
+    fn default() -> Self {
+        Db::open()
+    }
+}
+
+/// RAII view of the template engine's catalog (see [`Db::catalog`]).
+pub struct CatalogGuard<'a> {
+    guard: MutexGuard<'a, FdbEngine>,
+}
+
+impl std::ops::Deref for CatalogGuard<'_> {
+    type Target = Catalog;
+    fn deref(&self) -> &Catalog {
+        &self.guard.catalog
+    }
+}
+
+impl std::ops::DerefMut for CatalogGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Catalog {
+        &mut self.guard.catalog
+    }
+}
+
+/// An immutable snapshot of a [`Db`] plus per-session run options.
+///
+/// Sessions are `Send`: the serving layer keeps one per worker thread
+/// and refreshes it when the epoch moves. All methods take `&mut self`
+/// only because each run interns fresh output attributes into the
+/// session's private catalog copy — the shared data is never written.
+#[derive(Clone, Debug)]
+pub struct Session {
+    engine: FdbEngine,
+    opts: RunOptions,
+    epoch: u64,
+}
+
+impl Session {
+    /// The [`Db::epoch`] this snapshot was cut at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The session's default run options (applied by [`Session::query`]).
+    pub fn options(&self) -> RunOptions {
+        self.opts
+    }
+
+    /// Replaces the session's default run options.
+    pub fn set_options(&mut self, opts: RunOptions) {
+        self.opts = opts;
+    }
+
+    /// Builder-style [`Session::set_options`].
+    pub fn with_options(mut self, opts: RunOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The session's catalog (attribute names of this snapshot).
+    pub fn catalog(&self) -> &Catalog {
+        &self.engine.catalog
+    }
+
+    /// The underlying engine (escape hatch for task-level callers; the
+    /// differential suites run `JoinAggTask`s directly through it).
+    pub fn engine_mut(&mut self) -> &mut FdbEngine {
+        &mut self.engine
+    }
+
+    /// Parses and runs `sql` with the session options, returning the
+    /// enumerated rows plus the full execution report.
+    pub fn query(&mut self, sql: &str) -> Result<QueryOutcome> {
+        self.query_with(sql, self.opts)
+    }
+
+    /// [`Session::query`] with explicit per-call options (the serving
+    /// layer threads per-request deadlines through here).
+    pub fn query_with(&mut self, sql: &str, opts: RunOptions) -> Result<QueryOutcome> {
+        let result = self.engine.run_sql_with(sql, opts)?;
+        let explain = result.explain(&self.engine.catalog);
+        let strategy = result.order_strategy();
+        let exec = result.exec_stats();
+        let (rows, order) = result.to_relation_counted()?;
+        let columns = rows
+            .schema()
+            .attrs()
+            .iter()
+            .map(|&a| self.engine.catalog.name(a).to_string())
+            .collect();
+        Ok(QueryOutcome {
+            rows,
+            columns,
+            explain,
+            strategy,
+            exec,
+            order,
+        })
+    }
+
+    /// The EXPLAIN text of `sql` under the session options: plans and
+    /// executes the f-plan but does **not** enumerate the result.
+    pub fn explain(&mut self, sql: &str) -> Result<String> {
+        let result = self.engine.run_sql_with(sql, self.opts)?;
+        Ok(result.explain(&self.engine.catalog))
+    }
+}
+
+/// Everything one query run produced: the flat rows, the column names
+/// in declared order, the EXPLAIN rendering, and the execution reports
+/// of the plan run and the enumeration pass.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// The enumerated result (ordered, filtered and truncated per the
+    /// query).
+    pub rows: Relation,
+    /// Output column names in declared order.
+    pub columns: Vec<String>,
+    /// EXPLAIN-style rendering of the executed f-plan.
+    pub explain: String,
+    /// The physical `ORDER BY` strategy that executed.
+    pub strategy: OrderStrategy,
+    /// Stage/allocation report of the f-plan run.
+    pub exec: ExecStats,
+    /// Enumeration report: strategy, rows enumerated, ordering-side
+    /// peak bytes.
+    pub order: OrderRunStats,
+}
+
+impl QueryOutcome {
+    /// True when the query enumerated no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of enumerated rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+}

@@ -21,6 +21,9 @@ pub use fdb_query as query;
 pub use fdb_relational as relational;
 pub use fdb_workload as workload;
 
+pub mod db;
+
+pub use db::{Db, QueryOutcome, Session};
 pub use fdb_core::{FRep, FTree, FdbEngine, FdbResult};
 pub use fdb_query::parse;
 pub use fdb_relational::{Catalog, Relation, Schema, Value};

@@ -53,27 +53,17 @@ impl EnginePair {
             ("greedy", RunOptions::default()),
             (
                 "no consolidation",
-                RunOptions {
-                    strategy: PlanStrategy::Greedy,
-                    consolidate: ConsolidateMode::Never,
-                    ..RunOptions::default()
-                },
+                RunOptions::new().consolidate(ConsolidateMode::Never),
             ),
             (
                 "consolidated",
-                RunOptions {
-                    strategy: PlanStrategy::Greedy,
-                    consolidate: ConsolidateMode::Always,
-                    ..RunOptions::default()
-                },
+                RunOptions::new().consolidate(ConsolidateMode::Always),
             ),
             (
                 "exhaustive",
-                RunOptions {
-                    strategy: PlanStrategy::Exhaustive(ExhaustiveConfig { max_states: 4000 }),
-                    consolidate: ConsolidateMode::Auto,
-                    ..RunOptions::default()
-                },
+                RunOptions::new().strategy(PlanStrategy::Exhaustive(ExhaustiveConfig {
+                    max_states: 4000,
+                })),
             ),
         ];
 
@@ -99,7 +89,7 @@ impl EnginePair {
         // relational ground truth.
         for threads in thread_sweep() {
             for (name, opts) in &flavours {
-                let opts = RunOptions { threads, ..*opts };
+                let opts = opts.threads(threads);
                 let out = self
                     .fdb
                     .run(&task, opts)
@@ -125,11 +115,9 @@ impl EnginePair {
                 .fdb
                 .run(
                     &task,
-                    RunOptions {
-                        threads,
-                        executor: ExecutorMode::PerOp,
-                        ..RunOptions::default()
-                    },
+                    RunOptions::new()
+                        .threads(threads)
+                        .executor(ExecutorMode::PerOp),
                 )
                 .unwrap_or_else(|e| panic!("fdb per-op (threads={threads}) `{sql}`: {e}"));
             // (The f-trees are not compared by canonical key here: each
@@ -147,6 +135,36 @@ impl EnginePair {
                 "fused vs per-op enumeration (threads={threads}) on `{sql}`"
             );
         }
+
+        // Shared-snapshot axis: concurrent sessions over one Db (cheap
+        // engine clones sharing the input arenas via Arc) must be byte
+        // identical to each other and reproduce the ground truth.
+        let db = fdb::Db::from_engine(self.fdb.clone());
+        let serial = db
+            .session()
+            .query(sql)
+            .unwrap_or_else(|e| panic!("session serial `{sql}`: {e}"))
+            .rows;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let mut session = db.session();
+                    scope.spawn(move || session.query(sql).map(|out| out.rows))
+                })
+                .collect();
+            for h in handles {
+                let rows = h
+                    .join()
+                    .expect("session thread")
+                    .unwrap_or_else(|e| panic!("concurrent session `{sql}`: {e}"));
+                assert_eq!(rows, serial, "concurrent vs serial session on `{sql}`");
+            }
+        });
+        assert_eq!(
+            serial.canonical(),
+            rdb_naive,
+            "shared-snapshot session vs rdb naive on `{sql}`"
+        );
 
         // rdb: the parallel baselines must agree with their serial selves.
         for threads in thread_sweep() {

@@ -41,11 +41,11 @@ fn order_attrs(task: &JoinAggTask) -> Vec<fdb::relational::AttrId> {
 fn assert_strategies_agree(e: &mut FdbEngine, task: &JoinAggTask, label: &str) -> Relation {
     let keys = fdb::relational::dedup_sort_keys(&task.order_by);
     let key_attrs = order_attrs(task);
-    let opts_for = |order, executor, threads| RunOptions {
-        order,
-        executor,
-        threads,
-        ..RunOptions::default()
+    let opts_for = |order, executor, threads| {
+        RunOptions::new()
+            .order(order)
+            .executor(executor)
+            .threads(threads)
     };
     let reference = e
         .run(
@@ -322,15 +322,7 @@ fn heap_memory_is_independent_of_flat_size_and_below_sort() {
             limit: Some(10),
             ..Default::default()
         };
-        let result = e
-            .run(
-                &task,
-                RunOptions {
-                    order: mode,
-                    ..RunOptions::default()
-                },
-            )
-            .unwrap();
+        let result = e.run(&task, RunOptions::new().order(mode)).unwrap();
         let (out, stats) = result.to_relation_counted().unwrap();
         assert_eq!(out.len(), 10);
         stats
