@@ -21,7 +21,7 @@
 //!
 //! `cargo run --release -p fdb-bench --bin ablation -- --scale 4`
 
-use fdb_bench::{median_secs, paper_queries, Args, BenchSetup, QueryClass};
+use fdb_bench::{extended_agg_queries, median_secs, paper_queries, Args, BenchSetup, QueryClass};
 use fdb_core::engine::{ConsolidateMode, ExecutorMode, RunOptions};
 use fdb_core::ftree::AggOp;
 use fdb_core::optim::{exhaustive, greedy, tree_cost, ExhaustiveConfig, QuerySpec, Stats};
@@ -164,7 +164,15 @@ fn main() {
     );
 
     // --- 4. Fused vs per-operator execution -------------------------
-    for q in queries.iter().filter(|q| q.class == QueryClass::Agg) {
+    // Q1–Q5 plus the extended aggregate surface (QD/QP/QB/QK/QG): the
+    // new evaluators run through both executors so their staged win —
+    // and any intermediate-allocation regression — shows in the rows.
+    let mut queries = queries;
+    queries.extend(extended_agg_queries(&mut env.fdb.catalog, &attrs));
+    for q in queries
+        .iter()
+        .filter(|q| q.class == QueryClass::Agg || q.class == QueryClass::AggExt)
+    {
         for (engine, executor) in [
             ("FDB fused", ExecutorMode::Staged),
             ("FDB per-op", ExecutorMode::PerOp),

@@ -4,7 +4,9 @@
 //! Q1–Q5 with four engine flavours: `FDB f/o` (factorised output — for Q1
 //! the win over flat output is the enumeration cost of the large result),
 //! `FDB` (flat output, like the relational engines), and the two
-//! relational baselines.
+//! relational baselines. The extended aggregate surface (QD/QP/QB/QK/QG:
+//! distinct, product, quantifiers, top-k-per-group, ROLLUP) runs through
+//! the same sweep so the perf-smoke gate covers the new evaluators.
 //!
 //! `cargo run --release -p fdb-bench --bin fig5 -- --scale 8`
 //!
@@ -13,7 +15,7 @@
 //! results file (`BENCH_s1.json` in the repo root is the recorded
 //! `--scale 1 --threads 1` baseline).
 
-use fdb_bench::{median_secs, paper_queries, Args, BenchSetup, QueryClass};
+use fdb_bench::{extended_agg_queries, median_secs, paper_queries, Args, BenchSetup, QueryClass};
 use fdb_relational::engine::PlanMode;
 use fdb_relational::GroupStrategy;
 use fdb_workload::orders::OrdersConfig;
@@ -38,10 +40,16 @@ fn main() {
         env.flat_tuples, env.view_singletons, env.view_bytes, env.threads
     );
     let attrs = env.attrs;
-    let queries = paper_queries(&mut env.fdb.catalog, &attrs);
+    let mut queries = paper_queries(&mut env.fdb.catalog, &attrs);
+    // The extended aggregate surface rides on the same sweep (and the
+    // same perf-smoke gate): QD/QP/QB/QK/QG after Q1–Q5.
+    queries.extend(extended_agg_queries(&mut env.fdb.catalog, &attrs));
     env.rdb_sort.catalog = env.fdb.catalog.clone();
     env.rdb_hash.catalog = env.fdb.catalog.clone();
-    for q in queries.iter().filter(|q| q.class == QueryClass::Agg) {
+    for q in queries
+        .iter()
+        .filter(|q| q.class == QueryClass::Agg || q.class == QueryClass::AggExt)
+    {
         let ((st, exec), t) = median_secs(args.repeats, || env.run_fdb_fo_report(&q.task));
         emit.row(
             "5",

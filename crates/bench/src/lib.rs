@@ -22,5 +22,5 @@ pub mod setup;
 
 pub use harness::{median_secs, print_row, time_secs, Args, Emitter};
 pub use perf::{compare, parse_results, GateConfig, PerfRow, Verdict};
-pub use queries::{paper_queries, PaperQuery, QueryClass};
+pub use queries::{extended_agg_queries, paper_queries, PaperQuery, QueryClass};
 pub use setup::{BenchEnv, BenchSetup};

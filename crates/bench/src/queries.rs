@@ -24,10 +24,10 @@
 //! we implement `o_{customer,date,package}(R3)` (see DESIGN.md).
 
 use fdb_relational::planner::JoinAggTask;
-use fdb_relational::{AggFunc, AggSpec, Catalog, SortKey};
+use fdb_relational::{AggFunc, AggSpec, Catalog, CmpOp, SortKey};
 use fdb_workload::orders::OrdersAttrs;
 
-/// Query classes of Figure 3.
+/// Query classes of Figure 3, plus the extended aggregate surface.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum QueryClass {
     /// Aggregates and group-by (Q1–Q5).
@@ -36,6 +36,10 @@ pub enum QueryClass {
     AggOrd,
     /// Order-by only (Q10–Q13).
     Ord,
+    /// Extended aggregate surface (QD/QP/QB/QK/QG): distinct counting,
+    /// wrapping product, boolean quantifiers, top-k-per-group and a
+    /// ROLLUP grouping-set expansion ([`extended_agg_queries`]).
+    AggExt,
 }
 
 /// One benchmark query: its name, class, task, and which materialised
@@ -179,6 +183,80 @@ pub fn paper_queries(catalog: &mut Catalog, a: &OrdersAttrs) -> Vec<PaperQuery> 
                 ..Default::default()
             },
             input: "R3",
+        },
+    ]
+}
+
+/// The extended aggregate surface over the same view — not part of
+/// Figure 3. `QD` counts distinct items per customer, `QP` takes the
+/// (wrapping) price product, `QB` evaluates both boolean quantifiers
+/// per package, `QK` keeps the three largest prices per customer, and
+/// `QG` expands `ROLLUP (customer, date)` over `SUM(price)`. Benched by
+/// the `ablation` fused-vs-per-op sweep and the perf-smoke `fig5` rows.
+pub fn extended_agg_queries(catalog: &mut Catalog, a: &OrdersAttrs) -> Vec<PaperQuery> {
+    let u_items = catalog.intern("u_items");
+    let p_price = catalog.intern("p_price");
+    let e_price = catalog.intern("e_price");
+    let f_price = catalog.intern("f_price");
+    let top_price = catalog.intern("top_price");
+    let gs_price = catalog.intern("gs_sum_price");
+    let on_r1 = |group: Vec<_>, aggs| JoinAggTask {
+        inputs: vec!["R1".into()],
+        group_by: group,
+        aggregates: aggs,
+        ..Default::default()
+    };
+    vec![
+        PaperQuery {
+            name: "QD",
+            class: QueryClass::AggExt,
+            task: on_r1(
+                vec![a.customer],
+                vec![AggSpec::new(AggFunc::CountDistinct(a.item), u_items)],
+            ),
+            input: "R1",
+        },
+        PaperQuery {
+            name: "QP",
+            class: QueryClass::AggExt,
+            task: on_r1(
+                vec![a.customer],
+                vec![AggSpec::new(AggFunc::Product(a.price), p_price)],
+            ),
+            input: "R1",
+        },
+        PaperQuery {
+            name: "QB",
+            class: QueryClass::AggExt,
+            task: on_r1(
+                vec![a.package],
+                vec![
+                    AggSpec::new(AggFunc::Exists(a.price, CmpOp::Gt, 8), e_price),
+                    AggSpec::new(AggFunc::Forall(a.price, CmpOp::Ge, 1), f_price),
+                ],
+            ),
+            input: "R1",
+        },
+        PaperQuery {
+            name: "QK",
+            class: QueryClass::AggExt,
+            task: on_r1(
+                vec![a.customer],
+                vec![AggSpec::new(AggFunc::TopK(a.price, 3), top_price)],
+            ),
+            input: "R1",
+        },
+        PaperQuery {
+            name: "QG",
+            class: QueryClass::AggExt,
+            task: JoinAggTask {
+                inputs: vec!["R1".into()],
+                group_by: vec![a.customer, a.date],
+                grouping_sets: vec![vec![a.customer, a.date], vec![a.customer], vec![]],
+                aggregates: vec![AggSpec::new(AggFunc::Sum(a.price), gs_price)],
+                ..Default::default()
+            },
+            input: "R1",
         },
     ]
 }

@@ -24,6 +24,7 @@ use crate::error::{FdbError, Result};
 use crate::frep::{EntryRef, UnionRef};
 use crate::ftree::{AggLabel, AggOp, FTree, NodeId, NodeLabel};
 use fdb_relational::{Number, Value};
+use std::collections::BTreeSet;
 
 /// Evaluates `term` for every entry and folds the results in entry
 /// order with `combine` — serially for `threads <= 1`, on the pool
@@ -255,6 +256,354 @@ pub fn extremum_union_par(
     best.ok_or_else(|| FdbError::InvalidOperator("extremum of an empty union".into()))
 }
 
+/// Finds the child subtree of `u`'s node that provides `op`, mirroring
+/// the lookup in [`sum_union_par`].
+fn providing_child(ftree: &FTree, u: UnionRef<'_>, op: &AggOp) -> Result<usize> {
+    ftree
+        .node(u.node())
+        .children
+        .iter()
+        .position(|&c| subtree_provides(ftree, c, op))
+        .ok_or_else(|| {
+            FdbError::InvalidComposition(format!(
+                "no subtree provides {op:?}; a prior aggregate hid the attribute"
+            ))
+        })
+}
+
+/// `productA(E)` over union `u`, which must provide `A`: the product of
+/// `A`'s non-NULL values under bag semantics. Returns `None` when every
+/// input is NULL. The factorised recursion exponentiates by sibling
+/// cardinalities (`product^count`), which for wrapping integer
+/// arithmetic is congruent mod 2^64 with the flat sequential product.
+pub fn product_union(ftree: &FTree, u: UnionRef<'_>, op: &AggOp) -> Result<Option<Number>> {
+    product_union_par(ftree, u, op, 1)
+}
+
+/// [`product_union`] with the top union's entries partitioned over
+/// `threads` workers; per-entry factors multiply in entry order, so even
+/// float products match the serial result bit for bit.
+pub fn product_union_par(
+    ftree: &FTree,
+    u: UnionRef<'_>,
+    op: &AggOp,
+    threads: usize,
+) -> Result<Option<Number>> {
+    let attr = op.attr().expect("product has an attribute");
+    let label = &ftree.node(u.node()).label;
+    let mul = |acc: Option<Number>, t: Option<Number>| match (acc, t) {
+        (Some(a), Some(b)) => Some(a.mul(b)),
+        (a, b) => a.or(b),
+    };
+    let node_provides = match label {
+        NodeLabel::Atomic(attrs) => attrs.contains(&attr),
+        NodeLabel::Agg(l) => l.component_of(op).is_some(),
+    };
+    if node_provides {
+        return fold_entries(
+            threads,
+            u,
+            None,
+            |e| {
+                let v = match label {
+                    NodeLabel::Atomic(_) => e.value().clone(),
+                    NodeLabel::Agg(l) => component(l, e.value(), l.component_of(op).unwrap()),
+                };
+                if v.is_null() {
+                    return Ok(None);
+                }
+                let n = v.as_number().ok_or_else(|| {
+                    FdbError::NonNumeric(format!("product over non-numeric value {v}"))
+                })?;
+                // A partial-product singleton already condensed its own
+                // tuples (mirrors `sum_union_par`): only sibling-child
+                // cardinalities exponentiate it.
+                let mut mult: i64 = 1;
+                for c in e.children() {
+                    mult = mult.wrapping_mul(count_union(ftree, c)?);
+                }
+                Ok(Some(n.pow(mult.max(0) as u64)))
+            },
+            mul,
+        );
+    }
+    let j = providing_child(ftree, u, op)?;
+    fold_entries(
+        threads,
+        u,
+        None,
+        |e| {
+            let mut mult = entry_multiplicity(label, e.value())?;
+            for (k, c) in e.children().enumerate() {
+                if k != j {
+                    mult = mult.wrapping_mul(count_union(ftree, c)?);
+                }
+            }
+            let p = product_union(ftree, e.child(j), op)?;
+            Ok(p.map(|n| n.pow(mult.max(0) as u64)))
+        },
+        mul,
+    )
+}
+
+/// The set of distinct non-NULL values of `op`'s attribute in the
+/// relation represented by `u` — the distinct-count walk. Each distinct
+/// value is touched once per union that mentions it, regardless of how
+/// many tuples share it, so the walk runs in factorisation size.
+///
+/// The attribute must still be *atomic* in the tree: distinct values
+/// cannot be recovered from aggregate singletons.
+pub fn distinct_values(
+    ftree: &FTree,
+    u: UnionRef<'_>,
+    op: &AggOp,
+    threads: usize,
+) -> Result<BTreeSet<Value>> {
+    let attr = op.attr().expect("count(distinct) has an attribute");
+    let label = &ftree.node(u.node()).label;
+    match label {
+        NodeLabel::Atomic(attrs) if attrs.contains(&attr) => {
+            // Every entry stands for at least one tuple (unions are never
+            // empty), so the distinct values are the entry values.
+            fold_entries(
+                threads,
+                u,
+                BTreeSet::new(),
+                |e| Ok((!e.value().is_null()).then(|| e.value().clone())),
+                |mut set, v| {
+                    if let Some(v) = v {
+                        set.insert(v);
+                    }
+                    set
+                },
+            )
+        }
+        NodeLabel::Agg(l) if l.component_of(op).is_some() => Err(FdbError::InvalidComposition(
+            format!("distinct values of {op:?} are unrecoverable from an aggregate singleton"),
+        )),
+        _ => {
+            let j = providing_child(ftree, u, op)?;
+            fold_entries(
+                threads,
+                u,
+                BTreeSet::new(),
+                |e| distinct_values(ftree, e.child(j), op, 1),
+                |mut acc, set| {
+                    acc.extend(set);
+                    acc
+                },
+            )
+        }
+    }
+}
+
+/// `existsA(E)` / `forallA(E)` over union `u`: whether some (resp.
+/// every) non-NULL value of `A` satisfies `value θ c`. Both are
+/// multiplicity-invariant, so sibling cardinalities never matter — the
+/// walk only descends the providing spine, like `min`/`max`.
+pub fn boolean_union(ftree: &FTree, u: UnionRef<'_>, op: &AggOp) -> Result<bool> {
+    boolean_union_par(ftree, u, op, 1)
+}
+
+/// [`boolean_union`] with the top union's entries partitioned over
+/// `threads` workers.
+pub fn boolean_union_par(
+    ftree: &FTree,
+    u: UnionRef<'_>,
+    op: &AggOp,
+    threads: usize,
+) -> Result<bool> {
+    let (attr, cmp, rhs, is_exists) = match *op {
+        AggOp::Exists(a, c, r) => (a, c, r, true),
+        AggOp::Forall(a, c, r) => (a, c, r, false),
+        _ => unreachable!("boolean_union is only called for exists/forall"),
+    };
+    // exists folds with OR from false; forall with AND from true.
+    let combine = move |acc: bool, t: bool| if is_exists { acc || t } else { acc && t };
+    let label = &ftree.node(u.node()).label;
+    match label {
+        NodeLabel::Atomic(attrs) if attrs.contains(&attr) => fold_entries(
+            threads,
+            u,
+            !is_exists,
+            |e| {
+                let v = e.value();
+                // NULL inputs are skipped: they contribute the identity.
+                if v.is_null() {
+                    Ok(!is_exists)
+                } else {
+                    Ok(cmp.eval(v.cmp(&Value::Int(rhs))))
+                }
+            },
+            combine,
+        ),
+        NodeLabel::Agg(l) if l.component_of(op).is_some() => {
+            // The component already holds the sub-result (0/1) for the
+            // erased subtree; combine across entries.
+            let i = l.component_of(op).unwrap();
+            fold_entries(
+                threads,
+                u,
+                !is_exists,
+                |e| {
+                    Ok(component(l, e.value(), i)
+                        .as_int()
+                        .expect("boolean aggregate component is 0/1")
+                        != 0)
+                },
+                combine,
+            )
+        }
+        _ => {
+            let j = providing_child(ftree, u, op)?;
+            fold_entries(
+                threads,
+                u,
+                !is_exists,
+                |e| boolean_union(ftree, e.child(j), op),
+                combine,
+            )
+        }
+    }
+}
+
+/// Merges two descending top-`k` lists into one, keeping at most `k`.
+fn merge_topk(a: Vec<Value>, b: Vec<Value>, k: usize) -> Vec<Value> {
+    let mut out = Vec::with_capacity((a.len() + b.len()).min(k));
+    let (mut ia, mut ib) = (0, 0);
+    while out.len() < k && (ia < a.len() || ib < b.len()) {
+        let take_a = match (a.get(ia), b.get(ib)) {
+            (Some(x), Some(y)) => x >= y,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_a {
+            out.push(a[ia].clone());
+            ia += 1;
+        } else {
+            out.push(b[ib].clone());
+            ib += 1;
+        }
+    }
+    out
+}
+
+/// Pushes `v` repeated `mult` times (capped at the remaining budget)
+/// onto a descending list that still has room for `k` values total.
+fn push_repeated(out: &mut Vec<Value>, v: Value, mult: i64, k: usize) {
+    let n = (mult.max(0) as usize).min(k.saturating_sub(out.len()));
+    for _ in 0..n {
+        out.push(v.clone());
+    }
+}
+
+/// The `k` largest non-NULL values of `op`'s attribute in the relation
+/// represented by `u`, descending, under bag semantics: a value shared
+/// by `m` tuples occurs `min(m, k)` times. One bounded heap-equivalent
+/// list per union entry, merged in entry order (§ PR-5 top-k).
+pub fn topk_union(ftree: &FTree, u: UnionRef<'_>, op: &AggOp) -> Result<Vec<Value>> {
+    topk_union_par(ftree, u, op, 1)
+}
+
+/// [`topk_union`] with the top union's entries partitioned over
+/// `threads` workers; identical result for every thread count (merging
+/// sorted lists is order-insensitive on multisets).
+pub fn topk_union_par(
+    ftree: &FTree,
+    u: UnionRef<'_>,
+    op: &AggOp,
+    threads: usize,
+) -> Result<Vec<Value>> {
+    let (attr, k) = match *op {
+        AggOp::TopK(a, k) => (a, k),
+        _ => unreachable!("topk_union is only called for top_k"),
+    };
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let label = &ftree.node(u.node()).label;
+    match label {
+        NodeLabel::Atomic(attrs) if attrs.contains(&attr) => {
+            // Entries are sorted ascending; walk them backwards so the
+            // largest values fill the budget first. (Serial walk: the
+            // reverse scan stops after at most k distinct entries.)
+            let mut out = Vec::with_capacity(k);
+            for i in (0..u.len()).rev() {
+                if out.len() >= k {
+                    break;
+                }
+                let e = u.entry(i);
+                let v = e.value();
+                if v.is_null() {
+                    continue;
+                }
+                let mut mult: i64 = 1;
+                for c in e.children() {
+                    mult = mult.wrapping_mul(count_union(ftree, c)?);
+                }
+                push_repeated(&mut out, v.clone(), mult, k);
+            }
+            Ok(out)
+        }
+        NodeLabel::Agg(l) if l.component_of(op).is_some() => {
+            let i = l.component_of(op).unwrap();
+            fold_entries(
+                threads,
+                u,
+                Vec::new(),
+                |e| {
+                    let part = component(l, e.value(), i);
+                    let mut mult: i64 = 1;
+                    for c in e.children() {
+                        mult = mult.wrapping_mul(count_union(ftree, c)?);
+                    }
+                    let mut out = Vec::new();
+                    match part {
+                        Value::Null => {}
+                        Value::Tup(vals) => {
+                            for v in vals.iter() {
+                                if out.len() >= k {
+                                    break;
+                                }
+                                push_repeated(&mut out, v.clone(), mult, k);
+                            }
+                        }
+                        v => push_repeated(&mut out, v, mult, k),
+                    }
+                    Ok(out)
+                },
+                |acc, part| merge_topk(acc, part, k),
+            )
+        }
+        _ => {
+            let j = providing_child(ftree, u, op)?;
+            fold_entries(
+                threads,
+                u,
+                Vec::new(),
+                |e| {
+                    let mut mult = entry_multiplicity(label, e.value())?;
+                    for (c_idx, c) in e.children().enumerate() {
+                        if c_idx != j {
+                            mult = mult.wrapping_mul(count_union(ftree, c)?);
+                        }
+                    }
+                    let sub = topk_union(ftree, e.child(j), op)?;
+                    let mut out = Vec::with_capacity(k);
+                    for v in sub {
+                        if out.len() >= k {
+                            break;
+                        }
+                        push_repeated(&mut out, v, mult, k);
+                    }
+                    Ok(out)
+                },
+                |acc, part| merge_topk(acc, part, k),
+            )
+        }
+    }
+}
+
 /// Evaluates one aggregation function over a *product* of sibling unions
 /// (the expression an aggregation operator replaces, §3.2).
 pub fn eval_op(ftree: &FTree, unions: &[UnionRef<'_>], op: &AggOp) -> Result<Value> {
@@ -302,7 +651,63 @@ pub fn eval_op_par(
                 })?;
             extremum_union_par(ftree, unions[j], op, threads)
         }
+        AggOp::CountDistinct(_) => {
+            // Multiplicity-invariant: the non-providing factors only
+            // repeat tuples, never change which values occur.
+            let j = find_provider(ftree, unions, op)?;
+            let set = distinct_values(ftree, unions[j], op, threads)?;
+            Ok(Value::Int(set.len() as i64))
+        }
+        AggOp::Product(_) => {
+            let j = find_provider(ftree, unions, op)?;
+            let mut mult: i64 = 1;
+            for (k, &u) in unions.iter().enumerate() {
+                if k != j {
+                    mult = mult.wrapping_mul(count_union_par(ftree, u, threads)?);
+                }
+            }
+            Ok(match product_union_par(ftree, unions[j], op, threads)? {
+                Some(p) => p.pow(mult.max(0) as u64).into_value(),
+                None => Value::Null,
+            })
+        }
+        AggOp::Exists(..) | AggOp::Forall(..) => {
+            let j = find_provider(ftree, unions, op)?;
+            Ok(Value::Int(
+                boolean_union_par(ftree, unions[j], op, threads)? as i64,
+            ))
+        }
+        AggOp::TopK(_, k) => {
+            let j = find_provider(ftree, unions, op)?;
+            let mut mult: i64 = 1;
+            for (i, &u) in unions.iter().enumerate() {
+                if i != j {
+                    mult = mult.wrapping_mul(count_union_par(ftree, u, threads)?);
+                }
+            }
+            let partial = topk_union_par(ftree, unions[j], op, threads)?;
+            let mut out = Vec::with_capacity(*k);
+            for v in partial {
+                if out.len() >= *k {
+                    break;
+                }
+                push_repeated(&mut out, v, mult, *k);
+            }
+            Ok(if out.is_empty() {
+                Value::Null
+            } else {
+                Value::tup(out)
+            })
+        }
     }
+}
+
+/// Index of the factor union providing `op`'s attribute.
+fn find_provider(ftree: &FTree, unions: &[UnionRef<'_>], op: &AggOp) -> Result<usize> {
+    unions
+        .iter()
+        .position(|u| subtree_provides(ftree, u.node(), op))
+        .ok_or_else(|| FdbError::InvalidComposition(format!("no factor provides {op:?}")))
 }
 
 /// Evaluates a composite function `(F1,…,Fk)` over a product of unions,
@@ -340,7 +745,14 @@ pub fn partial_funcs(ftree: &FTree, targets: &[NodeId], final_funcs: &[AggOp]) -
     for f in final_funcs {
         let partial = match f {
             AggOp::Count => AggOp::Count,
-            AggOp::Sum(_) | AggOp::Min(_) | AggOp::Max(_) => {
+            AggOp::Sum(_)
+            | AggOp::Min(_)
+            | AggOp::Max(_)
+            | AggOp::Product(_)
+            | AggOp::Exists(..)
+            | AggOp::Forall(..)
+            | AggOp::CountDistinct(_)
+            | AggOp::TopK(..) => {
                 if targets.iter().any(|&t| subtree_provides(ftree, t, f)) {
                     *f
                 } else {
@@ -411,6 +823,94 @@ pub fn combine_partials(final_op: &AggOp, leaves: &[(&AggLabel, &Value)]) -> Res
                 "no leaf carries the extremum component".into(),
             ))
         }
+        // Multiplicity-invariant: the one leaf carrying the component IS
+        // the answer; other leaves only repeat tuples.
+        AggOp::CountDistinct(_) | AggOp::Exists(..) | AggOp::Forall(..) => {
+            for (l, v) in leaves {
+                if let Some(i) = l.component_of(final_op) {
+                    return Ok(component(l, v, i));
+                }
+            }
+            Err(FdbError::InvalidComposition(format!(
+                "no leaf carries the {final_op:?} component"
+            )))
+        }
+        AggOp::Product(_) => {
+            // partial_product ^ (product of the other leaves' counts).
+            let mut partial: Option<Value> = None;
+            let mut mult: i64 = 1;
+            for (l, v) in leaves {
+                if let Some(i) = l.component_of(final_op) {
+                    if partial.is_some() {
+                        return Err(FdbError::InvalidComposition(
+                            "two leaves carry the same product component".into(),
+                        ));
+                    }
+                    partial = Some(component(l, v, i));
+                } else {
+                    let i = l.count_component().ok_or_else(|| {
+                        FdbError::InvalidComposition(
+                            "product combination needs counts in the other leaves".into(),
+                        )
+                    })?;
+                    mult = mult.wrapping_mul(component(l, v, i).as_int().expect("integral count"));
+                }
+            }
+            let partial = partial.ok_or_else(|| {
+                FdbError::InvalidComposition("no leaf carries the product component".into())
+            })?;
+            if partial.is_null() {
+                return Ok(Value::Null);
+            }
+            let n = partial
+                .as_number()
+                .ok_or_else(|| FdbError::NonNumeric("product component".into()))?;
+            Ok(n.pow(mult.max(0) as u64).into_value())
+        }
+        AggOp::TopK(_, k) => {
+            // Each partial top-k value is repeated by the other leaves'
+            // tuple multiplicities, then the combined list re-truncates.
+            let mut partial: Option<Value> = None;
+            let mut mult: i64 = 1;
+            for (l, v) in leaves {
+                if let Some(i) = l.component_of(final_op) {
+                    if partial.is_some() {
+                        return Err(FdbError::InvalidComposition(
+                            "two leaves carry the same top-k component".into(),
+                        ));
+                    }
+                    partial = Some(component(l, v, i));
+                } else {
+                    let i = l.count_component().ok_or_else(|| {
+                        FdbError::InvalidComposition(
+                            "top-k combination needs counts in the other leaves".into(),
+                        )
+                    })?;
+                    mult = mult.wrapping_mul(component(l, v, i).as_int().expect("integral count"));
+                }
+            }
+            let partial = partial.ok_or_else(|| {
+                FdbError::InvalidComposition("no leaf carries the top-k component".into())
+            })?;
+            let mut out = Vec::with_capacity(*k);
+            match partial {
+                Value::Null => {}
+                Value::Tup(vals) => {
+                    for v in vals.iter() {
+                        if out.len() >= *k {
+                            break;
+                        }
+                        push_repeated(&mut out, v.clone(), mult, *k);
+                    }
+                }
+                v => push_repeated(&mut out, v, mult, *k),
+            }
+            Ok(if out.is_empty() {
+                Value::Null
+            } else {
+                Value::tup(out)
+            })
+        }
     }
 }
 
@@ -418,7 +918,7 @@ pub fn combine_partials(final_op: &AggOp, leaves: &[(&AggLabel, &Value)]) -> Res
 mod tests {
     use super::*;
     use crate::frep::FRep;
-    use fdb_relational::{Catalog, Relation, Schema};
+    use fdb_relational::{Catalog, CmpOp, Relation, Schema};
 
     /// The Items relation of Figure 1 as a path factorisation.
     fn items_rep() -> (Catalog, FRep) {
@@ -461,6 +961,98 @@ mod tests {
     }
 
     #[test]
+    fn product_distinct_boolean_topk_over_trie() {
+        // Prices: 6, 1, 1, 2.
+        let (c, rep) = items_rep();
+        let price = c.lookup("price").unwrap();
+        let t = rep.ftree();
+        let unions = [rep.root(0)];
+        assert_eq!(
+            eval_op(t, &unions, &AggOp::Product(price)).unwrap(),
+            Value::Int(12)
+        );
+        assert_eq!(
+            eval_op(t, &unions, &AggOp::CountDistinct(price)).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            eval_op(t, &unions, &AggOp::Exists(price, CmpOp::Gt, 5)).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_op(t, &unions, &AggOp::Exists(price, CmpOp::Gt, 6)).unwrap(),
+            Value::Int(0)
+        );
+        assert_eq!(
+            eval_op(t, &unions, &AggOp::Forall(price, CmpOp::Le, 6)).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_op(t, &unions, &AggOp::Forall(price, CmpOp::Lt, 6)).unwrap(),
+            Value::Int(0)
+        );
+        assert_eq!(
+            eval_op(t, &unions, &AggOp::TopK(price, 3)).unwrap(),
+            Value::tup(vec![Value::Int(6), Value::Int(2), Value::Int(1)])
+        );
+        // k larger than the relation: everything, still descending.
+        assert_eq!(
+            eval_op(t, &unions, &AggOp::TopK(price, 10)).unwrap(),
+            Value::tup(vec![
+                Value::Int(6),
+                Value::Int(2),
+                Value::Int(1),
+                Value::Int(1)
+            ])
+        );
+    }
+
+    #[test]
+    fn new_ops_exponentiate_over_products() {
+        // (A ∪ A) × (B: 1,2,3): every B value occurs twice in the bag.
+        let mut c = Catalog::new();
+        let a = c.intern("A");
+        let b = c.intern("B");
+        let rel = Relation::from_rows(
+            Schema::new(vec![a, b]),
+            (1..=2).flat_map(|x| (1..=3).map(move |y| vec![Value::Int(x), Value::Int(y)])),
+        );
+        let mut t = FTree::new();
+        t.add_node(NodeLabel::Atomic(vec![a]), None);
+        t.add_node(NodeLabel::Atomic(vec![b]), None);
+        let rep = FRep::from_relation(&rel, t).unwrap();
+        let unions: Vec<UnionRef<'_>> = rep.root_unions().collect();
+        // product(B) = (1·2·3)^2 = 36 — pow by the A factor's count.
+        assert_eq!(
+            eval_op(rep.ftree(), &unions, &AggOp::Product(b)).unwrap(),
+            Value::Int(36)
+        );
+        // count(distinct B) ignores the A factor entirely.
+        assert_eq!(
+            eval_op(rep.ftree(), &unions, &AggOp::CountDistinct(b)).unwrap(),
+            Value::Int(3)
+        );
+        // top_k(B, 4) repeats each value |A| = 2 times: 3,3,2,2.
+        assert_eq!(
+            eval_op(rep.ftree(), &unions, &AggOp::TopK(b, 4)).unwrap(),
+            Value::tup(vec![
+                Value::Int(3),
+                Value::Int(3),
+                Value::Int(2),
+                Value::Int(2)
+            ])
+        );
+        assert_eq!(
+            eval_op(rep.ftree(), &unions, &AggOp::Exists(b, CmpOp::Eq, 3)).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_op(rep.ftree(), &unions, &AggOp::Forall(b, CmpOp::Ne, 2)).unwrap(),
+            Value::Int(0)
+        );
+    }
+
+    #[test]
     fn parallel_evaluators_match_serial_bit_for_bit() {
         // Mixed int/float prices: the in-entry-order fold must keep even
         // the float addition sequence identical to the serial scan.
@@ -486,7 +1078,15 @@ mod tests {
                 count_union_par(t, u, threads).unwrap(),
                 count_union(t, u).unwrap()
             );
-            for op in [AggOp::Sum(price), AggOp::Min(price), AggOp::Max(price)] {
+            for op in [
+                AggOp::Sum(price),
+                AggOp::Min(price),
+                AggOp::Max(price),
+                AggOp::CountDistinct(price),
+                AggOp::Exists(price, CmpOp::Gt, 20),
+                AggOp::Forall(price, CmpOp::Ge, 0),
+                AggOp::TopK(price, 5),
+            ] {
                 let unions = [u];
                 assert_eq!(
                     eval_op_par(t, &unions, &op, threads).unwrap(),

@@ -277,6 +277,10 @@ enum ResultKind {
         final_funcs: Vec<AggOp>,
         func_outputs: Vec<AttrId>,
     },
+    /// GROUPING SETS: the concatenation of the per-set runs, already
+    /// padded to the output schema. Rows stream as-is; HAVING stays in
+    /// the row filters and ordering/limit run at enumeration.
+    Materialised(Relation),
 }
 
 /// A query result: the factorisation plus everything needed to emit flat
@@ -395,6 +399,10 @@ impl FdbResult {
             ResultKind::AggGrouped { final_funcs, .. } => format!(
                 "grouped: {} aggregate(s) evaluated on the fly per group",
                 final_funcs.len()
+            ),
+            ResultKind::Materialised(rel) => format!(
+                "grouping sets: {} concatenated row(s), NULL-padded to the output schema",
+                rel.len()
             ),
         };
         let _ = writeln!(out, "output mode: {mode}");
@@ -577,6 +585,14 @@ impl FdbResult {
                         buf.push(compute_emit(col, &raw)?);
                     }
                     if keep(&buf) && !sink(&buf) {
+                        break;
+                    }
+                }
+            }
+            ResultKind::Materialised(rel) => {
+                for row in rel.rows() {
+                    clock.poll("grouping-sets enumeration")?;
+                    if keep(row) && !sink(row) {
                         break;
                     }
                 }
@@ -831,6 +847,9 @@ impl FdbEngine {
 
     /// Plans and executes `task` on factorised inputs.
     pub fn run(&mut self, task: &JoinAggTask, opts: RunOptions) -> Result<FdbResult> {
+        if !task.grouping_sets.is_empty() {
+            return self.run_grouping_sets(task, opts);
+        }
         let threads = fdb_exec::effective_threads(opts.threads);
         let deadline_at = opts.deadline.map(|d| Instant::now() + d);
         check_deadline(deadline_at, "input assembly")?;
@@ -874,6 +893,31 @@ impl FdbEngine {
                 }
                 AggFunc::Max(a) => {
                     final_funcs.push(AggOp::Max(a));
+                    final_outputs.push(spec.output);
+                    emit.push((EmitCol::Raw(spec.output), spec.output));
+                }
+                AggFunc::CountDistinct(a) => {
+                    final_funcs.push(AggOp::CountDistinct(a));
+                    final_outputs.push(spec.output);
+                    emit.push((EmitCol::Raw(spec.output), spec.output));
+                }
+                AggFunc::Product(a) => {
+                    final_funcs.push(AggOp::Product(a));
+                    final_outputs.push(spec.output);
+                    emit.push((EmitCol::Raw(spec.output), spec.output));
+                }
+                AggFunc::Exists(a, op, c) => {
+                    final_funcs.push(AggOp::Exists(a, op, c));
+                    final_outputs.push(spec.output);
+                    emit.push((EmitCol::Raw(spec.output), spec.output));
+                }
+                AggFunc::Forall(a, op, c) => {
+                    final_funcs.push(AggOp::Forall(a, op, c));
+                    final_outputs.push(spec.output);
+                    emit.push((EmitCol::Raw(spec.output), spec.output));
+                }
+                AggFunc::TopK(a, k) => {
+                    final_funcs.push(AggOp::TopK(a, k));
                     final_outputs.push(spec.output);
                     emit.push((EmitCol::Raw(spec.output), spec.output));
                 }
@@ -1166,6 +1210,8 @@ impl FdbEngine {
                     EnumSpec::group_prefix_ordered(result_rep.ftree(), group_attrs, &tree_keys)
                         .is_ok()
                 }
+                // Built by `run_grouping_sets`, never on this path.
+                ResultKind::Materialised(_) => false,
             };
             if !verified {
                 order_strategy = match task.limit {
@@ -1189,6 +1235,71 @@ impl FdbEngine {
             executor: opts.executor,
             threads,
             deadline_at,
+        })
+    }
+
+    /// GROUPING SETS (and its ROLLUP/CUBE sugar): one factorised run per
+    /// grouping set; each sub-result is enumerated, NULL-padded to the
+    /// full output schema and concatenated in set order. HAVING stays in
+    /// the row filters and ORDER BY/LIMIT execute at enumeration, which
+    /// mirrors the relational twin (`RdbEngine::run_grouping_sets`)
+    /// row-for-row.
+    fn run_grouping_sets(&mut self, task: &JoinAggTask, opts: RunOptions) -> Result<FdbResult> {
+        let threads = fdb_exec::effective_threads(opts.threads);
+        let output_attrs = task.output_attrs();
+        let mut out = Relation::empty(Schema::new(output_attrs.clone()));
+        let mut last: Option<FdbResult> = None;
+        for set in &task.grouping_sets {
+            let sub = JoinAggTask {
+                group_by: set.clone(),
+                grouping_sets: Vec::new(),
+                having: Vec::new(),
+                order_by: Vec::new(),
+                limit: None,
+                ..task.clone()
+            };
+            let result = self.run(&sub, opts)?;
+            let rel = result.to_relation()?;
+            let positions: Vec<Option<usize>> = output_attrs
+                .iter()
+                .map(|&a| rel.schema().position(a))
+                .collect();
+            let mut row_buf: Vec<Value> = Vec::with_capacity(output_attrs.len());
+            for row in rel.rows() {
+                row_buf.clear();
+                for p in &positions {
+                    row_buf.push(match p {
+                        Some(i) => row[*i].clone(),
+                        None => Value::Null,
+                    });
+                }
+                out.push_row(&row_buf);
+            }
+            last = Some(result);
+        }
+        let last = last.ok_or_else(|| {
+            FdbError::Unresolved("GROUPING SETS task carries no grouping sets".into())
+        })?;
+        let order_keys = dedup_sort_keys(&task.order_by);
+        let order_strategy = if order_keys.is_empty() {
+            OrderStrategy::Unordered
+        } else {
+            OrderStrategy::CollectSortCut
+        };
+        Ok(FdbResult {
+            rep: last.rep,
+            kind: ResultKind::Materialised(out),
+            emit: output_attrs.iter().map(|&a| (EmitCol::Raw(a), a)).collect(),
+            output_attrs,
+            order_by: order_keys,
+            order_strategy,
+            row_filters: task.having.clone(),
+            limit: task.limit,
+            plan: last.plan,
+            exec_stats: last.exec_stats,
+            executor: opts.executor,
+            threads,
+            deadline_at: last.deadline_at,
         })
     }
 

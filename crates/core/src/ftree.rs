@@ -16,7 +16,7 @@
 //! f-plan operators can reference nodes before execution.
 
 use crate::error::{FdbError, Result};
-use fdb_relational::{AttrId, Catalog};
+use fdb_relational::{AttrId, Catalog, CmpOp};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
@@ -39,6 +39,17 @@ pub enum AggOp {
     Sum(AttrId),
     Min(AttrId),
     Max(AttrId),
+    /// Number of distinct non-NULL values of the attribute.
+    CountDistinct(AttrId),
+    /// Product of the attribute's non-NULL values (bag semantics); over a
+    /// product of factors it decomposes as `product^count`.
+    Product(AttrId),
+    /// `1` if any non-NULL value satisfies `value θ c`, else `0`.
+    Exists(AttrId, CmpOp, i64),
+    /// `1` if every non-NULL value satisfies `value θ c` (vacuously `1`).
+    Forall(AttrId, CmpOp, i64),
+    /// The `k` largest non-NULL values (bag semantics), descending.
+    TopK(AttrId, usize),
 }
 
 impl AggOp {
@@ -46,8 +57,23 @@ impl AggOp {
     pub fn attr(&self) -> Option<AttrId> {
         match self {
             AggOp::Count => None,
-            AggOp::Sum(a) | AggOp::Min(a) | AggOp::Max(a) => Some(*a),
+            AggOp::Sum(a)
+            | AggOp::Min(a)
+            | AggOp::Max(a)
+            | AggOp::CountDistinct(a)
+            | AggOp::Product(a)
+            | AggOp::Exists(a, _, _)
+            | AggOp::Forall(a, _, _)
+            | AggOp::TopK(a, _) => Some(*a),
         }
+    }
+
+    /// True for aggregates whose result cannot be composed from
+    /// per-subtree partial aggregates: their attribute must stay raw
+    /// (unaggregated) until the final group-level evaluation, so the
+    /// planner never folds it into a partial `γ`.
+    pub fn needs_raw_input(&self) -> bool {
+        matches!(self, AggOp::CountDistinct(_) | AggOp::TopK(..))
     }
 
     /// Human-readable name, e.g. `sum(price)`.
@@ -57,6 +83,15 @@ impl AggOp {
             AggOp::Sum(a) => format!("sum({})", catalog.name(*a)),
             AggOp::Min(a) => format!("min({})", catalog.name(*a)),
             AggOp::Max(a) => format!("max({})", catalog.name(*a)),
+            AggOp::CountDistinct(a) => format!("count(distinct {})", catalog.name(*a)),
+            AggOp::Product(a) => format!("product({})", catalog.name(*a)),
+            AggOp::Exists(a, op, c) => {
+                format!("exists({} {} {c})", catalog.name(*a), op.symbol())
+            }
+            AggOp::Forall(a, op, c) => {
+                format!("forall({} {} {c})", catalog.name(*a), op.symbol())
+            }
+            AggOp::TopK(a, k) => format!("top_k({}, {k})", catalog.name(*a)),
         }
     }
 }

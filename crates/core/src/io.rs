@@ -11,7 +11,9 @@
 //!
 //! ```text
 //! fdbv1 <n_attrs> {s<len>:<name>}            attribute table (local ids)
-//! t <n_nodes> {<parent|-1> (a <k> <ids…> | g <k> {(c|s|m|x) [id]} <over…> <out…>)}
+//! t <n_nodes> {<parent|-1> (a <k> <ids…> | g <k> {op} <over…> <out…>)}
+//! op := c | (s|m|x|d|p) <id> | (e|f) <id> <cmp> <const> | k <id> <k>
+//! cmp := 0..=5                                (=, <>, <, <=, >, >=)
 //! d <n_edges> {<k> <ids…>}                   dependency hyperedges
 //! {union per root}                            data, recursive:
 //!   u <n_entries> {<value> {child unions}}
@@ -21,11 +23,34 @@
 use crate::error::{FdbError, Result};
 use crate::frep::{Arena, FRep, UnionId, UnionRef};
 use crate::ftree::{AggLabel, AggOp, FTree, NodeId, NodeLabel};
-use fdb_relational::{AttrId, Catalog, Value};
+use fdb_relational::{AttrId, Catalog, CmpOp, Value};
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 
 const MAGIC: &str = "fdbv1";
+
+fn cmp_code(op: CmpOp) -> usize {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+fn cmp_from(code: usize) -> Result<CmpOp> {
+    Ok(match code {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Ge,
+        _ => return Err(malformed(format!("unknown comparison code {code}"))),
+    })
+}
 
 fn io_err(e: std::io::Error) -> FdbError {
     FdbError::Unresolved(format!("io error: {e}"))
@@ -110,6 +135,15 @@ pub fn write_frep(rep: &FRep, catalog: &Catalog, mut w: impl Write) -> Result<()
                         AggOp::Sum(a) => write!(w, " s {}", local[a]).map_err(io_err)?,
                         AggOp::Min(a) => write!(w, " m {}", local[a]).map_err(io_err)?,
                         AggOp::Max(a) => write!(w, " x {}", local[a]).map_err(io_err)?,
+                        AggOp::CountDistinct(a) => write!(w, " d {}", local[a]).map_err(io_err)?,
+                        AggOp::Product(a) => write!(w, " p {}", local[a]).map_err(io_err)?,
+                        AggOp::Exists(a, op, c) => {
+                            write!(w, " e {} {} {}", local[a], cmp_code(*op), c).map_err(io_err)?
+                        }
+                        AggOp::Forall(a, op, c) => {
+                            write!(w, " f {} {} {}", local[a], cmp_code(*op), c).map_err(io_err)?
+                        }
+                        AggOp::TopK(a, k) => write!(w, " k {} {}", local[a], k).map_err(io_err)?,
                     }
                 }
                 write!(w, " {}", l.over.len()).map_err(io_err)?;
@@ -331,6 +365,22 @@ pub fn read_frep(r: impl BufRead, catalog: &mut Catalog) -> Result<FRep> {
                         "s" => AggOp::Sum(attr(t.usize()?)?),
                         "m" => AggOp::Min(attr(t.usize()?)?),
                         "x" => AggOp::Max(attr(t.usize()?)?),
+                        "d" => AggOp::CountDistinct(attr(t.usize()?)?),
+                        "p" => AggOp::Product(attr(t.usize()?)?),
+                        "e" => {
+                            let a = attr(t.usize()?)?;
+                            let op = cmp_from(t.usize()?)?;
+                            AggOp::Exists(a, op, t.i64()?)
+                        }
+                        "f" => {
+                            let a = attr(t.usize()?)?;
+                            let op = cmp_from(t.usize()?)?;
+                            AggOp::Forall(a, op, t.i64()?)
+                        }
+                        "k" => {
+                            let a = attr(t.usize()?)?;
+                            AggOp::TopK(a, t.usize()?)
+                        }
                         other => return Err(malformed(format!("unknown agg op `{other}`"))),
                     });
                 }

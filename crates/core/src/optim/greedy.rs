@@ -300,8 +300,10 @@ pub(crate) fn best_aggregate(
     spec: &QuerySpec,
     pending: &[(AttrId, AttrId)],
 ) -> Option<(Option<NodeId>, Vec<NodeId>)> {
-    // Attributes that must survive: group-by, pending selections, and any
-    // order-by attribute still atomic in the tree.
+    // Attributes that must survive: group-by, pending selections, any
+    // order-by attribute still atomic in the tree, and the inputs of
+    // distinct-sensitive final aggregates (count(distinct)/top_k), whose
+    // results cannot be recovered from partial-aggregate singletons.
     let mut blocked: BTreeSet<AttrId> = spec.group_by.iter().copied().collect();
     for &(x, y) in pending {
         blocked.insert(x);
@@ -309,6 +311,11 @@ pub(crate) fn best_aggregate(
     }
     for k in &spec.order_by {
         blocked.insert(k.attr);
+    }
+    for f in &spec.final_funcs {
+        if f.needs_raw_input() {
+            blocked.extend(f.attr());
+        }
     }
     let mut best: Option<(usize, Option<NodeId>, Vec<NodeId>)> = None;
     let mut consider = |parent: Option<NodeId>, siblings: &[NodeId]| {

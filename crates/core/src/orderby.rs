@@ -115,8 +115,12 @@ pub fn plan_consolidation(tree: &FTree, group: &[AttrId]) -> Result<Consolidatio
         .into_iter()
         .filter(|n| !group_nodes.contains(n))
         .collect();
+    // `PlanningFailed`, not `InvalidOperator`: callers fall back to the
+    // grouped (scenario-3) evaluation, which is exact here — with every
+    // node a group node there are no partial aggregates left to gather
+    // (e.g. `GROUP BY` over all attributes with only `COUNT(*)`).
     if value_nodes.is_empty() {
-        return Err(FdbError::InvalidOperator(
+        return Err(FdbError::PlanningFailed(
             "nothing to consolidate: every node is a group node".into(),
         ));
     }

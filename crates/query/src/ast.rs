@@ -40,8 +40,12 @@ pub struct Query {
     pub from: Vec<String>,
     /// WHERE conjuncts.
     pub predicates: Vec<Predicate>,
-    /// GROUP BY attributes.
+    /// GROUP BY attributes (for ROLLUP/CUBE/GROUPING SETS this is the union
+    /// of all sets, in first-appearance order).
     pub group_by: Vec<AttrId>,
+    /// GROUPING SETS: each inner vec is one grouping set (subset of
+    /// `group_by`); empty when the query is a plain GROUP BY.
+    pub grouping_sets: Vec<Vec<AttrId>>,
     /// HAVING conjuncts (over output attributes).
     pub having: Vec<Predicate>,
     /// ORDER BY keys.
@@ -83,6 +87,7 @@ impl Query {
                 predicates: self.predicates.clone(),
                 projection: None,
                 group_by: self.group_by.clone(),
+                grouping_sets: self.grouping_sets.clone(),
                 aggregates: self.aggregates(),
                 having: self.having.clone(),
                 order_by: self.order_by.clone(),
@@ -94,6 +99,7 @@ impl Query {
                 predicates: self.predicates.clone(),
                 projection: Some(self.output_attrs()),
                 group_by: Vec::new(),
+                grouping_sets: Vec::new(),
                 aggregates: Vec::new(),
                 having: self.having.clone(),
                 order_by: self.order_by.clone(),
@@ -129,7 +135,19 @@ impl Query {
             s.push_str(" WHERE ");
             s.push_str(&preds.join(" AND "));
         }
-        if !self.group_by.is_empty() {
+        if !self.grouping_sets.is_empty() {
+            let sets: Vec<String> = self
+                .grouping_sets
+                .iter()
+                .map(|set| {
+                    let g: Vec<&str> = set.iter().map(|&a| catalog.name(a)).collect();
+                    format!("({})", g.join(", "))
+                })
+                .collect();
+            s.push_str(" GROUP BY GROUPING SETS (");
+            s.push_str(&sets.join(", "));
+            s.push(')');
+        } else if !self.group_by.is_empty() {
             let g: Vec<&str> = self.group_by.iter().map(|&a| catalog.name(a)).collect();
             s.push_str(" GROUP BY ");
             s.push_str(&g.join(", "));
@@ -181,6 +199,7 @@ mod tests {
             from: vec!["R".into()],
             predicates: vec![],
             group_by: vec![a],
+            grouping_sets: vec![],
             having: vec![],
             order_by: vec![],
             limit: None,
@@ -203,6 +222,7 @@ mod tests {
             from: vec!["R".into()],
             predicates: vec![],
             group_by: vec![g],
+            grouping_sets: vec![],
             having: vec![],
             order_by: vec![],
             limit: Some(5),

@@ -4,16 +4,27 @@
 //!
 //! ```text
 //! query     := SELECT [DISTINCT] items FROM tables
-//!              [WHERE conj] [GROUP BY attrs] [HAVING conj]
+//!              [WHERE conj] [GROUP BY grouping] [HAVING conj]
 //!              [ORDER BY keys] [LIMIT int] [';']
 //! items     := '*' | item (',' item)*
 //! item      := agg [AS ident] | ident
-//! agg       := (SUM|MIN|MAX|AVG) '(' ident ')' | COUNT '(' ('*'|ident) ')'
+//! agg       := (SUM|MIN|MAX|AVG|PRODUCT) '(' ident ')'
+//!            | COUNT '(' ('*' | [DISTINCT] ident) ')'
+//!            | (EXISTS|FORALL) '(' ident cmp int ')'
+//!            | TOP_K '(' ident ',' int ')'
+//! grouping  := attrs
+//!            | (ROLLUP|CUBE) '(' attrs ')'
+//!            | GROUPING SETS '(' set (',' set)* ')'
+//! set       := '(' [attrs] ')'
 //! tables    := ident ((',' | NATURAL JOIN) ident)*
 //! conj      := cond (AND cond)*
 //! cond      := operand cmp operand        -- at least one side an attribute
 //! keys      := ident [ASC|DESC] (',' ident [ASC|DESC])*
 //! ```
+//!
+//! A bare `SELECT DISTINCT` is a no-op on select-project-join queries (the
+//! engine's projection already deduplicates) but is rejected on aggregate
+//! queries, where silently ignoring it would change results.
 //!
 //! Attribute names are resolved against the natural join of the `FROM`
 //! schemas and interned into the shared catalog; the result is a fully
@@ -130,7 +141,7 @@ impl<'a> Parser<'a> {
 
     fn query(&mut self) -> Result<Query, QueryError> {
         self.expect_keyword("SELECT")?;
-        let _ = self.eat_keyword("DISTINCT"); // set semantics already
+        let distinct = self.eat_keyword("DISTINCT");
 
         // Select items are parsed unresolved first: resolution needs the
         // FROM schemas, which come later in the text.
@@ -140,19 +151,78 @@ impl<'a> Parser<'a> {
         let joined = self.joined_schema(&from)?;
 
         let select = self.resolve_items(raw_items, &joined)?;
+        if distinct && select.iter().any(|i| matches!(i, SelectItem::Agg(_))) {
+            // SPJ projection is set-semantics already, so DISTINCT is only a
+            // no-op there. With aggregates it would have to deduplicate
+            // *inputs*, which the engines do not do — swallowing it silently
+            // returns bag-semantics COUNT/SUM/AVG for a set-semantics query.
+            return Err(QueryError::Invalid(
+                "SELECT DISTINCT cannot be combined with aggregates; \
+                 use COUNT(DISTINCT attr) for distinct counting"
+                    .into(),
+            ));
+        }
 
         let mut predicates = Vec::new();
         if self.eat_keyword("WHERE") {
             predicates = self.conjunction(&joined)?;
         }
         let mut group_by = Vec::new();
+        let mut grouping_sets: Vec<Vec<AttrId>> = Vec::new();
         if self.eat_keyword("GROUP") {
             self.expect_keyword("BY")?;
-            loop {
-                let name = self.ident("group-by attribute")?;
-                group_by.push(self.resolve_attr(&name, &joined)?);
-                if !self.eat_symbol(Sym::Comma) {
-                    break;
+            if self.eat_keyword("ROLLUP") {
+                let attrs = self.paren_attr_list(&joined, false)?;
+                // ROLLUP(a, b) = GROUPING SETS ((a, b), (a), ()).
+                grouping_sets = (0..=attrs.len())
+                    .rev()
+                    .map(|n| attrs[..n].to_vec())
+                    .collect();
+                group_by = attrs;
+            } else if self.eat_keyword("CUBE") {
+                let attrs = self.paren_attr_list(&joined, false)?;
+                if attrs.len() > 10 {
+                    return Err(QueryError::Invalid(
+                        "CUBE over more than 10 attributes (2^n grouping sets)".into(),
+                    ));
+                }
+                // CUBE(a, b) = all subsets, from the full set down to ().
+                let n = attrs.len();
+                grouping_sets = (0..1usize << n)
+                    .rev()
+                    .map(|mask| {
+                        attrs
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| mask & (1 << (n - 1 - i)) != 0)
+                            .map(|(_, &a)| a)
+                            .collect()
+                    })
+                    .collect();
+                group_by = attrs;
+            } else if self.eat_keyword("GROUPING") {
+                self.expect_keyword("SETS")?;
+                self.expect_symbol(Sym::LParen, "`(`")?;
+                loop {
+                    let set = self.paren_attr_list(&joined, true)?;
+                    for &a in &set {
+                        if !group_by.contains(&a) {
+                            group_by.push(a);
+                        }
+                    }
+                    grouping_sets.push(set);
+                    if !self.eat_symbol(Sym::Comma) {
+                        break;
+                    }
+                }
+                self.expect_symbol(Sym::RParen, "`)`")?;
+            } else {
+                loop {
+                    let name = self.ident("group-by attribute")?;
+                    group_by.push(self.resolve_attr(&name, &joined)?);
+                    if !self.eat_symbol(Sym::Comma) {
+                        break;
+                    }
                 }
             }
         }
@@ -200,10 +270,34 @@ impl<'a> Parser<'a> {
             from,
             predicates,
             group_by,
+            grouping_sets,
             having,
             order_by,
             limit,
         })
+    }
+
+    /// Parses a parenthesised attribute list; `allow_empty` permits `()`
+    /// (the grand-total grouping set).
+    fn paren_attr_list(
+        &mut self,
+        joined: &Schema,
+        allow_empty: bool,
+    ) -> Result<Vec<AttrId>, QueryError> {
+        self.expect_symbol(Sym::LParen, "`(`")?;
+        let mut attrs = Vec::new();
+        if allow_empty && self.eat_symbol(Sym::RParen) {
+            return Ok(attrs);
+        }
+        loop {
+            let name = self.ident("grouping attribute")?;
+            attrs.push(self.resolve_attr(&name, joined)?);
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_symbol(Sym::RParen, "`)`")?;
+        Ok(attrs)
     }
 
     fn raw_select_items(&mut self) -> Result<RawItems, QueryError> {
@@ -224,13 +318,7 @@ impl<'a> Parser<'a> {
         if let Some(Token::Keyword(k)) = self.peek() {
             if let Some(kind) = AggKind::from_keyword(k) {
                 self.pos += 1;
-                self.expect_symbol(Sym::LParen, "`(`")?;
-                let arg = if kind == AggKind::Count && self.eat_symbol(Sym::Star) {
-                    None
-                } else {
-                    Some(self.ident("aggregated attribute")?)
-                };
-                self.expect_symbol(Sym::RParen, "`)`")?;
+                let arg = self.agg_args(kind)?;
                 let alias = if self.eat_keyword("AS") {
                     Some(self.ident("alias")?)
                 } else {
@@ -241,6 +329,102 @@ impl<'a> Parser<'a> {
         }
         let name = self.ident("select item")?;
         Ok(RawItem::Attr(name))
+    }
+
+    /// Parses the parenthesised argument list of an aggregate call. Each
+    /// kind owns its shape: `COUNT(*|[DISTINCT] a)`, `EXISTS/FORALL(a θ c)`,
+    /// `TOP_K(a, k)`, everything else `F(a)`.
+    fn agg_args(&mut self, kind: AggKind) -> Result<RawAgg, QueryError> {
+        self.expect_symbol(Sym::LParen, "`(`")?;
+        let arg = match kind {
+            AggKind::Count => {
+                if self.eat_symbol(Sym::Star) {
+                    RawAgg::Star
+                } else if self.eat_keyword("DISTINCT") {
+                    RawAgg::Distinct(self.ident("aggregated attribute")?)
+                } else {
+                    RawAgg::Attr(self.ident("aggregated attribute")?)
+                }
+            }
+            AggKind::Exists | AggKind::Forall => {
+                let attr = self.ident("predicate attribute")?;
+                let op = self.cmp_op()?;
+                let rhs = match self.next() {
+                    Some(Token::Int(n)) => n,
+                    other => {
+                        return Err(QueryError::parse(
+                            self.pos,
+                            format!("EXISTS/FORALL expect an integer constant, found {other:?}"),
+                        ))
+                    }
+                };
+                RawAgg::Pred(attr, op, rhs)
+            }
+            AggKind::TopK => {
+                let attr = self.ident("aggregated attribute")?;
+                self.expect_symbol(Sym::Comma, "`,`")?;
+                let k = match self.next() {
+                    Some(Token::Int(n)) if n >= 1 => n as usize,
+                    other => {
+                        return Err(QueryError::parse(
+                            self.pos,
+                            format!("TOP_K expects a positive integer k, found {other:?}"),
+                        ))
+                    }
+                };
+                RawAgg::TopK(attr, k)
+            }
+            _ => RawAgg::Attr(self.ident("aggregated attribute")?),
+        };
+        self.expect_symbol(Sym::RParen, "`)`")?;
+        Ok(arg)
+    }
+
+    /// Lowers a parsed aggregate call to an [`AggFunc`], resolving its
+    /// attribute. With `joined` the attribute must be in the FROM schema
+    /// (SELECT position); without, catalog existence suffices (HAVING, where
+    /// a match against SELECT is enforced by the caller).
+    fn raw_agg_func(
+        &mut self,
+        kind: AggKind,
+        arg: RawAgg,
+        joined: Option<&Schema>,
+    ) -> Result<AggFunc, QueryError> {
+        let resolve = |p: &mut Self, name: &str| -> Result<AttrId, QueryError> {
+            match joined {
+                Some(j) => p.resolve_attr(name, j),
+                None => p
+                    .catalog
+                    .lookup(name)
+                    .ok_or_else(|| QueryError::Unresolved(format!("attribute `{name}`"))),
+            }
+        };
+        Ok(match (kind, arg) {
+            (AggKind::Count, RawAgg::Star) => AggFunc::Count,
+            // COUNT(a): no NULLs in stored relations, so it equals COUNT(*)
+            // (documented deviation).
+            (AggKind::Count, RawAgg::Attr(name)) => {
+                let _ = resolve(self, &name)?;
+                AggFunc::Count
+            }
+            (AggKind::Count, RawAgg::Distinct(name)) => {
+                AggFunc::CountDistinct(resolve(self, &name)?)
+            }
+            (AggKind::Sum, RawAgg::Attr(name)) => AggFunc::Sum(resolve(self, &name)?),
+            (AggKind::Min, RawAgg::Attr(name)) => AggFunc::Min(resolve(self, &name)?),
+            (AggKind::Max, RawAgg::Attr(name)) => AggFunc::Max(resolve(self, &name)?),
+            (AggKind::Avg, RawAgg::Attr(name)) => AggFunc::Avg(resolve(self, &name)?),
+            (AggKind::Product, RawAgg::Attr(name)) => AggFunc::Product(resolve(self, &name)?),
+            (AggKind::Exists, RawAgg::Pred(name, op, rhs)) => {
+                AggFunc::Exists(resolve(self, &name)?, op, rhs)
+            }
+            (AggKind::Forall, RawAgg::Pred(name, op, rhs)) => {
+                AggFunc::Forall(resolve(self, &name)?, op, rhs)
+            }
+            (AggKind::TopK, RawAgg::TopK(name, k)) => AggFunc::TopK(resolve(self, &name)?, k),
+            // agg_args only produces shapes matching the kind.
+            _ => unreachable!("aggregate argument shape does not match its kind"),
+        })
     }
 
     fn tables(&mut self) -> Result<Vec<String>, QueryError> {
@@ -329,28 +513,7 @@ impl<'a> Parser<'a> {
                 .map(|item| match item {
                     RawItem::Attr(name) => Ok(SelectItem::Attr(self.resolve_attr(&name, joined)?)),
                     RawItem::Agg { kind, arg, alias } => {
-                        let func = match (&kind, arg) {
-                            (AggKind::Count, None) => AggFunc::Count,
-                            // COUNT(a): no NULLs in this data model, so it
-                            // equals COUNT(*) (documented deviation).
-                            (AggKind::Count, Some(name)) => {
-                                let _ = self.resolve_attr(&name, joined)?;
-                                AggFunc::Count
-                            }
-                            (k, Some(name)) => {
-                                let a = self.resolve_attr(&name, joined)?;
-                                match k {
-                                    AggKind::Sum => AggFunc::Sum(a),
-                                    AggKind::Min => AggFunc::Min(a),
-                                    AggKind::Max => AggFunc::Max(a),
-                                    AggKind::Avg => AggFunc::Avg(a),
-                                    AggKind::Count => unreachable!(),
-                                }
-                            }
-                            (_, None) => {
-                                return Err(QueryError::Invalid("only COUNT may take `*`".into()))
-                            }
-                        };
+                        let func = self.raw_agg_func(kind, arg, Some(joined))?;
                         let output = match alias {
                             Some(alias) => self.catalog.intern(&alias),
                             None => {
@@ -418,14 +581,8 @@ impl<'a> Parser<'a> {
         if let Some(Token::Keyword(k)) = self.peek() {
             if let Some(kind) = AggKind::from_keyword(k) {
                 self.pos += 1;
-                self.expect_symbol(Sym::LParen, "`(`")?;
-                let arg = if kind == AggKind::Count && self.eat_symbol(Sym::Star) {
-                    None
-                } else {
-                    Some(self.ident("aggregated attribute")?)
-                };
-                self.expect_symbol(Sym::RParen, "`)`")?;
-                let func = self.kind_to_func(kind, arg)?;
+                let arg = self.agg_args(kind)?;
+                let func = self.raw_agg_func(kind, arg, None)?;
                 let matching = select.iter().find_map(|i| match i {
                     SelectItem::Agg(s) if s.func == func => Some(s.output),
                     _ => None,
@@ -439,26 +596,6 @@ impl<'a> Parser<'a> {
             }
         }
         self.operand()
-    }
-
-    fn kind_to_func(&mut self, kind: AggKind, arg: Option<String>) -> Result<AggFunc, QueryError> {
-        Ok(match (kind, arg) {
-            (AggKind::Count, _) => AggFunc::Count,
-            (k, Some(name)) => {
-                let a = self
-                    .catalog
-                    .lookup(&name)
-                    .ok_or_else(|| QueryError::Unresolved(format!("attribute `{name}`")))?;
-                match k {
-                    AggKind::Sum => AggFunc::Sum(a),
-                    AggKind::Min => AggFunc::Min(a),
-                    AggKind::Max => AggFunc::Max(a),
-                    AggKind::Avg => AggFunc::Avg(a),
-                    AggKind::Count => unreachable!(),
-                }
-            }
-            (_, None) => return Err(QueryError::Invalid("only COUNT may take `*`".into())),
-        })
     }
 
     fn operand(&mut self) -> Result<Operand, QueryError> {
@@ -565,9 +702,23 @@ enum RawItem {
     Attr(String),
     Agg {
         kind: AggKind,
-        arg: Option<String>,
+        arg: RawAgg,
         alias: Option<String>,
     },
+}
+
+/// Unresolved aggregate argument, shaped by [`Parser::agg_args`].
+enum RawAgg {
+    /// `COUNT(*)`.
+    Star,
+    /// `F(a)`.
+    Attr(String),
+    /// `COUNT(DISTINCT a)`.
+    Distinct(String),
+    /// `EXISTS/FORALL(a θ c)`.
+    Pred(String, CmpOp, i64),
+    /// `TOP_K(a, k)`.
+    TopK(String, usize),
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -577,6 +728,10 @@ enum AggKind {
     Min,
     Max,
     Avg,
+    Product,
+    Exists,
+    Forall,
+    TopK,
 }
 
 impl AggKind {
@@ -587,6 +742,10 @@ impl AggKind {
             "MIN" => Some(AggKind::Min),
             "MAX" => Some(AggKind::Max),
             "AVG" => Some(AggKind::Avg),
+            "PRODUCT" => Some(AggKind::Product),
+            "EXISTS" => Some(AggKind::Exists),
+            "FORALL" => Some(AggKind::Forall),
+            "TOP_K" => Some(AggKind::TopK),
             _ => None,
         }
     }
@@ -600,6 +759,11 @@ enum Operand {
 
 /// Semantic checks after parsing.
 fn validate(q: &Query, catalog: &Catalog) -> Result<(), QueryError> {
+    if !q.grouping_sets.is_empty() && !q.is_aggregate() {
+        return Err(QueryError::Invalid(
+            "ROLLUP/CUBE/GROUPING SETS require at least one aggregate".into(),
+        ));
+    }
     if q.is_aggregate() {
         for item in &q.select {
             if let SelectItem::Attr(a) = item {
@@ -799,6 +963,129 @@ mod tests {
         assert_eq!(aggs.len(), 2);
         assert!(matches!(aggs[0].func, AggFunc::Count));
         assert!(matches!(aggs[1].func, AggFunc::Count));
+    }
+
+    #[test]
+    fn parses_new_aggregates() {
+        let (mut c, schemas) = setup();
+        let q = parse(
+            "SELECT customer, COUNT(DISTINCT item) AS kinds, PRODUCT(price) AS p, \
+             EXISTS(price > 10) AS big, FORALL(price >= 0) AS sane, TOP_K(price, 3) AS top \
+             FROM Orders, Packages, Items GROUP BY customer",
+            &mut c,
+            &schemas,
+        )
+        .unwrap();
+        let aggs = q.aggregates();
+        assert_eq!(aggs.len(), 5);
+        assert!(matches!(aggs[0].func, AggFunc::CountDistinct(_)));
+        assert!(matches!(aggs[1].func, AggFunc::Product(_)));
+        assert!(matches!(aggs[2].func, AggFunc::Exists(_, CmpOp::Gt, 10)));
+        assert!(matches!(aggs[3].func, AggFunc::Forall(_, CmpOp::Ge, 0)));
+        assert!(matches!(aggs[4].func, AggFunc::TopK(_, 3)));
+    }
+
+    #[test]
+    fn select_distinct_with_aggregates_is_rejected() {
+        let (mut c, schemas) = setup();
+        let err = parse(
+            "SELECT DISTINCT customer, COUNT(*) AS n FROM Orders GROUP BY customer",
+            &mut c,
+            &schemas,
+        );
+        match err {
+            Err(QueryError::Invalid(msg)) => assert!(msg.contains("COUNT(DISTINCT")),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        // Bare DISTINCT on SPJ queries stays accepted (it is a no-op).
+        assert!(parse("SELECT DISTINCT item FROM Items", &mut c, &schemas).is_ok());
+    }
+
+    #[test]
+    fn top_k_requires_positive_k() {
+        let (mut c, schemas) = setup();
+        let err = parse("SELECT TOP_K(price, 0) AS t FROM Items", &mut c, &schemas);
+        assert!(matches!(err, Err(QueryError::Parse { .. })));
+    }
+
+    #[test]
+    fn rollup_expands_to_prefix_sets() {
+        let (mut c, schemas) = setup();
+        let q = parse(
+            "SELECT customer, date, COUNT(*) AS n FROM Orders \
+             GROUP BY ROLLUP (customer, date)",
+            &mut c,
+            &schemas,
+        )
+        .unwrap();
+        let customer = c.lookup("customer").unwrap();
+        let date = c.lookup("date").unwrap();
+        assert_eq!(q.group_by, vec![customer, date]);
+        assert_eq!(
+            q.grouping_sets,
+            vec![vec![customer, date], vec![customer], vec![]]
+        );
+    }
+
+    #[test]
+    fn cube_expands_to_all_subsets() {
+        let (mut c, schemas) = setup();
+        let q = parse(
+            "SELECT customer, date, SUM(package) AS s FROM Orders \
+             GROUP BY CUBE (customer, date)",
+            &mut c,
+            &schemas,
+        )
+        .unwrap();
+        let customer = c.lookup("customer").unwrap();
+        let date = c.lookup("date").unwrap();
+        assert_eq!(
+            q.grouping_sets,
+            vec![vec![customer, date], vec![customer], vec![date], vec![]]
+        );
+    }
+
+    #[test]
+    fn grouping_sets_with_grand_total() {
+        let (mut c, schemas) = setup();
+        let q = parse(
+            "SELECT customer, date, COUNT(*) AS n FROM Orders \
+             GROUP BY GROUPING SETS ((customer, date), (customer), ())",
+            &mut c,
+            &schemas,
+        )
+        .unwrap();
+        assert_eq!(q.grouping_sets.len(), 3);
+        assert!(q.grouping_sets[2].is_empty());
+        assert_eq!(q.group_by.len(), 2);
+        let task = q.to_task();
+        assert_eq!(task.grouping_sets.len(), 3);
+    }
+
+    #[test]
+    fn grouping_sets_without_aggregates_rejected() {
+        let (mut c, schemas) = setup();
+        let err = parse(
+            "SELECT customer FROM Orders GROUP BY ROLLUP (customer)",
+            &mut c,
+            &schemas,
+        );
+        assert!(matches!(err, Err(QueryError::Invalid(_))));
+    }
+
+    #[test]
+    fn having_inline_new_aggregates_resolve_to_select_outputs() {
+        let (mut c, schemas) = setup();
+        let q = parse(
+            "SELECT customer, COUNT(DISTINCT item) AS kinds FROM Orders, Packages, Items \
+             GROUP BY customer HAVING COUNT(DISTINCT item) > 1",
+            &mut c,
+            &schemas,
+        )
+        .unwrap();
+        assert_eq!(q.having.len(), 1);
+        let kinds = c.lookup("kinds").unwrap();
+        assert!(matches!(q.having[0], Predicate::AttrCmp(a, CmpOp::Gt, _) if a == kinds));
     }
 
     #[test]

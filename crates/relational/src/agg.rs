@@ -7,7 +7,9 @@
 //! matching the `̟G; α←F` notation.
 
 use crate::attr::{AttrId, Catalog};
+use crate::expr::CmpOp;
 use crate::value::{Number, Value};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// A logical aggregation function over one attribute (or none, for `count`).
@@ -23,6 +25,17 @@ pub enum AggFunc {
     Max(AttrId),
     /// Average of the attribute's values; evaluated as `(sum, count)`.
     Avg(AttrId),
+    /// Number of distinct non-NULL values of the attribute.
+    CountDistinct(AttrId),
+    /// Product of the attribute's non-NULL values (bag semantics).
+    Product(AttrId),
+    /// `1` if any non-NULL value satisfies `value θ c`, else `0`.
+    Exists(AttrId, CmpOp, i64),
+    /// `1` if every non-NULL value satisfies `value θ c` (vacuously `1`).
+    Forall(AttrId, CmpOp, i64),
+    /// The `k` largest non-NULL values (bag semantics), descending, as a
+    /// `Tup`; `NULL` when the group has no non-NULL input.
+    TopK(AttrId, usize),
 }
 
 impl AggFunc {
@@ -30,8 +43,24 @@ impl AggFunc {
     pub fn attr(&self) -> Option<AttrId> {
         match self {
             AggFunc::Count => None,
-            AggFunc::Sum(a) | AggFunc::Min(a) | AggFunc::Max(a) | AggFunc::Avg(a) => Some(*a),
+            AggFunc::Sum(a)
+            | AggFunc::Min(a)
+            | AggFunc::Max(a)
+            | AggFunc::Avg(a)
+            | AggFunc::CountDistinct(a)
+            | AggFunc::Product(a)
+            | AggFunc::Exists(a, _, _)
+            | AggFunc::Forall(a, _, _)
+            | AggFunc::TopK(a, _) => Some(*a),
         }
+    }
+
+    /// True for the aggregates whose result depends on *which* distinct
+    /// input values occur, not only on decomposable per-subtree partials
+    /// — the factorised planner must keep their attribute raw until the
+    /// final group-level evaluation.
+    pub fn distinct_sensitive(&self) -> bool {
+        matches!(self, AggFunc::CountDistinct(_) | AggFunc::TopK(..))
     }
 
     /// Renders the function with attribute names from `catalog`.
@@ -50,6 +79,15 @@ impl AggFunc {
             AggFunc::Min(a) => format!("min({})", catalog.name(*a)),
             AggFunc::Max(a) => format!("max({})", catalog.name(*a)),
             AggFunc::Avg(a) => format!("avg({})", catalog.name(*a)),
+            AggFunc::CountDistinct(a) => format!("count(distinct {})", catalog.name(*a)),
+            AggFunc::Product(a) => format!("product({})", catalog.name(*a)),
+            AggFunc::Exists(a, op, c) => {
+                format!("exists({} {} {c})", catalog.name(*a), op.symbol())
+            }
+            AggFunc::Forall(a, op, c) => {
+                format!("forall({} {} {c})", catalog.name(*a), op.symbol())
+            }
+            AggFunc::TopK(a, k) => format!("top_k({}, {k})", catalog.name(*a)),
         }
     }
 }
@@ -91,6 +129,11 @@ pub enum Accumulator {
     Min(Option<Value>),
     Max(Option<Value>),
     Avg { sum: Number, count: u64 },
+    CountDistinct(BTreeSet<Value>),
+    Product(Option<Number>),
+    Exists { op: CmpOp, rhs: i64, found: bool },
+    Forall { op: CmpOp, rhs: i64, ok: bool },
+    TopK { k: usize, vals: Vec<Value> },
 }
 
 impl Accumulator {
@@ -105,13 +148,27 @@ impl Accumulator {
                 sum: Number::ZERO,
                 count: 0,
             },
+            AggFunc::CountDistinct(_) => Accumulator::CountDistinct(BTreeSet::new()),
+            AggFunc::Product(_) => Accumulator::Product(None),
+            AggFunc::Exists(_, op, rhs) => Accumulator::Exists {
+                op,
+                rhs,
+                found: false,
+            },
+            AggFunc::Forall(_, op, rhs) => Accumulator::Forall { op, rhs, ok: true },
+            AggFunc::TopK(_, k) => Accumulator::TopK {
+                k,
+                vals: Vec::new(),
+            },
         }
     }
 
     /// Folds one input value into the accumulator.
     ///
     /// For `count` the value is ignored (every tuple counts once); for the
-    /// others it must be numeric or ordered as required.
+    /// others it must be numeric or ordered as required. The PR-7
+    /// aggregates (`count(distinct …)`, `product`, `exists`/`forall`,
+    /// `top_k`) ignore NULL inputs, matching the PostgreSQL default.
     pub fn update(&mut self, value: Option<&Value>) {
         match self {
             Accumulator::Count(n) => *n += 1,
@@ -138,22 +195,79 @@ impl Accumulator {
                 *sum = sum.add(n);
                 *count += 1;
             }
+            Accumulator::CountDistinct(set) => {
+                let v = value.expect("count(distinct) needs a value");
+                if !v.is_null() && !set.contains(v) {
+                    set.insert(v.clone());
+                }
+            }
+            Accumulator::Product(acc) => {
+                let v = value.expect("product needs a value");
+                if v.is_null() {
+                    return;
+                }
+                let n = v.as_number().expect("product over non-numeric value");
+                *acc = Some(acc.unwrap_or(Number::Int(1)).mul(n));
+            }
+            Accumulator::Exists { op, rhs, found } => {
+                let v = value.expect("exists needs a value");
+                if !v.is_null() && op.eval(v.cmp(&Value::Int(*rhs))) {
+                    *found = true;
+                }
+            }
+            Accumulator::Forall { op, rhs, ok } => {
+                let v = value.expect("forall needs a value");
+                if !v.is_null() && !op.eval(v.cmp(&Value::Int(*rhs))) {
+                    *ok = false;
+                }
+            }
+            Accumulator::TopK { k, vals } => {
+                let v = value.expect("top_k needs a value");
+                if v.is_null() {
+                    return;
+                }
+                vals.push(v.clone());
+                // Keep the buffer bounded: prune to the k largest once it
+                // doubles. Equal values are interchangeable, so pruning
+                // never changes the finished result.
+                if vals.len() >= (2 * *k).max(64) {
+                    vals.sort_by(|a, b| b.cmp(a));
+                    vals.truncate(*k);
+                }
+            }
         }
     }
 
     /// Finalises the accumulator into an output value.
     ///
-    /// Groups are formed from existing tuples, so `min`/`max`/`avg` are never
-    /// finalised empty; this is asserted.
+    /// Value-picking aggregates over groups with no (non-NULL) input
+    /// finish as `NULL`; `exists`/`forall` finish as their identities
+    /// (`0` / vacuous `1`) and `count(distinct …)` as `0`.
     pub fn finish(self) -> Value {
         match self {
             Accumulator::Count(n) => Value::Int(n as i64),
             Accumulator::Sum(acc) => acc.into_value(),
-            Accumulator::Min(m) => m.expect("min over empty group"),
-            Accumulator::Max(m) => m.expect("max over empty group"),
+            Accumulator::Min(m) => m.unwrap_or(Value::Null),
+            Accumulator::Max(m) => m.unwrap_or(Value::Null),
             Accumulator::Avg { sum, count } => {
-                assert!(count > 0, "avg over empty group");
-                Value::Float(sum.to_f64() / count as f64)
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum.to_f64() / count as f64)
+                }
+            }
+            Accumulator::CountDistinct(set) => Value::Int(set.len() as i64),
+            Accumulator::Product(acc) => acc.map(Number::into_value).unwrap_or(Value::Null),
+            Accumulator::Exists { found, .. } => Value::Int(found as i64),
+            Accumulator::Forall { ok, .. } => Value::Int(ok as i64),
+            Accumulator::TopK { k, mut vals } => {
+                vals.sort_by(|a, b| b.cmp(a));
+                vals.truncate(k);
+                if vals.is_empty() {
+                    Value::Null
+                } else {
+                    Value::tup(vals)
+                }
             }
         }
     }
@@ -209,5 +323,111 @@ mod tests {
         assert_eq!(AggFunc::Sum(p).derived_name(&c), "sum(price)");
         assert_eq!(AggFunc::Count.derived_name(&c), "count(*)");
         assert_eq!(AggFunc::Avg(p).display(&c).to_string(), "avg(price)");
+        assert_eq!(
+            AggFunc::CountDistinct(p).derived_name(&c),
+            "count(distinct price)"
+        );
+        assert_eq!(AggFunc::Product(p).derived_name(&c), "product(price)");
+        assert_eq!(
+            AggFunc::Exists(p, CmpOp::Gt, 5).derived_name(&c),
+            "exists(price > 5)"
+        );
+        assert_eq!(
+            AggFunc::Forall(p, CmpOp::Le, 9).derived_name(&c),
+            "forall(price <= 9)"
+        );
+        assert_eq!(AggFunc::TopK(p, 3).derived_name(&c), "top_k(price, 3)");
+    }
+
+    #[test]
+    fn count_distinct_ignores_nulls_and_duplicates() {
+        let mut acc = Accumulator::new(AggFunc::CountDistinct(AttrId(0)));
+        for v in [
+            Value::Int(2),
+            Value::Int(2),
+            Value::Null,
+            Value::Int(7),
+            Value::Int(2),
+        ] {
+            acc.update(Some(&v));
+        }
+        assert_eq!(acc.finish(), Value::Int(2));
+        let empty = Accumulator::new(AggFunc::CountDistinct(AttrId(0)));
+        assert_eq!(empty.finish(), Value::Int(0));
+    }
+
+    #[test]
+    fn product_multiplies_and_is_null_on_empty() {
+        let mut acc = Accumulator::new(AggFunc::Product(AttrId(0)));
+        for v in [Value::Int(2), Value::Null, Value::Int(3), Value::Int(4)] {
+            acc.update(Some(&v));
+        }
+        assert_eq!(acc.finish(), Value::Int(24));
+        let empty = Accumulator::new(AggFunc::Product(AttrId(0)));
+        assert_eq!(empty.finish(), Value::Null);
+    }
+
+    #[test]
+    fn exists_and_forall_booleans() {
+        let a = AttrId(0);
+        let mut ex = Accumulator::new(AggFunc::Exists(a, CmpOp::Gt, 5));
+        let mut fa = Accumulator::new(AggFunc::Forall(a, CmpOp::Gt, 5));
+        for v in [Value::Int(1), Value::Null, Value::Int(9)] {
+            ex.update(Some(&v));
+            fa.update(Some(&v));
+        }
+        assert_eq!(ex.finish(), Value::Int(1));
+        assert_eq!(fa.finish(), Value::Int(0), "1 fails the predicate");
+        // Empty group: exists is 0, forall vacuously 1.
+        assert_eq!(
+            Accumulator::new(AggFunc::Exists(a, CmpOp::Gt, 5)).finish(),
+            Value::Int(0)
+        );
+        assert_eq!(
+            Accumulator::new(AggFunc::Forall(a, CmpOp::Gt, 5)).finish(),
+            Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn top_k_keeps_k_largest_descending() {
+        let mut acc = Accumulator::new(AggFunc::TopK(AttrId(0), 3));
+        for v in [5, 1, 9, 3, 9, 2] {
+            acc.update(Some(&Value::Int(v)));
+        }
+        acc.update(Some(&Value::Null));
+        assert_eq!(
+            acc.finish(),
+            Value::tup(vec![Value::Int(9), Value::Int(9), Value::Int(5)])
+        );
+        // Pruning at scale never changes the result.
+        let mut big = Accumulator::new(AggFunc::TopK(AttrId(0), 2));
+        for v in 0..1000 {
+            big.update(Some(&Value::Int(v % 500)));
+        }
+        assert_eq!(
+            big.finish(),
+            Value::tup(vec![Value::Int(499), Value::Int(499)])
+        );
+        assert_eq!(
+            Accumulator::new(AggFunc::TopK(AttrId(0), 2)).finish(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn empty_value_picking_groups_finish_null() {
+        assert_eq!(
+            Accumulator::new(AggFunc::Min(AttrId(0))).finish(),
+            Value::Null
+        );
+        assert_eq!(
+            Accumulator::new(AggFunc::Max(AttrId(0))).finish(),
+            Value::Null
+        );
+        assert_eq!(
+            Accumulator::new(AggFunc::Avg(AttrId(0))).finish(),
+            Value::Null
+        );
     }
 }

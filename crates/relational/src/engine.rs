@@ -90,8 +90,58 @@ impl RdbEngine {
 
     /// Plans and executes in one step.
     pub fn run(&mut self, task: &JoinAggTask, mode: PlanMode) -> Result<Relation, RelError> {
+        if !task.grouping_sets.is_empty() {
+            return self.run_grouping_sets(task, mode);
+        }
         let plan = self.plan(task, mode)?;
         self.execute(&plan)
+    }
+
+    /// `GROUP BY GROUPING SETS` (and its ROLLUP/CUBE sugar): one
+    /// aggregation per set over the same joined data, missing group
+    /// columns padded with NULL, results concatenated in declared set
+    /// order; HAVING/ORDER BY/LIMIT apply to the combined rows.
+    fn run_grouping_sets(
+        &mut self,
+        task: &JoinAggTask,
+        mode: PlanMode,
+    ) -> Result<Relation, RelError> {
+        let output = task.output_attrs();
+        let out_schema = Schema::new(output.clone());
+        let mut out = Relation::empty(out_schema.clone());
+        for set in &task.grouping_sets {
+            let sub = JoinAggTask {
+                group_by: set.clone(),
+                grouping_sets: Vec::new(),
+                having: Vec::new(),
+                order_by: Vec::new(),
+                limit: None,
+                ..task.clone()
+            };
+            let rel = self.run(&sub, mode)?;
+            let sub_schema = rel.schema().clone();
+            let mut row_buf = Vec::with_capacity(output.len());
+            for row in rel.rows() {
+                row_buf.clear();
+                for &a in &output {
+                    match sub_schema.position(a) {
+                        Some(p) => row_buf.push(row[p].clone()),
+                        None => row_buf.push(crate::value::Value::Null),
+                    }
+                }
+                out.push_row(&row_buf);
+            }
+        }
+        if !task.having.is_empty() {
+            out = crate::ops::select(&out, &task.having);
+        }
+        if !task.order_by.is_empty() {
+            out.sort_by_keys_par(&task.order_by, fdb_exec::effective_threads(self.threads));
+        }
+        if let Some(k) = task.limit {
+            out = crate::ops::limit(&out, k);
+        }
+        Ok(out)
     }
 }
 

@@ -11,7 +11,7 @@ use std::cmp::Ordering;
 use std::fmt;
 
 /// Binary comparison operator `θ`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CmpOp {
     Eq,
     Ne,

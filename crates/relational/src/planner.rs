@@ -42,6 +42,11 @@ pub struct JoinAggTask {
     pub order_by: Vec<SortKey>,
     /// LIMIT k.
     pub limit: Option<usize>,
+    /// `GROUP BY GROUPING SETS` expansion: each set is a subset of
+    /// `group_by`. Empty means plain grouping. When non-empty, the
+    /// engines run one aggregation per set over the same data and pad
+    /// the missing group columns with NULL (ROLLUP/CUBE desugar here).
+    pub grouping_sets: Vec<Vec<AttrId>>,
 }
 
 impl JoinAggTask {
@@ -122,6 +127,11 @@ pub fn naive_plan(
     catalog: &mut Catalog,
     schemas: &HashMap<String, Schema>,
 ) -> Result<RelPlan, RelError> {
+    if !task.grouping_sets.is_empty() {
+        return Err(RelError::Unsupported(
+            "grouping sets are expanded by the engine, not planned directly".into(),
+        ));
+    }
     let ins = resolve_schemas(&task.inputs, schemas)?;
     if ins.is_empty() {
         return Err(RelError::Unsupported("query with no inputs".into()));
@@ -176,6 +186,30 @@ pub fn eager_plan(
             "eager aggregation needs an aggregate query".into(),
         ));
     }
+    if !task.grouping_sets.is_empty() {
+        return Err(RelError::Unsupported(
+            "grouping sets are expanded by the engine, not planned directly".into(),
+        ));
+    }
+    // The PR-7 aggregates do not decompose into Yan–Larson partials:
+    // count(distinct)/top_k are distinct-sensitive, product/exists/forall
+    // would need pow-weighted recombination the baselines don't model.
+    // Callers fall back to the naive plan, whose plain accumulators
+    // handle every AggFunc.
+    if task.aggregates.iter().any(|a| {
+        matches!(
+            a.func,
+            AggFunc::CountDistinct(_)
+                | AggFunc::Product(_)
+                | AggFunc::Exists(..)
+                | AggFunc::Forall(..)
+                | AggFunc::TopK(..)
+        )
+    }) {
+        return Err(RelError::Unsupported(
+            "eager aggregation for distinct/product/boolean/top-k aggregates".into(),
+        ));
+    }
     if task
         .predicates
         .iter()
@@ -226,6 +260,11 @@ pub fn eager_plan(
         let attr = match agg.func {
             AggFunc::Count => continue,
             AggFunc::Sum(a) | AggFunc::Avg(a) | AggFunc::Min(a) | AggFunc::Max(a) => a,
+            AggFunc::CountDistinct(_)
+            | AggFunc::Product(_)
+            | AggFunc::Exists(..)
+            | AggFunc::Forall(..)
+            | AggFunc::TopK(..) => unreachable!("rejected above"),
         };
         let homes: Vec<usize> = ins
             .iter()
@@ -250,7 +289,7 @@ pub fn eager_plan(
             AggFunc::Sum(a) | AggFunc::Avg(a) => AggFunc::Sum(a),
             AggFunc::Min(a) => AggFunc::Min(a),
             AggFunc::Max(a) => AggFunc::Max(a),
-            AggFunc::Count => unreachable!(),
+            _ => unreachable!("other aggregates rejected or skipped above"),
         };
         partial_specs[home].push(AggSpec::new(func, col).into());
         partial_col.insert((qi, home), col);
@@ -375,6 +414,11 @@ fn recombine(
                 .unwrap_or(a);
             PhysAgg::Plain(AggFunc::Max(col))
         }
+        AggFunc::CountDistinct(_)
+        | AggFunc::Product(_)
+        | AggFunc::Exists(..)
+        | AggFunc::Forall(..)
+        | AggFunc::TopK(..) => unreachable!("eager_plan rejects these aggregates"),
     }
 }
 

@@ -232,6 +232,33 @@ impl Number {
         }
     }
 
+    /// Raises the number to a non-negative power.
+    ///
+    /// Integers use wrapping exponentiation by squaring — congruent
+    /// mod 2^64 with the equivalent chain of [`Number::mul`] calls, so
+    /// a factorised `product^count` matches a flat sequential product
+    /// exactly. Floats use `powi`, which may round differently from a
+    /// sequential multiply; float products are documented as
+    /// approximate across engines.
+    pub fn pow(self, exp: u64) -> Number {
+        match self {
+            Number::Int(base) => {
+                let mut acc: i64 = 1;
+                let mut base = base;
+                let mut exp = exp;
+                while exp > 0 {
+                    if exp & 1 == 1 {
+                        acc = acc.wrapping_mul(base);
+                    }
+                    base = base.wrapping_mul(base);
+                    exp >>= 1;
+                }
+                Number::Int(acc)
+            }
+            Number::Float(f) => Number::Float(f.powi(exp.min(i32::MAX as u64) as i32)),
+        }
+    }
+
     /// Lossy float view, used by `avg` and by float-typed accumulations.
     pub fn to_f64(self) -> f64 {
         match self {
@@ -334,6 +361,20 @@ mod tests {
         assert_eq!(Number::Int(2).add(Number::Int(3)), Number::Int(5));
         assert_eq!(Number::Int(2).mul(Number::Float(1.5)), Number::Float(3.0));
         assert_eq!(Number::ZERO.add(Number::Float(1.0)), Number::Float(1.0));
+    }
+
+    #[test]
+    fn pow_matches_sequential_wrapping_product() {
+        for base in [-7i64, 0, 1, 3, 1_000_003] {
+            for exp in [0u64, 1, 2, 5, 17, 64] {
+                let mut seq = Number::Int(1);
+                for _ in 0..exp {
+                    seq = seq.mul(Number::Int(base));
+                }
+                assert_eq!(Number::Int(base).pow(exp), seq, "{base}^{exp}");
+            }
+        }
+        assert_eq!(Number::Float(2.0).pow(10), Number::Float(1024.0));
     }
 
     #[test]

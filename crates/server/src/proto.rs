@@ -100,23 +100,43 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 }
 
 /// Normalises SQL text for plan-cache keying: trims, collapses every
-/// whitespace run to a single space, and drops one trailing `;`.
+/// whitespace run *outside string literals* to a single space, and drops
+/// one trailing `;`.
+///
+/// Whitespace inside single-quoted literals is payload, not layout:
+/// collapsing it would key `SELECT 'a  b'` and `SELECT 'a b'` to the
+/// same cache entry and serve one query's cached plan (and its constant)
+/// for the other. `''` is the quote escape, which this scan handles for
+/// free: it closes and immediately reopens a literal, and neither state
+/// collapses the characters in between.
 ///
 /// Case is preserved — identifiers are case-sensitive, so lowering case
 /// would alias distinct queries.
 pub fn normalise_sql(sql: &str) -> String {
     let mut out = String::with_capacity(sql.len());
+    let mut in_str = false;
     let mut pending_space = false;
-    for part in sql.split_whitespace() {
+    for c in sql.chars() {
+        if !in_str && c.is_whitespace() {
+            pending_space = !out.is_empty();
+            continue;
+        }
         if pending_space {
             out.push(' ');
+            pending_space = false;
         }
-        out.push_str(part);
-        pending_space = true;
+        if c == '\'' {
+            in_str = !in_str;
+        }
+        out.push(c);
     }
-    if let Some(stripped) = out.strip_suffix(';') {
-        let len = stripped.trim_end().len();
-        out.truncate(len);
+    // A trailing `;` is framing, not content — but only outside a
+    // literal (an unterminated string keeps its bytes verbatim).
+    if !in_str {
+        if let Some(stripped) = out.strip_suffix(';') {
+            let len = stripped.trim_end().len();
+            out.truncate(len);
+        }
     }
     out
 }
@@ -268,6 +288,30 @@ mod tests {
             normalise_sql("SELECT x FROM T"),
             normalise_sql("SELECT X FROM T")
         );
+    }
+
+    #[test]
+    fn normalisation_preserves_whitespace_inside_string_literals() {
+        // Regression: collapsing whitespace inside literals keyed
+        // `'a  b'` and `'a b'` identically, poisoning the plan cache.
+        assert_ne!(
+            normalise_sql("SELECT x FROM T WHERE x = 'a  b'"),
+            normalise_sql("SELECT x FROM T WHERE x = 'a b'")
+        );
+        assert_eq!(
+            normalise_sql("SELECT  x\nFROM T  WHERE x = 'a \t b' ;"),
+            "SELECT x FROM T WHERE x = 'a \t b'"
+        );
+        // Tabs/newlines inside a literal survive verbatim.
+        assert_eq!(normalise_sql("QUERY' \n\t '"), "QUERY' \n\t '");
+        // `''` escapes toggle in and out: the run between stays literal.
+        assert_eq!(
+            normalise_sql("SELECT 'it''s  fine'   ;"),
+            "SELECT 'it''s  fine'"
+        );
+        // Semicolons inside (or after an unterminated) literal are kept.
+        assert_eq!(normalise_sql("SELECT ';'"), "SELECT ';'");
+        assert_eq!(normalise_sql("SELECT 'open;"), "SELECT 'open;");
     }
 
     #[test]

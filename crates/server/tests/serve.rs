@@ -4,7 +4,7 @@
 //! hits and clean shutdown.
 
 use fdb::workload::orders::{generate, OrdersConfig};
-use fdb::{Catalog, Db, FdbEngine};
+use fdb::{Catalog, Db, FdbEngine, Relation, Schema, Value};
 use fdb_server::proto::{render_outcome, split_fields};
 use fdb_server::{spawn, Client, ServerOptions};
 use std::time::Duration;
@@ -227,6 +227,54 @@ fn plan_cache_serves_repeats_identically() {
     let stats = c.request("STATS").unwrap().unwrap();
     assert_eq!(stat(&stats, "cache_hits"), "1");
     assert_eq!(stat(&stats, "cache_misses"), "1");
+    c.quit().unwrap();
+    server.shutdown();
+}
+
+/// Regression: the cache key must not collapse whitespace inside string
+/// literals. Before the fix, `normalise_sql` keyed `'a b'` and `'a  b'`
+/// identically, so the second query was served the first query's cached
+/// response — wrong rows, straight off the socket.
+#[test]
+fn cache_keeps_literals_with_different_whitespace_distinct() {
+    let mut catalog = Catalog::new();
+    let name = catalog.intern("name");
+    let qty = catalog.intern("qty");
+    let rel = Relation::from_rows(
+        Schema::new(vec![name, qty]),
+        [("a b", 1i64), ("a  b", 2)]
+            .into_iter()
+            .map(|(n, q)| vec![Value::str(n), Value::Int(q)]),
+    );
+    let mut engine = FdbEngine::new(catalog);
+    engine.register_relation("T", rel);
+    let mut server = spawn(Db::from_engine(engine), "127.0.0.1:0", ServerOptions::new()).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    let one = c
+        .query("SELECT SUM(qty) AS s FROM T WHERE name = 'a b'")
+        .unwrap()
+        .unwrap();
+    assert_eq!(one, vec!["s".to_string(), "1".to_string()]);
+    // Differs only in the literal's internal whitespace — a distinct
+    // query with a distinct answer, not a cache hit on the one above.
+    let two = c
+        .query("SELECT SUM(qty) AS s FROM T WHERE name = 'a  b'")
+        .unwrap()
+        .unwrap();
+    assert_eq!(two, vec!["s".to_string(), "2".to_string()]);
+
+    let stats = c.request("STATS").unwrap().unwrap();
+    assert_eq!(stat(&stats, "cache_hits"), "0");
+    assert_eq!(stat(&stats, "cache_misses"), "2");
+    // Layout whitespace *outside* literals still normalises to a hit.
+    let again = c
+        .query("SELECT  SUM(qty)  AS s FROM T WHERE name = 'a  b' ;")
+        .unwrap()
+        .unwrap();
+    assert_eq!(again, two);
+    let stats = c.request("STATS").unwrap().unwrap();
+    assert_eq!(stat(&stats, "cache_hits"), "1");
     c.quit().unwrap();
     server.shutdown();
 }

@@ -83,6 +83,22 @@ fn corpus() -> Vec<&'static str> {
         "SELECT a, COUNT(*) AS n FROM R, S, T WHERE d < 4 GROUP BY a \
          HAVING n > 1 ORDER BY n, a DESC",
         "SELECT b, AVG(d) AS m FROM S, T GROUP BY b ORDER BY b",
+        // New aggregate surface (distinct/product/boolean/top-k).
+        "SELECT COUNT(DISTINCT b) AS u FROM R",
+        "SELECT a, COUNT(DISTINCT c) AS u FROM R, S GROUP BY a",
+        "SELECT PRODUCT(b) AS p FROM R",
+        "SELECT a, PRODUCT(c) AS p FROM R, S GROUP BY a",
+        "SELECT a, EXISTS(c > 2) AS e, FORALL(c <= 4) AS f FROM R, S GROUP BY a",
+        "SELECT c, EXISTS(a = 0) AS e FROM R, S, T GROUP BY c ORDER BY c DESC",
+        "SELECT b, TOP_K(d, 3) AS t FROM S, T GROUP BY b",
+        "SELECT a, TOP_K(c, 2) AS t FROM R, S GROUP BY a ORDER BY a",
+        "SELECT a, COUNT(DISTINCT d) AS u FROM R, S, T GROUP BY a HAVING u >= 1",
+        // Grouping sets: ROLLUP / CUBE / explicit list. ORDER BY only
+        // where the keys totally order the result (group columns; data
+        // Ints never collide with the padding Nulls).
+        "SELECT a, b, COUNT(*) AS n FROM R GROUP BY ROLLUP (a, b) ORDER BY a, b",
+        "SELECT a, c, SUM(d) AS s FROM R, S, T GROUP BY CUBE (a, c)",
+        "SELECT a, b, SUM(c) AS s FROM R, S GROUP BY GROUPING SETS ((a, b), (b), ())",
     ]
 }
 
@@ -97,7 +113,7 @@ proptest! {
         r in prop::collection::vec((0i64..5, 0i64..5), 0..18),
         s in prop::collection::vec((0i64..5, 0i64..5), 0..18),
         t in prop::collection::vec((0i64..5, 0i64..5), 0..18),
-        picks in prop::collection::vec(0usize..28, 4),
+        picks in prop::collection::vec(0usize..40, 4),
     ) {
         let queries = corpus();
         let mut pair = chain_db(&r, &s, &t);

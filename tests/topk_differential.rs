@@ -293,6 +293,88 @@ fn duplicate_conflicting_direction_keys_honour_first_everywhere() {
     assert_eq!(resorted, reference);
 }
 
+/// `TOP_K(x, k)` per group (the PR-7 aggregate, not the `ORDER BY …
+/// LIMIT` pipeline): every executor × thread count must be byte-identical
+/// to the flat sort-and-truncate reference, twice in a row.
+#[test]
+fn top_k_per_group_matches_sort_and_truncate() {
+    let mut catalog = Catalog::new();
+    let customer = catalog.intern("customer");
+    let order_id = catalog.intern("order_id");
+    let amount = catalog.intern("amount");
+    // Duplicates inside groups, ties across groups, scattered NULLs, and
+    // one group (customer 99) whose amounts are all NULL.
+    let mut rows: Vec<Vec<Value>> = (0..8i64)
+        .flat_map(|c| {
+            (0..5i64).map(move |o| {
+                let a = if (c + o) % 5 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int((c * o * 7) % 13)
+                };
+                vec![Value::Int(c), Value::Int(c * 10 + o), a]
+            })
+        })
+        .collect();
+    for o in 0..3i64 {
+        rows.push(vec![Value::Int(99), Value::Int(990 + o), Value::Null]);
+    }
+    let sales = Relation::from_rows(Schema::new(vec![customer, order_id, amount]), rows.clone());
+    let mut e = FdbEngine::new(catalog);
+    e.register_relation("Sales", sales);
+    let top = e.catalog.intern("top");
+
+    for k in [1usize, 3, 10] {
+        // Flat reference: per group, sort the non-NULL amounts descending
+        // and truncate to k (NULL when nothing survives).
+        let mut expected: Vec<Vec<Value>> = Vec::new();
+        let mut groups: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        groups.sort_unstable();
+        groups.dedup();
+        for c in groups {
+            let mut vals: Vec<Value> = rows
+                .iter()
+                .filter(|r| r[0].as_int() == Some(c) && !r[2].is_null())
+                .map(|r| r[2].clone())
+                .collect();
+            vals.sort_by(|a, b| b.cmp(a));
+            vals.truncate(k);
+            let v = if vals.is_empty() {
+                Value::Null
+            } else {
+                Value::tup(vals)
+            };
+            expected.push(vec![Value::Int(c), v]);
+        }
+        let reference = Relation::from_rows(Schema::new(vec![customer, top]), expected);
+
+        let task = JoinAggTask {
+            inputs: vec!["Sales".into()],
+            group_by: vec![customer],
+            aggregates: vec![AggSpec::new(AggFunc::TopK(amount, k), top)],
+            order_by: vec![SortKey::asc(customer)],
+            ..Default::default()
+        };
+        for executor in [ExecutorMode::Staged, ExecutorMode::PerOp] {
+            for threads in thread_sweep() {
+                let mut run = || {
+                    e.run(&task, RunOptions::new().executor(executor).threads(threads))
+                        .unwrap_or_else(|err| panic!("top_k k={k} {executor:?}/t{threads}: {err}"))
+                        .to_relation()
+                        .unwrap()
+                };
+                let out = run();
+                assert_eq!(
+                    out, reference,
+                    "top_k k={k} {executor:?}/t{threads} vs sort-and-truncate"
+                );
+                // Two-run determinism, byte for byte.
+                assert_eq!(out, run(), "top_k k={k} {executor:?}/t{threads} re-run");
+            }
+        }
+    }
+}
+
 #[test]
 fn heap_memory_is_independent_of_flat_size_and_below_sort() {
     // The acceptance property at engine level: the heap's ordering-side
