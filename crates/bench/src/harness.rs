@@ -163,6 +163,10 @@ struct JsonRow {
     scale: u32,
     query: String,
     engine: String,
+    /// Configuration tag distinguishing otherwise identical rows in one
+    /// file (the threads sweep uses `t1`/`t2`/…); empty = untagged, and
+    /// untagged rows serialise exactly as before the field existed.
+    tag: String,
     seconds: f64,
     note: String,
 }
@@ -189,12 +193,36 @@ impl Emitter {
         seconds: f64,
         note: &str,
     ) {
-        print_row(figure, scale, query, engine, seconds, note);
+        self.row_tagged(figure, scale, query, engine, "", seconds, note);
+    }
+
+    /// [`Emitter::row`] with a configuration tag: tagged rows keep a
+    /// distinct perfgate identity (`crate::perf::PerfRow::key`), so one
+    /// results file can hold the same query at several configurations
+    /// (e.g. a `--threads` sweep) without the rows shadowing each other.
+    #[allow(clippy::too_many_arguments)]
+    pub fn row_tagged(
+        &mut self,
+        figure: &str,
+        scale: u32,
+        query: &str,
+        engine: &str,
+        tag: &str,
+        seconds: f64,
+        note: &str,
+    ) {
+        let note_with_tag = if tag.is_empty() {
+            note.to_string()
+        } else {
+            format!("tag={tag} {note}").trim_end().to_string()
+        };
+        print_row(figure, scale, query, engine, seconds, &note_with_tag);
         self.rows.push(JsonRow {
             figure: figure.to_string(),
             scale,
             query: query.to_string(),
             engine: engine.to_string(),
+            tag: tag.to_string(),
             seconds,
             note: note.to_string(),
         });
@@ -210,14 +238,22 @@ impl Emitter {
         let _ = writeln!(out, "  \"rows\": [");
         for (i, r) in self.rows.iter().enumerate() {
             let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            // Untagged rows omit the field entirely, keeping the format
+            // byte-compatible with baselines recorded before tags.
+            let tag = if r.tag.is_empty() {
+                String::new()
+            } else {
+                format!("\"tag\": \"{}\", ", json_escape(&r.tag))
+            };
             let _ = writeln!(
                 out,
                 "    {{\"figure\": \"{}\", \"scale\": {}, \"query\": \"{}\", \
-                 \"engine\": \"{}\", \"seconds\": {:.6}, \"note\": \"{}\"}}{comma}",
+                 \"engine\": \"{}\", {}\"seconds\": {:.6}, \"note\": \"{}\"}}{comma}",
                 json_escape(&r.figure),
                 r.scale,
                 json_escape(&r.query),
                 json_escape(&r.engine),
+                tag,
                 r.seconds,
                 json_escape(&r.note),
             );
@@ -295,6 +331,17 @@ mod tests {
         assert_eq!(json.matches("\"}},").count(), 0);
         assert_eq!(json.matches("\"}\n").count(), 1);
         assert_eq!(json.matches("\"},\n").count(), 1);
+    }
+
+    #[test]
+    fn tagged_rows_render_tag_field() {
+        let mut e = Emitter::for_tests(4, 3);
+        e.row_tagged("T", 1, "Q1", "FDB", "t4", 0.002, "rows=5");
+        e.row("T", 1, "Q1", "FDB", 0.002, "rows=5");
+        let json = e.to_json();
+        assert!(json.contains("\"tag\": \"t4\""), "{json}");
+        // Untagged rows keep the pre-tag serialisation.
+        assert_eq!(json.matches("\"tag\"").count(), 1, "{json}");
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub struct PerfRow {
     pub scale: u64,
     pub query: String,
     pub engine: String,
+    /// Optional configuration tag (`t1`, `t0`, … in the threads sweep);
+    /// part of the row identity, so one file can gate the same query at
+    /// several configurations. Empty for untagged rows.
+    pub tag: String,
     pub seconds: f64,
     pub note: String,
 }
@@ -30,8 +34,13 @@ pub struct PerfRow {
 impl PerfRow {
     /// The identity a row is matched on across files.
     pub fn key(&self) -> String {
+        let tag = if self.tag.is_empty() {
+            String::new()
+        } else {
+            format!(" tag={}", self.tag)
+        };
         format!(
-            "figure={} scale={} query={} engine={}",
+            "figure={} scale={} query={} engine={}{tag}",
             self.figure, self.scale, self.query, self.engine
         )
     }
@@ -331,6 +340,7 @@ fn parse_row(c: &mut Cursor<'_>) -> Result<PerfRow, String> {
         scale: 0,
         query: String::new(),
         engine: String::new(),
+        tag: String::new(),
         seconds: 0.0,
         note: String::new(),
     };
@@ -342,6 +352,7 @@ fn parse_row(c: &mut Cursor<'_>) -> Result<PerfRow, String> {
             "scale" => row.scale = c.number()? as u64,
             "query" => row.query = c.string()?,
             "engine" => row.engine = c.string()?,
+            "tag" => row.tag = c.string()?,
             "seconds" => row.seconds = c.number()?,
             "note" => row.note = c.string()?,
             other => return Err(format!("unknown row field `{other}`")),
@@ -392,6 +403,25 @@ mod tests {
     }
 
     #[test]
+    fn tagged_rows_round_trip_with_distinct_keys() {
+        let mut e = crate::harness::Emitter::for_tests(1, 3);
+        e.row_tagged("T", 1, "Q1", "FDB", "t1", 0.004, "rows=5");
+        e.row_tagged("T", 1, "Q1", "FDB", "t0", 0.002, "rows=5");
+        let rows = parse_results(&e.to_json()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].tag, "t1");
+        assert_eq!(rows[1].tag, "t0");
+        // The tag is part of the identity: both rows gate independently.
+        assert_ne!(rows[0].key(), rows[1].key());
+        let verdicts = compare(&rows, &rows, &GateConfig::default());
+        assert_eq!(verdicts.len(), 2);
+        assert!(verdicts.iter().all(|v| !v.failed));
+        // A missing tagged row still fails the gate.
+        let verdicts = compare(&rows, &rows[..1], &GateConfig::default());
+        assert!(verdicts.iter().any(|v| v.failed));
+    }
+
+    #[test]
     fn gate_passes_within_ratio() {
         let base = parse_results(&sample()).unwrap();
         let mut cur = base.clone();
@@ -422,6 +452,7 @@ mod tests {
             scale: 1,
             query: "Q1".into(),
             engine: "FDB".into(),
+            tag: String::new(),
             seconds: 0.0002,
             note: String::new(),
         }];
@@ -445,6 +476,7 @@ mod tests {
             scale: 1,
             query: "Q1".into(),
             engine: "FDB f/o".into(),
+            tag: String::new(),
             seconds: 0.002,
             note: note.into(),
         }

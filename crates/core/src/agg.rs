@@ -52,6 +52,60 @@ where
     Ok(terms.into_iter().fold(init, combine))
 }
 
+// ---------------------------------------------------------------------
+// Leaf slice kernels
+// ---------------------------------------------------------------------
+// A leaf atomic union is a plain sorted value vector, and freshly built
+// arenas lay its values out back-to-back in the node's column
+// ([`UnionRef::contiguous_values`]). The aggregates below collapse such
+// unions to tight loops over `&[Value]` — branch-predictable scans over
+// the columnar buffer the arena layout was chosen for — instead of a
+// per-entry cursor walk with a clone and a `Number` dispatch per value.
+// Every kernel is bit-identical to the generic fold it replaces:
+// integer adds wrap (associative, so the loop shape is free to change),
+// and mixed, non-`Int` or non-contiguous buffers fall back to the
+// generic path, preserving result and error identity.
+
+/// True when the union is a leaf of the f-tree with an atomic label:
+/// entries carry multiplicity 1 and no children, so aggregates over it
+/// reduce to scans of the value buffer.
+fn is_atomic_leaf(ftree: &FTree, u: UnionRef<'_>) -> bool {
+    let node = ftree.node(u.node());
+    matches!(node.label, NodeLabel::Atomic(_)) && node.children.is_empty()
+}
+
+/// Wrapping sum when every value is an `Int`; `None` otherwise.
+fn sum_int_slice(vals: &[Value]) -> Option<i64> {
+    if !vals.iter().all(|v| matches!(v, Value::Int(_))) {
+        return None;
+    }
+    let mut acc = 0i64;
+    for v in vals {
+        if let Value::Int(x) = v {
+            acc = acc.wrapping_add(*x);
+        }
+    }
+    Some(acc)
+}
+
+/// Min or max when the slice is non-empty and every value is an `Int`;
+/// `None` otherwise.
+fn extremum_int_slice(vals: &[Value], is_min: bool) -> Option<i64> {
+    if vals.is_empty() || !vals.iter().all(|v| matches!(v, Value::Int(_))) {
+        return None;
+    }
+    let mut best = match vals[0] {
+        Value::Int(x) => x,
+        _ => unreachable!(),
+    };
+    for v in &vals[1..] {
+        if let Value::Int(x) = v {
+            best = if is_min { best.min(*x) } else { best.max(*x) };
+        }
+    }
+    Some(best)
+}
+
 /// True if the subtree rooted at `node` can feed the aggregation `op`:
 /// it exposes the aggregated attribute atomically, or holds a compatible
 /// partial-aggregate component (e.g. `sum(a)` feeding a later `sum(a)`).
@@ -103,6 +157,13 @@ pub fn count_union(ftree: &FTree, u: UnionRef<'_>) -> Result<i64> {
 /// [`count_union`] with the top union's entries partitioned over
 /// `threads` workers; identical result for every thread count.
 pub fn count_union_par(ftree: &FTree, u: UnionRef<'_>, threads: usize) -> Result<i64> {
+    // Leaf atomic union: every entry stands for exactly one tuple, so
+    // the count is the entry count — O(1), and the workhorse of the
+    // sibling-cardinality products in the recursive evaluators below.
+    if is_atomic_leaf(ftree, u) {
+        debug_assert!(u.entries().all(|e| e.child_count() == 0));
+        return Ok(u.len() as i64);
+    }
     let label = &ftree.node(u.node()).label;
     fold_entries(
         threads,
@@ -135,6 +196,14 @@ pub fn sum_union_par(ftree: &FTree, u: UnionRef<'_>, op: &AggOp, threads: usize)
         NodeLabel::Agg(l) => l.component_of(op).is_some(),
     };
     if node_provides {
+        // Leaf providing union: no child cardinalities scale the
+        // values, so an all-`Int` contiguous buffer sums as one slice
+        // scan (wrapping adds — identical to the entry-order fold).
+        if is_atomic_leaf(ftree, u) {
+            if let Some(s) = u.contiguous_values().and_then(sum_int_slice) {
+                return Ok(Number::Int(s));
+            }
+        }
         return fold_entries(
             threads,
             u,
@@ -232,7 +301,21 @@ pub fn extremum_union_par(
         }
         NodeLabel::Agg(l) if l.component_of(op).is_some() => {
             let i = l.component_of(op).unwrap();
-            fold_entries(threads, u, None, |e| Ok(component(l, e.value(), i)), pick)?
+            // Single-component aggregate unions expose the component as
+            // the value itself: an all-`Int` contiguous buffer reduces
+            // with a slice min/max scan (first-wins ties are moot —
+            // equal `Int`s are identical values).
+            let fast = if l.arity() == 1 {
+                u.contiguous_values()
+                    .and_then(|vals| extremum_int_slice(vals, is_min))
+                    .map(Value::Int)
+            } else {
+                None
+            };
+            match fast {
+                Some(v) => Some(v),
+                None => fold_entries(threads, u, None, |e| Ok(component(l, e.value(), i)), pick)?,
+            }
         }
         _ => {
             let children = &ftree.node(u.node()).children;

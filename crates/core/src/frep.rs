@@ -508,6 +508,31 @@ impl<'a> UnionRef<'a> {
         })
     }
 
+    /// The entries' values as one contiguous slice of the node's value
+    /// column, when the entries reference back-to-back column positions
+    /// — true for freshly built unions, whose values are pushed in
+    /// entry order. Rewrites that share or reorder values return
+    /// `None`, and callers fall back to per-entry cursors. The slice is
+    /// what the `fdb_core::agg` leaf kernels iterate.
+    pub fn contiguous_values(&self) -> Option<&'a [Value]> {
+        let rec = self.rec();
+        let n = rec.len as usize;
+        let start = rec.start as usize;
+        let ents = &self.arena.entries[start..start + n];
+        let Some(first) = ents.first() else {
+            return Some(&[]);
+        };
+        let base = first.val as usize;
+        if ents
+            .iter()
+            .enumerate()
+            .any(|(i, e)| e.val as usize != base + i)
+        {
+            return None;
+        }
+        Some(&self.arena.cols[rec.node.0 as usize][base..base + n])
+    }
+
     /// Binary search for an entry by value.
     pub fn find(&self, value: &Value) -> Option<usize> {
         let rec = self.rec();
@@ -1180,7 +1205,10 @@ fn build_union_par(
         );
     }
     let groups: Vec<(Value, Vec<usize>)> = group_rows(rel, col, rows).into_iter().collect();
-    let chunks = fdb_exec::split_chunks(groups, threads);
+    // Morsel-granularity chunks (~4× threads): a giant group occupies
+    // its worker for one small chunk while the rest are stolen, instead
+    // of serialising a whole static 1/threads share behind it.
+    let chunks = fdb_exec::split_morsels(groups, threads);
     /// One worker's output: its private arena plus, per group, the value
     /// and the child union ids within that arena.
     type ChunkBuild = (Arena, Vec<(Value, Vec<UnionId>)>);

@@ -95,7 +95,10 @@ pub fn aggregate_par(
     let new_roots = match target.parent {
         Some(p) => rewrite_at(&tree, &arena, &roots, p, &mut dst, &mut |up, dst| {
             // Evaluate every group against the source arena (possibly in
-            // parallel), then emit the rewritten entries in order.
+            // parallel), then emit the rewritten entries in order. The
+            // pool morselises the group indices (~4× threads chunks
+            // drained work-stealing), so one giant group pins a single
+            // worker while its siblings rebalance across the rest.
             let eval_group = |i: usize, eval_threads: usize| -> Result<Value> {
                 let e = up.entry(i);
                 let unions: Vec<UnionRef<'_>> = positions.iter().map(|&pos| e.child(pos)).collect();

@@ -5,30 +5,51 @@
 //! union (the natural unit of work in a factorised database) and over
 //! row ranges of flat relations.
 //!
+//! Work is scheduled **morsel-driven**: the input is carved into
+//! ~[`MORSELS_PER_WORKER`]`× threads` small contiguous morsels (floor
+//! one), each worker drains its own queue front-to-back and steals from
+//! the back of other workers' queues once it runs dry. A skewed stage —
+//! one giant union entry or group among many cheap ones — therefore
+//! occupies one worker for one morsel while the rest of the input is
+//! stolen and finished by the others, instead of serialising the whole
+//! chunk that contains it.
+//!
 //! Design rules, chosen so that parallel runs are **differentially
 //! testable** against serial runs:
 //!
 //! * `threads <= 1` (or fewer than two items) takes the exact serial
 //!   code path — bit-identical to a build without this crate;
-//! * results are collected **in input order**, never in completion
-//!   order, so a parallel map is a pure `map` regardless of scheduling;
+//! * every morsel writes into a pre-sized slot vector indexed by morsel
+//!   id, and slots are concatenated in morsel order after the pool
+//!   joins — results come back **in input order**, never in completion
+//!   order, so a parallel map is a pure `map` regardless of scheduling
+//!   or stealing;
 //! * fallible maps report the error of the **first failing item in
 //!   input order**, not whichever worker lost the race;
-//! * the thread count only decides which worker computes which slice —
+//! * the thread count only decides which worker computes which morsel —
 //!   it never changes how partial results are combined. Callers that
 //!   fold partials must pick a chunking independent of `threads` if
 //!   their combine step is order-sensitive (see `fdb_core::agg`).
 //!
 //! Worker panics are propagated to the caller (the pool does not
 //! swallow them), so `debug_assert!`s inside parallel sections still
-//! fail tests.
+//! fail tests. A panic mid-morsel cannot deadlock the scheduler:
+//! claiming a morsel never blocks on another worker's progress.
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::sync::{Mutex, MutexGuard};
 
 /// Hard ceiling on spawned workers per parallel call: far above any
 /// useful oversubscription, far below OS thread limits, so an absurd
 /// `--threads` value degrades instead of aborting the process.
 pub const MAX_WORKERS: usize = 256;
+
+/// Morsels carved per worker in a parallel stage. ~4× oversubscription
+/// is the skew-aware sizing rule: fine enough that a single expensive
+/// morsel strands at most `1/(4·threads)` of the input on its worker,
+/// coarse enough that queue traffic stays negligible next to real work.
+pub const MORSELS_PER_WORKER: usize = 4;
 
 /// Resolves a requested thread count: `0` means "use the machine"
 /// ([`std::thread::available_parallelism`]), anything else is taken
@@ -40,6 +61,14 @@ pub fn effective_threads(requested: usize) -> usize {
             .unwrap_or(1),
         n => n.min(MAX_WORKERS),
     }
+}
+
+/// Number of morsels a stage over `items` items should be carved into
+/// for `threads` workers: `MORSELS_PER_WORKER × threads`, floor 1,
+/// never more than the item count.
+pub fn morsel_count(items: usize, threads: usize) -> usize {
+    let workers = threads.clamp(1, MAX_WORKERS);
+    (workers * MORSELS_PER_WORKER).clamp(1, items.max(1))
 }
 
 /// Splits `items` into at most `parts` contiguous chunks of
@@ -64,12 +93,70 @@ pub fn split_chunks<T>(items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
     out
 }
 
+/// Splits `items` into [`morsel_count`] contiguous chunks — the
+/// morsel-granularity counterpart of [`split_chunks`] for callers that
+/// carve their own work units (construction groups, sort runs, hash
+/// partitions) and hand the chunks to [`parallel_map`]. One near-equal
+/// chunk per worker (the legacy static carve) strands a skewed chunk's
+/// siblings behind it; ~4× threads chunks let the scheduler rebalance.
+pub fn split_morsels<T>(items: Vec<T>, threads: usize) -> Vec<Vec<T>> {
+    let parts = morsel_count(items.len(), threads);
+    split_chunks(items, parts)
+}
+
+/// Locks ignoring poisoning: the pool's mutexes guard plain data slots
+/// and are never held across user code, so a panicking sibling worker
+/// leaves them consistent.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Claims the next morsel id for worker `w`: own queue from the front
+/// (keeping each worker on its contiguous, cache-warm input range),
+/// then victims round-robin from `w + 1`, stealing from the **back** so
+/// owner and thief contend on opposite ends of a queue.
+fn claim(w: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
+    if let Some(id) = lock(&queues[w]).pop_front() {
+        return Some(id);
+    }
+    let n = queues.len();
+    for v in 1..n {
+        if let Some(id) = lock(&queues[(w + v) % n]).pop_back() {
+            return Some(id);
+        }
+    }
+    None
+}
+
 /// Maps `f` over `items` on up to `threads` worker threads, returning
 /// the results **in input order**.
 ///
 /// With `threads <= 1` or fewer than two items this is exactly
 /// `items.into_iter().map(f).collect()` on the calling thread.
+/// Otherwise the items are carved into ~[`MORSELS_PER_WORKER`]`×
+/// threads` morsels and drained work-stealing (see the crate docs).
 pub fn parallel_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map_grained(threads, MORSELS_PER_WORKER, items, f)
+}
+
+/// [`parallel_map`] with an explicit morsels-per-worker granularity.
+///
+/// `morsels_per_worker == 1` reproduces the legacy static carve — one
+/// contiguous chunk per worker, so stealing never fires — and is kept
+/// as the A/B baseline for scheduler benchmarks and pathology tests.
+/// All contracts (order preservation, panic propagation, serial path)
+/// are identical regardless of granularity.
+pub fn parallel_map_grained<T, R, F>(
+    threads: usize,
+    morsels_per_worker: usize,
+    items: Vec<T>,
+    f: F,
+) -> Vec<R>
 where
     T: Send,
     R: Send,
@@ -78,19 +165,55 @@ where
     if threads <= 1 || items.len() < 2 {
         return items.into_iter().map(f).collect();
     }
-    let chunks = split_chunks(items, threads.min(MAX_WORKERS));
-    let f = &f;
+    let n_items = items.len();
+    let workers = threads.min(MAX_WORKERS);
+    let parts = (workers * morsels_per_worker.max(1)).clamp(1, n_items);
+    let morsels = split_chunks(items, parts);
+    let n_morsels = morsels.len();
+    let workers = workers.min(n_morsels);
+    // Input chunks are taken (once) by the claiming worker; output slots
+    // are written (once) per morsel. Both are indexed by morsel id, so
+    // concatenating the slots in id order restores input order no
+    // matter which worker ran which morsel.
+    let input: Vec<Mutex<Option<Vec<T>>>> =
+        morsels.into_iter().map(|m| Mutex::new(Some(m))).collect();
+    let output: Vec<Mutex<Option<Vec<R>>>> = (0..n_morsels).map(|_| Mutex::new(None)).collect();
+    // Per-worker deques seeded with contiguous blocks of morsel ids:
+    // each worker starts on its own input range and steals only when
+    // that range is drained.
+    let queues: Vec<Mutex<VecDeque<usize>>> = split_chunks((0..n_morsels).collect(), workers)
+        .into_iter()
+        .map(|ids| Mutex::new(ids.into_iter().collect()))
+        .collect();
+    // split_chunks may produce fewer blocks than workers (ceil-division
+    // rounding); spawn exactly one worker per seeded queue.
+    let workers = queues.len();
+    let (f, input, output_ref, queues) = (&f, &input, &output, &queues);
     std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    while let Some(id) = claim(w, queues) {
+                        let chunk = lock(&input[id]).take().expect("morsel claimed twice");
+                        let done: Vec<R> = chunk.into_iter().map(f).collect();
+                        *lock(&output_ref[id]) = Some(done);
+                    }
+                })
+            })
             .collect();
-        let mut out = Vec::new();
         for h in handles {
-            out.extend(h.join().expect("fdb-exec worker panicked"));
+            h.join().expect("fdb-exec worker panicked");
         }
-        out
-    })
+    });
+    let mut out = Vec::with_capacity(n_items);
+    for slot in output {
+        let done = slot
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .expect("morsel not completed");
+        out.extend(done);
+    }
+    out
 }
 
 /// Fallible [`parallel_map`]: every item is attempted, and on failure
@@ -113,7 +236,11 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Condvar;
+    use std::thread::ThreadId;
+    use std::time::Duration;
 
     #[test]
     fn effective_threads_resolves_zero() {
@@ -130,6 +257,30 @@ mod tests {
                 assert!(chunks.len() <= parts);
                 let flat: Vec<usize> = chunks.into_iter().flatten().collect();
                 assert_eq!(flat, items, "parts={parts} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn morsel_count_sizing_rule() {
+        // ~4× threads morsels, floor 1, never more than the item count.
+        assert_eq!(morsel_count(1000, 4), 16);
+        assert_eq!(morsel_count(1000, 1), 4);
+        assert_eq!(morsel_count(3, 4), 3);
+        assert_eq!(morsel_count(1, 8), 1);
+        assert_eq!(morsel_count(0, 8), 1);
+        assert_eq!(morsel_count(1000, 0), 4); // threads clamped to >= 1
+    }
+
+    #[test]
+    fn split_morsels_covers_all_items_in_order() {
+        for threads in [1, 2, 4] {
+            for n in [0usize, 1, 5, 100] {
+                let items: Vec<usize> = (0..n).collect();
+                let chunks = split_morsels(items.clone(), threads);
+                assert!(chunks.len() <= morsel_count(n, threads));
+                let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+                assert_eq!(flat, items, "threads={threads} n={n}");
             }
         }
     }
@@ -184,10 +335,112 @@ mod tests {
     }
 
     #[test]
+    fn static_grained_map_matches_serial() {
+        // morsels_per_worker == 1 is the legacy one-chunk-per-worker
+        // carve; it must satisfy the same order contract.
+        for threads in [2, 4] {
+            let out = parallel_map_grained(threads, 1, (0..101).collect::<Vec<i64>>(), |x| x * 3);
+            assert_eq!(out, (0..101).map(|x| x * 3).collect::<Vec<i64>>());
+        }
+    }
+
+    /// Skewed workload: one item vastly more expensive than the other
+    /// 63 (here: it *blocks* until the 60 items outside its morsel are
+    /// done, which a static carve can never satisfy — worker 0 would
+    /// hold items 1..16 hostage behind it). Under morsel stealing the
+    /// giant's worker is pinned to exactly its own 4-item morsel while
+    /// the remaining 15 morsels drain on the other workers.
+    #[test]
+    fn skewed_giant_item_load_balances() {
+        const N: usize = 64; // threads=4 × 4 morsels/worker → 16 morsels of 4
+        let outside_giants_morsel = N - 4;
+        let progress = (Mutex::new(0usize), Condvar::new());
+        let count_at_claim = AtomicUsize::new(usize::MAX);
+        let by_thread: Mutex<HashMap<ThreadId, Vec<usize>>> = Mutex::new(HashMap::new());
+        let out = parallel_map(4, (0..N).collect::<Vec<usize>>(), |x| {
+            by_thread
+                .lock()
+                .unwrap()
+                .entry(std::thread::current().id())
+                .or_default()
+                .push(x);
+            if x == 0 {
+                let (count, cv) = &progress;
+                let g = count.lock().unwrap();
+                count_at_claim.store(*g, Ordering::SeqCst);
+                let (_g, timeout) = cv
+                    .wait_timeout_while(g, Duration::from_secs(30), |c| *c < outside_giants_morsel)
+                    .unwrap();
+                assert!(
+                    !timeout.timed_out(),
+                    "giant item starved: siblings were not stolen"
+                );
+            } else {
+                let (count, cv) = &progress;
+                *count.lock().unwrap() += 1;
+                cv.notify_all();
+            }
+            x
+        });
+        assert_eq!(out, (0..N).collect::<Vec<usize>>());
+        let by_thread = by_thread.into_inner().unwrap();
+        // After the giant woke, everything outside its morsel was
+        // already finished elsewhere — its worker runs only the rest of
+        // its own morsel {1,2,3} and finds nothing left to steal.
+        let giants = by_thread
+            .values()
+            .find(|v| v.contains(&0))
+            .expect("item 0 ran");
+        let pos = giants.iter().position(|&v| v == 0).unwrap();
+        assert_eq!(&giants[pos..], &[0, 1, 2, 3]);
+        // If the giant had to wait at all, another worker necessarily
+        // finished the outstanding items for it.
+        if count_at_claim.load(Ordering::SeqCst) < outside_giants_morsel {
+            assert!(by_thread.len() >= 2, "no stealing happened");
+        }
+    }
+
+    /// Stealing must not introduce run-to-run nondeterminism: two
+    /// parallel runs with jittered per-item cost agree with each other
+    /// and with the serial path, bit for bit.
+    #[test]
+    fn two_runs_agree_under_stealing() {
+        let jittered = |x: i64| {
+            // Uneven spin so morsels finish out of order across runs.
+            let spins = (x * x) % 977;
+            let mut acc = x;
+            for i in 0..spins {
+                acc = acc.wrapping_mul(31).wrapping_add(i);
+                std::hint::black_box(acc);
+            }
+            acc
+        };
+        let serial: Vec<i64> = (0..300).map(jittered).collect();
+        let run1 = parallel_map(4, (0..300).collect::<Vec<i64>>(), jittered);
+        let run2 = parallel_map(4, (0..300).collect::<Vec<i64>>(), jittered);
+        assert_eq!(run1, serial);
+        assert_eq!(run2, serial);
+    }
+
+    #[test]
     #[should_panic(expected = "worker panicked")]
     fn worker_panic_propagates() {
         let _ = parallel_map(2, (0..10).collect::<Vec<i32>>(), |x| {
             assert!(x != 5, "boom");
+            x
+        });
+    }
+
+    /// A panic mid-morsel (not at a chunk boundary) propagates and the
+    /// scheduler still drains: the pool joins every worker rather than
+    /// deadlocking on the dead one's queue.
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn panic_mid_morsel_does_not_deadlock() {
+        let done = AtomicUsize::new(0);
+        let _ = parallel_map(4, (0..64).collect::<Vec<i32>>(), |x| {
+            assert!(x != 37, "mid-morsel boom");
+            done.fetch_add(1, Ordering::SeqCst);
             x
         });
     }

@@ -164,9 +164,13 @@ pub fn group_aggregate_par(
                     .iter()
                     .all(|&p| sorted.row(i)[p] == sorted.row(j)[p])
             };
+            // Morsel-count ranges (~4× threads, see fdb-exec): when one
+            // group dominates the table, its range stays pinned to one
+            // worker while the many small ranges rebalance via stealing.
+            let parts = fdb_exec::morsel_count(n, threads);
             let mut bounds: Vec<usize> = vec![0];
-            for t in 1..threads {
-                let mut b = (t * n) / threads;
+            for t in 1..parts {
+                let mut b = (t * n) / parts;
                 let lo = *bounds.last().expect("non-empty");
                 b = b.max(lo);
                 while b < n && b > 0 && same_key(b - 1, b) {
@@ -190,24 +194,27 @@ pub fn group_aggregate_par(
             if threads == 1 {
                 return fold_hash_indices(rel, 0..n, &schema, &group_pos, aggs, &out_schema);
             }
-            // Each worker owns one hash partition of the key space, so a
-            // key is aggregated wholly by one worker (no accumulator
-            // merging, and each key's rows fold in input order exactly
-            // like the serial table). Key hashes are computed once in
-            // parallel, then one serial O(n) pass buckets row indices so
-            // each worker touches only its own rows.
-            let workers = threads as u64;
-            let chunks = fdb_exec::split_chunks((0..n).collect::<Vec<usize>>(), threads);
+            // Each partition of the key space is aggregated wholly by
+            // one worker (no accumulator merging, and each key's rows
+            // fold in input order exactly like the serial table). The
+            // partition count follows the morsel sizing rule (~4×
+            // threads) so a hot key's partition pins one worker while
+            // the other partitions drain via stealing. Key hashes are
+            // computed once in parallel, then one serial O(n) pass
+            // buckets row indices so each worker touches only its own
+            // rows.
+            let partitions = fdb_exec::morsel_count(n, threads);
+            let chunks = fdb_exec::split_morsels((0..n).collect::<Vec<usize>>(), threads);
             let partition_of: Vec<u64> = fdb_exec::parallel_map(threads, chunks, |chunk| {
                 chunk
                     .into_iter()
-                    .map(|i| key_partition(rel.row(i), &group_pos, workers))
+                    .map(|i| key_partition(rel.row(i), &group_pos, partitions as u64))
                     .collect::<Vec<u64>>()
             })
             .into_iter()
             .flatten()
             .collect();
-            let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); threads];
+            let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); partitions];
             for (i, &part) in partition_of.iter().enumerate() {
                 buckets[part as usize].push(i);
             }

@@ -233,10 +233,12 @@ impl Relation {
             index.sort_by(|&i, &j| cmp(i, j));
             index
         } else {
-            // Sort contiguous index chunks in parallel. Each chunk holds
-            // ascending original indices, and `sort_by` is stable, so ties
-            // within a chunk keep input order.
-            let chunks = fdb_exec::split_chunks((0..n).collect(), threads);
+            // Sort contiguous index chunks in parallel, carved at morsel
+            // granularity (~4× threads) so stealing rebalances uneven
+            // comparison costs. Each chunk holds ascending original
+            // indices, and `sort_by` is stable, so ties within a chunk
+            // keep input order.
+            let chunks = fdb_exec::split_morsels((0..n).collect(), threads);
             let mut runs = fdb_exec::parallel_map(threads, chunks, |mut chunk: Vec<usize>| {
                 chunk.sort_by(|&i, &j| cmp(i, j));
                 chunk

@@ -94,10 +94,11 @@ impl ServerOptions {
         ServerOptions::default()
     }
 
-    /// Sets the worker-pool size. `0` means auto: the machine's
-    /// [`fdb_exec::effective_threads`], but never below
-    /// [`DEFAULT_WORKERS`] (workers mostly block on sockets, so
-    /// oversubscribing cores is the right trade).
+    /// Sets the worker-pool size. `0` means auto ([`auto_workers`]):
+    /// twice the machine's parallelism, capped at [`DEFAULT_WORKERS`] —
+    /// workers mostly block on sockets, so modest oversubscription is
+    /// the right trade, but the floor tracks the hardware instead of
+    /// pinning 16 threads onto a 2-core runner.
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers;
         self
@@ -164,6 +165,13 @@ impl ServerHandle {
         self.addr
     }
 
+    /// Number of worker threads actually spawned (after `0` = auto
+    /// resolution via [`auto_workers`]). Drops to 0 once
+    /// [`shutdown`](ServerHandle::shutdown) has joined the pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
     /// Signals shutdown and joins every thread. In-flight requests
     /// finish; idle connections are dropped within one poll interval
     /// (~100 ms). Idempotent.
@@ -185,6 +193,17 @@ impl Drop for ServerHandle {
     }
 }
 
+/// Resolved worker count for `workers == 0` (auto): twice the
+/// machine's parallelism — workers mostly block on sockets, so modest
+/// oversubscription keeps the cores busy — capped at
+/// [`DEFAULT_WORKERS`] and never below the core count itself on bigger
+/// machines. Unlike the old `effective_threads(0).max(16)` rule, a
+/// 2-core CI runner gets 4 workers, not a 16-thread pool.
+pub fn auto_workers() -> usize {
+    let cores = fdb_exec::effective_threads(0);
+    cores.max((2 * cores).min(DEFAULT_WORKERS))
+}
+
 /// Binds `addr` and spawns the accept loop plus the worker pool,
 /// serving queries against `db`. Returns once listening; use
 /// [`ServerHandle::addr`] to learn the bound port when `addr` ends in
@@ -200,7 +219,7 @@ pub fn spawn(
 
     let mut opts = opts;
     if opts.workers == 0 {
-        opts.workers = fdb_exec::effective_threads(0).max(DEFAULT_WORKERS);
+        opts.workers = auto_workers();
     }
 
     let shared = Arc::new(Shared {

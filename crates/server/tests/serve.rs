@@ -306,3 +306,41 @@ fn shutdown_is_clean_with_idle_connections() {
         }
     }
 }
+
+#[test]
+fn auto_worker_count_tracks_available_parallelism() {
+    let mut server = spawn(
+        pizzeria_db(),
+        "127.0.0.1:0",
+        ServerOptions::new().workers(0),
+    )
+    .unwrap();
+    assert_eq!(server.workers(), fdb_server::auto_workers());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // The old rule floored auto at DEFAULT_WORKERS (16) regardless of
+    // hardware; the floor must now track the machine: at most 2× the
+    // available parallelism, and never starving bigger machines.
+    assert!(
+        server.workers() <= 2 * cores,
+        "auto pool ({}) oversubscribes {cores} core(s)",
+        server.workers()
+    );
+    assert!(server.workers() >= cores.min(fdb_server::DEFAULT_WORKERS));
+    // A PING round-trips on the auto-sized pool.
+    let mut c = Client::connect(server.addr()).unwrap();
+    assert_eq!(c.request("PING").unwrap().unwrap(), Vec::<String>::new());
+    c.quit().unwrap();
+    server.shutdown();
+
+    // Explicit counts are taken literally, no floor applied.
+    let mut server = spawn(
+        pizzeria_db(),
+        "127.0.0.1:0",
+        ServerOptions::new().workers(3),
+    )
+    .unwrap();
+    assert_eq!(server.workers(), 3);
+    server.shutdown();
+}
