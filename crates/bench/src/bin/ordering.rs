@@ -29,6 +29,7 @@ fn strategy_tag(s: OrderStrategy) -> &'static str {
     match s {
         OrderStrategy::Unordered => "unordered",
         OrderStrategy::StreamInTree => "stream",
+        OrderStrategy::DirectAccess => "direct",
         OrderStrategy::HeapTopK { .. } => "heap",
         OrderStrategy::CollectSortCut => "sort",
     }

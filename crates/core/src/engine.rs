@@ -88,9 +88,17 @@ pub enum OrderMode {
     ForceStream,
     /// Bounded-heap top-k over the unrestructured factorisation (needs
     /// `ORDER BY` + `LIMIT`; degrades to collect-sort-cut without one).
+    /// With an `OFFSET m` the heap widens to `m + k`.
     ForceHeap,
     /// Always materialise, sort, truncate (the ablation baseline).
     ForceSort,
+    /// Restructure until the order is realised, then *seek* to the
+    /// `OFFSET` via the count annotations and stream the page
+    /// ([`crate::enumerate::DirectCursor`]); degrades like
+    /// `ForceStream` when the order cannot be realised, and to
+    /// sequential streaming when residual row filters make the
+    /// annotated counts unusable.
+    ForceDirect,
 }
 
 /// The physical ordering strategy a result executes — decided at plan
@@ -103,8 +111,15 @@ pub enum OrderStrategy {
     #[default]
     Unordered,
     /// The factorisation realises the order (after any planned swaps):
-    /// enumeration streams sorted, `LIMIT` stops it early (Theorem 2).
+    /// enumeration streams sorted, `LIMIT` stops it early (Theorem 2);
+    /// an `OFFSET` enumerates-and-discards its prefix.
     StreamInTree,
+    /// The factorisation realises the order *and* the result carries
+    /// subtree-count annotations: seek straight to the `OFFSET`-th
+    /// tuple in `O(depth · log fanout)` comparisons, then stream the
+    /// page with constant delay — the skipped prefix is never
+    /// enumerated ([`crate::enumerate::DirectCursor`]).
+    DirectAccess,
     /// Bounded-heap top-k ([`crate::topk`]): one unordered enumeration
     /// pass through a size-`k` heap — `O(k·row)` auxiliary memory,
     /// independent of the flat result size.
@@ -302,6 +317,9 @@ pub struct FdbResult {
     /// into the factorisation as selections).
     row_filters: Vec<Predicate>,
     limit: Option<usize>,
+    /// OFFSET m: rows of the ordered output skipped before the first
+    /// returned row (`0` = none).
+    offset: usize,
     /// The executed f-plan (for EXPLAIN-style introspection).
     plan: crate::plan::FPlan,
     /// Execution report of the f-plan run (stages, intermediate
@@ -419,21 +437,37 @@ impl FdbResult {
                  delay not constant)",
                 self.row_filters.len()
             ),
+            OrderStrategy::DirectAccess => format!(
+                "direct access (offset={}, seeks=d·log f; count-annotated \
+                 seek past the skipped prefix, then constant-delay \
+                 streaming)",
+                self.offset
+            ),
+            OrderStrategy::HeapTopK { k } if self.offset > 0 => format!(
+                "(m+k)-heap (m={}, k={k}; bounded heap of m+k rows over the \
+                 unrestructured enumeration, first m dropped)",
+                self.offset
+            ),
             OrderStrategy::HeapTopK { k } => format!(
                 "heap top-k (k={k}; bounded heap over the unrestructured \
                  enumeration, no full materialisation)"
             ),
             OrderStrategy::CollectSortCut => {
                 "collect-sort-cut (full materialisation, then sort".to_string()
-                    + &match self.limit {
-                        Some(k) => format!(", truncate to {k})"),
-                        None => ")".to_string(),
+                    + &match (self.offset, self.limit) {
+                        (0, Some(k)) => format!(", truncate to {k})"),
+                        (0, None) => ")".to_string(),
+                        (m, Some(k)) => format!(", cut rows {m}..{})", m + k),
+                        (m, None) => format!(", skip {m})"),
                     }
             }
         };
         let _ = writeln!(out, "ordering: {ordering}");
         if let Some(k) = self.limit {
             let _ = writeln!(out, "limit: {k}");
+        }
+        if self.offset > 0 {
+            let _ = writeln!(out, "offset: {}", self.offset);
         }
         if !self.row_filters.is_empty() {
             let _ = writeln!(out, "row filters: {}", self.row_filters.len());
@@ -461,17 +495,48 @@ impl FdbResult {
         };
         match self.order_strategy {
             // Streamed strategies: rows arrive in final order (or no
-            // order was asked for) and LIMIT stops enumeration early.
+            // order was asked for), an OFFSET discards its prefix in
+            // the sink, and LIMIT stops enumeration once the page is
+            // full.
             OrderStrategy::Unordered | OrderStrategy::StreamInTree => {
                 let ordered = matches!(self.order_strategy, OrderStrategy::StreamInTree);
                 let limit = self.limit;
-                self.enumerate_filtered(ordered, &out_schema, &mut |row| {
-                    out.push_row(row);
-                    match limit {
-                        Some(k) => out.len() < k,
-                        None => true,
-                    }
-                })?;
+                let skip = self.offset;
+                let mut seen = 0usize;
+                if limit != Some(0) {
+                    self.enumerate_filtered(ordered, &out_schema, &mut |row| {
+                        seen += 1;
+                        if seen > skip {
+                            out.push_row(row);
+                        }
+                        match limit {
+                            Some(k) => out.len() < k,
+                            None => true,
+                        }
+                    })?;
+                }
+                stats.rows_enumerated = seen;
+            }
+            // The count-annotated seek: the skipped prefix is never
+            // enumerated, so the page costs O(seek + k). Plan-time
+            // verification guarantees an order-realising tuple cursor
+            // and no residual row filters on this path.
+            OrderStrategy::DirectAccess => {
+                debug_assert!(self.row_filters.is_empty());
+                let mut clock = DeadlinePoll::new(self.deadline_at);
+                let spec = EnumSpec::ordered(self.rep.ftree(), &self.order_by)?;
+                let mut cur =
+                    crate::enumerate::DirectCursor::new(&self.rep, &spec, self.offset as u64)?;
+                let raw_attrs = self.raw_attrs();
+                let positions = cur.positions(&raw_attrs)?;
+                let mut buf: Vec<Value> = Vec::with_capacity(self.emit.len());
+                while self.limit.is_none_or(|k| out.len() < k) {
+                    let Some(row) = cur.next_row() else { break };
+                    clock.poll("direct-access enumeration")?;
+                    buf.clear();
+                    self.emit_row(row, &positions, &raw_attrs, &mut buf);
+                    out.push_row(&buf);
+                }
                 stats.rows_enumerated = out.len();
             }
             OrderStrategy::CollectSortCut => {
@@ -484,7 +549,13 @@ impl FdbResult {
                 if !self.order_by.is_empty() {
                     out.sort_by_keys_par(&self.order_by, self.threads);
                 }
+                if self.offset > 0 || self.limit.is_some_and(|k| out.len() > k) {
+                    out = fdb_relational::ops::page(&out, self.offset, self.limit);
+                }
             }
+            // With an OFFSET the heap widens to m+k and the first m of
+            // the sorted pop-out are dropped — still O((m+k)·row)
+            // auxiliary memory, independent of the flat result size.
             OrderStrategy::HeapTopK { k } => {
                 let keys: Vec<(usize, fdb_relational::SortDir)> = self
                     .order_by
@@ -501,21 +572,16 @@ impl FdbResult {
                             })
                     })
                     .collect::<Result<_>>()?;
-                let mut topk = TopK::new(k, keys);
+                let mut topk = TopK::new(self.offset + k, keys);
                 self.enumerate_filtered(false, &out_schema, &mut |row| {
                     topk.push(row);
                     true
                 })?;
                 stats.rows_enumerated = topk.rows_seen();
                 stats.order_bytes = topk.peak_bytes();
-                for row in topk.into_rows() {
-                    out.push_row(&row);
+                for row in topk.into_rows().iter().skip(self.offset) {
+                    out.push_row(row);
                 }
-            }
-        }
-        if let Some(k) = self.limit {
-            if out.len() > k {
-                out = fdb_relational::ops::limit(&out, k);
             }
         }
         Ok((out, stats))
@@ -1082,7 +1148,16 @@ impl FdbEngine {
                     let c = build_candidate(&mut self.catalog, want_consolidate_flat, false)?;
                     (c, OrderStrategy::HeapTopK { k })
                 }
-                (OrderMode::ForceStream, _) | (OrderMode::Auto, None) => {
+                (OrderMode::ForceDirect, _) => {
+                    let c = build_candidate(&mut self.catalog, want_consolidate_stream, true)?;
+                    let s = if c.realised {
+                        OrderStrategy::DirectAccess
+                    } else {
+                        OrderStrategy::CollectSortCut
+                    };
+                    (c, s)
+                }
+                (OrderMode::ForceStream, _) => {
                     let c = build_candidate(&mut self.catalog, want_consolidate_stream, true)?;
                     let s = if c.realised {
                         OrderStrategy::StreamInTree
@@ -1091,7 +1166,16 @@ impl FdbEngine {
                     };
                     (c, s)
                 }
-                (OrderMode::Auto, Some(k)) => {
+                (OrderMode::Auto, None) if task.offset == 0 => {
+                    let c = build_candidate(&mut self.catalog, want_consolidate_stream, true)?;
+                    let s = if c.realised {
+                        OrderStrategy::StreamInTree
+                    } else {
+                        OrderStrategy::CollectSortCut
+                    };
+                    (c, s)
+                }
+                (OrderMode::Auto, k_opt) => {
                     let stream_cand =
                         build_candidate(&mut self.catalog, want_consolidate_stream, true)?;
                     // When no key is realisable and the consolidation
@@ -1119,15 +1203,40 @@ impl FdbEngine {
                             is_aggregate,
                         )
                     };
+                    // The direct seek is priced only when the stream
+                    // plan realises the order on a tuple-cursor result
+                    // shape with no residual row filters — the same
+                    // conditions the post-execution verification
+                    // enforces. d·log f per seek, with d the result
+                    // tree's depth bound (live node count) and the
+                    // per-level fanout bounded by the row estimate.
+                    let direct_seek_cost = (stream_cand.realised
+                        && task.offset > 0
+                        && task.having.is_empty()
+                        && (!is_aggregate || stream_cand.consolidate))
+                        .then(|| {
+                            let mut scratch = rep.ftree().clone();
+                            let d = match stream_cand.plan.simulate(&mut scratch) {
+                                Ok(()) => scratch.live_nodes().len(),
+                                Err(_) => rep.ftree().live_nodes().len(),
+                            };
+                            d.max(1) as f64 * est_rows.max(2.0).log2()
+                        });
                     match choose_order_strategy(&OrderCostInputs {
                         stream_plan_cost,
                         unordered_plan_cost,
                         est_rows,
-                        k: Some(k),
+                        k: k_opt,
+                        offset: task.offset,
+                        direct_seek_cost,
                         row_width,
                     }) {
                         OrderChoice::Stream => (stream_cand, OrderStrategy::StreamInTree),
-                        OrderChoice::Heap => (flat_cand, OrderStrategy::HeapTopK { k }),
+                        OrderChoice::Direct => (stream_cand, OrderStrategy::DirectAccess),
+                        OrderChoice::Heap => {
+                            let k = k_opt.expect("heap choice requires a LIMIT");
+                            (flat_cand, OrderStrategy::HeapTopK { k })
+                        }
                         OrderChoice::Sort => (flat_cand, OrderStrategy::CollectSortCut),
                     }
                 }
@@ -1200,8 +1309,16 @@ impl FdbEngine {
 
         // Verify a streamed order really is realised on the *result*
         // f-tree (defensive: degrade to heap top-k / sort rather than
-        // return wrongly ordered data).
-        if matches!(order_strategy, OrderStrategy::StreamInTree) {
+        // return wrongly ordered data). Direct access additionally
+        // needs a tuple cursor (no grouped on-the-fly evaluation) and
+        // no residual row filters — the count annotations count *all*
+        // tuples, so a filter would make the seek land on the wrong
+        // row; it then degrades to sequential streaming when the order
+        // still holds.
+        if matches!(
+            order_strategy,
+            OrderStrategy::StreamInTree | OrderStrategy::DirectAccess
+        ) {
             let verified = match &kind {
                 ResultKind::Spj | ResultKind::AggConsolidated => {
                     crate::enumerate::supports_order(result_rep.ftree(), &tree_keys)
@@ -1213,11 +1330,21 @@ impl FdbEngine {
                 // Built by `run_grouping_sets`, never on this path.
                 ResultKind::Materialised(_) => false,
             };
-            if !verified {
-                order_strategy = match task.limit {
-                    Some(k) => OrderStrategy::HeapTopK { k },
-                    None => OrderStrategy::CollectSortCut,
-                };
+            let fallback = |limit: Option<usize>| match limit {
+                Some(k) => OrderStrategy::HeapTopK { k },
+                None => OrderStrategy::CollectSortCut,
+            };
+            if matches!(order_strategy, OrderStrategy::DirectAccess) {
+                let tuple_cursor = matches!(kind, ResultKind::Spj | ResultKind::AggConsolidated);
+                if !(verified && tuple_cursor && row_filters.is_empty()) {
+                    order_strategy = if verified {
+                        OrderStrategy::StreamInTree
+                    } else {
+                        fallback(task.limit)
+                    };
+                }
+            } else if !verified {
+                order_strategy = fallback(task.limit);
             }
         }
 
@@ -1230,6 +1357,7 @@ impl FdbEngine {
             order_strategy,
             row_filters,
             limit: task.limit,
+            offset: task.offset,
             plan,
             exec_stats,
             executor: opts.executor,
@@ -1256,6 +1384,7 @@ impl FdbEngine {
                 having: Vec::new(),
                 order_by: Vec::new(),
                 limit: None,
+                offset: 0,
                 ..task.clone()
             };
             let result = self.run(&sub, opts)?;
@@ -1295,6 +1424,7 @@ impl FdbEngine {
             order_strategy,
             row_filters: task.having.clone(),
             limit: task.limit,
+            offset: task.offset,
             plan: last.plan,
             exec_stats: last.exec_stats,
             executor: opts.executor,
@@ -1796,6 +1926,161 @@ mod tests {
         assert!(text.contains("row filter(s)"), "{text}");
         assert!(text.contains("delay not constant"), "{text}");
         assert!(!text.contains("constant-delay streaming"), "{text}");
+    }
+
+    #[test]
+    fn force_direct_seeks_the_offset_page() {
+        // Direct access must return exactly the sort-skip-cut page while
+        // enumerating only the page itself — the skipped prefix is
+        // seeked past, never emitted.
+        let mut e = engine();
+        let package = e.catalog.lookup("package").unwrap();
+        let item = e.catalog.lookup("item").unwrap();
+        let task = JoinAggTask {
+            inputs: vec!["Packages".into(), "Items".into()],
+            projection: Some(vec![item, package]),
+            order_by: vec![SortKey::asc(item), SortKey::asc(package)],
+            limit: Some(3),
+            offset: 2,
+            ..Default::default()
+        };
+        let direct = e
+            .run(&task, RunOptions::new().order(OrderMode::ForceDirect))
+            .unwrap();
+        assert_eq!(direct.order_strategy(), OrderStrategy::DirectAccess);
+        let (rows, stats) = direct.to_relation_counted().unwrap();
+        let reference = e
+            .run(&task, RunOptions::new().order(OrderMode::ForceSort))
+            .unwrap()
+            .to_relation()
+            .unwrap();
+        assert_eq!(rows, reference);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(
+            stats.rows_enumerated, 3,
+            "direct access must not enumerate the skipped prefix"
+        );
+        let text = direct.explain(&e.catalog);
+        assert!(
+            text.contains("direct access (offset=2, seeks=d·log f"),
+            "{text}"
+        );
+        assert!(text.contains("offset: 2"), "{text}");
+        // A past-the-end offset yields an empty page, not an error.
+        let mut deep = task.clone();
+        deep.offset = 10_000;
+        let rel = e
+            .run(&deep, RunOptions::new().order(OrderMode::ForceDirect))
+            .unwrap()
+            .to_relation()
+            .unwrap();
+        assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn offset_widens_the_heap_and_explains_mk() {
+        // ORDER BY revenue DESC LIMIT 1 OFFSET 1 under ForceHeap: the
+        // heap holds m+k rows, the first m are dropped, and the explain
+        // output names the (m+k)-heap — never constant delay.
+        let mut e = engine();
+        let mut task = revenue_task(&mut e);
+        let revenue = e.catalog.lookup("revenue").unwrap();
+        task.order_by = vec![SortKey::desc(revenue)];
+        task.limit = Some(1);
+        task.offset = 1;
+        let heap = e
+            .run(&task, RunOptions::new().order(OrderMode::ForceHeap))
+            .unwrap();
+        assert_eq!(heap.order_strategy(), OrderStrategy::HeapTopK { k: 1 });
+        let (rows, stats) = heap.to_relation_counted().unwrap();
+        let reference = e
+            .run(&task, RunOptions::new().order(OrderMode::ForceSort))
+            .unwrap()
+            .to_relation()
+            .unwrap();
+        assert_eq!(rows, reference);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows.row(0)[1], Value::Int(9));
+        // The heap saw every group, not just the page.
+        assert_eq!(stats.rows_enumerated, 3);
+        let text = heap.explain(&e.catalog);
+        assert!(text.contains("(m+k)-heap (m=1, k=1"), "{text}");
+        assert!(!text.contains("constant-delay"), "{text}");
+    }
+
+    #[test]
+    fn direct_degrades_when_row_filters_or_grouping_block_the_seek() {
+        // Residual row filters make the count annotations unusable (they
+        // count unfiltered tuples): ForceDirect must degrade to
+        // sequential streaming and the explain output must not claim a
+        // seek.
+        let mut e = engine();
+        let mut task = revenue_task(&mut e);
+        let customer = e.catalog.lookup("customer").unwrap();
+        let m = e.catalog.intern("m_direct");
+        task.aggregates.push(AggSpec::new(
+            AggFunc::Avg(e.catalog.lookup("price").unwrap()),
+            m,
+        ));
+        task.order_by = vec![SortKey::asc(customer)];
+        task.having = vec![Predicate::AttrCmp(m, CmpOp::Gt, Value::Float(0.0))];
+        task.offset = 1;
+        let result = e
+            .run(&task, RunOptions::new().order(OrderMode::ForceDirect))
+            .unwrap();
+        assert_eq!(result.order_strategy(), OrderStrategy::StreamInTree);
+        let rows = result.to_relation().unwrap();
+        let reference = e
+            .run(&task, RunOptions::new().order(OrderMode::ForceSort))
+            .unwrap()
+            .to_relation()
+            .unwrap();
+        assert_eq!(rows, reference);
+        assert!(!result.explain(&e.catalog).contains("direct access"));
+        // Grouped on-the-fly evaluation has no tuple cursor either: with
+        // consolidation disabled the seek degrades to the group stream.
+        let mut grouped = revenue_task(&mut e);
+        grouped.order_by = vec![SortKey::asc(customer)];
+        grouped.offset = 1;
+        let result = e
+            .run(
+                &grouped,
+                RunOptions::new()
+                    .order(OrderMode::ForceDirect)
+                    .consolidate(ConsolidateMode::Never),
+            )
+            .unwrap();
+        assert_eq!(result.order_strategy(), OrderStrategy::StreamInTree);
+        let rows = result.to_relation().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.is_sorted_by(&[SortKey::asc(customer)]));
+    }
+
+    #[test]
+    fn auto_prices_offset_pages_and_stays_correct() {
+        // Auto with OFFSET (with and without LIMIT) must return the
+        // sort-skip-cut page whatever strategy the cost model picks.
+        let mut e = engine();
+        let package = e.catalog.lookup("package").unwrap();
+        let item = e.catalog.lookup("item").unwrap();
+        for (limit, offset) in [(Some(2), 3), (None, 3), (Some(2), 0), (None, 10_000)] {
+            let task = JoinAggTask {
+                inputs: vec!["Packages".into(), "Items".into()],
+                projection: Some(vec![item, package]),
+                order_by: vec![SortKey::asc(item), SortKey::asc(package)],
+                limit,
+                offset,
+                ..Default::default()
+            };
+            let auto = e.run_default(&task).unwrap();
+            let rows = auto.to_relation().unwrap();
+            let reference = e
+                .run(&task, RunOptions::new().order(OrderMode::ForceSort))
+                .unwrap()
+                .to_relation()
+                .unwrap();
+            assert_eq!(rows, reference, "limit {limit:?} offset {offset}");
+        }
     }
 
     #[test]

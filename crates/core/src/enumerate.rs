@@ -18,7 +18,7 @@
 //!   aggregates on the fly (scenario 3 of the introduction).
 
 use crate::error::{FdbError, Result};
-use crate::frep::{EntryRef, FRep, UnionId, UnionRef};
+use crate::frep::{CountIndex, EntryRef, FRep, UnionId, UnionRef};
 use crate::ftree::{FTree, NodeId, NodeLabel};
 use fdb_relational::{AttrId, SortDir, SortKey, Value};
 
@@ -332,6 +332,94 @@ impl<'a> Odometer<'a> {
             }
         }
     }
+
+    /// Positions the odometer *directly on* the `skip`-th combination
+    /// (0-based) of the enumeration order, without stepping through the
+    /// skipped prefix. Returns `false` when `skip` is past the end.
+    ///
+    /// The walk follows the visit sequence once. After the first `i`
+    /// positions are chosen, the tuples sharing those choices factorise
+    /// as the product of the subtree tuple counts of the *dangling*
+    /// unions — unions whose parent entry is already chosen but which
+    /// have not been entered (the visit sequence is parent-first, so the
+    /// unvisited positions partition into exactly those subtrees, even
+    /// when sort-key nodes interleave subtrees). At each position the
+    /// entry containing the target index is found by binary-searching
+    /// the union's count prefix sums scaled by the product of the other
+    /// dangling totals: O(depth · log fanout) union-entry probes total.
+    fn seek_to(&mut self, skip: u64, counts: &CountIndex) -> bool {
+        debug_assert!(!self.started);
+        self.started = true;
+        if self.rep.is_empty() {
+            self.done = true;
+            return false;
+        }
+        let total: u128 = self
+            .rep
+            .root_ids()
+            .iter()
+            .map(|&r| counts.total(r) as u128)
+            .fold(1u128, u128::saturating_mul);
+        if skip as u128 >= total {
+            self.done = true;
+            return false;
+        }
+        let mut remaining = skip as u128;
+        // Dangling unions, in no particular order (the product below is
+        // order-free). Bounded by the f-tree width: O(depth) long.
+        let mut dangling: Vec<UnionId> = self.rep.root_ids().to_vec();
+        let arena = self.rep.arena_ref();
+        for i in 0..self.visit.len() {
+            let u: UnionId = match self.slots[i] {
+                Slot::Root(r) => self.rep.root_ids()[r],
+                Slot::Inner {
+                    parent_visit,
+                    child_pos,
+                } => self.entry(parent_visit).child_id(child_pos),
+            };
+            self.unions[i] = Some(u);
+            let pos = dangling
+                .iter()
+                .position(|&d| d == u)
+                .expect("visited union dangles off a chosen entry");
+            dangling.swap_remove(pos);
+            // Tuples per single entry choice here, besides the entry's
+            // own subtree: the product of the other dangling totals.
+            let rest: u128 = dangling
+                .iter()
+                .map(|&d| counts.total(d) as u128)
+                .fold(1u128, u128::saturating_mul);
+            let rec = arena.urec(u);
+            let dir = self.dirs[i];
+            let len = rec.len as usize;
+            debug_assert!(len > 0, "inner unions are never empty");
+            // Largest logical l with cum_before(l)·rest ≤ remaining.
+            // Saturated products exceed any remaining < 2^64, so they
+            // compare on the correct side.
+            let (mut lo, mut hi) = (0usize, len - 1);
+            while lo < hi {
+                let mid = (lo + hi).div_ceil(2);
+                let before = (counts.cum_before(rec, mid, dir) as u128).saturating_mul(rest);
+                if before <= remaining {
+                    lo = mid;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            self.idxs[i] = lo;
+            remaining -= (counts.cum_before(rec, lo, dir) as u128).saturating_mul(rest);
+            debug_assert!(
+                remaining < (counts.entry_count_at(rec, self.phys(i)) as u128).saturating_mul(rest)
+            );
+            let e = self.entry(i);
+            for k in 0..e.child_count() {
+                dangling.push(e.child_id(k));
+            }
+        }
+        debug_assert_eq!(remaining, 0, "seek must land exactly on the target");
+        debug_assert!(dangling.is_empty(), "full visit enters every union");
+        true
+    }
 }
 
 /// Constant-delay tuple enumeration following an [`EnumSpec`].
@@ -375,11 +463,7 @@ impl<'a> TupleIter<'a> {
         if !self.odo.step() {
             return None;
         }
-        for i in 0..self.odo.visit.len() {
-            let e = self.odo.entry(i);
-            let label = &self.odo.rep.ftree().node(self.odo.visit[i]).label;
-            write_entry_values(label, e.value(), &mut self.row[self.offsets[i]..]);
-        }
+        write_current_row(&self.odo, &self.offsets, &mut self.row);
         Some(&self.row)
     }
 
@@ -420,6 +504,94 @@ impl<'a> TupleIter<'a> {
             n += 1;
         }
         Ok(out)
+    }
+}
+
+/// Writes the odometer's current combination into `row` (layout per the
+/// visit-order offsets).
+fn write_current_row(odo: &Odometer<'_>, offsets: &[usize], row: &mut [Value]) {
+    for i in 0..odo.visit.len() {
+        let e = odo.entry(i);
+        let label = &odo.rep.ftree().node(odo.visit[i]).label;
+        write_entry_values(label, e.value(), &mut row[offsets[i]..]);
+    }
+}
+
+/// Direct ordered access: a cursor that *seeks* to the `skip`-th tuple
+/// of the enumeration order realised by an [`EnumSpec`] — binary
+/// searches over the [`FRep`]'s memoised subtree-count annotations, no
+/// enumeration of the skipped prefix — then streams forward with the
+/// constant-delay odometer.
+///
+/// This is the engine's `OFFSET m` fast path: where every sequential
+/// strategy pays Ω(m + k) enumeration (or a full sort), the seek costs
+/// O(depth · log fanout) and the stream then emits exactly the k
+/// requested rows. The first `next_row` yields the seeked-to tuple
+/// itself; subsequent calls continue in order.
+pub struct DirectCursor<'a> {
+    odo: Odometer<'a>,
+    offsets: Vec<usize>,
+    row: Vec<Value>,
+    /// The seeked-to combination is pending emission (the odometer is
+    /// parked *on* it, not before it).
+    primed: bool,
+}
+
+impl<'a> DirectCursor<'a> {
+    /// Seeks `rep` to the `skip`-th tuple of `spec`'s order. Builds (or
+    /// reuses) the representation's count annotations. A `skip` at or
+    /// past the end yields an exhausted cursor, not an error.
+    pub fn new(rep: &'a FRep, spec: &EnumSpec, skip: u64) -> Result<Self> {
+        let mut odo = Odometer::new(rep, spec)?;
+        let counts = rep.count_index().clone();
+        let primed = odo.seek_to(skip, &counts);
+        let mut offsets = Vec::with_capacity(spec.visit.len());
+        let mut width = 0;
+        for &n in &spec.visit {
+            offsets.push(width);
+            width += rep.ftree().node(n).label.exposed_attrs().len();
+        }
+        Ok(DirectCursor {
+            odo,
+            offsets,
+            row: vec![Value::Int(0); width],
+            primed,
+        })
+    }
+
+    /// Output attributes in visit order (same layout as [`TupleIter`]).
+    pub fn schema(&self) -> Vec<AttrId> {
+        self.odo
+            .visit
+            .iter()
+            .flat_map(|&n| self.odo.rep.ftree().node(n).label.exposed_attrs())
+            .collect()
+    }
+
+    /// Column positions of `attrs` within [`DirectCursor::schema`].
+    pub fn positions(&self, attrs: &[AttrId]) -> Result<Vec<usize>> {
+        let schema = self.schema();
+        attrs
+            .iter()
+            .map(|a| {
+                schema
+                    .iter()
+                    .position(|x| x == a)
+                    .ok_or_else(|| FdbError::Unresolved(format!("attribute {a} not enumerated")))
+            })
+            .collect()
+    }
+
+    /// Next tuple, or `None` when exhausted. The first call returns the
+    /// seeked-to tuple.
+    pub fn next_row(&mut self) -> Option<&[Value]> {
+        if self.primed {
+            self.primed = false;
+        } else if !self.odo.step() {
+            return None;
+        }
+        write_current_row(&self.odo, &self.offsets, &mut self.row);
+        Some(&self.row)
     }
 }
 
@@ -821,5 +993,108 @@ mod tests {
             n_groups += 1;
         }
         assert_eq!(n_groups, 2);
+    }
+
+    /// Reference: enumerate with the plain odometer and skip `m` rows.
+    fn skip_enumerate(rep: &FRep, spec: &EnumSpec, skip: usize) -> Vec<Vec<Value>> {
+        let mut it = TupleIter::new(rep, spec).unwrap();
+        let mut rows = Vec::new();
+        let mut i = 0;
+        while let Some(r) = it.next_row() {
+            if i >= skip {
+                rows.push(r.to_vec());
+            }
+            i += 1;
+        }
+        rows
+    }
+
+    fn direct_enumerate(rep: &FRep, spec: &EnumSpec, skip: u64) -> Vec<Vec<Value>> {
+        let mut cur = DirectCursor::new(rep, spec, skip).unwrap();
+        let mut rows = Vec::new();
+        while let Some(r) = cur.next_row() {
+            rows.push(r.to_vec());
+        }
+        rows
+    }
+
+    #[test]
+    fn direct_cursor_matches_skip_enumeration_at_every_offset() {
+        let (c, rep) = t1_rep();
+        let a = |n: &str| c.lookup(n).unwrap();
+        let key_sets: Vec<Vec<SortKey>> = vec![
+            vec![SortKey::asc(a("pizza"))],
+            vec![SortKey::asc(a("pizza")), SortKey::asc(a("date"))],
+            vec![SortKey::desc(a("pizza")), SortKey::desc(a("date"))],
+            vec![
+                SortKey::asc(a("pizza")),
+                SortKey::desc(a("item")),
+                SortKey::asc(a("date")),
+            ],
+        ];
+        for keys in key_sets {
+            let spec = EnumSpec::ordered(rep.ftree(), &keys).unwrap();
+            let total = rep.tuple_count();
+            for skip in 0..=total + 2 {
+                let want = skip_enumerate(&rep, &spec, skip);
+                let got = direct_enumerate(&rep, &spec, skip as u64);
+                assert_eq!(got, want, "keys {keys:?} skip {skip}");
+            }
+        }
+    }
+
+    #[test]
+    fn direct_cursor_schema_matches_tuple_iter() {
+        let (c, rep) = t1_rep();
+        let a = |n: &str| c.lookup(n).unwrap();
+        let keys = vec![SortKey::asc(a("pizza"))];
+        let spec = EnumSpec::ordered(rep.ftree(), &keys).unwrap();
+        let it = TupleIter::new(&rep, &spec).unwrap();
+        let cur = DirectCursor::new(&rep, &spec, 0).unwrap();
+        assert_eq!(it.schema(), cur.schema());
+        assert_eq!(
+            it.positions(&[a("price"), a("pizza")]).unwrap(),
+            cur.positions(&[a("price"), a("pizza")]).unwrap()
+        );
+    }
+
+    #[test]
+    fn direct_cursor_on_empty_rep_is_exhausted() {
+        let mut c = Catalog::new();
+        let x = c.intern("x");
+        let rel = Relation::empty(Schema::new(vec![x]));
+        let rep = FRep::from_relation(&rel, crate::ftree::FTree::path(&[x])).unwrap();
+        let spec = EnumSpec::ordered(rep.ftree(), &[SortKey::asc(x)]).unwrap();
+        let mut cur = DirectCursor::new(&rep, &spec, 0).unwrap();
+        assert!(cur.next_row().is_none());
+    }
+
+    #[test]
+    fn direct_cursor_over_product_forest() {
+        // Two free roots (a cartesian product): seeks must distribute the
+        // offset across both root unions.
+        let mut c = Catalog::new();
+        let g = c.intern("g");
+        let w = c.intern("w");
+        let rel_g = Relation::from_rows(
+            Schema::new(vec![g]),
+            [1, 2, 3].into_iter().map(|v| vec![Value::Int(v)]),
+        );
+        let rel_w = Relation::from_rows(
+            Schema::new(vec![w]),
+            [10, 20].into_iter().map(|v| vec![Value::Int(v)]),
+        );
+        let rep_g =
+            crate::frep::FRep::from_relation(&rel_g, crate::ftree::FTree::path(&[g])).unwrap();
+        let rep_w =
+            crate::frep::FRep::from_relation(&rel_w, crate::ftree::FTree::path(&[w])).unwrap();
+        let rep = crate::ops::product(rep_g, rep_w);
+        let keys = vec![SortKey::asc(g), SortKey::desc(w)];
+        let spec = EnumSpec::ordered(rep.ftree(), &keys).unwrap();
+        for skip in 0..=7 {
+            let want = skip_enumerate(&rep, &spec, skip);
+            let got = direct_enumerate(&rep, &spec, skip as u64);
+            assert_eq!(got, want, "skip {skip}");
+        }
     }
 }

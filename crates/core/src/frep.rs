@@ -43,6 +43,7 @@ use crate::ftree::{FTree, NodeId, NodeLabel};
 use fdb_relational::{AttrId, Catalog, Relation, Schema, Value};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::{Arc, OnceLock};
 
 // ---------------------------------------------------------------------
 // Arena storage
@@ -453,6 +454,144 @@ fn value_heap_bytes(v: &Value) -> usize {
 }
 
 // ---------------------------------------------------------------------
+// Count annotations (direct ordered access)
+// ---------------------------------------------------------------------
+
+/// Per-entry subtree tuple counts — the annotated-access layer that makes
+/// the i-th tuple of a sort-order-realising f-tree reachable without
+/// enumerating past it (direct access in the sense of Eldar, Carmeli &
+/// Kimelfeld).
+///
+/// Layout: two parallel columnar buffers keyed by the arena's absolute
+/// indices. `entry_prefix[e]` is the *inclusive* prefix sum, within the
+/// owning union's entry range, of subtree tuple counts (the number of
+/// tuples an entry's subtree represents = the product of its child-union
+/// totals; a leaf entry counts 1). `union_total[u]` is the sum over the
+/// union's entries — the tuple count of the whole subtree hanging off
+/// that union.
+///
+/// Built in one bottom-up pass over the unions reachable from the roots,
+/// memoised per [`UnionId`] so DAG-shared fragments are counted once and
+/// share their annotation (unreachable garbage records keep count 0).
+/// Counts saturate at `u64::MAX`; a saturated representation has more
+/// tuples than any addressable offset, so seeks still terminate (they
+/// simply stay inside the first astronomically-large block).
+#[derive(Debug)]
+pub(crate) struct CountIndex {
+    entry_prefix: Vec<u64>,
+    union_total: Vec<u64>,
+}
+
+impl CountIndex {
+    /// Tuple count of the subtree hanging off union `u`.
+    pub(crate) fn total(&self, u: UnionId) -> u64 {
+        self.union_total[u.0 as usize]
+    }
+
+    /// Inclusive prefix sum at absolute entry index `e` (within the
+    /// owning union's entry range, in physical = ascending-value order).
+    pub(crate) fn prefix_incl(&self, e: u32) -> u64 {
+        self.entry_prefix[e as usize]
+    }
+
+    /// Number of tuples enumerated before logical position `l` of a
+    /// union (direction-aware: `Desc` walks the physical entries
+    /// backwards, so the cumulative count counts from the high end).
+    pub(crate) fn cum_before(&self, rec: UnionRec, l: usize, dir: fdb_relational::SortDir) -> u64 {
+        match dir {
+            fdb_relational::SortDir::Asc => {
+                if l == 0 {
+                    0
+                } else {
+                    self.prefix_incl(rec.start + (l as u32 - 1))
+                }
+            }
+            fdb_relational::SortDir::Desc => {
+                // Logical position l is physical len−1−l; everything at
+                // higher physical positions was already enumerated.
+                let phys = rec.len as usize - 1 - l;
+                let total = if rec.len == 0 {
+                    0
+                } else {
+                    self.prefix_incl(rec.start + rec.len - 1)
+                };
+                total.saturating_sub(self.prefix_incl(rec.start + phys as u32))
+            }
+        }
+    }
+
+    /// Subtree tuple count of the physical entry at offset `phys` within
+    /// `rec`'s range (difference of adjacent prefix sums).
+    pub(crate) fn entry_count_at(&self, rec: UnionRec, phys: usize) -> u64 {
+        let abs = rec.start + phys as u32;
+        let incl = self.prefix_incl(abs);
+        if phys == 0 {
+            incl
+        } else {
+            incl.saturating_sub(self.prefix_incl(abs - 1))
+        }
+    }
+}
+
+impl Arena {
+    /// One bottom-up pass computing [`CountIndex`] for everything
+    /// reachable from `roots`. Iterative post-order with a per-union
+    /// memo: shared fragments (the staged executor's DAG rewrites) are
+    /// visited once.
+    pub(crate) fn build_counts(&self, roots: &[UnionId]) -> CountIndex {
+        let mut entry_prefix = vec![0u64; self.entries.len()];
+        let mut union_total = vec![0u64; self.unions.len()];
+        let mut computed = vec![false; self.unions.len()];
+        enum Phase {
+            Enter(UnionId),
+            Exit(UnionId),
+        }
+        let mut stack: Vec<Phase> = roots.iter().rev().map(|&r| Phase::Enter(r)).collect();
+        while let Some(p) = stack.pop() {
+            match p {
+                Phase::Enter(uid) => {
+                    if computed[uid.0 as usize] {
+                        continue;
+                    }
+                    stack.push(Phase::Exit(uid));
+                    let u = self.unions[uid.0 as usize];
+                    for i in u.start..u.start + u.len {
+                        let e = self.entries[i as usize];
+                        for k in e.kids_start..e.kids_start + e.kids_len {
+                            stack.push(Phase::Enter(self.kids[k as usize]));
+                        }
+                    }
+                }
+                Phase::Exit(uid) => {
+                    if computed[uid.0 as usize] {
+                        continue;
+                    }
+                    let u = self.unions[uid.0 as usize];
+                    let mut running = 0u64;
+                    for i in u.start..u.start + u.len {
+                        let e = self.entries[i as usize];
+                        let mut cnt = 1u64;
+                        for k in e.kids_start..e.kids_start + e.kids_len {
+                            let kid = self.kids[k as usize];
+                            debug_assert!(computed[kid.0 as usize]);
+                            cnt = cnt.saturating_mul(union_total[kid.0 as usize]);
+                        }
+                        running = running.saturating_add(cnt);
+                        entry_prefix[i as usize] = running;
+                    }
+                    union_total[uid.0 as usize] = running;
+                    computed[uid.0 as usize] = true;
+                }
+            }
+        }
+        CountIndex {
+            entry_prefix,
+            union_total,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Traversal cursors
 // ---------------------------------------------------------------------
 
@@ -721,6 +860,13 @@ pub struct FRep {
     ftree: FTree,
     arena: Arena,
     roots: Vec<UnionId>,
+    /// Lazily built, memoised count annotations (see [`CountIndex`]).
+    /// Cloning an `FRep` (or sharing it behind an `Arc`) shares the
+    /// computed index; every structural transformation rebuilds the
+    /// representation through [`FRep::from_arena`] and therefore starts
+    /// from an empty cell — the invalidation rule is "new arena parts,
+    /// new cell", with no manual bookkeeping.
+    counts: OnceLock<Arc<CountIndex>>,
 }
 
 impl FRep {
@@ -740,6 +886,7 @@ impl FRep {
             ftree,
             arena,
             roots,
+            counts: OnceLock::new(),
         }
     }
 
@@ -763,6 +910,7 @@ impl FRep {
             ftree,
             arena,
             roots: root_ids,
+            counts: OnceLock::new(),
         };
         rep.check_invariants()?;
         Ok(rep)
@@ -780,6 +928,7 @@ impl FRep {
             ftree,
             arena,
             roots,
+            counts: OnceLock::new(),
         }
     }
 
@@ -839,6 +988,7 @@ impl FRep {
             ftree,
             arena,
             roots,
+            counts: OnceLock::new(),
         };
         debug_assert!(rep.check_invariants().is_ok());
         Ok(rep)
@@ -883,6 +1033,11 @@ impl FRep {
         (self.ftree, self.arena, self.roots)
     }
 
+    /// Shared borrow of the arena (crate-internal; read-only walks).
+    pub(crate) fn arena_ref(&self) -> &Arena {
+        &self.arena
+    }
+
     /// True if the represented relation is empty.
     pub fn is_empty(&self) -> bool {
         self.roots.iter().any(|&u| self.arena.union_len(u) == 0)
@@ -895,11 +1050,29 @@ impl FRep {
         self.root_unions().map(|u| u.singleton_count()).sum()
     }
 
-    /// Number of tuples in the represented relation (product of root
-    /// counts of a quick recursive walk; cheap relative to enumeration).
+    /// The count annotations, built on first use and memoised for the
+    /// lifetime of this representation: `Arc`-shared snapshots compute
+    /// the index once and every clone reads the same buffers.
+    pub(crate) fn count_index(&self) -> &Arc<CountIndex> {
+        self.counts
+            .get_or_init(|| Arc::new(self.arena.build_counts(&self.roots)))
+    }
+
+    /// Number of tuples in the represented relation. Served from the
+    /// memoised `CountIndex` when one has been built (O(#roots));
+    /// otherwise a quick recursive walk — cheap relative to enumeration,
+    /// and avoiding the index's whole-arena allocation for one-off calls.
     pub fn tuple_count(&self) -> usize {
         if self.is_empty() {
             return 0;
+        }
+        if let Some(c) = self.counts.get() {
+            let n: u128 = self
+                .roots
+                .iter()
+                .map(|&r| c.total(r) as u128)
+                .fold(1u128, u128::saturating_mul);
+            return n.min(usize::MAX as u128) as usize;
         }
         self.root_unions().map(|u| count_tuples(&u)).product()
     }
@@ -1278,6 +1451,64 @@ mod tests {
         assert_eq!(rep.tuple_count(), 6);
         // Trie: 2 A-singletons + 2×3 B-singletons.
         assert_eq!(rep.singleton_count(), 8);
+    }
+
+    #[test]
+    fn count_index_totals_agree_with_tuple_count() {
+        let (c, rel) = example3();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let rep = FRep::from_relation(&rel, FTree::path(&[a, b])).unwrap();
+        let slow = rep.tuple_count(); // counts lazily, index not built yet
+        let idx = rep.count_index();
+        let fast: u64 = rep.root_ids().iter().map(|&r| idx.total(r)).product();
+        assert_eq!(fast as usize, slow);
+        assert_eq!(rep.tuple_count(), slow); // fast path agrees
+    }
+
+    #[test]
+    fn count_index_is_memoised_and_shared_by_clones() {
+        let (c, rel) = example3();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let rep = FRep::from_relation(&rel, FTree::path(&[a, b])).unwrap();
+        let first = Arc::as_ptr(rep.count_index());
+        assert_eq!(first, Arc::as_ptr(rep.count_index()));
+        let cloned = rep.clone();
+        assert_eq!(first, Arc::as_ptr(cloned.count_index()));
+    }
+
+    #[test]
+    fn count_index_per_entry_prefixes() {
+        // Forest {A} {B}: each of A's 2 entries covers 1 tuple of its own
+        // union; same for B's 3. cum_before walks them in either
+        // direction.
+        let (c, rel) = example3();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let mut t = FTree::new();
+        t.add_node(NodeLabel::Atomic(vec![a]), None);
+        t.add_node(NodeLabel::Atomic(vec![b]), None);
+        let rep = FRep::from_relation(&rel, t).unwrap();
+        let idx = rep.count_index().clone();
+        let roots = rep.root_ids().to_vec();
+        let arena = rep.arena_ref();
+        let totals: Vec<u64> = roots.iter().map(|&r| idx.total(r)).collect();
+        assert_eq!(totals.iter().product::<u64>(), 6);
+        for &r in &roots {
+            let rec = arena.urec(r);
+            let len = rec.len as usize;
+            for dir in [fdb_relational::SortDir::Asc, fdb_relational::SortDir::Desc] {
+                assert_eq!(idx.cum_before(rec, 0, dir), 0);
+                for l in 1..len {
+                    // Every entry here covers exactly one tuple.
+                    assert_eq!(idx.cum_before(rec, l, dir), l as u64);
+                }
+            }
+            for phys in 0..len {
+                assert_eq!(idx.entry_count_at(rec, phys), 1);
+            }
+        }
     }
 
     #[test]

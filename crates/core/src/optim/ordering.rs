@@ -11,7 +11,13 @@
 //!    `O(N)` memory in the *flat* result size `N`.
 //! 3. **heap top-k** ([`crate::topk`]) — fold the unordered enumeration
 //!    through a size-`k` heap. Pays `O(N · log k)` time and `O(k)`
-//!    memory; needs a LIMIT to be meaningful.
+//!    memory; needs a LIMIT to be meaningful. With an OFFSET `m` the
+//!    heap widens to `m + k` and the first `m` rows are dropped.
+//! 4. **direct access** — when the factorisation realises the order,
+//!    seek straight to the `m`-th tuple by binary-searching the
+//!    memoised subtree-count annotations (`O(depth · log fanout)`),
+//!    then stream the `k` requested rows with constant delay. The only
+//!    strategy whose cost is independent of the offset depth.
 //!
 //! The chooser prices each strategy in the paper's currency — the size
 //! bounds of the representations a plan materialises ([`tree_cost`]) plus
@@ -30,9 +36,12 @@ use fdb_relational::AttrId;
 pub enum OrderChoice {
     /// Realise the order in the factorisation and stream (Theorem 2).
     Stream,
-    /// Bounded-heap top-k over the unrestructured enumeration.
+    /// Realise the order, then *seek* to the OFFSET via the subtree
+    /// count annotations and stream only the requested page.
+    Direct,
+    /// Bounded-heap top-(m+k) over the unrestructured enumeration.
     Heap,
-    /// Materialise, stable-sort, truncate.
+    /// Materialise, stable-sort, cut the page out.
     Sort,
 }
 
@@ -49,43 +58,70 @@ pub struct OrderCostInputs {
     pub est_rows: f64,
     /// The LIMIT, if any.
     pub k: Option<usize>,
+    /// The OFFSET (rows skipped before the first returned row; 0 = none).
+    pub offset: usize,
+    /// Seek cost of the count-annotated direct-access path
+    /// (≈ depth · log fanout), or `None` when direct access is
+    /// ineligible: no order-realising plan, a result shape without a
+    /// tuple cursor (grouped on-the-fly aggregation), or no offset to
+    /// skip (plain streaming is then strictly cheaper).
+    pub direct_seek_cost: Option<f64>,
     /// Output row width in columns (weights the per-row materialisation).
     pub row_width: usize,
 }
 
-/// Picks the cheapest strategy. Without a LIMIT the in-tree realisation
-/// always wins when it exists (the full output must be produced anyway,
-/// and streaming it sorted beats an extra `O(N · log N)` sort); with a
-/// LIMIT the swap overhead competes against `N · log k` heap work and
-/// `N · log N + N` sort work.
+/// Picks the cheapest strategy. Without a LIMIT or OFFSET the in-tree
+/// realisation always wins when it exists (the full output must be
+/// produced anyway, and streaming it sorted beats an extra
+/// `O(N · log N)` sort); with a LIMIT the swap overhead competes against
+/// `N · log(m+k)` heap work and `N · log N + N` sort work. With an
+/// OFFSET `m`, sequential streaming additionally enumerates-and-discards
+/// `m` rows, so for deep offsets the count-annotated seek (whose cost is
+/// independent of `m`) takes over.
 pub fn choose_order_strategy(inputs: &OrderCostInputs) -> OrderChoice {
     let w = inputs.row_width.max(1) as f64;
     let lg = |x: f64| x.max(2.0).log2();
     let n = inputs.est_rows.max(1.0);
-    let Some(k) = inputs.k else {
+    let m = (inputs.offset as f64).min(n);
+    // Rows the page actually returns.
+    let kf = match inputs.k {
+        Some(k) => (k as f64).min((n - m).max(0.0)),
+        None => (n - m).max(0.0),
+    };
+    if inputs.k.is_none() && inputs.offset == 0 {
         return match inputs.stream_plan_cost {
             Some(_) => OrderChoice::Stream,
             None => OrderChoice::Sort,
         };
-    };
-    let kf = (k as f64).min(n);
+    }
     // Each enumerated row costs its width (the emit into the row buffer)
     // before the heap can reject it or the sort can store it — charging
     // only the comparison term would overprice a swap (one materialised
     // record ≈ one emitted value, in the size-bound currency) and push
     // the chooser to a heap pass even when streaming after one cheap
     // swap is several times faster end to end.
-    let heap = inputs.unordered_plan_cost + n * (lg(kf + 1.0) + w) + kf * w;
+    let heap = inputs.unordered_plan_cost + n * (lg(m + kf + 1.0) + w) + (m + kf) * w;
     let sort = inputs.unordered_plan_cost + n * (lg(n) + w) + n * w;
-    let flat = if heap <= sort {
+    let mut best = if inputs.k.is_some() && heap <= sort {
         (OrderChoice::Heap, heap)
     } else {
         (OrderChoice::Sort, sort)
     };
-    match inputs.stream_plan_cost {
-        Some(cs) if cs + kf * w <= flat.1 => OrderChoice::Stream,
-        _ => flat.0,
+    if let Some(cs) = inputs.stream_plan_cost {
+        // Sequential streaming enumerates (and discards) the m skipped
+        // rows before the kf returned ones.
+        let stream = cs + (m + kf) * w;
+        if stream <= best.1 {
+            best = (OrderChoice::Stream, stream);
+        }
+        if let Some(seek) = inputs.direct_seek_cost {
+            let direct = cs + seek + kf * w;
+            if direct < best.1 {
+                best = (OrderChoice::Direct, direct);
+            }
+        }
     }
+    best.0
 }
 
 /// Prices a plan by the representations it materialises: the sum of the
@@ -151,7 +187,24 @@ mod tests {
             unordered_plan_cost: unordered,
             est_rows: n,
             k,
+            offset: 0,
+            direct_seek_cost: None,
             row_width: 3,
+        }
+    }
+
+    fn paged(
+        stream: Option<f64>,
+        unordered: f64,
+        n: f64,
+        k: Option<usize>,
+        offset: usize,
+        seek: Option<f64>,
+    ) -> OrderCostInputs {
+        OrderCostInputs {
+            offset,
+            direct_seek_cost: seek,
+            ..inputs(stream, unordered, n, k)
         }
     }
 
@@ -189,6 +242,47 @@ mod tests {
             let choice = choose_order_strategy(&inputs(None, 0.0, n, Some(5)));
             assert_eq!(choice, OrderChoice::Heap, "n={n}");
         }
+    }
+
+    #[test]
+    fn deep_offset_prefers_direct_seek_over_streaming() {
+        // OFFSET 90k of 100k rows, LIMIT 10: discarding 90k enumerated
+        // rows dwarfs a logarithmic seek.
+        let choice =
+            choose_order_strategy(&paged(Some(1e4), 1e4, 1e5, Some(10), 90_000, Some(60.0)));
+        assert_eq!(choice, OrderChoice::Direct);
+        // Same page without the seek option: streaming still beats the
+        // flat passes (they enumerate all N rows either way).
+        let choice = choose_order_strategy(&paged(Some(1e4), 1e4, 1e5, Some(10), 90_000, None));
+        assert_eq!(choice, OrderChoice::Stream);
+    }
+
+    #[test]
+    fn zero_offset_never_picks_direct() {
+        // With nothing to skip the seek is pure overhead; the engine
+        // passes `None`, but even a quoted seek cost must lose to the
+        // tie-broken stream.
+        let choice = choose_order_strategy(&paged(Some(1e4), 1e4, 1e5, Some(10), 0, Some(60.0)));
+        assert_eq!(choice, OrderChoice::Stream);
+    }
+
+    #[test]
+    fn offset_without_limit_is_priced() {
+        // OFFSET-only page at 99% depth: direct access returns the 1%
+        // tail without enumerating the 99% prefix.
+        let choice = choose_order_strategy(&paged(Some(1e4), 1e4, 1e5, None, 99_000, Some(60.0)));
+        assert_eq!(choice, OrderChoice::Direct);
+        // No realising plan at all: only the sort can serve the page.
+        let choice = choose_order_strategy(&paged(None, 1e4, 1e5, None, 99_000, None));
+        assert_eq!(choice, OrderChoice::Sort);
+    }
+
+    #[test]
+    fn expensive_restructuring_still_loses_to_flat_passes_with_offset() {
+        // The order-realising plan costs 100× the flat plan: even a free
+        // seek cannot amortise it for a shallow page over few rows.
+        let choice = choose_order_strategy(&paged(Some(1e8), 1e6, 1e5, Some(10), 50, Some(10.0)));
+        assert_eq!(choice, OrderChoice::Heap);
     }
 
     #[test]

@@ -52,6 +52,8 @@ pub struct Query {
     pub order_by: Vec<SortKey>,
     /// LIMIT k.
     pub limit: Option<usize>,
+    /// OFFSET m (rows skipped before the first returned row; `0` = none).
+    pub offset: usize,
 }
 
 impl Query {
@@ -92,6 +94,7 @@ impl Query {
                 having: self.having.clone(),
                 order_by: self.order_by.clone(),
                 limit: self.limit,
+                offset: self.offset,
             }
         } else {
             JoinAggTask {
@@ -104,6 +107,7 @@ impl Query {
                 having: self.having.clone(),
                 order_by: self.order_by.clone(),
                 limit: self.limit,
+                offset: self.offset,
             }
         }
     }
@@ -182,6 +186,9 @@ impl Query {
         if let Some(k) = self.limit {
             s.push_str(&format!(" LIMIT {k}"));
         }
+        if self.offset > 0 {
+            s.push_str(&format!(" OFFSET {}", self.offset));
+        }
         s
     }
 }
@@ -203,6 +210,7 @@ mod tests {
             having: vec![],
             order_by: vec![],
             limit: None,
+            offset: 0,
         };
         let task = q.to_task();
         assert!(!task.is_aggregate());
@@ -226,11 +234,13 @@ mod tests {
             having: vec![],
             order_by: vec![],
             limit: Some(5),
+            offset: 7,
         };
         let task = q.to_task();
         assert!(task.is_aggregate());
         assert_eq!(task.group_by, vec![g]);
         assert_eq!(task.limit, Some(5));
+        assert_eq!(task.offset, 7);
         assert_eq!(q.output_attrs(), vec![g, out]);
     }
 }

@@ -5,7 +5,9 @@
 //! ```text
 //! query     := SELECT [DISTINCT] items FROM tables
 //!              [WHERE conj] [GROUP BY grouping] [HAVING conj]
-//!              [ORDER BY keys] [LIMIT int] [';']
+//!              [ORDER BY keys] [LIMIT int] [OFFSET int] [';']
+//!              -- LIMIT and OFFSET may appear in either order,
+//!              -- and each may appear alone (PostgreSQL semantics)
 //! items     := '*' | item (',' item)*
 //! item      := agg [AS ident] | ident
 //! agg       := (SUM|MIN|MAX|AVG|PRODUCT) '(' ident ')'
@@ -254,15 +256,17 @@ impl<'a> Parser<'a> {
             }
         }
         let mut limit = None;
-        if self.eat_keyword("LIMIT") {
-            match self.next() {
-                Some(Token::Int(n)) if n >= 0 => limit = Some(n as usize),
-                other => {
-                    return Err(QueryError::parse(
-                        self.pos,
-                        format!("LIMIT expects a non-negative integer, found {other:?}"),
-                    ))
-                }
+        let mut offset = 0;
+        let (mut saw_limit, mut saw_offset) = (false, false);
+        loop {
+            if !saw_limit && self.eat_keyword("LIMIT") {
+                saw_limit = true;
+                limit = Some(self.clause_count("LIMIT")?);
+            } else if !saw_offset && self.eat_keyword("OFFSET") {
+                saw_offset = true;
+                offset = self.clause_count("OFFSET")?;
+            } else {
+                break;
             }
         }
         Ok(Query {
@@ -274,7 +278,21 @@ impl<'a> Parser<'a> {
             having,
             order_by,
             limit,
+            offset,
         })
+    }
+
+    /// Parses the row-count operand of `LIMIT`/`OFFSET`: a single
+    /// non-negative integer literal. Negative and non-integer literals
+    /// get a clause-specific message instead of a generic parse failure.
+    fn clause_count(&mut self, clause: &str) -> Result<usize, QueryError> {
+        match self.next() {
+            Some(Token::Int(n)) if n >= 0 => Ok(n as usize),
+            other => Err(QueryError::parse(
+                self.pos,
+                format!("{clause} expects a non-negative integer, found {other:?}"),
+            )),
+        }
     }
 
     /// Parses a parenthesised attribute list; `allow_empty` permits `()`
@@ -881,6 +899,67 @@ mod tests {
         assert_eq!(q.order_by.len(), 1);
         assert_eq!(q.order_by[0].dir, SortDir::Desc);
         assert_eq!(q.limit, Some(10));
+        assert_eq!(q.offset, 0);
+    }
+
+    #[test]
+    fn offset_with_limit_both_orders() {
+        let (mut c, schemas) = setup();
+        for sql in [
+            "SELECT item FROM Items ORDER BY item LIMIT 5 OFFSET 20",
+            "SELECT item FROM Items ORDER BY item OFFSET 20 LIMIT 5",
+        ] {
+            let q = parse(sql, &mut c, &schemas).unwrap();
+            assert_eq!(q.limit, Some(5), "{sql}");
+            assert_eq!(q.offset, 20, "{sql}");
+            let task = q.to_task();
+            assert_eq!(task.limit, Some(5));
+            assert_eq!(task.offset, 20);
+        }
+    }
+
+    #[test]
+    fn bare_offset_without_limit() {
+        let (mut c, schemas) = setup();
+        let q = parse(
+            "SELECT item FROM Items ORDER BY item OFFSET 3",
+            &mut c,
+            &schemas,
+        )
+        .unwrap();
+        assert_eq!(q.limit, None);
+        assert_eq!(q.offset, 3);
+        assert!(q.display(&c).contains("OFFSET 3"));
+    }
+
+    #[test]
+    fn offset_rejects_negative_and_non_integer() {
+        let (mut c, schemas) = setup();
+        for bad in [
+            "SELECT item FROM Items OFFSET -1",
+            "SELECT item FROM Items OFFSET 1.5",
+            "SELECT item FROM Items OFFSET banana",
+            "SELECT item FROM Items LIMIT 2 OFFSET -7",
+        ] {
+            let err = parse(bad, &mut c, &schemas);
+            match err {
+                Err(QueryError::Parse { ref message, .. }) => {
+                    assert!(
+                        message.contains("OFFSET expects a non-negative integer"),
+                        "{bad}: {message}"
+                    );
+                }
+                other => panic!("{bad}: expected parse error, got {other:?}"),
+            }
+        }
+        // Duplicate clauses stay rejected as trailing input.
+        assert!(parse("SELECT item FROM Items OFFSET 1 OFFSET 2", &mut c, &schemas).is_err());
+        assert!(parse(
+            "SELECT item FROM Items LIMIT 1 OFFSET 2 LIMIT 3",
+            &mut c,
+            &schemas
+        )
+        .is_err());
     }
 
     #[test]

@@ -116,6 +116,7 @@ impl RdbEngine {
                 having: Vec::new(),
                 order_by: Vec::new(),
                 limit: None,
+                offset: 0,
                 ..task.clone()
             };
             let rel = self.run(&sub, mode)?;
@@ -138,8 +139,8 @@ impl RdbEngine {
         if !task.order_by.is_empty() {
             out.sort_by_keys_par(&task.order_by, fdb_exec::effective_threads(self.threads));
         }
-        if let Some(k) = task.limit {
-            out = crate::ops::limit(&out, k);
+        if task.limit.is_some() || task.offset > 0 {
+            out = crate::ops::page(&out, task.offset, task.limit);
         }
         Ok(out)
     }

@@ -15,4 +15,4 @@ pub use aggregate::{group_aggregate, group_aggregate_par, GroupStrategy};
 pub use join::{hash_join, product, sort_merge_join};
 pub use project::project;
 pub use select::select;
-pub use sort::{limit, order_by, order_by_par, top_k};
+pub use sort::{limit, order_by, order_by_par, page, top_k};

@@ -26,6 +26,32 @@ pub fn limit(rel: &Relation, k: usize) -> Relation {
     out
 }
 
+/// One page of the relation's current order: skip the first `skip`
+/// tuples, then keep at most `k` (`k = None` keeps everything after the
+/// skip — PostgreSQL's bare `OFFSET`).
+///
+/// This is the relational ground-truth twin of the factorised engine's
+/// pagination strategies: whatever strategy FDB picks (direct access,
+/// (m+k)-heap, collect-sort-cut), its output must be byte-identical to a
+/// stable sort followed by this operator.
+pub fn page(rel: &Relation, skip: usize, k: Option<usize>) -> Relation {
+    let mut out = Relation::empty(rel.schema().clone());
+    let it = rel.rows().skip(skip);
+    match k {
+        Some(k) => {
+            for row in it.take(k) {
+                out.push_row(row);
+            }
+        }
+        None => {
+            for row in it {
+                out.push_row(row);
+            }
+        }
+    }
+    out
+}
+
 /// `λk ∘ oG` fused: the first `k` tuples in sorted order.
 ///
 /// Kept as full-sort-then-cut on purpose: this mirrors what the relational
@@ -84,6 +110,27 @@ mod tests {
         assert_eq!(limit(&rel, 2).len(), 2);
         assert_eq!(limit(&rel, 99).len(), 4);
         assert_eq!(limit(&rel, 0).len(), 0);
+    }
+
+    #[test]
+    fn page_skips_then_truncates() {
+        let (_, rel) = sample();
+        assert_eq!(page(&rel, 0, Some(2)).len(), 2);
+        assert_eq!(page(&rel, 1, Some(2)).len(), 2);
+        assert_eq!(page(&rel, 3, Some(5)).len(), 1);
+        assert_eq!(page(&rel, 4, Some(1)).len(), 0);
+        assert_eq!(page(&rel, 99, None).len(), 0);
+        assert_eq!(page(&rel, 1, None).len(), 3);
+        // page(skip=0, Some(k)) ≡ limit(k)
+        assert_eq!(
+            page(&rel, 0, Some(3)).canonical(),
+            limit(&rel, 3).canonical()
+        );
+        // The kept rows really are the middle of the input order.
+        let mid = page(&rel, 1, Some(2));
+        let want: Vec<Vec<Value>> = rel.rows().skip(1).take(2).map(|r| r.to_vec()).collect();
+        let got: Vec<Vec<Value>> = mid.rows().map(|r| r.to_vec()).collect();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -61,8 +61,13 @@ pub enum RelPlan {
         input: Box<RelPlan>,
         keys: Vec<SortKey>,
     },
-    /// First `k` tuples in the input order.
-    Limit { input: Box<RelPlan>, k: usize },
+    /// One page of the input order: skip the first `skip` tuples, then
+    /// keep at most `k` (`None` keeps the rest — bare `OFFSET`).
+    Limit {
+        input: Box<RelPlan>,
+        skip: usize,
+        k: Option<usize>,
+    },
 }
 
 /// Scalar expression for [`RelPlan::Derive`].
@@ -121,8 +126,14 @@ impl RelPlan {
     }
 
     pub fn limit(self, k: usize) -> RelPlan {
+        self.page(0, Some(k))
+    }
+
+    /// `OFFSET skip [LIMIT k]` over the input order.
+    pub fn page(self, skip: usize, k: Option<usize>) -> RelPlan {
         RelPlan::Limit {
             input: Box::new(self),
+            skip,
             k,
         }
     }
@@ -191,8 +202,18 @@ impl RelPlan {
                 let _ = writeln!(out, "{pad}Sort [{}]", ks.join(", "));
                 input.explain_into(catalog, depth + 1, out);
             }
-            RelPlan::Limit { input, k } => {
-                let _ = writeln!(out, "{pad}Limit {k}");
+            RelPlan::Limit { input, skip, k } => {
+                match (skip, k) {
+                    (0, Some(k)) => {
+                        let _ = writeln!(out, "{pad}Limit {k}");
+                    }
+                    (s, Some(k)) => {
+                        let _ = writeln!(out, "{pad}Limit {k} Offset {s}");
+                    }
+                    (s, None) => {
+                        let _ = writeln!(out, "{pad}Offset {s}");
+                    }
+                }
                 input.explain_into(catalog, depth + 1, out);
             }
         }
@@ -265,9 +286,9 @@ pub fn execute_with(
             let rel = execute_with(input, relations, default_strategy, threads)?;
             Ok(ops::order_by_par(&rel, keys, threads))
         }
-        RelPlan::Limit { input, k } => {
+        RelPlan::Limit { input, skip, k } => {
             let rel = execute_with(input, relations, default_strategy, threads)?;
-            Ok(ops::limit(&rel, *k))
+            Ok(ops::page(&rel, *skip, *k))
         }
     }
 }

@@ -42,6 +42,10 @@ pub struct JoinAggTask {
     pub order_by: Vec<SortKey>,
     /// LIMIT k.
     pub limit: Option<usize>,
+    /// OFFSET m: rows skipped (in the `order_by` order) before the first
+    /// returned row. `0` means no offset; meaningful with or without a
+    /// LIMIT (PostgreSQL semantics).
+    pub offset: usize,
     /// `GROUP BY GROUPING SETS` expansion: each set is a subset of
     /// `group_by`. Empty means plain grouping. When non-empty, the
     /// engines run one aggregation per set over the same data and pad
@@ -164,8 +168,8 @@ pub fn naive_plan(
     if !task.order_by.is_empty() {
         plan = plan.sort(task.order_by.clone());
     }
-    if let Some(k) = task.limit {
-        plan = plan.limit(k);
+    if task.limit.is_some() || task.offset > 0 {
+        plan = plan.page(task.offset, task.limit);
     }
     Ok(plan)
 }
@@ -338,8 +342,8 @@ pub fn eager_plan(
     if !task.order_by.is_empty() {
         final_plan = final_plan.sort(task.order_by.clone());
     }
-    if let Some(k) = task.limit {
-        final_plan = final_plan.limit(k);
+    if task.limit.is_some() || task.offset > 0 {
+        final_plan = final_plan.page(task.offset, task.limit);
     }
     Ok(final_plan)
 }

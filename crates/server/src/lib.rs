@@ -135,6 +135,27 @@ struct Counters {
     connections: AtomicU64,
     queries: AtomicU64,
     errors: AtomicU64,
+    /// Executed queries by physical ordering strategy (cache hits are
+    /// not re-counted — the cached response never re-executes).
+    strategy_unordered: AtomicU64,
+    strategy_stream: AtomicU64,
+    strategy_direct: AtomicU64,
+    strategy_heap: AtomicU64,
+    strategy_sort: AtomicU64,
+}
+
+impl Counters {
+    fn count_strategy(&self, strategy: fdb::core::engine::OrderStrategy) {
+        use fdb::core::engine::OrderStrategy;
+        let counter = match strategy {
+            OrderStrategy::Unordered => &self.strategy_unordered,
+            OrderStrategy::StreamInTree => &self.strategy_stream,
+            OrderStrategy::DirectAccess => &self.strategy_direct,
+            OrderStrategy::HeapTopK { .. } => &self.strategy_heap,
+            OrderStrategy::CollectSortCut => &self.strategy_sort,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// State shared by the accept loop and every worker.
@@ -415,6 +436,7 @@ fn handle_request(
             let s = fresh_session(shared, session);
             match s.query(&key) {
                 Ok(outcome) => {
+                    shared.counters.count_strategy(outcome.strategy);
                     let lines = proto::render_outcome(&outcome);
                     shared.cache.put(s.epoch(), key, Arc::new(lines.clone()));
                     ok_response(lines)
@@ -468,6 +490,46 @@ fn stats_payload(shared: &Shared) -> Vec<String> {
         ("cache_hits", hits.to_string()),
         ("cache_misses", misses.to_string()),
         ("cache_entries", entries.to_string()),
+        (
+            "strategy_unordered",
+            shared
+                .counters
+                .strategy_unordered
+                .load(Ordering::Relaxed)
+                .to_string(),
+        ),
+        (
+            "strategy_stream",
+            shared
+                .counters
+                .strategy_stream
+                .load(Ordering::Relaxed)
+                .to_string(),
+        ),
+        (
+            "strategy_direct",
+            shared
+                .counters
+                .strategy_direct
+                .load(Ordering::Relaxed)
+                .to_string(),
+        ),
+        (
+            "strategy_heap",
+            shared
+                .counters
+                .strategy_heap
+                .load(Ordering::Relaxed)
+                .to_string(),
+        ),
+        (
+            "strategy_sort",
+            shared
+                .counters
+                .strategy_sort
+                .load(Ordering::Relaxed)
+                .to_string(),
+        ),
         ("relations", relations.join(",")),
         ("views", views.join(",")),
     ];

@@ -231,6 +231,50 @@ fn plan_cache_serves_repeats_identically() {
     server.shutdown();
 }
 
+#[test]
+fn stats_reports_per_strategy_query_counts() {
+    let mut server = spawn(pizzeria_db(), "127.0.0.1:0", ServerOptions::new()).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    // Unordered: plain aggregate, no ORDER BY.
+    c.query("SELECT SUM(price) AS total FROM Orders, Pizzas, Items")
+        .unwrap()
+        .unwrap();
+    // Streamed: ORDER BY on a group attribute, realised in-tree.
+    c.query(
+        "SELECT customer, SUM(price) AS spent FROM Orders, Pizzas, Items \
+         GROUP BY customer ORDER BY customer",
+    )
+    .unwrap()
+    .unwrap();
+    let stats = c.request("STATS").unwrap().unwrap();
+    assert_eq!(stat(&stats, "strategy_unordered"), "1");
+    assert_eq!(stat(&stats, "strategy_stream"), "1");
+    assert_eq!(stat(&stats, "strategy_direct"), "0");
+    // A cached repeat must NOT bump the executed-strategy counters.
+    c.query("SELECT SUM(price) AS total FROM Orders, Pizzas, Items")
+        .unwrap()
+        .unwrap();
+    let stats = c.request("STATS").unwrap().unwrap();
+    assert_eq!(stat(&stats, "strategy_unordered"), "1");
+    assert_eq!(stat(&stats, "cache_hits"), "1");
+    // Total executed queries = sum of the per-strategy counters + hits.
+    let executed: u64 = [
+        "strategy_unordered",
+        "strategy_stream",
+        "strategy_direct",
+        "strategy_heap",
+        "strategy_sort",
+    ]
+    .iter()
+    .map(|k| stat(&stats, k).parse::<u64>().unwrap())
+    .sum();
+    let hits: u64 = stat(&stats, "cache_hits").parse().unwrap();
+    let queries: u64 = stat(&stats, "queries").parse().unwrap();
+    assert_eq!(executed + hits, queries);
+    c.quit().unwrap();
+    server.shutdown();
+}
+
 /// Regression: the cache key must not collapse whitespace inside string
 /// literals. Before the fix, `normalise_sql` keyed `'a b'` and `'a  b'`
 /// identically, so the second query was served the first query's cached

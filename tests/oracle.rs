@@ -93,6 +93,16 @@ fn corpus() -> Vec<&'static str> {
         "SELECT b, TOP_K(d, 3) AS t FROM S, T GROUP BY b",
         "SELECT a, TOP_K(c, 2) AS t FROM R, S GROUP BY a ORDER BY a",
         "SELECT a, COUNT(DISTINCT d) AS u FROM R, S, T GROUP BY a HAVING u >= 1",
+        // OFFSET pagination (PG semantics: with or without LIMIT, either
+        // clause order). ORDER BY keys cover every output column, so
+        // rows tied on the keys are identical and the page is a
+        // deterministic multiset for every strategy.
+        "SELECT a, b FROM R ORDER BY a, b LIMIT 3 OFFSET 2",
+        "SELECT a, c FROM R, S ORDER BY c DESC, a OFFSET 4",
+        "SELECT a, d FROM R, S, T ORDER BY a, d DESC OFFSET 1 LIMIT 5",
+        "SELECT a, SUM(c) AS s FROM R, S GROUP BY a ORDER BY s DESC, a LIMIT 2 OFFSET 2",
+        "SELECT b, COUNT(*) AS n FROM R, S GROUP BY b ORDER BY n DESC, b OFFSET 1",
+        "SELECT a, AVG(d) AS m FROM R, S, T GROUP BY a ORDER BY a LIMIT 2 OFFSET 100",
         // Grouping sets: ROLLUP / CUBE / explicit list. ORDER BY only
         // where the keys totally order the result (group columns; data
         // Ints never collide with the padding Nulls).

@@ -1,0 +1,373 @@
+//! `ORDER BY … LIMIT k OFFSET m` differential suite: every pagination
+//! strategy — count-annotated direct access, (m+k)-heap, restructure +
+//! stream-and-skip, collect-sort-cut — must produce the page the
+//! relational ground truth produces (stable sort + skip + truncate, i.e.
+//! `fdb::relational::ops::page` over the unlimited sorted result), swept
+//! over executors {fused, per-op} × threads {1, 2, 4} × OrderMode
+//! {Auto, ForceStream, ForceDirect, ForceHeap, ForceSort} and offsets
+//! {0, 1, mid, result−1, past-end, huge}.
+//!
+//! Exactness levels mirror `topk_differential.rs`:
+//!
+//! * when the ORDER BY keys cover every output column, rows tied on the
+//!   keys are *identical* rows, so every strategy is **byte-identical**
+//!   to the reference page at every offset;
+//! * with duplicate sort keys over distinct rows at the offset boundary,
+//!   tie order within equal keys is a per-strategy deterministic choice:
+//!   key columns must match the reference, every row must come from the
+//!   unlimited result, each configuration must reproduce itself, and the
+//!   (m+k)-heap stays byte-identical to sort (stable tie-break);
+//! * `Value::Null` sort keys follow `Value::cmp` (NULLS LAST ascending,
+//!   first descending) identically in every strategy.
+
+use fdb::core::engine::{ExecutorMode, FdbEngine, OrderMode, OrderStrategy, RunOptions};
+use fdb::relational::planner::JoinAggTask;
+use fdb::relational::{ops, AggFunc, AggSpec, Relation, Schema, SortKey, Value};
+use fdb::workload::orders::{generate, OrdersConfig};
+use fdb::Catalog;
+
+fn thread_sweep() -> Vec<usize> {
+    vec![1, 2, 4]
+}
+
+fn modes() -> [OrderMode; 5] {
+    [
+        OrderMode::Auto,
+        OrderMode::ForceStream,
+        OrderMode::ForceDirect,
+        OrderMode::ForceHeap,
+        OrderMode::ForceSort,
+    ]
+}
+
+/// The offset grid from the issue: start, one-in, middle, last row,
+/// exactly past the end, and absurdly past the end.
+fn offset_sweep(result_len: usize) -> Vec<usize> {
+    let mut v = vec![
+        0,
+        1,
+        result_len / 2,
+        result_len.saturating_sub(1),
+        result_len,
+        10_000_000,
+    ];
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn order_attrs(task: &JoinAggTask) -> Vec<fdb::relational::AttrId> {
+    let mut attrs: Vec<fdb::relational::AttrId> = Vec::new();
+    for k in &task.order_by {
+        if !attrs.contains(&k.attr) {
+            attrs.push(k.attr);
+        }
+    }
+    attrs
+}
+
+/// Sweeps `base` (its `limit`/`offset` are overridden) over the full
+/// mode × executor × thread × offset × limit grid against the stable
+/// sort + skip + truncate reference.
+///
+/// * `byte_identical` — the keys cover every output column, so every
+///   strategy must reproduce the reference byte for byte;
+/// * `expect_direct` — the f-tree (possibly after restructuring)
+///   realises the order with a plain tuple cursor, so `ForceDirect`
+///   must actually execute the count-annotated seek and enumerate only
+///   the page it returns.
+fn assert_pages_agree(
+    e: &mut FdbEngine,
+    base: &JoinAggTask,
+    byte_identical: bool,
+    expect_direct: bool,
+    label: &str,
+) {
+    let keys = fdb::relational::dedup_sort_keys(&base.order_by);
+    let key_attrs = order_attrs(base);
+    let unlimited = {
+        let mut t = base.clone();
+        t.limit = None;
+        t.offset = 0;
+        e.run(&t, RunOptions::new().order(OrderMode::ForceSort))
+            .unwrap_or_else(|err| panic!("{label}: unlimited reference: {err}"))
+            .to_relation()
+            .unwrap()
+    };
+    assert!(unlimited.is_sorted_by(&keys), "{label}: reference sorted");
+    let in_unlimited = |row: &[Value]| unlimited.rows().any(|u| u == row);
+
+    for offset in offset_sweep(unlimited.len()) {
+        for limit in [None, Some(3)] {
+            let expected = ops::page(&unlimited, offset, limit);
+            let mut task = base.clone();
+            task.offset = offset;
+            task.limit = limit;
+            for mode in modes() {
+                for executor in [ExecutorMode::Staged, ExecutorMode::PerOp] {
+                    for threads in thread_sweep() {
+                        let ctx = format!(
+                            "{label}: {mode:?}/{executor:?}/t{threads} \
+                             OFFSET {offset} LIMIT {limit:?}"
+                        );
+                        let opts = RunOptions::new()
+                            .order(mode)
+                            .executor(executor)
+                            .threads(threads);
+                        let (out, stats) = e
+                            .run(&task, opts)
+                            .unwrap_or_else(|err| panic!("{ctx}: {err}"))
+                            .to_relation_counted()
+                            .unwrap();
+                        assert!(out.is_sorted_by(&keys), "{ctx}: unsorted page");
+                        if byte_identical {
+                            assert_eq!(out, expected, "{ctx}: page differs from sort+skip+cut");
+                        } else {
+                            assert_eq!(
+                                out.project_cols(&key_attrs),
+                                expected.project_cols(&key_attrs),
+                                "{ctx}: key columns differ from sort+skip+cut"
+                            );
+                            assert!(
+                                out.rows().all(&in_unlimited),
+                                "{ctx}: row not in unlimited result"
+                            );
+                        }
+                        match mode {
+                            // Heap ≡ stable sort + page, byte for byte:
+                            // the (m+k)-heap keeps the stably-first m+k
+                            // rows and drops the first m.
+                            OrderMode::ForceHeap | OrderMode::ForceSort => {
+                                assert_eq!(out, expected, "{ctx}: differs from reference");
+                            }
+                            OrderMode::ForceDirect if expect_direct => {
+                                assert!(
+                                    matches!(stats.strategy, OrderStrategy::DirectAccess),
+                                    "{ctx}: expected the direct-access seek, got {:?}",
+                                    stats.strategy
+                                );
+                                // The acceptance property at test scale:
+                                // the seek enumerates exactly the page,
+                                // never the skipped prefix.
+                                assert_eq!(
+                                    stats.rows_enumerated,
+                                    out.len(),
+                                    "{ctx}: direct access enumerated more than the page"
+                                );
+                            }
+                            _ => {}
+                        }
+                        if mode == OrderMode::ForceHeap && limit.is_some() && offset < 1 << 20 {
+                            assert!(
+                                matches!(stats.strategy, OrderStrategy::HeapTopK { .. }),
+                                "{ctx}: ForceHeap must execute the heap"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The orders workload with the factorised view registered.
+fn orders_engine() -> (FdbEngine, fdb::workload::orders::OrdersDataset) {
+    let mut catalog = Catalog::new();
+    let ds = generate(
+        &mut catalog,
+        &OrdersConfig {
+            scale: 1,
+            customers: 10,
+            seed: 0xBEEF,
+        },
+    );
+    let mut e = FdbEngine::new(catalog);
+    e.register_view("R1", ds.factorised_view());
+    e.register_relation("Orders", ds.orders.clone());
+    e.register_relation("Packages", ds.packages.clone());
+    e.register_relation("Items", ds.items.clone());
+    (e, ds)
+}
+
+#[test]
+fn realised_order_pages_agree_at_every_offset() {
+    // The stored f-tree realises (package, item, date) for free: direct
+    // access must seek without restructuring.
+    let (mut e, ds) = orders_engine();
+    let a = ds.attrs;
+    let task = JoinAggTask {
+        inputs: vec!["R1".into()],
+        projection: Some(vec![a.package, a.item, a.date]),
+        order_by: vec![
+            SortKey::asc(a.package),
+            SortKey::asc(a.item),
+            SortKey::asc(a.date),
+        ],
+        ..Default::default()
+    };
+    assert_pages_agree(&mut e, &task, true, true, "realised order");
+}
+
+#[test]
+fn swap_requiring_order_pages_agree_at_every_offset() {
+    // (date, package, item) needs restructuring first; the seek then
+    // runs over the restructured arena's count annotations.
+    let (mut e, ds) = orders_engine();
+    let a = ds.attrs;
+    let task = JoinAggTask {
+        inputs: vec!["R1".into()],
+        projection: Some(vec![a.date, a.package, a.item]),
+        order_by: vec![
+            SortKey::asc(a.date),
+            SortKey::asc(a.package),
+            SortKey::asc(a.item),
+        ],
+        ..Default::default()
+    };
+    assert_pages_agree(&mut e, &task, true, true, "swap order");
+}
+
+#[test]
+fn mixed_direction_pages_agree_at_every_offset() {
+    let (mut e, ds) = orders_engine();
+    let a = ds.attrs;
+    let task = JoinAggTask {
+        inputs: vec!["R1".into()],
+        projection: Some(vec![a.package, a.date]),
+        order_by: vec![SortKey::desc(a.package), SortKey::asc(a.date)],
+        ..Default::default()
+    };
+    assert_pages_agree(&mut e, &task, true, false, "mixed directions");
+}
+
+#[test]
+fn aggregate_order_pages_agree_at_every_offset() {
+    // ORDER BY the derived aggregate column: direct access is only
+    // available via the consolidated grouped arena, and the (m+k)-heap
+    // runs over the unrestructured group stream.
+    let (mut e, ds) = orders_engine();
+    let a = ds.attrs;
+    let revenue = e.catalog.intern("rev_page");
+    let task = JoinAggTask {
+        inputs: vec!["R1".into()],
+        group_by: vec![a.customer],
+        aggregates: vec![AggSpec::new(AggFunc::Sum(a.price), revenue)],
+        order_by: vec![SortKey::desc(revenue), SortKey::asc(a.customer)],
+        ..Default::default()
+    };
+    assert_pages_agree(&mut e, &task, true, false, "aggregate order");
+}
+
+#[test]
+fn duplicate_rows_at_the_offset_boundary_stay_byte_identical() {
+    // Projecting away the discriminating column leaves duplicate sort
+    // keys on *identical* rows straddling every page boundary — byte
+    // identity must survive because tied rows are indistinguishable.
+    let (mut e, ds) = orders_engine();
+    let a = ds.attrs;
+    let task = JoinAggTask {
+        inputs: vec!["R1".into()],
+        projection: Some(vec![a.customer, a.package]),
+        order_by: vec![SortKey::asc(a.customer), SortKey::asc(a.package)],
+        ..Default::default()
+    };
+    assert_pages_agree(&mut e, &task, true, false, "duplicate rows");
+}
+
+#[test]
+fn duplicate_sort_keys_over_distinct_rows_at_the_boundary() {
+    // Revenue ties by construction (customers pair up with equal
+    // totals), no tiebreaker key, and the offsets cut *inside* tie
+    // pairs. Tie order within equal keys is per-strategy; the key
+    // columns, containment, determinism and heap ≡ sort byte identity
+    // are the contract.
+    let mut catalog = Catalog::new();
+    let customer = catalog.intern("customer");
+    let order_id = catalog.intern("order_id");
+    let amount = catalog.intern("amount");
+    let rows: Vec<Vec<Value>> = (0..12i64)
+        .flat_map(|c| {
+            (0..3i64).map(move |o| {
+                vec![
+                    Value::Int(c),
+                    Value::Int(c * 10 + o),
+                    Value::Int(50 * (c / 2)),
+                ]
+            })
+        })
+        .collect();
+    let sales = Relation::from_rows(Schema::new(vec![customer, order_id, amount]), rows);
+    let mut e = FdbEngine::new(catalog);
+    e.register_relation("Sales", sales);
+    let revenue = e.catalog.intern("revenue");
+    let base = JoinAggTask {
+        inputs: vec!["Sales".into()],
+        group_by: vec![customer],
+        aggregates: vec![AggSpec::new(AggFunc::Sum(amount), revenue)],
+        order_by: vec![SortKey::desc(revenue)], // ties, no tiebreaker
+        ..Default::default()
+    };
+    // 12 groups in 6 tie pairs: every odd offset cuts inside a pair.
+    assert_pages_agree(&mut e, &base, false, false, "tie boundary");
+    // Determinism on the sharpest cut: offset and limit both end inside
+    // tie pairs.
+    let mut task = base.clone();
+    task.offset = 3;
+    task.limit = Some(2);
+    for mode in modes() {
+        for executor in [ExecutorMode::Staged, ExecutorMode::PerOp] {
+            for threads in thread_sweep() {
+                let opts = RunOptions::new()
+                    .order(mode)
+                    .executor(executor)
+                    .threads(threads);
+                let mut run = || e.run(&task, opts).unwrap().to_relation().unwrap();
+                assert_eq!(
+                    run(),
+                    run(),
+                    "tie boundary rerun: {mode:?}/{executor:?}/t{threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn null_sort_keys_page_identically() {
+    // NULLS LAST ascending, first descending — `Value::cmp` is the
+    // single source of truth, so pages cut inside the NULL run agree
+    // byte for byte across every strategy.
+    let mut catalog = Catalog::new();
+    let id = catalog.intern("id");
+    let score = catalog.intern("score");
+    let rows: Vec<Vec<Value>> = (0..20i64)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                if i % 4 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i % 5)
+                },
+            ]
+        })
+        .collect();
+    let rel = Relation::from_rows(Schema::new(vec![id, score]), rows);
+    let mut e = FdbEngine::new(catalog);
+    e.register_relation("T", rel);
+    for dir in [SortKey::asc(score), SortKey::desc(score)] {
+        let task = JoinAggTask {
+            inputs: vec!["T".into()],
+            projection: Some(vec![score, id]),
+            order_by: vec![dir, SortKey::asc(id)],
+            ..Default::default()
+        };
+        assert_pages_agree(
+            &mut e,
+            &task,
+            true,
+            false,
+            &format!("null keys {:?}", dir.dir),
+        );
+    }
+}
