@@ -88,6 +88,20 @@ pub(crate) struct EntrySpec {
     kids_len: u32,
 }
 
+impl EntrySpec {
+    /// Re-emits an existing entry record verbatim — the delta-update
+    /// spine rewrite ([`crate::update`]) carries every untouched entry
+    /// of a rewritten union over by id: same value index, same kid
+    /// range, zero copies.
+    pub(crate) fn from_rec(r: EntryRec) -> EntrySpec {
+        EntrySpec {
+            val: r.val,
+            kids_start: r.kids_start,
+            kids_len: r.kids_len,
+        }
+    }
+}
+
 /// Flat storage for one factorised representation (see module docs).
 #[derive(Clone, Debug, Default)]
 pub struct Arena {
@@ -217,12 +231,35 @@ impl Arena {
     /// entry-table index of the match (entries are sorted ascending).
     pub(crate) fn find_entry(&self, uid: UnionId, v: &Value) -> Option<u32> {
         let rec = self.unions[uid.0 as usize];
+        if rec.len == 0 {
+            return None;
+        }
         let col = &self.cols[rec.node.0 as usize];
         let range = &self.entries[rec.start as usize..(rec.start + rec.len) as usize];
         range
             .binary_search_by(|e| col[e.val as usize].cmp(v))
             .ok()
             .map(|i| rec.start + i as u32)
+    }
+
+    /// Binary search of union `uid` for `v` with the insertion point on
+    /// a miss: `Ok(abs)` is the *absolute* entry-table index of the
+    /// match, `Err(phys)` the *physical* position within the union
+    /// where `v` would keep the entries strictly ascending. The delta
+    /// insert ([`crate::update`]) splices a fresh entry run there.
+    pub(crate) fn search_entry(&self, uid: UnionId, v: &Value) -> std::result::Result<u32, u32> {
+        let rec = self.unions[uid.0 as usize];
+        if rec.len == 0 {
+            // Empty root of an empty representation; its node may not
+            // even have a value column yet.
+            return Err(0);
+        }
+        let col = &self.cols[rec.node.0 as usize];
+        let range = &self.entries[rec.start as usize..(rec.start + rec.len) as usize];
+        range
+            .binary_search_by(|e| col[e.val as usize].cmp(v))
+            .map(|i| rec.start + i as u32)
+            .map_err(|i| i as u32)
     }
 
     /// Physical entry records reachable from `roots`, counting shared
@@ -1031,6 +1068,23 @@ impl FRep {
     /// Decomposes into parts (crate-internal).
     pub(crate) fn into_arena_parts(self) -> (FTree, Arena, Vec<UnionId>) {
         (self.ftree, self.arena, self.roots)
+    }
+
+    /// Split borrow for the delta mutators ([`crate::update`]): the
+    /// f-tree read-only, the arena and root list writable. Drops any
+    /// memoised count index first — a wrapper obtained by cloning an
+    /// `Arc`-shared snapshot carries the snapshot's (possibly built)
+    /// `OnceLock`, and a mutation must never leave a pre-mutation
+    /// index behind. The snapshot itself keeps its own copy.
+    pub(crate) fn update_parts(&mut self) -> (&FTree, &mut Arena, &mut Vec<UnionId>) {
+        self.counts.take();
+        (&self.ftree, &mut self.arena, &mut self.roots)
+    }
+
+    /// True when a count index is currently memoised (test hook for the
+    /// staleness-invariant suite).
+    pub fn has_count_index(&self) -> bool {
+        self.counts.get().is_some()
     }
 
     /// Shared borrow of the arena (crate-internal; read-only walks).

@@ -74,6 +74,7 @@ pub mod orderby;
 pub mod pipeline;
 pub mod plan;
 pub mod topk;
+pub mod update;
 
 pub use engine::{
     ConsolidateMode, ExecutorMode, FdbEngine, FdbResult, OrderMode, OrderRunStats, OrderStrategy,

@@ -28,6 +28,40 @@ impl SelectItem {
     }
 }
 
+/// One parsed SQL statement: a query or a write.
+///
+/// The read path ([`crate::parse`]) predates writes and keeps returning
+/// [`Query`] directly; [`crate::parse_statement`] is the superset entry
+/// point the facade's write API and the serving layer route through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// `SELECT …` — see [`Query`].
+    Select(Query),
+    /// `INSERT INTO r [(cols)] VALUES (…), …`.
+    Insert(InsertStmt),
+    /// `DELETE FROM r [WHERE conj]`.
+    Delete(DeleteStmt),
+}
+
+/// A resolved `INSERT`: the parser checks the target table exists,
+/// resolves an explicit column list against its schema and reorders
+/// every `VALUES` tuple into **schema order**, so consumers can apply
+/// the rows positionally.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InsertStmt {
+    pub table: String,
+    /// Tuples in the target table's schema order.
+    pub rows: Vec<Vec<fdb_relational::Value>>,
+}
+
+/// A resolved `DELETE`: conjunctive predicates over the target table's
+/// schema. An empty list means *delete everything*.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeleteStmt {
+    pub table: String,
+    pub predicates: Vec<Predicate>,
+}
+
 /// A parsed, resolved query.
 ///
 /// Shapes covered (the paper's query classes, §2 and Fig. 3):

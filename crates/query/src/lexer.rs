@@ -41,7 +41,8 @@ pub enum Sym {
 const KEYWORDS: &[&str] = &[
     "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "OFFSET", "AS", "AND",
     "ASC", "DESC", "SUM", "COUNT", "MIN", "MAX", "AVG", "NATURAL", "JOIN", "DISTINCT", "PRODUCT",
-    "EXISTS", "FORALL", "TOP_K", "ROLLUP", "CUBE", "GROUPING", "SETS",
+    "EXISTS", "FORALL", "TOP_K", "ROLLUP", "CUBE", "GROUPING", "SETS", "INSERT", "INTO", "VALUES",
+    "DELETE", "NULL",
 ];
 
 /// Tokenises `input`.

@@ -31,6 +31,6 @@ pub mod error;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{Query, SelectItem};
+pub use ast::{DeleteStmt, InsertStmt, Query, SelectItem, Statement};
 pub use error::QueryError;
-pub use parser::parse;
+pub use parser::{parse, parse_statement};

@@ -32,7 +32,7 @@
 //! schemas and interned into the shared catalog; the result is a fully
 //! resolved [`Query`].
 
-use crate::ast::{Query, SelectItem};
+use crate::ast::{DeleteStmt, InsertStmt, Query, SelectItem, Statement};
 use crate::error::QueryError;
 use crate::lexer::{lex, Sym, Token};
 use fdb_relational::{
@@ -58,6 +58,46 @@ pub fn parse(
     p.finish()?;
     validate(&q, p.catalog)?;
     Ok(q)
+}
+
+/// Parses one statement — a `SELECT` query or an `INSERT`/`DELETE`
+/// write — against the registered `schemas`. Grammar of the writes:
+///
+/// ```text
+/// insert  := INSERT INTO ident ['(' ident (',' ident)* ')']
+///            VALUES tuple (',' tuple)* [';']
+/// tuple   := '(' literal (',' literal)* ')'
+/// literal := int | float | string | NULL
+/// delete  := DELETE FROM ident [WHERE conj] [';']
+/// ```
+///
+/// `INSERT` tuples are validated against the target schema (explicit
+/// column lists must cover it exactly) and reordered into schema order;
+/// `DELETE` predicates resolve against the target table's schema alone.
+pub fn parse_statement(
+    sql: &str,
+    catalog: &mut Catalog,
+    schemas: &HashMap<String, Schema>,
+) -> Result<Statement, QueryError> {
+    let tokens = lex(sql)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        catalog,
+        schemas,
+    };
+    let stmt = match p.peek() {
+        Some(Token::Keyword(k)) if k == "INSERT" => Statement::Insert(p.insert_stmt()?),
+        Some(Token::Keyword(k)) if k == "DELETE" => Statement::Delete(p.delete_stmt()?),
+        _ => {
+            let q = p.query()?;
+            p.finish()?;
+            validate(&q, p.catalog)?;
+            return Ok(Statement::Select(q));
+        }
+    };
+    p.finish()?;
+    Ok(stmt)
 }
 
 struct Parser<'a> {
@@ -458,6 +498,120 @@ impl<'a> Parser<'a> {
             }
         }
         Ok(tables)
+    }
+
+    /// `INSERT INTO r ['(' cols ')'] VALUES (…), …` — tuples come back
+    /// reordered into `r`'s schema order.
+    fn insert_stmt(&mut self) -> Result<InsertStmt, QueryError> {
+        self.expect_keyword("INSERT")?;
+        self.expect_keyword("INTO")?;
+        let table = self.ident("table name")?;
+        let schema = self
+            .schemas
+            .get(&table)
+            .ok_or_else(|| QueryError::Unresolved(format!("relation `{table}`")))?
+            .clone();
+        // Optional explicit column list: a permutation covering the
+        // schema exactly (no defaults, so partial lists are rejected).
+        let perm: Option<Vec<usize>> = if self.eat_symbol(Sym::LParen) {
+            let mut positions = Vec::new();
+            loop {
+                let name = self.ident("column name")?;
+                let pos = self
+                    .catalog
+                    .lookup(&name)
+                    .and_then(|id| schema.position(id))
+                    .ok_or_else(|| {
+                        QueryError::Unresolved(format!("column `{name}` of relation `{table}`"))
+                    })?;
+                if positions.contains(&pos) {
+                    return Err(QueryError::Invalid(format!(
+                        "column `{name}` listed twice in INSERT"
+                    )));
+                }
+                positions.push(pos);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen, "`)`")?;
+            if positions.len() != schema.arity() {
+                return Err(QueryError::Invalid(format!(
+                    "INSERT column list covers {} of `{table}`'s {} columns \
+                     (partial inserts are not supported)",
+                    positions.len(),
+                    schema.arity()
+                )));
+            }
+            Some(positions)
+        } else {
+            None
+        };
+        self.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol(Sym::LParen, "`(`")?;
+            let mut tuple = Vec::new();
+            loop {
+                tuple.push(self.literal()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen, "`)`")?;
+            if tuple.len() != schema.arity() {
+                return Err(QueryError::Invalid(format!(
+                    "VALUES tuple has {} values, `{table}` has {} columns",
+                    tuple.len(),
+                    schema.arity()
+                )));
+            }
+            if let Some(perm) = &perm {
+                let mut ordered = vec![Value::Null; tuple.len()];
+                for (v, &pos) in tuple.into_iter().zip(perm) {
+                    ordered[pos] = v;
+                }
+                rows.push(ordered);
+            } else {
+                rows.push(tuple);
+            }
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        Ok(InsertStmt { table, rows })
+    }
+
+    /// `DELETE FROM r [WHERE conj]`.
+    fn delete_stmt(&mut self) -> Result<DeleteStmt, QueryError> {
+        self.expect_keyword("DELETE")?;
+        self.expect_keyword("FROM")?;
+        let table = self.ident("table name")?;
+        let schema = self
+            .schemas
+            .get(&table)
+            .ok_or_else(|| QueryError::Unresolved(format!("relation `{table}`")))?
+            .clone();
+        let predicates = if self.eat_keyword("WHERE") {
+            self.conjunction(&schema)?
+        } else {
+            Vec::new()
+        };
+        Ok(DeleteStmt { table, predicates })
+    }
+
+    /// One `VALUES` literal: int, float, string or NULL.
+    fn literal(&mut self) -> Result<Value, QueryError> {
+        match self.next() {
+            Some(Token::Int(n)) => Ok(Value::Int(n)),
+            Some(Token::Float(f)) => Ok(Value::Float(f)),
+            Some(Token::Str(s)) => Ok(Value::str(&s)),
+            Some(Token::Keyword(k)) if k == "NULL" => Ok(Value::Null),
+            other => Err(QueryError::parse(
+                self.pos,
+                format!("expected a literal value, found {other:?}"),
+            )),
+        }
     }
 
     /// Natural-join output schema of the FROM list: attributes of the first
@@ -1199,5 +1353,134 @@ mod tests {
         let task = q.to_task();
         assert_eq!(task.inputs.len(), 3);
         assert_eq!(task.limit, Some(3));
+    }
+
+    #[test]
+    fn statement_dispatches_selects_to_the_query_path() {
+        let (mut c, schemas) = setup();
+        let stmt = parse_statement("SELECT item FROM Items", &mut c, &schemas).unwrap();
+        assert!(matches!(stmt, Statement::Select(_)));
+    }
+
+    #[test]
+    fn insert_parses_values_in_schema_order() {
+        let (mut c, schemas) = setup();
+        let stmt = parse_statement(
+            "INSERT INTO Items VALUES ('ham', 1), ('brie', 3)",
+            &mut c,
+            &schemas,
+        )
+        .unwrap();
+        let Statement::Insert(ins) = stmt else {
+            panic!("expected Insert")
+        };
+        assert_eq!(ins.table, "Items");
+        assert_eq!(
+            ins.rows,
+            vec![
+                vec![Value::str("ham"), Value::Int(1)],
+                vec![Value::str("brie"), Value::Int(3)],
+            ]
+        );
+    }
+
+    #[test]
+    fn insert_column_list_reorders_into_schema_order() {
+        let (mut c, schemas) = setup();
+        let stmt = parse_statement(
+            "INSERT INTO Items (price, item) VALUES (2, 'olive'), (4.5, 'truffle')",
+            &mut c,
+            &schemas,
+        )
+        .unwrap();
+        let Statement::Insert(ins) = stmt else {
+            panic!("expected Insert")
+        };
+        // Schema order is (item, price) regardless of the listed order.
+        assert_eq!(ins.rows[0], vec![Value::str("olive"), Value::Int(2)]);
+        assert_eq!(ins.rows[1], vec![Value::str("truffle"), Value::Float(4.5)]);
+    }
+
+    #[test]
+    fn insert_accepts_null_literals() {
+        let (mut c, schemas) = setup();
+        let stmt =
+            parse_statement("INSERT INTO Items VALUES ('x', NULL)", &mut c, &schemas).unwrap();
+        let Statement::Insert(ins) = stmt else {
+            panic!("expected Insert")
+        };
+        assert_eq!(ins.rows[0][1], Value::Null);
+    }
+
+    #[test]
+    fn insert_rejects_bad_shapes() {
+        let (mut c, schemas) = setup();
+        // Unknown table.
+        assert!(matches!(
+            parse_statement("INSERT INTO Nope VALUES (1)", &mut c, &schemas),
+            Err(QueryError::Unresolved(_))
+        ));
+        // Wrong tuple arity.
+        assert!(parse_statement("INSERT INTO Items VALUES ('x')", &mut c, &schemas).is_err());
+        // Partial column list: partial inserts are not supported.
+        assert!(
+            parse_statement("INSERT INTO Items (item) VALUES ('x')", &mut c, &schemas).is_err()
+        );
+        // Duplicate column in the list.
+        assert!(parse_statement(
+            "INSERT INTO Items (item, item) VALUES ('x', 'y')",
+            &mut c,
+            &schemas
+        )
+        .is_err());
+        // Unknown column name.
+        assert!(parse_statement(
+            "INSERT INTO Items (item, weight) VALUES ('x', 1)",
+            &mut c,
+            &schemas
+        )
+        .is_err());
+        // Trailing garbage.
+        assert!(parse_statement("INSERT INTO Items VALUES ('x', 1) ha", &mut c, &schemas).is_err());
+    }
+
+    #[test]
+    fn delete_parses_where_conjunction_over_the_table_schema() {
+        let (mut c, schemas) = setup();
+        let stmt = parse_statement(
+            "DELETE FROM Items WHERE item = 'ham' AND price > 1",
+            &mut c,
+            &schemas,
+        )
+        .unwrap();
+        let Statement::Delete(del) = stmt else {
+            panic!("expected Delete")
+        };
+        assert_eq!(del.table, "Items");
+        assert_eq!(del.predicates.len(), 2);
+
+        // No WHERE clause: delete everything.
+        let stmt = parse_statement("DELETE FROM Items", &mut c, &schemas).unwrap();
+        let Statement::Delete(del) = stmt else {
+            panic!("expected Delete")
+        };
+        assert!(del.predicates.is_empty());
+    }
+
+    #[test]
+    fn delete_rejects_unknown_table_and_foreign_attrs() {
+        let (mut c, schemas) = setup();
+        assert!(matches!(
+            parse_statement("DELETE FROM Nope", &mut c, &schemas),
+            Err(QueryError::Unresolved(_))
+        ));
+        // `customer` is not in Items' schema: predicates resolve against
+        // the target table only.
+        assert!(parse_statement(
+            "DELETE FROM Items WHERE customer = 'Mario'",
+            &mut c,
+            &schemas
+        )
+        .is_err());
     }
 }

@@ -165,6 +165,67 @@ impl Relation {
         self.data.reserve(additional * self.schema.arity().max(1));
     }
 
+    /// Set-semantics insert: appends `row` unless an equal tuple is
+    /// already stored; returns whether the relation changed. Mirror of
+    /// the factorised delta insert for the differential oracle.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn insert(&mut self, row: &[Value]) -> bool {
+        assert_eq!(
+            row.len(),
+            self.schema.arity(),
+            "row arity {} does not match schema arity {}",
+            row.len(),
+            self.schema.arity()
+        );
+        if self.rows().any(|r| r == row) {
+            return false;
+        }
+        self.push_row(row);
+        true
+    }
+
+    /// Set-semantics delete: removes every stored tuple equal to `row`
+    /// (a canonical relation holds at most one); returns whether the
+    /// relation changed. Mirror of the factorised delta delete.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn delete_row(&mut self, row: &[Value]) -> bool {
+        assert_eq!(
+            row.len(),
+            self.schema.arity(),
+            "row arity {} does not match schema arity {}",
+            row.len(),
+            self.schema.arity()
+        );
+        self.delete_where(|r| r == row) > 0
+    }
+
+    /// Removes every tuple matching `pred`; returns how many went.
+    /// Relative order of the survivors is preserved.
+    pub fn delete_where(&mut self, mut pred: impl FnMut(&[Value]) -> bool) -> usize {
+        let a = self.schema.arity();
+        if a == 0 {
+            // The nullary relation holds the nullary tuple at most once.
+            if !self.data.is_empty() && pred(&[]) {
+                self.data.clear();
+                return 1;
+            }
+            return 0;
+        }
+        let before = self.len();
+        let mut out: Vec<Value> = Vec::with_capacity(self.data.len());
+        for row in self.data.chunks_exact(a) {
+            if !pred(row) {
+                out.extend_from_slice(row);
+            }
+        }
+        self.data = out;
+        before - self.len()
+    }
+
     /// Borrowing access to the `i`-th tuple.
     pub fn row(&self, i: usize) -> &[Value] {
         let a = self.schema.arity();

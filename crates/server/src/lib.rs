@@ -19,7 +19,10 @@
 //! * **Worker pool** (`workers` threads, default [`DEFAULT_WORKERS`]):
 //!   each pops a connection and serves its requests to completion. A
 //!   worker keeps one [`fdb::Session`] and re-snapshots when the
-//!   database [epoch](fdb::Db::epoch) moves (after a `LOAD`).
+//!   database [epoch](fdb::Db::epoch) moves (after a `LOAD` or a write:
+//!   `INSERT`/`DELETE` swap in a copy-on-write snapshot and bump the
+//!   epoch, so readers never block on writers and cached responses from
+//!   earlier epochs are never served again).
 //! * **Plan cache** ([`cache::PlanCache`]): rendered responses keyed by
 //!   normalised query text + epoch, bounded, FIFO-evicted.
 //! * **Deadlines**: every request runs with
@@ -135,6 +138,12 @@ struct Counters {
     connections: AtomicU64,
     queries: AtomicU64,
     errors: AtomicU64,
+    /// Applied `INSERT`/`DELETE` statements (each bumps the epoch when
+    /// rows actually changed).
+    writes: AtomicU64,
+    /// `ROW` point lookups (counted on top of the per-strategy counter
+    /// of whatever physical strategy answered the seek).
+    row_lookups: AtomicU64,
     /// Executed queries by physical ordering strategy (cache hits are
     /// not re-counted — the cached response never re-executes).
     strategy_unordered: AtomicU64,
@@ -419,6 +428,26 @@ fn fresh_session<'a>(
     session.as_mut().expect("session just cut")
 }
 
+/// The shared `QUERY`/`ROW` execution path: serve from the epoch-keyed
+/// cache when possible, else run on a fresh snapshot and cache the
+/// rendered response under the snapshot's epoch.
+fn run_cached_query(key: String, shared: &Shared, session: &mut Option<fdb::Session>) -> Response {
+    let epoch = shared.db.epoch();
+    if let Some(lines) = shared.cache.get(epoch, &key) {
+        return ok_response(lines.as_ref().clone());
+    }
+    let s = fresh_session(shared, session);
+    match s.query(&key) {
+        Ok(outcome) => {
+            shared.counters.count_strategy(outcome.strategy);
+            let lines = proto::render_outcome(&outcome);
+            shared.cache.put(s.epoch(), key, Arc::new(lines.clone()));
+            ok_response(lines)
+        }
+        Err(e) => vec![err_line(&e.to_string())],
+    }
+}
+
 fn handle_request(
     request: &Request,
     shared: &Shared,
@@ -428,19 +457,28 @@ fn handle_request(
         Request::Ping | Request::Quit => ok_response(Vec::new()),
         Request::Query(sql) => {
             shared.counters.queries.fetch_add(1, Ordering::Relaxed);
-            let key = proto::normalise_sql(sql);
-            let epoch = shared.db.epoch();
-            if let Some(lines) = shared.cache.get(epoch, &key) {
-                return ok_response(lines.as_ref().clone());
-            }
-            let s = fresh_session(shared, session);
-            match s.query(&key) {
-                Ok(outcome) => {
-                    shared.counters.count_strategy(outcome.strategy);
-                    let lines = proto::render_outcome(&outcome);
-                    shared.cache.put(s.epoch(), key, Arc::new(lines.clone()));
-                    ok_response(lines)
-                }
+            run_cached_query(proto::normalise_sql(sql), shared, session)
+        }
+        Request::Row { index, sql } => {
+            // The point lookup is QUERY with `LIMIT 1 OFFSET i` layered
+            // on: the planner's direct-access costing then realises the
+            // order and seeks straight to the row via the count
+            // annotations — O(depth·log fanout), no prefix scan. The
+            // target query must not carry LIMIT/OFFSET of its own (the
+            // appended clause would clash and the parser rejects the
+            // duplicate, so the restriction is enforced for free).
+            shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+            shared.counters.row_lookups.fetch_add(1, Ordering::Relaxed);
+            let key = format!("{} LIMIT 1 OFFSET {index}", proto::normalise_sql(sql));
+            run_cached_query(key, shared, session)
+        }
+        Request::Insert(sql) | Request::Delete(sql) => {
+            shared.counters.writes.fetch_add(1, Ordering::Relaxed);
+            match shared.db.execute(sql) {
+                Ok(report) => ok_response(vec![
+                    proto::join_fields(["inserted", report.inserted.to_string().as_str()]),
+                    proto::join_fields(["deleted", report.deleted.to_string().as_str()]),
+                ]),
                 Err(e) => vec![err_line(&e.to_string())],
             }
         }
@@ -486,6 +524,18 @@ fn stats_payload(shared: &Shared) -> Vec<String> {
         (
             "errors",
             shared.counters.errors.load(Ordering::Relaxed).to_string(),
+        ),
+        (
+            "writes",
+            shared.counters.writes.load(Ordering::Relaxed).to_string(),
+        ),
+        (
+            "row_lookups",
+            shared
+                .counters
+                .row_lookups
+                .load(Ordering::Relaxed)
+                .to_string(),
         ),
         ("cache_hits", hits.to_string()),
         ("cache_misses", misses.to_string()),

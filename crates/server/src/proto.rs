@@ -7,14 +7,29 @@
 //!
 //! ```text
 //! request  := verb [SP argument] LF
-//! verb     := "QUERY" | "EXPLAIN" | "LOAD" | "STATS" | "PING" | "QUIT"
+//! verb     := "QUERY" | "ROW" | "EXPLAIN" | "INSERT" | "DELETE"
+//!           | "LOAD" | "STATS" | "PING" | "QUIT"
 //! QUERY    <sql>          run sql, respond with header + rows
+//! ROW      <i> <sql>      point lookup: the i-th row (0-based) of sql's
+//!                         result — answered via the count-annotation
+//!                         seek, O(depth·log fanout), not a scan; <sql>
+//!                         must not itself carry LIMIT/OFFSET
 //! EXPLAIN  <sql>          plan sql, respond with the explain rendering
+//! INSERT   INTO r [(cols)] VALUES (…), …   delta-insert into a
+//!                         registered input; responds inserted/deleted
+//!                         counts and bumps the epoch (purging the cache)
+//! DELETE   FROM r [WHERE a = c AND …]      delta-delete, same framing
 //! LOAD     <name> <path>  load an fdbv1 view file, register as <name>
 //! STATS                   server counters and registered inputs
 //! PING                    liveness check
 //! QUIT                    close this connection
 //! ```
+//!
+//! `INSERT`/`DELETE` lines are complete SQL statements — the verb *is*
+//! the first SQL keyword — applied through the database's write path:
+//! copy-on-write snapshot swap plus epoch bump, so sessions and cached
+//! responses cut before the write keep serving the old state while
+//! every later request sees the new one.
 //!
 //! Responses are a status line followed by `n` payload lines:
 //!
@@ -35,8 +50,20 @@ use std::fmt::Write as _;
 pub enum Request {
     /// `QUERY <sql>` — run and enumerate.
     Query(String),
+    /// `ROW <i> <sql>` — the `i`-th result row via the direct-access
+    /// seek.
+    Row {
+        /// 0-based row index into `sql`'s result order.
+        index: u64,
+        /// The query text, without LIMIT/OFFSET.
+        sql: String,
+    },
     /// `EXPLAIN <sql>` — plan and report, no enumeration payload.
     Explain(String),
+    /// `INSERT INTO … VALUES …` — the full SQL statement.
+    Insert(String),
+    /// `DELETE FROM … [WHERE …]` — the full SQL statement.
+    Delete(String),
     /// `LOAD <name> <path>` — read an `fdbv1` view file, register it.
     Load {
         /// Registration name of the view.
@@ -70,11 +97,44 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
             Ok(Request::Query(rest.to_string()))
         }
+        "ROW" => {
+            let Some((index, sql)) = rest.split_once(char::is_whitespace) else {
+                return Err("ROW requires <index> <sql>".into());
+            };
+            let Ok(index) = index.trim().parse::<u64>() else {
+                return Err(format!(
+                    "ROW index `{}` is not a non-negative integer",
+                    index.trim()
+                ));
+            };
+            let sql = sql.trim();
+            if sql.is_empty() {
+                return Err("ROW requires <index> <sql>".into());
+            }
+            Ok(Request::Row {
+                index,
+                sql: sql.to_string(),
+            })
+        }
         "EXPLAIN" => {
             if rest.is_empty() {
                 return Err("EXPLAIN requires an SQL argument".into());
             }
             Ok(Request::Explain(rest.to_string()))
+        }
+        "INSERT" => {
+            if rest.is_empty() {
+                return Err("INSERT requires the rest of the SQL statement".into());
+            }
+            // The verb is the statement's first keyword; hand the whole
+            // line to the SQL front-end.
+            Ok(Request::Insert(line.to_string()))
+        }
+        "DELETE" => {
+            if rest.is_empty() {
+                return Err("DELETE requires the rest of the SQL statement".into());
+            }
+            Ok(Request::Delete(line.to_string()))
         }
         "LOAD" => {
             let Some((name, path)) = rest.split_once(char::is_whitespace) else {
@@ -94,7 +154,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "QUIT" => Ok(Request::Quit),
         "" => Err("empty request".into()),
         other => Err(format!(
-            "unknown verb `{other}` (expected QUERY, EXPLAIN, LOAD, STATS, PING or QUIT)"
+            "unknown verb `{other}` (expected QUERY, ROW, EXPLAIN, INSERT, DELETE, LOAD, STATS, \
+             PING or QUIT)"
         )),
     }
 }

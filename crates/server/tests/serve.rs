@@ -388,3 +388,245 @@ fn auto_worker_count_tracks_available_parallelism() {
     assert_eq!(server.workers(), 3);
     server.shutdown();
 }
+
+/// INSERT/DELETE verbs write through the facade: the payload reports the
+/// affected counts, the epoch bumps, and subsequent queries on the SAME
+/// connection see the new data.
+#[test]
+fn insert_and_delete_verbs_write_through() {
+    let mut server = spawn(pizzeria_db(), "127.0.0.1:0", ServerOptions::new()).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    let before = c.query("SELECT COUNT(*) AS n FROM Items").unwrap().unwrap();
+    assert_eq!(before, vec!["n".to_string(), "4".to_string()]);
+    let epoch0: u64 = stat(&c.request("STATS").unwrap().unwrap(), "epoch")
+        .parse()
+        .unwrap();
+
+    let report = c
+        .request("INSERT INTO Items VALUES ('olives', 2)")
+        .unwrap()
+        .unwrap();
+    assert_eq!(stat(&report, "inserted"), "1");
+    assert_eq!(stat(&report, "deleted"), "0");
+
+    let stats = c.request("STATS").unwrap().unwrap();
+    let epoch1: u64 = stat(&stats, "epoch").parse().unwrap();
+    assert!(epoch1 > epoch0, "a write must bump the epoch");
+    assert_eq!(stat(&stats, "writes"), "1");
+
+    let after = c.query("SELECT COUNT(*) AS n FROM Items").unwrap().unwrap();
+    assert_eq!(after, vec!["n".to_string(), "5".to_string()]);
+
+    // Re-inserting the same tuple is a set-semantics no-op: zero rows
+    // affected, and — crucially — NO epoch bump, so cached responses
+    // stay valid.
+    let report = c
+        .request("INSERT INTO Items VALUES ('olives', 2)")
+        .unwrap()
+        .unwrap();
+    assert_eq!(stat(&report, "inserted"), "0");
+    let unchanged: u64 = stat(&c.request("STATS").unwrap().unwrap(), "epoch")
+        .parse()
+        .unwrap();
+    assert_eq!(unchanged, epoch1, "no-op write must not bump the epoch");
+
+    let report = c
+        .request("DELETE FROM Items WHERE item = 'olives'")
+        .unwrap()
+        .unwrap();
+    assert_eq!(stat(&report, "deleted"), "1");
+    let back = c.query("SELECT COUNT(*) AS n FROM Items").unwrap().unwrap();
+    assert_eq!(back, before);
+
+    // Errors report and keep the connection usable.
+    let err = c
+        .request("INSERT INTO Nowhere VALUES (1)")
+        .unwrap()
+        .unwrap_err();
+    assert!(!err.is_empty());
+    assert!(c.request("PING").unwrap().is_ok());
+
+    let stats = c.request("STATS").unwrap().unwrap();
+    assert_eq!(stat(&stats, "writes"), "4");
+    c.quit().unwrap();
+    server.shutdown();
+}
+
+/// `ROW <i> <sql>` returns exactly the i-th row of the full result —
+/// header plus one data line — and bumps the `row_lookups` counter.
+#[test]
+fn row_verb_is_pointwise_access_into_the_full_result() {
+    let mut server = spawn(orders_db(), "127.0.0.1:0", ServerOptions::new()).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    let sql = "SELECT customer, SUM(price) AS revenue FROM Orders, Packages, Items \
+               GROUP BY customer ORDER BY revenue DESC, customer";
+    let full = c.query(sql).unwrap().unwrap();
+    assert!(full.len() >= 4, "need a few rows: {full:?}");
+
+    for i in 0..3u64 {
+        let row = c.request(&format!("ROW {i} {sql}")).unwrap().unwrap();
+        assert_eq!(row.len(), 2, "header + one row: {row:?}");
+        assert_eq!(row[0], full[0], "header must match the full query");
+        assert_eq!(row[1], full[1 + i as usize], "ROW {i}");
+    }
+    // Past the end: header only, no rows — not an error.
+    let past = c
+        .request(&format!("ROW {} {sql}", full.len()))
+        .unwrap()
+        .unwrap();
+    assert_eq!(past.len(), 1, "{past:?}");
+
+    let stats = c.request("STATS").unwrap().unwrap();
+    assert_eq!(stat(&stats, "row_lookups"), "4");
+
+    // Malformed forms report and keep the connection alive.
+    let err = c.request("ROW x SELECT 1").unwrap().unwrap_err();
+    assert!(err.contains("non-negative integer"), "{err}");
+    let err = c.request("ROW 3").unwrap().unwrap_err();
+    assert!(err.contains("ROW requires"), "{err}");
+    // The target query must not carry LIMIT/OFFSET of its own: the
+    // appended clause clashes and the parser rejects the duplicate.
+    let err = c
+        .request(&format!("ROW 0 {sql} LIMIT 2"))
+        .unwrap()
+        .unwrap_err();
+    assert!(!err.is_empty());
+    assert!(c.request("PING").unwrap().is_ok());
+    c.quit().unwrap();
+    server.shutdown();
+}
+
+/// Regression: a write must invalidate cached query responses. The cache
+/// is keyed by epoch, the write bumps the epoch, so the next repeat is a
+/// miss that recomputes against the new snapshot — never a stale hit.
+#[test]
+fn writes_purge_cached_query_responses() {
+    let mut server = spawn(pizzeria_db(), "127.0.0.1:0", ServerOptions::new()).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    let sql = "SELECT COUNT(*) AS n FROM Items";
+
+    let first = c.query(sql).unwrap().unwrap();
+    let repeat = c.query(sql).unwrap().unwrap();
+    assert_eq!(first, repeat);
+    let stats = c.request("STATS").unwrap().unwrap();
+    assert_eq!(stat(&stats, "cache_hits"), "1");
+
+    c.request("INSERT INTO Items VALUES ('anchovies', 3)")
+        .unwrap()
+        .unwrap();
+    let fresh = c.query(sql).unwrap().unwrap();
+    assert_eq!(
+        fresh,
+        vec!["n".to_string(), "5".to_string()],
+        "post-write repeat must reflect the write, not the cached response"
+    );
+    let stats = c.request("STATS").unwrap().unwrap();
+    assert_eq!(stat(&stats, "cache_hits"), "1", "stale entry must not hit");
+    assert_eq!(stat(&stats, "cache_misses"), "2");
+    c.quit().unwrap();
+    server.shutdown();
+}
+
+/// MVCC across the serving layer: a library session opened before a
+/// server-side write keeps its snapshot; sessions opened after see the
+/// new state.
+#[test]
+fn sessions_opened_before_a_write_keep_their_snapshot() {
+    let db = pizzeria_db();
+    let mut old_session = db.session();
+    let mut server = spawn(db.clone(), "127.0.0.1:0", ServerOptions::new()).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    c.request("INSERT INTO Items VALUES ('capers', 1)")
+        .unwrap()
+        .unwrap();
+
+    // The pre-write session still sees 4 items (its COW snapshot); a
+    // fresh session sees 5.
+    let sql = "SELECT COUNT(*) AS n FROM Items";
+    let old = old_session.query(sql).unwrap();
+    assert_eq!(format!("{:?}", old.rows.row(0)[0]), "Int(4)");
+    let mut new_session = db.session();
+    let new = new_session.query(sql).unwrap();
+    assert_eq!(format!("{:?}", new.rows.row(0)[0]), "Int(5)");
+    c.quit().unwrap();
+    server.shutdown();
+}
+
+/// Regression for re-LOAD: loading a view under a name that is already
+/// registered replaces it, purges stale cached responses (epoch bump),
+/// and in-flight sessions pinned to the old snapshot finish cleanly.
+#[test]
+fn reload_replaces_view_and_purges_stale_cache() {
+    // Two serialised views with different cardinalities.
+    let dir = std::env::temp_dir().join("fdb_server_reload_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut paths = Vec::new();
+    for (i, customers) in [10u32, 20].into_iter().enumerate() {
+        let mut catalog = Catalog::new();
+        let ds = generate(
+            &mut catalog,
+            &OrdersConfig {
+                scale: 1,
+                customers,
+                seed: 21,
+            },
+        );
+        let mut producer = FdbEngine::new(catalog);
+        producer.register_view("R1", ds.factorised_view());
+        let path = dir.join(format!("reload_{i}.fdbv1"));
+        let file = std::fs::File::create(&path).unwrap();
+        producer
+            .save_view("R1", std::io::BufWriter::new(file))
+            .unwrap();
+        paths.push(path);
+    }
+
+    let db = pizzeria_db();
+    let mut server = spawn(db.clone(), "127.0.0.1:0", ServerOptions::new()).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    c.request(&format!("LOAD V {}", paths[0].display()))
+        .unwrap()
+        .unwrap();
+    let sql = "SELECT COUNT(*) AS n FROM V";
+    let n1 = c.query(sql).unwrap().unwrap()[1].parse::<i64>().unwrap();
+
+    // Cache the response, then pin an in-flight library session to the
+    // first snapshot before re-loading.
+    let cached = c.query(sql).unwrap().unwrap();
+    assert_eq!(
+        stat(&c.request("STATS").unwrap().unwrap(), "cache_hits"),
+        "1"
+    );
+    let mut inflight = db.session();
+
+    c.request(&format!("LOAD V {}", paths[1].display()))
+        .unwrap()
+        .unwrap();
+    let n2 = c.query(sql).unwrap().unwrap()[1].parse::<i64>().unwrap();
+    assert_ne!(n1, n2, "the two serialised views must differ");
+    assert_eq!(
+        stat(&c.request("STATS").unwrap().unwrap(), "cache_hits"),
+        "1",
+        "re-LOAD must purge the stale cached response"
+    );
+    assert_eq!(cached[1].parse::<i64>().unwrap(), n1);
+
+    // The in-flight session still answers — against the OLD snapshot.
+    let old = inflight.query(sql).unwrap();
+    assert_eq!(format!("{:?}", old.rows.row(0)[0]), format!("Int({n1})"));
+
+    // STATS lists the view once, not twice.
+    assert_eq!(
+        stat(&c.request("STATS").unwrap().unwrap(), "views"),
+        "V",
+        "re-LOAD must replace, not duplicate"
+    );
+    c.quit().unwrap();
+    server.shutdown();
+    for p in paths {
+        std::fs::remove_file(p).ok();
+    }
+}

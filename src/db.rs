@@ -44,8 +44,11 @@
 //! ```
 
 use crate::core::engine::{FdbEngine, OrderStrategy, RunOptions};
+use crate::core::error::FdbError;
 use crate::core::{ExecStats, FRep, OrderRunStats, Result};
-use crate::relational::{Catalog, Relation};
+use crate::query::Statement;
+use crate::relational::{Catalog, Predicate, Relation, Value};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -147,6 +150,285 @@ impl Db {
         let engine = self.lock();
         (engine.relation_names(), engine.view_names())
     }
+
+    // -----------------------------------------------------------------
+    // Write path (MVCC over copy-on-write snapshots)
+    // -----------------------------------------------------------------
+    //
+    // A write never touches a published input in place. Under the
+    // template lock it clones the target (for a factorised view the
+    // clone is a flat-table memcpy; the delta mutators then rewrite
+    // only the spine, sharing every untouched fragment — see
+    // `fdb_core::update`), re-registers the mutated copy, and bumps the
+    // epoch once. Sessions cut before the write keep their own `Arc`s
+    // to the old snapshot and are unaffected; the serving layer's plan
+    // cache is keyed by epoch, so the bump retires every cached
+    // response built over the pre-write state.
+
+    /// Inserts `rows` (laid out per the table's registered schema) into
+    /// a registered view or relation; returns how many were new (set
+    /// semantics). One snapshot swap and one epoch bump however many
+    /// rows are given.
+    pub fn insert(
+        &self,
+        table: impl Into<String>,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<usize> {
+        let mut batch = self.begin_batch();
+        let table = table.into();
+        for row in rows {
+            batch.insert(&table, row);
+        }
+        Ok(batch.commit()?.inserted)
+    }
+
+    /// Deletes one exact row; returns whether it was present.
+    pub fn delete_row(&self, table: impl Into<String>, row: Vec<Value>) -> Result<bool> {
+        let mut batch = self.begin_batch();
+        batch.delete_row(table, row);
+        Ok(batch.commit()?.deleted > 0)
+    }
+
+    /// Deletes every row satisfying all `predicates` (an empty list
+    /// deletes everything); returns how many went.
+    pub fn delete_where(
+        &self,
+        table: impl Into<String>,
+        predicates: Vec<Predicate>,
+    ) -> Result<usize> {
+        let mut batch = self.begin_batch();
+        batch.delete_where(table, predicates);
+        Ok(batch.commit()?.deleted)
+    }
+
+    /// Starts a write batch: queued operations apply atomically on
+    /// [`WriteBatch::commit`] — one template lock, one copy-on-write
+    /// clone per touched input, one epoch bump. Readers see either none
+    /// or all of the batch.
+    pub fn begin_batch(&self) -> WriteBatch<'_> {
+        WriteBatch {
+            db: self,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Parses and applies one SQL write statement —
+    /// `INSERT INTO r [(cols)] VALUES (…), …` or
+    /// `DELETE FROM r [WHERE a = c AND …]` — against the registered
+    /// inputs. `SELECT` text is rejected here: reads go through
+    /// [`Session::query`] so they run on an immutable snapshot.
+    pub fn execute(&self, sql: &str) -> Result<WriteReport> {
+        // Parse under the template lock (the statement resolves against
+        // the live schemas), then reuse the batch machinery.
+        let stmt = {
+            let mut engine = self.lock();
+            let schemas = engine.schemas();
+            crate::query::parse_statement(sql, &mut engine.catalog, &schemas)
+                .map_err(|e| FdbError::InvalidOperator(e.to_string()))?
+        };
+        match stmt {
+            Statement::Insert(ins) => {
+                let mut batch = self.begin_batch();
+                for row in ins.rows {
+                    batch.insert(&ins.table, row);
+                }
+                batch.commit()
+            }
+            Statement::Delete(del) => {
+                let mut batch = self.begin_batch();
+                batch.delete_where(del.table, del.predicates);
+                batch.commit()
+            }
+            Statement::Select(_) => Err(FdbError::InvalidOperator(
+                "SELECT is not a write; open a Session and use query()".into(),
+            )),
+        }
+    }
+}
+
+/// One queued write of a [`WriteBatch`].
+enum WriteOp {
+    Insert(Vec<Value>),
+    DeleteRow(Vec<Value>),
+    DeleteWhere(Vec<Predicate>),
+}
+
+/// What a committed batch did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WriteReport {
+    /// Rows that were actually new (set semantics).
+    pub inserted: usize,
+    /// Rows that were present and removed.
+    pub deleted: usize,
+}
+
+/// An atomic group of writes against one [`Db`] — see
+/// [`Db::begin_batch`]. Queuing performs no work and takes no lock;
+/// everything happens in [`WriteBatch::commit`].
+pub struct WriteBatch<'a> {
+    db: &'a Db,
+    ops: Vec<(String, WriteOp)>,
+}
+
+impl WriteBatch<'_> {
+    /// Queues an insert of `row` (in the table's registered schema
+    /// order).
+    pub fn insert(&mut self, table: impl Into<String>, row: Vec<Value>) -> &mut Self {
+        self.ops.push((table.into(), WriteOp::Insert(row)));
+        self
+    }
+
+    /// Queues a delete of one exact row.
+    pub fn delete_row(&mut self, table: impl Into<String>, row: Vec<Value>) -> &mut Self {
+        self.ops.push((table.into(), WriteOp::DeleteRow(row)));
+        self
+    }
+
+    /// Queues a predicate delete (empty list = delete everything).
+    pub fn delete_where(&mut self, table: impl Into<String>, preds: Vec<Predicate>) -> &mut Self {
+        self.ops.push((table.into(), WriteOp::DeleteWhere(preds)));
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Applies the queued writes atomically: one template lock, one
+    /// copy-on-write clone per touched input (re-registered only on
+    /// success of the whole batch), one epoch bump — and none at all
+    /// when no row actually changed, keeping cached responses valid
+    /// across no-op writes.
+    pub fn commit(self) -> Result<WriteReport> {
+        let mut report = WriteReport::default();
+        if self.ops.is_empty() {
+            return Ok(report);
+        }
+        let mut engine = self.db.lock();
+        // Copy-on-write working set: each touched input is cloned once
+        // per batch however many ops hit it.
+        let mut views: HashMap<String, FRep> = HashMap::new();
+        let mut rels: HashMap<String, Relation> = HashMap::new();
+        for (table, op) in &self.ops {
+            if !views.contains_key(table) && !rels.contains_key(table) {
+                if let Some(rep) = engine.view_arc(table) {
+                    views.insert(table.clone(), FRep::clone(&rep));
+                } else if let Some(rel) = engine.relation_arc(table) {
+                    rels.insert(table.clone(), Relation::clone(&rel));
+                } else {
+                    return Err(FdbError::Unresolved(format!(
+                        "no registered view or relation named `{table}`"
+                    )));
+                }
+            }
+            if let Some(rep) = views.get_mut(table) {
+                apply_to_view(rep, op, &mut report)?;
+            } else if let Some(rel) = rels.get_mut(table) {
+                apply_to_relation(rel, op, &mut report)?;
+            }
+        }
+        let changed = report.inserted + report.deleted > 0;
+        if changed {
+            for (name, rep) in views {
+                engine.register_view_arc(name, Arc::new(rep));
+            }
+            for (name, rel) in rels {
+                engine.register_relation_arc(name, Arc::new(rel));
+            }
+        }
+        drop(engine);
+        if changed {
+            self.db.bump();
+        }
+        Ok(report)
+    }
+}
+
+fn check_row_arity(row: &[Value], arity: usize) -> Result<()> {
+    if row.len() != arity {
+        return Err(FdbError::InvalidOperator(format!(
+            "write row has {} values, table schema has {arity}",
+            row.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Pre-checks that every predicate attribute is in `schema` (the
+/// relational `Predicate::eval` panics on unresolved attributes).
+fn check_predicates(preds: &[Predicate], schema: &crate::relational::Schema) -> Result<()> {
+    for p in preds {
+        for a in p.attrs() {
+            if !schema.contains(a) {
+                return Err(FdbError::Unresolved(format!(
+                    "predicate attribute {a} is not in the table schema"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn apply_to_view(rep: &mut FRep, op: &WriteOp, report: &mut WriteReport) -> Result<()> {
+    match op {
+        WriteOp::Insert(row) => {
+            if rep.insert(row)? {
+                report.inserted += 1;
+            }
+        }
+        WriteOp::DeleteRow(row) => {
+            if rep.delete(row)? {
+                report.deleted += 1;
+            }
+        }
+        WriteOp::DeleteWhere(preds) => {
+            let schema = rep.schema();
+            check_predicates(preds, &schema)?;
+            // Collect matches first: the delta delete rewrites the
+            // spine, so mutation under enumeration is off the table.
+            let mut victims: Vec<Vec<Value>> = Vec::new();
+            rep.for_each_tuple(|row| {
+                if preds.iter().all(|p| p.eval(&schema, row)) {
+                    victims.push(row.to_vec());
+                }
+            });
+            for row in victims {
+                if rep.delete(&row)? {
+                    report.deleted += 1;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn apply_to_relation(rel: &mut Relation, op: &WriteOp, report: &mut WriteReport) -> Result<()> {
+    match op {
+        WriteOp::Insert(row) => {
+            check_row_arity(row, rel.arity())?;
+            if rel.insert(row) {
+                report.inserted += 1;
+            }
+        }
+        WriteOp::DeleteRow(row) => {
+            check_row_arity(row, rel.arity())?;
+            if rel.delete_row(row) {
+                report.deleted += 1;
+            }
+        }
+        WriteOp::DeleteWhere(preds) => {
+            let schema = rel.schema().clone();
+            check_predicates(preds, &schema)?;
+            report.deleted += rel.delete_where(|row| preds.iter().all(|p| p.eval(&schema, row)));
+        }
+    }
+    Ok(())
 }
 
 impl Default for Db {

@@ -23,7 +23,7 @@ pub use fdb_workload as workload;
 
 pub mod db;
 
-pub use db::{Db, QueryOutcome, Session};
+pub use db::{Db, QueryOutcome, Session, WriteBatch, WriteReport};
 pub use fdb_core::{FRep, FTree, FdbEngine, FdbResult};
-pub use fdb_query::parse;
+pub use fdb_query::{parse, parse_statement};
 pub use fdb_relational::{Catalog, Relation, Schema, Value};
